@@ -1,0 +1,123 @@
+//! Completion of unspecified test-cube inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use adi_sim::Pattern;
+
+use crate::TestCube;
+
+/// How the X inputs of a [`TestCube`] are completed into a full
+/// [`Pattern`].
+///
+/// Random fill is the default used by the paper-style experiments: filling
+/// unspecified inputs randomly maximizes the chance of accidental
+/// detections without biasing the targeted fault.
+///
+/// # Examples
+///
+/// ```
+/// use adi_atpg::{FillStrategy, TestCube};
+///
+/// let cube = TestCube::from_options(vec![Some(true), None, None]);
+/// let p = FillStrategy::Zeros.fill(&cube, 0);
+/// assert_eq!(p.as_slice(), &[true, false, false]);
+/// let q = FillStrategy::Random.fill(&cube, 42);
+/// assert!(cube.covers(&q));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum FillStrategy {
+    /// Fill X inputs with seeded pseudo-random values.
+    #[default]
+    Random,
+    /// Fill X inputs with 0.
+    Zeros,
+    /// Fill X inputs with 1.
+    Ones,
+    /// Fill X inputs alternating 0,1,0,1,… in input order.
+    Alternating,
+}
+
+impl FillStrategy {
+    /// Completes `cube` into a full pattern. For [`FillStrategy::Random`]
+    /// the result is a deterministic function of `(cube, seed)`.
+    pub fn fill(self, cube: &TestCube, seed: u64) -> Pattern {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut alt = false;
+        let bits = cube
+            .as_slice()
+            .iter()
+            .map(|&v| match v {
+                Some(b) => b,
+                None => match self {
+                    FillStrategy::Random => rng.gen::<bool>(),
+                    FillStrategy::Zeros => false,
+                    FillStrategy::Ones => true,
+                    FillStrategy::Alternating => {
+                        alt = !alt;
+                        alt
+                    }
+                },
+            })
+            .collect();
+        Pattern::new(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube() -> TestCube {
+        TestCube::from_options(vec![None, Some(false), None, None, Some(true)])
+    }
+
+    #[test]
+    fn all_strategies_respect_specified_bits() {
+        for s in [
+            FillStrategy::Random,
+            FillStrategy::Zeros,
+            FillStrategy::Ones,
+            FillStrategy::Alternating,
+        ] {
+            let p = s.fill(&cube(), 7);
+            assert!(cube().covers(&p), "{s:?}");
+            assert_eq!(p.get(1), false);
+            assert_eq!(p.get(4), true);
+        }
+    }
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = FillStrategy::Zeros.fill(&cube(), 0);
+        assert_eq!(z.as_slice(), &[false, false, false, false, true]);
+        let o = FillStrategy::Ones.fill(&cube(), 0);
+        assert_eq!(o.as_slice(), &[true, false, true, true, true]);
+    }
+
+    #[test]
+    fn alternating_toggles_in_input_order() {
+        let a = FillStrategy::Alternating.fill(&cube(), 0);
+        // X positions are 0, 2, 3 -> filled 1, 0, 1? First toggle yields true.
+        assert_eq!(a.get(0), true);
+        assert_eq!(a.get(2), false);
+        assert_eq!(a.get(3), true);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let p1 = FillStrategy::Random.fill(&cube(), 99);
+        let p2 = FillStrategy::Random.fill(&cube(), 99);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn random_varies_with_seed() {
+        // Over 16 seeds at least two different completions must appear for
+        // a cube with 3 free inputs.
+        let patterns: std::collections::HashSet<String> = (0..16)
+            .map(|s| FillStrategy::Random.fill(&cube(), s).to_string())
+            .collect();
+        assert!(patterns.len() > 1);
+    }
+}

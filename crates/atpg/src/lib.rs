@@ -1,0 +1,60 @@
+//! PODEM-based automatic test pattern generation (ATPG).
+//!
+//! This crate implements the deterministic test generator that the ADI
+//! reproduction drives with differently ordered fault lists:
+//!
+//! * [`value`] — Kleene 3-valued logic ([`T3`]) and the D-calculus view
+//!   used by PODEM (separate good-machine and faulty-machine 3-valued
+//!   simulations).
+//! * [`Scoap`] — SCOAP controllability/observability measures guiding the
+//!   PODEM backtrace.
+//! * [`Podem`] — the path-oriented decision making test generator with
+//!   X-path checking and a backtrack limit, returning a [`TestCube`]
+//!   (possibly partial input assignment), an untestability proof, or an
+//!   abort.
+//! * [`FillStrategy`] — completion of unspecified cube inputs.
+//! * [`testgen`] — the ordered-fault-list driver with fault dropping:
+//!   exactly the "test generation procedure without dynamic compaction
+//!   heuristics" of the paper's Section 4.
+//!
+//! # Examples
+//!
+//! Generate a test for a specific stuck-at fault:
+//!
+//! ```
+//! use adi_netlist::{bench_format, fault::Fault};
+//! use adi_atpg::{Podem, PodemConfig, PodemOutcome};
+//!
+//! # fn main() -> Result<(), adi_netlist::NetlistError> {
+//! let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
+//! let y = n.find_node("y").unwrap();
+//! let fault = Fault::stem_at(y, false); // y stuck-at-0
+//! let mut podem = Podem::new(&n, PodemConfig::default());
+//! match podem.generate(fault) {
+//!     PodemOutcome::Test(cube) => {
+//!         // Detecting y/0 requires a = b = 1.
+//!         assert_eq!(cube.get(0), Some(true));
+//!         assert_eq!(cube.get(1), Some(true));
+//!     }
+//!     other => panic!("expected a test, got {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod fill;
+mod podem;
+mod scoap;
+pub mod testgen;
+pub mod value;
+
+pub use cube::TestCube;
+pub use fill::FillStrategy;
+pub use podem::{Podem, PodemConfig, PodemOutcome, PodemStats};
+pub use scoap::Scoap;
+pub use testgen::{FaultStatus, TestGenConfig, TestGenResult, TestGenerator};
+pub use value::T3;

@@ -1,0 +1,644 @@
+//! PODEM: path-oriented decision making test generation (Goel, 1981).
+//!
+//! The generator maintains two 3-valued simulations — the good machine and
+//! the machine with the target fault injected — and searches over primary
+//! input assignments only. Each iteration:
+//!
+//! 1. If a fault effect (D/D̄) reaches a primary output, a test is found.
+//! 2. Otherwise an **objective** is chosen: excite the fault if it is not
+//!    yet excited, else advance a D-frontier gate with the lowest SCOAP
+//!    observability.
+//! 3. **Backtrace** maps the objective to an unassigned primary input,
+//!    guided by SCOAP controllability.
+//! 4. The input is assigned and both machines are re-simulated. Conflicts
+//!    (fault unexcitable, empty D-frontier, or no X-path to any output)
+//!    trigger chronological backtracking with a configurable limit.
+
+use adi_netlist::fault::{Fault, FaultSite};
+use adi_netlist::{GateKind, Netlist, NodeId};
+
+use crate::value::{eval_t3, T3};
+use crate::{Scoap, TestCube};
+
+/// Tuning knobs for [`Podem`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PodemConfig {
+    /// Maximum number of backtracks before the target is abandoned as
+    /// [`PodemOutcome::Aborted`].
+    pub backtrack_limit: u32,
+}
+
+impl Default for PodemConfig {
+    /// 1000 backtracks, a generous budget for circuits of the paper's
+    /// scale.
+    fn default() -> Self {
+        PodemConfig {
+            backtrack_limit: 1000,
+        }
+    }
+}
+
+/// The outcome of one PODEM run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PodemOutcome {
+    /// A test cube whose every completion detects the target fault.
+    Test(TestCube),
+    /// The fault is provably untestable (redundant).
+    Untestable,
+    /// The backtrack limit was exhausted before a verdict.
+    Aborted,
+}
+
+impl PodemOutcome {
+    /// Returns the test cube if a test was found.
+    pub fn test(self) -> Option<TestCube> {
+        match self {
+            PodemOutcome::Test(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Counters accumulated across [`Podem::generate`] calls.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PodemStats {
+    /// Total targets attempted.
+    pub targets: u64,
+    /// Tests found.
+    pub tests: u64,
+    /// Untestable proofs.
+    pub untestable: u64,
+    /// Aborted targets.
+    pub aborted: u64,
+    /// Total backtracks across all targets.
+    pub backtracks: u64,
+    /// Total primary-input decisions across all targets.
+    pub decisions: u64,
+}
+
+/// The PODEM test generator, reusable across many target faults of one
+/// netlist.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Clone, Debug)]
+pub struct Podem<'a> {
+    netlist: &'a Netlist,
+    scoap: Scoap,
+    config: PodemConfig,
+    stats: PodemStats,
+    good: Vec<T3>,
+    faulty: Vec<T3>,
+    pi_values: Vec<T3>,
+    pi_index_of: Vec<usize>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    pi: usize,
+    value: bool,
+    flipped: bool,
+}
+
+impl<'a> Podem<'a> {
+    /// Creates a generator for `netlist`, precomputing SCOAP measures.
+    pub fn new(netlist: &'a Netlist, config: PodemConfig) -> Self {
+        let mut pi_index_of = vec![usize::MAX; netlist.num_nodes()];
+        for (i, &pi) in netlist.inputs().iter().enumerate() {
+            pi_index_of[pi.index()] = i;
+        }
+        Podem {
+            netlist,
+            scoap: Scoap::compute(netlist),
+            config,
+            stats: PodemStats::default(),
+            good: vec![T3::X; netlist.num_nodes()],
+            faulty: vec![T3::X; netlist.num_nodes()],
+            pi_values: vec![T3::X; netlist.num_inputs()],
+            pi_index_of,
+        }
+    }
+
+    /// Cumulative statistics over all `generate` calls.
+    pub fn stats(&self) -> PodemStats {
+        self.stats
+    }
+
+    /// The SCOAP measures used by backtrace (exposed for diagnostics).
+    pub fn scoap(&self) -> &Scoap {
+        &self.scoap
+    }
+
+    /// Attempts to generate a test for `fault`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault references nodes outside the netlist.
+    pub fn generate(&mut self, fault: Fault) -> PodemOutcome {
+        self.stats.targets += 1;
+        self.pi_values.fill(T3::X);
+        let mut stack: Vec<Decision> = Vec::new();
+        let mut backtracks: u32 = 0;
+
+        loop {
+            self.simulate(fault);
+            if self.detected() {
+                self.stats.tests += 1;
+                return PodemOutcome::Test(TestCube::from_t3(&self.pi_values));
+            }
+
+            let objective = if self.conflict(fault) {
+                None
+            } else {
+                self.objective(fault)
+            };
+
+            if let Some((node, value)) = objective {
+                if let Some((pi, v)) = self.backtrace(node, value) {
+                    self.stats.decisions += 1;
+                    self.pi_values[pi] = T3::from_bool(v);
+                    stack.push(Decision {
+                        pi,
+                        value: v,
+                        flipped: false,
+                    });
+                    continue;
+                }
+            }
+
+            // Conflict (or no objective reachable): chronological backtrack.
+            loop {
+                match stack.pop() {
+                    None => {
+                        self.stats.untestable += 1;
+                        return PodemOutcome::Untestable;
+                    }
+                    Some(d) if !d.flipped => {
+                        backtracks += 1;
+                        self.stats.backtracks += 1;
+                        if backtracks > self.config.backtrack_limit {
+                            self.stats.aborted += 1;
+                            return PodemOutcome::Aborted;
+                        }
+                        self.pi_values[d.pi] = T3::from_bool(!d.value);
+                        stack.push(Decision {
+                            pi: d.pi,
+                            value: !d.value,
+                            flipped: true,
+                        });
+                        break;
+                    }
+                    Some(d) => {
+                        self.pi_values[d.pi] = T3::X;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-simulates both machines from the current PI assignment.
+    fn simulate(&mut self, fault: Fault) {
+        let nl = self.netlist;
+        for (i, &pi) in nl.inputs().iter().enumerate() {
+            self.good[pi.index()] = self.pi_values[i];
+            self.faulty[pi.index()] = self.pi_values[i];
+        }
+        let stuck = T3::from_bool(fault.stuck_value());
+        for &node in nl.topo_order() {
+            let kind = nl.kind(node);
+            if kind != GateKind::Input {
+                let gv = eval_t3(kind, nl.fanins(node), |f| self.good[f.index()]);
+                self.good[node.index()] = gv;
+            }
+            // Faulty machine with injection.
+            let fv = match fault.site() {
+                FaultSite::Stem(n) if n == node => stuck,
+                FaultSite::Branch { gate, pin } if gate == node => {
+                    eval_branch_t3(kind, nl.fanins(node), pin as usize, stuck, &self.faulty)
+                }
+                _ => {
+                    if kind == GateKind::Input {
+                        self.faulty[node.index()]
+                    } else {
+                        eval_t3(kind, nl.fanins(node), |f| self.faulty[f.index()])
+                    }
+                }
+            };
+            self.faulty[node.index()] = fv;
+        }
+    }
+
+    /// True if some primary output shows a binary good/faulty discrepancy.
+    fn detected(&self) -> bool {
+        self.netlist.outputs().iter().any(|&o| {
+            let g = self.good[o.index()];
+            let f = self.faulty[o.index()];
+            g.is_binary() && f.is_binary() && g != f
+        })
+    }
+
+    /// The good-machine node whose value excites the fault, with the value
+    /// it must take.
+    fn excitation(&self, fault: Fault) -> (NodeId, bool) {
+        match fault.site() {
+            FaultSite::Stem(n) => (n, !fault.stuck_value()),
+            FaultSite::Branch { gate, pin } => {
+                (self.netlist.fanins(gate)[pin as usize], !fault.stuck_value())
+            }
+        }
+    }
+
+    /// Conflict detection: the current partial assignment can no longer
+    /// lead to a test.
+    ///
+    /// Three-valued simulation is monotone in assignment refinement, so a
+    /// binary node value is final: once the excitation line is pinned to
+    /// the stuck value, or every effect path is blocked, no completion of
+    /// the assignment can detect the fault.
+    fn conflict(&self, fault: Fault) -> bool {
+        let (site, needed) = self.excitation(fault);
+        let gv = self.good[site.index()];
+        if gv.is_binary() && gv != T3::from_bool(needed) {
+            return true; // fault can never be excited
+        }
+        if !gv.is_binary() {
+            return false; // not excited yet; excitation is the objective
+        }
+        // Excited: a fault effect exists on the fault line. It must still
+        // be able to reach a primary output. A stem fault places D on its
+        // node; a branch fault places D on the (un-modelled) branch line,
+        // so the reading gate acts as its frontier entry.
+        if self.effect_at_output() {
+            return false; // handled by `detected`, defensive
+        }
+        let frontier = self.d_frontier(fault);
+        if frontier.is_empty() {
+            // For a stem fault the stem itself may still be an observable
+            // PO; that case is `detected`. Nothing can advance the effect.
+            return true;
+        }
+        !self.x_path_exists(&frontier)
+    }
+
+    fn effect_at_output(&self) -> bool {
+        self.netlist.outputs().iter().any(|&o| {
+            let g = self.good[o.index()];
+            let f = self.faulty[o.index()];
+            g.is_binary() && f.is_binary() && g != f
+        })
+    }
+
+    /// Gates whose output is still undetermined in some machine while at
+    /// least one input carries a fault effect. The branch-fault gate
+    /// itself belongs to the frontier while the branch line carries D and
+    /// the gate output is undetermined.
+    fn d_frontier(&self, fault: Fault) -> Vec<NodeId> {
+        let nl = self.netlist;
+        let branch_gate = match fault.site() {
+            FaultSite::Branch { gate, .. } => {
+                let (driver, needed) = self.excitation(fault);
+                let excited = self.good[driver.index()] == T3::from_bool(needed);
+                excited.then_some(gate)
+            }
+            FaultSite::Stem(_) => None,
+        };
+        nl.node_ids()
+            .filter(|&n| {
+                let out_unknown =
+                    self.good[n.index()] == T3::X || self.faulty[n.index()] == T3::X;
+                if !out_unknown || nl.kind(n) == GateKind::Input {
+                    return false;
+                }
+                if branch_gate == Some(n) {
+                    return true;
+                }
+                nl.fanins(n).iter().any(|&f| {
+                    let g = self.good[f.index()];
+                    let fv = self.faulty[f.index()];
+                    g.is_binary() && fv.is_binary() && g != fv
+                })
+            })
+            .collect()
+    }
+
+    /// True if some D-frontier gate reaches a primary output through nodes
+    /// that are still X in at least one machine.
+    fn x_path_exists(&self, frontier: &[NodeId]) -> bool {
+        let nl = self.netlist;
+        let mut visited = vec![false; nl.num_nodes()];
+        let mut stack: Vec<NodeId> = frontier.to_vec();
+        while let Some(n) = stack.pop() {
+            if visited[n.index()] {
+                continue;
+            }
+            visited[n.index()] = true;
+            let unknown =
+                self.good[n.index()] == T3::X || self.faulty[n.index()] == T3::X;
+            if !unknown && !frontier.contains(&n) {
+                continue;
+            }
+            if nl.is_output(n) {
+                return true;
+            }
+            stack.extend_from_slice(nl.fanouts(n));
+        }
+        false
+    }
+
+    /// Chooses the next objective `(node, value)`.
+    fn objective(&self, fault: Fault) -> Option<(NodeId, bool)> {
+        let (site, needed) = self.excitation(fault);
+        if self.good[site.index()] == T3::X {
+            return Some((site, needed));
+        }
+        // Advance the easiest-to-observe D-frontier gate that still has an
+        // unassigned side input.
+        let mut frontier = self.d_frontier(fault);
+        frontier.sort_by_key(|&g| self.scoap.co(g));
+        for gate in frontier {
+            let kind = self.netlist.kind(gate);
+            let fanins = self.netlist.fanins(gate);
+            let x_inputs: Vec<NodeId> = fanins
+                .iter()
+                .copied()
+                .filter(|&f| self.good[f.index()] == T3::X)
+                .collect();
+            let target = match kind.controlling_value() {
+                Some(c) => {
+                    // All X side-inputs eventually need the non-controlling
+                    // value; pursue the hardest first (standard heuristic).
+                    let v = !c;
+                    x_inputs
+                        .into_iter()
+                        .max_by_key(|&f| self.scoap.cc(f, v))
+                        .map(|f| (f, v))
+                }
+                None => {
+                    // Parity / single-input gates: any X input propagates;
+                    // choose the cheapest overall assignment.
+                    x_inputs
+                        .into_iter()
+                        .map(|f| {
+                            let zero_cheaper = self.scoap.cc0(f) <= self.scoap.cc1(f);
+                            (f, !zero_cheaper)
+                        })
+                        .next()
+                }
+            };
+            if target.is_some() {
+                return target;
+            }
+        }
+        None
+    }
+
+    /// Maps an objective to a primary-input assignment along X-valued
+    /// lines.
+    fn backtrace(&self, mut node: NodeId, mut value: bool) -> Option<(usize, bool)> {
+        let nl = self.netlist;
+        loop {
+            let kind = nl.kind(node);
+            if kind == GateKind::Input {
+                let pi = self.pi_index_of[node.index()];
+                debug_assert_ne!(pi, usize::MAX);
+                if self.pi_values[pi] == T3::X {
+                    return Some((pi, value));
+                }
+                return None; // objective already blocked
+            }
+            if matches!(kind, GateKind::Const0 | GateKind::Const1) {
+                return None;
+            }
+            let fanins = nl.fanins(node);
+            let v_in = value != kind.is_inverting();
+            let x_fanins: Vec<NodeId> = fanins
+                .iter()
+                .copied()
+                .filter(|&f| self.good[f.index()] == T3::X)
+                .collect();
+            if x_fanins.is_empty() {
+                return None;
+            }
+            let next = match kind.controlling_value() {
+                Some(c) => {
+                    if v_in == c {
+                        // One input at the controlling value suffices:
+                        // easiest.
+                        x_fanins
+                            .into_iter()
+                            .min_by_key(|&f| self.scoap.cc(f, v_in))
+                    } else {
+                        // All inputs must be non-controlling: hardest first.
+                        x_fanins
+                            .into_iter()
+                            .max_by_key(|&f| self.scoap.cc(f, v_in))
+                    }
+                }
+                None => x_fanins
+                    .into_iter()
+                    .min_by_key(|&f| self.scoap.cc(f, v_in).min(self.scoap.cc(f, !v_in))),
+            };
+            node = next.expect("nonempty X fanins");
+            value = v_in;
+        }
+    }
+}
+
+/// Evaluates a gate in ternary logic with one fanin pin forced to `stuck`
+/// (branch-fault injection for the faulty machine).
+fn eval_branch_t3(kind: GateKind, fanins: &[NodeId], pin: usize, stuck: T3, faulty: &[T3]) -> T3 {
+    let value = |i: usize| {
+        if i == pin {
+            stuck
+        } else {
+            faulty[fanins[i].index()]
+        }
+    };
+    match kind {
+        GateKind::Buf => value(0),
+        GateKind::Not => !value(0),
+        GateKind::And => (0..fanins.len()).fold(T3::One, |acc, i| acc & value(i)),
+        GateKind::Nand => !(0..fanins.len()).fold(T3::One, |acc, i| acc & value(i)),
+        GateKind::Or => (0..fanins.len()).fold(T3::Zero, |acc, i| acc | value(i)),
+        GateKind::Nor => !(0..fanins.len()).fold(T3::Zero, |acc, i| acc | value(i)),
+        GateKind::Xor => (0..fanins.len()).fold(T3::Zero, |acc, i| acc ^ value(i)),
+        GateKind::Xnor => !(0..fanins.len()).fold(T3::Zero, |acc, i| acc ^ value(i)),
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 => {
+            panic!("{kind:?} has no fanin pins")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adi_netlist::bench_format;
+    use adi_netlist::fault::FaultList;
+    use adi_sim::{FaultSimulator, PatternSet};
+
+    const C17: &str = "
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    #[test]
+    fn every_c17_fault_gets_a_verified_test() {
+        let n = bench_format::parse(C17, "c17").unwrap();
+        let faults = FaultList::full(&n);
+        let sim = FaultSimulator::new(&n, &faults);
+        let mut podem = Podem::new(&n, PodemConfig::default());
+        for (id, fault) in faults.iter() {
+            match podem.generate(fault) {
+                PodemOutcome::Test(cube) => {
+                    // Every completion must detect the fault; check two.
+                    for fill in [crate::FillStrategy::Zeros, crate::FillStrategy::Ones] {
+                        let pattern = fill.fill(&cube, 0);
+                        assert!(
+                            sim.detects(&pattern, id),
+                            "cube {cube} (filled {fill:?}) misses fault {fault}"
+                        );
+                    }
+                }
+                other => panic!("c17 fault {fault} not tested: {other:?}"),
+            }
+        }
+        let stats = podem.stats();
+        assert_eq!(stats.targets, faults.len() as u64);
+        assert_eq!(stats.tests, faults.len() as u64);
+        assert_eq!(stats.untestable + stats.aborted, 0);
+    }
+
+    #[test]
+    fn redundant_fault_is_proven_untestable() {
+        // y = OR(a, NOT(a)) = 1 always: y s-a-1 is redundant.
+        let src = "INPUT(a)\nOUTPUT(y)\nna = NOT(a)\ny = OR(a, na)\n";
+        let n = bench_format::parse(src, "taut").unwrap();
+        let y = n.find_node("y").unwrap();
+        let mut podem = Podem::new(&n, PodemConfig::default());
+        assert_eq!(
+            podem.generate(Fault::stem_at(y, true)),
+            PodemOutcome::Untestable
+        );
+        // But y s-a-0 is testable (any pattern works).
+        assert!(matches!(
+            podem.generate(Fault::stem_at(y, false)),
+            PodemOutcome::Test(_)
+        ));
+    }
+
+    #[test]
+    fn branch_fault_testable_when_stem_redundantly_masked() {
+        // Classic: s = a fans to two XOR-reconvergent paths; branch faults
+        // behave differently from stem faults.
+        let src = "
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+p = AND(a, b)
+q = OR(a, b)
+y = XOR(p, q)
+";
+        let n = bench_format::parse(src, "reconv").unwrap();
+        let faults = FaultList::full(&n);
+        let sim = FaultSimulator::new(&n, &faults);
+        let mut podem = Podem::new(&n, PodemConfig::default());
+        for (id, fault) in faults.iter() {
+            if let PodemOutcome::Test(cube) = podem.generate(fault) {
+                let pattern = crate::FillStrategy::Zeros.fill(&cube, 0);
+                assert!(sim.detects(&pattern, id), "fault {fault}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_cross_check_on_reconvergent_circuit() {
+        // PODEM's testable/untestable verdicts must agree with exhaustive
+        // fault simulation.
+        let src = "
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+t = AND(a, b)
+u = NOT(b)
+v = AND(u, c)
+y = OR(t, v)
+";
+        let n = bench_format::parse(src, "rc").unwrap();
+        let faults = FaultList::full(&n);
+        let patterns = PatternSet::exhaustive(3);
+        let sim = FaultSimulator::new(&n, &faults);
+        let matrix = sim.no_drop_matrix(&patterns);
+        let mut podem = Podem::new(&n, PodemConfig::default());
+        for (id, fault) in faults.iter() {
+            let testable = matrix.detected_any(id);
+            match podem.generate(fault) {
+                PodemOutcome::Test(cube) => {
+                    assert!(testable, "PODEM found test for undetectable {fault}");
+                    let p = crate::FillStrategy::Random.fill(&cube, 5);
+                    assert!(sim.detects(&p, id), "bad test for {fault}");
+                }
+                PodemOutcome::Untestable => {
+                    assert!(!testable, "PODEM wrongly proved {fault} redundant");
+                }
+                PodemOutcome::Aborted => panic!("abort on tiny circuit for {fault}"),
+            }
+        }
+    }
+
+    #[test]
+    fn backtrack_limit_triggers_abort_or_verdict() {
+        let n = bench_format::parse(C17, "c17").unwrap();
+        let faults = FaultList::full(&n);
+        let mut podem = Podem::new(
+            &n,
+            PodemConfig {
+                backtrack_limit: 0,
+            },
+        );
+        // With zero backtracks allowed, every outcome must still be sound:
+        // any Test produced must be correct.
+        let sim = FaultSimulator::new(&n, &faults);
+        for (id, fault) in faults.iter() {
+            if let PodemOutcome::Test(cube) = podem.generate(fault) {
+                let p = crate::FillStrategy::Zeros.fill(&cube, 0);
+                assert!(sim.detects(&p, id));
+            }
+        }
+    }
+
+    #[test]
+    fn xor_propagation_works() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n";
+        let n = bench_format::parse(src, "x2").unwrap();
+        let a = n.find_node("a").unwrap();
+        let mut podem = Podem::new(&n, PodemConfig::default());
+        let outcome = podem.generate(Fault::stem_at(a, false));
+        let cube = outcome.test().expect("a/0 is testable through XOR");
+        assert_eq!(cube.get(0), Some(true)); // a must be 1 to excite s-a-0
+    }
+
+    #[test]
+    fn input_stem_fault_on_output_node() {
+        // Fault directly on a PO that is also a PI.
+        let src = "INPUT(a)\nOUTPUT(a)\n";
+        let n = bench_format::parse(src, "wire").unwrap();
+        let a = n.find_node("a").unwrap();
+        let mut podem = Podem::new(&n, PodemConfig::default());
+        let cube = podem
+            .generate(Fault::stem_at(a, false))
+            .test()
+            .expect("testable");
+        assert_eq!(cube.get(0), Some(true));
+    }
+}

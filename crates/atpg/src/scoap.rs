@@ -1,0 +1,302 @@
+//! SCOAP testability measures (Goldstein's controllability/observability).
+//!
+//! `CC0(n)` / `CC1(n)` estimate the difficulty of setting node `n` to 0/1;
+//! `CO(n)` estimates the difficulty of observing `n` at a primary output.
+//! PODEM's backtrace uses controllability to pick the cheapest (or, for
+//! all-inputs-required objectives, the most expensive) fanin to pursue, and
+//! the objective selection prefers D-frontier gates with low observability.
+
+use adi_netlist::{GateKind, Netlist, NodeId};
+
+/// "Infinite" cost marker; saturating arithmetic keeps sums below it.
+pub const SCOAP_INF: u32 = u32::MAX / 4;
+
+fn sat_add(a: u32, b: u32) -> u32 {
+    a.saturating_add(b).min(SCOAP_INF)
+}
+
+/// SCOAP controllability and observability values for one netlist.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::bench_format;
+/// use adi_atpg::Scoap;
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
+/// let s = Scoap::compute(&n);
+/// let y = n.find_node("y").unwrap();
+/// let a = n.find_node("a").unwrap();
+/// // Setting the AND output to 1 requires both inputs: costlier than 0.
+/// assert!(s.cc1(y) > s.cc0(y));
+/// assert_eq!(s.co(y), 0); // y is a primary output
+/// assert!(s.co(a) > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Scoap {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+impl Scoap {
+    /// Computes all measures for `netlist`.
+    pub fn compute(netlist: &Netlist) -> Self {
+        let n = netlist.num_nodes();
+        let mut cc0 = vec![SCOAP_INF; n];
+        let mut cc1 = vec![SCOAP_INF; n];
+
+        for &node in netlist.topo_order() {
+            let i = node.index();
+            let fanins = netlist.fanins(node);
+            match netlist.kind(node) {
+                GateKind::Input => {
+                    cc0[i] = 1;
+                    cc1[i] = 1;
+                }
+                GateKind::Const0 => {
+                    cc0[i] = 0;
+                    cc1[i] = SCOAP_INF;
+                }
+                GateKind::Const1 => {
+                    cc0[i] = SCOAP_INF;
+                    cc1[i] = 0;
+                }
+                GateKind::Buf => {
+                    cc0[i] = sat_add(cc0[fanins[0].index()], 1);
+                    cc1[i] = sat_add(cc1[fanins[0].index()], 1);
+                }
+                GateKind::Not => {
+                    cc0[i] = sat_add(cc1[fanins[0].index()], 1);
+                    cc1[i] = sat_add(cc0[fanins[0].index()], 1);
+                }
+                GateKind::And | GateKind::Nand => {
+                    let all_ones = fanins
+                        .iter()
+                        .fold(0u32, |acc, f| sat_add(acc, cc1[f.index()]));
+                    let one_zero = fanins
+                        .iter()
+                        .map(|f| cc0[f.index()])
+                        .min()
+                        .unwrap_or(SCOAP_INF);
+                    let (natural1, natural0) = (sat_add(all_ones, 1), sat_add(one_zero, 1));
+                    if netlist.kind(node) == GateKind::And {
+                        cc1[i] = natural1;
+                        cc0[i] = natural0;
+                    } else {
+                        cc0[i] = natural1;
+                        cc1[i] = natural0;
+                    }
+                }
+                GateKind::Or | GateKind::Nor => {
+                    let all_zeros = fanins
+                        .iter()
+                        .fold(0u32, |acc, f| sat_add(acc, cc0[f.index()]));
+                    let one_one = fanins
+                        .iter()
+                        .map(|f| cc1[f.index()])
+                        .min()
+                        .unwrap_or(SCOAP_INF);
+                    let (natural0, natural1) = (sat_add(all_zeros, 1), sat_add(one_one, 1));
+                    if netlist.kind(node) == GateKind::Or {
+                        cc0[i] = natural0;
+                        cc1[i] = natural1;
+                    } else {
+                        cc1[i] = natural0;
+                        cc0[i] = natural1;
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // DP over inputs: cheapest cost of even/odd parity.
+                    let mut even = 0u32;
+                    let mut odd = SCOAP_INF;
+                    for f in fanins {
+                        let (c0, c1) = (cc0[f.index()], cc1[f.index()]);
+                        let new_even = sat_add(even, c0).min(sat_add(odd, c1));
+                        let new_odd = sat_add(even, c1).min(sat_add(odd, c0));
+                        even = new_even;
+                        odd = new_odd;
+                    }
+                    let (parity0, parity1) = (sat_add(even, 1), sat_add(odd, 1));
+                    if netlist.kind(node) == GateKind::Xor {
+                        cc0[i] = parity0;
+                        cc1[i] = parity1;
+                    } else {
+                        cc0[i] = parity1;
+                        cc1[i] = parity0;
+                    }
+                }
+            }
+        }
+
+        // Observability, in reverse topological order.
+        let mut co = vec![SCOAP_INF; n];
+        for &node in netlist.topo_order().iter().rev() {
+            let i = node.index();
+            if netlist.is_output(node) {
+                co[i] = 0;
+            }
+            for &reader in netlist.fanouts(node) {
+                let co_reader = co[reader.index()];
+                if co_reader >= SCOAP_INF {
+                    continue;
+                }
+                let fanins = netlist.fanins(reader);
+                let side_cost: u32 = match netlist.kind(reader) {
+                    GateKind::Buf | GateKind::Not => 0,
+                    GateKind::And | GateKind::Nand => fanins
+                        .iter()
+                        .filter(|&&f| f != node)
+                        .fold(0u32, |acc, f| sat_add(acc, cc1[f.index()])),
+                    GateKind::Or | GateKind::Nor => fanins
+                        .iter()
+                        .filter(|&&f| f != node)
+                        .fold(0u32, |acc, f| sat_add(acc, cc0[f.index()])),
+                    GateKind::Xor | GateKind::Xnor => fanins
+                        .iter()
+                        .filter(|&&f| f != node)
+                        .fold(0u32, |acc, f| {
+                            sat_add(acc, cc0[f.index()].min(cc1[f.index()]))
+                        }),
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+                };
+                let via = sat_add(sat_add(co_reader, side_cost), 1);
+                co[i] = co[i].min(via);
+            }
+        }
+
+        Scoap { cc0, cc1, co }
+    }
+
+    /// Cost of driving `node` to 0.
+    #[inline]
+    pub fn cc0(&self, node: NodeId) -> u32 {
+        self.cc0[node.index()]
+    }
+
+    /// Cost of driving `node` to 1.
+    #[inline]
+    pub fn cc1(&self, node: NodeId) -> u32 {
+        self.cc1[node.index()]
+    }
+
+    /// Cost of driving `node` to `value`.
+    #[inline]
+    pub fn cc(&self, node: NodeId, value: bool) -> u32 {
+        if value {
+            self.cc1(node)
+        } else {
+            self.cc0(node)
+        }
+    }
+
+    /// Cost of observing `node` at a primary output.
+    #[inline]
+    pub fn co(&self, node: NodeId) -> u32 {
+        self.co[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adi_netlist::bench_format;
+
+    #[test]
+    fn primary_inputs_cost_one() {
+        let n = bench_format::parse("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n", "c").unwrap();
+        let s = Scoap::compute(&n);
+        let a = n.find_node("a").unwrap();
+        assert_eq!(s.cc0(a), 1);
+        assert_eq!(s.cc1(a), 1);
+    }
+
+    #[test]
+    fn and_chain_controllability_grows() {
+        // AND tree of depth 2 makes CC1 grow with the number of inputs.
+        let src = "
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+t = AND(a, b)
+u = AND(c, d)
+y = AND(t, u)
+";
+        let n = bench_format::parse(src, "c").unwrap();
+        let s = Scoap::compute(&n);
+        let t = n.find_node("t").unwrap();
+        let y = n.find_node("y").unwrap();
+        assert_eq!(s.cc1(t), 3); // 1 + 1 + 1
+        assert_eq!(s.cc0(t), 2); // min(1,1) + 1
+        assert_eq!(s.cc1(y), 7); // 3 + 3 + 1
+        assert_eq!(s.cc0(y), 3); // min(2,2) + 1
+    }
+
+    #[test]
+    fn inverter_swaps_controllability() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = AND(a, b)\ny = NOT(t)\n";
+        let n = bench_format::parse(src, "c").unwrap();
+        let s = Scoap::compute(&n);
+        let t = n.find_node("t").unwrap();
+        let y = n.find_node("y").unwrap();
+        assert_eq!(s.cc0(y), sat_add(s.cc1(t), 1));
+        assert_eq!(s.cc1(y), sat_add(s.cc0(t), 1));
+    }
+
+    #[test]
+    fn xor_controllability() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n";
+        let n = bench_format::parse(src, "c").unwrap();
+        let s = Scoap::compute(&n);
+        let y = n.find_node("y").unwrap();
+        // Either (0,0)/(1,1) for 0, (0,1)/(1,0) for 1 — all cost 2 + 1.
+        assert_eq!(s.cc0(y), 3);
+        assert_eq!(s.cc1(y), 3);
+    }
+
+    #[test]
+    fn observability_increases_with_depth() {
+        let src = "
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+t = AND(a, b)
+y = AND(t, c)
+";
+        let n = bench_format::parse(src, "c").unwrap();
+        let s = Scoap::compute(&n);
+        let a = n.find_node("a").unwrap();
+        let c = n.find_node("c").unwrap();
+        let y = n.find_node("y").unwrap();
+        assert_eq!(s.co(y), 0);
+        // c observes through one AND (side input t needs CC1(t)=3): 0+3+1.
+        assert_eq!(s.co(c), 4);
+        // a observes through two ANDs: CO(t)=0+1+1=2, then +CC1(b)=1 +1 = 4.
+        assert_eq!(s.co(a), 4);
+    }
+
+    #[test]
+    fn constant_nodes_have_one_sided_cost() {
+        let src = "OUTPUT(y)\nk = CONST0()\ny = NOT(k)\n";
+        let n = bench_format::parse(src, "c").unwrap();
+        let s = Scoap::compute(&n);
+        let k = n.find_node("k").unwrap();
+        assert_eq!(s.cc0(k), 0);
+        assert_eq!(s.cc1(k), SCOAP_INF);
+    }
+
+    #[test]
+    fn dead_node_unobservable() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\ndead = NOT(a)\n";
+        let n = bench_format::parse(src, "c").unwrap();
+        let s = Scoap::compute(&n);
+        let dead = n.find_node("dead").unwrap();
+        assert_eq!(s.co(dead), SCOAP_INF);
+    }
+}

@@ -1,0 +1,58 @@
+//! Cost of computing the accidental detection index (U selection plus
+//! no-drop simulation plus index extraction) — the paper's preprocessing.
+
+use adi_circuits::paper_suite;
+use adi_core::uset::select_u;
+use adi_core::{AdiAnalysis, AdiConfig, USetConfig};
+use adi_netlist::fault::FaultList;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_adi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adi_computation");
+    group.sample_size(10);
+    for circuit in paper_suite().into_iter().filter(|s| s.gates <= 250) {
+        let netlist = circuit.netlist();
+        let faults = FaultList::collapsed(&netlist);
+        group.bench_function(circuit.name, |b| {
+            b.iter(|| {
+                let sel = select_u(&netlist, &faults, USetConfig::default());
+                AdiAnalysis::compute(&netlist, &faults, &sel.patterns, AdiConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_adi_estimators(c: &mut Criterion) {
+    let circuit = paper_suite().into_iter().find(|s| s.name == "irs208").unwrap();
+    let netlist = circuit.netlist();
+    let faults = FaultList::collapsed(&netlist);
+    let sel = select_u(&netlist, &faults, USetConfig::default());
+    let mut group = c.benchmark_group("adi_estimators_irs208");
+    group.sample_size(10);
+    for (label, cfg) in [
+        ("min", AdiConfig::default()),
+        (
+            "mean",
+            AdiConfig {
+                estimator: adi_core::AdiEstimator::MeanNdet,
+                ..AdiConfig::default()
+            },
+        ),
+        (
+            "ndet_cap4",
+            AdiConfig {
+                n_detect_cap: Some(4),
+                ..AdiConfig::default()
+            },
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| AdiAnalysis::compute(&netlist, &faults, &sel.patterns, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adi, bench_adi_estimators);
+criterion_main!(benches);

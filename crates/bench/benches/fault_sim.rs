@@ -1,0 +1,39 @@
+//! Throughput of PPSFP fault simulation: no-drop (the ADI workload),
+//! with dropping, and serial vs. parallel.
+
+use adi_circuits::paper_suite;
+use adi_netlist::fault::FaultList;
+use adi_sim::{FaultSimulator, PatternSet};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_no_drop(c: &mut Criterion) {
+    let circuit = paper_suite().into_iter().find(|s| s.name == "irs208").unwrap();
+    let netlist = circuit.netlist();
+    let faults = FaultList::collapsed(&netlist);
+    let patterns = PatternSet::random(netlist.num_inputs(), 512, 3);
+    let sim = FaultSimulator::new(&netlist, &faults);
+
+    let mut group = c.benchmark_group("fault_sim_no_drop_irs208_512v");
+    group.sample_size(20);
+    group.bench_function("serial", |b| b.iter(|| sim.no_drop_matrix(&patterns)));
+    group.bench_function("parallel4", |b| {
+        b.iter(|| sim.no_drop_matrix_parallel(&patterns, 4))
+    });
+    group.finish();
+}
+
+fn bench_dropping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_sim_dropping_512v");
+    group.sample_size(20);
+    for circuit in paper_suite().into_iter().filter(|s| s.gates <= 300) {
+        let netlist = circuit.netlist();
+        let faults = FaultList::collapsed(&netlist);
+        let patterns = PatternSet::random(netlist.num_inputs(), 512, 3);
+        let sim = FaultSimulator::new(&netlist, &faults);
+        group.bench_function(circuit.name, |b| b.iter(|| sim.with_dropping(&patterns)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_no_drop, bench_dropping);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Throughput of the bit-parallel good-machine simulator.
+
+use adi_circuits::{paper_suite, random_circuit, RandomCircuitConfig};
+use adi_sim::{GoodValues, PatternSet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_logic_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic_sim");
+    for gates in [100usize, 400, 1600] {
+        let netlist = random_circuit(&RandomCircuitConfig::new("bench", 32, gates, 7));
+        let patterns = PatternSet::random(32, 1024, 1);
+        group.throughput(Throughput::Elements((gates * 1024) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, _| {
+            b.iter(|| GoodValues::compute(&netlist, &patterns));
+        });
+    }
+    group.finish();
+}
+
+fn bench_logic_sim_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic_sim_suite");
+    for circuit in paper_suite().into_iter().filter(|s| s.gates <= 300) {
+        let netlist = circuit.netlist();
+        let patterns = PatternSet::random(netlist.num_inputs(), 1024, 1);
+        group.bench_function(circuit.name, |b| {
+            b.iter(|| GoodValues::compute(&netlist, &patterns));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_logic_sim, bench_logic_sim_suite);
+criterion_main!(benches);

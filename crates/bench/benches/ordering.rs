@@ -1,0 +1,25 @@
+//! Cost of constructing the fault orders (the overhead Table 6 shows is
+//! negligible next to ATPG): static sorts vs. the dynamic bucket queue.
+
+use adi_circuits::paper_suite;
+use adi_core::uset::select_u;
+use adi_core::{order_faults, AdiAnalysis, AdiConfig, FaultOrdering, USetConfig};
+use adi_netlist::fault::FaultList;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ordering(c: &mut Criterion) {
+    let circuit = paper_suite().into_iter().find(|s| s.name == "irs420").unwrap();
+    let netlist = circuit.netlist();
+    let faults = FaultList::collapsed(&netlist);
+    let sel = select_u(&netlist, &faults, USetConfig::default());
+    let analysis = AdiAnalysis::compute(&netlist, &faults, &sel.patterns, AdiConfig::default());
+
+    let mut group = c.benchmark_group("ordering_irs420");
+    for ord in FaultOrdering::ALL {
+        group.bench_function(ord.label(), |b| b.iter(|| order_faults(&analysis, ord)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

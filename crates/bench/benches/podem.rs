@@ -1,0 +1,40 @@
+//! PODEM single-target cost across circuits and fault polarities.
+
+use adi_atpg::{Podem, PodemConfig};
+use adi_circuits::{embedded, paper_suite};
+use adi_netlist::fault::FaultList;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_podem_c17(c: &mut Criterion) {
+    let netlist = embedded::c17();
+    let faults = FaultList::collapsed(&netlist);
+    c.bench_function("podem_c17_all_faults", |b| {
+        b.iter(|| {
+            let mut podem = Podem::new(&netlist, PodemConfig::default());
+            for (_, fault) in faults.iter() {
+                let _ = podem.generate(fault);
+            }
+        })
+    });
+}
+
+fn bench_podem_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("podem_first_100_faults");
+    group.sample_size(10);
+    for circuit in paper_suite().into_iter().filter(|s| s.gates <= 250) {
+        let netlist = circuit.netlist();
+        let faults = FaultList::collapsed(&netlist);
+        group.bench_function(circuit.name, |b| {
+            b.iter(|| {
+                let mut podem = Podem::new(&netlist, PodemConfig::default());
+                for (_, fault) in faults.iter().take(100) {
+                    let _ = podem.generate(fault);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_podem_c17, bench_podem_suite);
+criterion_main!(benches);

@@ -1,0 +1,252 @@
+//! Ablation studies beyond the paper's tables:
+//!
+//! 1. **Static vs. dynamic**: `Fdecr`/`F0decr` against `Fdynm`/`F0dynm`
+//!    (the paper states the dynamic orders "proved to be better" without
+//!    tabulating the static ones).
+//! 2. **Estimator**: the paper's conservative min-`ndet` against the mean
+//!    alternative mentioned in Section 2.
+//! 3. **U size**: sensitivity of test counts to the vector budget.
+//! 4. **Post-generation reordering** (ref. \[7\]) applied to the `Forig`
+//!    test set, against generating with `Fdynm` directly.
+//! 5. **Independent-fault-set ordering** (refs. \[2\]/\[5\]) as a historical
+//!    baseline.
+
+use adi_bench::{HarnessOptions, TextTable};
+use adi_core::metrics::average_detection_position;
+use adi_core::pipeline::run_experiment;
+use adi_core::reorder::reorder_tests;
+use adi_core::ffr_order::ffr_independent_order;
+use adi_core::uset::select_u;
+use adi_core::{
+    order_faults, AdiAnalysis, AdiConfig, AdiEstimator, FaultOrdering,
+};
+use adi_atpg::{TestGenConfig, TestGenerator};
+use adi_netlist::fault::FaultList;
+use adi_sim::PatternSet;
+
+fn main() {
+    let mut options = HarnessOptions::from_args();
+    if options.max_gates == HarnessOptions::default().max_gates {
+        options.max_gates = 250; // ablations re-run ATPG many times
+    }
+    let circuits = options.circuits();
+
+    static_vs_dynamic(&options, &circuits);
+    estimator_ablation(&options, &circuits);
+    u_size_sensitivity(&options, &circuits);
+    reorder_vs_adi(&options, &circuits);
+    ffr_baseline(&options, &circuits);
+    random_phase(&options, &circuits);
+}
+
+/// The paper's Section-1 argument: seeding the test set with random
+/// vectors is counter-productive when the goal is a compact test set.
+fn random_phase(options: &HarnessOptions, circuits: &[adi_circuits::PaperCircuit]) {
+    let mut table = TextTable::new(vec![
+        "circuit",
+        "0dynm:tests",
+        "random-phase:tests",
+        "random-phase:ave",
+        "0dynm:ave",
+    ]);
+    for circuit in circuits {
+        eprintln!("[ablation:random-phase] {}", circuit.name);
+        let netlist = circuit.netlist();
+        let faults = FaultList::collapsed(&netlist);
+        let mut ucfg = adi_core::USetConfig::default();
+        if options.quick {
+            ucfg.max_vectors = 1000;
+        }
+        let selection = select_u(&netlist, &faults, ucfg);
+        let analysis = AdiAnalysis::compute(
+            &netlist,
+            &faults,
+            &selection.patterns,
+            AdiConfig {
+                threads: options.threads,
+                ..AdiConfig::default()
+            },
+        );
+        let order = order_faults(&analysis, FaultOrdering::Dynamic0);
+        let gen = TestGenerator::new(&netlist, &faults, TestGenConfig::default());
+        let pure = gen.run(&order);
+        let warmup = PatternSet::random(netlist.num_inputs(), 64, 0xF00D);
+        let phased = gen.run_with_random_phase(&order, &warmup);
+        table.row(vec![
+            circuit.name.to_string(),
+            pure.num_tests().to_string(),
+            phased.num_tests().to_string(),
+            format!(
+                "{:.2}",
+                average_detection_position(&phased.coverage_curve())
+            ),
+            format!("{:.2}", average_detection_position(&pure.coverage_curve())),
+        ]);
+    }
+    println!("Ablation 6: random-pattern warm-up phase vs pure deterministic F0dynm\n");
+    println!("{}", table.render());
+}
+
+fn static_vs_dynamic(options: &HarnessOptions, circuits: &[adi_circuits::PaperCircuit]) {
+    let mut table = TextTable::new(vec![
+        "circuit", "decr", "0decr", "dynm", "0dynm", "ave:decr", "ave:dynm",
+    ]);
+    for circuit in circuits {
+        let netlist = circuit.netlist();
+        let mut cfg = options.experiment_config();
+        cfg.orderings = vec![
+            FaultOrdering::Decr,
+            FaultOrdering::Decr0,
+            FaultOrdering::Dynamic,
+            FaultOrdering::Dynamic0,
+        ];
+        eprintln!("[ablation:static-vs-dynamic] {}", circuit.name);
+        let e = run_experiment(&netlist, &cfg);
+        let t = |o| e.run_for(o).map(|r| r.num_tests().to_string()).unwrap_or_default();
+        let a = |o| {
+            e.run_for(o)
+                .map(|r| format!("{:.2}", r.ave))
+                .unwrap_or_default()
+        };
+        table.row(vec![
+            circuit.name.to_string(),
+            t(FaultOrdering::Decr),
+            t(FaultOrdering::Decr0),
+            t(FaultOrdering::Dynamic),
+            t(FaultOrdering::Dynamic0),
+            a(FaultOrdering::Decr),
+            a(FaultOrdering::Dynamic),
+        ]);
+    }
+    println!("Ablation 1: static (Fdecr/F0decr) vs dynamic (Fdynm/F0dynm) orders\n");
+    println!("{}", table.render());
+}
+
+fn estimator_ablation(options: &HarnessOptions, circuits: &[adi_circuits::PaperCircuit]) {
+    let mut table = TextTable::new(vec!["circuit", "min:tests", "mean:tests", "ndet-cap4:tests"]);
+    for circuit in circuits {
+        eprintln!("[ablation:estimator] {}", circuit.name);
+        let netlist = circuit.netlist();
+        let faults = FaultList::collapsed(&netlist);
+        let mut ucfg = adi_core::USetConfig::default();
+        if options.quick {
+            ucfg.max_vectors = 1000;
+        }
+        let selection = select_u(&netlist, &faults, ucfg);
+        let mut row = vec![circuit.name.to_string()];
+        for adi_cfg in [
+            AdiConfig::default(),
+            AdiConfig {
+                estimator: AdiEstimator::MeanNdet,
+                ..AdiConfig::default()
+            },
+            AdiConfig {
+                n_detect_cap: Some(4),
+                ..AdiConfig::default()
+            },
+        ] {
+            let analysis =
+                AdiAnalysis::compute(&netlist, &faults, &selection.patterns, adi_cfg);
+            let order = order_faults(&analysis, FaultOrdering::Dynamic0);
+            let result =
+                TestGenerator::new(&netlist, &faults, TestGenConfig::default()).run(&order);
+            row.push(result.num_tests().to_string());
+        }
+        table.row(row);
+    }
+    println!("Ablation 2: ADI estimator (F0dynm test counts)\n");
+    println!("{}", table.render());
+}
+
+fn u_size_sensitivity(options: &HarnessOptions, circuits: &[adi_circuits::PaperCircuit]) {
+    let budgets = [64usize, 256, 1024, 4096];
+    let mut header: Vec<String> = vec!["circuit".into()];
+    header.extend(budgets.iter().map(|b| format!("|U|<={b}")));
+    let mut table = TextTable::new(header);
+    for circuit in circuits.iter().take(4) {
+        eprintln!("[ablation:u-size] {}", circuit.name);
+        let netlist = circuit.netlist();
+        let faults = FaultList::collapsed(&netlist);
+        let mut row = vec![circuit.name.to_string()];
+        for &budget in &budgets {
+            let selection = select_u(
+                &netlist,
+                &faults,
+                adi_core::USetConfig {
+                    max_vectors: budget,
+                    exhaustive_threshold: 0,
+                    ..adi_core::USetConfig::default()
+                },
+            );
+            let analysis = AdiAnalysis::compute(
+                &netlist,
+                &faults,
+                &selection.patterns,
+                AdiConfig {
+                    threads: options.threads,
+                    ..AdiConfig::default()
+                },
+            );
+            let order = order_faults(&analysis, FaultOrdering::Dynamic0);
+            let result =
+                TestGenerator::new(&netlist, &faults, TestGenConfig::default()).run(&order);
+            row.push(result.num_tests().to_string());
+        }
+        table.row(row);
+    }
+    println!("Ablation 3: sensitivity of F0dynm test counts to the vector budget\n");
+    println!("{}", table.render());
+}
+
+fn reorder_vs_adi(options: &HarnessOptions, circuits: &[adi_circuits::PaperCircuit]) {
+    let mut table = TextTable::new(vec![
+        "circuit",
+        "AVE orig",
+        "AVE orig+reorder[7]",
+        "AVE dynm",
+    ]);
+    for circuit in circuits {
+        eprintln!("[ablation:reorder] {}", circuit.name);
+        let netlist = circuit.netlist();
+        let faults = FaultList::collapsed(&netlist);
+        let mut cfg = options.experiment_config();
+        cfg.orderings = vec![FaultOrdering::Original, FaultOrdering::Dynamic];
+        let e = run_experiment(&netlist, &cfg);
+        let orig = e.run_for(FaultOrdering::Original).expect("requested");
+        let dynm = e.run_for(FaultOrdering::Dynamic).expect("requested");
+        let tests = PatternSet::from_patterns(netlist.num_inputs(), orig.result.tests.iter());
+        let reordered = reorder_tests(&netlist, &faults, &tests);
+        table.row(vec![
+            circuit.name.to_string(),
+            format!("{:.2}", orig.ave),
+            format!("{:.2}", average_detection_position(&reordered.curve)),
+            format!("{:.2}", dynm.ave),
+        ]);
+    }
+    println!("Ablation 4: post-generation reordering (ref. [7]) vs ADI-ordered generation\n");
+    println!("{}", table.render());
+}
+
+fn ffr_baseline(options: &HarnessOptions, circuits: &[adi_circuits::PaperCircuit]) {
+    let mut table = TextTable::new(vec!["circuit", "ffr[2]:tests", "0dynm:tests"]);
+    for circuit in circuits {
+        eprintln!("[ablation:ffr] {}", circuit.name);
+        let netlist = circuit.netlist();
+        let faults = FaultList::collapsed(&netlist);
+        let ffr_order = ffr_independent_order(&netlist, &faults);
+        let gen = TestGenerator::new(&netlist, &faults, TestGenConfig::default());
+        let ffr_result = gen.run(&ffr_order);
+
+        let mut cfg = options.experiment_config();
+        cfg.orderings = vec![FaultOrdering::Dynamic0];
+        let e = run_experiment(&netlist, &cfg);
+        let dyn0 = e.run_for(FaultOrdering::Dynamic0).expect("requested");
+        table.row(vec![
+            circuit.name.to_string(),
+            ffr_result.num_tests().to_string(),
+            dyn0.num_tests().to_string(),
+        ]);
+    }
+    println!("Ablation 5: independent-fault-set ordering (refs. [2]/[5]) vs F0dynm\n");
+    println!("{}", table.render());
+}

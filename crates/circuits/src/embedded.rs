@@ -1,0 +1,175 @@
+//! Real circuits embedded as `.bench` text.
+
+use adi_netlist::{bench_format, Netlist};
+
+/// ISCAS-85 `c17`: the classic 5-input, 2-output, 6-NAND teaching circuit.
+pub const C17_BENCH: &str = "\
+# c17 (ISCAS-85)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+/// ISCAS-89 `s27`, full sequential description. Parsing expands the three
+/// DFFs into pseudo inputs/outputs (full-scan model), yielding a 7-input,
+/// 4-output combinational core.
+pub const S27_BENCH: &str = "\
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+";
+
+/// A `lion`-style FSM combinational core: 4 inputs (2 primary + 2 state),
+/// 3 outputs (1 primary + 2 next-state), 11 gates.
+///
+/// The original MCNC `lion` state table is not redistributable here; this
+/// stand-in has the same interface shape (4 inputs, ~40 collapsed faults)
+/// and a deliberately non-uniform `ndet(u)` profile so the paper's
+/// Section-2 walkthrough is meaningful. See `DESIGN.md`.
+pub const LION_BENCH: &str = "\
+# lion-style FSM combinational core (stand-in, see DESIGN.md)
+INPUT(x1)
+INPUT(x2)
+INPUT(y1)
+INPUT(y0)
+OUTPUT(z)
+OUTPUT(Y1)
+OUTPUT(Y0)
+nx1 = NOT(x1)
+nx2 = NOT(x2)
+ny0 = NOT(y0)
+a = AND(x1, ny0)
+b = AND(nx1, y0)
+Y1 = OR(a, b)
+c = AND(x2, y1)
+d = NOR(x2, y1)
+Y0 = NOR(c, d)
+e = AND(y1, y0)
+z = OR(e, nx2)
+";
+
+/// Parses and returns `c17`.
+///
+/// # Panics
+///
+/// Never panics for the embedded text (verified by tests).
+pub fn c17() -> Netlist {
+    bench_format::parse(C17_BENCH, "c17").expect("embedded c17 is valid")
+}
+
+/// Parses and returns the scan-expanded combinational core of `s27`.
+pub fn s27() -> Netlist {
+    bench_format::parse(S27_BENCH, "s27").expect("embedded s27 is valid")
+}
+
+/// Parses and returns the `lion`-style core.
+pub fn lion() -> Netlist {
+    bench_format::parse(LION_BENCH, "lion").expect("embedded lion is valid")
+}
+
+/// All embedded circuits with their names.
+pub fn all() -> Vec<Netlist> {
+    vec![c17(), s27(), lion()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adi_netlist::fault::FaultList;
+    use adi_sim::{FaultSimulator, PatternSet};
+
+    #[test]
+    fn c17_shape() {
+        let n = c17();
+        assert_eq!(n.num_inputs(), 5);
+        assert_eq!(n.num_outputs(), 2);
+        assert_eq!(n.num_gates(), 6);
+        assert_eq!(n.max_level(), 3);
+    }
+
+    #[test]
+    fn s27_scan_expansion() {
+        let n = s27();
+        // 4 PIs + 3 pseudo-PIs (DFF outputs).
+        assert_eq!(n.num_inputs(), 7);
+        // 1 PO + 3 pseudo-POs (DFF inputs).
+        assert_eq!(n.num_outputs(), 4);
+        assert_eq!(n.num_gates(), 10);
+    }
+
+    #[test]
+    fn lion_shape_and_fault_count() {
+        let n = lion();
+        assert_eq!(n.num_inputs(), 4);
+        assert_eq!(n.num_outputs(), 3);
+        let collapsed = FaultList::collapsed(&n);
+        // The paper's lion has 40 target faults; the stand-in is close.
+        assert!(
+            (30..=50).contains(&collapsed.len()),
+            "collapsed faults = {}",
+            collapsed.len()
+        );
+    }
+
+    #[test]
+    fn lion_has_nonuniform_ndet_profile() {
+        // The Table-1 walkthrough needs vectors with clearly different
+        // detection counts.
+        let n = lion();
+        let faults = FaultList::collapsed(&n);
+        let u = PatternSet::exhaustive(4);
+        let matrix = FaultSimulator::new(&n, &faults).no_drop_matrix(&u);
+        let ndet = matrix.ndet_counts();
+        let min = ndet.iter().min().unwrap();
+        let max = ndet.iter().max().unwrap();
+        assert!(max > min, "ndet profile is flat: {ndet:?}");
+    }
+
+    #[test]
+    fn embedded_circuits_are_mostly_irredundant() {
+        // Exhaustive simulation must detect nearly all collapsed faults.
+        for n in all() {
+            let faults = FaultList::collapsed(&n);
+            let u = PatternSet::exhaustive(n.num_inputs());
+            let drop = FaultSimulator::new(&n, &faults).with_dropping(&u);
+            assert!(
+                drop.coverage() > 0.95,
+                "{}: coverage {}",
+                n.name(),
+                drop.coverage()
+            );
+        }
+    }
+
+    #[test]
+    fn all_returns_three_circuits() {
+        let names: Vec<String> = all().iter().map(|n| n.name().to_string()).collect();
+        assert_eq!(names, vec!["c17", "s27", "lion"]);
+    }
+}

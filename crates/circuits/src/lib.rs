@@ -1,0 +1,39 @@
+//! Benchmark circuits for the ADI reproduction.
+//!
+//! Three families:
+//!
+//! * [`embedded`] — real, public-domain circuits shipped as `.bench` text:
+//!   the ISCAS-85 `c17` core, the ISCAS-89 `s27` combinational core (scan
+//!   expanded), and a `lion`-style 4-input FSM combinational core used for
+//!   the paper's Table-1 walkthrough.
+//! * [`generators`] — structured circuit generators (adders, parity trees,
+//!   multiplexers, comparators) and a seeded random reconvergent-DAG
+//!   generator.
+//! * [`suite`] — the paper's benchmark suite (`irs208` … `irs13207`) as
+//!   deterministic synthetic stand-ins with the paper's exact input counts
+//!   and ISCAS-matched gate counts, plus the published per-circuit numbers
+//!   from Tables 4–7 for side-by-side reporting.
+//!
+//! The ISCAS-89 originals are not redistributable within this repository,
+//! so the suite substitutes generated circuits with matched structural
+//! parameters; see `DESIGN.md` for the substitution rationale.
+//!
+//! # Examples
+//!
+//! ```
+//! use adi_circuits::embedded;
+//!
+//! let c17 = embedded::c17();
+//! assert_eq!(c17.num_inputs(), 5);
+//! assert_eq!(c17.num_gates(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod embedded;
+pub mod generators;
+pub mod suite;
+
+pub use generators::{random_circuit, RandomCircuitConfig};
+pub use suite::{paper_suite, paper_suite_up_to, PaperCircuit, PaperNumbers};

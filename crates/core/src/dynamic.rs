@@ -1,0 +1,289 @@
+//! Dynamic fault ordering (the paper's `Fdynm` construction).
+//!
+//! The dynamic procedure simulates fault dropping during the ordering
+//! itself: each time a fault `f` is appended to the order, it is assumed
+//! dropped, so `ndet(u)` is decremented for every `u ∈ D(f)` and the
+//! accidental detection indices of the remaining faults are recomputed.
+//!
+//! Because `ndet` values only ever decrease, `ADI` values are monotone
+//! non-increasing during the process. This implementation exploits the
+//! monotonicity with a **lazy bucket queue**: faults sit in buckets indexed
+//! by their last-known ADI; when a fault is popped from the current
+//! maximum bucket its ADI is recomputed, and it is either selected (value
+//! unchanged) or re-filed into a lower bucket (value became stale). Total
+//! work is `O(Σ|D(f)| · (1 + staleness))`, far below the naive
+//! `O(n² · |U|)` rescan.
+
+use adi_netlist::fault::FaultId;
+
+use crate::AdiAnalysis;
+
+/// Computes the dynamic decreasing-ADI order over the faults **detected**
+/// by `U` (zero-ADI faults are excluded; callers append or prepend them
+/// per the `Fdynm`/`F0dynm` convention).
+///
+/// Ties between equal current ADI values are broken by original fault
+/// order, making the result deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use adi_core::{dynamic::dynamic_order, AdiAnalysis, AdiConfig};
+/// use adi_netlist::{bench_format, fault::FaultList};
+/// use adi_sim::PatternSet;
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
+/// let faults = FaultList::collapsed(&n);
+/// let adi = AdiAnalysis::compute(&n, &faults, &PatternSet::exhaustive(2), AdiConfig::default());
+/// let order = dynamic_order(&adi);
+/// assert_eq!(order.len(), faults.len()); // all faults detected here
+/// # Ok(())
+/// # }
+/// ```
+pub fn dynamic_order(analysis: &AdiAnalysis) -> Vec<FaultId> {
+    dynamic_order_traced(analysis).order
+}
+
+/// A trace of the dynamic ordering: the order plus the current ADI of each
+/// fault at the moment it was selected (used by tests, the Section-2
+/// walkthrough harness, and ablation tooling).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DynamicTrace {
+    /// Selected faults, most attractive first.
+    pub order: Vec<FaultId>,
+    /// `selected_adi[i]` is the (updated) ADI of `order[i]` when selected.
+    pub selected_adi: Vec<u32>,
+}
+
+/// Like [`dynamic_order`] but also reports the ADI value at each
+/// selection.
+pub fn dynamic_order_traced(analysis: &AdiAnalysis) -> DynamicTrace {
+    let n = analysis.num_faults();
+    let mut ndet: Vec<u32> = analysis.ndet_counts().to_vec();
+
+    // Current ADI of a fault under the decremented counts.
+    let current_adi = |f: FaultId, ndet: &[u32]| -> u32 {
+        analysis
+            .detecting_patterns(f)
+            .map(|u| ndet[u])
+            .min()
+            .unwrap_or(0)
+    };
+
+    let initial_max = (0..n)
+        .map(FaultId::new)
+        .map(|f| analysis.adi(f))
+        .max()
+        .unwrap_or(0) as usize;
+    // Each bucket is a min-heap on fault index so equal-ADI ties always
+    // resolve to the earliest original fault, matching the naive greedy
+    // selection exactly.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut buckets: Vec<BinaryHeap<Reverse<FaultId>>> =
+        (0..=initial_max).map(|_| BinaryHeap::new()).collect();
+
+    let mut detected_count = 0usize;
+    for idx in 0..n {
+        let f = FaultId::new(idx);
+        let a = analysis.adi(f);
+        if a > 0 {
+            buckets[a as usize].push(Reverse(f));
+            detected_count += 1;
+        }
+    }
+
+    let mut order = Vec::with_capacity(detected_count);
+    let mut selected_adi = Vec::with_capacity(detected_count);
+    let mut cur = initial_max;
+    while order.len() < detected_count {
+        while cur > 0 && buckets[cur].is_empty() {
+            cur -= 1;
+        }
+        if cur == 0 {
+            // Unreachable: ndet(u) for u in D(f) counts f itself until f
+            // is selected, so a detected, unselected fault has ADI >= 1.
+            debug_assert!(buckets[0].is_empty());
+            break;
+        }
+        let Reverse(f) = buckets[cur].pop().expect("bucket nonempty");
+        let a = current_adi(f, &ndet);
+        debug_assert!(a as usize <= cur, "ADI must be monotone non-increasing");
+        if (a as usize) < cur {
+            buckets[a as usize].push(Reverse(f)); // stale: re-file
+            continue;
+        }
+        // Select f and simulate its drop.
+        order.push(f);
+        selected_adi.push(a);
+        for u in analysis.detecting_patterns(f) {
+            debug_assert!(ndet[u] > 0);
+            ndet[u] -= 1;
+        }
+    }
+
+    DynamicTrace {
+        order,
+        selected_adi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdiConfig, AdiEstimator};
+    use adi_netlist::fault::FaultList;
+    use adi_netlist::bench_format;
+    use adi_sim::{DetectionMatrix, PatternSet};
+
+    const C17: &str = "
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    fn c17_analysis() -> AdiAnalysis {
+        let n = bench_format::parse(C17, "c17").unwrap();
+        let faults = FaultList::collapsed(&n);
+        AdiAnalysis::compute(&n, &faults, &PatternSet::exhaustive(5), AdiConfig::default())
+    }
+
+    /// Reference implementation: naive O(n^2) greedy selection.
+    fn naive_dynamic(analysis: &AdiAnalysis) -> Vec<FaultId> {
+        let n = analysis.num_faults();
+        let mut ndet: Vec<u32> = analysis.ndet_counts().to_vec();
+        let mut remaining: Vec<FaultId> = (0..n)
+            .map(FaultId::new)
+            .filter(|&f| analysis.adi(f) > 0)
+            .collect();
+        let mut order = Vec::new();
+        while !remaining.is_empty() {
+            let (pos, &best) = remaining
+                .iter()
+                .enumerate()
+                .max_by(|(ia, &a), (ib, &b)| {
+                    let adi_a = analysis
+                        .detecting_patterns(a)
+                        .map(|u| ndet[u])
+                        .min()
+                        .unwrap();
+                    let adi_b = analysis
+                        .detecting_patterns(b)
+                        .map(|u| ndet[u])
+                        .min()
+                        .unwrap();
+                    // max by value, ties favour the earlier fault (smaller
+                    // index => later in max_by comparison must win), so
+                    // compare (value, Reverse(position)).
+                    (adi_a, std::cmp::Reverse(ia))
+                        .cmp(&(adi_b, std::cmp::Reverse(ib)))
+                })
+                .unwrap();
+            order.push(best);
+            for u in analysis.detecting_patterns(best) {
+                ndet[u] -= 1;
+            }
+            remaining.remove(pos);
+        }
+        order
+    }
+
+    #[test]
+    fn matches_naive_reference_on_c17() {
+        let analysis = c17_analysis();
+        let fast = dynamic_order(&analysis);
+        let naive = naive_dynamic(&analysis);
+        assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn selected_values_are_nonincreasing() {
+        let analysis = c17_analysis();
+        let trace = dynamic_order_traced(&analysis);
+        assert!(trace
+            .selected_adi
+            .windows(2)
+            .all(|w| w[0] >= w[1]),
+            "{:?}",
+            trace.selected_adi
+        );
+    }
+
+    #[test]
+    fn first_selection_has_global_max_adi() {
+        let analysis = c17_analysis();
+        let trace = dynamic_order_traced(&analysis);
+        let max = (0..analysis.num_faults())
+            .map(FaultId::new)
+            .map(|f| analysis.adi(f))
+            .max()
+            .unwrap();
+        assert_eq!(trace.selected_adi[0], max);
+        assert_eq!(analysis.adi(trace.order[0]), max);
+    }
+
+    #[test]
+    fn covers_exactly_detected_faults() {
+        let analysis = c17_analysis();
+        let order = dynamic_order(&analysis);
+        let detected: Vec<FaultId> = (0..analysis.num_faults())
+            .map(FaultId::new)
+            .filter(|&f| analysis.detected(f))
+            .collect();
+        assert_eq!(order.len(), detected.len());
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(sorted, detected);
+    }
+
+    /// Hand-built miniature mirroring the paper's Section-3 walkthrough
+    /// mechanics: selecting a fault lowers ndet of its vectors and thereby
+    /// the ADI of faults sharing those vectors.
+    #[test]
+    fn hand_example_with_shared_vectors() {
+        // 3 faults, 2 vectors.
+        // D(f0) = {u0};      ndet contribution
+        // D(f1) = {u0, u1};
+        // D(f2) = {u1};
+        // ndet(u0) = 2, ndet(u1) = 2.
+        // Initial ADI: f0=2, f1=2, f2=2. Tie broken by original order: f0
+        // first. After f0: ndet(u0)=1 -> ADI(f1)=1, ADI(f2)=2 -> f2 next,
+        // then f1.
+        let mut m = DetectionMatrix::new(3, 2);
+        m.set(FaultId::new(0), 0);
+        m.set(FaultId::new(1), 0);
+        m.set(FaultId::new(1), 1);
+        m.set(FaultId::new(2), 1);
+        let analysis = AdiAnalysis::from_matrix(
+            m,
+            AdiConfig {
+                estimator: AdiEstimator::MinNdet,
+                ..AdiConfig::default()
+            },
+        );
+        let trace = dynamic_order_traced(&analysis);
+        let ids: Vec<usize> = trace.order.iter().map(|f| f.index()).collect();
+        assert_eq!(ids, vec![0, 2, 1]);
+        assert_eq!(trace.selected_adi, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_analysis_yields_empty_order() {
+        let analysis = AdiAnalysis::from_matrix(
+            DetectionMatrix::new(0, 0),
+            AdiConfig::default(),
+        );
+        assert!(dynamic_order(&analysis).is_empty());
+    }
+}

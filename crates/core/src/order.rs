@@ -1,0 +1,269 @@
+//! The six fault orders of Section 3.
+
+use std::fmt;
+
+use adi_netlist::fault::FaultId;
+
+use crate::dynamic::dynamic_order;
+use crate::AdiAnalysis;
+
+/// The fault orders defined by the paper (Section 3).
+///
+/// | Variant | Paper name | Zero-ADI faults | Non-zero faults |
+/// |---------|-----------|-----------------|-----------------|
+/// | [`Original`](Self::Original) | `Forig` | — | circuit-description order |
+/// | [`Incr0`](Self::Incr0) | `Fincr0` | last | increasing ADI |
+/// | [`Decr`](Self::Decr) | `Fdecr` | last | decreasing ADI |
+/// | [`Decr0`](Self::Decr0) | `F0decr` | first | decreasing ADI |
+/// | [`Dynamic`](Self::Dynamic) | `Fdynm` | last | decreasing ADI with dynamic `ndet` updates |
+/// | [`Dynamic0`](Self::Dynamic0) | `F0dynm` | first | decreasing ADI with dynamic `ndet` updates |
+///
+/// # Examples
+///
+/// ```
+/// use adi_core::FaultOrdering;
+///
+/// assert_eq!(FaultOrdering::Dynamic0.to_string(), "0dynm");
+/// assert_eq!(FaultOrdering::ALL.len(), 6);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultOrdering {
+    /// `Forig`: faults in their original (list) order.
+    Original,
+    /// `Fincr0`: increasing ADI, zero-ADI faults last (the adversarial
+    /// control the paper expects to be worst).
+    Incr0,
+    /// `Fdecr`: decreasing ADI, zero-ADI faults last.
+    Decr,
+    /// `F0decr`: zero-ADI faults first, then decreasing ADI.
+    Decr0,
+    /// `Fdynm`: dynamically updated decreasing ADI, zero-ADI faults last.
+    Dynamic,
+    /// `F0dynm`: zero-ADI faults first, then the dynamic order.
+    Dynamic0,
+}
+
+impl FaultOrdering {
+    /// All orderings in the order the paper discusses them.
+    pub const ALL: [FaultOrdering; 6] = [
+        FaultOrdering::Original,
+        FaultOrdering::Incr0,
+        FaultOrdering::Decr,
+        FaultOrdering::Decr0,
+        FaultOrdering::Dynamic,
+        FaultOrdering::Dynamic0,
+    ];
+
+    /// The paper's compact column label (`orig`, `incr0`, `decr`,
+    /// `0decr`, `dynm`, `0dynm`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultOrdering::Original => "orig",
+            FaultOrdering::Incr0 => "incr0",
+            FaultOrdering::Decr => "decr",
+            FaultOrdering::Decr0 => "0decr",
+            FaultOrdering::Dynamic => "dynm",
+            FaultOrdering::Dynamic0 => "0dynm",
+        }
+    }
+
+    /// Parses a paper label (the inverse of [`label`](Self::label)).
+    pub fn from_label(label: &str) -> Option<FaultOrdering> {
+        FaultOrdering::ALL
+            .into_iter()
+            .find(|o| o.label() == label)
+    }
+}
+
+impl fmt::Display for FaultOrdering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Produces the ordered target-fault list for `ordering`.
+///
+/// The returned vector is a permutation of all fault ids. Ties between
+/// equal ADI values are broken by original fault order, making every
+/// ordering deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use adi_core::{order_faults, AdiAnalysis, AdiConfig, FaultOrdering};
+/// use adi_netlist::{bench_format, fault::FaultList};
+/// use adi_sim::PatternSet;
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
+/// let faults = FaultList::collapsed(&n);
+/// let adi = AdiAnalysis::compute(&n, &faults, &PatternSet::exhaustive(2), AdiConfig::default());
+/// let order = order_faults(&adi, FaultOrdering::Decr);
+/// // Decreasing ADI: the first fault has the maximal index.
+/// assert!(adi.adi(order[0]) >= adi.adi(order[order.len() - 1]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn order_faults(analysis: &AdiAnalysis, ordering: FaultOrdering) -> Vec<FaultId> {
+    let n = analysis.num_faults();
+    let all: Vec<FaultId> = (0..n).map(FaultId::new).collect();
+    let zeros: Vec<FaultId> = all
+        .iter()
+        .copied()
+        .filter(|&f| analysis.adi(f) == 0)
+        .collect();
+    let nonzeros: Vec<FaultId> = all
+        .iter()
+        .copied()
+        .filter(|&f| analysis.adi(f) > 0)
+        .collect();
+
+    match ordering {
+        FaultOrdering::Original => all,
+        FaultOrdering::Incr0 => {
+            let mut v = nonzeros;
+            v.sort_by_key(|&f| (analysis.adi(f), f));
+            v.extend(zeros);
+            v
+        }
+        FaultOrdering::Decr => {
+            let mut v = nonzeros;
+            v.sort_by_key(|&f| (std::cmp::Reverse(analysis.adi(f)), f));
+            v.extend(zeros);
+            v
+        }
+        FaultOrdering::Decr0 => {
+            let mut v = zeros;
+            let mut nz = nonzeros;
+            nz.sort_by_key(|&f| (std::cmp::Reverse(analysis.adi(f)), f));
+            v.extend(nz);
+            v
+        }
+        FaultOrdering::Dynamic => {
+            let mut v = dynamic_order(analysis);
+            v.extend(zeros);
+            v
+        }
+        FaultOrdering::Dynamic0 => {
+            let mut v = zeros;
+            v.extend(dynamic_order(analysis));
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AdiConfig;
+    use adi_netlist::fault::FaultList;
+    use adi_netlist::{GateKind, NetlistBuilder};
+    use adi_sim::PatternSet;
+
+    fn sample() -> AdiAnalysis {
+        // A circuit with a redundant fault so that zero-ADI faults exist.
+        let mut b = NetlistBuilder::new("mix");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let na = b.add_gate(GateKind::Not, "na", &[a]).unwrap();
+        let t = b.add_gate(GateKind::And, "t", &[a, na]).unwrap(); // == 0
+        let y = b.add_gate(GateKind::Or, "y", &[c, t]).unwrap();
+        b.mark_output(y);
+        let n = b.build().unwrap();
+        let faults = FaultList::full(&n);
+        AdiAnalysis::compute(&n, &faults, &PatternSet::exhaustive(2), AdiConfig::default())
+    }
+
+    fn assert_permutation(order: &[FaultId], n: usize) {
+        assert_eq!(order.len(), n);
+        let mut seen = vec![false; n];
+        for &f in order {
+            assert!(!seen[f.index()], "duplicate {f}");
+            seen[f.index()] = true;
+        }
+    }
+
+    #[test]
+    fn every_ordering_is_a_permutation() {
+        let adi = sample();
+        for ord in FaultOrdering::ALL {
+            let order = order_faults(&adi, ord);
+            assert_permutation(&order, adi.num_faults());
+        }
+    }
+
+    #[test]
+    fn decr_is_nonincreasing_with_zeros_last() {
+        let adi = sample();
+        let order = order_faults(&adi, FaultOrdering::Decr);
+        let values: Vec<u32> = order.iter().map(|&f| adi.adi(f)).collect();
+        let first_zero = values.iter().position(|&v| v == 0);
+        let nz = &values[..first_zero.unwrap_or(values.len())];
+        assert!(nz.windows(2).all(|w| w[0] >= w[1]), "{values:?}");
+        if let Some(fz) = first_zero {
+            assert!(values[fz..].iter().all(|&v| v == 0));
+        }
+    }
+
+    #[test]
+    fn incr0_is_nondecreasing_with_zeros_last() {
+        let adi = sample();
+        let order = order_faults(&adi, FaultOrdering::Incr0);
+        let values: Vec<u32> = order.iter().map(|&f| adi.adi(f)).collect();
+        let first_zero = values.iter().position(|&v| v == 0).unwrap_or(values.len());
+        let nz = &values[..first_zero];
+        assert!(nz.windows(2).all(|w| w[0] <= w[1]), "{values:?}");
+        assert!(values[first_zero..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn zero_placement_differs_between_pairs() {
+        let adi = sample();
+        let has_zero = (0..adi.num_faults())
+            .map(FaultId::new)
+            .any(|f| adi.adi(f) == 0);
+        assert!(has_zero, "test circuit must have zero-ADI faults");
+        let decr0 = order_faults(&adi, FaultOrdering::Decr0);
+        assert_eq!(adi.adi(decr0[0]), 0, "F0decr starts with zero-ADI faults");
+        let dyn0 = order_faults(&adi, FaultOrdering::Dynamic0);
+        assert_eq!(adi.adi(dyn0[0]), 0);
+        let decr = order_faults(&adi, FaultOrdering::Decr);
+        assert_eq!(adi.adi(*decr.last().unwrap()), 0, "Fdecr ends with zeros");
+        let dynm = order_faults(&adi, FaultOrdering::Dynamic);
+        assert_eq!(adi.adi(*dynm.last().unwrap()), 0);
+    }
+
+    #[test]
+    fn original_preserves_list_order() {
+        let adi = sample();
+        let order = order_faults(&adi, FaultOrdering::Original);
+        for (i, &f) in order.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+    }
+
+    #[test]
+    fn decr_and_incr0_are_reverses_over_nonzero_values() {
+        let adi = sample();
+        let decr: Vec<u32> = order_faults(&adi, FaultOrdering::Decr)
+            .iter()
+            .map(|&f| adi.adi(f))
+            .filter(|&v| v > 0)
+            .collect();
+        let mut incr: Vec<u32> = order_faults(&adi, FaultOrdering::Incr0)
+            .iter()
+            .map(|&f| adi.adi(f))
+            .filter(|&v| v > 0)
+            .collect();
+        incr.reverse();
+        assert_eq!(decr, incr);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for ord in FaultOrdering::ALL {
+            assert_eq!(FaultOrdering::from_label(ord.label()), Some(ord));
+        }
+        assert_eq!(FaultOrdering::from_label("nope"), None);
+    }
+}

@@ -1,0 +1,295 @@
+//! End-to-end experiment pipeline: the paper's Section-4 methodology.
+//!
+//! For one circuit: select `U` → compute ADI → build each requested fault
+//! order → run the (compaction-free) ATPG per order → collect test counts,
+//! wall-clock run times, coverage curves, and `AVE` values. The table and
+//! figure harnesses in `adi-bench` are thin formatters over the
+//! [`Experiment`] struct this module produces.
+
+use std::time::{Duration, Instant};
+
+use adi_netlist::fault::{FaultId, FaultList};
+use adi_netlist::Netlist;
+use adi_sim::CoverageCurve;
+use adi_atpg::{TestGenConfig, TestGenResult, TestGenerator};
+
+use crate::metrics::average_detection_position;
+use crate::uset::{select_u, USetConfig};
+use crate::{order_faults, AdiAnalysis, AdiConfig, AdiSummary, FaultOrdering};
+
+/// Configuration for [`run_experiment`].
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Selection of the random vector set `U`.
+    pub uset: USetConfig,
+    /// ADI computation options.
+    pub adi: AdiConfig,
+    /// ATPG options (backtrack limit, X-fill).
+    pub testgen: TestGenConfig,
+    /// The fault orders to run ATPG with.
+    pub orderings: Vec<FaultOrdering>,
+    /// Use the collapsed fault list (`true`, the usual choice) or the full
+    /// fault universe.
+    pub collapse_faults: bool,
+}
+
+impl Default for ExperimentConfig {
+    /// The paper's main experiment: `Forig`, `Fdynm`, `F0dynm`, `Fincr0`.
+    fn default() -> Self {
+        ExperimentConfig {
+            uset: USetConfig::default(),
+            adi: AdiConfig::default(),
+            testgen: TestGenConfig::default(),
+            orderings: vec![
+                FaultOrdering::Original,
+                FaultOrdering::Dynamic,
+                FaultOrdering::Dynamic0,
+                FaultOrdering::Incr0,
+            ],
+            collapse_faults: true,
+        }
+    }
+}
+
+/// The outcome of ATPG under one fault order.
+#[derive(Clone, Debug)]
+pub struct OrderingRun {
+    /// Which order this is.
+    pub ordering: FaultOrdering,
+    /// The ordered fault list used.
+    pub order: Vec<FaultId>,
+    /// The ATPG outcome (tests, per-test detections, fault statuses).
+    pub result: TestGenResult,
+    /// The fault-coverage curve of the run.
+    pub curve: CoverageCurve,
+    /// `AVE_ord` of the curve.
+    pub ave: f64,
+    /// Wall-clock test-generation time (ordering construction excluded,
+    /// matching the paper's `t.gen` accounting).
+    pub testgen_time: Duration,
+    /// Wall-clock time spent building the fault order itself.
+    pub ordering_time: Duration,
+}
+
+impl OrderingRun {
+    /// Number of tests generated under this order (the paper's Table 5).
+    pub fn num_tests(&self) -> usize {
+        self.result.num_tests()
+    }
+}
+
+/// Everything the paper reports about one circuit.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Circuit name.
+    pub circuit: String,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of target faults.
+    pub num_faults: usize,
+    /// Size of the selected vector set `U` (Table 4 column `vec`).
+    pub u_size: usize,
+    /// Fault coverage of `U` at selection time.
+    pub u_coverage: f64,
+    /// ADI summary (Table 4 columns `min`, `max`, `ratio`).
+    pub adi_summary: AdiSummary,
+    /// Wall-clock time of `U` selection plus ADI computation.
+    pub adi_time: Duration,
+    /// One entry per requested ordering, in request order.
+    pub runs: Vec<OrderingRun>,
+}
+
+impl Experiment {
+    /// The run for `ordering`, if it was requested.
+    pub fn run_for(&self, ordering: FaultOrdering) -> Option<&OrderingRun> {
+        self.runs.iter().find(|r| r.ordering == ordering)
+    }
+
+    /// Relative test-generation time `RT_ord / RT_orig` (Table 6).
+    /// Returns `None` when either run is missing or the baseline took no
+    /// measurable time.
+    pub fn relative_runtime(&self, ordering: FaultOrdering) -> Option<f64> {
+        let base = self.run_for(FaultOrdering::Original)?.testgen_time;
+        let this = self.run_for(ordering)?.testgen_time;
+        let base_s = base.as_secs_f64();
+        if base_s == 0.0 {
+            None
+        } else {
+            Some(this.as_secs_f64() / base_s)
+        }
+    }
+
+    /// Normalized steepness `AVE_ord / AVE_orig` (Table 7).
+    pub fn relative_ave(&self, ordering: FaultOrdering) -> Option<f64> {
+        let base = self.run_for(FaultOrdering::Original)?.ave;
+        let this = self.run_for(ordering)?.ave;
+        if base == 0.0 {
+            None
+        } else {
+            Some(this / base)
+        }
+    }
+}
+
+/// Runs the full paper pipeline on one circuit.
+///
+/// # Examples
+///
+/// ```
+/// use adi_core::{pipeline::run_experiment, ExperimentConfig, FaultOrdering};
+/// use adi_netlist::bench_format;
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let n = bench_format::parse(
+///     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n", "nand2")?;
+/// let exp = run_experiment(&n, &ExperimentConfig::default());
+/// assert_eq!(exp.runs.len(), 4);
+/// let orig = exp.run_for(FaultOrdering::Original).unwrap();
+/// assert!(orig.result.coverage() > 0.99);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_experiment(netlist: &Netlist, config: &ExperimentConfig) -> Experiment {
+    let faults = if config.collapse_faults {
+        FaultList::collapsed(netlist)
+    } else {
+        FaultList::full(netlist)
+    };
+
+    let adi_start = Instant::now();
+    let selection = select_u(netlist, &faults, config.uset);
+    let analysis = AdiAnalysis::compute(netlist, &faults, &selection.patterns, config.adi);
+    let adi_time = adi_start.elapsed();
+
+    let generator = TestGenerator::new(netlist, &faults, config.testgen);
+    let mut runs = Vec::with_capacity(config.orderings.len());
+    for &ordering in &config.orderings {
+        let t0 = Instant::now();
+        let order = order_faults(&analysis, ordering);
+        let ordering_time = t0.elapsed();
+        let t1 = Instant::now();
+        let result = generator.run(&order);
+        let testgen_time = t1.elapsed();
+        let curve = result.coverage_curve();
+        let ave = average_detection_position(&curve);
+        runs.push(OrderingRun {
+            ordering,
+            order,
+            result,
+            curve,
+            ave,
+            testgen_time,
+            ordering_time,
+        });
+    }
+
+    Experiment {
+        circuit: netlist.name().to_string(),
+        num_inputs: netlist.num_inputs(),
+        num_faults: faults.len(),
+        u_size: selection.len(),
+        u_coverage: selection.coverage,
+        adi_summary: analysis.summary(),
+        adi_time,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adi_netlist::bench_format;
+
+    const C17: &str = "
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    fn experiment() -> Experiment {
+        let n = bench_format::parse(C17, "c17").unwrap();
+        run_experiment(&n, &ExperimentConfig::default())
+    }
+
+    #[test]
+    fn all_requested_orderings_run() {
+        let e = experiment();
+        assert_eq!(e.runs.len(), 4);
+        for ord in [
+            FaultOrdering::Original,
+            FaultOrdering::Dynamic,
+            FaultOrdering::Dynamic0,
+            FaultOrdering::Incr0,
+        ] {
+            assert!(e.run_for(ord).is_some(), "{ord} missing");
+        }
+        assert!(e.run_for(FaultOrdering::Decr).is_none());
+    }
+
+    #[test]
+    fn c17_full_coverage_under_every_order() {
+        let e = experiment();
+        for run in &e.runs {
+            assert_eq!(
+                run.result.num_detected(),
+                e.num_faults,
+                "{} left faults undetected",
+                run.ordering
+            );
+            assert_eq!(run.curve.final_detected(), e.num_faults);
+            assert!(run.ave >= 1.0, "AVE must be at least one test");
+        }
+    }
+
+    #[test]
+    fn exhaustive_u_for_tiny_circuit() {
+        let e = experiment();
+        assert_eq!(e.u_size, 32); // 5 inputs <= default threshold 6
+        assert!((e.u_coverage - 1.0).abs() < 1e-12);
+        // All faults detected by exhaustive U => min ADI >= 1.
+        assert!(e.adi_summary.min >= 1);
+        assert!(e.adi_summary.max >= e.adi_summary.min);
+        assert_eq!(e.adi_summary.detected, e.num_faults);
+    }
+
+    #[test]
+    fn relative_metrics_baseline_is_one() {
+        let e = experiment();
+        let r = e.relative_ave(FaultOrdering::Original).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_experiments() {
+        let a = experiment();
+        let b = experiment();
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(ra.order, rb.order);
+            assert_eq!(ra.result.tests, rb.result.tests);
+            assert_eq!(ra.num_tests(), rb.num_tests());
+        }
+    }
+
+    #[test]
+    fn full_fault_universe_option() {
+        let n = bench_format::parse(C17, "c17").unwrap();
+        let cfg = ExperimentConfig {
+            collapse_faults: false,
+            orderings: vec![FaultOrdering::Original],
+            ..ExperimentConfig::default()
+        };
+        let e = run_experiment(&n, &cfg);
+        let collapsed = FaultList::collapsed(&n).len();
+        assert!(e.num_faults > collapsed);
+    }
+}

@@ -1,0 +1,350 @@
+//! Reader and writer for the ISCAS `.bench` netlist format.
+//!
+//! The format is line oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(a)
+//! OUTPUT(y)
+//! t = NAND(a, b)
+//! y = NOT(t)
+//! ```
+//!
+//! Sequential `.bench` files use `q = DFF(d)` for flip-flops. Because this
+//! workspace models **full-scan** circuits, [`parse`] converts every DFF to
+//! a pseudo primary input (the flip-flop output `q`) and a pseudo primary
+//! output (the flip-flop data input `d`), exactly as the paper does when it
+//! speaks of "the combinational logic of ISCAS-89 benchmarks".
+
+use crate::{GateKind, NetlistBuilder, Netlist, NetlistError, NodeId};
+
+/// Parses `.bench` text into a [`Netlist`] named `name`.
+///
+/// DFF cells are expanded into pseudo inputs/outputs (full-scan model).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines and any of the
+/// builder's validation errors (duplicate definitions, cycles, undefined
+/// references, bad arity).
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::bench_format;
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let src = "
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// y = AND(a, b)
+/// ";
+/// let n = bench_format::parse(src, "and2")?;
+/// assert_eq!(n.num_inputs(), 2);
+/// assert_eq!(n.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str, name: &str) -> Result<Netlist, NetlistError> {
+    let mut builder = NetlistBuilder::new(name);
+    let mut outputs: Vec<String> = Vec::new();
+
+    for (line_no, raw) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(inner) = parse_directive(line, "INPUT") {
+            let id = builder.declare(inner);
+            builder.define_input(id)?;
+        } else if let Some(inner) = parse_directive(line, "OUTPUT") {
+            outputs.push(inner.to_string());
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let lhs = lhs.trim();
+            if lhs.is_empty() {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "missing left-hand side before `=`".into(),
+                });
+            }
+            let (gate_name, args) = parse_call(rhs.trim()).ok_or_else(|| NetlistError::Parse {
+                line: line_no,
+                message: format!("expected `GATE(args)` on right-hand side, got `{}`", rhs.trim()),
+            })?;
+            let upper = gate_name.to_ascii_uppercase();
+            if upper == "DFF" {
+                // Full-scan expansion: lhs becomes a pseudo primary input,
+                // the DFF's data argument becomes a pseudo primary output.
+                if args.len() != 1 {
+                    return Err(NetlistError::Parse {
+                        line: line_no,
+                        message: format!("DFF takes exactly 1 argument, got {}", args.len()),
+                    });
+                }
+                let q = builder.declare(lhs);
+                builder.define_input(q)?;
+                let d = builder.declare(args[0]);
+                builder.mark_output(d);
+            } else {
+                let kind = GateKind::from_bench_name(&upper).ok_or_else(|| NetlistError::Parse {
+                    line: line_no,
+                    message: format!("unknown gate type `{gate_name}`"),
+                })?;
+                let fanins: Vec<NodeId> =
+                    args.iter().map(|a| builder.declare(*a)).collect();
+                let id = builder.declare(lhs);
+                builder.define_gate(id, kind, &fanins)?;
+            }
+        } else {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("unrecognized line `{line}`"),
+            });
+        }
+    }
+
+    for out in outputs {
+        let id = builder
+            .node_id(&out)
+            .ok_or(NetlistError::UndefinedNode { name: out })?;
+        builder.mark_output(id);
+    }
+    builder.build()
+}
+
+/// Serializes a [`Netlist`] to `.bench` text.
+///
+/// The output contains a header comment, `INPUT`/`OUTPUT` directives, and
+/// one gate per line in topological order, and can be re-read with
+/// [`parse`] (round-trip safe). Constant sources, which standard `.bench`
+/// lacks, are written as `CONST0()`/`CONST1()` and accepted back by
+/// [`parse`].
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::bench_format;
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let n = bench_format::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "inv")?;
+/// let text = bench_format::to_bench(&n);
+/// let back = bench_format::parse(&text, "inv")?;
+/// assert_eq!(back.num_nodes(), n.num_nodes());
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_bench(netlist: &Netlist) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name());
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} outputs, {} gates",
+        netlist.num_inputs(),
+        netlist.num_outputs(),
+        netlist.num_gates()
+    );
+    for &i in netlist.inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.node_name(i));
+    }
+    for &o in netlist.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.node_name(o));
+    }
+    for &g in netlist.topo_order() {
+        let kind = netlist.kind(g);
+        if kind == GateKind::Input {
+            continue;
+        }
+        let args: Vec<&str> = netlist
+            .fanins(g)
+            .iter()
+            .map(|&f| netlist.node_name(f))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            netlist.node_name(g),
+            kind.bench_name(),
+            args.join(", ")
+        );
+    }
+    out
+}
+
+/// Parses `KEYWORD(arg)` directives; returns the inner argument.
+fn parse_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        None
+    } else {
+        Some(inner)
+    }
+}
+
+/// Parses `NAME(a, b, c)`; returns the name and argument list. An empty
+/// argument list (`CONST0()`) yields an empty vector.
+fn parse_call(text: &str) -> Option<(&str, Vec<&str>)> {
+    let open = text.find('(')?;
+    let close = text.rfind(')')?;
+    if close < open {
+        return None;
+    }
+    let name = text[..open].trim();
+    if name.is_empty() || !text[close + 1..].trim().is_empty() {
+        return None;
+    }
+    let inner = text[open + 1..close].trim();
+    let args: Vec<&str> = if inner.is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(str::trim).collect()
+    };
+    if args.iter().any(|a| a.is_empty()) {
+        return None;
+    }
+    Some((name, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17_LIKE: &str = "
+# a c17-style circuit
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17_structure() {
+        let n = parse(C17_LIKE, "c17").unwrap();
+        assert_eq!(n.num_inputs(), 5);
+        assert_eq!(n.num_outputs(), 2);
+        assert_eq!(n.num_gates(), 6);
+        assert_eq!(n.max_level(), 3);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let n = parse(C17_LIKE, "c17").unwrap();
+        let text = to_bench(&n);
+        let back = parse(&text, "c17").unwrap();
+        assert_eq!(back.num_inputs(), n.num_inputs());
+        assert_eq!(back.num_outputs(), n.num_outputs());
+        assert_eq!(back.num_gates(), n.num_gates());
+        assert_eq!(back.max_level(), n.max_level());
+        // Same names, same fanin names per gate.
+        for g in n.node_ids() {
+            let name = n.node_name(g);
+            let bg = back.find_node(name).expect("node lost in roundtrip");
+            let orig: Vec<&str> = n.fanins(g).iter().map(|&f| n.node_name(f)).collect();
+            let rt: Vec<&str> = back.fanins(bg).iter().map(|&f| back.node_name(f)).collect();
+            assert_eq!(orig, rt, "fanins of {name}");
+        }
+    }
+
+    #[test]
+    fn dff_becomes_pseudo_io() {
+        let src = "
+INPUT(clkless_in)
+OUTPUT(out)
+q = DFF(d)
+d = AND(clkless_in, q)
+out = NOT(q)
+";
+        let n = parse(src, "seq").unwrap();
+        // q is a pseudo-PI, d is a pseudo-PO.
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.num_outputs(), 2);
+        let q = n.find_node("q").unwrap();
+        assert!(n.is_input(q));
+        let d = n.find_node("d").unwrap();
+        assert!(n.is_output(d));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let src = "\n\n# full line comment\nINPUT(a)  # trailing comment\nOUTPUT(y)\ny = BUFF(a)\n";
+        let n = parse(src, "c").unwrap();
+        assert_eq!(n.num_nodes(), 2);
+        assert_eq!(n.kind(n.find_node("y").unwrap()), GateKind::Buf);
+    }
+
+    #[test]
+    fn unknown_gate_is_a_parse_error() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+        let err = parse(src, "c").unwrap_err();
+        match err {
+            NetlistError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("FROB"));
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "INPUT(a)\nOUTPUT(y)\ny = AND(a,)\n",
+            "INPUT(a)\nOUTPUT(y)\n = AND(a)\n",
+            "INPUT(a)\nOUTPUT(y)\ny AND(a)\n",
+            "INPUT(a)\nOUTPUT(y)\ny = AND a\n",
+        ] {
+            assert!(parse(bad, "c").is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn undefined_output_is_rejected() {
+        let src = "INPUT(a)\nOUTPUT(zz)\ny = NOT(a)\n";
+        let err = parse(src, "c").unwrap_err();
+        assert!(matches!(err, NetlistError::UndefinedNode { .. }));
+    }
+
+    #[test]
+    fn const_gates_roundtrip() {
+        let src = "OUTPUT(y)\nk = CONST1()\ny = NOT(k)\n";
+        let n = parse(src, "c").unwrap();
+        assert_eq!(n.kind(n.find_node("k").unwrap()), GateKind::Const1);
+        let back = parse(&to_bench(&n), "c").unwrap();
+        assert_eq!(back.num_nodes(), 2);
+    }
+
+    #[test]
+    fn case_insensitive_gate_names() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = nand(a, b)\n";
+        let n = parse(src, "c").unwrap();
+        assert_eq!(n.kind(n.find_node("y").unwrap()), GateKind::Nand);
+    }
+
+    #[test]
+    fn duplicate_gate_definition_is_rejected() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n";
+        assert!(matches!(
+            parse(src, "c").unwrap_err(),
+            NetlistError::DuplicateName { .. }
+        ));
+    }
+}

@@ -1,0 +1,491 @@
+//! Incremental construction and validation of [`Netlist`]s.
+
+use std::collections::HashMap;
+
+use crate::{GateKind, Netlist, NetlistError, NodeId};
+
+/// A node under construction: declared, and possibly already defined.
+#[derive(Clone, Debug)]
+struct PendingNode {
+    name: String,
+    /// `None` until the node is defined as an input or a gate.
+    kind: Option<GateKind>,
+    fanins: Vec<NodeId>,
+}
+
+/// Builds a [`Netlist`] incrementally, validating on [`build`](Self::build).
+///
+/// Two construction styles are supported:
+///
+/// * **Direct**: [`add_input`](Self::add_input) /
+///   [`add_gate`](Self::add_gate), where fanins must already exist. This is
+///   the convenient style for programmatic construction.
+/// * **Declare-then-define**: [`declare`](Self::declare) a name (obtaining
+///   its [`NodeId`]) before the node's definition is known, then
+///   [`define_input`](Self::define_input) or
+///   [`define_gate`](Self::define_gate) it later. This supports text formats
+///   such as `.bench` where gates may reference nodes defined further down
+///   the file.
+///
+/// `build` verifies that every declared node was defined, that arities are
+/// legal, that the graph is acyclic, and that at least one output exists;
+/// it then computes fanouts, levels, and a topological order.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("and2");
+/// let a = b.add_input("a");
+/// let c = b.add_input("b");
+/// let y = b.add_gate(GateKind::And, "y", &[a, c])?;
+/// b.mark_output(y);
+/// let netlist = b.build()?;
+/// assert_eq!(netlist.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    nodes: Vec<PendingNode>,
+    by_name: HashMap<String, NodeId>,
+    outputs: Vec<NodeId>,
+    auto_name_counter: usize,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a circuit called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            by_name: HashMap::new(),
+            outputs: Vec::new(),
+            auto_name_counter: 0,
+        }
+    }
+
+    /// Number of nodes declared so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no nodes have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Declares a node by name without defining it, or returns the existing
+    /// id if the name is already known.
+    pub fn declare(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = NodeId::new(self.nodes.len());
+        self.by_name.insert(name.clone(), id);
+        self.nodes.push(PendingNode {
+            name,
+            kind: None,
+            fanins: Vec::new(),
+        });
+        id
+    }
+
+    /// Looks up a declared node by name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Defines a previously declared node as a primary input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the node was already
+    /// defined, or [`NetlistError::InvalidNodeId`] if `id` is unknown.
+    pub fn define_input(&mut self, id: NodeId) -> Result<(), NetlistError> {
+        let node = self.pending_mut(id)?;
+        if node.kind.is_some() {
+            return Err(NetlistError::DuplicateName {
+                name: node.name.clone(),
+            });
+        }
+        node.kind = Some(GateKind::Input);
+        Ok(())
+    }
+
+    /// Defines a previously declared node as a gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the node was already
+    /// defined, [`NetlistError::BadArity`] if the fanin count is illegal
+    /// for `kind`, or [`NetlistError::InvalidNodeId`] if any id is unknown.
+    pub fn define_gate(
+        &mut self,
+        id: NodeId,
+        kind: GateKind,
+        fanins: &[NodeId],
+    ) -> Result<(), NetlistError> {
+        for &f in fanins {
+            if f.index() >= self.nodes.len() {
+                return Err(NetlistError::InvalidNodeId { index: f.index() });
+            }
+        }
+        let n_nodes = self.nodes.len();
+        let node = self.pending_mut(id)?;
+        if node.kind.is_some() {
+            return Err(NetlistError::DuplicateName {
+                name: node.name.clone(),
+            });
+        }
+        let (lo, hi) = kind.arity_range();
+        if fanins.len() < lo || fanins.len() > hi || kind == GateKind::Input {
+            return Err(NetlistError::BadArity {
+                name: node.name.clone(),
+                kind,
+                got: fanins.len(),
+            });
+        }
+        debug_assert!(fanins.iter().all(|f| f.index() < n_nodes));
+        node.kind = Some(kind);
+        node.fanins = fanins.to_vec();
+        Ok(())
+    }
+
+    /// Declares and defines a primary input in one step.
+    ///
+    /// If `name` was already declared but not defined, it is defined as an
+    /// input. Re-defining an existing node panics via the returned id only
+    /// at [`build`](Self::build) time; prefer unique names.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.declare(name);
+        // A duplicate definition is surfaced at build time as DuplicateName;
+        // here we only set the kind if the node is still undefined.
+        if self.nodes[id.index()].kind.is_none() {
+            self.nodes[id.index()].kind = Some(GateKind::Input);
+        }
+        id
+    }
+
+    /// Declares and defines a gate in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if `name` is already defined,
+    /// or [`NetlistError::BadArity`] for an illegal fanin count.
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        name: impl Into<String>,
+        fanins: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        let id = self.declare(name);
+        self.define_gate(id, kind, fanins)?;
+        Ok(id)
+    }
+
+    /// Adds a gate with an auto-generated unique name (`_g0`, `_g1`, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] for an illegal fanin count.
+    pub fn add_gate_auto(
+        &mut self,
+        kind: GateKind,
+        fanins: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        loop {
+            let name = format!("_g{}", self.auto_name_counter);
+            self.auto_name_counter += 1;
+            if !self.by_name.contains_key(&name) {
+                return self.add_gate(kind, name, fanins);
+            }
+        }
+    }
+
+    /// Marks a node as a primary output. A node may be marked only once;
+    /// repeated marks are ignored.
+    pub fn mark_output(&mut self, id: NodeId) {
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Validates the circuit and produces the immutable [`Netlist`].
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::Empty`] if no nodes were declared.
+    /// * [`NetlistError::NoOutputs`] if no outputs were marked.
+    /// * [`NetlistError::UndefinedDeclaration`] if a declared node was never
+    ///   defined (typically a typo in a fanin name).
+    /// * [`NetlistError::Cycle`] if the gate graph is cyclic.
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return Err(NetlistError::Empty);
+        }
+        if self.outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        for node in &self.nodes {
+            if node.kind.is_none() {
+                return Err(NetlistError::UndefinedDeclaration {
+                    name: node.name.clone(),
+                });
+            }
+        }
+
+        // CSR fanins.
+        let mut fanin_index = Vec::with_capacity(n + 1);
+        let mut fanin_data = Vec::new();
+        fanin_index.push(0u32);
+        for node in &self.nodes {
+            fanin_data.extend_from_slice(&node.fanins);
+            fanin_index.push(fanin_data.len() as u32);
+        }
+
+        // CSR fanouts via counting sort.
+        let mut counts = vec![0u32; n];
+        for &f in &fanin_data {
+            counts[f.index()] += 1;
+        }
+        let mut fanout_index = vec![0u32; n + 1];
+        for i in 0..n {
+            fanout_index[i + 1] = fanout_index[i] + counts[i];
+        }
+        let mut fanout_data = vec![NodeId::default(); fanin_data.len()];
+        let mut cursor = fanout_index.clone();
+        for (gate_idx, node) in self.nodes.iter().enumerate() {
+            for &src in &node.fanins {
+                let c = &mut cursor[src.index()];
+                fanout_data[*c as usize] = NodeId::new(gate_idx);
+                *c += 1;
+            }
+        }
+
+        // Kahn's algorithm for topological order + cycle detection.
+        let mut indegree: Vec<u32> = (0..n)
+            .map(|i| (fanin_index[i + 1] - fanin_index[i]) as u32)
+            .collect();
+        let mut queue: Vec<NodeId> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(NodeId::new)
+            .collect();
+        let mut topo: Vec<NodeId> = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            topo.push(u);
+            let lo = fanout_index[u.index()] as usize;
+            let hi = fanout_index[u.index() + 1] as usize;
+            for &v in &fanout_data[lo..hi] {
+                indegree[v.index()] -= 1;
+                if indegree[v.index()] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if topo.len() != n {
+            let via = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .map(|i| self.nodes[i].name.clone())
+                .unwrap_or_default();
+            return Err(NetlistError::Cycle { via });
+        }
+
+        // Levelization along the topological order.
+        let mut level = vec![0u32; n];
+        let mut max_level = 0;
+        for &u in &topo {
+            let lo = fanin_index[u.index()] as usize;
+            let hi = fanin_index[u.index() + 1] as usize;
+            let lvl = fanin_data[lo..hi]
+                .iter()
+                .map(|f| level[f.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[u.index()] = lvl;
+            max_level = max_level.max(lvl);
+        }
+
+        let mut is_output = vec![false; n];
+        for &o in &self.outputs {
+            if o.index() >= n {
+                return Err(NetlistError::InvalidNodeId { index: o.index() });
+            }
+            is_output[o.index()] = true;
+        }
+
+        let inputs: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| node.kind == Some(GateKind::Input))
+            .map(|(i, _)| NodeId::new(i))
+            .collect();
+
+        Ok(Netlist {
+            name: self.name,
+            kinds: self.nodes.iter().map(|p| p.kind.unwrap()).collect(),
+            names: self.nodes.into_iter().map(|p| p.name).collect(),
+            fanin_index,
+            fanin_data,
+            fanout_index,
+            fanout_data,
+            inputs,
+            outputs: self.outputs,
+            is_output,
+            level,
+            topo,
+            max_level,
+        })
+    }
+
+    fn pending_mut(&mut self, id: NodeId) -> Result<&mut PendingNode, NetlistError> {
+        self.nodes
+            .get_mut(id.index())
+            .ok_or(NetlistError::InvalidNodeId { index: id.index() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_then_define_supports_forward_references() {
+        let mut b = NetlistBuilder::new("fwd");
+        // `y = AND(a, t)` appears before `t = NOT(a)` in some .bench files.
+        let a = b.declare("a");
+        let t = b.declare("t");
+        let y = b.declare("y");
+        b.define_gate(y, GateKind::And, &[a, t]).unwrap();
+        b.define_gate(t, GateKind::Not, &[a]).unwrap();
+        b.define_input(a).unwrap();
+        b.mark_output(y);
+        let n = b.build().unwrap();
+        assert_eq!(n.num_nodes(), 3);
+        assert_eq!(n.level(y), 2);
+    }
+
+    #[test]
+    fn duplicate_definition_is_rejected() {
+        let mut b = NetlistBuilder::new("dup");
+        let a = b.add_input("a");
+        let err = b.define_input(a).unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateName { .. }));
+        let g = b.add_gate(GateKind::Buf, "g", &[a]).unwrap();
+        let err = b.define_gate(g, GateKind::Not, &[a]).unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateName { .. }));
+    }
+
+    #[test]
+    fn undefined_declaration_fails_at_build() {
+        let mut b = NetlistBuilder::new("undef");
+        let a = b.add_input("a");
+        let ghost = b.declare("ghost");
+        let y = b.add_gate(GateKind::And, "y", &[a, ghost]).unwrap();
+        b.mark_output(y);
+        let err = b.build().unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::UndefinedDeclaration {
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut b = NetlistBuilder::new("cyc");
+        let a = b.declare("a");
+        let c = b.declare("b");
+        b.define_gate(a, GateKind::Buf, &[c]).unwrap();
+        b.define_gate(c, GateKind::Buf, &[a]).unwrap();
+        b.mark_output(a);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, NetlistError::Cycle { .. }));
+    }
+
+    #[test]
+    fn empty_and_no_output_circuits_fail() {
+        let b = NetlistBuilder::new("empty");
+        assert_eq!(b.build().unwrap_err(), NetlistError::Empty);
+
+        let mut b = NetlistBuilder::new("no_out");
+        b.add_input("a");
+        assert_eq!(b.build().unwrap_err(), NetlistError::NoOutputs);
+    }
+
+    #[test]
+    fn arity_is_validated() {
+        let mut b = NetlistBuilder::new("arity");
+        let a = b.add_input("a");
+        assert!(matches!(
+            b.add_gate(GateKind::Not, "bad", &[a, a]),
+            Err(NetlistError::BadArity { .. })
+        ));
+        assert!(matches!(
+            b.add_gate(GateKind::And, "bad2", &[]),
+            Err(NetlistError::BadArity { .. })
+        ));
+        // Input "gates" cannot be defined through define_gate.
+        let x = b.declare("x");
+        assert!(matches!(
+            b.define_gate(x, GateKind::Input, &[]),
+            Err(NetlistError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn auto_names_do_not_collide() {
+        let mut b = NetlistBuilder::new("auto");
+        let a = b.add_input("_g0"); // occupy the first auto name
+        let g = b.add_gate_auto(GateKind::Buf, &[a]).unwrap();
+        assert_ne!(b.node_id("_g0"), Some(g));
+        b.mark_output(g);
+        let n = b.build().unwrap();
+        assert_eq!(n.num_nodes(), 2);
+    }
+
+    #[test]
+    fn mark_output_is_idempotent() {
+        let mut b = NetlistBuilder::new("out");
+        let a = b.add_input("a");
+        let y = b.add_gate(GateKind::Buf, "y", &[a]).unwrap();
+        b.mark_output(y);
+        b.mark_output(y);
+        let n = b.build().unwrap();
+        assert_eq!(n.num_outputs(), 1);
+    }
+
+    #[test]
+    fn inputs_can_be_outputs() {
+        let mut b = NetlistBuilder::new("wire");
+        let a = b.add_input("a");
+        b.mark_output(a);
+        let n = b.build().unwrap();
+        assert!(n.is_output(a));
+        assert!(n.is_input(a));
+    }
+
+    #[test]
+    fn constants_have_level_zero() {
+        let mut b = NetlistBuilder::new("consts");
+        let k0 = b.add_gate(GateKind::Const0, "k0", &[]).unwrap();
+        let k1 = b.add_gate(GateKind::Const1, "k1", &[]).unwrap();
+        let y = b.add_gate(GateKind::Or, "y", &[k0, k1]).unwrap();
+        b.mark_output(y);
+        let n = b.build().unwrap();
+        assert_eq!(n.level(k0), 0);
+        assert_eq!(n.level(k1), 0);
+        assert_eq!(n.level(y), 1);
+        assert_eq!(n.num_inputs(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Graphviz DOT export for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::{GateKind, Netlist};
+
+/// Renders the netlist as a Graphviz `digraph`.
+///
+/// Primary inputs are drawn as triangles, primary outputs with a double
+/// outline, and gates as boxes labelled `name\nKIND`.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::{bench_format, to_dot};
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let n = bench_format::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "inv")?;
+/// let dot = to_dot(&n);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("NOT"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for node in netlist.node_ids() {
+        let kind = netlist.kind(node);
+        let name = netlist.node_name(node);
+        let shape = if kind == GateKind::Input {
+            "triangle"
+        } else {
+            "box"
+        };
+        let peripheries = if netlist.is_output(node) { 2 } else { 1 };
+        let label = if kind == GateKind::Input {
+            name.to_string()
+        } else {
+            format!("{name}\\n{kind}")
+        };
+        let _ = writeln!(
+            out,
+            "  {} [shape={shape}, peripheries={peripheries}, label=\"{label}\"];",
+            node.index()
+        );
+    }
+    for gate in netlist.node_ids() {
+        for &src in netlist.fanins(gate) {
+            let _ = writeln!(out, "  {} -> {};", src.index(), gate.index());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = NetlistBuilder::new("d");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let y = b.add_gate(GateKind::And, "y", &[a, c]).unwrap();
+        b.mark_output(y);
+        let n = b.build().unwrap();
+        let dot = to_dot(&n);
+        assert!(dot.contains("0 -> 2"));
+        assert!(dot.contains("1 -> 2"));
+        assert!(dot.contains("peripheries=2")); // the output
+        assert!(dot.contains("shape=triangle")); // the inputs
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,156 @@
+//! Error type shared by netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing a netlist.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::{GateKind, NetlistBuilder, NetlistError};
+///
+/// let mut b = NetlistBuilder::new("bad");
+/// let a = b.add_input("a");
+/// // NOT takes exactly one fanin.
+/// let err = b.add_gate(GateKind::Not, "g", &[a, a]).unwrap_err();
+/// assert!(matches!(err, NetlistError::BadArity { .. }));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A node name was declared twice.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A name was referenced (e.g. as a fanin or output) but never defined.
+    UndefinedNode {
+        /// The missing name.
+        name: String,
+    },
+    /// A gate was given a number of fanins outside its legal arity range.
+    BadArity {
+        /// The gate's name.
+        name: String,
+        /// The gate kind.
+        kind: crate::GateKind,
+        /// Number of fanins supplied.
+        got: usize,
+    },
+    /// The combinational graph contains a cycle.
+    Cycle {
+        /// Name of one node on the cycle.
+        via: String,
+    },
+    /// A `NodeId` did not belong to this builder.
+    InvalidNodeId {
+        /// The raw index of the invalid id.
+        index: usize,
+    },
+    /// A node was declared (e.g. referenced as a fanin) but never defined
+    /// as an input or a gate.
+    UndefinedDeclaration {
+        /// The declared-but-undefined name.
+        name: String,
+    },
+    /// The circuit has no primary outputs.
+    NoOutputs,
+    /// The circuit has no nodes at all.
+    Empty,
+    /// A `.bench` source line could not be parsed.
+    Parse {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName { name } => {
+                write!(f, "duplicate node name `{name}`")
+            }
+            NetlistError::UndefinedNode { name } => {
+                write!(f, "reference to undefined node `{name}`")
+            }
+            NetlistError::BadArity { name, kind, got } => {
+                let (lo, hi) = kind.arity_range();
+                if lo == hi {
+                    write!(f, "gate `{name}` of kind {kind} requires {lo} fanins, got {got}")
+                } else {
+                    write!(f, "gate `{name}` of kind {kind} requires at least {lo} fanins, got {got}")
+                }
+            }
+            NetlistError::Cycle { via } => {
+                write!(f, "combinational cycle through node `{via}`")
+            }
+            NetlistError::InvalidNodeId { index } => {
+                write!(f, "node id n{index} does not belong to this builder")
+            }
+            NetlistError::UndefinedDeclaration { name } => {
+                write!(f, "node `{name}` was referenced but never defined")
+            }
+            NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            NetlistError::Empty => write!(f, "circuit has no nodes"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(NetlistError, &str)> = vec![
+            (
+                NetlistError::DuplicateName { name: "g1".into() },
+                "duplicate node name `g1`",
+            ),
+            (
+                NetlistError::UndefinedNode { name: "x".into() },
+                "reference to undefined node `x`",
+            ),
+            (NetlistError::NoOutputs, "circuit has no primary outputs"),
+            (NetlistError::Empty, "circuit has no nodes"),
+            (
+                NetlistError::Cycle { via: "loop".into() },
+                "combinational cycle through node `loop`",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn arity_message_distinguishes_fixed_and_min() {
+        let fixed = NetlistError::BadArity {
+            name: "inv".into(),
+            kind: GateKind::Not,
+            got: 2,
+        };
+        assert!(fixed.to_string().contains("requires 1 fanins, got 2"));
+        let min = NetlistError::BadArity {
+            name: "a".into(),
+            kind: GateKind::And,
+            got: 0,
+        };
+        assert!(min.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<NetlistError>();
+    }
+}

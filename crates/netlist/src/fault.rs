@@ -1,0 +1,673 @@
+//! Single stuck-at fault model with structural equivalence collapsing.
+//!
+//! Faults live on *lines*. A line is either a **stem** (the output of a node)
+//! or a **branch** (one fanout copy of a stem, identified by the reading gate
+//! and its pin index). Branches are only distinct fault sites when the stem
+//! drives more than one reader; for single-reader stems the branch is the
+//! same physical line as the stem, and only the stem fault is enumerated.
+//!
+//! Structural equivalence collapsing merges faults that are detected by
+//! exactly the same tests:
+//!
+//! * AND: any input s-a-0 ≡ output s-a-0; NAND: input s-a-0 ≡ output s-a-1;
+//!   OR: input s-a-1 ≡ output s-a-1; NOR: input s-a-1 ≡ output s-a-0.
+//! * BUF: input s-a-v ≡ output s-a-v; NOT: input s-a-v ≡ output s-a-(1-v).
+//! * XOR/XNOR gates contribute no equivalences.
+//!
+//! The collapsed representative chosen for each class is the fault whose
+//! line is closest to the primary inputs (lowest level, ties broken by
+//! creation order), which matches the common convention of targeting faults
+//! at their "origin".
+
+use std::fmt;
+
+use crate::{GateKind, Netlist, NodeId};
+
+/// A fault site: one physical line of the circuit.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::fault::FaultSite;
+/// use adi_netlist::NodeId;
+///
+/// let stem = FaultSite::Stem(NodeId::new(4));
+/// let branch = FaultSite::Branch { gate: NodeId::new(7), pin: 1 };
+/// assert_ne!(stem, branch);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FaultSite {
+    /// The output line of a node.
+    Stem(NodeId),
+    /// The `pin`-th fanin line of `gate`.
+    Branch {
+        /// The gate reading the line.
+        gate: NodeId,
+        /// Pin index into the gate's fanin list.
+        pin: u8,
+    },
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::Stem(n) => write!(f, "{n}"),
+            FaultSite::Branch { gate, pin } => write!(f, "{gate}.{pin}"),
+        }
+    }
+}
+
+/// A single stuck-at fault: a [`FaultSite`] stuck at a constant value.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::fault::{Fault, FaultSite};
+/// use adi_netlist::NodeId;
+///
+/// let f = Fault::stem_at(NodeId::new(2), true);
+/// assert_eq!(f.stuck_value(), true);
+/// assert_eq!(format!("{f}"), "n2/1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fault {
+    site: FaultSite,
+    stuck: bool,
+}
+
+impl Fault {
+    /// Creates a fault at an arbitrary site.
+    pub fn new(site: FaultSite, stuck: bool) -> Self {
+        Fault { site, stuck }
+    }
+
+    /// Creates a stem (node output) fault.
+    pub fn stem_at(node: NodeId, stuck: bool) -> Self {
+        Fault {
+            site: FaultSite::Stem(node),
+            stuck,
+        }
+    }
+
+    /// Creates a branch (gate input pin) fault.
+    pub fn branch_at(gate: NodeId, pin: u8, stuck: bool) -> Self {
+        Fault {
+            site: FaultSite::Branch { gate, pin },
+            stuck,
+        }
+    }
+
+    /// The fault's site.
+    pub fn site(self) -> FaultSite {
+        self.site
+    }
+
+    /// The stuck-at value (`false` = s-a-0, `true` = s-a-1).
+    pub fn stuck_value(self) -> bool {
+        self.stuck
+    }
+
+    /// The node at which a fault-effect first appears: the stem node for a
+    /// stem fault, the reading gate for a branch fault.
+    pub fn effect_node(self) -> NodeId {
+        match self.site {
+            FaultSite::Stem(n) => n,
+            FaultSite::Branch { gate, .. } => gate,
+        }
+    }
+
+    /// Human-readable description using the netlist's node names, e.g.
+    /// `"G11/0"` for a stem fault or `"G11->G16/1"` for a branch fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault references nodes outside `netlist`.
+    pub fn describe(self, netlist: &crate::Netlist) -> String {
+        let v = u8::from(self.stuck);
+        match self.site {
+            FaultSite::Stem(n) => format!("{}/{v}", netlist.node_name(n)),
+            FaultSite::Branch { gate, pin } => {
+                let src = netlist.fanins(gate)[pin as usize];
+                format!(
+                    "{}->{}/{v}",
+                    netlist.node_name(src),
+                    netlist.node_name(gate)
+                )
+            }
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.site, u8::from(self.stuck))
+    }
+}
+
+/// Index of a fault within a [`FaultList`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct FaultId(u32);
+
+impl FaultId {
+    /// Creates a `FaultId` from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        FaultId(u32::try_from(index).expect("fault index exceeds u32 range"))
+    }
+
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// An ordered list of target faults for one circuit.
+///
+/// The list order *is* the "original order" (`Forig`) of the paper: faults
+/// are enumerated per node in creation order (stem s-a-0, stem s-a-1, then
+/// branch faults per pin), mirroring the order in which a circuit
+/// description would list its lines.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::fault::FaultList;
+/// use adi_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("and2");
+/// let a = b.add_input("a");
+/// let c = b.add_input("b");
+/// let y = b.add_gate(GateKind::And, "y", &[a, c])?;
+/// b.mark_output(y);
+/// let n = b.build()?;
+///
+/// let full = FaultList::full(&n);
+/// let collapsed = FaultList::collapsed(&n);
+/// assert!(collapsed.len() < full.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultList {
+    faults: Vec<Fault>,
+}
+
+impl FaultList {
+    /// Builds a list from explicit faults.
+    pub fn from_faults(faults: Vec<Fault>) -> Self {
+        FaultList { faults }
+    }
+
+    /// Enumerates the **full** (uncollapsed) single stuck-at fault universe:
+    /// both polarities on every stem, and on every branch of a stem with
+    /// more than one reader.
+    pub fn full(netlist: &Netlist) -> Self {
+        let mut faults = Vec::new();
+        for node in netlist.node_ids() {
+            faults.push(Fault::stem_at(node, false));
+            faults.push(Fault::stem_at(node, true));
+        }
+        for gate in netlist.node_ids() {
+            for (pin, &src) in netlist.fanins(gate).iter().enumerate() {
+                if netlist.fanout_count(src) > 1 {
+                    let pin = u8::try_from(pin).expect("gate has more than 255 pins");
+                    faults.push(Fault::branch_at(gate, pin, false));
+                    faults.push(Fault::branch_at(gate, pin, true));
+                }
+            }
+        }
+        FaultList { faults }
+    }
+
+    /// Enumerates the structurally **collapsed** fault list (equivalence
+    /// collapsing only, no dominance). See the module docs for the rules.
+    pub fn collapsed(netlist: &Netlist) -> Self {
+        let full = Self::full(netlist);
+        let classes = collapse_classes(netlist, &full);
+        // Keep exactly one representative per class, in original order of
+        // the representative.
+        let mut reps: Vec<Option<usize>> = vec![None; full.len()];
+        for (idx, &class) in classes.iter().enumerate() {
+            let slot = &mut reps[class];
+            let better = match *slot {
+                None => true,
+                Some(prev) => {
+                    let (pl, pi) = line_rank(netlist, full.faults[prev]);
+                    let (cl, ci) = line_rank(netlist, full.faults[idx]);
+                    (cl, ci) < (pl, pi)
+                }
+            };
+            if better {
+                *slot = Some(idx);
+            }
+        }
+        let mut chosen: Vec<usize> = reps.into_iter().flatten().collect();
+        chosen.sort_unstable();
+        FaultList {
+            faults: chosen.into_iter().map(|i| full.faults[i]).collect(),
+        }
+    }
+
+    /// Number of faults in the list.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn fault(&self, id: FaultId) -> Fault {
+        self.faults[id.index()]
+    }
+
+    /// Iterates over `(FaultId, Fault)` pairs in list order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (FaultId, Fault)> + '_ {
+        self.faults
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (FaultId::new(i), f))
+    }
+
+    /// All fault ids in list order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = FaultId> {
+        (0..self.faults.len()).map(FaultId::new)
+    }
+
+    /// The underlying faults as a slice.
+    pub fn as_slice(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Finds the id of a fault, if present.
+    pub fn position(&self, fault: Fault) -> Option<FaultId> {
+        self.faults.iter().position(|&f| f == fault).map(FaultId::new)
+    }
+}
+
+/// Sort key that prefers lines closer to the primary inputs.
+fn line_rank(netlist: &Netlist, fault: Fault) -> (u32, u32) {
+    match fault.site() {
+        FaultSite::Stem(n) => (netlist.level(n), n.as_u32() * 2),
+        FaultSite::Branch { gate, pin } => {
+            let src = netlist.fanins(gate)[pin as usize];
+            // A branch sits just after its stem.
+            (netlist.level(src), src.as_u32() * 2 + 1)
+        }
+    }
+}
+
+/// Computes, for every fault in `full`, the index of its equivalence-class
+/// root within `full` (union-find with path compression).
+fn collapse_classes(netlist: &Netlist, full: &FaultList) -> Vec<usize> {
+    use std::collections::HashMap;
+
+    let mut parent: Vec<usize> = (0..full.len()).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    fn union(parent: &mut Vec<usize>, a: usize, b: usize) {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+
+    let index: HashMap<Fault, usize> = full
+        .iter()
+        .map(|(id, f)| (f, id.index()))
+        .collect();
+
+    // The fault "seen at pin `pin` of `gate`": the branch fault if the line
+    // is a true branch, otherwise the driver's stem fault.
+    let pin_fault = |gate: NodeId, pin: usize, stuck: bool| -> Fault {
+        let src = netlist.fanins(gate)[pin];
+        if netlist.fanout_count(src) > 1 {
+            Fault::branch_at(gate, pin as u8, stuck)
+        } else {
+            Fault::stem_at(src, stuck)
+        }
+    };
+
+    for gate in netlist.node_ids() {
+        let kind = netlist.kind(gate);
+        let n_pins = netlist.fanins(gate).len();
+        match kind {
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                let c = kind
+                    .controlling_value()
+                    .expect("AND/NAND/OR/NOR have controlling values");
+                let out_val = c != kind.is_inverting();
+                let out = index[&Fault::stem_at(gate, out_val)];
+                for pin in 0..n_pins {
+                    let inp = index[&pin_fault(gate, pin, c)];
+                    union(&mut parent, inp, out);
+                }
+            }
+            GateKind::Buf => {
+                for stuck in [false, true] {
+                    let inp = index[&pin_fault(gate, 0, stuck)];
+                    let out = index[&Fault::stem_at(gate, stuck)];
+                    union(&mut parent, inp, out);
+                }
+            }
+            GateKind::Not => {
+                for stuck in [false, true] {
+                    let inp = index[&pin_fault(gate, 0, stuck)];
+                    let out = index[&Fault::stem_at(gate, !stuck)];
+                    union(&mut parent, inp, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    (0..full.len())
+        .map(|i| find(&mut parent, i))
+        .collect()
+}
+
+impl FaultList {
+    /// Enumerates the equivalence-collapsed list further reduced by
+    /// **gate-local dominance**: for every AND/NAND/OR/NOR gate, the
+    /// output stem fault that is dominated by its input faults at the
+    /// non-controlling value is removed (together with its whole
+    /// equivalence class).
+    ///
+    /// For fanout-free logic this converges towards the classic
+    /// *checkpoint* fault set (primary-input stems plus fanout branches).
+    /// Every removed class is dominated by a retained fault closer to the
+    /// inputs: any test set detecting the retained faults of a gate's
+    /// inputs also detects its removed output fault.
+    ///
+    /// Dominance collapsing is sound for *test generation*; reported
+    /// fault-coverage percentages over the reduced list differ from the
+    /// full-list numbers, which is why the paper's pipeline uses
+    /// [`FaultList::collapsed`] and this reduction is offered separately.
+    pub fn dominance_collapsed(netlist: &Netlist) -> Self {
+        let full = Self::full(netlist);
+        let classes = collapse_classes(netlist, &full);
+        let index: std::collections::HashMap<Fault, usize> =
+            full.iter().map(|(id, f)| (f, id.index())).collect();
+
+        // A class is removable if it contains the dominated output fault
+        // of a controlling-value gate with at least 2 inputs.
+        let mut removable_class: std::collections::HashSet<usize> =
+            std::collections::HashSet::new();
+        for gate in netlist.node_ids() {
+            let kind = netlist.kind(gate);
+            let Some(c) = kind.controlling_value() else {
+                continue;
+            };
+            if netlist.fanins(gate).len() < 2 {
+                continue;
+            }
+            // Tests for any input s-a-(!c) also detect the output stuck at
+            // the value the gate takes when that input is at !c... i.e. the
+            // output fault at (!c) ^ inversion.
+            let dominated_out = Fault::stem_at(gate, !c != kind.is_inverting());
+            let idx = index[&dominated_out];
+            removable_class.insert(classes[idx]);
+        }
+
+        // Keep one representative per surviving class, same policy as
+        // `collapsed`.
+        let mut reps: Vec<Option<usize>> = vec![None; full.len()];
+        for (idx, &class) in classes.iter().enumerate() {
+            if removable_class.contains(&class) {
+                continue;
+            }
+            let slot = &mut reps[class];
+            let better = match *slot {
+                None => true,
+                Some(prev) => {
+                    let p = line_rank(netlist, full.faults[prev]);
+                    let c = line_rank(netlist, full.faults[idx]);
+                    c < p
+                }
+            };
+            if better {
+                *slot = Some(idx);
+            }
+        }
+        let mut chosen: Vec<usize> = reps.into_iter().flatten().collect();
+        chosen.sort_unstable();
+        FaultList {
+            faults: chosen.into_iter().map(|i| full.faults[i]).collect(),
+        }
+    }
+}
+
+/// Returns the equivalence classes of the full fault universe as groups of
+/// faults. Exposed for tests and for tools that want to expand collapsed
+/// results back to the full universe.
+pub fn equivalence_classes(netlist: &Netlist) -> Vec<Vec<Fault>> {
+    let full = FaultList::full(netlist);
+    let classes = collapse_classes(netlist, &full);
+    let mut groups: std::collections::HashMap<usize, Vec<Fault>> =
+        std::collections::HashMap::new();
+    for (idx, &class) in classes.iter().enumerate() {
+        groups.entry(class).or_default().push(full.faults[idx]);
+    }
+    let mut out: Vec<Vec<Fault>> = groups.into_values().collect();
+    for g in &mut out {
+        g.sort_unstable();
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn and2() -> Netlist {
+        let mut b = NetlistBuilder::new("and2");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let y = b.add_gate(GateKind::And, "y", &[a, c]).unwrap();
+        b.mark_output(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_universe_of_and2() {
+        let n = and2();
+        let full = FaultList::full(&n);
+        // 3 stems * 2 polarities; no branches (all stems single-reader).
+        assert_eq!(full.len(), 6);
+    }
+
+    #[test]
+    fn and2_collapses_to_four() {
+        // Classic result: a 2-input AND gate has 6 faults collapsing to 4
+        // classes {a0,b0,y0}, {a1}, {b1}, {y1}.
+        let n = and2();
+        let collapsed = FaultList::collapsed(&n);
+        assert_eq!(collapsed.len(), 4);
+        let classes = equivalence_classes(&n);
+        assert_eq!(classes.len(), 4);
+        let biggest = classes.iter().map(Vec::len).max().unwrap();
+        assert_eq!(biggest, 3);
+    }
+
+    #[test]
+    fn inverter_chain_collapses_to_two() {
+        // i -> NOT -> NOT -> o : all 6 faults fall into 2 classes.
+        let mut b = NetlistBuilder::new("invchain");
+        let i = b.add_input("i");
+        let g1 = b.add_gate(GateKind::Not, "g1", &[i]).unwrap();
+        let g2 = b.add_gate(GateKind::Not, "g2", &[g1]).unwrap();
+        b.mark_output(g2);
+        let n = b.build().unwrap();
+        let collapsed = FaultList::collapsed(&n);
+        assert_eq!(collapsed.len(), 2);
+        // Representatives should be at the primary input (level 0).
+        for (_, f) in collapsed.iter() {
+            assert_eq!(f.effect_node(), i);
+        }
+    }
+
+    #[test]
+    fn branch_faults_only_on_multi_reader_stems() {
+        let mut b = NetlistBuilder::new("fanout");
+        let a = b.add_input("a");
+        let g1 = b.add_gate(GateKind::Not, "g1", &[a]).unwrap();
+        let g2 = b.add_gate(GateKind::Buf, "g2", &[a]).unwrap();
+        b.mark_output(g1);
+        b.mark_output(g2);
+        let n = b.build().unwrap();
+        let full = FaultList::full(&n);
+        // stems: a,g1,g2 (6 faults) + branches a->g1, a->g2 (4 faults).
+        assert_eq!(full.len(), 10);
+        let branches = full
+            .iter()
+            .filter(|(_, f)| matches!(f.site(), FaultSite::Branch { .. }))
+            .count();
+        assert_eq!(branches, 4);
+    }
+
+    #[test]
+    fn xor_gate_does_not_collapse() {
+        let mut b = NetlistBuilder::new("xor2");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let y = b.add_gate(GateKind::Xor, "y", &[a, c]).unwrap();
+        b.mark_output(y);
+        let n = b.build().unwrap();
+        assert_eq!(FaultList::collapsed(&n).len(), FaultList::full(&n).len());
+    }
+
+    #[test]
+    fn fault_display() {
+        assert_eq!(Fault::stem_at(NodeId::new(3), false).to_string(), "n3/0");
+        assert_eq!(Fault::branch_at(NodeId::new(5), 1, true).to_string(), "n5.1/1");
+    }
+
+    #[test]
+    fn fault_list_lookup() {
+        let n = and2();
+        let list = FaultList::full(&n);
+        let f = list.fault(FaultId::new(0));
+        assert_eq!(list.position(f), Some(FaultId::new(0)));
+        assert_eq!(list.position(Fault::branch_at(NodeId::new(9), 0, false)), None);
+    }
+
+    #[test]
+    fn collapsed_is_subset_of_full() {
+        let n = and2();
+        let full = FaultList::full(&n);
+        let collapsed = FaultList::collapsed(&n);
+        for (_, f) in collapsed.iter() {
+            assert!(full.position(f).is_some());
+        }
+    }
+
+    #[test]
+    fn nand_collapse_rule() {
+        // NAND: input s-a-0 ≡ output s-a-1.
+        let mut b = NetlistBuilder::new("nand2");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let y = b.add_gate(GateKind::Nand, "y", &[a, c]).unwrap();
+        b.mark_output(y);
+        let n = b.build().unwrap();
+        let classes = equivalence_classes(&n);
+        let cls_with_y1 = classes
+            .iter()
+            .find(|cls| cls.contains(&Fault::stem_at(y, true)))
+            .unwrap();
+        assert!(cls_with_y1.contains(&Fault::stem_at(a, false)));
+        assert!(cls_with_y1.contains(&Fault::stem_at(c, false)));
+        assert_eq!(cls_with_y1.len(), 3);
+    }
+
+    #[test]
+    fn class_union_covers_universe() {
+        let n = and2();
+        let classes = equivalence_classes(&n);
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, FaultList::full(&n).len());
+    }
+
+    #[test]
+    fn dominance_drops_and2_output_fault() {
+        // AND2: equivalence leaves {a0-class, a1, b1, y1}; dominance
+        // additionally removes y1 (dominated by a1 and b1).
+        let n = and2();
+        let dom = FaultList::dominance_collapsed(&n);
+        assert_eq!(dom.len(), 3);
+        let y = n.find_node("y").unwrap();
+        assert!(dom.position(Fault::stem_at(y, true)).is_none());
+    }
+
+    #[test]
+    fn dominance_is_subset_of_equivalence_collapse() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let d = b.add_input("c");
+        let t = b.add_gate(GateKind::And, "t", &[a, c]).unwrap();
+        let y = b.add_gate(GateKind::Or, "y", &[t, d]).unwrap();
+        b.mark_output(y);
+        let n = b.build().unwrap();
+        let eq = FaultList::collapsed(&n);
+        let dom = FaultList::dominance_collapsed(&n);
+        assert!(dom.len() < eq.len());
+        for (_, f) in dom.iter() {
+            assert!(eq.position(f).is_some() || FaultList::full(&n).position(f).is_some());
+        }
+    }
+
+    #[test]
+    fn dominance_keeps_xor_outputs() {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let y = b.add_gate(GateKind::Xor, "y", &[a, c]).unwrap();
+        b.mark_output(y);
+        let n = b.build().unwrap();
+        // XOR has no controlling value: nothing is dominance-removable.
+        assert_eq!(
+            FaultList::dominance_collapsed(&n).len(),
+            FaultList::collapsed(&n).len()
+        );
+    }
+
+    #[test]
+    fn dominance_on_inverter_chain_keeps_input_faults() {
+        let mut b = NetlistBuilder::new("inv2");
+        let i = b.add_input("i");
+        let g1 = b.add_gate(GateKind::Not, "g1", &[i]).unwrap();
+        let g2 = b.add_gate(GateKind::Not, "g2", &[g1]).unwrap();
+        b.mark_output(g2);
+        let n = b.build().unwrap();
+        // Single-input gates have no dominance rule; equivalence already
+        // collapses everything onto the input.
+        assert_eq!(FaultList::dominance_collapsed(&n).len(), 2);
+    }
+}

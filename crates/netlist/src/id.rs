@@ -1,0 +1,91 @@
+//! Strongly-typed node identifiers.
+
+use std::fmt;
+
+/// Identifier of a node (primary input or gate) in a [`Netlist`].
+///
+/// `NodeId`s are dense indices issued by [`NetlistBuilder`] in creation
+/// order; they index directly into the netlist's internal arrays. A
+/// `NodeId` is only meaningful for the netlist that produced it.
+///
+/// [`Netlist`]: crate::Netlist
+/// [`NetlistBuilder`]: crate::NetlistBuilder
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::NodeId;
+///
+/// let id = NodeId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "n3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a `NodeId` from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+
+    /// Returns the raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index as a `u32`.
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        for i in [0usize, 1, 41, 65_535, 1 << 20] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(7), NodeId::new(7));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::new(12).to_string(), "n12");
+    }
+
+    #[test]
+    fn usize_conversion() {
+        let id = NodeId::new(9);
+        let raw: usize = id.into();
+        assert_eq!(raw, 9);
+        assert_eq!(id.as_u32(), 9);
+    }
+}

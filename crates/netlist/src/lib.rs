@@ -1,0 +1,63 @@
+//! Gate-level combinational netlist representation for the ADI reproduction.
+//!
+//! This crate is the structural substrate of the workspace: it defines the
+//! [`Netlist`] data structure (an immutable, levelized, CSR-encoded gate
+//! graph), the [`NetlistBuilder`] used to construct and validate it, the
+//! ISCAS `.bench` text format reader/writer ([`bench_format`]), and the
+//! single stuck-at fault model with structural equivalence collapsing
+//! ([`fault`]).
+//!
+//! Full-scan sequential circuits are handled by treating flip-flop outputs as
+//! pseudo primary inputs and flip-flop inputs as pseudo primary outputs, so
+//! every circuit in this workspace is purely combinational.
+//!
+//! # Examples
+//!
+//! Build a tiny circuit (a 2-input multiplexer) and inspect its structure:
+//!
+//! ```
+//! use adi_netlist::{GateKind, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), adi_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("mux2");
+//! let a = b.add_input("a");
+//! let sel = b.add_input("sel");
+//! let c = b.add_input("c");
+//! let nsel = b.add_gate(GateKind::Not, "nsel", &[sel])?;
+//! let t0 = b.add_gate(GateKind::And, "t0", &[a, nsel])?;
+//! let t1 = b.add_gate(GateKind::And, "t1", &[c, sel])?;
+//! let y = b.add_gate(GateKind::Or, "y", &[t0, t1])?;
+//! b.mark_output(y);
+//! let netlist = b.build()?;
+//!
+//! assert_eq!(netlist.num_inputs(), 3);
+//! assert_eq!(netlist.num_outputs(), 1);
+//! assert_eq!(netlist.num_nodes(), 7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_format;
+mod builder;
+mod cone;
+mod dot;
+mod error;
+pub mod fault;
+mod ffr;
+mod gate;
+mod id;
+mod netlist;
+mod stats;
+
+pub use builder::NetlistBuilder;
+pub use cone::{fanin_cone, fanout_cone, NodeSet};
+pub use dot::to_dot;
+pub use error::NetlistError;
+pub use ffr::FfrPartition;
+pub use gate::GateKind;
+pub use id::NodeId;
+pub use netlist::Netlist;
+pub use stats::NetlistStats;

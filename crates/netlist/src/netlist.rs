@@ -1,0 +1,318 @@
+//! The immutable, levelized netlist graph.
+
+use crate::{GateKind, NodeId};
+
+/// An immutable combinational gate-level circuit.
+///
+/// A `Netlist` is produced by [`NetlistBuilder::build`] and is guaranteed to
+/// be acyclic, arity-correct, and levelized. Nodes are stored in creation
+/// order; fanins and fanouts are stored in CSR (compressed sparse row) form
+/// so traversal allocates nothing.
+///
+/// [`NetlistBuilder::build`]: crate::NetlistBuilder::build
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("inv");
+/// let a = b.add_input("a");
+/// let y = b.add_gate(GateKind::Not, "y", &[a])?;
+/// b.mark_output(y);
+/// let n = b.build()?;
+/// assert_eq!(n.fanins(y), &[a]);
+/// assert_eq!(n.fanouts(a), &[y]);
+/// assert_eq!(n.level(y), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) kinds: Vec<GateKind>,
+    pub(crate) names: Vec<String>,
+    pub(crate) fanin_index: Vec<u32>,
+    pub(crate) fanin_data: Vec<NodeId>,
+    pub(crate) fanout_index: Vec<u32>,
+    pub(crate) fanout_data: Vec<NodeId>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+    pub(crate) is_output: Vec<bool>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) topo: Vec<NodeId>,
+    pub(crate) max_level: u32,
+}
+
+impl Netlist {
+    /// The circuit's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes (primary inputs + gates).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[inline]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of gate nodes (nodes that are not primary inputs).
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.num_nodes() - self.num_inputs()
+    }
+
+    /// The gate kind of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this netlist.
+    #[inline]
+    pub fn kind(&self, node: NodeId) -> GateKind {
+        self.kinds[node.index()]
+    }
+
+    /// The declared name of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this netlist.
+    #[inline]
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.names[node.index()]
+    }
+
+    /// The fanin nodes of `node`, in pin order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this netlist.
+    #[inline]
+    pub fn fanins(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        let lo = self.fanin_index[i] as usize;
+        let hi = self.fanin_index[i + 1] as usize;
+        &self.fanin_data[lo..hi]
+    }
+
+    /// The fanout nodes of `node` (gates that read it), in node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this netlist.
+    #[inline]
+    pub fn fanouts(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        let lo = self.fanout_index[i] as usize;
+        let hi = self.fanout_index[i + 1] as usize;
+        &self.fanout_data[lo..hi]
+    }
+
+    /// Number of places `node` is read: gate fanouts plus one if it is a
+    /// primary output. This is the stem's fanout count for the fault model.
+    #[inline]
+    pub fn fanout_count(&self, node: NodeId) -> usize {
+        self.fanouts(node).len() + usize::from(self.is_output(node))
+    }
+
+    /// The primary inputs, in declaration order.
+    #[inline]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// The primary outputs, in declaration order.
+    #[inline]
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Returns `true` if `node` is a primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this netlist.
+    #[inline]
+    pub fn is_output(&self, node: NodeId) -> bool {
+        self.is_output[node.index()]
+    }
+
+    /// Returns `true` if `node` is a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this netlist.
+    #[inline]
+    pub fn is_input(&self, node: NodeId) -> bool {
+        self.kinds[node.index()] == GateKind::Input
+    }
+
+    /// The logic level of `node`: 0 for primary inputs and constant
+    /// sources, `1 + max(level of fanins)` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this netlist.
+    #[inline]
+    pub fn level(&self, node: NodeId) -> u32 {
+        self.level[node.index()]
+    }
+
+    /// The maximum logic level in the circuit (its depth).
+    #[inline]
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Nodes in a topological order (every node appears after all of its
+    /// fanins). Primary inputs come first.
+    #[inline]
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Iterates over all node ids in creation order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.num_nodes()).map(NodeId::new)
+    }
+
+    /// Looks a node up by name.
+    ///
+    /// This is a linear scan; it is intended for tests and small-circuit
+    /// tooling, not inner loops.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(NodeId::new)
+    }
+
+    /// Total number of fault-site lines in the circuit: one stem per node
+    /// plus one branch per gate input pin whose driver fans out to more
+    /// than one reader.
+    pub fn num_lines(&self) -> usize {
+        let branches: usize = self
+            .node_ids()
+            .map(|g| {
+                self.fanins(g)
+                    .iter()
+                    .filter(|&&src| self.fanout_count(src) > 1)
+                    .count()
+            })
+            .sum();
+        self.num_nodes() + branches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GateKind, NetlistBuilder};
+
+    fn mux2() -> crate::Netlist {
+        let mut b = NetlistBuilder::new("mux2");
+        let a = b.add_input("a");
+        let sel = b.add_input("sel");
+        let c = b.add_input("c");
+        let nsel = b.add_gate(GateKind::Not, "nsel", &[sel]).unwrap();
+        let t0 = b.add_gate(GateKind::And, "t0", &[a, nsel]).unwrap();
+        let t1 = b.add_gate(GateKind::And, "t1", &[c, sel]).unwrap();
+        let y = b.add_gate(GateKind::Or, "y", &[t0, t1]).unwrap();
+        b.mark_output(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn structure_counts() {
+        let n = mux2();
+        assert_eq!(n.num_nodes(), 7);
+        assert_eq!(n.num_inputs(), 3);
+        assert_eq!(n.num_gates(), 4);
+        assert_eq!(n.num_outputs(), 1);
+        assert_eq!(n.name(), "mux2");
+    }
+
+    #[test]
+    fn fanin_fanout_symmetry() {
+        let n = mux2();
+        for g in n.node_ids() {
+            for &src in n.fanins(g) {
+                assert!(
+                    n.fanouts(src).contains(&g),
+                    "fanout list of {src} misses {g}"
+                );
+            }
+            for &dst in n.fanouts(g) {
+                assert!(n.fanins(dst).contains(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn levels_increase_along_edges() {
+        let n = mux2();
+        for g in n.node_ids() {
+            for &src in n.fanins(g) {
+                assert!(n.level(src) < n.level(g));
+            }
+        }
+        assert_eq!(n.max_level(), 3);
+    }
+
+    #[test]
+    fn topo_order_is_consistent() {
+        let n = mux2();
+        let pos: Vec<usize> = {
+            let mut p = vec![0usize; n.num_nodes()];
+            for (i, &id) in n.topo_order().iter().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        for g in n.node_ids() {
+            for &src in n.fanins(g) {
+                assert!(pos[src.index()] < pos[g.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn find_node_by_name() {
+        let n = mux2();
+        let y = n.find_node("y").unwrap();
+        assert!(n.is_output(y));
+        assert_eq!(n.kind(y), GateKind::Or);
+        assert!(n.find_node("nonexistent").is_none());
+    }
+
+    #[test]
+    fn line_count_includes_branches() {
+        let n = mux2();
+        // `sel` feeds both `nsel` and `t1` => 2 branch lines; all other
+        // drivers have a single reader. 7 stems + 2 branches = 9 lines.
+        assert_eq!(n.num_lines(), 9);
+    }
+
+    #[test]
+    fn fanout_count_counts_po() {
+        let n = mux2();
+        let y = n.find_node("y").unwrap();
+        assert_eq!(n.fanouts(y).len(), 0);
+        assert_eq!(n.fanout_count(y), 1); // the PO itself
+        let sel = n.find_node("sel").unwrap();
+        assert_eq!(n.fanout_count(sel), 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! Robustness: the `.bench` parser must never panic, whatever bytes it is
+//! fed — malformed input yields `Err`, never a crash.
+
+use adi_netlist::bench_format;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in ".{0,400}") {
+        let _ = bench_format::parse(&text, "fuzz");
+    }
+
+    #[test]
+    fn parser_never_panics_on_benchlike_text(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                "INPUT\\([a-z]{0,3}\\)",
+                "OUTPUT\\([a-z]{0,3}\\)",
+                "[a-z]{1,3} = (AND|NAND|OR|XYZ|DFF)\\([a-z,]{0,8}\\)",
+                "# [a-z ]{0,10}",
+                "[a-z =(),]{0,20}",
+            ],
+            0..20,
+        )
+    ) {
+        let text = lines.join("\n");
+        let _ = bench_format::parse(&text, "fuzz");
+    }
+
+    #[test]
+    fn accepted_inputs_produce_valid_netlists(
+        names in proptest::collection::vec("[a-d]", 2..4),
+    ) {
+        // A minimal well-formed circuit template driven by random names.
+        let a = &names[0];
+        let b = &names[1];
+        let text = format!("INPUT({a})\nINPUT({b}x)\nOUTPUT(y)\ny = NAND({a}, {b}x)\n");
+        if let Ok(netlist) = bench_format::parse(&text, "ok") {
+            prop_assert_eq!(netlist.num_outputs(), 1);
+            prop_assert!(netlist.num_inputs() >= 1);
+            // Whatever parsed must re-serialize and re-parse.
+            let round = bench_format::to_bench(&netlist);
+            prop_assert!(bench_format::parse(&round, "ok").is_ok());
+        }
+    }
+}

@@ -1,0 +1,688 @@
+//! Parallel-pattern single-fault propagation (PPSFP) fault simulation.
+//!
+//! For each 64-pattern block the good machine is simulated once; each fault
+//! is then injected and its effect propagated through its fanout cone with
+//! event-driven, level-ordered word operations. A fault is detected in a
+//! pattern iff some primary output differs from the good machine.
+//!
+//! Three drive modes are offered:
+//!
+//! * [`FaultSimulator::no_drop_matrix`] — full simulation **without fault
+//!   dropping**, producing the [`DetectionMatrix`] from which the paper
+//!   computes `ndet(u)` and `D(f)`.
+//! * [`FaultSimulator::with_dropping`] — classic coverage simulation where
+//!   each fault is dropped at its first detection.
+//! * [`FaultSimulator::n_detect`] — drop after `n` detections, the cheaper
+//!   estimate the paper mentions as an alternative to no-drop simulation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use adi_netlist::fault::{Fault, FaultId, FaultList, FaultSite};
+use adi_netlist::{GateKind, Netlist, NodeId};
+
+use crate::logic::{self, GoodValues};
+use crate::{DetectionMatrix, Pattern, PatternSet};
+
+/// Reusable per-thread scratch buffers for fault injection.
+///
+/// Create one with [`SimScratch::new`] and reuse it across calls to the
+/// single-pattern API to avoid repeated allocation.
+#[derive(Clone, Debug)]
+pub struct SimScratch {
+    faulty: Vec<u64>,
+    stamp: Vec<u32>,
+    queued: Vec<u32>,
+    version: u32,
+    queue: BinaryHeap<Reverse<(u32, u32)>>,
+    good_single: Vec<u64>,
+}
+
+impl SimScratch {
+    /// Allocates scratch buffers sized for `netlist`.
+    pub fn new(netlist: &Netlist) -> Self {
+        let n = netlist.num_nodes();
+        SimScratch {
+            faulty: vec![0; n],
+            stamp: vec![0; n],
+            queued: vec![0; n],
+            version: 0,
+            queue: BinaryHeap::new(),
+            good_single: vec![0; n],
+        }
+    }
+}
+
+/// Result of fault simulation with dropping.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DropOutcome {
+    /// For each fault, the index of the first detecting pattern, or `None`
+    /// if the pattern set does not detect it.
+    pub first_detection: Vec<Option<u32>>,
+}
+
+impl DropOutcome {
+    /// Number of detected faults.
+    pub fn num_detected(&self) -> usize {
+        self.first_detection.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Fault coverage (detected / total). Zero for an empty fault list.
+    pub fn coverage(&self) -> f64 {
+        if self.first_detection.is_empty() {
+            0.0
+        } else {
+            self.num_detected() as f64 / self.first_detection.len() as f64
+        }
+    }
+
+    /// Number of new faults first detected by each pattern.
+    pub fn new_detections(&self, num_patterns: usize) -> Vec<u32> {
+        let mut out = vec![0u32; num_patterns];
+        for d in self.first_detection.iter().flatten() {
+            out[*d as usize] += 1;
+        }
+        out
+    }
+}
+
+/// Result of n-detection fault simulation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NDetectOutcome {
+    /// Per-fault detection count, saturated at the configured `n`.
+    pub counts: Vec<u32>,
+    /// The saturation threshold used.
+    pub n: u32,
+}
+
+impl NDetectOutcome {
+    /// Number of faults detected at least once.
+    pub fn num_detected(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Number of faults detected at least `n` times (saturated).
+    pub fn num_saturated(&self) -> usize {
+        self.counts.iter().filter(|&&c| c >= self.n).count()
+    }
+}
+
+/// A stuck-at fault simulator bound to one netlist and fault list.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::{bench_format, fault::FaultList};
+/// use adi_sim::{FaultSimulator, PatternSet};
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n", "or2")?;
+/// let faults = FaultList::collapsed(&n);
+/// let sim = FaultSimulator::new(&n, &faults);
+/// let drop = sim.with_dropping(&PatternSet::exhaustive(2));
+/// assert_eq!(drop.coverage(), 1.0); // exhaustive patterns detect everything
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSimulator<'a> {
+    netlist: &'a Netlist,
+    faults: &'a FaultList,
+}
+
+impl<'a> FaultSimulator<'a> {
+    /// Creates a simulator for `faults` of `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault references a node outside the netlist.
+    pub fn new(netlist: &'a Netlist, faults: &'a FaultList) -> Self {
+        for (_, f) in faults.iter() {
+            assert!(
+                f.effect_node().index() < netlist.num_nodes(),
+                "fault {f} outside netlist"
+            );
+        }
+        FaultSimulator { netlist, faults }
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// The fault list being simulated.
+    pub fn faults(&self) -> &'a FaultList {
+        self.faults
+    }
+
+    /// Simulates every fault under every pattern **without dropping** and
+    /// returns the full detection matrix.
+    pub fn no_drop_matrix(&self, patterns: &PatternSet) -> DetectionMatrix {
+        let good = GoodValues::compute(self.netlist, patterns);
+        let mut matrix = DetectionMatrix::new(self.faults.len(), patterns.len());
+        let mut scratch = SimScratch::new(self.netlist);
+        let n_blocks = patterns.num_blocks();
+        for (id, fault) in self.faults.iter() {
+            for block in 0..n_blocks {
+                let mask = patterns.valid_mask(block);
+                let w = self.detect_block(good.block(block), fault, mask, &mut scratch);
+                if w != 0 {
+                    matrix.or_word(id, block, w);
+                }
+            }
+        }
+        matrix
+    }
+
+    /// Like [`no_drop_matrix`](Self::no_drop_matrix) but splits the fault
+    /// list across `threads` OS threads.
+    ///
+    /// The result is identical to the serial version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn no_drop_matrix_parallel(
+        &self,
+        patterns: &PatternSet,
+        threads: usize,
+    ) -> DetectionMatrix {
+        assert!(threads > 0, "at least one thread required");
+        let n_faults = self.faults.len();
+        if threads == 1 || n_faults < 2 * threads {
+            return self.no_drop_matrix(patterns);
+        }
+        let good = GoodValues::compute(self.netlist, patterns);
+        let mut matrix = DetectionMatrix::new(n_faults, patterns.len());
+        let n_blocks = patterns.num_blocks();
+        let chunk = n_faults.div_ceil(threads);
+        let netlist = self.netlist;
+        let faults = self.faults;
+        let good_ref = &good;
+        let patterns_ref = patterns;
+        std::thread::scope(|scope| {
+            for (ci, rows) in matrix.rows_chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    let mut scratch = SimScratch::new(netlist);
+                    let base = ci * chunk;
+                    let count = rows.len() / n_blocks.max(1);
+                    for k in 0..count {
+                        let fault = faults.fault(FaultId::new(base + k));
+                        for block in 0..n_blocks {
+                            let mask = patterns_ref.valid_mask(block);
+                            let w = detect_block_impl(
+                                netlist,
+                                good_ref.block(block),
+                                fault,
+                                mask,
+                                &mut scratch,
+                            );
+                            rows[k * n_blocks + block] = w;
+                        }
+                    }
+                });
+            }
+        });
+        matrix
+    }
+
+    /// Simulates with fault dropping: each fault is retired at its first
+    /// detecting pattern.
+    pub fn with_dropping(&self, patterns: &PatternSet) -> DropOutcome {
+        let good = GoodValues::compute(self.netlist, patterns);
+        let mut scratch = SimScratch::new(self.netlist);
+        let mut first: Vec<Option<u32>> = vec![None; self.faults.len()];
+        let mut active: Vec<FaultId> = self.faults.ids().collect();
+        for block in 0..patterns.num_blocks() {
+            if active.is_empty() {
+                break;
+            }
+            let mask = patterns.valid_mask(block);
+            let slice = good.block(block);
+            active.retain(|&id| {
+                let fault = self.faults.fault(id);
+                let w = self.detect_block(slice, fault, mask, &mut scratch);
+                if w != 0 {
+                    first[id.index()] =
+                        Some((block * 64) as u32 + w.trailing_zeros());
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        DropOutcome {
+            first_detection: first,
+        }
+    }
+
+    /// n-detection simulation: a fault is retired once detected by `n`
+    /// distinct patterns. Counts saturate at `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn n_detect(&self, patterns: &PatternSet, n: u32) -> NDetectOutcome {
+        assert!(n > 0, "n-detection requires n >= 1");
+        let good = GoodValues::compute(self.netlist, patterns);
+        let mut scratch = SimScratch::new(self.netlist);
+        let mut counts = vec![0u32; self.faults.len()];
+        let mut active: Vec<FaultId> = self.faults.ids().collect();
+        for block in 0..patterns.num_blocks() {
+            if active.is_empty() {
+                break;
+            }
+            let mask = patterns.valid_mask(block);
+            let slice = good.block(block);
+            active.retain(|&id| {
+                let fault = self.faults.fault(id);
+                let w = self.detect_block(slice, fault, mask, &mut scratch);
+                let c = &mut counts[id.index()];
+                *c = (*c + w.count_ones()).min(n);
+                *c < n
+            });
+        }
+        NDetectOutcome { counts, n }
+    }
+
+    /// Simulates a single input vector against a subset of faults and
+    /// returns the detected ones, preserving `active` order.
+    ///
+    /// This is the primitive used by the test-generation driver to drop
+    /// faults after each new test.
+    pub fn detect_pattern(
+        &self,
+        pattern: &Pattern,
+        active: &[FaultId],
+        scratch: &mut SimScratch,
+    ) -> Vec<FaultId> {
+        assert_eq!(pattern.len(), self.netlist.num_inputs());
+        let words: Vec<u64> = pattern.iter().map(u64::from).collect();
+        let mut good = std::mem::take(&mut scratch.good_single);
+        logic::simulate_block(self.netlist, &words, &mut good);
+        let detected = active
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let fault = self.faults.fault(id);
+                self.detect_block(&good, fault, 1, scratch) != 0
+            })
+            .collect();
+        scratch.good_single = good;
+        detected
+    }
+
+    /// Convenience: does `pattern` detect `fault`?
+    pub fn detects(&self, pattern: &Pattern, fault_id: FaultId) -> bool {
+        let mut scratch = SimScratch::new(self.netlist);
+        !self
+            .detect_pattern(pattern, &[fault_id], &mut scratch)
+            .is_empty()
+    }
+
+    #[inline]
+    fn detect_block(
+        &self,
+        good: &[u64],
+        fault: Fault,
+        valid_mask: u64,
+        scratch: &mut SimScratch,
+    ) -> u64 {
+        detect_block_impl(self.netlist, good, fault, valid_mask, scratch)
+    }
+}
+
+/// Evaluates `kind` over `fanins` with values supplied by `value`.
+#[inline]
+fn eval_with(kind: GateKind, fanins: &[NodeId], value: impl Fn(NodeId) -> u64) -> u64 {
+    match kind {
+        GateKind::Input => panic!("inputs are loaded, not evaluated"),
+        GateKind::Buf => value(fanins[0]),
+        GateKind::Not => !value(fanins[0]),
+        GateKind::And => fanins.iter().fold(!0u64, |acc, &f| acc & value(f)),
+        GateKind::Nand => !fanins.iter().fold(!0u64, |acc, &f| acc & value(f)),
+        GateKind::Or => fanins.iter().fold(0u64, |acc, &f| acc | value(f)),
+        GateKind::Nor => !fanins.iter().fold(0u64, |acc, &f| acc | value(f)),
+        GateKind::Xor => fanins.iter().fold(0u64, |acc, &f| acc ^ value(f)),
+        GateKind::Xnor => !fanins.iter().fold(0u64, |acc, &f| acc ^ value(f)),
+        GateKind::Const0 => 0,
+        GateKind::Const1 => !0,
+    }
+}
+
+/// Evaluates a gate with one pin overridden to a constant word.
+#[inline]
+fn eval_override(
+    good: &[u64],
+    kind: GateKind,
+    fanins: &[NodeId],
+    pin: usize,
+    ov: u64,
+) -> u64 {
+    match kind {
+        GateKind::Buf => {
+            debug_assert_eq!(pin, 0);
+            ov
+        }
+        GateKind::Not => {
+            debug_assert_eq!(pin, 0);
+            !ov
+        }
+        GateKind::And | GateKind::Nand => {
+            let mut acc = !0u64;
+            for (i, &f) in fanins.iter().enumerate() {
+                acc &= if i == pin { ov } else { good[f.index()] };
+            }
+            if kind == GateKind::Nand {
+                !acc
+            } else {
+                acc
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut acc = 0u64;
+            for (i, &f) in fanins.iter().enumerate() {
+                acc |= if i == pin { ov } else { good[f.index()] };
+            }
+            if kind == GateKind::Nor {
+                !acc
+            } else {
+                acc
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut acc = 0u64;
+            for (i, &f) in fanins.iter().enumerate() {
+                acc ^= if i == pin { ov } else { good[f.index()] };
+            }
+            if kind == GateKind::Xnor {
+                !acc
+            } else {
+                acc
+            }
+        }
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 => {
+            panic!("{kind:?} has no fanin pins")
+        }
+    }
+}
+
+fn detect_block_impl(
+    netlist: &Netlist,
+    good: &[u64],
+    fault: Fault,
+    valid_mask: u64,
+    s: &mut SimScratch,
+) -> u64 {
+    s.version = s.version.wrapping_add(1);
+    if s.version == 0 {
+        s.stamp.fill(0);
+        s.queued.fill(0);
+        s.version = 1;
+    }
+    let v = s.version;
+    let stuck_word = if fault.stuck_value() { !0u64 } else { 0u64 };
+
+    let (inject, faulty_word) = match fault.site() {
+        FaultSite::Stem(n) => (n, stuck_word),
+        FaultSite::Branch { gate, pin } => {
+            let w = eval_override(
+                good,
+                netlist.kind(gate),
+                netlist.fanins(gate),
+                pin as usize,
+                stuck_word,
+            );
+            (gate, w)
+        }
+    };
+
+    let diff = (faulty_word ^ good[inject.index()]) & valid_mask;
+    if diff == 0 {
+        return 0;
+    }
+    s.faulty[inject.index()] = faulty_word;
+    s.stamp[inject.index()] = v;
+    let mut detected = if netlist.is_output(inject) { diff } else { 0 };
+
+    debug_assert!(s.queue.is_empty());
+    for &g in netlist.fanouts(inject) {
+        if s.queued[g.index()] != v {
+            s.queued[g.index()] = v;
+            s.queue.push(Reverse((netlist.level(g), g.as_u32())));
+        }
+    }
+
+    while let Some(Reverse((_, raw))) = s.queue.pop() {
+        let node = NodeId::new(raw as usize);
+        let kind = netlist.kind(node);
+        let val = eval_with(kind, netlist.fanins(node), |f| {
+            if s.stamp[f.index()] == v {
+                s.faulty[f.index()]
+            } else {
+                good[f.index()]
+            }
+        });
+        let d = (val ^ good[node.index()]) & valid_mask;
+        if d != 0 {
+            s.faulty[node.index()] = val;
+            s.stamp[node.index()] = v;
+            if netlist.is_output(node) {
+                detected |= d;
+            }
+            for &g in netlist.fanouts(node) {
+                if s.queued[g.index()] != v {
+                    s.queued[g.index()] = v;
+                    s.queue.push(Reverse((netlist.level(g), g.as_u32())));
+                }
+            }
+        }
+    }
+    detected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adi_netlist::bench_format;
+    use adi_netlist::fault::Fault;
+
+    const C17: &str = "
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    fn c17() -> Netlist {
+        bench_format::parse(C17, "c17").unwrap()
+    }
+
+    /// Brute-force oracle: simulate the faulty circuit explicitly.
+    fn oracle_detects(netlist: &Netlist, fault: Fault, pattern: &Pattern) -> bool {
+        let good = logic::evaluate(netlist, pattern.as_slice());
+        // Faulty evaluation in topo order with explicit overrides.
+        let mut faulty = vec![false; netlist.num_nodes()];
+        for (i, &pi) in netlist.inputs().iter().enumerate() {
+            faulty[pi.index()] = pattern.get(i);
+        }
+        if let FaultSite::Stem(nf) = fault.site() {
+            if netlist.is_input(nf) {
+                faulty[nf.index()] = fault.stuck_value();
+            }
+        }
+        for &node in netlist.topo_order() {
+            let kind = netlist.kind(node);
+            if kind == GateKind::Input {
+                continue;
+            }
+            let vals: Vec<bool> = netlist
+                .fanins(node)
+                .iter()
+                .enumerate()
+                .map(|(pin, &f)| {
+                    if let FaultSite::Branch { gate, pin: fp } = fault.site() {
+                        if gate == node && fp as usize == pin {
+                            return fault.stuck_value();
+                        }
+                    }
+                    faulty[f.index()]
+                })
+                .collect();
+            let mut out = kind.eval_bools(&vals);
+            if fault.site() == FaultSite::Stem(node) {
+                out = fault.stuck_value();
+            }
+            faulty[node.index()] = out;
+        }
+        netlist
+            .outputs()
+            .iter()
+            .any(|&o| faulty[o.index()] != good[o.index()])
+    }
+
+    #[test]
+    fn matches_oracle_on_c17_exhaustive() {
+        let n = c17();
+        let faults = FaultList::full(&n);
+        let patterns = PatternSet::exhaustive(5);
+        let sim = FaultSimulator::new(&n, &faults);
+        let matrix = sim.no_drop_matrix(&patterns);
+        for (id, fault) in faults.iter() {
+            for p in 0..patterns.len() {
+                let pattern = patterns.get(p);
+                assert_eq!(
+                    matrix.detected(id, p),
+                    oracle_detects(&n, fault, &pattern),
+                    "fault {fault} pattern {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn c17_exhaustive_full_coverage() {
+        // c17 is irredundant: every collapsed fault is detectable.
+        let n = c17();
+        let faults = FaultList::collapsed(&n);
+        let sim = FaultSimulator::new(&n, &faults);
+        let drop = sim.with_dropping(&PatternSet::exhaustive(5));
+        assert_eq!(drop.num_detected(), faults.len());
+        assert!((drop.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let n = c17();
+        let faults = FaultList::full(&n);
+        let patterns = PatternSet::random(5, 100, 3);
+        let sim = FaultSimulator::new(&n, &faults);
+        let serial = sim.no_drop_matrix(&patterns);
+        for threads in [2, 3, 8] {
+            let par = sim.no_drop_matrix_parallel(&patterns, threads);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dropping_matches_no_drop_first_detection() {
+        let n = c17();
+        let faults = FaultList::collapsed(&n);
+        let patterns = PatternSet::random(5, 70, 9);
+        let sim = FaultSimulator::new(&n, &faults);
+        let matrix = sim.no_drop_matrix(&patterns);
+        let drop = sim.with_dropping(&patterns);
+        for id in faults.ids() {
+            let expect = matrix.detecting_patterns(id).next().map(|p| p as u32);
+            assert_eq!(drop.first_detection[id.index()], expect, "fault {id}");
+        }
+    }
+
+    #[test]
+    fn n_detect_counts_match_matrix() {
+        let n = c17();
+        let faults = FaultList::collapsed(&n);
+        let patterns = PatternSet::exhaustive(5);
+        let sim = FaultSimulator::new(&n, &faults);
+        let matrix = sim.no_drop_matrix(&patterns);
+        let nd = sim.n_detect(&patterns, 4);
+        for id in faults.ids() {
+            let full = matrix.detection_count(id) as u32;
+            assert_eq!(nd.counts[id.index()], full.min(4), "fault {id}");
+        }
+        assert_eq!(nd.num_detected(), faults.len());
+    }
+
+    #[test]
+    fn detect_pattern_subset() {
+        let n = c17();
+        let faults = FaultList::collapsed(&n);
+        let sim = FaultSimulator::new(&n, &faults);
+        let patterns = PatternSet::exhaustive(5);
+        let matrix = sim.no_drop_matrix(&patterns);
+        let mut scratch = SimScratch::new(&n);
+        let active: Vec<FaultId> = faults.ids().collect();
+        for p in [0usize, 7, 19, 31] {
+            let detected = sim.detect_pattern(&patterns.get(p), &active, &mut scratch);
+            let expected: Vec<FaultId> = faults
+                .ids()
+                .filter(|&id| matrix.detected(id, p))
+                .collect();
+            assert_eq!(detected, expected, "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn undetectable_fault_reports_nothing() {
+        // y = OR(a, NOT(a)) is constant 1: y s-a-1 is undetectable.
+        let src = "INPUT(a)\nOUTPUT(y)\nna = NOT(a)\ny = OR(a, na)\n";
+        let n = bench_format::parse(src, "taut").unwrap();
+        let y = n.find_node("y").unwrap();
+        let faults = FaultList::from_faults(vec![Fault::stem_at(y, true)]);
+        let sim = FaultSimulator::new(&n, &faults);
+        let drop = sim.with_dropping(&PatternSet::exhaustive(1));
+        assert_eq!(drop.num_detected(), 0);
+    }
+
+    #[test]
+    fn branch_fault_differs_from_stem() {
+        // a fans out to two gates; a branch s-a-0 on one path must not
+        // disturb the other path.
+        let src = "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = BUF(a)\nz = BUF(a)\n";
+        let n = bench_format::parse(src, "fan").unwrap();
+        let ygate = n.find_node("y").unwrap();
+        let branch = Fault::branch_at(ygate, 0, false);
+        let faults = FaultList::from_faults(vec![branch]);
+        let sim = FaultSimulator::new(&n, &faults);
+        let mut scratch = SimScratch::new(&n);
+        let p1 = Pattern::new(vec![true]);
+        let det = sim.detect_pattern(&p1, &[FaultId::new(0)], &mut scratch);
+        assert_eq!(det.len(), 1);
+        // With a=0 the branch fault is invisible.
+        let p0 = Pattern::new(vec![false]);
+        let det = sim.detect_pattern(&p0, &[FaultId::new(0)], &mut scratch);
+        assert!(det.is_empty());
+    }
+
+    #[test]
+    fn drop_outcome_new_detections_sum() {
+        let n = c17();
+        let faults = FaultList::collapsed(&n);
+        let patterns = PatternSet::exhaustive(5);
+        let sim = FaultSimulator::new(&n, &faults);
+        let drop = sim.with_dropping(&patterns);
+        let news = drop.new_detections(patterns.len());
+        let total: u32 = news.iter().sum();
+        assert_eq!(total as usize, drop.num_detected());
+    }
+}

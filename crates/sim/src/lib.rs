@@ -1,0 +1,53 @@
+//! Bit-parallel logic and fault simulation for combinational netlists.
+//!
+//! This crate provides the simulation substrate of the ADI reproduction:
+//!
+//! * [`Pattern`] / [`PatternSet`] — bit-packed input vectors, 64 patterns
+//!   per machine word, with seeded random and exhaustive generators.
+//! * [`logic`] — parallel-pattern good-machine simulation
+//!   ([`GoodValues`]) and a scalar evaluator.
+//! * [`EventSim`] — an incremental event-driven single-pattern simulator
+//!   used for cross-checking and interactive tooling.
+//! * [`FaultSimulator`] — parallel-pattern single-fault propagation
+//!   (PPSFP) over the stuck-at model: with dropping, without dropping
+//!   (producing the [`DetectionMatrix`] that the accidental detection index
+//!   is computed from), and n-detection.
+//! * [`CoverageCurve`] — fault-coverage-per-test bookkeeping.
+//!
+//! # Examples
+//!
+//! Count how many faults of a tiny circuit each input vector detects
+//! (the quantity the paper calls `ndet(u)`):
+//!
+//! ```
+//! use adi_netlist::{bench_format, fault::FaultList};
+//! use adi_sim::{FaultSimulator, PatternSet};
+//!
+//! # fn main() -> Result<(), adi_netlist::NetlistError> {
+//! let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
+//! let faults = FaultList::collapsed(&n);
+//! let patterns = PatternSet::exhaustive(2);
+//! let matrix = FaultSimulator::new(&n, &faults).no_drop_matrix(&patterns);
+//! let ndet = matrix.ndet_counts();
+//! assert_eq!(ndet.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+mod detection;
+mod event;
+pub mod faultsim;
+pub mod logic;
+mod pattern;
+pub mod probability;
+
+pub use coverage::CoverageCurve;
+pub use detection::DetectionMatrix;
+pub use event::EventSim;
+pub use faultsim::{DropOutcome, FaultSimulator, NDetectOutcome};
+pub use logic::GoodValues;
+pub use pattern::{Pattern, PatternSet};

@@ -1,0 +1,262 @@
+//! Fault-free ("good machine") simulation.
+
+use adi_netlist::{GateKind, Netlist, NodeId};
+
+use crate::PatternSet;
+
+/// Evaluates one node from already-computed fanin values.
+#[inline]
+pub(crate) fn eval_node(values: &[u64], kind: GateKind, fanins: &[NodeId]) -> u64 {
+    match kind {
+        GateKind::Input => panic!("inputs are loaded, not evaluated"),
+        GateKind::Buf => values[fanins[0].index()],
+        GateKind::Not => !values[fanins[0].index()],
+        GateKind::And => fanins
+            .iter()
+            .fold(!0u64, |acc, f| acc & values[f.index()]),
+        GateKind::Nand => !fanins
+            .iter()
+            .fold(!0u64, |acc, f| acc & values[f.index()]),
+        GateKind::Or => fanins.iter().fold(0u64, |acc, f| acc | values[f.index()]),
+        GateKind::Nor => !fanins.iter().fold(0u64, |acc, f| acc | values[f.index()]),
+        GateKind::Xor => fanins.iter().fold(0u64, |acc, f| acc ^ values[f.index()]),
+        GateKind::Xnor => !fanins.iter().fold(0u64, |acc, f| acc ^ values[f.index()]),
+        GateKind::Const0 => 0,
+        GateKind::Const1 => !0,
+    }
+}
+
+/// Simulates one block of up to 64 patterns.
+///
+/// `input_words[i]` is the packed word for the `i`-th primary input (in
+/// [`Netlist::inputs`] order); `out` receives one word per node.
+///
+/// # Panics
+///
+/// Panics if `input_words.len() != netlist.num_inputs()` or
+/// `out.len() != netlist.num_nodes()`.
+pub fn simulate_block(netlist: &Netlist, input_words: &[u64], out: &mut [u64]) {
+    assert_eq!(input_words.len(), netlist.num_inputs());
+    assert_eq!(out.len(), netlist.num_nodes());
+    for (i, &pi) in netlist.inputs().iter().enumerate() {
+        out[pi.index()] = input_words[i];
+    }
+    for &node in netlist.topo_order() {
+        let kind = netlist.kind(node);
+        if kind == GateKind::Input {
+            continue;
+        }
+        out[node.index()] = eval_node(out, kind, netlist.fanins(node));
+    }
+}
+
+/// Evaluates the circuit on a single assignment of the primary inputs.
+///
+/// Returns one boolean per node. `assignment[i]` corresponds to
+/// `netlist.inputs()[i]`.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != netlist.num_inputs()`.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::bench_format;
+/// use adi_sim::logic::evaluate;
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n", "nand2")?;
+/// let values = evaluate(&n, &[true, true]);
+/// let y = n.find_node("y").unwrap();
+/// assert_eq!(values[y.index()], false);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(netlist: &Netlist, assignment: &[bool]) -> Vec<bool> {
+    let words: Vec<u64> = assignment.iter().map(|&b| u64::from(b)).collect();
+    let mut out = vec![0u64; netlist.num_nodes()];
+    simulate_block(netlist, &words, &mut out);
+    out.into_iter().map(|w| w & 1 == 1).collect()
+}
+
+/// Good-machine values for every node under every pattern of a
+/// [`PatternSet`], stored block-major so each block's node values are
+/// contiguous (the layout the fault simulator wants).
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::bench_format;
+/// use adi_sim::{GoodValues, PatternSet};
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let n = bench_format::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "inv")?;
+/// let pats = PatternSet::exhaustive(1);
+/// let good = GoodValues::compute(&n, &pats);
+/// let y = n.find_node("y").unwrap();
+/// assert_eq!(good.value(y, 0), true); // pattern 0 has a=0, so y = NOT(a) = 1
+/// assert_eq!(good.value(y, 1), false);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GoodValues {
+    n_nodes: usize,
+    n_blocks: usize,
+    n_patterns: usize,
+    data: Vec<u64>,
+}
+
+impl GoodValues {
+    /// Simulates all patterns and stores per-node values.
+    pub fn compute(netlist: &Netlist, patterns: &PatternSet) -> Self {
+        assert_eq!(
+            patterns.num_inputs(),
+            netlist.num_inputs(),
+            "pattern width does not match circuit input count"
+        );
+        let n_nodes = netlist.num_nodes();
+        let n_blocks = patterns.num_blocks();
+        let mut data = vec![0u64; n_nodes * n_blocks];
+        let mut input_words = vec![0u64; netlist.num_inputs()];
+        for block in 0..n_blocks {
+            for (i, w) in input_words.iter_mut().enumerate() {
+                *w = patterns.input_word(i, block);
+            }
+            let slice = &mut data[block * n_nodes..(block + 1) * n_nodes];
+            simulate_block(netlist, &input_words, slice);
+        }
+        GoodValues {
+            n_nodes,
+            n_blocks,
+            n_patterns: patterns.len(),
+            data,
+        }
+    }
+
+    /// Number of pattern blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// Number of patterns simulated.
+    pub fn num_patterns(&self) -> usize {
+        self.n_patterns
+    }
+
+    /// The packed word of values of `node` for pattern block `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    #[inline]
+    pub fn word(&self, node: NodeId, block: usize) -> u64 {
+        self.block(block)[node.index()]
+    }
+
+    /// All node values for one block, indexed by node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    #[inline]
+    pub fn block(&self, block: usize) -> &[u64] {
+        &self.data[block * self.n_nodes..(block + 1) * self.n_nodes]
+    }
+
+    /// The boolean value of `node` under pattern `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is out of range.
+    pub fn value(&self, node: NodeId, pattern: usize) -> bool {
+        assert!(pattern < self.n_patterns, "pattern index out of range");
+        self.word(node, pattern / 64) >> (pattern % 64) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adi_netlist::bench_format;
+    use crate::Pattern;
+
+    const MUX: &str = "
+INPUT(a)
+INPUT(s)
+INPUT(b)
+OUTPUT(y)
+ns = NOT(s)
+t0 = AND(a, ns)
+t1 = AND(b, s)
+y = OR(t0, t1)
+";
+
+    #[test]
+    fn mux_truth_table() {
+        let n = bench_format::parse(MUX, "mux").unwrap();
+        let y = n.find_node("y").unwrap();
+        // (a, s, b) -> y = s ? b : a
+        for a in [false, true] {
+            for s in [false, true] {
+                for b in [false, true] {
+                    let vals = evaluate(&n, &[a, s, b]);
+                    let expect = if s { b } else { a };
+                    assert_eq!(vals[y.index()], expect, "a={a} s={s} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_sim_matches_scalar() {
+        let n = bench_format::parse(MUX, "mux").unwrap();
+        let pats = PatternSet::exhaustive(3);
+        let good = GoodValues::compute(&n, &pats);
+        for p in 0..pats.len() {
+            let pattern = pats.get(p);
+            let scalar = evaluate(&n, pattern.as_slice());
+            for node in n.node_ids() {
+                assert_eq!(
+                    good.value(node, p),
+                    scalar[node.index()],
+                    "node {node} pattern {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_block_values() {
+        let n = bench_format::parse(MUX, "mux").unwrap();
+        let pats = PatternSet::random(3, 200, 5);
+        let good = GoodValues::compute(&n, &pats);
+        assert_eq!(good.num_blocks(), 4);
+        assert_eq!(good.num_patterns(), 200);
+        // Spot-check the last pattern.
+        let last = pats.get(199);
+        let scalar = evaluate(&n, last.as_slice());
+        for node in n.node_ids() {
+            assert_eq!(good.value(node, 199), scalar[node.index()]);
+        }
+    }
+
+    #[test]
+    fn constants_simulate() {
+        let n = bench_format::parse("OUTPUT(y)\nk = CONST1()\ny = BUF(k)\n", "c").unwrap();
+        let mut set = PatternSet::new(0);
+        set.push(&Pattern::new(vec![]));
+        let good = GoodValues::compute(&n, &set);
+        let y = n.find_node("y").unwrap();
+        assert!(good.value(y, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern width")]
+    fn width_mismatch_panics() {
+        let n = bench_format::parse(MUX, "mux").unwrap();
+        let pats = PatternSet::exhaustive(2);
+        let _ = GoodValues::compute(&n, &pats);
+    }
+}

@@ -1,0 +1,86 @@
+//! Per-fault testability report: combines the three analyses the
+//! workspace offers — SCOAP controllability/observability, signal
+//! probability, and the paper's accidental detection index — into one
+//! table, and shows how they correlate.
+//!
+//! ```text
+//! cargo run --release --example fault_report
+//! ```
+
+use adi::atpg::Scoap;
+use adi::circuits::embedded;
+use adi::core::uset::select_u;
+use adi::core::{AdiAnalysis, AdiConfig, USetConfig};
+use adi::netlist::fault::FaultList;
+use adi::sim::probability::independent_probabilities;
+
+fn main() {
+    let netlist = embedded::s27();
+    let faults = FaultList::collapsed(&netlist);
+    let scoap = Scoap::compute(&netlist);
+    let prob = independent_probabilities(&netlist);
+    let selection = select_u(&netlist, &faults, USetConfig::default());
+    let analysis = AdiAnalysis::compute(
+        &netlist,
+        &faults,
+        &selection.patterns,
+        AdiConfig::default(),
+    );
+
+    println!(
+        "Fault report for {} ({} collapsed faults, |U| = {}):\n",
+        netlist.name(),
+        faults.len(),
+        selection.len()
+    );
+    println!(
+        "{:<14} {:>5} {:>6} {:>6} {:>6} {:>8} {:>6}",
+        "fault", "ADI", "|D(f)|", "CC", "CO", "P(site=1)", "level"
+    );
+    for (id, fault) in faults.iter() {
+        let site = fault.effect_node();
+        let cc = scoap.cc(site, !fault.stuck_value());
+        println!(
+            "{:<14} {:>5} {:>6} {:>6} {:>6} {:>8.3} {:>6}",
+            fault.describe(&netlist),
+            analysis.adi(id),
+            analysis.detecting_patterns(id).count(),
+            cc,
+            scoap.co(site),
+            prob[site.index()],
+            netlist.level(site)
+        );
+    }
+
+    // Correlation sketch: high-ADI faults should be the easy ones.
+    let mut easy = Vec::new();
+    let mut hard = Vec::new();
+    for (id, fault) in faults.iter() {
+        let site = fault.effect_node();
+        let effort = scoap.cc(site, !fault.stuck_value()) + scoap.co(site);
+        if analysis.adi(id) > 0 {
+            easy.push((analysis.adi(id), effort));
+        } else {
+            hard.push(effort);
+        }
+    }
+    let avg_easy: f64 =
+        easy.iter().map(|&(_, e)| f64::from(e)).sum::<f64>() / easy.len().max(1) as f64;
+    println!(
+        "\n{} faults detected by U (mean SCOAP effort {:.1}); {} undetected{}",
+        easy.len(),
+        avg_easy,
+        hard.len(),
+        if hard.is_empty() {
+            String::new()
+        } else {
+            let avg: f64 = hard.iter().map(|&e| f64::from(e)).sum::<f64>() / hard.len() as f64;
+            format!(" (mean SCOAP effort {avg:.1})")
+        }
+    );
+    println!(
+        "\nZero-ADI faults are exactly the ones the paper places first in\n\
+         F0dynm (hard to detect accidentally) or last in Fdynm (unknown\n\
+         accidental value)."
+    );
+}

@@ -1,0 +1,61 @@
+//! The paper's tester-memory motivation: when the test set does not fit
+//! in tester memory, the **last** tests are dropped. A steeper coverage
+//! curve loses less coverage per dropped test.
+//!
+//! ```text
+//! cargo run --release --example tester_memory
+//! ```
+//!
+//! Truncates each ordering's test set at 90%/75%/50% of its length and
+//! reports the retained fault coverage.
+
+use adi::circuits::paper_suite;
+use adi::core::metrics::truncated_coverage;
+use adi::core::pipeline::run_experiment;
+use adi::core::{ExperimentConfig, FaultOrdering};
+
+fn main() {
+    let circuit = paper_suite()
+        .into_iter()
+        .find(|c| c.name == "irs344")
+        .expect("suite contains irs344");
+    let netlist = circuit.netlist();
+    let mut config = ExperimentConfig::default();
+    config.orderings = vec![
+        FaultOrdering::Original,
+        FaultOrdering::Dynamic,
+        FaultOrdering::Dynamic0,
+    ];
+    let experiment = run_experiment(&netlist, &config);
+
+    println!(
+        "Coverage retained after dropping the tail of the test set ({}):\n",
+        circuit.name
+    );
+    println!(
+        "{:<8} {:>7} {:>12} {:>12} {:>12}",
+        "order", "tests", "keep 90%", "keep 75%", "keep 50%"
+    );
+    for run in &experiment.runs {
+        let full = run.curve.coverage_fraction(run.curve.num_tests());
+        let cell = |drop: f64| {
+            let (kept, cov) = truncated_coverage(&run.curve, drop);
+            format!("{:.1}% ({kept})", cov * 100.0)
+        };
+        println!(
+            "{:<8} {:>7} {:>12} {:>12} {:>12}   (full: {:.1}%)",
+            run.ordering.label(),
+            run.num_tests(),
+            cell(0.10),
+            cell(0.25),
+            cell(0.50),
+            full * 100.0,
+        );
+    }
+
+    println!(
+        "\nWith the dynamic ADI order, dropping the last quarter of the tests\n\
+         costs noticeably less coverage than with the original order — the\n\
+         tester-memory scenario from the paper's introduction."
+    );
+}

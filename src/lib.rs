@@ -1,0 +1,62 @@
+//! # adi — the Accidental Detection Index, reproduced
+//!
+//! A complete Rust reproduction of Pomeranz & Reddy, *"The Accidental
+//! Detection Index as a Fault Ordering Heuristic for Full-Scan Circuits"*
+//! (DATE 2005), including every substrate the paper depends on:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`netlist`] | gate-level circuits, `.bench` I/O, stuck-at fault model with collapsing |
+//! | [`sim`] | bit-parallel logic simulation, PPSFP fault simulation, coverage curves |
+//! | [`atpg`] | PODEM test generation with SCOAP guidance and an ordered-fault-list driver |
+//! | [`core`] | the paper itself: `U` selection, `ADI(f)`, the six fault orders, metrics, pipeline |
+//! | [`circuits`] | embedded benchmark circuits and the synthetic paper suite |
+//!
+//! This facade crate re-exports all of them under one roof; depend on it
+//! (`adi`) for applications, or on the individual crates for narrower
+//! builds.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adi::core::{pipeline::run_experiment, ExperimentConfig, FaultOrdering};
+//! use adi::circuits::embedded;
+//!
+//! let netlist = embedded::c17();
+//! let experiment = run_experiment(&netlist, &ExperimentConfig::default());
+//! let orig = experiment.run_for(FaultOrdering::Original).unwrap();
+//! let dyn0 = experiment.run_for(FaultOrdering::Dynamic0).unwrap();
+//! assert_eq!(orig.result.coverage(), 1.0);
+//! assert_eq!(dyn0.result.coverage(), 1.0);
+//! println!(
+//!     "c17: {} tests (orig) vs {} tests (0dynm)",
+//!     orig.num_tests(),
+//!     dyn0.num_tests()
+//! );
+//! ```
+//!
+//! ## Regenerating the paper's results
+//!
+//! Every table and figure has a dedicated binary in the `adi-bench`
+//! crate (`table1`, `table4`, `table5`, `table6`, `table7`, `figure1`,
+//! `ablation`); see `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The paper's contribution: ADI computation, fault orders, experiment
+/// pipeline (re-export of `adi-core`).
+pub use adi_core as core;
+
+/// Benchmark circuits (re-export of `adi-circuits`).
+pub use adi_circuits as circuits;
+
+/// PODEM ATPG (re-export of `adi-atpg`).
+pub use adi_atpg as atpg;
+
+/// Netlists and the fault model (re-export of `adi-netlist`).
+pub use adi_netlist as netlist;
+
+/// Logic and fault simulation (re-export of `adi-sim`).
+pub use adi_sim as sim;

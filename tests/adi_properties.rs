@@ -1,0 +1,171 @@
+//! Property-based tests of the accidental detection index itself and of
+//! the fault orders built from it.
+
+use adi::circuits::{random_circuit, RandomCircuitConfig};
+use adi::core::dynamic::dynamic_order_traced;
+use adi::core::metrics::average_detection_position;
+use adi::core::{order_faults, AdiAnalysis, AdiConfig, AdiEstimator, FaultOrdering};
+use adi::netlist::fault::{FaultId, FaultList};
+use adi::netlist::Netlist;
+use adi::sim::{CoverageCurve, PatternSet};
+use proptest::prelude::*;
+
+fn tiny_circuit() -> impl Strategy<Value = Netlist> {
+    (2usize..=8, 4usize..=30, any::<u64>()).prop_map(|(inputs, gates, seed)| {
+        random_circuit(&RandomCircuitConfig::new("prop", inputs, gates, seed))
+    })
+}
+
+fn analysis_for(netlist: &Netlist, seed: u64) -> (FaultList, AdiAnalysis) {
+    let faults = FaultList::collapsed(netlist);
+    let patterns = PatternSet::random(netlist.num_inputs(), 96, seed);
+    let analysis = AdiAnalysis::compute(netlist, &faults, &patterns, AdiConfig::default());
+    (faults, analysis)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adi_is_zero_iff_undetected(netlist in tiny_circuit(), seed in any::<u64>()) {
+        let (faults, analysis) = analysis_for(&netlist, seed);
+        for f in faults.ids() {
+            prop_assert_eq!(analysis.adi(f) == 0, !analysis.detected(f));
+        }
+    }
+
+    #[test]
+    fn adi_is_min_over_detecting_vectors(netlist in tiny_circuit(), seed in any::<u64>()) {
+        let (faults, analysis) = analysis_for(&netlist, seed);
+        for f in faults.ids() {
+            if analysis.detected(f) {
+                let min = analysis
+                    .detecting_patterns(f)
+                    .map(|u| analysis.ndet(u))
+                    .min()
+                    .unwrap();
+                prop_assert_eq!(analysis.adi(f), min);
+                // Every detecting vector counts f itself.
+                prop_assert!(min >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_estimator_dominates_min(netlist in tiny_circuit(), seed in any::<u64>()) {
+        let faults = FaultList::collapsed(&netlist);
+        let patterns = PatternSet::random(netlist.num_inputs(), 96, seed);
+        let min = AdiAnalysis::compute(&netlist, &faults, &patterns, AdiConfig::default());
+        let mean = AdiAnalysis::compute(
+            &netlist,
+            &faults,
+            &patterns,
+            AdiConfig { estimator: AdiEstimator::MeanNdet, ..AdiConfig::default() },
+        );
+        for f in faults.ids() {
+            prop_assert!(mean.adi(f) >= min.adi(f));
+        }
+    }
+
+    #[test]
+    fn all_orderings_are_permutations(netlist in tiny_circuit(), seed in any::<u64>()) {
+        let (faults, analysis) = analysis_for(&netlist, seed);
+        for ordering in FaultOrdering::ALL {
+            let order = order_faults(&analysis, ordering);
+            prop_assert_eq!(order.len(), faults.len());
+            let mut seen = vec![false; faults.len()];
+            for f in &order {
+                prop_assert!(!seen[f.index()]);
+                seen[f.index()] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_trace_is_monotone_and_bounded(netlist in tiny_circuit(), seed in any::<u64>()) {
+        let (_, analysis) = analysis_for(&netlist, seed);
+        let trace = dynamic_order_traced(&analysis);
+        prop_assert!(trace.selected_adi.windows(2).all(|w| w[0] >= w[1]));
+        for (&f, &sel) in trace.order.iter().zip(&trace.selected_adi) {
+            // Dynamic values never exceed the static ADI.
+            prop_assert!(sel <= analysis.adi(f));
+            prop_assert!(sel >= 1);
+        }
+    }
+
+    #[test]
+    fn dynamic_first_pick_is_static_argmax(netlist in tiny_circuit(), seed in any::<u64>()) {
+        let (faults, analysis) = analysis_for(&netlist, seed);
+        let trace = dynamic_order_traced(&analysis);
+        if let Some(&first) = trace.order.first() {
+            let max = faults.ids().map(|f| analysis.adi(f)).max().unwrap();
+            prop_assert_eq!(analysis.adi(first), max);
+        }
+    }
+
+    #[test]
+    fn ndet_counts_are_column_sums(netlist in tiny_circuit(), seed in any::<u64>()) {
+        let (faults, analysis) = analysis_for(&netlist, seed);
+        let total_from_ndet: u64 = analysis.ndet_counts().iter().map(|&c| u64::from(c)).sum();
+        let total_from_rows: u64 = faults
+            .ids()
+            .map(|f| analysis.detecting_patterns(f).count() as u64)
+            .sum();
+        prop_assert_eq!(total_from_ndet, total_from_rows);
+    }
+
+    #[test]
+    fn ave_is_within_test_index_range(news in proptest::collection::vec(0u32..5, 1..40)) {
+        let total: u32 = news.iter().sum();
+        let curve = CoverageCurve::from_new_detections(&news, (total + 5) as usize);
+        let ave = average_detection_position(&curve);
+        if total == 0 {
+            prop_assert_eq!(ave, 0.0);
+        } else {
+            prop_assert!(ave >= 1.0 - 1e-12);
+            prop_assert!(ave <= news.len() as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn n_detect_cap_never_increases_counts(netlist in tiny_circuit(), seed in any::<u64>(), cap in 1u32..6) {
+        let faults = FaultList::collapsed(&netlist);
+        let patterns = PatternSet::random(netlist.num_inputs(), 96, seed);
+        let exact = AdiAnalysis::compute(&netlist, &faults, &patterns, AdiConfig::default());
+        let capped = AdiAnalysis::compute(
+            &netlist,
+            &faults,
+            &patterns,
+            AdiConfig { n_detect_cap: Some(cap), ..AdiConfig::default() },
+        );
+        for (c, e) in capped.ndet_counts().iter().zip(exact.ndet_counts()) {
+            prop_assert!(c <= e);
+        }
+        for f in faults.ids() {
+            prop_assert_eq!(capped.detected(f), exact.detected(f));
+            prop_assert!(capped.detecting_patterns(f).count() as u32 <= cap);
+        }
+    }
+}
+
+#[test]
+fn zero_adi_faults_keep_relative_order() {
+    // Zero-ADI faults must appear in original order in every ordering
+    // (the paper does not reorder them among themselves).
+    let netlist = random_circuit(&RandomCircuitConfig::new("z", 6, 40, 3));
+    let faults = FaultList::collapsed(&netlist);
+    // A tiny U leaves many faults undetected (ADI = 0).
+    let patterns = PatternSet::random(6, 2, 1);
+    let analysis = AdiAnalysis::compute(&netlist, &faults, &patterns, AdiConfig::default());
+    let zeros: Vec<FaultId> = faults.ids().filter(|&f| analysis.adi(f) == 0).collect();
+    assert!(!zeros.is_empty(), "expected undetected faults with |U| = 2");
+    for ordering in FaultOrdering::ALL {
+        let order = order_faults(&analysis, ordering);
+        let in_order: Vec<FaultId> = order
+            .iter()
+            .copied()
+            .filter(|f| analysis.adi(*f) == 0)
+            .collect();
+        assert_eq!(in_order, zeros, "{ordering}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Property test: `.bench` serialization round-trips arbitrary generated
+//! netlists, preserving structure and behaviour.
+
+use adi::circuits::{random_circuit, RandomCircuitConfig};
+use adi::netlist::{bench_format, Netlist};
+use adi::sim::{logic, PatternSet};
+use proptest::prelude::*;
+
+fn tiny_circuit() -> impl Strategy<Value = Netlist> {
+    (1usize..=10, 1usize..=40, any::<u64>()).prop_map(|(inputs, gates, seed)| {
+        random_circuit(&RandomCircuitConfig::new("rt", inputs, gates, seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_preserves_structure(netlist in tiny_circuit()) {
+        let text = bench_format::to_bench(&netlist);
+        let back = bench_format::parse(&text, netlist.name()).expect("roundtrip parses");
+        prop_assert_eq!(back.num_nodes(), netlist.num_nodes());
+        prop_assert_eq!(back.num_inputs(), netlist.num_inputs());
+        prop_assert_eq!(back.num_outputs(), netlist.num_outputs());
+        prop_assert_eq!(back.max_level(), netlist.max_level());
+        prop_assert_eq!(back.num_lines(), netlist.num_lines());
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour(netlist in tiny_circuit(), seed in any::<u64>()) {
+        let text = bench_format::to_bench(&netlist);
+        let back = bench_format::parse(&text, netlist.name()).expect("roundtrip parses");
+        let patterns = PatternSet::random(netlist.num_inputs(), 32, seed);
+        for p in 0..patterns.len() {
+            let pattern = patterns.get(p);
+            let a = logic::evaluate(&netlist, pattern.as_slice());
+            let b = logic::evaluate(&back, pattern.as_slice());
+            // Outputs are matched by name: the roundtrip may renumber ids.
+            for &o in netlist.outputs() {
+                let name = netlist.node_name(o);
+                let bo = back.find_node(name).expect("output preserved");
+                prop_assert_eq!(a[o.index()], b[bo.index()], "output {}", name);
+            }
+        }
+    }
+
+    #[test]
+    fn double_roundtrip_is_fixpoint(netlist in tiny_circuit()) {
+        let once = bench_format::to_bench(&netlist);
+        let back = bench_format::parse(&once, netlist.name()).expect("parses");
+        let twice = bench_format::to_bench(&back);
+        prop_assert_eq!(once, twice);
+    }
+}

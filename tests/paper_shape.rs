@@ -1,0 +1,76 @@
+//! The reproduction's headline claims, asserted as aggregate statistics
+//! over a basket of circuits (individual circuits can deviate in the
+//! paper too — e.g. `irs382`'s `dynm` count exceeds `orig`):
+//!
+//! 1. `F0dynm` produces the smallest test sets overall (Table 5).
+//! 2. `Fincr0` (increasing ADI) produces the largest (Table 5).
+//! 3. The dynamic orders steepen the coverage curve: the mean normalized
+//!    `AVE` is below 1 (Table 7, paper averages 0.870/0.898).
+
+use adi::circuits::{random_circuit, RandomCircuitConfig};
+use adi::core::pipeline::run_experiment;
+use adi::core::{ExperimentConfig, FaultOrdering};
+
+/// A basket of medium circuits, kept small enough for debug-mode CI.
+fn basket() -> Vec<adi::netlist::Netlist> {
+    vec![
+        random_circuit(&RandomCircuitConfig::new("b0", 14, 90, 101)),
+        random_circuit(&RandomCircuitConfig::new("b1", 16, 110, 202)),
+        random_circuit(&RandomCircuitConfig::new("b2", 12, 80, 303)),
+        random_circuit(&RandomCircuitConfig::new("b3", 18, 120, 404)),
+    ]
+}
+
+#[test]
+fn table5_shape_f0dynm_smallest_incr0_largest() {
+    let mut totals = std::collections::HashMap::new();
+    for netlist in basket() {
+        let mut cfg = ExperimentConfig::default();
+        cfg.uset.max_vectors = 1024;
+        let e = run_experiment(&netlist, &cfg);
+        for run in &e.runs {
+            *totals.entry(run.ordering).or_insert(0usize) += run.num_tests();
+        }
+    }
+    let t = |o: FaultOrdering| totals[&o];
+    // The paper's aggregate ordering of Table 5's averages.
+    assert!(
+        t(FaultOrdering::Dynamic0) <= t(FaultOrdering::Original),
+        "0dynm {} vs orig {}",
+        t(FaultOrdering::Dynamic0),
+        t(FaultOrdering::Original)
+    );
+    assert!(
+        t(FaultOrdering::Original) < t(FaultOrdering::Incr0),
+        "orig {} vs incr0 {}",
+        t(FaultOrdering::Original),
+        t(FaultOrdering::Incr0)
+    );
+    assert!(
+        t(FaultOrdering::Dynamic) < t(FaultOrdering::Incr0),
+        "dynm {} vs incr0 {}",
+        t(FaultOrdering::Dynamic),
+        t(FaultOrdering::Incr0)
+    );
+}
+
+#[test]
+fn table7_shape_dynamic_orders_steepen_curves() {
+    let (mut sum_dynm, mut sum_dynm0, mut n) = (0.0f64, 0.0f64, 0usize);
+    for netlist in basket() {
+        let mut cfg = ExperimentConfig::default();
+        cfg.uset.max_vectors = 1024;
+        cfg.orderings = vec![
+            FaultOrdering::Original,
+            FaultOrdering::Dynamic,
+            FaultOrdering::Dynamic0,
+        ];
+        let e = run_experiment(&netlist, &cfg);
+        sum_dynm += e.relative_ave(FaultOrdering::Dynamic).unwrap();
+        sum_dynm0 += e.relative_ave(FaultOrdering::Dynamic0).unwrap();
+        n += 1;
+    }
+    let (avg_dynm, avg_dynm0) = (sum_dynm / n as f64, sum_dynm0 / n as f64);
+    assert!(avg_dynm < 1.0, "mean normalized AVE(dynm) = {avg_dynm:.3}");
+    assert!(avg_dynm0 < 1.0, "mean normalized AVE(0dynm) = {avg_dynm0:.3}");
+}
