@@ -82,8 +82,8 @@ mod tests {
         ] {
             let p = s.fill(&cube(), 7);
             assert!(cube().covers(&p), "{s:?}");
-            assert_eq!(p.get(1), false);
-            assert_eq!(p.get(4), true);
+            assert!(!p.get(1));
+            assert!(p.get(4));
         }
     }
 
@@ -99,9 +99,9 @@ mod tests {
     fn alternating_toggles_in_input_order() {
         let a = FillStrategy::Alternating.fill(&cube(), 0);
         // X positions are 0, 2, 3 -> filled 1, 0, 1? First toggle yields true.
-        assert_eq!(a.get(0), true);
-        assert_eq!(a.get(2), false);
-        assert_eq!(a.get(3), true);
+        assert!(a.get(0));
+        assert!(!a.get(2));
+        assert!(a.get(3));
     }
 
     #[test]

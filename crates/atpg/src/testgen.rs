@@ -556,14 +556,27 @@ G23 = NAND(G16, G19)
     #[test]
     fn random_phase_usually_needs_more_tests() {
         // The paper's argument: admitting random vectors first inflates
-        // the test set relative to pure deterministic generation.
+        // the test set relative to pure deterministic generation. On a
+        // circuit as small as c17 the effect is noisy per seed, so
+        // assert it as the statistic it is: over a spread of warmup
+        // seeds, the phased run matches or exceeds the plain test count
+        // in a clear majority of cases.
         let n = c17();
         let faults = FaultList::collapsed(&n);
         let order: Vec<FaultId> = faults.ids().collect();
         let gen = TestGenerator::new(&n, &faults, TestGenConfig::default());
-        let plain = gen.run(&order);
-        let phased = gen.run_with_random_phase(&order, &PatternSet::random(5, 32, 7));
-        assert!(phased.num_tests() >= plain.num_tests());
+        let plain = gen.run(&order).num_tests();
+        let seeds = 20u64;
+        let at_least_as_many = (0..seeds)
+            .filter(|&seed| {
+                let warmup = PatternSet::random(5, 32, seed);
+                gen.run_with_random_phase(&order, &warmup).num_tests() >= plain
+            })
+            .count();
+        assert!(
+            at_least_as_many >= seeds as usize * 2 / 3,
+            "random phase inflated the test set in only {at_least_as_many}/{seeds} runs"
+        );
     }
 
     #[test]

@@ -1,0 +1,686 @@
+//! Offline stand-in for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) 1.x API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the pieces its property tests actually exercise: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, integer-range
+//! and tuple strategies, [`arbitrary::any`], regex-literal string
+//! strategies, [`collection::vec`], and the [`proptest!`],
+//! [`prop_assert!`], [`prop_assert_eq!`] and [`prop_oneof!`] macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case
+//!   number and seed instead of a minimized input.
+//! * **Deterministic runs.** Case `i` of test `t` always sees the same
+//!   input, derived from `fnv1a(t) ^ splitmix(i)`, so failures reproduce
+//!   without a persistence file.
+//! * **Regex strategies** support the subset the tests use: literals,
+//!   escapes, `.`, character classes with ranges, alternation groups and
+//!   `{m}`/`{m,n}`/`?`/`*`/`+` quantifiers.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!
+//!     // Under `#[cfg(test)]` this would also carry `#[test]`.
+//!     fn addition_commutes(a in 0u32..1000, b in any::<u32>()) {
+//!         prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Case-count configuration and the per-test deterministic runner.
+
+    use crate::strategy::TestRng;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Run configuration; re-exported in the prelude as `ProptestConfig`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A default configuration overriding only the case count.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Drives one property test: owns the config and derives the
+    /// deterministic per-case RNG.
+    pub struct TestRunner {
+        config: Config,
+        name_hash: u64,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for the test named `name`.
+        pub fn new(config: Config, name: &str) -> Self {
+            // FNV-1a over the test name decorrelates tests that share a
+            // case index.
+            let mut hash = 0xCBF2_9CE4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                config,
+                name_hash: hash,
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The seed for `case`, printed when the case fails.
+        pub fn seed_for_case(&self, case: u32) -> u64 {
+            self.name_hash ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        }
+
+        /// The deterministic RNG for `case`.
+        pub fn rng_for_case(&self, case: u32) -> TestRng {
+            TestRng::new(StdRng::seed_from_u64(self.seed_for_case(case)))
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators the workspace uses.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// The RNG handed to strategies; wraps the workspace `StdRng`.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Wraps a seeded generator.
+        pub fn new(inner: StdRng) -> Self {
+            TestRng { inner }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    /// A generator of test values. Unlike real proptest there is no
+    /// value tree and no shrinking: a strategy simply produces a value.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// A `&str` is a strategy generating strings matching it as a regex
+    /// (the subset documented at the crate root).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    /// Chooses uniformly between type-erased alternatives; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Wraps a non-empty set of alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs an alternative");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let pick = rng.gen_range(0..self.options.len());
+            self.options[pick].new_value(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! Blanket "any value of this type" strategies.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::{Rng, RngCore};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T> {
+        _marker: PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy over every value of `T`, e.g. `any::<u64>()`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod string {
+    //! Generation of strings from the supported regex subset.
+
+    use crate::strategy::TestRng;
+    use rand::Rng;
+
+    /// Characters produced by `.`: printable ASCII plus the whitespace
+    /// and non-ASCII stressors a text-format fuzzer wants to see.
+    const ANY_POOL_EXTRA: &[char] = &['\n', '\t', '\r', '\u{0}', 'é', 'Ω', '語'];
+
+    #[derive(Debug)]
+    enum Node {
+        Lit(char),
+        Any,
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<Node>>),
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    /// Generates one string matching `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on syntax outside the supported subset — a test-authoring
+    /// error, reported eagerly.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let alts = parse_alternatives(&mut chars);
+        assert!(
+            chars.next().is_none(),
+            "unbalanced ')' in regex {pattern:?}"
+        );
+        let mut out = String::new();
+        let pick = rng.gen_range(0..alts.len());
+        emit_seq(&alts[pick], rng, &mut out);
+        out
+    }
+
+    type CharStream<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+    fn parse_alternatives(chars: &mut CharStream) -> Vec<Vec<Node>> {
+        let mut alts = vec![parse_seq(chars)];
+        while chars.peek() == Some(&'|') {
+            chars.next();
+            alts.push(parse_seq(chars));
+        }
+        alts
+    }
+
+    fn parse_seq(chars: &mut CharStream) -> Vec<Node> {
+        let mut seq = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            chars.next();
+            let node = match c {
+                '.' => Node::Any,
+                '\\' => Node::Lit(chars.next().expect("dangling escape")),
+                '[' => parse_class(chars),
+                '(' => {
+                    let alts = parse_alternatives(chars);
+                    assert_eq!(chars.next(), Some(')'), "unclosed group");
+                    Node::Group(alts)
+                }
+                _ => Node::Lit(c),
+            };
+            seq.push(parse_quantifier(chars, node));
+        }
+        seq
+    }
+
+    fn parse_class(chars: &mut CharStream) -> Node {
+        let mut items = Vec::new();
+        loop {
+            let c = chars.next().expect("unclosed character class");
+            if c == ']' {
+                break;
+            }
+            let lo = if c == '\\' {
+                chars.next().expect("dangling escape in class")
+            } else {
+                c
+            };
+            // A '-' is a range operator only between two items.
+            if chars.peek() == Some(&'-') {
+                let mut lookahead = chars.clone();
+                lookahead.next();
+                if lookahead.peek() != Some(&']') {
+                    chars.next();
+                    let hi = chars.next().expect("unclosed range in class");
+                    assert!(lo <= hi, "reversed class range {lo}-{hi}");
+                    items.push((lo, hi));
+                    continue;
+                }
+            }
+            items.push((lo, lo));
+        }
+        assert!(!items.is_empty(), "empty character class");
+        Node::Class(items)
+    }
+
+    fn parse_quantifier(chars: &mut CharStream, node: Node) -> Node {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let lo = parse_number(chars);
+                let hi = if chars.peek() == Some(&',') {
+                    chars.next();
+                    parse_number(chars)
+                } else {
+                    lo
+                };
+                assert_eq!(chars.next(), Some('}'), "unclosed quantifier");
+                assert!(lo <= hi, "reversed quantifier {{{lo},{hi}}}");
+                Node::Repeat(Box::new(node), lo, hi)
+            }
+            Some('?') => {
+                chars.next();
+                Node::Repeat(Box::new(node), 0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                Node::Repeat(Box::new(node), 0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                Node::Repeat(Box::new(node), 1, 8)
+            }
+            _ => node,
+        }
+    }
+
+    fn parse_number(chars: &mut CharStream) -> usize {
+        let mut n: Option<usize> = None;
+        while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+            chars.next();
+            n = Some(n.unwrap_or(0) * 10 + d as usize);
+        }
+        n.expect("quantifier needs a number")
+    }
+
+    fn emit_seq(seq: &[Node], rng: &mut TestRng, out: &mut String) {
+        for node in seq {
+            emit(node, rng, out);
+        }
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Any => {
+                // Mostly printable ASCII, sometimes a stressor.
+                if rng.gen_bool(0.9) {
+                    out.push(char::from(rng.gen_range(0x20u8..0x7F)));
+                } else {
+                    out.push(ANY_POOL_EXTRA[rng.gen_range(0..ANY_POOL_EXTRA.len())]);
+                }
+            }
+            Node::Class(items) => {
+                // Weight each item by its width so e.g. [a-z,] is close
+                // to uniform over its 27 members.
+                let total: u32 = items.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+                let mut roll = rng.gen_range(0..total);
+                for &(lo, hi) in items {
+                    let width = hi as u32 - lo as u32 + 1;
+                    if roll < width {
+                        out.push(char::from_u32(lo as u32 + roll).expect("class range"));
+                        return;
+                    }
+                    roll -= width;
+                }
+                unreachable!("roll within total width");
+            }
+            Node::Group(alts) => {
+                let pick = rng.gen_range(0..alts.len());
+                emit_seq(&alts[pick], rng, out);
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let n = rng.gen_range(*lo..=*hi);
+                for _ in 0..n {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Runs each contained `#[test] fn name(pat in strategy, ...) { body }`
+/// over generated inputs, with an optional leading
+/// `#![proptest_config(...)]`.
+///
+/// Failing cases report their deterministic case index and seed before
+/// re-raising the panic; there is no shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run($config) $($rest)*);
+    };
+    (@run($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::test_runner::TestRunner::new($config, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                $(let $arg = $crate::strategy::Strategy::new_value(&$strategy, &mut rng);)*
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || $body
+                ));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed (seed {:#x})",
+                        stringify!($name),
+                        case + 1,
+                        runner.cases(),
+                        runner.seed_for_case(case),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a name the proptest API exposes inside properties.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a name the proptest API exposes inside properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a name the proptest API exposes inside properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    fn rng() -> crate::strategy::TestRng {
+        TestRunner::new(ProptestConfig::default(), "shim-internal").rng_for_case(0)
+    }
+
+    #[test]
+    fn regex_literals_and_classes() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "INPUT\\([a-z]{0,3}\\)".new_value(&mut rng);
+            assert!(s.starts_with("INPUT(") && s.ends_with(')'), "{s:?}");
+            let body = &s["INPUT(".len()..s.len() - 1];
+            assert!(body.len() <= 3);
+            assert!(body.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn regex_alternation_groups() {
+        let mut rng = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let s = "(AND|NAND|OR)".new_value(&mut rng);
+            assert!(["AND", "NAND", "OR"].contains(&s.as_str()), "{s:?}");
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 3, "all alternatives reachable");
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let v = crate::collection::vec("[a-d]", 2..4).new_value(&mut rng);
+            assert!((2..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn dot_quantifier_spans_lengths() {
+        let mut rng = rng();
+        let mut max_len = 0;
+        for _ in 0..100 {
+            let s = ".{0,40}".new_value(&mut rng);
+            assert!(s.chars().count() <= 40);
+            max_len = max_len.max(s.chars().count());
+        }
+        assert!(max_len >= 20, "quantifier should reach long strings");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_in_range(x in 3usize..10, pair in (0u32..4, any::<bool>())) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(pair.0 < 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config_runs(value in any::<u64>()) {
+            prop_assert_eq!(value, value);
+        }
+    }
+}

@@ -92,9 +92,9 @@ impl AdiAnalysis {
         let ndet = matrix.ndet_counts();
         let n_faults = matrix.num_faults();
         let mut adi = vec![0u32; n_faults];
-        for f in 0..n_faults {
+        for (f, slot) in adi.iter_mut().enumerate() {
             let id = FaultId::new(f);
-            adi[f] = match config.estimator {
+            *slot = match config.estimator {
                 AdiEstimator::MinNdet => matrix
                     .detecting_patterns(id)
                     .map(|u| ndet[u])
@@ -106,11 +106,7 @@ impl AdiAnalysis {
                         sum += u64::from(ndet[u]);
                         count += 1;
                     }
-                    if count == 0 {
-                        0
-                    } else {
-                        (sum / count) as u32
-                    }
+                    sum.checked_div(count).unwrap_or(0) as u32
                 }
             };
         }

@@ -270,7 +270,7 @@ impl NetlistBuilder {
 
         // Kahn's algorithm for topological order + cycle detection.
         let mut indegree: Vec<u32> = (0..n)
-            .map(|i| (fanin_index[i + 1] - fanin_index[i]) as u32)
+            .map(|i| fanin_index[i + 1] - fanin_index[i])
             .collect();
         let mut queue: Vec<NodeId> = (0..n)
             .filter(|&i| indegree[i] == 0)

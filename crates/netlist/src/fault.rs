@@ -322,14 +322,14 @@ fn collapse_classes(netlist: &Netlist, full: &FaultList) -> Vec<usize> {
     use std::collections::HashMap;
 
     let mut parent: Vec<usize> = (0..full.len()).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
         }
         x
     }
-    fn union(parent: &mut Vec<usize>, a: usize, b: usize) {
+    fn union(parent: &mut [usize], a: usize, b: usize) {
         let (ra, rb) = (find(parent, a), find(parent, b));
         if ra != rb {
             parent[ra] = rb;
@@ -428,7 +428,7 @@ impl FaultList {
             // Tests for any input s-a-(!c) also detect the output stuck at
             // the value the gate takes when that input is at !c... i.e. the
             // output fault at (!c) ^ inversion.
-            let dominated_out = Fault::stem_at(gate, !c != kind.is_inverting());
+            let dominated_out = Fault::stem_at(gate, c == kind.is_inverting());
             let idx = index[&dominated_out];
             removable_class.insert(classes[idx]);
         }

@@ -67,8 +67,7 @@ impl FfrPartition {
             }
         }
         let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); roots.len()];
-        for i in 0..n {
-            let r = root_of[i];
+        for (i, r) in root_of.iter().enumerate() {
             members[root_slot[r.index()].expect("root registered")].push(NodeId::new(i));
         }
         FfrPartition {

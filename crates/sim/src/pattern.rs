@@ -161,7 +161,7 @@ impl PatternSet {
             }
         }
         // Mask tail bits beyond `count` for a canonical representation.
-        if count % 64 != 0 {
+        if !count.is_multiple_of(64) {
             let mask = (1u64 << (count % 64)) - 1;
             for w in words.iter_mut() {
                 *w.last_mut().expect("at least one block") &= mask;
@@ -304,7 +304,7 @@ impl PatternSet {
             .iter()
             .map(|w| w[..n_blocks].to_vec())
             .collect();
-        if count % 64 != 0 {
+        if !count.is_multiple_of(64) {
             let mask = (1u64 << (count % 64)) - 1;
             for w in words.iter_mut() {
                 *w.last_mut().expect("nonempty") &= mask;

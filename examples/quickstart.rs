@@ -17,8 +17,10 @@ fn main() {
     let netlist = embedded::c17();
     println!("{}\n", NetlistStats::compute(&netlist));
 
-    let mut config = ExperimentConfig::default();
-    config.orderings = FaultOrdering::ALL.to_vec();
+    let config = ExperimentConfig {
+        orderings: FaultOrdering::ALL.to_vec(),
+        ..ExperimentConfig::default()
+    };
     let experiment = run_experiment(&netlist, &config);
 
     println!(

@@ -21,12 +21,14 @@ fn main() {
         .find(|c| c.name == "irs298")
         .expect("suite contains irs298");
     let netlist = circuit.netlist();
-    let mut config = ExperimentConfig::default();
-    config.orderings = vec![
-        FaultOrdering::Original,
-        FaultOrdering::Dynamic,
-        FaultOrdering::Dynamic0,
-    ];
+    let config = ExperimentConfig {
+        orderings: vec![
+            FaultOrdering::Original,
+            FaultOrdering::Dynamic,
+            FaultOrdering::Dynamic0,
+        ],
+        ..ExperimentConfig::default()
+    };
     let experiment = run_experiment(&netlist, &config);
 
     let curves: Vec<LabelledCurve> = [

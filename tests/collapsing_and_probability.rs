@@ -39,7 +39,7 @@ proptest! {
             if netlist.fanins(gate).len() < 2 {
                 continue;
             }
-            let out_fault = Fault::stem_at(gate, !c != kind.is_inverting());
+            let out_fault = Fault::stem_at(gate, c == kind.is_inverting());
             let out_tests = row(out_fault);
             for (pin, &src) in netlist.fanins(gate).iter().enumerate() {
                 let in_fault = if netlist.fanout_count(src) > 1 {
