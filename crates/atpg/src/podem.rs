@@ -473,6 +473,7 @@ mod tests {
     use super::*;
     use adi_netlist::bench_format;
     use adi_netlist::fault::FaultList;
+    use adi_sim::faultsim::SimScratch;
     use adi_sim::{FaultSimulator, PatternSet};
 
     const C17: &str = "
@@ -496,6 +497,7 @@ G23 = NAND(G16, G19)
         let n = bench_format::parse(C17, "c17").unwrap();
         let faults = FaultList::full(&n);
         let sim = FaultSimulator::new(&n, &faults);
+        let mut scratch = SimScratch::new(&n);
         let mut podem = Podem::new(&n, PodemConfig::default());
         for (id, fault) in faults.iter() {
             match podem.generate(fault) {
@@ -504,7 +506,7 @@ G23 = NAND(G16, G19)
                     for fill in [crate::FillStrategy::Zeros, crate::FillStrategy::Ones] {
                         let pattern = fill.fill(&cube, 0);
                         assert!(
-                            sim.detects(&pattern, id),
+                            sim.detects(&pattern, id, Some(&mut scratch)),
                             "cube {cube} (filled {fill:?}) misses fault {fault}"
                         );
                     }
@@ -551,11 +553,12 @@ y = XOR(p, q)
         let n = bench_format::parse(src, "reconv").unwrap();
         let faults = FaultList::full(&n);
         let sim = FaultSimulator::new(&n, &faults);
+        let mut scratch = SimScratch::new(&n);
         let mut podem = Podem::new(&n, PodemConfig::default());
         for (id, fault) in faults.iter() {
             if let PodemOutcome::Test(cube) = podem.generate(fault) {
                 let pattern = crate::FillStrategy::Zeros.fill(&cube, 0);
-                assert!(sim.detects(&pattern, id), "fault {fault}");
+                assert!(sim.detects(&pattern, id, Some(&mut scratch)), "fault {fault}");
             }
         }
     }
@@ -578,6 +581,7 @@ y = OR(t, v)
         let faults = FaultList::full(&n);
         let patterns = PatternSet::exhaustive(3);
         let sim = FaultSimulator::new(&n, &faults);
+        let mut scratch = SimScratch::new(&n);
         let matrix = sim.no_drop_matrix(&patterns);
         let mut podem = Podem::new(&n, PodemConfig::default());
         for (id, fault) in faults.iter() {
@@ -586,7 +590,7 @@ y = OR(t, v)
                 PodemOutcome::Test(cube) => {
                     assert!(testable, "PODEM found test for undetectable {fault}");
                     let p = crate::FillStrategy::Random.fill(&cube, 5);
-                    assert!(sim.detects(&p, id), "bad test for {fault}");
+                    assert!(sim.detects(&p, id, Some(&mut scratch)), "bad test for {fault}");
                 }
                 PodemOutcome::Untestable => {
                     assert!(!testable, "PODEM wrongly proved {fault} redundant");
@@ -609,10 +613,11 @@ y = OR(t, v)
         // With zero backtracks allowed, every outcome must still be sound:
         // any Test produced must be correct.
         let sim = FaultSimulator::new(&n, &faults);
+        let mut scratch = SimScratch::new(&n);
         for (id, fault) in faults.iter() {
             if let PodemOutcome::Test(cube) = podem.generate(fault) {
                 let p = crate::FillStrategy::Zeros.fill(&cube, 0);
-                assert!(sim.detects(&p, id));
+                assert!(sim.detects(&p, id, Some(&mut scratch)));
             }
         }
     }

@@ -410,8 +410,12 @@ G23 = NAND(G16, G19)
         let order: Vec<FaultId> = faults.ids().collect();
         let result = TestGenerator::new(&n, &faults, TestGenConfig::default()).run(&order);
         let sim = FaultSimulator::new(&n, &faults);
+        let mut scratch = SimScratch::new(&n);
         for (i, (test, &target)) in result.tests.iter().zip(&result.targets).enumerate() {
-            assert!(sim.detects(test, target), "test {i} misses its target");
+            assert!(
+                sim.detects(test, target, Some(&mut scratch)),
+                "test {i} misses its target"
+            );
         }
     }
 

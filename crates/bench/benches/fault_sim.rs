@@ -1,9 +1,9 @@
-//! Throughput of PPSFP fault simulation: no-drop (the ADI workload),
-//! with dropping, and serial vs. parallel.
+//! Throughput of stuck-at fault simulation: no-drop (the ADI workload),
+//! with dropping, serial vs. parallel, and per-fault vs. stem-region.
 
 use adi_circuits::paper_suite;
 use adi_netlist::fault::FaultList;
-use adi_sim::{FaultSimulator, PatternSet};
+use adi_sim::{EngineKind, FaultSimulator, PatternSet, StemRegionEngine};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_no_drop(c: &mut Criterion) {
@@ -11,13 +11,22 @@ fn bench_no_drop(c: &mut Criterion) {
     let netlist = circuit.netlist();
     let faults = FaultList::collapsed(&netlist);
     let patterns = PatternSet::random(netlist.num_inputs(), 512, 3);
-    let sim = FaultSimulator::new(&netlist, &faults);
 
     let mut group = c.benchmark_group("fault_sim_no_drop_irs208_512v");
     group.sample_size(20);
-    group.bench_function("serial", |b| b.iter(|| sim.no_drop_matrix(&patterns)));
-    group.bench_function("parallel4", |b| {
-        b.iter(|| sim.no_drop_matrix_parallel(&patterns, 4))
+    for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
+        let sim = FaultSimulator::with_engine(&netlist, &faults, engine);
+        group.bench_function(format!("{engine}/serial"), |b| {
+            b.iter(|| sim.no_drop_matrix(&patterns))
+        });
+        group.bench_function(format!("{engine}/parallel4"), |b| {
+            b.iter(|| sim.no_drop_matrix_parallel(&patterns, 4))
+        });
+    }
+    // Amortized stem-region: setup (view + FFR + grouping) hoisted out.
+    let engine = StemRegionEngine::new(&netlist, &faults);
+    group.bench_function("stem-region/prebuilt", |b| {
+        b.iter(|| engine.no_drop_matrix(&patterns))
     });
     group.finish();
 }
@@ -29,8 +38,12 @@ fn bench_dropping(c: &mut Criterion) {
         let netlist = circuit.netlist();
         let faults = FaultList::collapsed(&netlist);
         let patterns = PatternSet::random(netlist.num_inputs(), 512, 3);
-        let sim = FaultSimulator::new(&netlist, &faults);
-        group.bench_function(circuit.name, |b| b.iter(|| sim.with_dropping(&patterns)));
+        for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
+            let sim = FaultSimulator::with_engine(&netlist, &faults, engine);
+            group.bench_function(format!("{}/{engine}", circuit.name), |b| {
+                b.iter(|| sim.with_dropping(&patterns))
+            });
+        }
     }
     group.finish();
 }

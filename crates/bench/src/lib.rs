@@ -20,6 +20,7 @@ use std::fmt::Write as _;
 use adi_circuits::{paper_suite, PaperCircuit};
 use adi_core::pipeline::{run_experiment, Experiment};
 use adi_core::{ExperimentConfig, FaultOrdering};
+use adi_sim::EngineKind;
 
 /// Command-line options shared by all table binaries.
 #[derive(Clone, Debug)]
@@ -30,6 +31,8 @@ pub struct HarnessOptions {
     pub threads: usize,
     /// Shrink the random-vector pool (quick smoke runs).
     pub quick: bool,
+    /// Fault-simulation engine behind the ADI computation.
+    pub engine: EngineKind,
 }
 
 impl Default for HarnessOptions {
@@ -40,6 +43,7 @@ impl Default for HarnessOptions {
             max_gates: 600,
             threads: default_threads(),
             quick: false,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -89,6 +93,17 @@ impl HarnessOptions {
                         .and_then(|s| s.parse().ok())
                         .ok_or_else(|| "--threads requires a number".to_string())?;
                 }
+                "--engine" => {
+                    opts.engine = match args.next().as_deref() {
+                        Some("per-fault") => EngineKind::PerFault,
+                        Some("stem-region") | Some("stem") => EngineKind::StemRegion,
+                        _ => {
+                            return Err(
+                                "--engine requires `per-fault` or `stem-region`".to_string()
+                            )
+                        }
+                    };
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
@@ -99,6 +114,7 @@ impl HarnessOptions {
     pub fn experiment_config(&self) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::default();
         cfg.adi.threads = self.threads;
+        cfg.adi.engine = self.engine;
         if self.quick {
             cfg.uset.max_vectors = 1000;
         }
@@ -116,7 +132,10 @@ impl HarnessOptions {
 
 fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
-    eprintln!("usage: <table-binary> [--max-gates N | --all] [--quick] [--threads N]");
+    eprintln!(
+        "usage: <table-binary> [--max-gates N | --all] [--quick] [--threads N] \
+         [--engine per-fault|stem-region]"
+    );
     std::process::exit(2);
 }
 
@@ -255,6 +274,15 @@ mod tests {
         assert_eq!(ok(&["--threads", "2"]).threads, 2);
         let combo = ok(&["--quick", "--max-gates", "9", "--threads", "3"]);
         assert!(combo.quick && combo.max_gates == 9 && combo.threads == 3);
+        assert_eq!(ok(&["--engine", "per-fault"]).engine, EngineKind::PerFault);
+        assert_eq!(ok(&["--engine", "stem-region"]).engine, EngineKind::StemRegion);
+        assert_eq!(ok(&["--engine", "stem"]).engine, EngineKind::StemRegion);
+        assert_eq!(ok(&[]).engine, EngineKind::StemRegion);
+        let err = HarnessOptions::try_from_iter(
+            ["--engine", "warp"].iter().map(|s| s.to_string()),
+        )
+        .unwrap_err();
+        assert!(err.contains("per-fault"));
     }
 
     #[test]

@@ -56,6 +56,36 @@ fn table6_and_7_render_empty_suite() {
 }
 
 #[test]
+fn perf_report_writes_json() {
+    let dir = std::env::temp_dir().join("adi_perf_report_smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out_path = dir.join("BENCH_smoke.json");
+    let _ = std::fs::remove_file(&out_path);
+    let (ok, stdout) = run(
+        env!("CARGO_BIN_EXE_perf_report"),
+        &[
+            "--max-gates",
+            "150",
+            "--patterns",
+            "64",
+            "--out",
+            out_path.to_str().expect("utf-8 temp path"),
+        ],
+    );
+    assert!(ok);
+    assert!(stdout.contains("speedup"));
+    let json = std::fs::read_to_string(&out_path).expect("report written");
+    assert!(json.contains("\"schema\": \"adi-perf-report/v1\""));
+    assert!(json.contains("\"circuit\": \"irs208\""));
+    assert!(json.contains("\"engine\": \"per-fault\""));
+    assert!(json.contains("\"engine\": \"stem-region\""));
+    for phase in ["no-drop", "dropping", "adi"] {
+        assert!(json.contains(&format!("\"phase\": \"{phase}\"")), "{phase}");
+    }
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
 fn binaries_reject_unknown_flags() {
     let out = Command::new(env!("CARGO_BIN_EXE_table5"))
         .arg("--frobnicate")

@@ -1,0 +1,76 @@
+//! The flattened levelized CSR view must agree with the netlist's own
+//! `topo_order()`/`level()` data on every embedded and suite circuit.
+
+use adi_circuits::{embedded, paper_suite};
+use adi_netlist::{LevelizedCsr, Netlist};
+
+fn check_levelization(netlist: &Netlist) {
+    let view = LevelizedCsr::build(netlist);
+    let name = netlist.name();
+    assert_eq!(view.num_nodes(), netlist.num_nodes(), "{name}");
+    assert_eq!(view.num_levels(), netlist.max_level() as usize + 1, "{name}");
+
+    // The position order covers exactly the nodes of topo_order() ...
+    let mut seen = vec![false; netlist.num_nodes()];
+    for p in 0..view.num_nodes() {
+        let id = view.node_at(p);
+        assert!(!seen[id.index()], "{name}: node {id} appears twice");
+        seen[id.index()] = true;
+        assert_eq!(view.position(id), p, "{name}: position round-trip");
+    }
+    assert_eq!(seen.len(), netlist.topo_order().len(), "{name}");
+    assert!(seen.iter().all(|&s| s), "{name}: node missing from order");
+
+    // ... is itself a valid topological order (fanins strictly before
+    // their readers — the property topo_order() guarantees) ...
+    for p in 0..view.num_nodes() {
+        for &f in view.fanins_at(p) {
+            assert!((f as usize) < p, "{name}: fanin at or after reader");
+        }
+    }
+
+    // ... and is level-exact: each position's level matches the
+    // netlist's, and levels tile the position space in ascending runs.
+    for p in 0..view.num_nodes() {
+        assert_eq!(
+            view.level_at(p),
+            netlist.level(view.node_at(p)),
+            "{name}: level mismatch at position {p}"
+        );
+        if p > 0 {
+            assert!(view.level_at(p - 1) <= view.level_at(p), "{name}");
+        }
+    }
+    for l in 0..view.num_levels() {
+        for p in view.level_range(l) {
+            assert_eq!(view.level_at(p), l as u32, "{name}: level range");
+        }
+    }
+
+    // Reachability masks: a node reaches an output iff some output's
+    // fanin cone contains it.
+    let outs: Vec<_> = netlist.outputs().to_vec();
+    let live = adi_netlist::fanin_cone(netlist, &outs);
+    for p in 0..view.num_nodes() {
+        assert_eq!(
+            view.reaches_output(p),
+            live.contains(view.node_at(p)),
+            "{name}: reachability of {}",
+            view.node_at(p)
+        );
+    }
+}
+
+#[test]
+fn embedded_circuits_levelize_consistently() {
+    for netlist in embedded::all() {
+        check_levelization(&netlist);
+    }
+}
+
+#[test]
+fn suite_circuits_levelize_consistently() {
+    for circuit in paper_suite() {
+        check_levelization(&circuit.netlist());
+    }
+}

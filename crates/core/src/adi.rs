@@ -2,7 +2,7 @@
 
 use adi_netlist::fault::{FaultId, FaultList};
 use adi_netlist::Netlist;
-use adi_sim::{DetectionMatrix, FaultSimulator, PatternSet};
+use adi_sim::{DetectionMatrix, EngineKind, FaultSimulator, PatternSet};
 
 /// How `ADI(f)` is aggregated from the detection counts of the vectors in
 /// `D(f)`.
@@ -30,6 +30,11 @@ pub struct AdiConfig {
     /// Number of OS threads for the underlying no-drop fault simulation
     /// (0 or 1 = serial).
     pub threads: usize,
+    /// Which fault-simulation engine computes the detection matrix. The
+    /// engines are bit-identical; [`EngineKind::StemRegion`] (the
+    /// default) pays the propagation cost per fanout-free region instead
+    /// of per fault.
+    pub engine: EngineKind,
 }
 
 /// Summary statistics for one circuit's ADI values (the paper's Table 4
@@ -75,7 +80,7 @@ impl AdiAnalysis {
         patterns: &PatternSet,
         config: AdiConfig,
     ) -> Self {
-        let sim = FaultSimulator::new(netlist, faults);
+        let sim = FaultSimulator::with_engine(netlist, faults, config.engine);
         let mut matrix = if config.threads > 1 {
             sim.no_drop_matrix_parallel(patterns, config.threads)
         } else {
@@ -346,6 +351,24 @@ mod tests {
         );
         assert_eq!(serial.adi_values(), par.adi_values());
         assert_eq!(serial.ndet_counts(), par.ndet_counts());
+    }
+
+    #[test]
+    fn per_fault_engine_matches_default() {
+        let (n, faults, stem) = and2_analysis();
+        let u = PatternSet::exhaustive(2);
+        let per_fault = AdiAnalysis::compute(
+            &n,
+            &faults,
+            &u,
+            AdiConfig {
+                engine: EngineKind::PerFault,
+                ..AdiConfig::default()
+            },
+        );
+        assert_eq!(stem.matrix(), per_fault.matrix());
+        assert_eq!(stem.adi_values(), per_fault.adi_values());
+        assert_eq!(stem.ndet_counts(), per_fault.ndet_counts());
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! graph), the [`NetlistBuilder`] used to construct and validate it, the
 //! ISCAS `.bench` text format reader/writer ([`bench_format`]), and the
 //! single stuck-at fault model with structural equivalence collapsing
-//! ([`fault`]).
+//! ([`fault`]). For simulation hot paths it additionally offers
+//! [`LevelizedCsr`], a flattened position-indexed view of the graph in
+//! topological level order with per-node output-reachability masks.
 //!
 //! Full-scan sequential circuits are handled by treating flip-flop outputs as
 //! pseudo primary inputs and flip-flop inputs as pseudo primary outputs, so
@@ -49,6 +51,7 @@ pub mod fault;
 mod ffr;
 mod gate;
 mod id;
+mod levelized;
 mod netlist;
 mod stats;
 
@@ -59,5 +62,6 @@ pub use error::NetlistError;
 pub use ffr::FfrPartition;
 pub use gate::GateKind;
 pub use id::NodeId;
+pub use levelized::LevelizedCsr;
 pub use netlist::Netlist;
 pub use stats::NetlistStats;

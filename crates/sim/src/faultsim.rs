@@ -1,11 +1,25 @@
-//! Parallel-pattern single-fault propagation (PPSFP) fault simulation.
+//! Stuck-at fault simulation over two interchangeable engines.
 //!
-//! For each 64-pattern block the good machine is simulated once; each fault
-//! is then injected and its effect propagated through its fanout cone with
-//! event-driven, level-ordered word operations. A fault is detected in a
-//! pattern iff some primary output differs from the good machine.
+//! For each 64-pattern block the good machine is simulated once; fault
+//! effects are then propagated to the primary outputs. Two engines are
+//! offered behind [`EngineKind`], both running on the cache-friendly
+//! [`LevelizedCsr`] position space and producing **bit-identical**
+//! results:
 //!
-//! Three drive modes are offered:
+//! * [`EngineKind::PerFault`] — classic PPSFP: each fault is injected
+//!   individually and its effect walked through its fanout cone with
+//!   event-driven word operations. Cost: one cone walk *per fault* per
+//!   block. This engine doubles as the differential-testing oracle for
+//!   the stem-region engine.
+//! * [`EngineKind::StemRegion`] — the two-level engine (the default):
+//!   inside each fanout-free region every fault's detectability at the
+//!   FFR stem is computed bit-parallelly from forward sensitization
+//!   words (no event queue), then a single observability propagation
+//!   *per stem* carries the effect to the outputs. Cost: one cone walk
+//!   *per FFR* per block, an asymptotic win since regions average
+//!   several faults each. See [`StemRegionEngine`].
+//!
+//! Three drive modes are offered by [`FaultSimulator`]:
 //!
 //! * [`FaultSimulator::no_drop_matrix`] — full simulation **without fault
 //!   dropping**, producing the [`DetectionMatrix`] from which the paper
@@ -19,36 +33,80 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use adi_netlist::fault::{Fault, FaultId, FaultList, FaultSite};
-use adi_netlist::{GateKind, Netlist, NodeId};
+use adi_netlist::{GateKind, LevelizedCsr, Netlist};
 
-use crate::logic::{self, GoodValues};
+use crate::logic::{self, eval_with_pos, PosGood};
+use crate::stem::StemRegionEngine;
 use crate::{DetectionMatrix, Pattern, PatternSet};
 
-/// Reusable per-thread scratch buffers for fault injection.
+/// Which fault-propagation engine a [`FaultSimulator`] drives.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum EngineKind {
+    /// One event-driven cone propagation per fault per block (the
+    /// classic PPSFP engine, kept as the differential-testing oracle).
+    PerFault,
+    /// Bit-parallel fault detectability per fanout-free region plus one
+    /// observability propagation per stem per block. Bit-identical to
+    /// [`PerFault`](EngineKind::PerFault), asymptotically faster.
+    #[default]
+    StemRegion,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::PerFault => write!(f, "per-fault"),
+            EngineKind::StemRegion => write!(f, "stem-region"),
+        }
+    }
+}
+
+/// Reusable per-thread scratch buffers for per-fault injection, holding
+/// the [`LevelizedCsr`] view the hot loops run on.
 ///
 /// Create one with [`SimScratch::new`] and reuse it across calls to the
-/// single-pattern API to avoid repeated allocation.
+/// single-pattern API to avoid repeated allocation (and repeated view
+/// construction).
 #[derive(Clone, Debug)]
 pub struct SimScratch {
+    pub(crate) view: LevelizedCsr,
+    pub(crate) buf: ScratchBuf,
+}
+
+/// The allocation-heavy part of [`SimScratch`], split out so the view
+/// and the buffers can be borrowed independently.
+#[derive(Clone, Debug)]
+pub(crate) struct ScratchBuf {
     faulty: Vec<u64>,
     stamp: Vec<u32>,
     queued: Vec<u32>,
     version: u32,
-    queue: BinaryHeap<Reverse<(u32, u32)>>,
+    queue: BinaryHeap<Reverse<u32>>,
     good_single: Vec<u64>,
+    input_words: Vec<u64>,
 }
 
 impl SimScratch {
-    /// Allocates scratch buffers sized for `netlist`.
+    /// Allocates scratch buffers (and builds the levelized view) for
+    /// `netlist`.
     pub fn new(netlist: &Netlist) -> Self {
-        let n = netlist.num_nodes();
-        SimScratch {
+        let view = LevelizedCsr::build(netlist);
+        let buf = ScratchBuf::new(&view);
+        SimScratch { view, buf }
+    }
+}
+
+impl ScratchBuf {
+    pub(crate) fn new(view: &LevelizedCsr) -> Self {
+        let n = view.num_nodes();
+        ScratchBuf {
             faulty: vec![0; n],
             stamp: vec![0; n],
             queued: vec![0; n],
             version: 0,
             queue: BinaryHeap::new(),
             good_single: vec![0; n],
+            input_words: Vec::with_capacity(view.inputs().len()),
         }
     }
 }
@@ -109,11 +167,15 @@ impl NDetectOutcome {
 
 /// A stuck-at fault simulator bound to one netlist and fault list.
 ///
+/// [`FaultSimulator::new`] selects the default engine
+/// ([`EngineKind::StemRegion`]); use [`FaultSimulator::with_engine`] to
+/// pick one explicitly. Both engines produce bit-identical results.
+///
 /// # Examples
 ///
 /// ```
 /// use adi_netlist::{bench_format, fault::FaultList};
-/// use adi_sim::{FaultSimulator, PatternSet};
+/// use adi_sim::{EngineKind, FaultSimulator, PatternSet};
 ///
 /// # fn main() -> Result<(), adi_netlist::NetlistError> {
 /// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n", "or2")?;
@@ -121,6 +183,11 @@ impl NDetectOutcome {
 /// let sim = FaultSimulator::new(&n, &faults);
 /// let drop = sim.with_dropping(&PatternSet::exhaustive(2));
 /// assert_eq!(drop.coverage(), 1.0); // exhaustive patterns detect everything
+///
+/// // The two engines agree bit for bit.
+/// let oracle = FaultSimulator::with_engine(&n, &faults, EngineKind::PerFault);
+/// let patterns = PatternSet::exhaustive(2);
+/// assert_eq!(sim.no_drop_matrix(&patterns), oracle.no_drop_matrix(&patterns));
 /// # Ok(())
 /// # }
 /// ```
@@ -128,22 +195,37 @@ impl NDetectOutcome {
 pub struct FaultSimulator<'a> {
     netlist: &'a Netlist,
     faults: &'a FaultList,
+    engine: EngineKind,
 }
 
 impl<'a> FaultSimulator<'a> {
-    /// Creates a simulator for `faults` of `netlist`.
+    /// Creates a simulator for `faults` of `netlist` with the default
+    /// engine ([`EngineKind::StemRegion`]).
     ///
     /// # Panics
     ///
     /// Panics if any fault references a node outside the netlist.
     pub fn new(netlist: &'a Netlist, faults: &'a FaultList) -> Self {
+        Self::with_engine(netlist, faults, EngineKind::default())
+    }
+
+    /// Creates a simulator driving the given `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault references a node outside the netlist.
+    pub fn with_engine(netlist: &'a Netlist, faults: &'a FaultList, engine: EngineKind) -> Self {
         for (_, f) in faults.iter() {
             assert!(
                 f.effect_node().index() < netlist.num_nodes(),
                 "fault {f} outside netlist"
             );
         }
-        FaultSimulator { netlist, faults }
+        FaultSimulator {
+            netlist,
+            faults,
+            engine,
+        }
     }
 
     /// The netlist being simulated.
@@ -156,17 +238,32 @@ impl<'a> FaultSimulator<'a> {
         self.faults
     }
 
+    /// The engine this simulator drives.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine
+    }
+
     /// Simulates every fault under every pattern **without dropping** and
     /// returns the full detection matrix.
     pub fn no_drop_matrix(&self, patterns: &PatternSet) -> DetectionMatrix {
-        let good = GoodValues::compute(self.netlist, patterns);
-        let mut matrix = DetectionMatrix::new(self.faults.len(), patterns.len());
+        match self.engine {
+            EngineKind::PerFault => self.no_drop_matrix_per_fault(patterns),
+            EngineKind::StemRegion => {
+                StemRegionEngine::new(self.netlist, self.faults).no_drop_matrix(patterns)
+            }
+        }
+    }
+
+    fn no_drop_matrix_per_fault(&self, patterns: &PatternSet) -> DetectionMatrix {
         let mut scratch = SimScratch::new(self.netlist);
+        let SimScratch { view, buf } = &mut scratch;
+        let good = PosGood::compute(view, patterns);
+        let mut matrix = DetectionMatrix::new(self.faults.len(), patterns.len());
         let n_blocks = patterns.num_blocks();
         for (id, fault) in self.faults.iter() {
             for block in 0..n_blocks {
                 let mask = patterns.valid_mask(block);
-                let w = self.detect_block(good.block(block), fault, mask, &mut scratch);
+                let w = detect_block_impl(view, good.block(block), fault, mask, buf);
                 if w != 0 {
                     matrix.or_word(id, block, w);
                 }
@@ -175,8 +272,9 @@ impl<'a> FaultSimulator<'a> {
         matrix
     }
 
-    /// Like [`no_drop_matrix`](Self::no_drop_matrix) but splits the fault
-    /// list across `threads` OS threads.
+    /// Like [`no_drop_matrix`](Self::no_drop_matrix) but splits the work
+    /// across `threads` OS threads — by fault range for the per-fault
+    /// engine, by pattern-block range for the stem-region engine.
     ///
     /// The result is identical to the serial version.
     ///
@@ -189,22 +287,33 @@ impl<'a> FaultSimulator<'a> {
         threads: usize,
     ) -> DetectionMatrix {
         assert!(threads > 0, "at least one thread required");
+        match self.engine {
+            EngineKind::PerFault => self.no_drop_matrix_parallel_per_fault(patterns, threads),
+            EngineKind::StemRegion => StemRegionEngine::new(self.netlist, self.faults)
+                .no_drop_matrix_parallel(patterns, threads),
+        }
+    }
+
+    fn no_drop_matrix_parallel_per_fault(
+        &self,
+        patterns: &PatternSet,
+        threads: usize,
+    ) -> DetectionMatrix {
         let n_faults = self.faults.len();
         if threads == 1 || n_faults < 2 * threads {
-            return self.no_drop_matrix(patterns);
+            return self.no_drop_matrix_per_fault(patterns);
         }
-        let good = GoodValues::compute(self.netlist, patterns);
+        let view = LevelizedCsr::build(self.netlist);
+        let good = PosGood::compute(&view, patterns);
         let mut matrix = DetectionMatrix::new(n_faults, patterns.len());
         let n_blocks = patterns.num_blocks();
         let chunk = n_faults.div_ceil(threads);
-        let netlist = self.netlist;
         let faults = self.faults;
-        let good_ref = &good;
-        let patterns_ref = patterns;
+        let (view_ref, good_ref, patterns_ref) = (&view, &good, patterns);
         std::thread::scope(|scope| {
             for (ci, rows) in matrix.rows_chunks_mut(chunk).enumerate() {
                 scope.spawn(move || {
-                    let mut scratch = SimScratch::new(netlist);
+                    let mut buf = ScratchBuf::new(view_ref);
                     let base = ci * chunk;
                     let count = rows.len() / n_blocks.max(1);
                     for k in 0..count {
@@ -212,11 +321,11 @@ impl<'a> FaultSimulator<'a> {
                         for block in 0..n_blocks {
                             let mask = patterns_ref.valid_mask(block);
                             let w = detect_block_impl(
-                                netlist,
+                                view_ref,
                                 good_ref.block(block),
                                 fault,
                                 mask,
-                                &mut scratch,
+                                &mut buf,
                             );
                             rows[k * n_blocks + block] = w;
                         }
@@ -230,19 +339,31 @@ impl<'a> FaultSimulator<'a> {
     /// Simulates with fault dropping: each fault is retired at its first
     /// detecting pattern.
     pub fn with_dropping(&self, patterns: &PatternSet) -> DropOutcome {
-        let good = GoodValues::compute(self.netlist, patterns);
+        match self.engine {
+            EngineKind::PerFault => self.with_dropping_per_fault(patterns),
+            EngineKind::StemRegion => {
+                StemRegionEngine::new(self.netlist, self.faults).with_dropping(patterns)
+            }
+        }
+    }
+
+    fn with_dropping_per_fault(&self, patterns: &PatternSet) -> DropOutcome {
         let mut scratch = SimScratch::new(self.netlist);
+        let SimScratch { view, buf } = &mut scratch;
+        let mut good = vec![0u64; view.num_nodes()];
+        let mut input_words = vec![0u64; patterns.num_inputs()];
         let mut first: Vec<Option<u32>> = vec![None; self.faults.len()];
         let mut active: Vec<FaultId> = self.faults.ids().collect();
         for block in 0..patterns.num_blocks() {
             if active.is_empty() {
                 break;
             }
+            logic::load_input_words(patterns, block, &mut input_words);
+            logic::simulate_block_csr(view, &input_words, &mut good);
             let mask = patterns.valid_mask(block);
-            let slice = good.block(block);
             active.retain(|&id| {
                 let fault = self.faults.fault(id);
-                let w = self.detect_block(slice, fault, mask, &mut scratch);
+                let w = detect_block_impl(view, &good, fault, mask, buf);
                 if w != 0 {
                     first[id.index()] =
                         Some((block * 64) as u32 + w.trailing_zeros());
@@ -265,19 +386,31 @@ impl<'a> FaultSimulator<'a> {
     /// Panics if `n == 0`.
     pub fn n_detect(&self, patterns: &PatternSet, n: u32) -> NDetectOutcome {
         assert!(n > 0, "n-detection requires n >= 1");
-        let good = GoodValues::compute(self.netlist, patterns);
+        match self.engine {
+            EngineKind::PerFault => self.n_detect_per_fault(patterns, n),
+            EngineKind::StemRegion => {
+                StemRegionEngine::new(self.netlist, self.faults).n_detect(patterns, n)
+            }
+        }
+    }
+
+    fn n_detect_per_fault(&self, patterns: &PatternSet, n: u32) -> NDetectOutcome {
         let mut scratch = SimScratch::new(self.netlist);
+        let SimScratch { view, buf } = &mut scratch;
+        let mut good = vec![0u64; view.num_nodes()];
+        let mut input_words = vec![0u64; patterns.num_inputs()];
         let mut counts = vec![0u32; self.faults.len()];
         let mut active: Vec<FaultId> = self.faults.ids().collect();
         for block in 0..patterns.num_blocks() {
             if active.is_empty() {
                 break;
             }
+            logic::load_input_words(patterns, block, &mut input_words);
+            logic::simulate_block_csr(view, &input_words, &mut good);
             let mask = patterns.valid_mask(block);
-            let slice = good.block(block);
             active.retain(|&id| {
                 let fault = self.faults.fault(id);
-                let w = self.detect_block(slice, fault, mask, &mut scratch);
+                let w = detect_block_impl(view, &good, fault, mask, buf);
                 let c = &mut counts[id.index()];
                 *c = (*c + w.count_ones()).min(n);
                 *c < n
@@ -290,7 +423,14 @@ impl<'a> FaultSimulator<'a> {
     /// returns the detected ones, preserving `active` order.
     ///
     /// This is the primitive used by the test-generation driver to drop
-    /// faults after each new test.
+    /// faults after each new test. It always runs the per-fault engine:
+    /// for a single vector the stem-region engine's per-block setup cost
+    /// cannot amortize.
+    /// # Panics
+    ///
+    /// Panics if the pattern width does not match the circuit, or if
+    /// `scratch` was built for a different netlist (the scratch embeds
+    /// the levelized view of its circuit).
     pub fn detect_pattern(
         &self,
         pattern: &Pattern,
@@ -298,65 +438,58 @@ impl<'a> FaultSimulator<'a> {
         scratch: &mut SimScratch,
     ) -> Vec<FaultId> {
         assert_eq!(pattern.len(), self.netlist.num_inputs());
-        let words: Vec<u64> = pattern.iter().map(u64::from).collect();
-        let mut good = std::mem::take(&mut scratch.good_single);
-        logic::simulate_block(self.netlist, &words, &mut good);
+        let SimScratch { view, buf } = scratch;
+        assert_eq!(
+            view.num_nodes(),
+            self.netlist.num_nodes(),
+            "scratch built for a different netlist"
+        );
+        let mut words = std::mem::take(&mut buf.input_words);
+        words.clear();
+        words.extend(pattern.iter().map(u64::from));
+        let mut good = std::mem::take(&mut buf.good_single);
+        logic::simulate_block_csr(view, &words, &mut good);
         let detected = active
             .iter()
             .copied()
             .filter(|&id| {
                 let fault = self.faults.fault(id);
-                self.detect_block(&good, fault, 1, scratch) != 0
+                detect_block_impl(view, &good, fault, 1, buf) != 0
             })
             .collect();
-        scratch.good_single = good;
+        buf.good_single = good;
+        buf.input_words = words;
         detected
     }
 
     /// Convenience: does `pattern` detect `fault`?
-    pub fn detects(&self, pattern: &Pattern, fault_id: FaultId) -> bool {
-        let mut scratch = SimScratch::new(self.netlist);
-        !self
-            .detect_pattern(pattern, &[fault_id], &mut scratch)
-            .is_empty()
-    }
-
-    #[inline]
-    fn detect_block(
+    ///
+    /// Pass a reusable scratch when querying in a loop; with `None` a
+    /// fresh [`SimScratch`] (including its levelized view) is built for
+    /// this one query.
+    pub fn detects(
         &self,
-        good: &[u64],
-        fault: Fault,
-        valid_mask: u64,
-        scratch: &mut SimScratch,
-    ) -> u64 {
-        detect_block_impl(self.netlist, good, fault, valid_mask, scratch)
+        pattern: &Pattern,
+        fault_id: FaultId,
+        scratch: Option<&mut SimScratch>,
+    ) -> bool {
+        match scratch {
+            Some(s) => !self.detect_pattern(pattern, &[fault_id], s).is_empty(),
+            None => {
+                let mut s = SimScratch::new(self.netlist);
+                !self.detect_pattern(pattern, &[fault_id], &mut s).is_empty()
+            }
+        }
     }
 }
 
-/// Evaluates `kind` over `fanins` with values supplied by `value`.
+/// Evaluates a gate with one pin overridden to a constant word; `good`
+/// and `fanins` are in CSR position space.
 #[inline]
-fn eval_with(kind: GateKind, fanins: &[NodeId], value: impl Fn(NodeId) -> u64) -> u64 {
-    match kind {
-        GateKind::Input => panic!("inputs are loaded, not evaluated"),
-        GateKind::Buf => value(fanins[0]),
-        GateKind::Not => !value(fanins[0]),
-        GateKind::And => fanins.iter().fold(!0u64, |acc, &f| acc & value(f)),
-        GateKind::Nand => !fanins.iter().fold(!0u64, |acc, &f| acc & value(f)),
-        GateKind::Or => fanins.iter().fold(0u64, |acc, &f| acc | value(f)),
-        GateKind::Nor => !fanins.iter().fold(0u64, |acc, &f| acc | value(f)),
-        GateKind::Xor => fanins.iter().fold(0u64, |acc, &f| acc ^ value(f)),
-        GateKind::Xnor => !fanins.iter().fold(0u64, |acc, &f| acc ^ value(f)),
-        GateKind::Const0 => 0,
-        GateKind::Const1 => !0,
-    }
-}
-
-/// Evaluates a gate with one pin overridden to a constant word.
-#[inline]
-fn eval_override(
+pub(crate) fn eval_override_pos(
     good: &[u64],
     kind: GateKind,
-    fanins: &[NodeId],
+    fanins: &[u32],
     pin: usize,
     ov: u64,
 ) -> u64 {
@@ -372,7 +505,7 @@ fn eval_override(
         GateKind::And | GateKind::Nand => {
             let mut acc = !0u64;
             for (i, &f) in fanins.iter().enumerate() {
-                acc &= if i == pin { ov } else { good[f.index()] };
+                acc &= if i == pin { ov } else { good[f as usize] };
             }
             if kind == GateKind::Nand {
                 !acc
@@ -383,7 +516,7 @@ fn eval_override(
         GateKind::Or | GateKind::Nor => {
             let mut acc = 0u64;
             for (i, &f) in fanins.iter().enumerate() {
-                acc |= if i == pin { ov } else { good[f.index()] };
+                acc |= if i == pin { ov } else { good[f as usize] };
             }
             if kind == GateKind::Nor {
                 !acc
@@ -394,7 +527,7 @@ fn eval_override(
         GateKind::Xor | GateKind::Xnor => {
             let mut acc = 0u64;
             for (i, &f) in fanins.iter().enumerate() {
-                acc ^= if i == pin { ov } else { good[f.index()] };
+                acc ^= if i == pin { ov } else { good[f as usize] };
             }
             if kind == GateKind::Xnor {
                 !acc
@@ -408,12 +541,15 @@ fn eval_override(
     }
 }
 
-fn detect_block_impl(
-    netlist: &Netlist,
+/// Event-driven per-fault propagation in CSR position space: positions
+/// are assigned in topological level order, so the position itself is
+/// the event priority.
+pub(crate) fn detect_block_impl(
+    view: &LevelizedCsr,
     good: &[u64],
     fault: Fault,
     valid_mask: u64,
-    s: &mut SimScratch,
+    s: &mut ScratchBuf,
 ) -> u64 {
     s.version = s.version.wrapping_add(1);
     if s.version == 0 {
@@ -425,56 +561,59 @@ fn detect_block_impl(
     let stuck_word = if fault.stuck_value() { !0u64 } else { 0u64 };
 
     let (inject, faulty_word) = match fault.site() {
-        FaultSite::Stem(n) => (n, stuck_word),
+        FaultSite::Stem(n) => (view.position(n), stuck_word),
         FaultSite::Branch { gate, pin } => {
-            let w = eval_override(
+            let gp = view.position(gate);
+            let w = eval_override_pos(
                 good,
-                netlist.kind(gate),
-                netlist.fanins(gate),
+                view.kind_at(gp),
+                view.fanins_at(gp),
                 pin as usize,
                 stuck_word,
             );
-            (gate, w)
+            (gp, w)
         }
     };
 
-    let diff = (faulty_word ^ good[inject.index()]) & valid_mask;
-    if diff == 0 {
+    let diff = (faulty_word ^ good[inject]) & valid_mask;
+    // A fault whose effect site reaches no primary output can never be
+    // observed: exit before any propagation.
+    if diff == 0 || !view.reaches_output(inject) {
         return 0;
     }
-    s.faulty[inject.index()] = faulty_word;
-    s.stamp[inject.index()] = v;
-    let mut detected = if netlist.is_output(inject) { diff } else { 0 };
+    s.faulty[inject] = faulty_word;
+    s.stamp[inject] = v;
+    let mut detected = if view.is_output_at(inject) { diff } else { 0 };
 
     debug_assert!(s.queue.is_empty());
-    for &g in netlist.fanouts(inject) {
-        if s.queued[g.index()] != v {
-            s.queued[g.index()] = v;
-            s.queue.push(Reverse((netlist.level(g), g.as_u32())));
+    for &g in view.fanouts_at(inject) {
+        if s.queued[g as usize] != v && view.reaches_output(g as usize) {
+            s.queued[g as usize] = v;
+            s.queue.push(Reverse(g));
         }
     }
 
-    while let Some(Reverse((_, raw))) = s.queue.pop() {
-        let node = NodeId::new(raw as usize);
-        let kind = netlist.kind(node);
-        let val = eval_with(kind, netlist.fanins(node), |f| {
-            if s.stamp[f.index()] == v {
-                s.faulty[f.index()]
+    while let Some(Reverse(p)) = s.queue.pop() {
+        let p = p as usize;
+        let kind = view.kind_at(p);
+        let val = eval_with_pos(kind, view.fanins_at(p), |f| {
+            if s.stamp[f as usize] == v {
+                s.faulty[f as usize]
             } else {
-                good[f.index()]
+                good[f as usize]
             }
         });
-        let d = (val ^ good[node.index()]) & valid_mask;
+        let d = (val ^ good[p]) & valid_mask;
         if d != 0 {
-            s.faulty[node.index()] = val;
-            s.stamp[node.index()] = v;
-            if netlist.is_output(node) {
+            s.faulty[p] = val;
+            s.stamp[p] = v;
+            if view.is_output_at(p) {
                 detected |= d;
             }
-            for &g in netlist.fanouts(node) {
-                if s.queued[g.index()] != v {
-                    s.queued[g.index()] = v;
-                    s.queue.push(Reverse((netlist.level(g), g.as_u32())));
+            for &g in view.fanouts_at(p) {
+                if s.queued[g as usize] != v && view.reaches_output(g as usize) {
+                    s.queued[g as usize] = v;
+                    s.queue.push(Reverse(g));
                 }
             }
         }
@@ -556,16 +695,18 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::full(&n);
         let patterns = PatternSet::exhaustive(5);
-        let sim = FaultSimulator::new(&n, &faults);
-        let matrix = sim.no_drop_matrix(&patterns);
-        for (id, fault) in faults.iter() {
-            for p in 0..patterns.len() {
-                let pattern = patterns.get(p);
-                assert_eq!(
-                    matrix.detected(id, p),
-                    oracle_detects(&n, fault, &pattern),
-                    "fault {fault} pattern {p}"
-                );
+        for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
+            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let matrix = sim.no_drop_matrix(&patterns);
+            for (id, fault) in faults.iter() {
+                for p in 0..patterns.len() {
+                    let pattern = patterns.get(p);
+                    assert_eq!(
+                        matrix.detected(id, p),
+                        oracle_detects(&n, fault, &pattern),
+                        "[{engine}] fault {fault} pattern {p}"
+                    );
+                }
             }
         }
     }
@@ -575,10 +716,12 @@ G23 = NAND(G16, G19)
         // c17 is irredundant: every collapsed fault is detectable.
         let n = c17();
         let faults = FaultList::collapsed(&n);
-        let sim = FaultSimulator::new(&n, &faults);
-        let drop = sim.with_dropping(&PatternSet::exhaustive(5));
-        assert_eq!(drop.num_detected(), faults.len());
-        assert!((drop.coverage() - 1.0).abs() < 1e-12);
+        for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
+            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let drop = sim.with_dropping(&PatternSet::exhaustive(5));
+            assert_eq!(drop.num_detected(), faults.len(), "[{engine}]");
+            assert!((drop.coverage() - 1.0).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -586,12 +729,26 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::full(&n);
         let patterns = PatternSet::random(5, 100, 3);
-        let sim = FaultSimulator::new(&n, &faults);
-        let serial = sim.no_drop_matrix(&patterns);
-        for threads in [2, 3, 8] {
-            let par = sim.no_drop_matrix_parallel(&patterns, threads);
-            assert_eq!(serial, par, "threads={threads}");
+        for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
+            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let serial = sim.no_drop_matrix(&patterns);
+            for threads in [2, 3, 8] {
+                let par = sim.no_drop_matrix_parallel(&patterns, threads);
+                assert_eq!(serial, par, "[{engine}] threads={threads}");
+            }
         }
+    }
+
+    #[test]
+    fn engines_agree_on_c17() {
+        let n = c17();
+        let faults = FaultList::full(&n);
+        let patterns = PatternSet::random(5, 200, 77);
+        let a = FaultSimulator::with_engine(&n, &faults, EngineKind::PerFault)
+            .no_drop_matrix(&patterns);
+        let b = FaultSimulator::with_engine(&n, &faults, EngineKind::StemRegion)
+            .no_drop_matrix(&patterns);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -599,12 +756,18 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::collapsed(&n);
         let patterns = PatternSet::random(5, 70, 9);
-        let sim = FaultSimulator::new(&n, &faults);
-        let matrix = sim.no_drop_matrix(&patterns);
-        let drop = sim.with_dropping(&patterns);
-        for id in faults.ids() {
-            let expect = matrix.detecting_patterns(id).next().map(|p| p as u32);
-            assert_eq!(drop.first_detection[id.index()], expect, "fault {id}");
+        for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
+            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let matrix = sim.no_drop_matrix(&patterns);
+            let drop = sim.with_dropping(&patterns);
+            for id in faults.ids() {
+                let expect = matrix.detecting_patterns(id).next().map(|p| p as u32);
+                assert_eq!(
+                    drop.first_detection[id.index()],
+                    expect,
+                    "[{engine}] fault {id}"
+                );
+            }
         }
     }
 
@@ -613,14 +776,16 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::collapsed(&n);
         let patterns = PatternSet::exhaustive(5);
-        let sim = FaultSimulator::new(&n, &faults);
-        let matrix = sim.no_drop_matrix(&patterns);
-        let nd = sim.n_detect(&patterns, 4);
-        for id in faults.ids() {
-            let full = matrix.detection_count(id) as u32;
-            assert_eq!(nd.counts[id.index()], full.min(4), "fault {id}");
+        for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
+            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let matrix = sim.no_drop_matrix(&patterns);
+            let nd = sim.n_detect(&patterns, 4);
+            for id in faults.ids() {
+                let full = matrix.detection_count(id) as u32;
+                assert_eq!(nd.counts[id.index()], full.min(4), "[{engine}] fault {id}");
+            }
+            assert_eq!(nd.num_detected(), faults.len());
         }
-        assert_eq!(nd.num_detected(), faults.len());
     }
 
     #[test]
@@ -649,9 +814,11 @@ G23 = NAND(G16, G19)
         let n = bench_format::parse(src, "taut").unwrap();
         let y = n.find_node("y").unwrap();
         let faults = FaultList::from_faults(vec![Fault::stem_at(y, true)]);
-        let sim = FaultSimulator::new(&n, &faults);
-        let drop = sim.with_dropping(&PatternSet::exhaustive(1));
-        assert_eq!(drop.num_detected(), 0);
+        for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
+            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let drop = sim.with_dropping(&PatternSet::exhaustive(1));
+            assert_eq!(drop.num_detected(), 0, "[{engine}]");
+        }
     }
 
     #[test]
@@ -672,6 +839,57 @@ G23 = NAND(G16, G19)
         let p0 = Pattern::new(vec![false]);
         let det = sim.detect_pattern(&p0, &[FaultId::new(0)], &mut scratch);
         assert!(det.is_empty());
+    }
+
+    #[test]
+    fn detects_with_and_without_scratch() {
+        let n = c17();
+        let faults = FaultList::collapsed(&n);
+        let sim = FaultSimulator::new(&n, &faults);
+        let patterns = PatternSet::exhaustive(5);
+        let matrix = sim.no_drop_matrix(&patterns);
+        let mut scratch = SimScratch::new(&n);
+        for p in [0usize, 13, 31] {
+            let pattern = patterns.get(p);
+            for id in faults.ids() {
+                let expect = matrix.detected(id, p);
+                assert_eq!(sim.detects(&pattern, id, None), expect);
+                assert_eq!(sim.detects(&pattern, id, Some(&mut scratch)), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_on_dead_logic_is_never_detected() {
+        // `dead` drives nothing: any fault there must report no detection
+        // through the reachability-mask early exit.
+        let src = "INPUT(a)\nINPUT(x)\nOUTPUT(y)\ndead = NOT(x)\ny = BUF(a)\n";
+        let n = bench_format::parse(src, "dead").unwrap();
+        let dead = n.find_node("dead").unwrap();
+        let x = n.find_node("x").unwrap();
+        let faults = FaultList::from_faults(vec![
+            Fault::stem_at(dead, false),
+            Fault::stem_at(dead, true),
+            Fault::stem_at(x, false),
+            Fault::stem_at(x, true),
+        ]);
+        for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
+            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let matrix = sim.no_drop_matrix(&PatternSet::exhaustive(2));
+            for id in faults.ids() {
+                assert!(!matrix.detected_any(id), "[{engine}] fault {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_engine_is_stem_region() {
+        let n = c17();
+        let faults = FaultList::collapsed(&n);
+        let sim = FaultSimulator::new(&n, &faults);
+        assert_eq!(sim.engine_kind(), EngineKind::StemRegion);
+        assert_eq!(EngineKind::default().to_string(), "stem-region");
+        assert_eq!(EngineKind::PerFault.to_string(), "per-fault");
     }
 
     #[test]

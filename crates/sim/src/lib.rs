@@ -5,14 +5,33 @@
 //! * [`Pattern`] / [`PatternSet`] — bit-packed input vectors, 64 patterns
 //!   per machine word, with seeded random and exhaustive generators.
 //! * [`logic`] — parallel-pattern good-machine simulation
-//!   ([`GoodValues`]) and a scalar evaluator.
+//!   ([`GoodValues`]) and a scalar evaluator, with the hot path running
+//!   on the flattened levelized CSR view
+//!   ([`LevelizedCsr`](adi_netlist::LevelizedCsr)).
 //! * [`EventSim`] — an incremental event-driven single-pattern simulator
 //!   used for cross-checking and interactive tooling.
-//! * [`FaultSimulator`] — parallel-pattern single-fault propagation
-//!   (PPSFP) over the stuck-at model: with dropping, without dropping
-//!   (producing the [`DetectionMatrix`] that the accidental detection index
-//!   is computed from), and n-detection.
+//! * [`FaultSimulator`] — stuck-at fault simulation behind two
+//!   bit-identical engines selected by [`EngineKind`]: the classic
+//!   per-fault PPSFP propagation, and the default two-level
+//!   [`stem`]-region engine that computes in-region detectability
+//!   bit-parallelly and pays the cone walk once per fanout-free region
+//!   instead of once per fault. Drive modes: with dropping, without
+//!   dropping (producing the [`DetectionMatrix`] that the accidental
+//!   detection index is computed from), and n-detection.
 //! * [`CoverageCurve`] — fault-coverage-per-test bookkeeping.
+//!
+//! ## Choosing an engine
+//!
+//! [`EngineKind::StemRegion`] (the default) wins whenever several faults
+//! share a fanout-free region — true for every realistic circuit, and
+//! increasingly so for no-drop workloads where no fault ever retires:
+//! its per-block cost is `O(circuit)` for the good-value and
+//! sensitization sweeps plus one cone propagation per *region* with an
+//! active fault, versus one cone propagation per *fault* for
+//! [`EngineKind::PerFault`]. The per-fault engine remains the reference
+//! oracle for differential testing, and is what the single-pattern
+//! [`FaultSimulator::detect_pattern`] primitive always uses (a lone
+//! vector cannot amortize the per-block sweeps).
 //!
 //! # Examples
 //!
@@ -44,10 +63,12 @@ pub mod faultsim;
 pub mod logic;
 mod pattern;
 pub mod probability;
+pub mod stem;
 
 pub use coverage::CoverageCurve;
 pub use detection::DetectionMatrix;
 pub use event::EventSim;
-pub use faultsim::{DropOutcome, FaultSimulator, NDetectOutcome};
+pub use faultsim::{DropOutcome, EngineKind, FaultSimulator, NDetectOutcome};
 pub use logic::GoodValues;
 pub use pattern::{Pattern, PatternSet};
+pub use stem::StemRegionEngine;

@@ -1,6 +1,13 @@
 //! Fault-free ("good machine") simulation.
+//!
+//! Two entry points are offered: [`simulate_block`] walks the netlist's
+//! `topo_order()` in node-id space (the convenient layout for scalar
+//! tooling), while [`simulate_block_csr`] is the hot path — a single
+//! linear sweep over a [`LevelizedCsr`] view whose `kinds`/fanin arrays
+//! are contiguous in evaluation order. [`GoodValues::compute`] runs on
+//! the CSR path internally and scatters back to node-id layout.
 
-use adi_netlist::{GateKind, Netlist, NodeId};
+use adi_netlist::{GateKind, LevelizedCsr, Netlist, NodeId};
 
 use crate::PatternSet;
 
@@ -47,6 +54,106 @@ pub fn simulate_block(netlist: &Netlist, input_words: &[u64], out: &mut [u64]) {
             continue;
         }
         out[node.index()] = eval_node(out, kind, netlist.fanins(node));
+    }
+}
+
+/// Evaluates `kind` over [`LevelizedCsr`]-position fanins with values
+/// supplied by `value` — the single source of truth for word-parallel
+/// gate semantics in position space.
+#[inline]
+pub(crate) fn eval_with_pos(kind: GateKind, fanins: &[u32], value: impl Fn(u32) -> u64) -> u64 {
+    match kind {
+        GateKind::Input => panic!("inputs are loaded, not evaluated"),
+        GateKind::Buf => value(fanins[0]),
+        GateKind::Not => !value(fanins[0]),
+        GateKind::And => fanins.iter().fold(!0u64, |acc, &f| acc & value(f)),
+        GateKind::Nand => !fanins.iter().fold(!0u64, |acc, &f| acc & value(f)),
+        GateKind::Or => fanins.iter().fold(0u64, |acc, &f| acc | value(f)),
+        GateKind::Nor => !fanins.iter().fold(0u64, |acc, &f| acc | value(f)),
+        GateKind::Xor => fanins.iter().fold(0u64, |acc, &f| acc ^ value(f)),
+        GateKind::Xnor => !fanins.iter().fold(0u64, |acc, &f| acc ^ value(f)),
+        GateKind::Const0 => 0,
+        GateKind::Const1 => !0,
+    }
+}
+
+/// Simulates one block of up to 64 patterns over a [`LevelizedCsr`] view.
+///
+/// This is the cache-friendly counterpart of [`simulate_block`]: values
+/// are indexed by CSR *position* (topological level order), so the sweep
+/// reads the kind and fanin arrays strictly forward and writes `out`
+/// strictly forward. `input_words[i]` is the packed word for the `i`-th
+/// primary input; `out` receives one word per position.
+///
+/// # Panics
+///
+/// Panics if `input_words.len() != view.inputs().len()` or
+/// `out.len() != view.num_nodes()`.
+pub fn simulate_block_csr(view: &LevelizedCsr, input_words: &[u64], out: &mut [u64]) {
+    assert_eq!(input_words.len(), view.inputs().len());
+    assert_eq!(out.len(), view.num_nodes());
+    for (i, &p) in view.inputs().iter().enumerate() {
+        out[p as usize] = input_words[i];
+    }
+    for p in 0..view.num_nodes() {
+        let kind = view.kind_at(p);
+        if kind == GateKind::Input {
+            continue;
+        }
+        let v = eval_with_pos(kind, view.fanins_at(p), |f| out[f as usize]);
+        out[p] = v;
+    }
+}
+
+/// Good-machine values in CSR position space, block-major, for every
+/// pattern of a [`PatternSet`] — the layout both fault-simulation
+/// engines consume directly.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) struct PosGood {
+    n_pos: usize,
+    data: Vec<u64>,
+}
+
+impl PosGood {
+    /// Simulates all blocks of `patterns` over `view`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width does not match the circuit.
+    pub(crate) fn compute(view: &LevelizedCsr, patterns: &PatternSet) -> Self {
+        assert_eq!(
+            patterns.num_inputs(),
+            view.inputs().len(),
+            "pattern width does not match circuit input count"
+        );
+        let n_pos = view.num_nodes();
+        let n_blocks = patterns.num_blocks();
+        let mut data = vec![0u64; n_pos * n_blocks];
+        let mut input_words = vec![0u64; view.inputs().len()];
+        for block in 0..n_blocks {
+            load_input_words(patterns, block, &mut input_words);
+            let slice = &mut data[block * n_pos..(block + 1) * n_pos];
+            simulate_block_csr(view, &input_words, slice);
+        }
+        PosGood { n_pos, data }
+    }
+
+    /// All position values for one block.
+    #[inline]
+    pub(crate) fn block(&self, block: usize) -> &[u64] {
+        &self.data[block * self.n_pos..(block + 1) * self.n_pos]
+    }
+}
+
+/// Fills `input_words` with the packed words of `block`.
+///
+/// # Panics
+///
+/// Panics if `input_words.len() != patterns.num_inputs()`.
+pub(crate) fn load_input_words(patterns: &PatternSet, block: usize, input_words: &mut [u64]) {
+    assert_eq!(input_words.len(), patterns.num_inputs());
+    for (i, w) in input_words.iter_mut().enumerate() {
+        *w = patterns.input_word(i, block);
     }
 }
 
@@ -110,22 +217,28 @@ pub struct GoodValues {
 
 impl GoodValues {
     /// Simulates all patterns and stores per-node values.
+    ///
+    /// Internally runs on a [`LevelizedCsr`] view (one linear sweep per
+    /// block) and scatters each block back to node-id layout.
     pub fn compute(netlist: &Netlist, patterns: &PatternSet) -> Self {
         assert_eq!(
             patterns.num_inputs(),
             netlist.num_inputs(),
             "pattern width does not match circuit input count"
         );
+        let view = LevelizedCsr::build(netlist);
         let n_nodes = netlist.num_nodes();
         let n_blocks = patterns.num_blocks();
         let mut data = vec![0u64; n_nodes * n_blocks];
         let mut input_words = vec![0u64; netlist.num_inputs()];
+        let mut pos_buf = vec![0u64; n_nodes];
         for block in 0..n_blocks {
-            for (i, w) in input_words.iter_mut().enumerate() {
-                *w = patterns.input_word(i, block);
-            }
+            load_input_words(patterns, block, &mut input_words);
+            simulate_block_csr(&view, &input_words, &mut pos_buf);
             let slice = &mut data[block * n_nodes..(block + 1) * n_nodes];
-            simulate_block(netlist, &input_words, slice);
+            for (p, &w) in pos_buf.iter().enumerate() {
+                slice[view.node_at(p).index()] = w;
+            }
         }
         GoodValues {
             n_nodes,
@@ -239,6 +352,45 @@ y = OR(t0, t1)
         let scalar = evaluate(&n, last.as_slice());
         for node in n.node_ids() {
             assert_eq!(good.value(node, 199), scalar[node.index()]);
+        }
+    }
+
+    #[test]
+    fn csr_sweep_matches_node_space_sim() {
+        let n = bench_format::parse(MUX, "mux").unwrap();
+        let view = LevelizedCsr::build(&n);
+        let pats = PatternSet::random(3, 150, 11);
+        let mut input_words = vec![0u64; n.num_inputs()];
+        let mut by_id = vec![0u64; n.num_nodes()];
+        let mut by_pos = vec![0u64; n.num_nodes()];
+        for block in 0..pats.num_blocks() {
+            load_input_words(&pats, block, &mut input_words);
+            simulate_block(&n, &input_words, &mut by_id);
+            simulate_block_csr(&view, &input_words, &mut by_pos);
+            for node in n.node_ids() {
+                assert_eq!(
+                    by_id[node.index()],
+                    by_pos[view.position(node)],
+                    "node {node} block {block}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pos_good_matches_good_values() {
+        let n = bench_format::parse(MUX, "mux").unwrap();
+        let view = LevelizedCsr::build(&n);
+        let pats = PatternSet::random(3, 100, 21);
+        let good = GoodValues::compute(&n, &pats);
+        let pos = PosGood::compute(&view, &pats);
+        for block in 0..pats.num_blocks() {
+            for node in n.node_ids() {
+                assert_eq!(
+                    good.word(node, block),
+                    pos.block(block)[view.position(node)]
+                );
+            }
         }
     }
 

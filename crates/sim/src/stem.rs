@@ -1,0 +1,790 @@
+//! Two-level stem-region fault simulation.
+//!
+//! The per-fault PPSFP engine pays one event-driven cone propagation *per
+//! fault* per 64-pattern block. This module collapses that to one
+//! propagation *per fanout-free region (FFR)*, exploiting two classical
+//! facts:
+//!
+//! 1. **Inside an FFR, critical path tracing is exact.** Every internal
+//!    node has a unique path to the region's stem (its root), so the word
+//!    of patterns under which a value change at a node propagates to the
+//!    stem — its *sensitization word* — is computed by one reverse sweep:
+//!    `sens(u) = sens(reader) & pin_sens(reader, pin_of(u))`, with
+//!    `sens(stem) = ~0`. A fault's *stem difference word* is then its
+//!    local activation word ANDed with the sensitization along its path;
+//!    no event queue is involved.
+//! 2. **Observability from a stem is fault-independent.** Whether a
+//!    flipped stem value reaches a primary output depends only on the
+//!    good-machine values outside the region. One propagation of the
+//!    *complemented stem* through the stem's fanout cone yields the
+//!    stem's observability word `obs(stem)`; every fault in the region is
+//!    then detected exactly on `stem_diff(f) & obs(stem)`.
+//!
+//! The combination is bit-identical to per-fault simulation (asserted by
+//! differential tests against both the per-fault engine and a scalar
+//! brute-force oracle) while the expensive cone walk is paid once per
+//! stem with a non-zero difference word — an asymptotic win since FFRs
+//! average several faults each.
+//!
+//! Everything runs in [`LevelizedCsr`] position space: the forward good
+//! sweep, the reverse sensitization sweep, and the observability
+//! propagation (which uses the position itself as its event priority)
+//! all touch contiguous arrays in evaluation order.
+
+use adi_netlist::fault::{FaultId, FaultList, FaultSite};
+use adi_netlist::{FfrPartition, GateKind, LevelizedCsr, Netlist};
+
+use crate::faultsim::{DropOutcome, NDetectOutcome};
+use crate::logic::{self, eval_with_pos};
+use crate::{DetectionMatrix, PatternSet};
+
+/// A fault site resolved into CSR position space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum PosSite {
+    /// Stem fault at the node occupying this position.
+    Stem { pos: u32 },
+    /// Branch fault on pin `pin` of the gate occupying `gate_pos`.
+    Branch { gate_pos: u32, pin: u16 },
+}
+
+/// Per-fault precomputed injection info.
+#[derive(Clone, Copy, Debug)]
+struct FaultInfo {
+    site: PosSite,
+    /// The stuck value as a word (`!0` for s-a-1, `0` for s-a-0).
+    stuck_word: u64,
+}
+
+/// The two-level stem-region fault-simulation engine, precomputed for
+/// one netlist and fault list.
+///
+/// [`FaultSimulator`](crate::FaultSimulator) builds one of these per
+/// call when driving [`EngineKind::StemRegion`](crate::EngineKind); hold
+/// an instance directly to amortize the setup over many pattern sets.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::{bench_format, fault::FaultList};
+/// use adi_sim::{stem::StemRegionEngine, PatternSet};
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
+/// let faults = FaultList::collapsed(&n);
+/// let engine = StemRegionEngine::new(&n, &faults);
+/// let matrix = engine.no_drop_matrix(&PatternSet::exhaustive(2));
+/// assert_eq!(matrix.num_detected_faults(), faults.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct StemRegionEngine<'a> {
+    view: LevelizedCsr,
+    faults: &'a FaultList,
+    /// Per-fault injection info, indexed by fault id.
+    fault_info: Vec<FaultInfo>,
+    /// `true` at positions whose node roots its own FFR.
+    is_root: Vec<bool>,
+    /// For non-root positions: the unique reading gate's position and
+    /// the pin it reads through. Roots carry a sentinel.
+    reader: Vec<(u32, u16)>,
+    /// `true` at positions whose sensitization word is actually consumed:
+    /// fault sites and the nodes on their unique paths to their roots.
+    /// The per-block sensitization sweep skips everything else.
+    sens_needed: Vec<bool>,
+    /// Root position of each fault group, ascending.
+    group_roots: Vec<u32>,
+    /// CSR index over `group_faults`, one entry per group plus one.
+    group_index: Vec<u32>,
+    /// Fault ids grouped by FFR root, ascending fault id within a group.
+    group_faults: Vec<u32>,
+}
+
+/// Reusable per-block buffers for the stem-region engine.
+#[derive(Clone, Debug)]
+struct StemScratch {
+    /// Good-machine words by position.
+    good: Vec<u64>,
+    /// Sensitization-to-root words by position.
+    sens: Vec<u64>,
+    /// Packed input words for the current block.
+    input_words: Vec<u64>,
+    /// Observability propagation state (shared across roots via stamps).
+    obs: ObsScratch,
+}
+
+#[derive(Clone, Debug)]
+struct ObsScratch {
+    faulty: Vec<u64>,
+    stamp: Vec<u32>,
+    queued: Vec<u32>,
+    version: u32,
+    /// Level-bucket frontier: positions are level-sorted, so draining
+    /// buckets in level order is a correct (and heap-free) event queue.
+    frontier: Vec<Vec<u32>>,
+    /// Memoized `obs(root)` values for the current block.
+    memo: Vec<u64>,
+    memo_stamp: Vec<u32>,
+    memo_version: u32,
+}
+
+impl StemScratch {
+    fn new(view: &LevelizedCsr) -> Self {
+        let n = view.num_nodes();
+        StemScratch {
+            good: vec![0; n],
+            sens: vec![0; n],
+            input_words: vec![0; view.inputs().len()],
+            obs: ObsScratch {
+                faulty: vec![0; n],
+                stamp: vec![0; n],
+                queued: vec![0; n],
+                version: 0,
+                frontier: vec![Vec::new(); view.num_levels()],
+                memo: vec![0; n],
+                memo_stamp: vec![0; n],
+                memo_version: 0,
+            },
+        }
+    }
+}
+
+impl<'a> StemRegionEngine<'a> {
+    /// Builds the engine: levelized view, FFR decomposition, per-fault
+    /// injection info, and the fault-per-region grouping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault references a node outside the netlist.
+    pub fn new(netlist: &Netlist, faults: &'a FaultList) -> Self {
+        let view = LevelizedCsr::build(netlist);
+        let ffr = FfrPartition::compute(netlist);
+        let n = netlist.num_nodes();
+
+        let mut is_root = vec![false; n];
+        for id in netlist.node_ids() {
+            if ffr.root_of(id) == id {
+                is_root[view.position(id)] = true;
+            }
+        }
+
+        // Unique reader (gate position, pin) per non-root position. A
+        // node reaching the same gate through two pins has two fanout
+        // entries and is therefore a root, so the pin is unambiguous.
+        let mut reader = vec![(u32::MAX, u16::MAX); n];
+        for p in 0..n {
+            if is_root[p] {
+                continue;
+            }
+            let fanouts = view.fanouts_at(p);
+            debug_assert_eq!(fanouts.len(), 1, "non-root with fanout != 1");
+            let g = fanouts[0];
+            let pin = view
+                .fanins_at(g as usize)
+                .iter()
+                .position(|&f| f == p as u32)
+                .expect("reader lists driver among fanins");
+            reader[p] = (g, pin as u16);
+        }
+
+        let mut fault_info = Vec::with_capacity(faults.len());
+        let mut root_pos_of = Vec::with_capacity(faults.len());
+        for (_, fault) in faults.iter() {
+            assert!(
+                fault.effect_node().index() < n,
+                "fault {fault} outside netlist"
+            );
+            let stuck_word = if fault.stuck_value() { !0u64 } else { 0u64 };
+            let site = match fault.site() {
+                FaultSite::Stem(node) => PosSite::Stem {
+                    pos: view.position(node) as u32,
+                },
+                FaultSite::Branch { gate, pin } => PosSite::Branch {
+                    gate_pos: view.position(gate) as u32,
+                    pin: u16::from(pin),
+                },
+            };
+            fault_info.push(FaultInfo { site, stuck_word });
+            let root = ffr.root_of(fault.effect_node());
+            root_pos_of.push(view.position(root) as u32);
+        }
+
+        // Sensitization is only read at fault sites and along their
+        // unique paths to their roots; mark those positions so the
+        // per-block reverse sweep can skip the rest of the circuit.
+        let mut sens_needed = vec![false; n];
+        for (_, fault) in faults.iter() {
+            let mut p = view.position(fault.effect_node());
+            loop {
+                if sens_needed[p] {
+                    break;
+                }
+                sens_needed[p] = true;
+                if is_root[p] {
+                    break;
+                }
+                p = reader[p].0 as usize;
+            }
+        }
+
+
+        // Group faults by root position (the sort is stable, so fault
+        // ids stay ascending within each group).
+        let mut order: Vec<u32> = (0..faults.len() as u32).collect();
+        order.sort_by_key(|&f| root_pos_of[f as usize]);
+        let mut group_roots = Vec::new();
+        let mut group_index = Vec::new();
+        let mut group_faults = Vec::with_capacity(faults.len());
+        for &f in &order {
+            let root = root_pos_of[f as usize];
+            if group_roots.last() != Some(&root) {
+                group_roots.push(root);
+                group_index.push(group_faults.len() as u32);
+            }
+            group_faults.push(f);
+        }
+        group_index.push(group_faults.len() as u32);
+
+        StemRegionEngine {
+            view,
+            faults,
+            fault_info,
+            is_root,
+            reader,
+            sens_needed,
+            group_roots,
+            group_index,
+            group_faults,
+        }
+    }
+
+    /// The levelized view the engine runs on.
+    pub fn view(&self) -> &LevelizedCsr {
+        &self.view
+    }
+
+    /// Number of fanout-free regions containing at least one fault.
+    pub fn num_fault_regions(&self) -> usize {
+        self.group_roots.len()
+    }
+
+    /// Simulates every fault under every pattern **without dropping**,
+    /// bit-identical to the per-fault engine's matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width does not match the circuit.
+    pub fn no_drop_matrix(&self, patterns: &PatternSet) -> DetectionMatrix {
+        self.assert_width(patterns);
+        let mut matrix = DetectionMatrix::new(self.faults.len(), patterns.len());
+        let mut scratch = StemScratch::new(&self.view);
+        for block in 0..patterns.num_blocks() {
+            self.sim_block(patterns, block, &mut scratch);
+            let mask = patterns.valid_mask(block);
+            self.for_each_detection(mask, &mut scratch, |fault, word| {
+                matrix.or_word(FaultId::new(fault as usize), block, word);
+            });
+        }
+        matrix
+    }
+
+    /// Like [`no_drop_matrix`](Self::no_drop_matrix) but splits the
+    /// pattern blocks across `threads` OS threads. The result is
+    /// identical to the serial version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or the pattern width does not match.
+    pub fn no_drop_matrix_parallel(
+        &self,
+        patterns: &PatternSet,
+        threads: usize,
+    ) -> DetectionMatrix {
+        assert!(threads > 0, "at least one thread required");
+        self.assert_width(patterns);
+        let n_blocks = patterns.num_blocks();
+        let threads = threads.min(n_blocks.max(1));
+        if threads <= 1 {
+            return self.no_drop_matrix(patterns);
+        }
+        let n_faults = self.faults.len();
+        let chunk = n_blocks.div_ceil(threads);
+        // Each thread fills a fault-major stripe over its block range;
+        // stripes are scattered into the matrix afterwards.
+        let mut stripes: Vec<(usize, Vec<u64>)> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let b0 = t * chunk;
+                let b1 = ((t + 1) * chunk).min(n_blocks);
+                if b0 >= b1 {
+                    break;
+                }
+                handles.push(scope.spawn(move || {
+                    let len = b1 - b0;
+                    let mut local = vec![0u64; n_faults * len];
+                    let mut scratch = StemScratch::new(&self.view);
+                    for block in b0..b1 {
+                        self.sim_block(patterns, block, &mut scratch);
+                        let mask = patterns.valid_mask(block);
+                        let off = block - b0;
+                        self.for_each_detection(mask, &mut scratch, |fault, word| {
+                            local[fault as usize * len + off] |= word;
+                        });
+                    }
+                    (b0, local)
+                }));
+            }
+            for h in handles {
+                stripes.push(h.join().expect("stem worker panicked"));
+            }
+        });
+        let mut matrix = DetectionMatrix::new(n_faults, patterns.len());
+        for (b0, local) in stripes {
+            let len = local.len() / n_faults.max(1);
+            for f in 0..n_faults {
+                for off in 0..len {
+                    let w = local[f * len + off];
+                    if w != 0 {
+                        matrix.or_word(FaultId::new(f), b0 + off, w);
+                    }
+                }
+            }
+        }
+        matrix
+    }
+
+    /// Simulates with fault dropping, matching the per-fault engine's
+    /// [`DropOutcome`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width does not match the circuit.
+    pub fn with_dropping(&self, patterns: &PatternSet) -> DropOutcome {
+        self.assert_width(patterns);
+        let mut scratch = StemScratch::new(&self.view);
+        let mut first: Vec<Option<u32>> = vec![None; self.faults.len()];
+        let mut remaining = self.faults.len();
+        for block in 0..patterns.num_blocks() {
+            if remaining == 0 {
+                break;
+            }
+            self.sim_block(patterns, block, &mut scratch);
+            let mask = patterns.valid_mask(block);
+            let StemScratch { good, sens, obs, .. } = &mut scratch;
+            for g in 0..self.group_roots.len() {
+                let root = self.group_roots[g];
+                let lo = self.group_index[g] as usize;
+                let hi = self.group_index[g + 1] as usize;
+                for &fault in &self.group_faults[lo..hi] {
+                    if first[fault as usize].is_some() {
+                        continue;
+                    }
+                    let rd = self.stem_diff(fault, good, sens) & mask;
+                    if rd == 0 {
+                        continue;
+                    }
+                    let det = rd & stem_obs(&self.view, good, root, obs);
+                    if det != 0 {
+                        first[fault as usize] =
+                            Some((block * 64) as u32 + det.trailing_zeros());
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+        DropOutcome {
+            first_detection: first,
+        }
+    }
+
+    /// n-detection simulation, matching the per-fault engine exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the pattern width does not match.
+    pub fn n_detect(&self, patterns: &PatternSet, n: u32) -> NDetectOutcome {
+        assert!(n > 0, "n-detection requires n >= 1");
+        self.assert_width(patterns);
+        let mut scratch = StemScratch::new(&self.view);
+        let mut counts = vec![0u32; self.faults.len()];
+        let mut remaining = self.faults.len();
+        for block in 0..patterns.num_blocks() {
+            if remaining == 0 {
+                break;
+            }
+            self.sim_block(patterns, block, &mut scratch);
+            let mask = patterns.valid_mask(block);
+            let StemScratch { good, sens, obs, .. } = &mut scratch;
+            for g in 0..self.group_roots.len() {
+                let root = self.group_roots[g];
+                let lo = self.group_index[g] as usize;
+                let hi = self.group_index[g + 1] as usize;
+                for &fault in &self.group_faults[lo..hi] {
+                    if counts[fault as usize] >= n {
+                        continue; // saturated: dropped
+                    }
+                    let rd = self.stem_diff(fault, good, sens) & mask;
+                    if rd == 0 {
+                        continue;
+                    }
+                    let det = rd & stem_obs(&self.view, good, root, obs);
+                    if det != 0 {
+                        let c = &mut counts[fault as usize];
+                        *c = (*c + det.count_ones()).min(n);
+                        if *c >= n {
+                            remaining -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        NDetectOutcome { counts, n }
+    }
+
+    fn assert_width(&self, patterns: &PatternSet) {
+        assert_eq!(
+            patterns.num_inputs(),
+            self.view.inputs().len(),
+            "pattern width does not match circuit input count"
+        );
+    }
+
+    /// Loads one block: good-machine sweep forward, sensitization sweep
+    /// backward, and a fresh observability memo generation.
+    fn sim_block(&self, patterns: &PatternSet, block: usize, s: &mut StemScratch) {
+        logic::load_input_words(patterns, block, &mut s.input_words);
+        logic::simulate_block_csr(&self.view, &s.input_words, &mut s.good);
+        // Reverse sweep: every reader sits at a higher position, so its
+        // sensitization word is final before its drivers are visited.
+        // Only positions on some fault's path to its root are consumed;
+        // everything else is skipped.
+        for p in (0..self.view.num_nodes()).rev() {
+            if self.is_root[p] {
+                s.sens[p] = !0u64;
+            } else if self.sens_needed[p] {
+                let (g, pin) = self.reader[p];
+                s.sens[p] = s.sens[g as usize]
+                    & pin_sens(
+                        &s.good,
+                        self.view.kind_at(g as usize),
+                        self.view.fanins_at(g as usize),
+                        pin as usize,
+                    );
+            }
+        }
+        s.obs.memo_version = s.obs.memo_version.wrapping_add(1);
+        if s.obs.memo_version == 0 {
+            s.obs.memo_stamp.fill(0);
+            s.obs.memo_version = 1;
+        }
+    }
+
+    /// The word of patterns (unmasked) on which `fault` flips its FFR
+    /// stem.
+    #[inline]
+    fn stem_diff(&self, fault: u32, good: &[u64], sens: &[u64]) -> u64 {
+        let info = self.fault_info[fault as usize];
+        match info.site {
+            PosSite::Stem { pos } => {
+                let p = pos as usize;
+                (good[p] ^ info.stuck_word) & sens[p]
+            }
+            PosSite::Branch { gate_pos, pin } => {
+                let g = gate_pos as usize;
+                let fanins = self.view.fanins_at(g);
+                let src = fanins[pin as usize] as usize;
+                (good[src] ^ info.stuck_word)
+                    & pin_sens(good, self.view.kind_at(g), fanins, pin as usize)
+                    & sens[g]
+            }
+        }
+    }
+
+    /// Visits every `(fault, detection_word)` pair with a non-zero word
+    /// for the current block.
+    fn for_each_detection(
+        &self,
+        valid_mask: u64,
+        s: &mut StemScratch,
+        mut visit: impl FnMut(u32, u64),
+    ) {
+        let StemScratch { good, sens, obs, .. } = s;
+        for g in 0..self.group_roots.len() {
+            let root = self.group_roots[g];
+            let lo = self.group_index[g] as usize;
+            let hi = self.group_index[g + 1] as usize;
+            for &fault in &self.group_faults[lo..hi] {
+                let rd = self.stem_diff(fault, good, sens) & valid_mask;
+                if rd == 0 {
+                    continue;
+                }
+                let det = rd & stem_obs(&self.view, good, root, obs);
+                if det != 0 {
+                    visit(fault, det);
+                }
+            }
+        }
+    }
+}
+
+/// The word of patterns on which a change at `pin` of the gate (alone)
+/// changes the gate's output, given good values of the other pins.
+#[inline]
+fn pin_sens(good: &[u64], kind: GateKind, fanins: &[u32], pin: usize) -> u64 {
+    match kind {
+        GateKind::Buf | GateKind::Not | GateKind::Xor | GateKind::Xnor => !0u64,
+        GateKind::And | GateKind::Nand => {
+            let mut acc = !0u64;
+            for (i, &f) in fanins.iter().enumerate() {
+                if i != pin {
+                    acc &= good[f as usize];
+                }
+            }
+            acc
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut acc = 0u64;
+            for (i, &f) in fanins.iter().enumerate() {
+                if i != pin {
+                    acc |= good[f as usize];
+                }
+            }
+            !acc
+        }
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 => {
+            panic!("{kind:?} has no fanin pins")
+        }
+    }
+}
+
+/// The observability word of a stem: the patterns on which complementing
+/// the stem's value changes at least one primary output. Memoized per
+/// block in `s`.
+fn stem_obs(view: &LevelizedCsr, good: &[u64], root: u32, s: &mut ObsScratch) -> u64 {
+    let r = root as usize;
+    if s.memo_stamp[r] == s.memo_version {
+        return s.memo[r];
+    }
+    let obs = compute_stem_obs(view, good, r, s);
+    s.memo_stamp[r] = s.memo_version;
+    s.memo[r] = obs;
+    obs
+}
+
+fn compute_stem_obs(view: &LevelizedCsr, good: &[u64], root: usize, s: &mut ObsScratch) -> u64 {
+    // A stem that is itself a primary output is observed directly on
+    // every pattern; one that reaches no output is never observed.
+    if view.is_output_at(root) {
+        return !0u64;
+    }
+    if !view.reaches_output(root) {
+        return 0;
+    }
+
+    s.version = s.version.wrapping_add(1);
+    if s.version == 0 {
+        s.stamp.fill(0);
+        s.queued.fill(0);
+        s.version = 1;
+    }
+    let v = s.version;
+    s.faulty[root] = !good[root];
+    s.stamp[root] = v;
+    let mut obs = 0u64;
+
+    // Fanouts always sit on strictly higher levels, so draining the
+    // level buckets in ascending order processes every event after all
+    // of its faulty fanins — no heap needed.
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for &g in view.fanouts_at(root) {
+        if s.queued[g as usize] != v && view.reaches_output(g as usize) {
+            s.queued[g as usize] = v;
+            let lvl = view.level_at(g as usize) as usize;
+            s.frontier[lvl].push(g);
+            lo = lo.min(lvl);
+            hi = hi.max(lvl);
+        }
+    }
+    if lo == usize::MAX {
+        return 0;
+    }
+    let mut lvl = lo;
+    while lvl <= hi {
+        let mut bucket = std::mem::take(&mut s.frontier[lvl]);
+        for &p in &bucket {
+            let p = p as usize;
+            let kind = view.kind_at(p);
+            let val = eval_with_pos(kind, view.fanins_at(p), |f| {
+                if s.stamp[f as usize] == v {
+                    s.faulty[f as usize]
+                } else {
+                    good[f as usize]
+                }
+            });
+            let d = val ^ good[p];
+            if d != 0 {
+                s.faulty[p] = val;
+                s.stamp[p] = v;
+                if view.is_output_at(p) {
+                    obs |= d;
+                }
+                for &g in view.fanouts_at(p) {
+                    if s.queued[g as usize] != v && view.reaches_output(g as usize) {
+                        s.queued[g as usize] = v;
+                        let glvl = view.level_at(g as usize) as usize;
+                        s.frontier[glvl].push(g);
+                        hi = hi.max(glvl);
+                    }
+                }
+            }
+        }
+        bucket.clear();
+        s.frontier[lvl] = bucket;
+        lvl += 1;
+    }
+    obs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineKind, FaultSimulator};
+    use adi_netlist::bench_format;
+    use adi_netlist::fault::Fault;
+    use adi_netlist::NetlistBuilder;
+
+    fn equivalence(src: &str, name: &str, inputs: usize) {
+        let n = bench_format::parse(src, name).unwrap();
+        let faults = FaultList::full(&n);
+        let patterns = PatternSet::exhaustive(inputs);
+        let per_fault = FaultSimulator::with_engine(&n, &faults, EngineKind::PerFault)
+            .no_drop_matrix(&patterns);
+        let stem = StemRegionEngine::new(&n, &faults).no_drop_matrix(&patterns);
+        assert_eq!(per_fault, stem, "{name}");
+    }
+
+    #[test]
+    fn fanout_reconvergence() {
+        // Reconvergent fanout: the classic case where naive critical
+        // path tracing beyond the stem would be wrong.
+        equivalence(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ns = AND(a, b)\np = NOT(s)\nq = BUF(s)\ny = AND(p, q)\n",
+            "reconv",
+            2,
+        );
+    }
+
+    #[test]
+    fn xor_regions() {
+        equivalence(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = XOR(a, b)\ny = XNOR(t, c)\n",
+            "xorchain",
+            3,
+        );
+    }
+
+    #[test]
+    fn output_with_fanout_is_observed_everywhere() {
+        // g is both a PO and an internal stem: obs(g) must be all-ones.
+        equivalence(
+            "INPUT(a)\nOUTPUT(g)\nOUTPUT(h)\ng = NOT(a)\nh = BUF(g)\n",
+            "po_fan",
+            1,
+        );
+    }
+
+    #[test]
+    fn dead_logic_region() {
+        equivalence(
+            "INPUT(a)\nINPUT(x)\nOUTPUT(y)\ndead = NOT(x)\ny = BUF(a)\n",
+            "dead",
+            2,
+        );
+    }
+
+    #[test]
+    fn constant_sources() {
+        equivalence(
+            "INPUT(a)\nOUTPUT(y)\nk = CONST1()\ny = AND(a, k)\n",
+            "consts",
+            1,
+        );
+    }
+
+    #[test]
+    fn duplicate_fanin_gate() {
+        // AND(a, a): `a` reaches the gate through two pins, so it is a
+        // root and per-pin sensitization never crosses the duplication.
+        let mut b = NetlistBuilder::new("dup");
+        let a = b.add_input("a");
+        let y = b.add_gate(GateKind::And, "y", &[a, a]).unwrap();
+        b.mark_output(y);
+        let n = b.build().unwrap();
+        let faults = FaultList::full(&n);
+        let patterns = PatternSet::exhaustive(1);
+        let per_fault = FaultSimulator::with_engine(&n, &faults, EngineKind::PerFault)
+            .no_drop_matrix(&patterns);
+        let stem = StemRegionEngine::new(&n, &faults).no_drop_matrix(&patterns);
+        assert_eq!(per_fault, stem);
+    }
+
+    #[test]
+    fn groups_partition_the_fault_list() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ns = AND(a, b)\np = NOT(s)\nq = BUF(s)\ny = AND(p, q)\n";
+        let n = bench_format::parse(src, "reconv").unwrap();
+        let faults = FaultList::full(&n);
+        let engine = StemRegionEngine::new(&n, &faults);
+        let total: usize = (0..engine.group_roots.len())
+            .map(|g| (engine.group_index[g + 1] - engine.group_index[g]) as usize)
+            .sum();
+        assert_eq!(total, faults.len());
+        assert_eq!(engine.group_faults.len(), faults.len());
+        assert!(engine.num_fault_regions() <= faults.len());
+        // Roots strictly ascend, fault ids ascend within groups.
+        assert!(engine.group_roots.windows(2).all(|w| w[0] < w[1]));
+        for g in 0..engine.group_roots.len() {
+            let lo = engine.group_index[g] as usize;
+            let hi = engine.group_index[g + 1] as usize;
+            assert!(engine.group_faults[lo..hi].windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn explicit_branch_fault_list() {
+        let src = "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = BUF(a)\nz = NOT(a)\n";
+        let n = bench_format::parse(src, "fan").unwrap();
+        let y = n.find_node("y").unwrap();
+        let faults = FaultList::from_faults(vec![
+            Fault::branch_at(y, 0, false),
+            Fault::branch_at(y, 0, true),
+        ]);
+        let patterns = PatternSet::exhaustive(1);
+        let per_fault = FaultSimulator::with_engine(&n, &faults, EngineKind::PerFault)
+            .no_drop_matrix(&patterns);
+        let stem = StemRegionEngine::new(&n, &faults).no_drop_matrix(&patterns);
+        assert_eq!(per_fault, stem);
+    }
+
+    #[test]
+    fn empty_pattern_set() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+        let n = bench_format::parse(src, "inv").unwrap();
+        let faults = FaultList::collapsed(&n);
+        let engine = StemRegionEngine::new(&n, &faults);
+        let matrix = engine.no_drop_matrix(&PatternSet::new(1));
+        assert_eq!(matrix.num_patterns(), 0);
+        assert_eq!(matrix.num_detected_faults(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern width")]
+    fn width_mismatch_panics() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+        let n = bench_format::parse(src, "and2").unwrap();
+        let faults = FaultList::collapsed(&n);
+        let engine = StemRegionEngine::new(&n, &faults);
+        let _ = engine.no_drop_matrix(&PatternSet::exhaustive(3));
+    }
+}

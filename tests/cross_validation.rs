@@ -51,13 +51,14 @@ proptest! {
         // both all-zeros and all-ones completion.
         let faults = FaultList::collapsed(&netlist);
         let sim = FaultSimulator::new(&netlist, &faults);
+        let mut scratch = adi::sim::faultsim::SimScratch::new(&netlist);
         let mut podem = Podem::new(&netlist, PodemConfig::default());
         for (id, fault) in faults.iter() {
             if let PodemOutcome::Test(cube) = podem.generate(fault) {
                 for fill in [FillStrategy::Zeros, FillStrategy::Ones] {
                     let pattern = fill.fill(&cube, 0);
                     prop_assert!(
-                        sim.detects(&pattern, id),
+                        sim.detects(&pattern, id, Some(&mut scratch)),
                         "fault {} escaped its own test", fault
                     );
                 }
