@@ -48,13 +48,15 @@
 mod cube;
 mod fill;
 mod podem;
-mod scoap;
 pub mod testgen;
 pub mod value;
 
 pub use cube::TestCube;
 pub use fill::FillStrategy;
 pub use podem::{Podem, PodemConfig, PodemOutcome, PodemStats};
-pub use scoap::Scoap;
-pub use testgen::{FaultStatus, TestGenConfig, TestGenResult, TestGenerator};
+pub use testgen::{DropLoopKind, FaultStatus, TestGenConfig, TestGenResult, TestGenerator};
 pub use value::T3;
+
+/// SCOAP testability measures (re-export; the type now lives in
+/// `adi-netlist` so [`adi_netlist::CompiledCircuit`] can cache it).
+pub use adi_netlist::Scoap;

@@ -14,8 +14,10 @@
 //!    (fault unexcitable, empty D-frontier, or no X-path to any output)
 //!    trigger chronological backtracking with a configurable limit.
 
+use std::borrow::Cow;
+
 use adi_netlist::fault::{Fault, FaultSite};
-use adi_netlist::{GateKind, Netlist, NodeId};
+use adi_netlist::{CompiledCircuit, GateKind, Netlist, NodeId};
 
 use crate::value::{eval_t3, T3};
 use crate::{Scoap, TestCube};
@@ -83,7 +85,7 @@ pub struct PodemStats {
 #[derive(Clone, Debug)]
 pub struct Podem<'a> {
     netlist: &'a Netlist,
-    scoap: Scoap,
+    scoap: Cow<'a, Scoap>,
     config: PodemConfig,
     stats: PodemStats,
     good: Vec<T3>,
@@ -101,14 +103,29 @@ struct Decision {
 
 impl<'a> Podem<'a> {
     /// Creates a generator for `netlist`, precomputing SCOAP measures.
+    ///
+    /// When a [`CompiledCircuit`] is available, prefer
+    /// [`Podem::for_circuit`], which borrows the compilation's cached
+    /// SCOAP instead of recomputing it.
     pub fn new(netlist: &'a Netlist, config: PodemConfig) -> Self {
+        Self::with_scoap(netlist, Cow::Owned(Scoap::compute(netlist)), config)
+    }
+
+    /// Creates a generator over a compiled circuit, sharing its cached
+    /// SCOAP measures (computed once per compilation, not per
+    /// generator).
+    pub fn for_circuit(circuit: &'a CompiledCircuit, config: PodemConfig) -> Self {
+        Self::with_scoap(circuit.netlist(), Cow::Borrowed(circuit.scoap()), config)
+    }
+
+    fn with_scoap(netlist: &'a Netlist, scoap: Cow<'a, Scoap>, config: PodemConfig) -> Self {
         let mut pi_index_of = vec![usize::MAX; netlist.num_nodes()];
         for (i, &pi) in netlist.inputs().iter().enumerate() {
             pi_index_of[pi.index()] = i;
         }
         Podem {
             netlist,
-            scoap: Scoap::compute(netlist),
+            scoap,
             config,
             stats: PodemStats::default(),
             good: vec![T3::X; netlist.num_nodes()],
@@ -476,6 +493,10 @@ mod tests {
     use adi_sim::faultsim::SimScratch;
     use adi_sim::{FaultSimulator, PatternSet};
 
+    fn compile(netlist: &Netlist) -> CompiledCircuit {
+        CompiledCircuit::compile(netlist.clone())
+    }
+
     const C17: &str = "
 INPUT(G1)
 INPUT(G2)
@@ -496,8 +517,9 @@ G23 = NAND(G16, G19)
     fn every_c17_fault_gets_a_verified_test() {
         let n = bench_format::parse(C17, "c17").unwrap();
         let faults = FaultList::full(&n);
-        let sim = FaultSimulator::new(&n, &faults);
-        let mut scratch = SimScratch::new(&n);
+        let circuit = compile(&n);
+        let sim = FaultSimulator::for_circuit(&circuit, &faults);
+        let mut scratch = SimScratch::for_circuit(&circuit);
         let mut podem = Podem::new(&n, PodemConfig::default());
         for (id, fault) in faults.iter() {
             match podem.generate(fault) {
@@ -552,8 +574,9 @@ y = XOR(p, q)
 ";
         let n = bench_format::parse(src, "reconv").unwrap();
         let faults = FaultList::full(&n);
-        let sim = FaultSimulator::new(&n, &faults);
-        let mut scratch = SimScratch::new(&n);
+        let circuit = compile(&n);
+        let sim = FaultSimulator::for_circuit(&circuit, &faults);
+        let mut scratch = SimScratch::for_circuit(&circuit);
         let mut podem = Podem::new(&n, PodemConfig::default());
         for (id, fault) in faults.iter() {
             if let PodemOutcome::Test(cube) = podem.generate(fault) {
@@ -580,8 +603,9 @@ y = OR(t, v)
         let n = bench_format::parse(src, "rc").unwrap();
         let faults = FaultList::full(&n);
         let patterns = PatternSet::exhaustive(3);
-        let sim = FaultSimulator::new(&n, &faults);
-        let mut scratch = SimScratch::new(&n);
+        let circuit = compile(&n);
+        let sim = FaultSimulator::for_circuit(&circuit, &faults);
+        let mut scratch = SimScratch::for_circuit(&circuit);
         let matrix = sim.no_drop_matrix(&patterns);
         let mut podem = Podem::new(&n, PodemConfig::default());
         for (id, fault) in faults.iter() {
@@ -612,8 +636,9 @@ y = OR(t, v)
         );
         // With zero backtracks allowed, every outcome must still be sound:
         // any Test produced must be correct.
-        let sim = FaultSimulator::new(&n, &faults);
-        let mut scratch = SimScratch::new(&n);
+        let circuit = compile(&n);
+        let sim = FaultSimulator::for_circuit(&circuit, &faults);
+        let mut scratch = SimScratch::for_circuit(&circuit);
         for (id, fault) in faults.iter() {
             if let PodemOutcome::Test(cube) = podem.generate(fault) {
                 let p = crate::FillStrategy::Zeros.fill(&cube, 0);

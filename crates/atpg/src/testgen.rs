@@ -6,13 +6,46 @@
 //! fault-simulated against the remaining undetected faults, which are then
 //! dropped. The per-test newly-detected counts form the fault-coverage
 //! curve that Figure 1 and Table 7 are built from.
+//!
+//! Two drop loops implement that procedure, selected by
+//! [`DropLoopKind`] and producing **bit-identical** [`TestGenResult`]s:
+//! the scalar loop (one
+//! [`detect_pattern`](adi_sim::FaultSimulator::detect_pattern) call per
+//! generated test, kept as the differential oracle) and the default
+//! batched loop, which accumulates generated tests into 64-wide blocks
+//! through an [`adi_sim::DropSession`] and pays the stem-region engine's
+//! per-region propagation once per block instead of one per-fault cone
+//! walk per test.
 
 use adi_netlist::fault::{FaultId, FaultList};
-use adi_netlist::Netlist;
+use adi_netlist::{CompiledCircuit, Netlist};
 use adi_sim::faultsim::SimScratch;
-use adi_sim::{CoverageCurve, FaultSimulator, Pattern};
+use adi_sim::{CoverageCurve, DropSession, FaultSimulator, Pattern};
 
 use crate::{FillStrategy, Podem, PodemConfig, PodemOutcome, PodemStats};
+
+/// Which drop loop [`TestGenerator`] runs generated tests through. Both
+/// produce bit-identical results.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum DropLoopKind {
+    /// One scalar `detect_pattern` call (one cone walk per active fault)
+    /// per generated test. Kept as the differential-testing oracle.
+    Scalar,
+    /// Generated tests batched into 64-wide blocks and dropped through
+    /// the stem-region engine ([`adi_sim::DropSession`]). Bit-identical
+    /// to [`Scalar`](DropLoopKind::Scalar), asymptotically faster.
+    #[default]
+    Batched,
+}
+
+impl std::fmt::Display for DropLoopKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DropLoopKind::Scalar => write!(f, "scalar"),
+            DropLoopKind::Batched => write!(f, "batched"),
+        }
+    }
+}
 
 /// Configuration for a [`TestGenerator`] run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -23,6 +56,9 @@ pub struct TestGenConfig {
     pub fill: FillStrategy,
     /// Seed for random fill (each test uses `seed + test_index`).
     pub fill_seed: u64,
+    /// Which drop loop simulates generated tests against the active
+    /// faults ([`DropLoopKind::Batched`] by default).
+    pub drop_loop: DropLoopKind,
 }
 
 impl Default for TestGenConfig {
@@ -31,6 +67,7 @@ impl Default for TestGenConfig {
             podem: PodemConfig::default(),
             fill: FillStrategy::Random,
             fill_seed: 0x0AD1_F111,
+            drop_loop: DropLoopKind::default(),
         }
     }
 }
@@ -66,7 +103,7 @@ impl FaultStatus {
 }
 
 /// The outcome of one ordered test-generation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TestGenResult {
     /// The generated test set, in generation order.
     pub tests: Vec<Pattern>,
@@ -137,15 +174,16 @@ impl TestGenResult {
 /// # Examples
 ///
 /// ```
-/// use adi_netlist::{bench_format, fault::FaultList};
+/// use adi_netlist::{bench_format, CompiledCircuit};
 /// use adi_atpg::{TestGenConfig, TestGenerator};
 ///
 /// # fn main() -> Result<(), adi_netlist::NetlistError> {
 /// let n = bench_format::parse(
 ///     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
-/// let faults = FaultList::collapsed(&n);
+/// let circuit = CompiledCircuit::compile(n);
+/// let faults = circuit.collapsed_faults();
 /// let order: Vec<_> = faults.ids().collect();
-/// let result = TestGenerator::new(&n, &faults, TestGenConfig::default())
+/// let result = TestGenerator::for_circuit(&circuit, faults, TestGenConfig::default())
 ///     .run(&order);
 /// assert_eq!(result.coverage(), 1.0);
 /// assert!(result.num_tests() <= faults.len());
@@ -154,19 +192,35 @@ impl TestGenResult {
 /// ```
 #[derive(Debug)]
 pub struct TestGenerator<'a> {
-    netlist: &'a Netlist,
+    circuit: CompiledCircuit,
     faults: &'a FaultList,
     config: TestGenConfig,
 }
 
 impl<'a> TestGenerator<'a> {
-    /// Creates a driver for `faults` of `netlist`.
-    pub fn new(netlist: &'a Netlist, faults: &'a FaultList, config: TestGenConfig) -> Self {
+    /// Creates a driver for `faults` of `circuit`, sharing the
+    /// compilation's levelized view, FFR decomposition, and SCOAP
+    /// measures.
+    pub fn for_circuit(
+        circuit: &CompiledCircuit,
+        faults: &'a FaultList,
+        config: TestGenConfig,
+    ) -> Self {
         TestGenerator {
-            netlist,
+            circuit: circuit.clone(),
             faults,
             config,
         }
+    }
+
+    /// Creates a driver for `faults` of `netlist`, compiling a private
+    /// copy of the netlist.
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile the netlist once (`CompiledCircuit::compile`) and use `TestGenerator::for_circuit`"
+    )]
+    pub fn new(netlist: &'a Netlist, faults: &'a FaultList, config: TestGenConfig) -> Self {
+        Self::for_circuit(&CompiledCircuit::compile(netlist.clone()), faults, config)
     }
 
     /// Runs test generation targeting faults in exactly `order`.
@@ -182,24 +236,40 @@ impl<'a> TestGenerator<'a> {
         self.run_phase(order, &vec![false; self.faults.len()])
     }
 
-    /// The deterministic phase shared by [`run`](Self::run) and
-    /// [`run_with_random_phase`](Self::run_with_random_phase):
-    /// `predropped` faults are excluded from simulation and left
-    /// unclassified (reported as [`FaultStatus::Aborted`] unless the
-    /// caller overwrites them).
-    fn run_phase(&self, order: &[FaultId], predropped: &[bool]) -> TestGenResult {
+    /// Validates `order` (in-range, duplicate-free) and marks targets.
+    fn validate_order(&self, order: &[FaultId]) {
         let n_faults = self.faults.len();
-        assert_eq!(predropped.len(), n_faults);
         let mut seen = vec![false; n_faults];
         for &id in order {
             assert!(id.index() < n_faults, "fault id {id} out of range");
             assert!(!seen[id.index()], "fault id {id} duplicated in order");
             seen[id.index()] = true;
         }
+    }
 
-        let mut podem = Podem::new(self.netlist, self.config.podem);
-        let sim = FaultSimulator::new(self.netlist, self.faults);
-        let mut scratch = SimScratch::new(self.netlist);
+    /// The deterministic phase shared by [`run`](Self::run) and
+    /// [`run_with_random_phase`](Self::run_with_random_phase):
+    /// `predropped` faults are excluded from simulation and left
+    /// unclassified (reported as [`FaultStatus::Aborted`] unless the
+    /// caller overwrites them). Dispatches on the configured
+    /// [`DropLoopKind`]; both variants are bit-identical.
+    fn run_phase(&self, order: &[FaultId], predropped: &[bool]) -> TestGenResult {
+        match self.config.drop_loop {
+            DropLoopKind::Scalar => self.run_phase_scalar(order, predropped),
+            DropLoopKind::Batched => self.run_phase_batched(order, predropped),
+        }
+    }
+
+    /// The scalar drop loop: one `detect_pattern` call (a cone walk per
+    /// active fault) per generated test.
+    fn run_phase_scalar(&self, order: &[FaultId], predropped: &[bool]) -> TestGenResult {
+        let n_faults = self.faults.len();
+        assert_eq!(predropped.len(), n_faults);
+        self.validate_order(order);
+
+        let mut podem = Podem::for_circuit(&self.circuit, self.config.podem);
+        let sim = FaultSimulator::for_circuit(&self.circuit, self.faults);
+        let mut scratch = SimScratch::for_circuit(&self.circuit);
 
         // `status[f]` is None while f is undetected and unresolved.
         let mut status: Vec<Option<FaultStatus>> = vec![None; n_faults];
@@ -253,19 +323,96 @@ impl<'a> TestGenerator<'a> {
             }
         }
 
-        // Untargeted, never-detected faults: classify as aborted-equivalent?
-        // They were deliberately excluded from `order`; treat them as
-        // aborted so totals stay consistent without inventing detections.
-        let status: Vec<FaultStatus> = status
-            .into_iter()
-            .map(|s| s.unwrap_or(FaultStatus::Aborted))
+        TestGenResult {
+            tests,
+            targets,
+            new_detections,
+            status: finalize_status(status),
+            podem_stats: podem.stats(),
+        }
+    }
+
+    /// The batched drop loop: generated tests accumulate into a 64-wide
+    /// [`DropSession`] block; before each target is handed to PODEM a
+    /// single per-fault cone walk checks whether a *pending* test
+    /// already covers it (the batched equivalent of the scalar loop's
+    /// already-dropped skip), and full blocks are drained through the
+    /// stem-region engine. The resulting test set, classifications, and
+    /// per-test detection counts are bit-identical to the scalar loop's.
+    fn run_phase_batched(&self, order: &[FaultId], predropped: &[bool]) -> TestGenResult {
+        let n_faults = self.faults.len();
+        assert_eq!(predropped.len(), n_faults);
+        self.validate_order(order);
+
+        let mut podem = Podem::for_circuit(&self.circuit, self.config.podem);
+        let mut session = DropSession::for_circuit(&self.circuit, self.faults);
+
+        let mut status: Vec<Option<FaultStatus>> = vec![None; n_faults];
+        let mut active: Vec<FaultId> = self
+            .faults
+            .ids()
+            .filter(|id| !predropped[id.index()])
             .collect();
+        let mut tests: Vec<Pattern> = Vec::new();
+        let mut targets: Vec<FaultId> = Vec::new();
+        let mut new_detections: Vec<u32> = Vec::new();
+
+        for &target in order {
+            if status[target.index()].is_some() {
+                continue; // resolved by a flushed block, or aborted/redundant
+            }
+            if session.pending_detections(target) != 0 {
+                continue; // a pending test covers it; classified at flush
+            }
+            let fault = self.faults.fault(target);
+            match podem.generate(fault) {
+                PodemOutcome::Test(cube) => {
+                    let test_index = tests.len() as u32;
+                    let seed = self
+                        .config
+                        .fill_seed
+                        .wrapping_add(u64::from(test_index));
+                    let pattern = self.config.fill.fill(&cube, seed);
+                    session.push(&pattern);
+                    debug_assert!(
+                        session.pending_detections(target) >> (session.pending() - 1) & 1 == 1,
+                        "generated test {pattern} does not detect its target {fault}"
+                    );
+                    tests.push(pattern);
+                    targets.push(target);
+                    if session.is_full() {
+                        apply_flush(
+                            &mut session,
+                            &targets,
+                            &mut status,
+                            &mut active,
+                            &mut new_detections,
+                        );
+                    }
+                }
+                PodemOutcome::Untestable => {
+                    status[target.index()] = Some(FaultStatus::Redundant);
+                    active.retain(|&id| id != target);
+                }
+                PodemOutcome::Aborted => {
+                    status[target.index()] = Some(FaultStatus::Aborted);
+                    active.retain(|&id| id != target);
+                }
+            }
+        }
+        apply_flush(
+            &mut session,
+            &targets,
+            &mut status,
+            &mut active,
+            &mut new_detections,
+        );
 
         TestGenResult {
             tests,
             targets,
             new_detections,
-            status,
+            status: finalize_status(status),
             podem_stats: podem.stats(),
         }
     }
@@ -293,30 +440,65 @@ impl<'a> TestGenerator<'a> {
         order: &[FaultId],
         warmup: &adi_sim::PatternSet,
     ) -> TestGenResult {
-        let sim = FaultSimulator::new(self.netlist, self.faults);
-        let mut scratch = SimScratch::new(self.netlist);
-
         let mut dropped = vec![false; self.faults.len()];
         let mut active: Vec<FaultId> = self.faults.ids().collect();
         let mut warm_tests: Vec<Pattern> = Vec::new();
         let mut warm_targets: Vec<FaultId> = Vec::new();
         let mut warm_news: Vec<u32> = Vec::new();
         let mut warm_status: Vec<(FaultId, u32)> = Vec::new();
-        for p in 0..warmup.len() {
-            let pattern = warmup.get(p);
-            let detected = sim.detect_pattern(&pattern, &active, &mut scratch);
-            if detected.is_empty() {
-                continue;
+
+        // Admit every warm-up vector that detects at least one new
+        // fault. Detection of a fault by a vector is independent of what
+        // was dropped before, so the batched path can simulate whole
+        // 64-vector blocks at once and replay the admission bookkeeping
+        // lane by lane — bit-identical to the scalar per-vector loop.
+        match self.config.drop_loop {
+            DropLoopKind::Scalar => {
+                let sim = FaultSimulator::for_circuit(&self.circuit, self.faults);
+                let mut scratch = SimScratch::for_circuit(&self.circuit);
+                for p in 0..warmup.len() {
+                    let pattern = warmup.get(p);
+                    let detected = sim.detect_pattern(&pattern, &active, &mut scratch);
+                    if detected.is_empty() {
+                        continue;
+                    }
+                    let test_index = warm_tests.len() as u32;
+                    for &d in &detected {
+                        dropped[d.index()] = true;
+                        warm_status.push((d, test_index));
+                    }
+                    active.retain(|id| !dropped[id.index()]);
+                    warm_targets.push(detected[0]);
+                    warm_news.push(detected.len() as u32);
+                    warm_tests.push(pattern);
+                }
             }
-            let test_index = warm_tests.len() as u32;
-            for &d in &detected {
-                dropped[d.index()] = true;
-                warm_status.push((d, test_index));
+            DropLoopKind::Batched => {
+                let mut session = DropSession::for_circuit(&self.circuit, self.faults);
+                let mut p = 0;
+                while p < warmup.len() {
+                    let base = p;
+                    while p < warmup.len() && !session.is_full() {
+                        session.push(&warmup.get(p));
+                        p += 1;
+                    }
+                    let lists = session.flush(&active);
+                    for (off, detected) in lists.iter().enumerate() {
+                        if detected.is_empty() {
+                            continue;
+                        }
+                        let test_index = warm_tests.len() as u32;
+                        for &d in detected {
+                            dropped[d.index()] = true;
+                            warm_status.push((d, test_index));
+                        }
+                        warm_targets.push(detected[0]);
+                        warm_news.push(detected.len() as u32);
+                        warm_tests.push(warmup.get(base + off));
+                    }
+                    active.retain(|id| !dropped[id.index()]);
+                }
             }
-            active.retain(|id| !dropped[id.index()]);
-            warm_targets.push(detected[0]);
-            warm_news.push(detected.len() as u32);
-            warm_tests.push(pattern);
         }
 
         // Deterministic ATPG on the survivors.
@@ -363,6 +545,48 @@ impl<'a> TestGenerator<'a> {
     }
 }
 
+/// Resolves still-`None` statuses: untargeted, never-detected faults
+/// were deliberately excluded from `order`; treat them as aborted so
+/// totals stay consistent without inventing detections.
+fn finalize_status(status: Vec<Option<FaultStatus>>) -> Vec<FaultStatus> {
+    status
+        .into_iter()
+        .map(|s| s.unwrap_or(FaultStatus::Aborted))
+        .collect()
+}
+
+/// Drains `session` and replays the drop bookkeeping for the flushed
+/// lanes: lane `j` of the block is test `new_detections.len() + j`, its
+/// detected faults are classified against that test (as-target for the
+/// lane's own target, accidental otherwise), and `active` is pruned —
+/// exactly the per-test bookkeeping the scalar loop performs inline.
+fn apply_flush(
+    session: &mut DropSession<'_>,
+    targets: &[FaultId],
+    status: &mut [Option<FaultStatus>],
+    active: &mut Vec<FaultId>,
+    new_detections: &mut Vec<u32>,
+) {
+    let lists = session.flush(active);
+    if lists.is_empty() {
+        return;
+    }
+    let base = new_detections.len();
+    for (lane, detected) in lists.iter().enumerate() {
+        let test_index = (base + lane) as u32;
+        let target = targets[base + lane];
+        for &d in detected {
+            status[d.index()] = Some(if d == target {
+                FaultStatus::DetectedAsTarget { test: test_index }
+            } else {
+                FaultStatus::DetectedAccidentally { test: test_index }
+            });
+        }
+        new_detections.push(detected.len() as u32);
+    }
+    active.retain(|id| status[id.index()].is_none());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,12 +613,16 @@ G23 = NAND(G16, G19)
         bench_format::parse(C17, "c17").unwrap()
     }
 
+    fn compile(netlist: &Netlist) -> CompiledCircuit {
+        CompiledCircuit::compile(netlist.clone())
+    }
+
     #[test]
     fn c17_reaches_full_coverage() {
         let n = c17();
         let faults = FaultList::collapsed(&n);
         let order: Vec<FaultId> = faults.ids().collect();
-        let result = TestGenerator::new(&n, &faults, TestGenConfig::default()).run(&order);
+        let result = TestGenerator::for_circuit(&compile(&n), &faults, TestGenConfig::default()).run(&order);
         assert_eq!(result.num_detected(), faults.len());
         assert_eq!(result.num_redundant(), 0);
         assert_eq!(result.num_aborted(), 0);
@@ -408,9 +636,9 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::collapsed(&n);
         let order: Vec<FaultId> = faults.ids().collect();
-        let result = TestGenerator::new(&n, &faults, TestGenConfig::default()).run(&order);
-        let sim = FaultSimulator::new(&n, &faults);
-        let mut scratch = SimScratch::new(&n);
+        let result = TestGenerator::for_circuit(&compile(&n), &faults, TestGenConfig::default()).run(&order);
+        let sim = FaultSimulator::for_circuit(&compile(&n), &faults);
+        let mut scratch = SimScratch::for_circuit(&compile(&n));
         for (i, (test, &target)) in result.tests.iter().zip(&result.targets).enumerate() {
             assert!(
                 sim.detects(test, target, Some(&mut scratch)),
@@ -424,7 +652,7 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::collapsed(&n);
         let order: Vec<FaultId> = faults.ids().collect();
-        let result = TestGenerator::new(&n, &faults, TestGenConfig::default()).run(&order);
+        let result = TestGenerator::for_circuit(&compile(&n), &faults, TestGenConfig::default()).run(&order);
         let total: u32 = result.new_detections.iter().sum();
         assert_eq!(total as usize, result.num_detected());
         let curve = result.coverage_curve();
@@ -439,8 +667,8 @@ G23 = NAND(G16, G19)
         let fwd: Vec<FaultId> = faults.ids().collect();
         let rev: Vec<FaultId> = fwd.iter().rev().copied().collect();
         let cfg = TestGenConfig::default();
-        let r1 = TestGenerator::new(&n, &faults, cfg).run(&fwd);
-        let r2 = TestGenerator::new(&n, &faults, cfg).run(&rev);
+        let r1 = TestGenerator::for_circuit(&compile(&n), &faults, cfg).run(&fwd);
+        let r2 = TestGenerator::for_circuit(&compile(&n), &faults, cfg).run(&rev);
         assert_eq!(r1.num_detected(), r2.num_detected());
         // Both orders fully cover c17 (sanity; counts may differ).
         assert_eq!(r1.num_detected(), faults.len());
@@ -452,7 +680,7 @@ G23 = NAND(G16, G19)
         let n = bench_format::parse(src, "red").unwrap();
         let faults = FaultList::collapsed(&n);
         let order: Vec<FaultId> = faults.ids().collect();
-        let result = TestGenerator::new(&n, &faults, TestGenConfig::default()).run(&order);
+        let result = TestGenerator::for_circuit(&compile(&n), &faults, TestGenConfig::default()).run(&order);
         assert!(result.num_redundant() > 0, "t s-a-0 must be redundant");
         assert_eq!(result.num_aborted(), 0);
         // All non-redundant faults are detected.
@@ -467,11 +695,11 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::collapsed(&n);
         let order: Vec<FaultId> = faults.ids().collect();
-        let result = TestGenerator::new(&n, &faults, TestGenConfig::default()).run(&order);
+        let result = TestGenerator::for_circuit(&compile(&n), &faults, TestGenConfig::default()).run(&order);
         // Re-simulate the full test set with dropping: the coverage curve
         // must match the driver's bookkeeping.
         let set = PatternSet::from_patterns(n.num_inputs(), result.tests.iter());
-        let sim = FaultSimulator::new(&n, &faults);
+        let sim = FaultSimulator::for_circuit(&compile(&n), &faults);
         let drop = sim.with_dropping(&set);
         let resim = CoverageCurve::from_first_detection(
             &drop.first_detection,
@@ -489,7 +717,7 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::collapsed(&n);
         let order: Vec<FaultId> = faults.ids().take(3).collect();
-        let result = TestGenerator::new(&n, &faults, TestGenConfig::default()).run(&order);
+        let result = TestGenerator::for_circuit(&compile(&n), &faults, TestGenConfig::default()).run(&order);
         assert!(result.num_tests() <= 3);
         for (i, &t) in result.targets.iter().enumerate() {
             assert!(order.contains(&t), "test {i} targeted unlisted fault");
@@ -502,7 +730,7 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::collapsed(&n);
         let id = faults.ids().next().unwrap();
-        let _ = TestGenerator::new(&n, &faults, TestGenConfig::default()).run(&[id, id]);
+        let _ = TestGenerator::for_circuit(&compile(&n), &faults, TestGenConfig::default()).run(&[id, id]);
     }
 
     #[test]
@@ -511,8 +739,8 @@ G23 = NAND(G16, G19)
         let faults = FaultList::collapsed(&n);
         let order: Vec<FaultId> = faults.ids().collect();
         let cfg = TestGenConfig::default();
-        let r1 = TestGenerator::new(&n, &faults, cfg).run(&order);
-        let r2 = TestGenerator::new(&n, &faults, cfg).run(&order);
+        let r1 = TestGenerator::for_circuit(&compile(&n), &faults, cfg).run(&order);
+        let r2 = TestGenerator::for_circuit(&compile(&n), &faults, cfg).run(&order);
         assert_eq!(r1.tests, r2.tests);
         assert_eq!(r1.new_detections, r2.new_detections);
     }
@@ -523,7 +751,7 @@ G23 = NAND(G16, G19)
         let faults = FaultList::collapsed(&n);
         let order: Vec<FaultId> = faults.ids().collect();
         let warmup = PatternSet::random(5, 16, 2);
-        let gen = TestGenerator::new(&n, &faults, TestGenConfig::default());
+        let gen = TestGenerator::for_circuit(&compile(&n), &faults, TestGenConfig::default());
         let result = gen.run_with_random_phase(&order, &warmup);
         assert_eq!(result.num_detected(), faults.len());
         let total: u32 = result.new_detections.iter().sum();
@@ -532,7 +760,7 @@ G23 = NAND(G16, G19)
         assert_eq!(result.tests.len(), result.new_detections.len());
         // Re-simulating the stitched test set reproduces the curve.
         let set = PatternSet::from_patterns(n.num_inputs(), result.tests.iter());
-        let sim = FaultSimulator::new(&n, &faults);
+        let sim = FaultSimulator::for_circuit(&compile(&n), &faults);
         let drop = sim.with_dropping(&set);
         let resim = CoverageCurve::from_first_detection(
             &drop.first_detection,
@@ -550,7 +778,7 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::collapsed(&n);
         let order: Vec<FaultId> = faults.ids().collect();
-        let gen = TestGenerator::new(&n, &faults, TestGenConfig::default());
+        let gen = TestGenerator::for_circuit(&compile(&n), &faults, TestGenConfig::default());
         let plain = gen.run(&order);
         let phased = gen.run_with_random_phase(&order, &PatternSet::new(5));
         assert_eq!(plain.tests, phased.tests);
@@ -568,7 +796,7 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::collapsed(&n);
         let order: Vec<FaultId> = faults.ids().collect();
-        let gen = TestGenerator::new(&n, &faults, TestGenConfig::default());
+        let gen = TestGenerator::for_circuit(&compile(&n), &faults, TestGenConfig::default());
         let plain = gen.run(&order).num_tests();
         let seeds = 20u64;
         let at_least_as_many = (0..seeds)
@@ -584,6 +812,78 @@ G23 = NAND(G16, G19)
     }
 
     #[test]
+    fn batched_and_scalar_drop_loops_are_bit_identical() {
+        let n = c17();
+        let circuit = compile(&n);
+        let faults = FaultList::collapsed(&n);
+        let fwd: Vec<FaultId> = faults.ids().collect();
+        let rev: Vec<FaultId> = fwd.iter().rev().copied().collect();
+        for order in [&fwd, &rev] {
+            let batched = TestGenerator::for_circuit(
+                &circuit,
+                &faults,
+                TestGenConfig {
+                    drop_loop: DropLoopKind::Batched,
+                    ..TestGenConfig::default()
+                },
+            )
+            .run(order);
+            let scalar = TestGenerator::for_circuit(
+                &circuit,
+                &faults,
+                TestGenConfig {
+                    drop_loop: DropLoopKind::Scalar,
+                    ..TestGenConfig::default()
+                },
+            )
+            .run(order);
+            assert_eq!(batched, scalar);
+        }
+    }
+
+    #[test]
+    fn batched_and_scalar_random_phase_are_bit_identical() {
+        let n = c17();
+        let circuit = compile(&n);
+        let faults = FaultList::collapsed(&n);
+        let order: Vec<FaultId> = faults.ids().collect();
+        for seed in [0u64, 7, 19] {
+            let warmup = PatternSet::random(5, 100, seed);
+            let batched = TestGenerator::for_circuit(
+                &circuit,
+                &faults,
+                TestGenConfig {
+                    drop_loop: DropLoopKind::Batched,
+                    ..TestGenConfig::default()
+                },
+            )
+            .run_with_random_phase(&order, &warmup);
+            let scalar = TestGenerator::for_circuit(
+                &circuit,
+                &faults,
+                TestGenConfig {
+                    drop_loop: DropLoopKind::Scalar,
+                    ..TestGenConfig::default()
+                },
+            )
+            .run_with_random_phase(&order, &warmup);
+            assert_eq!(batched, scalar, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_matches_compiled_path() {
+        let n = c17();
+        let faults = FaultList::collapsed(&n);
+        let order: Vec<FaultId> = faults.ids().collect();
+        let cfg = TestGenConfig::default();
+        let legacy = TestGenerator::new(&n, &faults, cfg).run(&order);
+        let compiled = TestGenerator::for_circuit(&compile(&n), &faults, cfg).run(&order);
+        assert_eq!(legacy, compiled);
+    }
+
+    #[test]
     fn fill_strategy_changes_results_reproducibly() {
         let n = c17();
         let faults = FaultList::collapsed(&n);
@@ -592,8 +892,8 @@ G23 = NAND(G16, G19)
             fill: FillStrategy::Zeros,
             ..TestGenConfig::default()
         };
-        let r1 = TestGenerator::new(&n, &faults, zeros).run(&order);
-        let r2 = TestGenerator::new(&n, &faults, zeros).run(&order);
+        let r1 = TestGenerator::for_circuit(&compile(&n), &faults, zeros).run(&order);
+        let r2 = TestGenerator::for_circuit(&compile(&n), &faults, zeros).run(&order);
         assert_eq!(r1.tests, r2.tests);
         // Coverage still complete with any fill.
         assert_eq!(r1.num_detected(), faults.len());

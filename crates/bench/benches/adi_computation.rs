@@ -2,21 +2,20 @@
 //! no-drop simulation plus index extraction) — the paper's preprocessing.
 
 use adi_circuits::paper_suite;
-use adi_core::uset::select_u;
+use adi_core::uset::select_u_for;
 use adi_core::{AdiAnalysis, AdiConfig, USetConfig};
-use adi_netlist::fault::FaultList;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_adi(c: &mut Criterion) {
     let mut group = c.benchmark_group("adi_computation");
     group.sample_size(10);
     for circuit in paper_suite().into_iter().filter(|s| s.gates <= 250) {
-        let netlist = circuit.netlist();
-        let faults = FaultList::collapsed(&netlist);
+        let compiled = circuit.compiled();
+        let faults = compiled.collapsed_faults();
         group.bench_function(circuit.name, |b| {
             b.iter(|| {
-                let sel = select_u(&netlist, &faults, USetConfig::default());
-                AdiAnalysis::compute(&netlist, &faults, &sel.patterns, AdiConfig::default())
+                let sel = select_u_for(&compiled, faults, USetConfig::default());
+                AdiAnalysis::for_circuit(&compiled, faults, &sel.patterns, AdiConfig::default())
             })
         });
     }
@@ -25,9 +24,9 @@ fn bench_adi(c: &mut Criterion) {
 
 fn bench_adi_estimators(c: &mut Criterion) {
     let circuit = paper_suite().into_iter().find(|s| s.name == "irs208").unwrap();
-    let netlist = circuit.netlist();
-    let faults = FaultList::collapsed(&netlist);
-    let sel = select_u(&netlist, &faults, USetConfig::default());
+    let compiled = circuit.compiled();
+    let faults = compiled.collapsed_faults();
+    let sel = select_u_for(&compiled, faults, USetConfig::default());
     let mut group = c.benchmark_group("adi_estimators_irs208");
     group.sample_size(10);
     for (label, cfg) in [
@@ -48,7 +47,7 @@ fn bench_adi_estimators(c: &mut Criterion) {
         ),
     ] {
         group.bench_function(label, |b| {
-            b.iter(|| AdiAnalysis::compute(&netlist, &faults, &sel.patterns, cfg))
+            b.iter(|| AdiAnalysis::for_circuit(&compiled, faults, &sel.patterns, cfg))
         });
     }
     group.finish();

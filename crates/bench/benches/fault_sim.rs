@@ -2,20 +2,19 @@
 //! with dropping, serial vs. parallel, and per-fault vs. stem-region.
 
 use adi_circuits::paper_suite;
-use adi_netlist::fault::FaultList;
 use adi_sim::{EngineKind, FaultSimulator, PatternSet, StemRegionEngine};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_no_drop(c: &mut Criterion) {
     let circuit = paper_suite().into_iter().find(|s| s.name == "irs208").unwrap();
-    let netlist = circuit.netlist();
-    let faults = FaultList::collapsed(&netlist);
-    let patterns = PatternSet::random(netlist.num_inputs(), 512, 3);
+    let compiled = circuit.compiled();
+    let faults = compiled.collapsed_faults();
+    let patterns = PatternSet::random(compiled.netlist().num_inputs(), 512, 3);
 
     let mut group = c.benchmark_group("fault_sim_no_drop_irs208_512v");
     group.sample_size(20);
     for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
-        let sim = FaultSimulator::with_engine(&netlist, &faults, engine);
+        let sim = FaultSimulator::for_circuit_with_engine(&compiled, faults, engine);
         group.bench_function(format!("{engine}/serial"), |b| {
             b.iter(|| sim.no_drop_matrix(&patterns))
         });
@@ -23,8 +22,8 @@ fn bench_no_drop(c: &mut Criterion) {
             b.iter(|| sim.no_drop_matrix_parallel(&patterns, 4))
         });
     }
-    // Amortized stem-region: setup (view + FFR + grouping) hoisted out.
-    let engine = StemRegionEngine::new(&netlist, &faults);
+    // Amortized stem-region: setup (fault grouping) hoisted out too.
+    let engine = StemRegionEngine::for_circuit(&compiled, faults);
     group.bench_function("stem-region/prebuilt", |b| {
         b.iter(|| engine.no_drop_matrix(&patterns))
     });
@@ -35,11 +34,11 @@ fn bench_dropping(c: &mut Criterion) {
     let mut group = c.benchmark_group("fault_sim_dropping_512v");
     group.sample_size(20);
     for circuit in paper_suite().into_iter().filter(|s| s.gates <= 300) {
-        let netlist = circuit.netlist();
-        let faults = FaultList::collapsed(&netlist);
-        let patterns = PatternSet::random(netlist.num_inputs(), 512, 3);
+        let compiled = circuit.compiled();
+        let faults = compiled.collapsed_faults();
+        let patterns = PatternSet::random(compiled.netlist().num_inputs(), 512, 3);
         for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
-            let sim = FaultSimulator::with_engine(&netlist, &faults, engine);
+            let sim = FaultSimulator::for_circuit_with_engine(&compiled, faults, engine);
             group.bench_function(format!("{}/{engine}", circuit.name), |b| {
                 b.iter(|| sim.with_dropping(&patterns))
             });

@@ -1,17 +1,19 @@
 //! Throughput of the bit-parallel good-machine simulator.
 
 use adi_circuits::{paper_suite, random_circuit, RandomCircuitConfig};
+use adi_netlist::CompiledCircuit;
 use adi_sim::{GoodValues, PatternSet};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_logic_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("logic_sim");
     for gates in [100usize, 400, 1600] {
-        let netlist = random_circuit(&RandomCircuitConfig::new("bench", 32, gates, 7));
+        let circuit =
+            CompiledCircuit::compile(random_circuit(&RandomCircuitConfig::new("bench", 32, gates, 7)));
         let patterns = PatternSet::random(32, 1024, 1);
         group.throughput(Throughput::Elements((gates * 1024) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |b, _| {
-            b.iter(|| GoodValues::compute(&netlist, &patterns));
+            b.iter(|| GoodValues::for_circuit(&circuit, &patterns));
         });
     }
     group.finish();
@@ -20,10 +22,10 @@ fn bench_logic_sim(c: &mut Criterion) {
 fn bench_logic_sim_suite(c: &mut Criterion) {
     let mut group = c.benchmark_group("logic_sim_suite");
     for circuit in paper_suite().into_iter().filter(|s| s.gates <= 300) {
-        let netlist = circuit.netlist();
-        let patterns = PatternSet::random(netlist.num_inputs(), 1024, 1);
+        let compiled = circuit.compiled();
+        let patterns = PatternSet::random(compiled.netlist().num_inputs(), 1024, 1);
         group.bench_function(circuit.name, |b| {
-            b.iter(|| GoodValues::compute(&netlist, &patterns));
+            b.iter(|| GoodValues::for_circuit(&compiled, &patterns));
         });
     }
     group.finish();

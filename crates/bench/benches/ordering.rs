@@ -2,17 +2,16 @@
 //! negligible next to ATPG): static sorts vs. the dynamic bucket queue.
 
 use adi_circuits::paper_suite;
-use adi_core::uset::select_u;
+use adi_core::uset::select_u_for;
 use adi_core::{order_faults, AdiAnalysis, AdiConfig, FaultOrdering, USetConfig};
-use adi_netlist::fault::FaultList;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_ordering(c: &mut Criterion) {
     let circuit = paper_suite().into_iter().find(|s| s.name == "irs420").unwrap();
-    let netlist = circuit.netlist();
-    let faults = FaultList::collapsed(&netlist);
-    let sel = select_u(&netlist, &faults, USetConfig::default());
-    let analysis = AdiAnalysis::compute(&netlist, &faults, &sel.patterns, AdiConfig::default());
+    let compiled = circuit.compiled();
+    let faults = compiled.collapsed_faults();
+    let sel = select_u_for(&compiled, faults, USetConfig::default());
+    let analysis = AdiAnalysis::for_circuit(&compiled, faults, &sel.patterns, AdiConfig::default());
 
     let mut group = c.benchmark_group("ordering_irs420");
     for ord in FaultOrdering::ALL {

@@ -2,15 +2,15 @@
 
 use adi_atpg::{Podem, PodemConfig};
 use adi_circuits::{embedded, paper_suite};
-use adi_netlist::fault::FaultList;
+use adi_netlist::CompiledCircuit;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_podem_c17(c: &mut Criterion) {
-    let netlist = embedded::c17();
-    let faults = FaultList::collapsed(&netlist);
+    let circuit = CompiledCircuit::compile(embedded::c17());
+    let faults = circuit.collapsed_faults();
     c.bench_function("podem_c17_all_faults", |b| {
         b.iter(|| {
-            let mut podem = Podem::new(&netlist, PodemConfig::default());
+            let mut podem = Podem::for_circuit(&circuit, PodemConfig::default());
             for (_, fault) in faults.iter() {
                 let _ = podem.generate(fault);
             }
@@ -22,11 +22,11 @@ fn bench_podem_suite(c: &mut Criterion) {
     let mut group = c.benchmark_group("podem_first_100_faults");
     group.sample_size(10);
     for circuit in paper_suite().into_iter().filter(|s| s.gates <= 250) {
-        let netlist = circuit.netlist();
-        let faults = FaultList::collapsed(&netlist);
+        let compiled = circuit.compiled();
+        let faults = compiled.collapsed_faults();
         group.bench_function(circuit.name, |b| {
             b.iter(|| {
-                let mut podem = Podem::new(&netlist, PodemConfig::default());
+                let mut podem = Podem::for_circuit(&compiled, PodemConfig::default());
                 for (_, fault) in faults.iter().take(100) {
                     let _ = podem.generate(fault);
                 }

@@ -13,15 +13,13 @@
 
 use adi_bench::{HarnessOptions, TextTable};
 use adi_core::metrics::average_detection_position;
-use adi_core::pipeline::run_experiment;
-use adi_core::reorder::reorder_tests;
-use adi_core::ffr_order::ffr_independent_order;
-use adi_core::uset::select_u;
+use adi_core::reorder::reorder_tests_for;
+use adi_core::ffr_order::ffr_independent_order_for;
+use adi_core::uset::select_u_for;
 use adi_core::{
-    order_faults, AdiAnalysis, AdiConfig, AdiEstimator, FaultOrdering,
+    order_faults, AdiAnalysis, AdiConfig, AdiEstimator, Experiment, FaultOrdering,
 };
 use adi_atpg::{TestGenConfig, TestGenerator};
-use adi_netlist::fault::FaultList;
 use adi_sim::PatternSet;
 
 fn main() {
@@ -51,16 +49,16 @@ fn random_phase(options: &HarnessOptions, circuits: &[adi_circuits::PaperCircuit
     ]);
     for circuit in circuits {
         eprintln!("[ablation:random-phase] {}", circuit.name);
-        let netlist = circuit.netlist();
-        let faults = FaultList::collapsed(&netlist);
+        let compiled = circuit.compiled();
+        let faults = compiled.collapsed_faults();
         let mut ucfg = adi_core::USetConfig::default();
         if options.quick {
             ucfg.max_vectors = 1000;
         }
-        let selection = select_u(&netlist, &faults, ucfg);
-        let analysis = AdiAnalysis::compute(
-            &netlist,
-            &faults,
+        let selection = select_u_for(&compiled, faults, ucfg);
+        let analysis = AdiAnalysis::for_circuit(
+            &compiled,
+            faults,
             &selection.patterns,
             AdiConfig {
                 threads: options.threads,
@@ -68,9 +66,9 @@ fn random_phase(options: &HarnessOptions, circuits: &[adi_circuits::PaperCircuit
             },
         );
         let order = order_faults(&analysis, FaultOrdering::Dynamic0);
-        let gen = TestGenerator::new(&netlist, &faults, TestGenConfig::default());
+        let gen = TestGenerator::for_circuit(&compiled, faults, TestGenConfig::default());
         let pure = gen.run(&order);
-        let warmup = PatternSet::random(netlist.num_inputs(), 64, 0xF00D);
+        let warmup = PatternSet::random(compiled.netlist().num_inputs(), 64, 0xF00D);
         let phased = gen.run_with_random_phase(&order, &warmup);
         table.row(vec![
             circuit.name.to_string(),
@@ -92,7 +90,6 @@ fn static_vs_dynamic(options: &HarnessOptions, circuits: &[adi_circuits::PaperCi
         "circuit", "decr", "0decr", "dynm", "0dynm", "ave:decr", "ave:dynm",
     ]);
     for circuit in circuits {
-        let netlist = circuit.netlist();
         let mut cfg = options.experiment_config();
         cfg.orderings = vec![
             FaultOrdering::Decr,
@@ -101,7 +98,7 @@ fn static_vs_dynamic(options: &HarnessOptions, circuits: &[adi_circuits::PaperCi
             FaultOrdering::Dynamic0,
         ];
         eprintln!("[ablation:static-vs-dynamic] {}", circuit.name);
-        let e = run_experiment(&netlist, &cfg);
+        let e = Experiment::on(&circuit.compiled()).config(cfg).run();
         let t = |o| e.run_for(o).map(|r| r.num_tests().to_string()).unwrap_or_default();
         let a = |o| {
             e.run_for(o)
@@ -126,13 +123,13 @@ fn estimator_ablation(options: &HarnessOptions, circuits: &[adi_circuits::PaperC
     let mut table = TextTable::new(vec!["circuit", "min:tests", "mean:tests", "ndet-cap4:tests"]);
     for circuit in circuits {
         eprintln!("[ablation:estimator] {}", circuit.name);
-        let netlist = circuit.netlist();
-        let faults = FaultList::collapsed(&netlist);
+        let compiled = circuit.compiled();
+        let faults = compiled.collapsed_faults();
         let mut ucfg = adi_core::USetConfig::default();
         if options.quick {
             ucfg.max_vectors = 1000;
         }
-        let selection = select_u(&netlist, &faults, ucfg);
+        let selection = select_u_for(&compiled, faults, ucfg);
         let mut row = vec![circuit.name.to_string()];
         for adi_cfg in [
             AdiConfig::default(),
@@ -146,10 +143,10 @@ fn estimator_ablation(options: &HarnessOptions, circuits: &[adi_circuits::PaperC
             },
         ] {
             let analysis =
-                AdiAnalysis::compute(&netlist, &faults, &selection.patterns, adi_cfg);
+                AdiAnalysis::for_circuit(&compiled, faults, &selection.patterns, adi_cfg);
             let order = order_faults(&analysis, FaultOrdering::Dynamic0);
-            let result =
-                TestGenerator::new(&netlist, &faults, TestGenConfig::default()).run(&order);
+            let result = TestGenerator::for_circuit(&compiled, faults, TestGenConfig::default())
+                .run(&order);
             row.push(result.num_tests().to_string());
         }
         table.row(row);
@@ -165,22 +162,22 @@ fn u_size_sensitivity(options: &HarnessOptions, circuits: &[adi_circuits::PaperC
     let mut table = TextTable::new(header);
     for circuit in circuits.iter().take(4) {
         eprintln!("[ablation:u-size] {}", circuit.name);
-        let netlist = circuit.netlist();
-        let faults = FaultList::collapsed(&netlist);
+        let compiled = circuit.compiled();
+        let faults = compiled.collapsed_faults();
         let mut row = vec![circuit.name.to_string()];
         for &budget in &budgets {
-            let selection = select_u(
-                &netlist,
-                &faults,
+            let selection = select_u_for(
+                &compiled,
+                faults,
                 adi_core::USetConfig {
                     max_vectors: budget,
                     exhaustive_threshold: 0,
                     ..adi_core::USetConfig::default()
                 },
             );
-            let analysis = AdiAnalysis::compute(
-                &netlist,
-                &faults,
+            let analysis = AdiAnalysis::for_circuit(
+                &compiled,
+                faults,
                 &selection.patterns,
                 AdiConfig {
                     threads: options.threads,
@@ -188,8 +185,8 @@ fn u_size_sensitivity(options: &HarnessOptions, circuits: &[adi_circuits::PaperC
                 },
             );
             let order = order_faults(&analysis, FaultOrdering::Dynamic0);
-            let result =
-                TestGenerator::new(&netlist, &faults, TestGenConfig::default()).run(&order);
+            let result = TestGenerator::for_circuit(&compiled, faults, TestGenConfig::default())
+                .run(&order);
             row.push(result.num_tests().to_string());
         }
         table.row(row);
@@ -207,15 +204,17 @@ fn reorder_vs_adi(options: &HarnessOptions, circuits: &[adi_circuits::PaperCircu
     ]);
     for circuit in circuits {
         eprintln!("[ablation:reorder] {}", circuit.name);
-        let netlist = circuit.netlist();
-        let faults = FaultList::collapsed(&netlist);
+        let compiled = circuit.compiled();
         let mut cfg = options.experiment_config();
         cfg.orderings = vec![FaultOrdering::Original, FaultOrdering::Dynamic];
-        let e = run_experiment(&netlist, &cfg);
+        let e = Experiment::on(&compiled).config(cfg).run();
         let orig = e.run_for(FaultOrdering::Original).expect("requested");
         let dynm = e.run_for(FaultOrdering::Dynamic).expect("requested");
-        let tests = PatternSet::from_patterns(netlist.num_inputs(), orig.result.tests.iter());
-        let reordered = reorder_tests(&netlist, &faults, &tests);
+        let tests = PatternSet::from_patterns(
+            compiled.netlist().num_inputs(),
+            orig.result.tests.iter(),
+        );
+        let reordered = reorder_tests_for(&compiled, compiled.collapsed_faults(), &tests);
         table.row(vec![
             circuit.name.to_string(),
             format!("{:.2}", orig.ave),
@@ -231,15 +230,15 @@ fn ffr_baseline(options: &HarnessOptions, circuits: &[adi_circuits::PaperCircuit
     let mut table = TextTable::new(vec!["circuit", "ffr[2]:tests", "0dynm:tests"]);
     for circuit in circuits {
         eprintln!("[ablation:ffr] {}", circuit.name);
-        let netlist = circuit.netlist();
-        let faults = FaultList::collapsed(&netlist);
-        let ffr_order = ffr_independent_order(&netlist, &faults);
-        let gen = TestGenerator::new(&netlist, &faults, TestGenConfig::default());
+        let compiled = circuit.compiled();
+        let faults = compiled.collapsed_faults();
+        let ffr_order = ffr_independent_order_for(&compiled, faults);
+        let gen = TestGenerator::for_circuit(&compiled, faults, TestGenConfig::default());
         let ffr_result = gen.run(&ffr_order);
 
         let mut cfg = options.experiment_config();
         cfg.orderings = vec![FaultOrdering::Dynamic0];
-        let e = run_experiment(&netlist, &cfg);
+        let e = Experiment::on(&compiled).config(cfg).run();
         let dyn0 = e.run_for(FaultOrdering::Dynamic0).expect("requested");
         table.row(vec![
             circuit.name.to_string(),

@@ -1,35 +1,52 @@
 //! `perf_report` — the tracked performance harness.
 //!
 //! Times the fault-simulation hot paths (no-drop matrix, dropping
-//! simulation, and the ADI computation end-to-end) per suite circuit for
-//! **both** engines, verifies the engines agree bit for bit, prints a
-//! summary table, and writes a `BENCH_<date>.json` snapshot so the
-//! repository accumulates a performance trajectory over time.
+//! simulation, the ADI computation end-to-end, and ordered ATPG) per
+//! suite circuit for **both** engines, verifies the engines (and the two
+//! ATPG drop loops) agree bit for bit, prints a summary table, and
+//! writes a `BENCH_<date>.json` snapshot so the repository accumulates a
+//! performance trajectory over time.
 //!
 //! ```text
 //! cargo run -p adi-bench --release --bin perf_report -- [--max-gates N | --all]
-//!     [--quick] [--patterns N] [--out PATH]
+//!     [--quick] [--patterns N] [--out PATH] [--min-speedup X]
 //! ```
 //!
-//! JSON schema (`adi-perf-report/v1`): a header with the run parameters
-//! plus one entry per `(circuit, engine, phase)` carrying `wall_ns` and
-//! `speedup` (that phase's per-fault time over this engine's time, so
-//! per-fault rows read 1.0).
+//! JSON schema (`adi-perf-report/v2`): a header with the run parameters,
+//! a `circuits` array carrying the compile-once vs compile-per-call
+//! timings (`compile_ns`, `adi_compile_once_ns`, `adi_per_call_ns`), and
+//! one `entries` element per `(circuit, engine, phase)` carrying
+//! `wall_ns` and `speedup` (that phase's per-fault time over this
+//! engine's time, so per-fault rows read 1.0). For the `atpg` and
+//! `drop-loop` phases the engine column maps to the drop loop:
+//! `per-fault` is the scalar loop, `stem-region` the 64-wide batched
+//! one. `atpg` is end-to-end ordered generation (PODEM-search-bound by
+//! nature); `drop-loop` replays the generated test set through just the
+//! drop primitive, isolating what the batching replaced.
+//!
+//! Unless `--quick` is given, the run **fails** (exit 1) if the
+//! stem-region no-drop speedup on the largest selected circuit falls
+//! below the floor (default 1.5×, `--min-speedup`): the perf trajectory
+//! is enforced, not just recorded.
 
 use std::fmt::Write as _;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
+use adi_atpg::{DropLoopKind, TestGenConfig, TestGenResult, TestGenerator};
 use adi_bench::TextTable;
 use adi_circuits::paper_suite;
 use adi_core::{AdiAnalysis, AdiConfig};
-use adi_netlist::fault::FaultList;
-use adi_sim::{EngineKind, FaultSimulator, PatternSet};
+use adi_netlist::fault::{FaultId, FaultList};
+use adi_netlist::{CompiledCircuit, Netlist};
+use adi_sim::{
+    DropSession, EngineKind, FaultSimulator, Pattern, PatternSet, SimScratch,
+};
 
 /// Seed for the shared random pattern set (fixed so runs are comparable
 /// across commits).
 const PATTERN_SEED: u64 = 0xBE9C_2005;
 
-const PHASES: [&str; 3] = ["no-drop", "dropping", "adi"];
+const PHASES: [&str; 5] = ["no-drop", "dropping", "adi", "atpg", "drop-loop"];
 const ENGINES: [EngineKind; 2] = [EngineKind::PerFault, EngineKind::StemRegion];
 
 struct Options {
@@ -37,6 +54,7 @@ struct Options {
     patterns: usize,
     quick: bool,
     out: Option<String>,
+    min_speedup: f64,
 }
 
 impl Default for Options {
@@ -46,6 +64,7 @@ impl Default for Options {
             patterns: 2048,
             quick: false,
             out: None,
+            min_speedup: 1.5,
         }
     }
 }
@@ -71,6 +90,13 @@ fn parse_args() -> Result<Options, String> {
                     .filter(|&n| n > 0)
                     .ok_or_else(|| "--patterns requires a positive number".to_string())?;
                 patterns_set = true;
+            }
+            "--min-speedup" => {
+                opts.min_speedup = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&x: &f64| x > 0.0)
+                    .ok_or_else(|| "--min-speedup requires a positive number".to_string())?;
             }
             "--out" => {
                 opts.out = Some(
@@ -134,6 +160,69 @@ struct Entry {
     speedup: f64,
 }
 
+/// Compile-once vs compile-per-call accounting for one circuit.
+struct CircuitStats {
+    name: String,
+    /// One full `CompiledCircuit::compile` (levelize + FFR).
+    compile_ns: u128,
+    /// ADI end-to-end over a prebuilt compilation (stem engine).
+    adi_compile_once_ns: u128,
+    /// ADI end-to-end through the legacy `&Netlist` wrapper, which
+    /// compiles a private copy per call (stem engine).
+    adi_per_call_ns: u128,
+}
+
+/// The legacy compile-per-call path, isolated so the deprecation exempt
+/// stays local: this is precisely the cost the compiled API removes.
+#[allow(deprecated)]
+fn adi_per_call(netlist: &Netlist, patterns: &PatternSet, config: AdiConfig) -> AdiAnalysis {
+    let faults = adi_netlist::fault::FaultList::collapsed(netlist);
+    AdiAnalysis::compute(netlist, &faults, patterns, config)
+}
+
+/// Scalar drop-loop replay: one `detect_pattern` call per test against
+/// the shrinking active set — exactly the pre-batching ATPG drop loop.
+fn replay_scalar(
+    circuit: &CompiledCircuit,
+    faults: &FaultList,
+    tests: &[Pattern],
+) -> Vec<Vec<FaultId>> {
+    let sim = FaultSimulator::for_circuit(circuit, faults);
+    let mut scratch = SimScratch::for_circuit(circuit);
+    let mut active: Vec<FaultId> = faults.ids().collect();
+    let mut out = Vec::with_capacity(tests.len());
+    for test in tests {
+        let detected = sim.detect_pattern(test, &active, &mut scratch);
+        active.retain(|id| !detected.contains(id));
+        out.push(detected);
+    }
+    out
+}
+
+/// Batched drop-loop replay: 64-wide `DropSession` blocks through the
+/// stem-region engine, bit-identical to [`replay_scalar`].
+fn replay_batched(
+    circuit: &CompiledCircuit,
+    faults: &FaultList,
+    tests: &[Pattern],
+) -> Vec<Vec<FaultId>> {
+    let mut session = DropSession::for_circuit(circuit, faults);
+    let mut active: Vec<FaultId> = faults.ids().collect();
+    let mut out = Vec::with_capacity(tests.len());
+    for test in tests {
+        session.push(test);
+        if session.is_full() {
+            let lists = session.flush(&active);
+            for detected in &lists {
+                active.retain(|id| !detected.contains(id));
+            }
+            out.extend(lists);
+        }
+    }
+    out.extend(session.flush(&active));
+    out
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -141,7 +230,7 @@ fn main() {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: perf_report [--max-gates N | --all] [--quick] \
-                 [--patterns N] [--out PATH]"
+                 [--patterns N] [--out PATH] [--min-speedup X]"
             );
             std::process::exit(2);
         }
@@ -157,6 +246,7 @@ fn main() {
         .filter(|c| c.gates <= opts.max_gates)
         .collect();
     let mut entries: Vec<Entry> = Vec::new();
+    let mut circuit_stats: Vec<CircuitStats> = Vec::new();
 
     for circuit in &circuits {
         eprintln!(
@@ -164,15 +254,25 @@ fn main() {
             circuit.name, circuit.inputs, circuit.gates, opts.patterns
         );
         let netlist = circuit.netlist();
-        let faults = FaultList::collapsed(&netlist);
-        let patterns = PatternSet::random(netlist.num_inputs(), opts.patterns, PATTERN_SEED);
+        let compile_ns = time_ns(|| {
+            std::hint::black_box(CompiledCircuit::compile(netlist.clone()));
+        });
+        let compiled = CompiledCircuit::compile(netlist);
+        let faults = compiled.collapsed_faults();
+        let patterns = PatternSet::random(
+            compiled.netlist().num_inputs(),
+            opts.patterns,
+            PATTERN_SEED,
+        );
 
         // Correctness gate: the engines must agree bit for bit before
         // their timings are worth recording.
-        let reference = FaultSimulator::with_engine(&netlist, &faults, EngineKind::PerFault)
-            .no_drop_matrix(&patterns);
-        let candidate = FaultSimulator::with_engine(&netlist, &faults, EngineKind::StemRegion)
-            .no_drop_matrix(&patterns);
+        let reference =
+            FaultSimulator::for_circuit_with_engine(&compiled, faults, EngineKind::PerFault)
+                .no_drop_matrix(&patterns);
+        let candidate =
+            FaultSimulator::for_circuit_with_engine(&compiled, faults, EngineKind::StemRegion)
+                .no_drop_matrix(&patterns);
         assert_eq!(
             reference, candidate,
             "{}: engines disagree — refusing to write a perf report",
@@ -182,7 +282,7 @@ fn main() {
 
         let mut wall = [[0u128; PHASES.len()]; ENGINES.len()];
         for (ei, &engine) in ENGINES.iter().enumerate() {
-            let sim = FaultSimulator::with_engine(&netlist, &faults, engine);
+            let sim = FaultSimulator::for_circuit_with_engine(&compiled, faults, engine);
             wall[ei][0] = time_ns(|| {
                 std::hint::black_box(sim.no_drop_matrix(&patterns));
             });
@@ -194,11 +294,62 @@ fn main() {
                 ..AdiConfig::default()
             };
             wall[ei][2] = time_ns(|| {
-                std::hint::black_box(AdiAnalysis::compute(
-                    &netlist, &faults, &patterns, config,
+                std::hint::black_box(AdiAnalysis::for_circuit(
+                    &compiled, faults, &patterns, config,
                 ));
             });
         }
+
+        // ATPG: the scalar drop loop (per-fault row) vs the 64-wide
+        // batched loop (stem-region row), with a bit-identical gate on
+        // the full result before the timings count.
+        let order: Vec<FaultId> = faults.ids().collect();
+        let mut results: [Option<TestGenResult>; 2] = [None, None];
+        for (li, drop_loop) in [DropLoopKind::Scalar, DropLoopKind::Batched]
+            .into_iter()
+            .enumerate()
+        {
+            let gen = TestGenerator::for_circuit(
+                &compiled,
+                faults,
+                TestGenConfig {
+                    drop_loop,
+                    ..TestGenConfig::default()
+                },
+            );
+            wall[li][3] = time_ns(|| {
+                results[li] = Some(std::hint::black_box(gen.run(&order)));
+            });
+        }
+        assert_eq!(
+            results[0], results[1],
+            "{}: scalar and batched drop loops disagree — refusing to write a perf report",
+            circuit.name
+        );
+
+        // The drop loop in isolation: replay the generated test set (the
+        // exact sequence ATPG produced) through the scalar
+        // `detect_pattern` loop vs the batched `DropSession`. End-to-end
+        // ATPG above is PODEM-search-bound; this phase measures the
+        // primitive the batching replaced.
+        let tests = results[0].take().expect("timed at least once").tests;
+        let mut drop_lists: [Option<Vec<Vec<FaultId>>>; 2] = [None, None];
+        wall[0][4] = time_ns(|| {
+            drop_lists[0] = Some(std::hint::black_box(replay_scalar(
+                &compiled, faults, &tests,
+            )));
+        });
+        wall[1][4] = time_ns(|| {
+            drop_lists[1] = Some(std::hint::black_box(replay_batched(
+                &compiled, faults, &tests,
+            )));
+        });
+        assert_eq!(
+            drop_lists[0], drop_lists[1],
+            "{}: drop-loop replay disagrees — refusing to write a perf report",
+            circuit.name
+        );
+
         for (ei, &engine) in ENGINES.iter().enumerate() {
             for (pi, &phase) in PHASES.iter().enumerate() {
                 let speedup = wall[0][pi] as f64 / wall[ei][pi].max(1) as f64;
@@ -211,11 +362,23 @@ fn main() {
                 });
             }
         }
+
+        let adi_config = AdiConfig::default();
+        let netlist = compiled.netlist().clone();
+        let adi_per_call_ns = time_ns(|| {
+            std::hint::black_box(adi_per_call(&netlist, &patterns, adi_config));
+        });
+        circuit_stats.push(CircuitStats {
+            name: circuit.name.to_string(),
+            compile_ns,
+            adi_compile_once_ns: wall[1][2],
+            adi_per_call_ns,
+        });
     }
 
     // Persist the snapshot before printing: a consumer truncating our
     // stdout (e.g. `| head`) must not cost us the report.
-    let json = render_json(&date, &opts, &entries);
+    let json = render_json(&date, &opts, &circuit_stats, &entries);
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -230,35 +393,89 @@ fn main() {
         "speedup",
         "drop speedup",
         "adi speedup",
+        "atpg speedup",
+        "drop-loop speedup",
     ]);
+    let find = |circuit: &str, engine: EngineKind, phase: &str| {
+        entries
+            .iter()
+            .find(|e| e.circuit == circuit && e.engine == engine && e.phase == phase)
+            .expect("entry recorded")
+    };
     for circuit in &circuits {
-        let find = |engine: EngineKind, phase: &str| {
-            entries
-                .iter()
-                .find(|e| e.circuit == circuit.name && e.engine == engine && e.phase == phase)
-                .expect("entry recorded")
-        };
-        let pf = find(EngineKind::PerFault, "no-drop");
-        let st = find(EngineKind::StemRegion, "no-drop");
+        let pf = find(circuit.name, EngineKind::PerFault, "no-drop");
+        let st = find(circuit.name, EngineKind::StemRegion, "no-drop");
         table.row(vec![
             circuit.name.to_string(),
             format!("{:.2}", pf.wall_ns as f64 / 1e6),
             format!("{:.2}", st.wall_ns as f64 / 1e6),
             format!("{:.2}x", st.speedup),
-            format!("{:.2}x", find(EngineKind::StemRegion, "dropping").speedup),
-            format!("{:.2}x", find(EngineKind::StemRegion, "adi").speedup),
+            format!(
+                "{:.2}x",
+                find(circuit.name, EngineKind::StemRegion, "dropping").speedup
+            ),
+            format!(
+                "{:.2}x",
+                find(circuit.name, EngineKind::StemRegion, "adi").speedup
+            ),
+            format!(
+                "{:.2}x",
+                find(circuit.name, EngineKind::StemRegion, "atpg").speedup
+            ),
+            format!(
+                "{:.2}x",
+                find(circuit.name, EngineKind::StemRegion, "drop-loop").speedup
+            ),
         ]);
     }
     println!("{}", table.render());
+
+    // Ratio-regression gate: the stem engine must keep its no-drop win
+    // on the largest selected circuit. `--quick` runs (tiny pattern
+    // counts, CI smoke) are exempt.
+    if !opts.quick {
+        if let Some(largest) = circuits.iter().max_by_key(|c| c.gates) {
+            let speedup = find(largest.name, EngineKind::StemRegion, "no-drop").speedup;
+            if speedup < opts.min_speedup {
+                eprintln!(
+                    "error: stem-region no-drop speedup on {} is {:.2}x, below the \
+                     {:.2}x floor (--min-speedup)",
+                    largest.name, speedup, opts.min_speedup
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[perf_report] ratio gate passed: {} no-drop speedup {:.2}x >= {:.2}x",
+                largest.name, speedup, opts.min_speedup
+            );
+        }
+    }
 }
 
-fn render_json(date: &str, opts: &Options, entries: &[Entry]) -> String {
+fn render_json(
+    date: &str,
+    opts: &Options,
+    circuit_stats: &[CircuitStats],
+    entries: &[Entry],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"adi-perf-report/v1\",");
+    let _ = writeln!(out, "  \"schema\": \"adi-perf-report/v2\",");
     let _ = writeln!(out, "  \"date\": \"{date}\",");
     let _ = writeln!(out, "  \"patterns\": {},", opts.patterns);
     let _ = writeln!(out, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(out, "  \"min_speedup\": {:.3},", opts.min_speedup);
+    let _ = writeln!(out, "  \"circuits\": [");
+    for (i, c) in circuit_stats.iter().enumerate() {
+        let comma = if i + 1 == circuit_stats.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"compile_ns\": {}, \"adi_compile_once_ns\": {}, \
+             \"adi_per_call_ns\": {}}}{comma}",
+            c.name, c.compile_ns, c.adi_compile_once_ns, c.adi_per_call_ns
+        );
+    }
+    let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"entries\": [");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };
@@ -280,9 +497,6 @@ mod tests {
 
     #[test]
     fn civil_date_formats() {
-        // 2026-07-29 00:00:00 UTC = 1785283200; spot-check via the
-        // function under a fake "now" is not possible without injection,
-        // so check the pure conversion on the epoch boundary instead.
         let s = today_utc();
         assert_eq!(s.len(), 10);
         assert_eq!(s.as_bytes()[4], b'-');
@@ -298,10 +512,19 @@ mod tests {
             wall_ns: 12345,
             speedup: 2.5,
         }];
-        let json = render_json("2026-01-01", &Options::default(), &entries);
-        assert!(json.contains("\"schema\": \"adi-perf-report/v1\""));
+        let stats = vec![CircuitStats {
+            name: "irs208".into(),
+            compile_ns: 1000,
+            adi_compile_once_ns: 2000,
+            adi_per_call_ns: 3000,
+        }];
+        let json = render_json("2026-01-01", &Options::default(), &stats, &entries);
+        assert!(json.contains("\"schema\": \"adi-perf-report/v2\""));
         assert!(json.contains("\"engine\": \"stem-region\""));
         assert!(json.contains("\"wall_ns\": 12345"));
+        assert!(json.contains("\"compile_ns\": 1000"));
+        assert!(json.contains("\"adi_per_call_ns\": 3000"));
+        assert!(json.contains("\"min_speedup\": 1.500"));
         assert!(!json.contains(",\n  ]"), "no trailing comma");
     }
 }

@@ -10,14 +10,15 @@ use adi_bench::TextTable;
 use adi_circuits::embedded;
 use adi_core::dynamic::dynamic_order_traced;
 use adi_core::{AdiAnalysis, AdiConfig};
-use adi_netlist::fault::FaultList;
+use adi_netlist::CompiledCircuit;
 use adi_sim::PatternSet;
 
 fn main() {
-    let netlist = embedded::lion();
-    let faults = FaultList::collapsed(&netlist);
+    let circuit = CompiledCircuit::compile(embedded::lion());
+    let netlist = circuit.netlist();
+    let faults = circuit.collapsed_faults();
     let u = PatternSet::exhaustive(netlist.num_inputs());
-    let analysis = AdiAnalysis::compute(&netlist, &faults, &u, AdiConfig::default());
+    let analysis = AdiAnalysis::for_circuit(&circuit, faults, &u, AdiConfig::default());
 
     println!("Table 1: Input vectors of lion (stand-in)");
     println!(
@@ -55,7 +56,7 @@ fn main() {
         if d.len() <= 7 {
             println!(
                 "  f = {:<10}  D(f) = {{{}}}  ADI(f) = {}",
-                fault.describe(&netlist),
+                fault.describe(netlist),
                 d.join(", "),
                 analysis.adi(id)
             );
@@ -83,7 +84,7 @@ fn main() {
         println!(
             "  {}. select {:<10} ADI = {:<3} D(f) = {{{}}}  -> decrement ndet(u) for u in D(f)",
             i + 1,
-            fault.describe(&netlist),
+            fault.describe(netlist),
             adi,
             d.join(", ")
         );

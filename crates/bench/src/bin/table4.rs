@@ -7,9 +7,8 @@
 //! restrict with `--max-gates` if needed.
 
 use adi_bench::{HarnessOptions, TextTable};
-use adi_core::uset::select_u;
+use adi_core::uset::select_u_for;
 use adi_core::{AdiAnalysis, AdiConfig};
-use adi_netlist::fault::FaultList;
 
 fn main() {
     let mut options = HarnessOptions::from_args();
@@ -24,16 +23,15 @@ fn main() {
 
     for circuit in options.circuits() {
         eprintln!("[table4] {}", circuit.name);
-        let netlist = circuit.netlist();
-        let faults = FaultList::collapsed(&netlist);
+        let compiled = circuit.compiled();
         let mut ucfg = adi_core::USetConfig::default();
         if options.quick {
             ucfg.max_vectors = 1000;
         }
-        let selection = select_u(&netlist, &faults, ucfg);
-        let analysis = AdiAnalysis::compute(
-            &netlist,
-            &faults,
+        let selection = select_u_for(&compiled, compiled.collapsed_faults(), ucfg);
+        let analysis = AdiAnalysis::for_circuit(
+            &compiled,
+            compiled.collapsed_faults(),
             &selection.patterns,
             AdiConfig {
                 threads: options.threads,
@@ -44,7 +42,7 @@ fn main() {
         let p = circuit.paper;
         table.row(vec![
             circuit.name.to_string(),
-            netlist.num_inputs().to_string(),
+            compiled.netlist().num_inputs().to_string(),
             selection.len().to_string(),
             s.min.to_string(),
             s.max.to_string(),

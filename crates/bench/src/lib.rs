@@ -18,7 +18,7 @@
 use std::fmt::Write as _;
 
 use adi_circuits::{paper_suite, PaperCircuit};
-use adi_core::pipeline::{run_experiment, Experiment};
+use adi_core::pipeline::Experiment;
 use adi_core::{ExperimentConfig, FaultOrdering};
 use adi_sim::EngineKind;
 
@@ -140,14 +140,16 @@ fn usage(message: &str) -> ! {
 }
 
 /// Runs the default experiment for one suite circuit, printing progress
-/// to stderr.
+/// to stderr. The circuit is compiled once and every pipeline stage
+/// shares the compilation.
 pub fn run_circuit(circuit: &PaperCircuit, options: &HarnessOptions) -> Experiment {
     eprintln!(
         "[adi-bench] running {} ({} inputs, {} gates)...",
         circuit.name, circuit.inputs, circuit.gates
     );
-    let netlist = circuit.netlist();
-    run_experiment(&netlist, &options.experiment_config())
+    Experiment::on(&circuit.compiled())
+        .config(options.experiment_config())
+        .run()
 }
 
 /// A fixed-width plain-text table, printed like the paper's tables.

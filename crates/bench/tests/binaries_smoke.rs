@@ -61,9 +61,12 @@ fn perf_report_writes_json() {
     std::fs::create_dir_all(&dir).expect("temp dir");
     let out_path = dir.join("BENCH_smoke.json");
     let _ = std::fs::remove_file(&out_path);
+    // `--quick` exempts the ratio gate: debug-mode timings on a tiny
+    // circuit say nothing about the release-mode perf trajectory.
     let (ok, stdout) = run(
         env!("CARGO_BIN_EXE_perf_report"),
         &[
+            "--quick",
             "--max-gates",
             "150",
             "--patterns",
@@ -75,13 +78,45 @@ fn perf_report_writes_json() {
     assert!(ok);
     assert!(stdout.contains("speedup"));
     let json = std::fs::read_to_string(&out_path).expect("report written");
-    assert!(json.contains("\"schema\": \"adi-perf-report/v1\""));
+    assert!(json.contains("\"schema\": \"adi-perf-report/v2\""));
     assert!(json.contains("\"circuit\": \"irs208\""));
     assert!(json.contains("\"engine\": \"per-fault\""));
     assert!(json.contains("\"engine\": \"stem-region\""));
-    for phase in ["no-drop", "dropping", "adi"] {
+    for phase in ["no-drop", "dropping", "adi", "atpg", "drop-loop"] {
         assert!(json.contains(&format!("\"phase\": \"{phase}\"")), "{phase}");
     }
+    // v2: compile-once vs compile-per-call accounting per circuit.
+    assert!(json.contains("\"compile_ns\""));
+    assert!(json.contains("\"adi_compile_once_ns\""));
+    assert!(json.contains("\"adi_per_call_ns\""));
+    let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn perf_report_ratio_gate_fires() {
+    let dir = std::env::temp_dir().join("adi_perf_report_gate");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out_path = dir.join("BENCH_gate.json");
+    let _ = std::fs::remove_file(&out_path);
+    // An unreachable floor must fail the (non-quick) run with exit 1,
+    // after the JSON snapshot was still written.
+    let out = Command::new(env!("CARGO_BIN_EXE_perf_report"))
+        .args([
+            "--max-gates",
+            "150",
+            "--patterns",
+            "64",
+            "--min-speedup",
+            "1000000",
+            "--out",
+            out_path.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("below the"), "stderr: {stderr}");
+    assert!(out_path.exists(), "snapshot written before the gate fires");
     let _ = std::fs::remove_file(&out_path);
 }
 

@@ -102,6 +102,7 @@ pub fn all() -> Vec<Netlist> {
 mod tests {
     use super::*;
     use adi_netlist::fault::FaultList;
+    use adi_netlist::CompiledCircuit;
     use adi_sim::{FaultSimulator, PatternSet};
 
     #[test]
@@ -144,7 +145,7 @@ mod tests {
         let n = lion();
         let faults = FaultList::collapsed(&n);
         let u = PatternSet::exhaustive(4);
-        let matrix = FaultSimulator::new(&n, &faults).no_drop_matrix(&u);
+        let matrix = FaultSimulator::for_circuit(&CompiledCircuit::compile(n.clone()), &faults).no_drop_matrix(&u);
         let ndet = matrix.ndet_counts();
         let min = ndet.iter().min().unwrap();
         let max = ndet.iter().max().unwrap();
@@ -157,7 +158,7 @@ mod tests {
         for n in all() {
             let faults = FaultList::collapsed(&n);
             let u = PatternSet::exhaustive(n.num_inputs());
-            let drop = FaultSimulator::new(&n, &faults).with_dropping(&u);
+            let drop = FaultSimulator::for_circuit(&CompiledCircuit::compile(n.clone()), &faults).with_dropping(&u);
             assert!(
                 drop.coverage() > 0.95,
                 "{}: coverage {}",

@@ -1,17 +1,17 @@
 //! Slow, release-mode sanity check over the complete paper suite.
 
 use adi_circuits::paper_suite;
-use adi_netlist::fault::FaultList;
 use adi_sim::{FaultSimulator, PatternSet};
 
 #[test]
 #[ignore = "slow; run with --release -- --ignored"]
 fn full_suite_random_coverage() {
     for c in paper_suite() {
-        let n = c.netlist();
-        let faults = FaultList::collapsed(&n);
+        let compiled = c.compiled();
+        let n = compiled.netlist();
+        let faults = compiled.collapsed_faults();
         let u = PatternSet::random(n.num_inputs(), 10_000, 42);
-        let drop = FaultSimulator::new(&n, &faults).with_dropping(&u);
+        let drop = FaultSimulator::for_circuit(&compiled, faults).with_dropping(&u);
         println!(
             "{:<10} inputs={:<4} gates={:<5} faults={:<6} depth={:<3} cov={:.3}",
             c.name,

@@ -1,7 +1,7 @@
 //! Computation of the accidental detection index (Section 2 of the paper).
 
 use adi_netlist::fault::{FaultId, FaultList};
-use adi_netlist::Netlist;
+use adi_netlist::{CompiledCircuit, Netlist};
 use adi_sim::{DetectionMatrix, EngineKind, FaultSimulator, PatternSet};
 
 /// How `ADI(f)` is aggregated from the detection counts of the vectors in
@@ -17,7 +17,7 @@ pub enum AdiEstimator {
     MeanNdet,
 }
 
-/// Configuration for [`AdiAnalysis::compute`].
+/// Configuration for [`AdiAnalysis::for_circuit`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct AdiConfig {
     /// Aggregation over `D(f)`.
@@ -68,19 +68,21 @@ pub struct AdiAnalysis {
 }
 
 impl AdiAnalysis {
-    /// Simulates `faults` under `patterns` without dropping and computes
-    /// all indices.
+    /// Simulates `faults` under `patterns` without dropping over an
+    /// already-compiled circuit and computes all indices. This is the
+    /// primary entry point: all per-circuit artifacts come from the
+    /// compilation.
     ///
     /// # Panics
     ///
     /// Panics if the pattern width does not match the circuit.
-    pub fn compute(
-        netlist: &Netlist,
+    pub fn for_circuit(
+        circuit: &CompiledCircuit,
         faults: &FaultList,
         patterns: &PatternSet,
         config: AdiConfig,
     ) -> Self {
-        let sim = FaultSimulator::with_engine(netlist, faults, config.engine);
+        let sim = FaultSimulator::for_circuit_with_engine(circuit, faults, config.engine);
         let mut matrix = if config.threads > 1 {
             sim.no_drop_matrix_parallel(patterns, config.threads)
         } else {
@@ -90,6 +92,25 @@ impl AdiAnalysis {
             matrix = cap_matrix(&matrix, cap);
         }
         Self::from_matrix(matrix, config)
+    }
+
+    /// Simulates `faults` under `patterns` without dropping and computes
+    /// all indices, compiling a private copy of the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width does not match the circuit.
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile the netlist once (`CompiledCircuit::compile`) and use `AdiAnalysis::for_circuit`"
+    )]
+    pub fn compute(
+        netlist: &Netlist,
+        faults: &FaultList,
+        patterns: &PatternSet,
+        config: AdiConfig,
+    ) -> Self {
+        Self::for_circuit(&CompiledCircuit::compile(netlist.clone()), faults, patterns, config)
     }
 
     /// Builds the analysis from a precomputed detection matrix.
@@ -234,7 +255,7 @@ mod tests {
         let n = bench_format::parse(AND2, "and2").unwrap();
         let faults = FaultList::collapsed(&n);
         let u = PatternSet::exhaustive(2);
-        let adi = AdiAnalysis::compute(&n, &faults, &u, AdiConfig::default());
+        let adi = AdiAnalysis::for_circuit(&CompiledCircuit::compile(n.clone()), &faults, &u, AdiConfig::default());
         (n, faults, adi)
     }
 
@@ -269,7 +290,7 @@ mod tests {
         let n = bench_format::parse(src, "taut").unwrap();
         let faults = FaultList::full(&n);
         let u = PatternSet::exhaustive(1);
-        let adi = AdiAnalysis::compute(&n, &faults, &u, AdiConfig::default());
+        let adi = AdiAnalysis::for_circuit(&CompiledCircuit::compile(n.clone()), &faults, &u, AdiConfig::default());
         for f in faults.ids() {
             assert_eq!(adi.adi(f) == 0, !adi.detected(f), "fault {f}");
         }
@@ -294,9 +315,9 @@ mod tests {
         let n = bench_format::parse(AND2, "and2").unwrap();
         let faults = FaultList::collapsed(&n);
         let u = PatternSet::exhaustive(2);
-        let min = AdiAnalysis::compute(&n, &faults, &u, AdiConfig::default());
-        let mean = AdiAnalysis::compute(
-            &n,
+        let min = AdiAnalysis::for_circuit(&CompiledCircuit::compile(n.clone()), &faults, &u, AdiConfig::default());
+        let mean = AdiAnalysis::for_circuit(
+            &CompiledCircuit::compile(n.clone()),
             &faults,
             &u,
             AdiConfig {
@@ -316,9 +337,9 @@ mod tests {
         let n = bench_format::parse(AND2, "and2").unwrap();
         let faults = FaultList::collapsed(&n);
         let u = PatternSet::exhaustive(2);
-        let exact = AdiAnalysis::compute(&n, &faults, &u, AdiConfig::default());
-        let capped = AdiAnalysis::compute(
-            &n,
+        let exact = AdiAnalysis::for_circuit(&CompiledCircuit::compile(n.clone()), &faults, &u, AdiConfig::default());
+        let capped = AdiAnalysis::for_circuit(
+            &CompiledCircuit::compile(n.clone()),
             &faults,
             &u,
             AdiConfig {
@@ -340,8 +361,8 @@ mod tests {
     fn parallel_threads_match_serial() {
         let (n, faults, serial) = and2_analysis();
         let u = PatternSet::exhaustive(2);
-        let par = AdiAnalysis::compute(
-            &n,
+        let par = AdiAnalysis::for_circuit(
+            &CompiledCircuit::compile(n.clone()),
             &faults,
             &u,
             AdiConfig {
@@ -357,8 +378,8 @@ mod tests {
     fn per_fault_engine_matches_default() {
         let (n, faults, stem) = and2_analysis();
         let u = PatternSet::exhaustive(2);
-        let per_fault = AdiAnalysis::compute(
-            &n,
+        let per_fault = AdiAnalysis::for_circuit(
+            &CompiledCircuit::compile(n.clone()),
             &faults,
             &u,
             AdiConfig {

@@ -29,13 +29,14 @@ use crate::AdiAnalysis;
 ///
 /// ```
 /// use adi_core::{dynamic::dynamic_order, AdiAnalysis, AdiConfig};
-/// use adi_netlist::{bench_format, fault::FaultList};
+/// use adi_netlist::{bench_format, CompiledCircuit};
 /// use adi_sim::PatternSet;
 ///
 /// # fn main() -> Result<(), adi_netlist::NetlistError> {
 /// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
-/// let faults = FaultList::collapsed(&n);
-/// let adi = AdiAnalysis::compute(&n, &faults, &PatternSet::exhaustive(2), AdiConfig::default());
+/// let circuit = CompiledCircuit::compile(n);
+/// let faults = circuit.collapsed_faults().clone();
+/// let adi = AdiAnalysis::for_circuit(&circuit, &faults, &PatternSet::exhaustive(2), AdiConfig::default());
 /// let order = dynamic_order(&adi);
 /// assert_eq!(order.len(), faults.len()); // all faults detected here
 /// # Ok(())
@@ -156,7 +157,12 @@ G23 = NAND(G16, G19)
     fn c17_analysis() -> AdiAnalysis {
         let n = bench_format::parse(C17, "c17").unwrap();
         let faults = FaultList::collapsed(&n);
-        AdiAnalysis::compute(&n, &faults, &PatternSet::exhaustive(5), AdiConfig::default())
+        AdiAnalysis::for_circuit(
+            &adi_netlist::CompiledCircuit::compile(n.clone()),
+            &faults,
+            &PatternSet::exhaustive(5),
+            AdiConfig::default(),
+        )
     }
 
     /// Reference implementation: naive O(n^2) greedy selection.

@@ -15,9 +15,11 @@
 //! score, ties by original order.
 
 use adi_netlist::fault::{FaultId, FaultList, FaultSite};
-use adi_netlist::{FfrPartition, Netlist, NodeId};
+use adi_netlist::{CompiledCircuit, FfrPartition, Netlist, NodeId};
 
-/// Computes the COMPACTEST-style fault order.
+/// Computes the COMPACTEST-style fault order, recomputing the FFR
+/// decomposition from the bare netlist. Prefer
+/// [`ffr_independent_order_for`] when a compilation is at hand.
 ///
 /// # Examples
 ///
@@ -35,8 +37,19 @@ use adi_netlist::{FfrPartition, Netlist, NodeId};
 /// # }
 /// ```
 pub fn ffr_independent_order(netlist: &Netlist, faults: &FaultList) -> Vec<FaultId> {
-    let ffr = FfrPartition::compute(netlist);
+    with_partition(netlist, &FfrPartition::compute(netlist), faults)
+}
 
+/// [`ffr_independent_order`] over an already-compiled circuit, reusing
+/// the compilation's cached FFR decomposition.
+pub fn ffr_independent_order_for(
+    circuit: &CompiledCircuit,
+    faults: &FaultList,
+) -> Vec<FaultId> {
+    with_partition(circuit.netlist(), circuit.ffr(), faults)
+}
+
+fn with_partition(netlist: &Netlist, ffr: &FfrPartition, faults: &FaultList) -> Vec<FaultId> {
     // Leaf count per FFR root: members whose fanins all lie outside the
     // region (inputs of the region).
     let mut leaf_count = vec![0usize; netlist.num_nodes()];

@@ -29,14 +29,15 @@
 //!
 //! ```
 //! use adi_core::{AdiAnalysis, AdiConfig};
-//! use adi_netlist::{bench_format, fault::FaultList};
+//! use adi_netlist::{bench_format, CompiledCircuit};
 //! use adi_sim::PatternSet;
 //!
 //! # fn main() -> Result<(), adi_netlist::NetlistError> {
 //! let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
-//! let faults = FaultList::collapsed(&n);
+//! let circuit = CompiledCircuit::compile(n);
+//! let faults = circuit.collapsed_faults();
 //! let u = PatternSet::exhaustive(2);
-//! let adi = AdiAnalysis::compute(&n, &faults, &u, AdiConfig::default());
+//! let adi = AdiAnalysis::for_circuit(&circuit, faults, &u, AdiConfig::default());
 //! // Every collapsed fault of an irredundant circuit is detected by the
 //! // exhaustive set, so every ADI is at least 1.
 //! assert!(faults.ids().all(|f| adi.adi(f) >= 1));
@@ -58,5 +59,5 @@ pub mod uset;
 
 pub use adi::{AdiAnalysis, AdiConfig, AdiEstimator, AdiSummary};
 pub use order::{order_faults, FaultOrdering};
-pub use pipeline::{Experiment, ExperimentConfig, OrderingRun};
+pub use pipeline::{Experiment, ExperimentBuilder, ExperimentConfig, OrderingRun};
 pub use uset::{USelection, USetConfig};

@@ -91,13 +91,14 @@ impl fmt::Display for FaultOrdering {
 ///
 /// ```
 /// use adi_core::{order_faults, AdiAnalysis, AdiConfig, FaultOrdering};
-/// use adi_netlist::{bench_format, fault::FaultList};
+/// use adi_netlist::{bench_format, CompiledCircuit};
 /// use adi_sim::PatternSet;
 ///
 /// # fn main() -> Result<(), adi_netlist::NetlistError> {
 /// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
-/// let faults = FaultList::collapsed(&n);
-/// let adi = AdiAnalysis::compute(&n, &faults, &PatternSet::exhaustive(2), AdiConfig::default());
+/// let circuit = CompiledCircuit::compile(n);
+/// let faults = circuit.collapsed_faults().clone();
+/// let adi = AdiAnalysis::for_circuit(&circuit, &faults, &PatternSet::exhaustive(2), AdiConfig::default());
 /// let order = order_faults(&adi, FaultOrdering::Decr);
 /// // Decreasing ADI: the first fault has the maximal index.
 /// assert!(adi.adi(order[0]) >= adi.adi(order[order.len() - 1]));
@@ -171,7 +172,12 @@ mod tests {
         b.mark_output(y);
         let n = b.build().unwrap();
         let faults = FaultList::full(&n);
-        AdiAnalysis::compute(&n, &faults, &PatternSet::exhaustive(2), AdiConfig::default())
+        AdiAnalysis::for_circuit(
+            &adi_netlist::CompiledCircuit::compile(n.clone()),
+            &faults,
+            &PatternSet::exhaustive(2),
+            AdiConfig::default(),
+        )
     }
 
     fn assert_permutation(order: &[FaultId], n: usize) {

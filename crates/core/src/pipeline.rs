@@ -5,19 +5,27 @@
 //! wall-clock run times, coverage curves, and `AVE` values. The table and
 //! figure harnesses in `adi-bench` are thin formatters over the
 //! [`Experiment`] struct this module produces.
+//!
+//! The entry point is the builder: compile the circuit once
+//! ([`CompiledCircuit::compile`]) and run
+//! `Experiment::on(&circuit).config(cfg).run()`. Every stage — `U`
+//! selection, the no-drop simulation behind the ADI, each ordering's
+//! ATPG — shares that single compilation; the whole experiment performs
+//! exactly one levelization (asserted by the repository's
+//! compile-once counter test).
 
 use std::time::{Duration, Instant};
 
-use adi_netlist::fault::{FaultId, FaultList};
-use adi_netlist::Netlist;
+use adi_netlist::fault::FaultId;
+use adi_netlist::{CompiledCircuit, Netlist};
 use adi_sim::CoverageCurve;
 use adi_atpg::{TestGenConfig, TestGenResult, TestGenerator};
 
 use crate::metrics::average_detection_position;
-use crate::uset::{select_u, USetConfig};
+use crate::uset::{select_u_for, USetConfig};
 use crate::{order_faults, AdiAnalysis, AdiConfig, AdiSummary, FaultOrdering};
 
-/// Configuration for [`run_experiment`].
+/// Configuration for an [`Experiment`] run.
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
     /// Selection of the random vector set `U`.
@@ -100,6 +108,41 @@ pub struct Experiment {
 }
 
 impl Experiment {
+    /// Starts a builder for an experiment over an already-compiled
+    /// circuit. Every pipeline stage reuses the compilation's artifacts;
+    /// no further levelization, FFR decomposition, fault enumeration, or
+    /// SCOAP computation happens during the run.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adi_core::{Experiment, ExperimentConfig, FaultOrdering};
+    /// use adi_netlist::{bench_format, CompiledCircuit};
+    ///
+    /// # fn main() -> Result<(), adi_netlist::NetlistError> {
+    /// let n = bench_format::parse(
+    ///     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n", "nand2")?;
+    /// let circuit = CompiledCircuit::compile(n);
+    /// let exp = Experiment::on(&circuit).run();
+    /// assert_eq!(exp.runs.len(), 4);
+    /// let orig = exp.run_for(FaultOrdering::Original).unwrap();
+    /// assert!(orig.result.coverage() > 0.99);
+    ///
+    /// // The same compilation serves any number of scenario runs.
+    /// let decr = Experiment::on(&circuit)
+    ///     .orderings(vec![FaultOrdering::Decr])
+    ///     .run();
+    /// assert_eq!(decr.runs.len(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn on(circuit: &CompiledCircuit) -> ExperimentBuilder<'_> {
+        ExperimentBuilder {
+            circuit,
+            config: ExperimentConfig::default(),
+        }
+    }
+
     /// The run for `ordering`, if it was requested.
     pub fn run_for(&self, ordering: FaultOrdering) -> Option<&OrderingRun> {
         self.runs.iter().find(|r| r.ordering == ordering)
@@ -131,11 +174,117 @@ impl Experiment {
     }
 }
 
-/// Runs the full paper pipeline on one circuit.
+/// Builder for an [`Experiment`] over one compiled circuit; created by
+/// [`Experiment::on`].
+///
+/// Defaults to [`ExperimentConfig::default`] (the paper's main
+/// experiment); override wholesale with
+/// [`config`](ExperimentBuilder::config) or per-knob with the granular
+/// setters, then call [`run`](ExperimentBuilder::run).
+#[derive(Clone, Debug)]
+pub struct ExperimentBuilder<'a> {
+    circuit: &'a CompiledCircuit,
+    config: ExperimentConfig,
+}
+
+impl<'a> ExperimentBuilder<'a> {
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: ExperimentConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the `U`-selection options.
+    pub fn uset(mut self, uset: USetConfig) -> Self {
+        self.config.uset = uset;
+        self
+    }
+
+    /// Sets the ADI computation options.
+    pub fn adi(mut self, adi: AdiConfig) -> Self {
+        self.config.adi = adi;
+        self
+    }
+
+    /// Sets the ATPG options.
+    pub fn testgen(mut self, testgen: TestGenConfig) -> Self {
+        self.config.testgen = testgen;
+        self
+    }
+
+    /// Sets the fault orders to run ATPG with.
+    pub fn orderings(mut self, orderings: Vec<FaultOrdering>) -> Self {
+        self.config.orderings = orderings;
+        self
+    }
+
+    /// Chooses between the collapsed fault list (`true`, the default)
+    /// and the full fault universe.
+    pub fn collapse_faults(mut self, collapse: bool) -> Self {
+        self.config.collapse_faults = collapse;
+        self
+    }
+
+    /// Runs the full paper pipeline: select `U`, compute the ADI, build
+    /// each requested order, and run ATPG per order — all on the shared
+    /// compilation (the fault list itself comes from the compilation's
+    /// cache).
+    pub fn run(self) -> Experiment {
+        let ExperimentBuilder { circuit, config } = self;
+        let netlist = circuit.netlist();
+        let faults = if config.collapse_faults {
+            circuit.collapsed_faults()
+        } else {
+            circuit.full_faults()
+        };
+
+        let adi_start = Instant::now();
+        let selection = select_u_for(circuit, faults, config.uset);
+        let analysis = AdiAnalysis::for_circuit(circuit, faults, &selection.patterns, config.adi);
+        let adi_time = adi_start.elapsed();
+
+        let generator = TestGenerator::for_circuit(circuit, faults, config.testgen);
+        let mut runs = Vec::with_capacity(config.orderings.len());
+        for &ordering in &config.orderings {
+            let t0 = Instant::now();
+            let order = order_faults(&analysis, ordering);
+            let ordering_time = t0.elapsed();
+            let t1 = Instant::now();
+            let result = generator.run(&order);
+            let testgen_time = t1.elapsed();
+            let curve = result.coverage_curve();
+            let ave = average_detection_position(&curve);
+            runs.push(OrderingRun {
+                ordering,
+                order,
+                result,
+                curve,
+                ave,
+                testgen_time,
+                ordering_time,
+            });
+        }
+
+        Experiment {
+            circuit: netlist.name().to_string(),
+            num_inputs: netlist.num_inputs(),
+            num_faults: faults.len(),
+            u_size: selection.len(),
+            u_coverage: selection.coverage,
+            adi_summary: analysis.summary(),
+            adi_time,
+            runs,
+        }
+    }
+}
+
+/// Runs the full paper pipeline on one circuit, compiling a private copy
+/// of the netlist.
 ///
 /// # Examples
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use adi_core::{pipeline::run_experiment, ExperimentConfig, FaultOrdering};
 /// use adi_netlist::bench_format;
 ///
@@ -149,50 +298,14 @@ impl Experiment {
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "compile the netlist once (`CompiledCircuit::compile`) and use the `Experiment::on(&circuit)` builder"
+)]
 pub fn run_experiment(netlist: &Netlist, config: &ExperimentConfig) -> Experiment {
-    let faults = if config.collapse_faults {
-        FaultList::collapsed(netlist)
-    } else {
-        FaultList::full(netlist)
-    };
-
-    let adi_start = Instant::now();
-    let selection = select_u(netlist, &faults, config.uset);
-    let analysis = AdiAnalysis::compute(netlist, &faults, &selection.patterns, config.adi);
-    let adi_time = adi_start.elapsed();
-
-    let generator = TestGenerator::new(netlist, &faults, config.testgen);
-    let mut runs = Vec::with_capacity(config.orderings.len());
-    for &ordering in &config.orderings {
-        let t0 = Instant::now();
-        let order = order_faults(&analysis, ordering);
-        let ordering_time = t0.elapsed();
-        let t1 = Instant::now();
-        let result = generator.run(&order);
-        let testgen_time = t1.elapsed();
-        let curve = result.coverage_curve();
-        let ave = average_detection_position(&curve);
-        runs.push(OrderingRun {
-            ordering,
-            order,
-            result,
-            curve,
-            ave,
-            testgen_time,
-            ordering_time,
-        });
-    }
-
-    Experiment {
-        circuit: netlist.name().to_string(),
-        num_inputs: netlist.num_inputs(),
-        num_faults: faults.len(),
-        u_size: selection.len(),
-        u_coverage: selection.coverage,
-        adi_summary: analysis.summary(),
-        adi_time,
-        runs,
-    }
+    Experiment::on(&CompiledCircuit::compile(netlist.clone()))
+        .config(config.clone())
+        .run()
 }
 
 #[cfg(test)]
@@ -218,7 +331,7 @@ G23 = NAND(G16, G19)
 
     fn experiment() -> Experiment {
         let n = bench_format::parse(C17, "c17").unwrap();
-        run_experiment(&n, &ExperimentConfig::default())
+        Experiment::on(&CompiledCircuit::compile(n)).run()
     }
 
     #[test]
@@ -283,13 +396,50 @@ G23 = NAND(G16, G19)
     #[test]
     fn full_fault_universe_option() {
         let n = bench_format::parse(C17, "c17").unwrap();
+        let circuit = CompiledCircuit::compile(n);
+        let e = Experiment::on(&circuit)
+            .collapse_faults(false)
+            .orderings(vec![FaultOrdering::Original])
+            .run();
+        assert!(e.num_faults > circuit.collapsed_faults().len());
+    }
+
+    #[test]
+    fn builder_setters_match_config() {
+        let n = bench_format::parse(C17, "c17").unwrap();
+        let circuit = CompiledCircuit::compile(n);
         let cfg = ExperimentConfig {
-            collapse_faults: false,
-            orderings: vec![FaultOrdering::Original],
+            orderings: vec![FaultOrdering::Original, FaultOrdering::Decr],
             ..ExperimentConfig::default()
         };
-        let e = run_experiment(&n, &cfg);
-        let collapsed = FaultList::collapsed(&n).len();
-        assert!(e.num_faults > collapsed);
+        let via_config = Experiment::on(&circuit).config(cfg.clone()).run();
+        let via_setters = Experiment::on(&circuit)
+            .uset(cfg.uset)
+            .adi(cfg.adi)
+            .testgen(cfg.testgen)
+            .orderings(cfg.orderings.clone())
+            .collapse_faults(cfg.collapse_faults)
+            .run();
+        assert_eq!(via_config.num_faults, via_setters.num_faults);
+        assert_eq!(via_config.u_size, via_setters.u_size);
+        for (a, b) in via_config.runs.iter().zip(&via_setters.runs) {
+            assert_eq!(a.ordering, b.ordering);
+            assert_eq!(a.order, b.order);
+            assert_eq!(a.result.tests, b.result.tests);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_experiment_matches_builder() {
+        let n = bench_format::parse(C17, "c17").unwrap();
+        let legacy = run_experiment(&n, &ExperimentConfig::default());
+        let compiled = Experiment::on(&CompiledCircuit::compile(n)).run();
+        assert_eq!(legacy.num_faults, compiled.num_faults);
+        assert_eq!(legacy.u_size, compiled.u_size);
+        for (a, b) in legacy.runs.iter().zip(&compiled.runs) {
+            assert_eq!(a.order, b.order);
+            assert_eq!(a.result.tests, b.result.tests);
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! original position), using the full no-drop detection matrix.
 
 use adi_netlist::fault::{FaultId, FaultList};
-use adi_netlist::Netlist;
+use adi_netlist::{CompiledCircuit, Netlist};
 use adi_sim::{CoverageCurve, FaultSimulator, PatternSet};
 
 /// The result of reordering a test set.
@@ -25,18 +25,33 @@ pub struct ReorderResult {
     pub curve: CoverageCurve,
 }
 
-/// Greedily reorders `tests` for the steepest coverage curve.
+/// Greedily reorders `tests` for the steepest coverage curve,
+/// compiling a private copy of the netlist.
+#[deprecated(
+    since = "0.2.0",
+    note = "compile the netlist once (`CompiledCircuit::compile`) and use `reorder_tests_for`"
+)]
+pub fn reorder_tests(
+    netlist: &Netlist,
+    faults: &FaultList,
+    tests: &PatternSet,
+) -> ReorderResult {
+    reorder_tests_for(&CompiledCircuit::compile(netlist.clone()), faults, tests)
+}
+
+/// Greedily reorders `tests` for the steepest coverage curve over an
+/// already-compiled circuit.
 ///
 /// # Examples
 ///
 /// ```
-/// use adi_core::reorder::reorder_tests;
-/// use adi_netlist::{bench_format, fault::FaultList};
+/// use adi_core::reorder::reorder_tests_for;
+/// use adi_netlist::{bench_format, CompiledCircuit};
 /// use adi_sim::{Pattern, PatternSet};
 ///
 /// # fn main() -> Result<(), adi_netlist::NetlistError> {
 /// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
-/// let faults = FaultList::collapsed(&n);
+/// let circuit = CompiledCircuit::compile(n);
 /// // The all-ones vector detects only one fault class; (0,1)/(1,0) detect
 /// // two each. Reordering moves one of them first.
 /// let tests = PatternSet::from_patterns(2, &[
@@ -45,17 +60,17 @@ pub struct ReorderResult {
 ///     Pattern::from_value(2, 2),
 ///     Pattern::from_value(2, 0),
 /// ]);
-/// let r = reorder_tests(&n, &faults, &tests);
+/// let r = reorder_tests_for(&circuit, circuit.collapsed_faults(), &tests);
 /// assert_ne!(r.permutation[0], 0);
 /// # Ok(())
 /// # }
 /// ```
-pub fn reorder_tests(
-    netlist: &Netlist,
+pub fn reorder_tests_for(
+    circuit: &CompiledCircuit,
     faults: &FaultList,
     tests: &PatternSet,
 ) -> ReorderResult {
-    let sim = FaultSimulator::new(netlist, faults);
+    let sim = FaultSimulator::for_circuit(circuit, faults);
     let matrix = sim.no_drop_matrix(tests);
     let n_tests = tests.len();
     let n_faults = faults.len();
@@ -111,38 +126,53 @@ pub fn reorder_tests(
 /// detections and frequently exposes early tests as unnecessary.
 ///
 /// Returns the indices of the retained tests in original order. Total
-/// coverage is preserved exactly.
+/// coverage is preserved exactly. Compiles a private copy of the
+/// netlist.
+#[deprecated(
+    since = "0.2.0",
+    note = "compile the netlist once (`CompiledCircuit::compile`) and use `reverse_order_compaction_for`"
+)]
+pub fn reverse_order_compaction(
+    netlist: &Netlist,
+    faults: &FaultList,
+    tests: &PatternSet,
+) -> Vec<usize> {
+    reverse_order_compaction_for(&CompiledCircuit::compile(netlist.clone()), faults, tests)
+}
+
+/// Reverse-order static compaction over an already-compiled circuit;
+/// see [`reverse_order_compaction`] for the algorithm.
 ///
 /// # Examples
 ///
 /// ```
-/// use adi_core::reorder::reverse_order_compaction;
-/// use adi_netlist::{bench_format, fault::FaultList};
+/// use adi_core::reorder::reverse_order_compaction_for;
+/// use adi_netlist::{bench_format, CompiledCircuit};
 /// use adi_sim::{Pattern, PatternSet};
 ///
 /// # fn main() -> Result<(), adi_netlist::NetlistError> {
 /// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
-/// let faults = FaultList::collapsed(&n);
+/// let circuit = CompiledCircuit::compile(n);
 /// // A duplicated test is always removable.
 /// let tests = PatternSet::from_patterns(2, &[
 ///     Pattern::from_value(2, 1),
 ///     Pattern::from_value(2, 1),
 ///     Pattern::from_value(2, 3),
 /// ]);
-/// let kept = reverse_order_compaction(&n, &faults, &tests);
+/// let kept = reverse_order_compaction_for(&circuit, circuit.collapsed_faults(), &tests);
 /// assert!(kept.len() < 3);
 /// # Ok(())
 /// # }
 /// ```
-pub fn reverse_order_compaction(
-    netlist: &Netlist,
+pub fn reverse_order_compaction_for(
+    circuit: &CompiledCircuit,
     faults: &FaultList,
     tests: &PatternSet,
 ) -> Vec<usize> {
     use adi_sim::faultsim::SimScratch;
 
-    let sim = FaultSimulator::new(netlist, faults);
-    let mut scratch = SimScratch::new(netlist);
+    let sim = FaultSimulator::for_circuit(circuit, faults);
+    let mut scratch = SimScratch::for_circuit(circuit);
     let mut active: Vec<FaultId> = faults.ids().collect();
     let mut kept = Vec::new();
     for t in (0..tests.len()).rev() {
@@ -187,7 +217,7 @@ G23 = NAND(G16, G19)
         let n = bench_format::parse(C17, "c17").unwrap();
         let faults = FaultList::collapsed(&n);
         let tests = PatternSet::random(5, 20, 3);
-        let r = reorder_tests(&n, &faults, &tests);
+        let r = reorder_tests_for(&CompiledCircuit::compile(n.clone()), &faults, &tests);
         let mut sorted = r.permutation.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..20).collect::<Vec<_>>());
@@ -198,13 +228,13 @@ G23 = NAND(G16, G19)
         let n = bench_format::parse(C17, "c17").unwrap();
         let faults = FaultList::collapsed(&n);
         let tests = PatternSet::random(5, 30, 17);
-        let sim = FaultSimulator::new(&n, &faults);
+        let sim = FaultSimulator::for_circuit(&CompiledCircuit::compile(n.clone()), &faults);
         let original = CoverageCurve::from_first_detection(
             &sim.with_dropping(&tests).first_detection,
             tests.len(),
             faults.len(),
         );
-        let reordered = reorder_tests(&n, &faults, &tests);
+        let reordered = reorder_tests_for(&CompiledCircuit::compile(n.clone()), &faults, &tests);
         assert!(
             average_detection_position(&reordered.curve)
                 <= average_detection_position(&original) + 1e-12
@@ -230,7 +260,7 @@ G23 = NAND(G16, G19)
             2,
             &[Pattern::from_value(2, 3), Pattern::from_value(2, 1)],
         );
-        let r = reorder_tests(&n, &faults, &tests);
+        let r = reorder_tests_for(&CompiledCircuit::compile(n.clone()), &faults, &tests);
         assert_eq!(r.permutation, vec![1, 0]);
         assert_eq!(r.curve.cumulative(1), 2);
     }
@@ -240,9 +270,9 @@ G23 = NAND(G16, G19)
         let n = bench_format::parse(C17, "c17").unwrap();
         let faults = FaultList::collapsed(&n);
         let tests = PatternSet::random(5, 40, 21);
-        let sim = FaultSimulator::new(&n, &faults);
+        let sim = FaultSimulator::for_circuit(&CompiledCircuit::compile(n.clone()), &faults);
         let before = sim.with_dropping(&tests).num_detected();
-        let kept = reverse_order_compaction(&n, &faults, &tests);
+        let kept = reverse_order_compaction_for(&CompiledCircuit::compile(n.clone()), &faults, &tests);
         let compacted = tests.subset(&kept);
         let after = sim.with_dropping(&compacted).num_detected();
         assert_eq!(before, after);
@@ -271,7 +301,7 @@ G23 = NAND(G16, G19)
                 Pattern::from_value(2, 2),
             ],
         );
-        let kept = reverse_order_compaction(&n, &faults, &tests);
+        let kept = reverse_order_compaction_for(&CompiledCircuit::compile(n.clone()), &faults, &tests);
         assert_eq!(kept.len(), 3);
         assert!(!kept.contains(&0), "the duplicate first test must go");
     }
@@ -289,7 +319,7 @@ G23 = NAND(G16, G19)
             2,
             &[Pattern::from_value(2, 1), Pattern::from_value(2, 1)],
         );
-        let r = reorder_tests(&n, &faults, &tests);
+        let r = reorder_tests_for(&CompiledCircuit::compile(n.clone()), &faults, &tests);
         assert_eq!(r.permutation, vec![0, 1]);
     }
 }

@@ -7,10 +7,10 @@
 //! dropping simulation can be removed as a further speed-up.
 
 use adi_netlist::fault::FaultList;
-use adi_netlist::Netlist;
+use adi_netlist::{CompiledCircuit, Netlist};
 use adi_sim::{FaultSimulator, PatternSet};
 
-/// Configuration for [`select_u`].
+/// Configuration for [`select_u_for`].
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct USetConfig {
     /// Size of the initial random vector pool (paper: 10,000).
@@ -41,7 +41,7 @@ impl Default for USetConfig {
     }
 }
 
-/// The outcome of [`select_u`].
+/// The outcome of [`select_u_for`].
 #[derive(Clone, PartialEq, Debug)]
 pub struct USelection {
     /// The selected vector set `U`.
@@ -65,26 +65,33 @@ impl USelection {
     }
 }
 
-/// Selects the vector set `U` for `netlist`/`faults` per the paper's
-/// Section 4 procedure.
+/// Selects the vector set `U` for a compiled circuit per the paper's
+/// Section 4 procedure. This is the primary entry point: the dropping
+/// fault simulation behind the selection runs on the compilation's
+/// shared artifacts.
 ///
 /// # Examples
 ///
 /// ```
-/// use adi_core::uset::{select_u, USetConfig};
-/// use adi_netlist::{bench_format, fault::FaultList};
+/// use adi_core::uset::{select_u_for, USetConfig};
+/// use adi_netlist::{bench_format, CompiledCircuit};
 ///
 /// # fn main() -> Result<(), adi_netlist::NetlistError> {
 /// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
-/// let faults = FaultList::collapsed(&n);
-/// let sel = select_u(&n, &faults, USetConfig::default());
+/// let circuit = CompiledCircuit::compile(n);
+/// let sel = select_u_for(&circuit, circuit.collapsed_faults(), USetConfig::default());
 /// assert!(sel.exhaustive); // 2 inputs <= default threshold of 6
 /// assert_eq!(sel.len(), 4);
 /// # Ok(())
 /// # }
 /// ```
-pub fn select_u(netlist: &Netlist, faults: &FaultList, config: USetConfig) -> USelection {
-    let sim = FaultSimulator::new(netlist, faults);
+pub fn select_u_for(
+    circuit: &CompiledCircuit,
+    faults: &FaultList,
+    config: USetConfig,
+) -> USelection {
+    let netlist = circuit.netlist();
+    let sim = FaultSimulator::for_circuit(circuit, faults);
 
     if netlist.num_inputs() <= config.exhaustive_threshold {
         let patterns = PatternSet::exhaustive(netlist.num_inputs());
@@ -132,6 +139,16 @@ pub fn select_u(netlist: &Netlist, faults: &FaultList, config: USetConfig) -> US
     }
 }
 
+/// Selects the vector set `U` for `netlist`/`faults` per the paper's
+/// Section 4 procedure, compiling a private copy of the netlist.
+#[deprecated(
+    since = "0.2.0",
+    note = "compile the netlist once (`CompiledCircuit::compile`) and use `select_u_for`"
+)]
+pub fn select_u(netlist: &Netlist, faults: &FaultList, config: USetConfig) -> USelection {
+    select_u_for(&CompiledCircuit::compile(netlist.clone()), faults, config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,7 +179,7 @@ mod tests {
     fn exhaustive_below_threshold() {
         let n = bench_format::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "inv").unwrap();
         let faults = FaultList::collapsed(&n);
-        let sel = select_u(&n, &faults, USetConfig::default());
+        let sel = select_u_for(&CompiledCircuit::compile(n.clone()), &faults, USetConfig::default());
         assert!(sel.exhaustive);
         assert_eq!(sel.len(), 2);
         assert!((sel.coverage - 1.0).abs() < 1e-12);
@@ -178,13 +195,13 @@ mod tests {
             exhaustive_threshold: 0,
             ..USetConfig::default()
         };
-        let sel = select_u(&n, &faults, cfg);
+        let sel = select_u_for(&CompiledCircuit::compile(n.clone()), &faults, cfg);
         assert!(!sel.exhaustive);
         assert!(sel.coverage >= 0.5, "coverage {}", sel.coverage);
         assert!(sel.len() <= 2000);
         // Demanding higher coverage never shrinks U.
-        let sel90 = select_u(
-            &n,
+        let sel90 = select_u_for(
+            &CompiledCircuit::compile(n.clone()),
             &faults,
             USetConfig {
                 target_coverage: 0.9,
@@ -204,9 +221,9 @@ mod tests {
             exhaustive_threshold: 0,
             ..USetConfig::default()
         };
-        let plain = select_u(&n, &faults, base);
-        let stripped = select_u(
-            &n,
+        let plain = select_u_for(&CompiledCircuit::compile(n.clone()), &faults, base);
+        let stripped = select_u_for(
+            &CompiledCircuit::compile(n.clone()),
             &faults,
             USetConfig {
                 strip_useless: true,
@@ -228,8 +245,8 @@ mod tests {
             max_vectors: 300,
             ..USetConfig::default()
         };
-        let a = select_u(&n, &faults, cfg);
-        let b = select_u(&n, &faults, cfg);
+        let a = select_u_for(&CompiledCircuit::compile(n.clone()), &faults, cfg);
+        let b = select_u_for(&CompiledCircuit::compile(n.clone()), &faults, cfg);
         assert_eq!(a, b);
     }
 
@@ -238,8 +255,8 @@ mod tests {
         // Target 100% but pool tiny: keep the whole pool.
         let n = medium_circuit();
         let faults = FaultList::collapsed(&n);
-        let sel = select_u(
-            &n,
+        let sel = select_u_for(
+            &CompiledCircuit::compile(n.clone()),
             &faults,
             USetConfig {
                 max_vectors: 8,

@@ -1,0 +1,223 @@
+//! A compiled circuit: every per-circuit analysis artifact, built once.
+//!
+//! Each stage of the ADI pipeline (select `U` → no-drop simulation → ADI →
+//! ordered ATPG) consumes the same derived data: the levelized CSR view,
+//! the fanout-free-region decomposition, the stuck-at fault lists, and
+//! the SCOAP testability measures. Historically every entry point
+//! re-derived what it needed from a bare [`Netlist`], so a single
+//! experiment paid the O(E) setups five or more times.
+//!
+//! [`CompiledCircuit`] is the fix: an immutable, cheaply-clonable
+//! (`Arc`-backed) compilation of a netlist that owns those artifacts and
+//! hands out references. Compile once, then thread the compiled circuit
+//! through every simulator, analysis, and generator — clones are
+//! reference-count bumps, so sessions, threads, and long-lived services
+//! can all share one compilation.
+//!
+//! The eager part of a compilation is the [`LevelizedCsr`] view and the
+//! [`FfrPartition`] (both consumed by every fault simulation). The fault
+//! lists and the SCOAP measures are lazily initialized behind
+//! [`OnceLock`]s on first use and shared from then on.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::fault::FaultList;
+use crate::{FfrPartition, LevelizedCsr, Netlist, Scoap};
+
+/// An immutable, shareable compilation of a [`Netlist`] and its derived
+/// analysis artifacts.
+///
+/// Cloning is cheap (an `Arc` bump); all accessors return references
+/// into the shared compilation.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::{bench_format, CompiledCircuit};
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
+/// let compiled = CompiledCircuit::compile(n);
+///
+/// // The artifacts are built once and shared by every clone.
+/// let view = compiled.view();
+/// assert_eq!(view.num_nodes(), compiled.netlist().num_nodes());
+/// let faults = compiled.collapsed_faults();
+/// assert!(faults.len() > 0);
+/// let scoap = compiled.scoap();
+/// let y = compiled.netlist().find_node("y").unwrap();
+/// assert_eq!(scoap.co(y), 0); // primary output
+///
+/// let clone = compiled.clone(); // Arc bump, no recompilation
+/// assert!(std::ptr::eq(clone.view(), compiled.view()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompiledCircuit {
+    inner: Arc<Compilation>,
+}
+
+#[derive(Debug)]
+struct Compilation {
+    netlist: Netlist,
+    view: LevelizedCsr,
+    ffr: FfrPartition,
+    collapsed: OnceLock<FaultList>,
+    full: OnceLock<FaultList>,
+    scoap: OnceLock<Scoap>,
+}
+
+impl CompiledCircuit {
+    /// Compiles `netlist`: builds the levelized CSR view and the FFR
+    /// decomposition eagerly; fault lists and SCOAP measures are
+    /// initialized lazily on first access.
+    ///
+    /// This is the only place a compiled pipeline runs
+    /// [`LevelizedCsr::build`]; [`LevelizedCsr::build_count`] can verify
+    /// that.
+    pub fn compile(netlist: Netlist) -> Self {
+        let view = LevelizedCsr::build(&netlist);
+        let ffr = FfrPartition::compute(&netlist);
+        CompiledCircuit {
+            inner: Arc::new(Compilation {
+                netlist,
+                view,
+                ffr,
+                collapsed: OnceLock::new(),
+                full: OnceLock::new(),
+                scoap: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// The compiled netlist.
+    #[inline]
+    pub fn netlist(&self) -> &Netlist {
+        &self.inner.netlist
+    }
+
+    /// The levelized, position-indexed CSR view (with output-reachability
+    /// masks) every simulation hot path runs on.
+    #[inline]
+    pub fn view(&self) -> &LevelizedCsr {
+        &self.inner.view
+    }
+
+    /// The fanout-free-region decomposition consumed by the stem-region
+    /// fault-simulation engine and the FFR ordering baseline.
+    #[inline]
+    pub fn ffr(&self) -> &FfrPartition {
+        &self.inner.ffr
+    }
+
+    /// The structurally collapsed stuck-at fault list (built on first
+    /// access, then shared).
+    pub fn collapsed_faults(&self) -> &FaultList {
+        self.inner
+            .collapsed
+            .get_or_init(|| FaultList::collapsed(&self.inner.netlist))
+    }
+
+    /// The full (uncollapsed) stuck-at fault universe (built on first
+    /// access, then shared).
+    pub fn full_faults(&self) -> &FaultList {
+        self.inner
+            .full
+            .get_or_init(|| FaultList::full(&self.inner.netlist))
+    }
+
+    /// The SCOAP controllability/observability measures guiding PODEM
+    /// (built on first access, then shared).
+    pub fn scoap(&self) -> &Scoap {
+        self.inner
+            .scoap
+            .get_or_init(|| Scoap::compute(&self.inner.netlist))
+    }
+
+    /// Returns `true` if `other` shares this compilation (clone of the
+    /// same `compile` call).
+    pub fn same_compilation(&self, other: &CompiledCircuit) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl From<Netlist> for CompiledCircuit {
+    fn from(netlist: Netlist) -> Self {
+        CompiledCircuit::compile(netlist)
+    }
+}
+
+impl From<&Netlist> for CompiledCircuit {
+    /// Compiles a clone of the borrowed netlist. Prefer
+    /// [`CompiledCircuit::compile`] with an owned netlist when possible.
+    fn from(netlist: &Netlist) -> Self {
+        CompiledCircuit::compile(netlist.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format;
+
+    const MUX: &str = "
+INPUT(a)
+INPUT(s)
+INPUT(b)
+OUTPUT(y)
+ns = NOT(s)
+t0 = AND(a, ns)
+t1 = AND(b, s)
+y = OR(t0, t1)
+";
+
+    fn compiled() -> CompiledCircuit {
+        CompiledCircuit::compile(bench_format::parse(MUX, "mux").unwrap())
+    }
+
+    #[test]
+    fn artifacts_match_per_call_builds() {
+        let c = compiled();
+        let n = c.netlist().clone();
+        assert_eq!(c.view(), &LevelizedCsr::build(&n));
+        assert_eq!(c.ffr(), &FfrPartition::compute(&n));
+        assert_eq!(c.collapsed_faults(), &FaultList::collapsed(&n));
+        assert_eq!(c.full_faults(), &FaultList::full(&n));
+        assert_eq!(c.scoap(), &Scoap::compute(&n));
+    }
+
+    #[test]
+    fn clones_share_the_compilation() {
+        let c = compiled();
+        let d = c.clone();
+        assert!(c.same_compilation(&d));
+        assert!(std::ptr::eq(c.view(), d.view()));
+        // Lazy artifacts are initialized once and shared by all clones.
+        assert!(std::ptr::eq(c.collapsed_faults(), d.collapsed_faults()));
+        assert!(std::ptr::eq(c.scoap(), d.scoap()));
+        // Two separate compilations are distinct.
+        let e = compiled();
+        assert!(!c.same_compilation(&e));
+    }
+
+    #[test]
+    fn compile_levelizes_exactly_once() {
+        let netlist = bench_format::parse(MUX, "mux").unwrap();
+        // Other tests build views concurrently, so assert only on the
+        // lazy accessors: none of them may trigger further builds.
+        let c = CompiledCircuit::compile(netlist);
+        let before = LevelizedCsr::build_count();
+        let _ = (c.view(), c.ffr(), c.collapsed_faults(), c.full_faults(), c.scoap());
+        let _ = c.clone();
+        assert_eq!(LevelizedCsr::build_count(), before);
+    }
+
+    #[test]
+    fn from_conversions() {
+        let netlist = bench_format::parse(MUX, "mux").unwrap();
+        let by_ref = CompiledCircuit::from(&netlist);
+        let by_value: CompiledCircuit = netlist.into();
+        assert_eq!(by_ref.view(), by_value.view());
+    }
+}

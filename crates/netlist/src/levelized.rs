@@ -21,7 +21,14 @@
 //! The view is derived data: it borrows nothing and can be built once and
 //! reused for any number of simulations of the same netlist.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::{GateKind, Netlist, NodeId};
+
+/// Process-wide count of [`LevelizedCsr::build`] invocations, exposed via
+/// [`LevelizedCsr::build_count`] so tests can assert that a compiled
+/// pipeline performs exactly one levelization.
+static BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// A flattened, levelized, position-indexed CSR encoding of a [`Netlist`].
 ///
@@ -80,6 +87,7 @@ pub struct LevelizedCsr {
 impl LevelizedCsr {
     /// Builds the levelized view of `netlist`.
     pub fn build(netlist: &Netlist) -> Self {
+        BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
         let n = netlist.num_nodes();
         let n_levels = netlist.max_level() as usize + 1;
 
@@ -155,6 +163,19 @@ impl LevelizedCsr {
             outputs,
             out_mask,
         }
+    }
+
+    /// Process-wide number of [`LevelizedCsr::build`] calls so far.
+    ///
+    /// The levelization is the single O(E) setup every analysis in the
+    /// workspace runs on; a compiled pipeline
+    /// ([`CompiledCircuit`](crate::CompiledCircuit)) is expected to pay it
+    /// exactly once per circuit. Tests assert that by sampling this
+    /// counter before and after a run. The count is monotonically
+    /// increasing and shared by every thread of the process, so delta
+    /// assertions are only meaningful while no concurrent builds happen.
+    pub fn build_count() -> u64 {
+        BUILD_COUNT.load(Ordering::Relaxed)
     }
 
     /// Total number of nodes (= positions).

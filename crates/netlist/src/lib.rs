@@ -7,7 +7,12 @@
 //! single stuck-at fault model with structural equivalence collapsing
 //! ([`fault`]). For simulation hot paths it additionally offers
 //! [`LevelizedCsr`], a flattened position-indexed view of the graph in
-//! topological level order with per-node output-reachability masks.
+//! topological level order with per-node output-reachability masks, the
+//! SCOAP testability measures ([`Scoap`]), and — the recommended entry
+//! point for whole pipelines — [`CompiledCircuit`], an `Arc`-backed
+//! bundle of every derived artifact (levelized view, FFR partition,
+//! fault lists, SCOAP) built once and threaded through all of
+//! `adi-sim`, `adi-atpg`, and `adi-core`.
 //!
 //! Full-scan sequential circuits are handled by treating flip-flop outputs as
 //! pseudo primary inputs and flip-flop inputs as pseudo primary outputs, so
@@ -44,6 +49,7 @@
 
 pub mod bench_format;
 mod builder;
+mod compiled;
 mod cone;
 mod dot;
 mod error;
@@ -53,9 +59,11 @@ mod gate;
 mod id;
 mod levelized;
 mod netlist;
+mod scoap;
 mod stats;
 
 pub use builder::NetlistBuilder;
+pub use compiled::CompiledCircuit;
 pub use cone::{fanin_cone, fanout_cone, NodeSet};
 pub use dot::to_dot;
 pub use error::NetlistError;
@@ -64,4 +72,5 @@ pub use gate::GateKind;
 pub use id::NodeId;
 pub use levelized::LevelizedCsr;
 pub use netlist::Netlist;
+pub use scoap::{Scoap, SCOAP_INF};
 pub use stats::NetlistStats;

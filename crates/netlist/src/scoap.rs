@@ -6,7 +6,7 @@
 //! all-inputs-required objectives, the most expensive) fanin to pursue, and
 //! the objective selection prefers D-frontier gates with low observability.
 
-use adi_netlist::{GateKind, Netlist, NodeId};
+use crate::{GateKind, Netlist, NodeId};
 
 /// "Infinite" cost marker; saturating arithmetic keeps sums below it.
 pub const SCOAP_INF: u32 = u32::MAX / 4;
@@ -21,7 +21,7 @@ fn sat_add(a: u32, b: u32) -> u32 {
 ///
 /// ```
 /// use adi_netlist::bench_format;
-/// use adi_atpg::Scoap;
+/// use adi_netlist::Scoap;
 ///
 /// # fn main() -> Result<(), adi_netlist::NetlistError> {
 /// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
@@ -203,7 +203,7 @@ impl Scoap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adi_netlist::bench_format;
+    use crate::bench_format;
 
     #[test]
     fn primary_inputs_cost_one() {

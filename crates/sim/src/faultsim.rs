@@ -33,7 +33,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use adi_netlist::fault::{Fault, FaultId, FaultList, FaultSite};
-use adi_netlist::{GateKind, LevelizedCsr, Netlist};
+use adi_netlist::{CompiledCircuit, GateKind, LevelizedCsr, Netlist};
 
 use crate::logic::{self, eval_with_pos, PosGood};
 use crate::stem::StemRegionEngine;
@@ -61,15 +61,15 @@ impl std::fmt::Display for EngineKind {
     }
 }
 
-/// Reusable per-thread scratch buffers for per-fault injection, holding
-/// the [`LevelizedCsr`] view the hot loops run on.
+/// Reusable per-thread scratch buffers for per-fault injection, bound to
+/// one compiled circuit (whose [`LevelizedCsr`] view the hot loops run
+/// on).
 ///
-/// Create one with [`SimScratch::new`] and reuse it across calls to the
-/// single-pattern API to avoid repeated allocation (and repeated view
-/// construction).
+/// Create one with [`SimScratch::for_circuit`] and reuse it across calls
+/// to the single-pattern API to avoid repeated allocation.
 #[derive(Clone, Debug)]
 pub struct SimScratch {
-    pub(crate) view: LevelizedCsr,
+    pub(crate) circuit: CompiledCircuit,
     pub(crate) buf: ScratchBuf,
 }
 
@@ -87,12 +87,24 @@ pub(crate) struct ScratchBuf {
 }
 
 impl SimScratch {
-    /// Allocates scratch buffers (and builds the levelized view) for
-    /// `netlist`.
+    /// Allocates scratch buffers for `circuit`, sharing its levelized
+    /// view (an `Arc` bump, no per-call setup).
+    pub fn for_circuit(circuit: &CompiledCircuit) -> Self {
+        let buf = ScratchBuf::new(circuit.view());
+        SimScratch {
+            circuit: circuit.clone(),
+            buf,
+        }
+    }
+
+    /// Allocates scratch buffers (and compiles a private copy of
+    /// `netlist`, including its levelized view).
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile the netlist once (`CompiledCircuit::compile`) and use `SimScratch::for_circuit`"
+    )]
     pub fn new(netlist: &Netlist) -> Self {
-        let view = LevelizedCsr::build(netlist);
-        let buf = ScratchBuf::new(&view);
-        SimScratch { view, buf }
+        Self::for_circuit(&CompiledCircuit::compile(netlist.clone()))
     }
 }
 
@@ -165,72 +177,116 @@ impl NDetectOutcome {
     }
 }
 
-/// A stuck-at fault simulator bound to one netlist and fault list.
+/// A stuck-at fault simulator bound to one compiled circuit and fault
+/// list.
 ///
-/// [`FaultSimulator::new`] selects the default engine
-/// ([`EngineKind::StemRegion`]); use [`FaultSimulator::with_engine`] to
-/// pick one explicitly. Both engines produce bit-identical results.
+/// [`FaultSimulator::for_circuit`] selects the default engine
+/// ([`EngineKind::StemRegion`]); use
+/// [`FaultSimulator::for_circuit_with_engine`] to pick one explicitly.
+/// Both engines produce bit-identical results. Construction is cheap
+/// (an `Arc` bump of the compilation), so building one simulator per
+/// pattern set is fine — the expensive artifacts live in the
+/// [`CompiledCircuit`].
 ///
 /// # Examples
 ///
 /// ```
-/// use adi_netlist::{bench_format, fault::FaultList};
+/// use adi_netlist::{bench_format, CompiledCircuit, fault::FaultList};
 /// use adi_sim::{EngineKind, FaultSimulator, PatternSet};
 ///
 /// # fn main() -> Result<(), adi_netlist::NetlistError> {
 /// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n", "or2")?;
-/// let faults = FaultList::collapsed(&n);
-/// let sim = FaultSimulator::new(&n, &faults);
+/// let circuit = CompiledCircuit::compile(n);
+/// let faults = circuit.collapsed_faults();
+/// let sim = FaultSimulator::for_circuit(&circuit, faults);
 /// let drop = sim.with_dropping(&PatternSet::exhaustive(2));
 /// assert_eq!(drop.coverage(), 1.0); // exhaustive patterns detect everything
 ///
 /// // The two engines agree bit for bit.
-/// let oracle = FaultSimulator::with_engine(&n, &faults, EngineKind::PerFault);
+/// let oracle = FaultSimulator::for_circuit_with_engine(&circuit, faults, EngineKind::PerFault);
 /// let patterns = PatternSet::exhaustive(2);
 /// assert_eq!(sim.no_drop_matrix(&patterns), oracle.no_drop_matrix(&patterns));
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct FaultSimulator<'a> {
-    netlist: &'a Netlist,
+    circuit: CompiledCircuit,
     faults: &'a FaultList,
     engine: EngineKind,
 }
 
 impl<'a> FaultSimulator<'a> {
-    /// Creates a simulator for `faults` of `netlist` with the default
+    /// Creates a simulator for `faults` of `circuit` with the default
     /// engine ([`EngineKind::StemRegion`]).
     ///
     /// # Panics
     ///
-    /// Panics if any fault references a node outside the netlist.
-    pub fn new(netlist: &'a Netlist, faults: &'a FaultList) -> Self {
-        Self::with_engine(netlist, faults, EngineKind::default())
+    /// Panics if any fault references a node outside the circuit.
+    pub fn for_circuit(circuit: &CompiledCircuit, faults: &'a FaultList) -> Self {
+        Self::for_circuit_with_engine(circuit, faults, EngineKind::default())
     }
 
-    /// Creates a simulator driving the given `engine`.
+    /// Creates a simulator for `faults` of `circuit` driving the given
+    /// `engine`.
     ///
     /// # Panics
     ///
-    /// Panics if any fault references a node outside the netlist.
-    pub fn with_engine(netlist: &'a Netlist, faults: &'a FaultList, engine: EngineKind) -> Self {
+    /// Panics if any fault references a node outside the circuit.
+    pub fn for_circuit_with_engine(
+        circuit: &CompiledCircuit,
+        faults: &'a FaultList,
+        engine: EngineKind,
+    ) -> Self {
         for (_, f) in faults.iter() {
             assert!(
-                f.effect_node().index() < netlist.num_nodes(),
+                f.effect_node().index() < circuit.netlist().num_nodes(),
                 "fault {f} outside netlist"
             );
         }
         FaultSimulator {
-            netlist,
+            circuit: circuit.clone(),
             faults,
             engine,
         }
     }
 
+    /// Creates a simulator for `faults` of `netlist` with the default
+    /// engine, compiling a private copy of the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault references a node outside the netlist.
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile the netlist once (`CompiledCircuit::compile`) and use `FaultSimulator::for_circuit`"
+    )]
+    pub fn new(netlist: &'a Netlist, faults: &'a FaultList) -> Self {
+        Self::for_circuit(&CompiledCircuit::compile(netlist.clone()), faults)
+    }
+
+    /// Creates a simulator driving the given `engine`, compiling a
+    /// private copy of the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault references a node outside the netlist.
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile the netlist once (`CompiledCircuit::compile`) and use `FaultSimulator::for_circuit_with_engine`"
+    )]
+    pub fn with_engine(netlist: &'a Netlist, faults: &'a FaultList, engine: EngineKind) -> Self {
+        Self::for_circuit_with_engine(&CompiledCircuit::compile(netlist.clone()), faults, engine)
+    }
+
+    /// The compiled circuit being simulated.
+    pub fn circuit(&self) -> &CompiledCircuit {
+        &self.circuit
+    }
+
     /// The netlist being simulated.
-    pub fn netlist(&self) -> &'a Netlist {
-        self.netlist
+    pub fn netlist(&self) -> &Netlist {
+        self.circuit.netlist()
     }
 
     /// The fault list being simulated.
@@ -248,22 +304,21 @@ impl<'a> FaultSimulator<'a> {
     pub fn no_drop_matrix(&self, patterns: &PatternSet) -> DetectionMatrix {
         match self.engine {
             EngineKind::PerFault => self.no_drop_matrix_per_fault(patterns),
-            EngineKind::StemRegion => {
-                StemRegionEngine::new(self.netlist, self.faults).no_drop_matrix(patterns)
-            }
+            EngineKind::StemRegion => StemRegionEngine::for_circuit(&self.circuit, self.faults)
+                .no_drop_matrix(patterns),
         }
     }
 
     fn no_drop_matrix_per_fault(&self, patterns: &PatternSet) -> DetectionMatrix {
-        let mut scratch = SimScratch::new(self.netlist);
-        let SimScratch { view, buf } = &mut scratch;
+        let view = self.circuit.view();
+        let mut buf = ScratchBuf::new(view);
         let good = PosGood::compute(view, patterns);
         let mut matrix = DetectionMatrix::new(self.faults.len(), patterns.len());
         let n_blocks = patterns.num_blocks();
         for (id, fault) in self.faults.iter() {
             for block in 0..n_blocks {
                 let mask = patterns.valid_mask(block);
-                let w = detect_block_impl(view, good.block(block), fault, mask, buf);
+                let w = detect_block_impl(view, good.block(block), fault, mask, &mut buf);
                 if w != 0 {
                     matrix.or_word(id, block, w);
                 }
@@ -289,7 +344,7 @@ impl<'a> FaultSimulator<'a> {
         assert!(threads > 0, "at least one thread required");
         match self.engine {
             EngineKind::PerFault => self.no_drop_matrix_parallel_per_fault(patterns, threads),
-            EngineKind::StemRegion => StemRegionEngine::new(self.netlist, self.faults)
+            EngineKind::StemRegion => StemRegionEngine::for_circuit(&self.circuit, self.faults)
                 .no_drop_matrix_parallel(patterns, threads),
         }
     }
@@ -303,13 +358,13 @@ impl<'a> FaultSimulator<'a> {
         if threads == 1 || n_faults < 2 * threads {
             return self.no_drop_matrix_per_fault(patterns);
         }
-        let view = LevelizedCsr::build(self.netlist);
-        let good = PosGood::compute(&view, patterns);
+        let view = self.circuit.view();
+        let good = PosGood::compute(view, patterns);
         let mut matrix = DetectionMatrix::new(n_faults, patterns.len());
         let n_blocks = patterns.num_blocks();
         let chunk = n_faults.div_ceil(threads);
         let faults = self.faults;
-        let (view_ref, good_ref, patterns_ref) = (&view, &good, patterns);
+        let (view_ref, good_ref, patterns_ref) = (view, &good, patterns);
         std::thread::scope(|scope| {
             for (ci, rows) in matrix.rows_chunks_mut(chunk).enumerate() {
                 scope.spawn(move || {
@@ -341,15 +396,14 @@ impl<'a> FaultSimulator<'a> {
     pub fn with_dropping(&self, patterns: &PatternSet) -> DropOutcome {
         match self.engine {
             EngineKind::PerFault => self.with_dropping_per_fault(patterns),
-            EngineKind::StemRegion => {
-                StemRegionEngine::new(self.netlist, self.faults).with_dropping(patterns)
-            }
+            EngineKind::StemRegion => StemRegionEngine::for_circuit(&self.circuit, self.faults)
+                .with_dropping(patterns),
         }
     }
 
     fn with_dropping_per_fault(&self, patterns: &PatternSet) -> DropOutcome {
-        let mut scratch = SimScratch::new(self.netlist);
-        let SimScratch { view, buf } = &mut scratch;
+        let view = self.circuit.view();
+        let buf = &mut ScratchBuf::new(view);
         let mut good = vec![0u64; view.num_nodes()];
         let mut input_words = vec![0u64; patterns.num_inputs()];
         let mut first: Vec<Option<u32>> = vec![None; self.faults.len()];
@@ -389,14 +443,14 @@ impl<'a> FaultSimulator<'a> {
         match self.engine {
             EngineKind::PerFault => self.n_detect_per_fault(patterns, n),
             EngineKind::StemRegion => {
-                StemRegionEngine::new(self.netlist, self.faults).n_detect(patterns, n)
+                StemRegionEngine::for_circuit(&self.circuit, self.faults).n_detect(patterns, n)
             }
         }
     }
 
     fn n_detect_per_fault(&self, patterns: &PatternSet, n: u32) -> NDetectOutcome {
-        let mut scratch = SimScratch::new(self.netlist);
-        let SimScratch { view, buf } = &mut scratch;
+        let view = self.circuit.view();
+        let buf = &mut ScratchBuf::new(view);
         let mut good = vec![0u64; view.num_nodes()];
         let mut input_words = vec![0u64; patterns.num_inputs()];
         let mut counts = vec![0u32; self.faults.len()];
@@ -437,11 +491,12 @@ impl<'a> FaultSimulator<'a> {
         active: &[FaultId],
         scratch: &mut SimScratch,
     ) -> Vec<FaultId> {
-        assert_eq!(pattern.len(), self.netlist.num_inputs());
-        let SimScratch { view, buf } = scratch;
+        assert_eq!(pattern.len(), self.circuit.netlist().num_inputs());
+        let SimScratch { circuit, buf } = scratch;
+        let view = circuit.view();
         assert_eq!(
             view.num_nodes(),
-            self.netlist.num_nodes(),
+            self.circuit.netlist().num_nodes(),
             "scratch built for a different netlist"
         );
         let mut words = std::mem::take(&mut buf.input_words);
@@ -465,8 +520,8 @@ impl<'a> FaultSimulator<'a> {
     /// Convenience: does `pattern` detect `fault`?
     ///
     /// Pass a reusable scratch when querying in a loop; with `None` a
-    /// fresh [`SimScratch`] (including its levelized view) is built for
-    /// this one query.
+    /// fresh [`SimScratch`] over this simulator's compiled circuit is
+    /// allocated for this one query.
     pub fn detects(
         &self,
         pattern: &Pattern,
@@ -476,7 +531,7 @@ impl<'a> FaultSimulator<'a> {
         match scratch {
             Some(s) => !self.detect_pattern(pattern, &[fault_id], s).is_empty(),
             None => {
-                let mut s = SimScratch::new(self.netlist);
+                let mut s = SimScratch::for_circuit(&self.circuit);
                 !self.detect_pattern(pattern, &[fault_id], &mut s).is_empty()
             }
         }
@@ -647,6 +702,10 @@ G23 = NAND(G16, G19)
         bench_format::parse(C17, "c17").unwrap()
     }
 
+    fn compile(netlist: &Netlist) -> CompiledCircuit {
+        CompiledCircuit::compile(netlist.clone())
+    }
+
     /// Brute-force oracle: simulate the faulty circuit explicitly.
     fn oracle_detects(netlist: &Netlist, fault: Fault, pattern: &Pattern) -> bool {
         let good = logic::evaluate(netlist, pattern.as_slice());
@@ -696,7 +755,7 @@ G23 = NAND(G16, G19)
         let faults = FaultList::full(&n);
         let patterns = PatternSet::exhaustive(5);
         for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
-            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let sim = FaultSimulator::for_circuit_with_engine(&compile(&n), &faults, engine);
             let matrix = sim.no_drop_matrix(&patterns);
             for (id, fault) in faults.iter() {
                 for p in 0..patterns.len() {
@@ -717,7 +776,7 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::collapsed(&n);
         for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
-            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let sim = FaultSimulator::for_circuit_with_engine(&compile(&n), &faults, engine);
             let drop = sim.with_dropping(&PatternSet::exhaustive(5));
             assert_eq!(drop.num_detected(), faults.len(), "[{engine}]");
             assert!((drop.coverage() - 1.0).abs() < 1e-12);
@@ -730,7 +789,7 @@ G23 = NAND(G16, G19)
         let faults = FaultList::full(&n);
         let patterns = PatternSet::random(5, 100, 3);
         for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
-            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let sim = FaultSimulator::for_circuit_with_engine(&compile(&n), &faults, engine);
             let serial = sim.no_drop_matrix(&patterns);
             for threads in [2, 3, 8] {
                 let par = sim.no_drop_matrix_parallel(&patterns, threads);
@@ -744,9 +803,9 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::full(&n);
         let patterns = PatternSet::random(5, 200, 77);
-        let a = FaultSimulator::with_engine(&n, &faults, EngineKind::PerFault)
+        let a = FaultSimulator::for_circuit_with_engine(&compile(&n), &faults, EngineKind::PerFault)
             .no_drop_matrix(&patterns);
-        let b = FaultSimulator::with_engine(&n, &faults, EngineKind::StemRegion)
+        let b = FaultSimulator::for_circuit_with_engine(&compile(&n), &faults, EngineKind::StemRegion)
             .no_drop_matrix(&patterns);
         assert_eq!(a, b);
     }
@@ -757,7 +816,7 @@ G23 = NAND(G16, G19)
         let faults = FaultList::collapsed(&n);
         let patterns = PatternSet::random(5, 70, 9);
         for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
-            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let sim = FaultSimulator::for_circuit_with_engine(&compile(&n), &faults, engine);
             let matrix = sim.no_drop_matrix(&patterns);
             let drop = sim.with_dropping(&patterns);
             for id in faults.ids() {
@@ -777,7 +836,7 @@ G23 = NAND(G16, G19)
         let faults = FaultList::collapsed(&n);
         let patterns = PatternSet::exhaustive(5);
         for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
-            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let sim = FaultSimulator::for_circuit_with_engine(&compile(&n), &faults, engine);
             let matrix = sim.no_drop_matrix(&patterns);
             let nd = sim.n_detect(&patterns, 4);
             for id in faults.ids() {
@@ -792,10 +851,10 @@ G23 = NAND(G16, G19)
     fn detect_pattern_subset() {
         let n = c17();
         let faults = FaultList::collapsed(&n);
-        let sim = FaultSimulator::new(&n, &faults);
+        let sim = FaultSimulator::for_circuit(&compile(&n), &faults);
         let patterns = PatternSet::exhaustive(5);
         let matrix = sim.no_drop_matrix(&patterns);
-        let mut scratch = SimScratch::new(&n);
+        let mut scratch = SimScratch::for_circuit(&compile(&n));
         let active: Vec<FaultId> = faults.ids().collect();
         for p in [0usize, 7, 19, 31] {
             let detected = sim.detect_pattern(&patterns.get(p), &active, &mut scratch);
@@ -815,7 +874,7 @@ G23 = NAND(G16, G19)
         let y = n.find_node("y").unwrap();
         let faults = FaultList::from_faults(vec![Fault::stem_at(y, true)]);
         for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
-            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let sim = FaultSimulator::for_circuit_with_engine(&compile(&n), &faults, engine);
             let drop = sim.with_dropping(&PatternSet::exhaustive(1));
             assert_eq!(drop.num_detected(), 0, "[{engine}]");
         }
@@ -830,8 +889,8 @@ G23 = NAND(G16, G19)
         let ygate = n.find_node("y").unwrap();
         let branch = Fault::branch_at(ygate, 0, false);
         let faults = FaultList::from_faults(vec![branch]);
-        let sim = FaultSimulator::new(&n, &faults);
-        let mut scratch = SimScratch::new(&n);
+        let sim = FaultSimulator::for_circuit(&compile(&n), &faults);
+        let mut scratch = SimScratch::for_circuit(&compile(&n));
         let p1 = Pattern::new(vec![true]);
         let det = sim.detect_pattern(&p1, &[FaultId::new(0)], &mut scratch);
         assert_eq!(det.len(), 1);
@@ -845,10 +904,10 @@ G23 = NAND(G16, G19)
     fn detects_with_and_without_scratch() {
         let n = c17();
         let faults = FaultList::collapsed(&n);
-        let sim = FaultSimulator::new(&n, &faults);
+        let sim = FaultSimulator::for_circuit(&compile(&n), &faults);
         let patterns = PatternSet::exhaustive(5);
         let matrix = sim.no_drop_matrix(&patterns);
-        let mut scratch = SimScratch::new(&n);
+        let mut scratch = SimScratch::for_circuit(&compile(&n));
         for p in [0usize, 13, 31] {
             let pattern = patterns.get(p);
             for id in faults.ids() {
@@ -874,7 +933,7 @@ G23 = NAND(G16, G19)
             Fault::stem_at(x, true),
         ]);
         for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
-            let sim = FaultSimulator::with_engine(&n, &faults, engine);
+            let sim = FaultSimulator::for_circuit_with_engine(&compile(&n), &faults, engine);
             let matrix = sim.no_drop_matrix(&PatternSet::exhaustive(2));
             for id in faults.ids() {
                 assert!(!matrix.detected_any(id), "[{engine}] fault {id}");
@@ -886,10 +945,42 @@ G23 = NAND(G16, G19)
     fn default_engine_is_stem_region() {
         let n = c17();
         let faults = FaultList::collapsed(&n);
-        let sim = FaultSimulator::new(&n, &faults);
+        let sim = FaultSimulator::for_circuit(&compile(&n), &faults);
         assert_eq!(sim.engine_kind(), EngineKind::StemRegion);
         assert_eq!(EngineKind::default().to_string(), "stem-region");
         assert_eq!(EngineKind::PerFault.to_string(), "per-fault");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_compiled_paths() {
+        // The `&Netlist` constructors must stay thin compile-and-delegate
+        // wrappers over the compiled-circuit API.
+        let n = c17();
+        let faults = FaultList::collapsed(&n);
+        let patterns = PatternSet::random(5, 100, 5);
+        let circuit = compile(&n);
+        let compiled_sim = FaultSimulator::for_circuit(&circuit, &faults);
+        let legacy_sim = FaultSimulator::new(&n, &faults);
+        assert_eq!(
+            legacy_sim.no_drop_matrix(&patterns),
+            compiled_sim.no_drop_matrix(&patterns)
+        );
+        let legacy_oracle = FaultSimulator::with_engine(&n, &faults, EngineKind::PerFault);
+        assert_eq!(
+            legacy_oracle.no_drop_matrix(&patterns),
+            compiled_sim.no_drop_matrix(&patterns)
+        );
+        let mut legacy_scratch = SimScratch::new(&n);
+        let active: Vec<FaultId> = faults.ids().collect();
+        let mut scratch = SimScratch::for_circuit(&circuit);
+        for p in [0usize, 31, 63] {
+            let pattern = patterns.get(p);
+            assert_eq!(
+                legacy_sim.detect_pattern(&pattern, &active, &mut legacy_scratch),
+                compiled_sim.detect_pattern(&pattern, &active, &mut scratch),
+            );
+        }
     }
 
     #[test]
@@ -897,7 +988,7 @@ G23 = NAND(G16, G19)
         let n = c17();
         let faults = FaultList::collapsed(&n);
         let patterns = PatternSet::exhaustive(5);
-        let sim = FaultSimulator::new(&n, &faults);
+        let sim = FaultSimulator::for_circuit(&compile(&n), &faults);
         let drop = sim.with_dropping(&patterns);
         let news = drop.new_detections(patterns.len());
         let total: u32 = news.iter().sum();

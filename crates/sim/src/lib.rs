@@ -18,7 +18,17 @@
 //!   instead of once per fault. Drive modes: with dropping, without
 //!   dropping (producing the [`DetectionMatrix`] that the accidental
 //!   detection index is computed from), and n-detection.
+//! * [`DropSession`] — 64-wide batching of *sequentially generated*
+//!   tests (the ATPG drop loop) through the stem-region engine, with
+//!   drop-for-drop scalar semantics.
 //! * [`CoverageCurve`] — fault-coverage-per-test bookkeeping.
+//!
+//! Every simulator takes an
+//! [`adi_netlist::CompiledCircuit`] — compile the netlist once with
+//! [`CompiledCircuit::compile`](adi_netlist::CompiledCircuit::compile)
+//! and thread the compilation through all entry points; the legacy
+//! `&Netlist` constructors are deprecated thin wrappers that compile a
+//! private copy per call.
 //!
 //! ## Choosing an engine
 //!
@@ -39,14 +49,15 @@
 //! (the quantity the paper calls `ndet(u)`):
 //!
 //! ```
-//! use adi_netlist::{bench_format, fault::FaultList};
+//! use adi_netlist::{bench_format, CompiledCircuit};
 //! use adi_sim::{FaultSimulator, PatternSet};
 //!
 //! # fn main() -> Result<(), adi_netlist::NetlistError> {
 //! let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
-//! let faults = FaultList::collapsed(&n);
+//! let circuit = CompiledCircuit::compile(n);
+//! let faults = circuit.collapsed_faults();
 //! let patterns = PatternSet::exhaustive(2);
-//! let matrix = FaultSimulator::new(&n, &faults).no_drop_matrix(&patterns);
+//! let matrix = FaultSimulator::for_circuit(&circuit, faults).no_drop_matrix(&patterns);
 //! let ndet = matrix.ndet_counts();
 //! assert_eq!(ndet.len(), 4);
 //! # Ok(())
@@ -63,12 +74,14 @@ pub mod faultsim;
 pub mod logic;
 mod pattern;
 pub mod probability;
+pub mod session;
 pub mod stem;
 
 pub use coverage::CoverageCurve;
 pub use detection::DetectionMatrix;
 pub use event::EventSim;
-pub use faultsim::{DropOutcome, EngineKind, FaultSimulator, NDetectOutcome};
+pub use faultsim::{DropOutcome, EngineKind, FaultSimulator, NDetectOutcome, SimScratch};
 pub use logic::GoodValues;
 pub use pattern::{Pattern, PatternSet};
+pub use session::DropSession;
 pub use stem::StemRegionEngine;

@@ -7,7 +7,7 @@
 //! are contiguous in evaluation order. [`GoodValues::compute`] runs on
 //! the CSR path internally and scatters back to node-id layout.
 
-use adi_netlist::{GateKind, LevelizedCsr, Netlist, NodeId};
+use adi_netlist::{CompiledCircuit, GateKind, LevelizedCsr, Netlist, NodeId};
 
 use crate::PatternSet;
 
@@ -194,14 +194,15 @@ pub fn evaluate(netlist: &Netlist, assignment: &[bool]) -> Vec<bool> {
 /// # Examples
 ///
 /// ```
-/// use adi_netlist::bench_format;
+/// use adi_netlist::{bench_format, CompiledCircuit};
 /// use adi_sim::{GoodValues, PatternSet};
 ///
 /// # fn main() -> Result<(), adi_netlist::NetlistError> {
 /// let n = bench_format::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "inv")?;
+/// let circuit = CompiledCircuit::compile(n);
 /// let pats = PatternSet::exhaustive(1);
-/// let good = GoodValues::compute(&n, &pats);
-/// let y = n.find_node("y").unwrap();
+/// let good = GoodValues::for_circuit(&circuit, &pats);
+/// let y = circuit.netlist().find_node("y").unwrap();
 /// assert_eq!(good.value(y, 0), true); // pattern 0 has a=0, so y = NOT(a) = 1
 /// assert_eq!(good.value(y, 1), false);
 /// # Ok(())
@@ -216,17 +217,33 @@ pub struct GoodValues {
 }
 
 impl GoodValues {
+    /// Simulates all patterns over a [`CompiledCircuit`], reusing its
+    /// levelized view (one linear sweep per block, scattered back to
+    /// node-id layout). This is the primary entry point; it performs no
+    /// per-call setup beyond the value buffers themselves.
+    pub fn for_circuit(circuit: &CompiledCircuit, patterns: &PatternSet) -> Self {
+        Self::with_view(circuit.netlist(), circuit.view(), patterns)
+    }
+
     /// Simulates all patterns and stores per-node values.
     ///
-    /// Internally runs on a [`LevelizedCsr`] view (one linear sweep per
-    /// block) and scatters each block back to node-id layout.
+    /// Rebuilds the [`LevelizedCsr`] view on every call.
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile the netlist once (`CompiledCircuit::compile`) and use `GoodValues::for_circuit`"
+    )]
     pub fn compute(netlist: &Netlist, patterns: &PatternSet) -> Self {
+        Self::with_view(netlist, &LevelizedCsr::build(netlist), patterns)
+    }
+
+    /// The shared implementation: one CSR sweep per block over `view`,
+    /// scattered back to node-id layout.
+    fn with_view(netlist: &Netlist, view: &LevelizedCsr, patterns: &PatternSet) -> Self {
         assert_eq!(
             patterns.num_inputs(),
             netlist.num_inputs(),
             "pattern width does not match circuit input count"
         );
-        let view = LevelizedCsr::build(netlist);
         let n_nodes = netlist.num_nodes();
         let n_blocks = patterns.num_blocks();
         let mut data = vec![0u64; n_nodes * n_blocks];
@@ -234,7 +251,7 @@ impl GoodValues {
         let mut pos_buf = vec![0u64; n_nodes];
         for block in 0..n_blocks {
             load_input_words(patterns, block, &mut input_words);
-            simulate_block_csr(&view, &input_words, &mut pos_buf);
+            simulate_block_csr(view, &input_words, &mut pos_buf);
             let slice = &mut data[block * n_nodes..(block + 1) * n_nodes];
             for (p, &w) in pos_buf.iter().enumerate() {
                 slice[view.node_at(p).index()] = w;
@@ -322,14 +339,19 @@ y = OR(t0, t1)
         }
     }
 
+    fn compiled(src: &str, name: &str) -> CompiledCircuit {
+        CompiledCircuit::compile(bench_format::parse(src, name).unwrap())
+    }
+
     #[test]
     fn block_sim_matches_scalar() {
-        let n = bench_format::parse(MUX, "mux").unwrap();
+        let c = compiled(MUX, "mux");
+        let n = c.netlist();
         let pats = PatternSet::exhaustive(3);
-        let good = GoodValues::compute(&n, &pats);
+        let good = GoodValues::for_circuit(&c, &pats);
         for p in 0..pats.len() {
             let pattern = pats.get(p);
-            let scalar = evaluate(&n, pattern.as_slice());
+            let scalar = evaluate(n, pattern.as_slice());
             for node in n.node_ids() {
                 assert_eq!(
                     good.value(node, p),
@@ -342,17 +364,29 @@ y = OR(t0, t1)
 
     #[test]
     fn multi_block_values() {
-        let n = bench_format::parse(MUX, "mux").unwrap();
+        let c = compiled(MUX, "mux");
+        let n = c.netlist();
         let pats = PatternSet::random(3, 200, 5);
-        let good = GoodValues::compute(&n, &pats);
+        let good = GoodValues::for_circuit(&c, &pats);
         assert_eq!(good.num_blocks(), 4);
         assert_eq!(good.num_patterns(), 200);
         // Spot-check the last pattern.
         let last = pats.get(199);
-        let scalar = evaluate(&n, last.as_slice());
+        let scalar = evaluate(n, last.as_slice());
         for node in n.node_ids() {
             assert_eq!(good.value(node, 199), scalar[node.index()]);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_compute_matches_for_circuit() {
+        // The `&Netlist` wrapper must stay a thin delegate of the
+        // compiled path.
+        let c = compiled(MUX, "mux");
+        let pats = PatternSet::random(3, 100, 7);
+        let wrapper = GoodValues::compute(c.netlist(), &pats);
+        assert_eq!(wrapper, GoodValues::for_circuit(&c, &pats));
     }
 
     #[test]
@@ -379,13 +413,13 @@ y = OR(t0, t1)
 
     #[test]
     fn pos_good_matches_good_values() {
-        let n = bench_format::parse(MUX, "mux").unwrap();
-        let view = LevelizedCsr::build(&n);
+        let c = compiled(MUX, "mux");
+        let view = c.view();
         let pats = PatternSet::random(3, 100, 21);
-        let good = GoodValues::compute(&n, &pats);
-        let pos = PosGood::compute(&view, &pats);
+        let good = GoodValues::for_circuit(&c, &pats);
+        let pos = PosGood::compute(view, &pats);
         for block in 0..pats.num_blocks() {
-            for node in n.node_ids() {
+            for node in c.netlist().node_ids() {
                 assert_eq!(
                     good.word(node, block),
                     pos.block(block)[view.position(node)]
@@ -396,19 +430,19 @@ y = OR(t0, t1)
 
     #[test]
     fn constants_simulate() {
-        let n = bench_format::parse("OUTPUT(y)\nk = CONST1()\ny = BUF(k)\n", "c").unwrap();
+        let c = compiled("OUTPUT(y)\nk = CONST1()\ny = BUF(k)\n", "c");
         let mut set = PatternSet::new(0);
         set.push(&Pattern::new(vec![]));
-        let good = GoodValues::compute(&n, &set);
-        let y = n.find_node("y").unwrap();
+        let good = GoodValues::for_circuit(&c, &set);
+        let y = c.netlist().find_node("y").unwrap();
         assert!(good.value(y, 0));
     }
 
     #[test]
     #[should_panic(expected = "pattern width")]
     fn width_mismatch_panics() {
-        let n = bench_format::parse(MUX, "mux").unwrap();
+        let c = compiled(MUX, "mux");
         let pats = PatternSet::exhaustive(2);
-        let _ = GoodValues::compute(&n, &pats);
+        let _ = GoodValues::for_circuit(&c, &pats);
     }
 }

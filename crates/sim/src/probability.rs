@@ -10,9 +10,9 @@
 //! approximate under reconvergence), and a sampling estimator using the
 //! bit-parallel simulator (asymptotically exact everywhere).
 
-use adi_netlist::{GateKind, Netlist, NodeId};
+use adi_netlist::{CompiledCircuit, GateKind, Netlist, NodeId};
 
-use crate::logic::GoodValues;
+use crate::logic::PosGood;
 use crate::PatternSet;
 
 /// Topological signal probabilities under the independence assumption.
@@ -74,29 +74,47 @@ pub fn independent_probabilities(netlist: &Netlist) -> Vec<f64> {
 }
 
 /// Sampled signal probabilities over `samples` random vectors from
-/// `seed`, using the bit-parallel simulator.
-pub fn sampled_probabilities(netlist: &Netlist, samples: usize, seed: u64) -> Vec<f64> {
-    let patterns = PatternSet::random(netlist.num_inputs(), samples, seed);
-    let good = GoodValues::compute(netlist, &patterns);
-    netlist
+/// `seed`, using the bit-parallel simulator on the compiled circuit's
+/// shared levelized view (no per-call levelization).
+pub fn sampled_probabilities_for(
+    circuit: &CompiledCircuit,
+    samples: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let view = circuit.view();
+    let patterns = PatternSet::random(view.inputs().len(), samples, seed);
+    let good = PosGood::compute(view, &patterns);
+    let n_blocks = patterns.num_blocks();
+    circuit
+        .netlist()
         .node_ids()
-        .map(|node| count_ones(netlist, &good, node, samples) as f64 / samples as f64)
+        .map(|node| {
+            let pos = view.position(node);
+            let ones: usize = (0..n_blocks)
+                .map(|block| {
+                    let mut w = good.block(block)[pos];
+                    let rem = samples - block * 64;
+                    if rem < 64 {
+                        w &= (1u64 << rem) - 1;
+                    }
+                    w.count_ones() as usize
+                })
+                .sum();
+            ones as f64 / samples as f64
+        })
         .collect()
 }
 
-fn count_ones(_: &Netlist, good: &GoodValues, node: NodeId, samples: usize) -> usize {
-    let mut total = 0usize;
-    for block in 0..good.num_blocks() {
-        let mut w = good.word(node, block);
-        if (block + 1) * 64 > samples {
-            let rem = samples - block * 64;
-            if rem < 64 {
-                w &= (1u64 << rem) - 1;
-            }
-        }
-        total += w.count_ones() as usize;
-    }
-    total
+/// Sampled signal probabilities over `samples` random vectors from
+/// `seed`, using the bit-parallel simulator.
+///
+/// Compiles a private copy of the netlist on every call.
+#[deprecated(
+    since = "0.2.0",
+    note = "compile the netlist once (`CompiledCircuit::compile`) and use `sampled_probabilities_for`"
+)]
+pub fn sampled_probabilities(netlist: &Netlist, samples: usize, seed: u64) -> Vec<f64> {
+    sampled_probabilities_for(&CompiledCircuit::compile(netlist.clone()), samples, seed)
 }
 
 /// Nodes whose signal probability is within `epsilon` of constant 0 or 1
@@ -147,7 +165,7 @@ y = XOR(t, u)
         let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = NAND(a, b)\ny = NOR(t, c)\n";
         let n = bench_format::parse(src, "t2").unwrap();
         let exact = independent_probabilities(&n);
-        let sampled = sampled_probabilities(&n, 8192, 1);
+        let sampled = sampled_probabilities_for(&CompiledCircuit::compile(n.clone()), 8192, 1);
         for node in n.node_ids() {
             assert!(
                 (exact[node.index()] - sampled[node.index()]).abs() < 0.03,
@@ -165,10 +183,20 @@ y = XOR(t, u)
         let src = "INPUT(a)\nOUTPUT(y)\nna = NOT(a)\ny = AND(a, na)\n";
         let n = bench_format::parse(src, "rc").unwrap();
         let exact = independent_probabilities(&n);
-        let sampled = sampled_probabilities(&n, 4096, 3);
+        let sampled = sampled_probabilities_for(&CompiledCircuit::compile(n.clone()), 4096, 3);
         let y = n.find_node("y").unwrap();
         assert!((exact[y.index()] - 0.25).abs() < 1e-12);
         assert_eq!(sampled[y.index()], 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_sampled_probabilities_matches_compiled_path() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+        let n = bench_format::parse(src, "nand2").unwrap();
+        let legacy = sampled_probabilities(&n, 512, 9);
+        let compiled = sampled_probabilities_for(&CompiledCircuit::compile(n), 512, 9);
+        assert_eq!(legacy, compiled);
     }
 
     #[test]

@@ -1,0 +1,362 @@
+//! Batched fault dropping for sequentially generated tests.
+//!
+//! The ATPG driver generates one test at a time, and after every test it
+//! must know which still-active faults the test detects (to drop them
+//! and skip them as future targets). The scalar way to do that —
+//! [`FaultSimulator::detect_pattern`](crate::FaultSimulator::detect_pattern)
+//! per test — pays one good-machine sweep plus one event-driven cone
+//! walk *per active fault* per test; with thousands of active faults
+//! early in a run, the cone walks dominate end-to-end ATPG time.
+//!
+//! [`DropSession`] batches the generated tests into 64-wide pattern
+//! blocks and runs the detection through the stem-region engine, while
+//! preserving the scalar loop's semantics **exactly**:
+//!
+//! * [`DropSession::push`] appends a generated test as the next lane of
+//!   the pending block and refreshes the block's good-machine words
+//!   (one 64-wide CSR sweep — the same cost the scalar loop paid for its
+//!   1-wide sweep).
+//! * [`DropSession::pending_detections`] answers "which pending tests
+//!   detect this fault?" with a single per-fault cone walk over the
+//!   pending block. The driver uses it to skip targets a pending test
+//!   already covers — the batched equivalent of the scalar loop's
+//!   "already dropped" check — so the *same targets* reach PODEM and the
+//!   generated test set is bit-identical.
+//! * [`DropSession::flush`] runs the stem-region engine once over the
+//!   pending block (one sensitization sweep plus one observability walk
+//!   per region with an active fault — instead of one walk per active
+//!   fault per test) and replays the drop bookkeeping lane by lane:
+//!   each fault is credited to the *first* pending test that detects
+//!   it, in the order the scalar loop would have reported.
+//!
+//! Detection of a fault by a pattern does not depend on which other
+//! faults have been dropped, so deferring the bookkeeping to the flush
+//! cannot change any detection verdict — only the arithmetic is
+//! batched. The differential tests assert drop-for-drop equality with
+//! the scalar loop on every suite circuit.
+
+use adi_netlist::fault::{FaultId, FaultList};
+use adi_netlist::CompiledCircuit;
+
+use crate::faultsim::{detect_block_impl, ScratchBuf};
+use crate::logic;
+use crate::stem::{StemRegionEngine, StemScratch};
+use crate::Pattern;
+
+/// A 64-wide batched drop-simulation session for sequentially generated
+/// tests, bit-identical to the scalar
+/// [`detect_pattern`](crate::FaultSimulator::detect_pattern) loop.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::{bench_format, CompiledCircuit, fault::FaultId};
+/// use adi_sim::{DropSession, Pattern};
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
+/// let circuit = CompiledCircuit::compile(n);
+/// let faults = circuit.collapsed_faults();
+/// let active: Vec<FaultId> = faults.ids().collect();
+///
+/// let mut session = DropSession::for_circuit(&circuit, faults);
+/// session.push(&Pattern::new(vec![true, true]));   // lane 0: detects the s-a-0 class
+/// session.push(&Pattern::new(vec![false, true]));  // lane 1: detects a/1 and y/1
+/// let per_test = session.flush(&active);
+/// assert_eq!(per_test.len(), 2);
+/// // Every fault is credited to the first lane that detects it.
+/// assert!(per_test[0].len() >= 1 && per_test[1].len() >= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DropSession<'a> {
+    stem: StemRegionEngine<'a>,
+    faults: &'a FaultList,
+    /// Per-fault scratch for the pending-lane cone walks.
+    buf: ScratchBuf,
+    /// Stem-region block scratch; `scratch.good` always holds the good
+    /// words of the pending block.
+    scratch: StemScratch,
+    /// Packed input words of the pending block, one per primary input.
+    lane_words: Vec<u64>,
+    /// Number of pending lanes (tests pushed since the last flush).
+    lanes: u32,
+    /// Active flags by fault id, populated transiently per flush.
+    active_flags: Vec<bool>,
+    /// Per-fault detection words of the current flush.
+    words: Vec<u64>,
+}
+
+impl<'a> DropSession<'a> {
+    /// Creates a session for `faults` of `circuit`, reusing the
+    /// compilation's levelized view and FFR decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault references a node outside the circuit.
+    pub fn for_circuit(circuit: &CompiledCircuit, faults: &'a FaultList) -> Self {
+        let stem = StemRegionEngine::for_circuit(circuit, faults);
+        let buf = ScratchBuf::new(circuit.view());
+        let scratch = StemScratch::new(circuit.view());
+        DropSession {
+            stem,
+            faults,
+            buf,
+            scratch,
+            lane_words: vec![0; circuit.view().inputs().len()],
+            lanes: 0,
+            active_flags: vec![false; faults.len()],
+            words: vec![0; faults.len()],
+        }
+    }
+
+    /// Number of tests pushed since the last flush.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.lanes as usize
+    }
+
+    /// Returns `true` once 64 tests are pending; the next
+    /// [`push`](Self::push) requires a [`flush`](Self::flush) first.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.lanes == 64
+    }
+
+    #[inline]
+    fn lane_mask(&self) -> u64 {
+        if self.lanes == 64 {
+            !0
+        } else {
+            (1u64 << self.lanes) - 1
+        }
+    }
+
+    /// Appends `pattern` as the next lane of the pending block and
+    /// refreshes the block's good-machine words (one 64-wide CSR sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is full or the pattern width does not match
+    /// the circuit.
+    pub fn push(&mut self, pattern: &Pattern) {
+        assert!(self.lanes < 64, "pending block full: flush before pushing");
+        let view = self.stem.view();
+        assert_eq!(
+            pattern.len(),
+            view.inputs().len(),
+            "pattern width does not match circuit input count"
+        );
+        let bit = 1u64 << self.lanes;
+        for (i, v) in pattern.iter().enumerate() {
+            if v {
+                self.lane_words[i] |= bit;
+            }
+        }
+        self.lanes += 1;
+        logic::simulate_block_csr(view, &self.lane_words, &mut self.scratch.good);
+    }
+
+    /// The word of pending lanes that detect `fault` (bit `j` set iff
+    /// the `j`-th pending test detects it), computed with a single
+    /// per-fault cone walk. Zero when no tests are pending.
+    ///
+    /// The ATPG driver calls this before targeting a fault: a non-zero
+    /// word means a pending test already covers it, exactly as the
+    /// scalar loop's per-test dropping would have.
+    pub fn pending_detections(&mut self, fault: FaultId) -> u64 {
+        if self.lanes == 0 {
+            return 0;
+        }
+        let mask = self.lane_mask();
+        detect_block_impl(
+            self.stem.view(),
+            &self.scratch.good,
+            self.faults.fault(fault),
+            mask,
+            &mut self.buf,
+        )
+    }
+
+    /// Drains the pending block: runs the stem-region engine once over
+    /// it and returns, per pending test in push order, the `active`
+    /// faults it newly detects (each fault credited to the first
+    /// detecting lane, lists in `active` order) — exactly the sequence
+    /// of detection lists the scalar per-test loop would have produced.
+    ///
+    /// Faults outside `active` are skipped entirely. The session is
+    /// empty afterwards.
+    pub fn flush(&mut self, active: &[FaultId]) -> Vec<Vec<FaultId>> {
+        let lanes = self.lanes as usize;
+        let mut per_lane: Vec<Vec<FaultId>> = vec![Vec::new(); lanes];
+        if lanes == 0 {
+            return per_lane;
+        }
+        let mask = self.lane_mask();
+
+        let DropSession {
+            stem,
+            scratch,
+            active_flags,
+            words,
+            ..
+        } = self;
+        for &id in active {
+            active_flags[id.index()] = true;
+        }
+        words.fill(0);
+        stem.prepare_block(scratch);
+        stem.for_each_detection(mask, scratch, Some(active_flags), |fault, word| {
+            words[fault as usize] = word;
+        });
+        for &id in active {
+            active_flags[id.index()] = false;
+        }
+
+        for &id in active {
+            let w = self.words[id.index()];
+            if w != 0 {
+                per_lane[w.trailing_zeros() as usize].push(id);
+            }
+        }
+
+        self.lanes = 0;
+        self.lane_words.fill(0);
+        per_lane
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultSimulator, PatternSet};
+    use adi_netlist::bench_format;
+    use adi_netlist::Netlist;
+
+    const C17: &str = "
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    fn c17() -> CompiledCircuit {
+        let n: Netlist = bench_format::parse(C17, "c17").unwrap();
+        CompiledCircuit::compile(n)
+    }
+
+    /// The scalar reference: detect_pattern per test with immediate
+    /// dropping.
+    fn scalar_drop_lists(
+        circuit: &CompiledCircuit,
+        faults: &FaultList,
+        patterns: &PatternSet,
+    ) -> Vec<Vec<FaultId>> {
+        let sim = FaultSimulator::for_circuit(circuit, faults);
+        let mut scratch = crate::faultsim::SimScratch::for_circuit(circuit);
+        let mut active: Vec<FaultId> = faults.ids().collect();
+        let mut out = Vec::new();
+        for p in 0..patterns.len() {
+            let detected = sim.detect_pattern(&patterns.get(p), &active, &mut scratch);
+            active.retain(|id| !detected.contains(id));
+            out.push(detected);
+        }
+        out
+    }
+
+    #[test]
+    fn flush_matches_scalar_loop_exactly() {
+        let circuit = c17();
+        let faults = circuit.full_faults();
+        let patterns = PatternSet::random(5, 150, 42);
+        let expected = scalar_drop_lists(&circuit, faults, &patterns);
+
+        let mut session = DropSession::for_circuit(&circuit, faults);
+        let mut active: Vec<FaultId> = faults.ids().collect();
+        let mut got: Vec<Vec<FaultId>> = Vec::new();
+        for p in 0..patterns.len() {
+            session.push(&patterns.get(p));
+            if session.is_full() {
+                let lists = session.flush(&active);
+                for detected in &lists {
+                    active.retain(|id| !detected.contains(id));
+                }
+                got.extend(lists);
+            }
+        }
+        let lists = session.flush(&active);
+        got.extend(lists);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn pending_detections_match_scalar_detect_pattern() {
+        let circuit = c17();
+        let faults = circuit.collapsed_faults();
+        let patterns = PatternSet::exhaustive(5);
+        let sim = FaultSimulator::for_circuit(&circuit, faults);
+        let mut scratch = crate::faultsim::SimScratch::for_circuit(&circuit);
+        let all: Vec<FaultId> = faults.ids().collect();
+
+        let mut session = DropSession::for_circuit(&circuit, faults);
+        for p in 0..8 {
+            session.push(&patterns.get(p));
+        }
+        for &id in &all {
+            let word = session.pending_detections(id);
+            for p in 0..8 {
+                let scalar = sim
+                    .detect_pattern(&patterns.get(p), &[id], &mut scratch)
+                    .contains(&id);
+                assert_eq!(word >> p & 1 == 1, scalar, "fault {id} lane {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_flush_is_a_noop() {
+        let circuit = c17();
+        let faults = circuit.collapsed_faults();
+        let mut session = DropSession::for_circuit(&circuit, faults);
+        let active: Vec<FaultId> = faults.ids().collect();
+        assert_eq!(session.pending(), 0);
+        assert!(session.flush(&active).is_empty());
+        assert_eq!(session.pending_detections(active[0]), 0);
+    }
+
+    #[test]
+    fn full_block_boundary() {
+        let circuit = c17();
+        let faults = circuit.collapsed_faults();
+        let patterns = PatternSet::random(5, 64, 7);
+        let mut session = DropSession::for_circuit(&circuit, faults);
+        for p in 0..64 {
+            session.push(&patterns.get(p));
+        }
+        assert!(session.is_full());
+        let active: Vec<FaultId> = faults.ids().collect();
+        let lists = session.flush(&active);
+        assert_eq!(lists.len(), 64);
+        assert_eq!(session.pending(), 0);
+        assert_eq!(lists, scalar_drop_lists(&circuit, faults, &patterns));
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern width")]
+    fn width_mismatch_panics() {
+        let circuit = c17();
+        let faults = circuit.collapsed_faults();
+        let mut session = DropSession::for_circuit(&circuit, faults);
+        session.push(&Pattern::new(vec![true]));
+    }
+}

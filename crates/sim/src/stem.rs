@@ -32,7 +32,7 @@
 //! all touch contiguous arrays in evaluation order.
 
 use adi_netlist::fault::{FaultId, FaultList, FaultSite};
-use adi_netlist::{FfrPartition, GateKind, LevelizedCsr, Netlist};
+use adi_netlist::{CompiledCircuit, GateKind, LevelizedCsr, Netlist};
 
 use crate::faultsim::{DropOutcome, NDetectOutcome};
 use crate::logic::{self, eval_with_pos};
@@ -56,22 +56,26 @@ struct FaultInfo {
 }
 
 /// The two-level stem-region fault-simulation engine, precomputed for
-/// one netlist and fault list.
+/// one compiled circuit and fault list.
 ///
 /// [`FaultSimulator`](crate::FaultSimulator) builds one of these per
 /// call when driving [`EngineKind::StemRegion`](crate::EngineKind); hold
-/// an instance directly to amortize the setup over many pattern sets.
+/// an instance directly to amortize the per-fault-list setup over many
+/// pattern sets. The per-circuit artifacts (levelized view, FFR
+/// decomposition) come from the [`CompiledCircuit`] and are shared, not
+/// rebuilt.
 ///
 /// # Examples
 ///
 /// ```
-/// use adi_netlist::{bench_format, fault::FaultList};
+/// use adi_netlist::{bench_format, CompiledCircuit};
 /// use adi_sim::{stem::StemRegionEngine, PatternSet};
 ///
 /// # fn main() -> Result<(), adi_netlist::NetlistError> {
 /// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
-/// let faults = FaultList::collapsed(&n);
-/// let engine = StemRegionEngine::new(&n, &faults);
+/// let circuit = CompiledCircuit::compile(n);
+/// let faults = circuit.collapsed_faults();
+/// let engine = StemRegionEngine::for_circuit(&circuit, faults);
 /// let matrix = engine.no_drop_matrix(&PatternSet::exhaustive(2));
 /// assert_eq!(matrix.num_detected_faults(), faults.len());
 /// # Ok(())
@@ -79,7 +83,7 @@ struct FaultInfo {
 /// ```
 #[derive(Clone, Debug)]
 pub struct StemRegionEngine<'a> {
-    view: LevelizedCsr,
+    circuit: CompiledCircuit,
     faults: &'a FaultList,
     /// Per-fault injection info, indexed by fault id.
     fault_info: Vec<FaultInfo>,
@@ -102,9 +106,9 @@ pub struct StemRegionEngine<'a> {
 
 /// Reusable per-block buffers for the stem-region engine.
 #[derive(Clone, Debug)]
-struct StemScratch {
+pub(crate) struct StemScratch {
     /// Good-machine words by position.
-    good: Vec<u64>,
+    pub(crate) good: Vec<u64>,
     /// Sensitization-to-root words by position.
     sens: Vec<u64>,
     /// Packed input words for the current block.
@@ -129,7 +133,7 @@ struct ObsScratch {
 }
 
 impl StemScratch {
-    fn new(view: &LevelizedCsr) -> Self {
+    pub(crate) fn new(view: &LevelizedCsr) -> Self {
         let n = view.num_nodes();
         StemScratch {
             good: vec![0; n],
@@ -150,15 +154,17 @@ impl StemScratch {
 }
 
 impl<'a> StemRegionEngine<'a> {
-    /// Builds the engine: levelized view, FFR decomposition, per-fault
-    /// injection info, and the fault-per-region grouping.
+    /// Builds the engine for `circuit`: per-fault injection info and the
+    /// fault-per-region grouping. The levelized view and the FFR
+    /// decomposition are shared from the compilation, not rebuilt.
     ///
     /// # Panics
     ///
-    /// Panics if any fault references a node outside the netlist.
-    pub fn new(netlist: &Netlist, faults: &'a FaultList) -> Self {
-        let view = LevelizedCsr::build(netlist);
-        let ffr = FfrPartition::compute(netlist);
+    /// Panics if any fault references a node outside the circuit.
+    pub fn for_circuit(circuit: &CompiledCircuit, faults: &'a FaultList) -> Self {
+        let netlist = circuit.netlist();
+        let view = circuit.view();
+        let ffr = circuit.ffr();
         let n = netlist.num_nodes();
 
         let mut is_root = vec![false; n];
@@ -246,7 +252,7 @@ impl<'a> StemRegionEngine<'a> {
         group_index.push(group_faults.len() as u32);
 
         StemRegionEngine {
-            view,
+            circuit: circuit.clone(),
             faults,
             fault_info,
             is_root,
@@ -258,9 +264,23 @@ impl<'a> StemRegionEngine<'a> {
         }
     }
 
+    /// Builds the engine from a bare netlist, compiling a private copy
+    /// (levelized view and FFR decomposition included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fault references a node outside the netlist.
+    #[deprecated(
+        since = "0.2.0",
+        note = "compile the netlist once (`CompiledCircuit::compile`) and use `StemRegionEngine::for_circuit`"
+    )]
+    pub fn new(netlist: &Netlist, faults: &'a FaultList) -> Self {
+        Self::for_circuit(&CompiledCircuit::compile(netlist.clone()), faults)
+    }
+
     /// The levelized view the engine runs on.
     pub fn view(&self) -> &LevelizedCsr {
-        &self.view
+        self.circuit.view()
     }
 
     /// Number of fanout-free regions containing at least one fault.
@@ -277,11 +297,11 @@ impl<'a> StemRegionEngine<'a> {
     pub fn no_drop_matrix(&self, patterns: &PatternSet) -> DetectionMatrix {
         self.assert_width(patterns);
         let mut matrix = DetectionMatrix::new(self.faults.len(), patterns.len());
-        let mut scratch = StemScratch::new(&self.view);
+        let mut scratch = StemScratch::new(self.view());
         for block in 0..patterns.num_blocks() {
             self.sim_block(patterns, block, &mut scratch);
             let mask = patterns.valid_mask(block);
-            self.for_each_detection(mask, &mut scratch, |fault, word| {
+            self.for_each_detection(mask, &mut scratch, None, |fault, word| {
                 matrix.or_word(FaultId::new(fault as usize), block, word);
             });
         }
@@ -323,12 +343,12 @@ impl<'a> StemRegionEngine<'a> {
                 handles.push(scope.spawn(move || {
                     let len = b1 - b0;
                     let mut local = vec![0u64; n_faults * len];
-                    let mut scratch = StemScratch::new(&self.view);
+                    let mut scratch = StemScratch::new(self.view());
                     for block in b0..b1 {
                         self.sim_block(patterns, block, &mut scratch);
                         let mask = patterns.valid_mask(block);
                         let off = block - b0;
-                        self.for_each_detection(mask, &mut scratch, |fault, word| {
+                        self.for_each_detection(mask, &mut scratch, None, |fault, word| {
                             local[fault as usize * len + off] |= word;
                         });
                     }
@@ -362,7 +382,7 @@ impl<'a> StemRegionEngine<'a> {
     /// Panics if the pattern width does not match the circuit.
     pub fn with_dropping(&self, patterns: &PatternSet) -> DropOutcome {
         self.assert_width(patterns);
-        let mut scratch = StemScratch::new(&self.view);
+        let mut scratch = StemScratch::new(self.view());
         let mut first: Vec<Option<u32>> = vec![None; self.faults.len()];
         let mut remaining = self.faults.len();
         for block in 0..patterns.num_blocks() {
@@ -384,7 +404,7 @@ impl<'a> StemRegionEngine<'a> {
                     if rd == 0 {
                         continue;
                     }
-                    let det = rd & stem_obs(&self.view, good, root, obs);
+                    let det = rd & stem_obs(self.view(), good, root, obs);
                     if det != 0 {
                         first[fault as usize] =
                             Some((block * 64) as u32 + det.trailing_zeros());
@@ -406,7 +426,7 @@ impl<'a> StemRegionEngine<'a> {
     pub fn n_detect(&self, patterns: &PatternSet, n: u32) -> NDetectOutcome {
         assert!(n > 0, "n-detection requires n >= 1");
         self.assert_width(patterns);
-        let mut scratch = StemScratch::new(&self.view);
+        let mut scratch = StemScratch::new(self.view());
         let mut counts = vec![0u32; self.faults.len()];
         let mut remaining = self.faults.len();
         for block in 0..patterns.num_blocks() {
@@ -428,7 +448,7 @@ impl<'a> StemRegionEngine<'a> {
                     if rd == 0 {
                         continue;
                     }
-                    let det = rd & stem_obs(&self.view, good, root, obs);
+                    let det = rd & stem_obs(self.view(), good, root, obs);
                     if det != 0 {
                         let c = &mut counts[fault as usize];
                         *c = (*c + det.count_ones()).min(n);
@@ -445,21 +465,29 @@ impl<'a> StemRegionEngine<'a> {
     fn assert_width(&self, patterns: &PatternSet) {
         assert_eq!(
             patterns.num_inputs(),
-            self.view.inputs().len(),
+            self.view().inputs().len(),
             "pattern width does not match circuit input count"
         );
     }
 
-    /// Loads one block: good-machine sweep forward, sensitization sweep
-    /// backward, and a fresh observability memo generation.
+    /// Loads one block: good-machine sweep forward, then
+    /// [`prepare_block`](Self::prepare_block).
     fn sim_block(&self, patterns: &PatternSet, block: usize, s: &mut StemScratch) {
         logic::load_input_words(patterns, block, &mut s.input_words);
-        logic::simulate_block_csr(&self.view, &s.input_words, &mut s.good);
+        logic::simulate_block_csr(self.view(), &s.input_words, &mut s.good);
+        self.prepare_block(s);
+    }
+
+    /// Prepares detection for a block whose good-machine words are
+    /// already in `s.good`: sensitization sweep backward plus a fresh
+    /// observability memo generation. Used directly by callers (the
+    /// batched ATPG drop session) that fill `s.good` themselves.
+    pub(crate) fn prepare_block(&self, s: &mut StemScratch) {
         // Reverse sweep: every reader sits at a higher position, so its
         // sensitization word is final before its drivers are visited.
         // Only positions on some fault's path to its root are consumed;
         // everything else is skipped.
-        for p in (0..self.view.num_nodes()).rev() {
+        for p in (0..self.view().num_nodes()).rev() {
             if self.is_root[p] {
                 s.sens[p] = !0u64;
             } else if self.sens_needed[p] {
@@ -467,8 +495,8 @@ impl<'a> StemRegionEngine<'a> {
                 s.sens[p] = s.sens[g as usize]
                     & pin_sens(
                         &s.good,
-                        self.view.kind_at(g as usize),
-                        self.view.fanins_at(g as usize),
+                        self.view().kind_at(g as usize),
+                        self.view().fanins_at(g as usize),
                         pin as usize,
                     );
             }
@@ -492,21 +520,25 @@ impl<'a> StemRegionEngine<'a> {
             }
             PosSite::Branch { gate_pos, pin } => {
                 let g = gate_pos as usize;
-                let fanins = self.view.fanins_at(g);
+                let fanins = self.view().fanins_at(g);
                 let src = fanins[pin as usize] as usize;
                 (good[src] ^ info.stuck_word)
-                    & pin_sens(good, self.view.kind_at(g), fanins, pin as usize)
+                    & pin_sens(good, self.view().kind_at(g), fanins, pin as usize)
                     & sens[g]
             }
         }
     }
 
     /// Visits every `(fault, detection_word)` pair with a non-zero word
-    /// for the current block.
-    fn for_each_detection(
+    /// for the current block. With `active`, faults whose flag is
+    /// `false` are skipped entirely (no stem-difference computation, and
+    /// regions with only inactive faults never pay an observability
+    /// walk).
+    pub(crate) fn for_each_detection(
         &self,
         valid_mask: u64,
         s: &mut StemScratch,
+        active: Option<&[bool]>,
         mut visit: impl FnMut(u32, u64),
     ) {
         let StemScratch { good, sens, obs, .. } = s;
@@ -515,11 +547,16 @@ impl<'a> StemRegionEngine<'a> {
             let lo = self.group_index[g] as usize;
             let hi = self.group_index[g + 1] as usize;
             for &fault in &self.group_faults[lo..hi] {
+                if let Some(flags) = active {
+                    if !flags[fault as usize] {
+                        continue;
+                    }
+                }
                 let rd = self.stem_diff(fault, good, sens) & valid_mask;
                 if rd == 0 {
                     continue;
                 }
-                let det = rd & stem_obs(&self.view, good, root, obs);
+                let det = rd & stem_obs(self.view(), good, root, obs);
                 if det != 0 {
                     visit(fault, det);
                 }
@@ -655,13 +692,17 @@ mod tests {
     use adi_netlist::fault::Fault;
     use adi_netlist::NetlistBuilder;
 
+    fn compile(netlist: &Netlist) -> CompiledCircuit {
+        CompiledCircuit::compile(netlist.clone())
+    }
+
     fn equivalence(src: &str, name: &str, inputs: usize) {
         let n = bench_format::parse(src, name).unwrap();
         let faults = FaultList::full(&n);
         let patterns = PatternSet::exhaustive(inputs);
-        let per_fault = FaultSimulator::with_engine(&n, &faults, EngineKind::PerFault)
+        let per_fault = FaultSimulator::for_circuit_with_engine(&compile(&n), &faults, EngineKind::PerFault)
             .no_drop_matrix(&patterns);
-        let stem = StemRegionEngine::new(&n, &faults).no_drop_matrix(&patterns);
+        let stem = StemRegionEngine::for_circuit(&compile(&n), &faults).no_drop_matrix(&patterns);
         assert_eq!(per_fault, stem, "{name}");
     }
 
@@ -724,9 +765,9 @@ mod tests {
         let n = b.build().unwrap();
         let faults = FaultList::full(&n);
         let patterns = PatternSet::exhaustive(1);
-        let per_fault = FaultSimulator::with_engine(&n, &faults, EngineKind::PerFault)
+        let per_fault = FaultSimulator::for_circuit_with_engine(&compile(&n), &faults, EngineKind::PerFault)
             .no_drop_matrix(&patterns);
-        let stem = StemRegionEngine::new(&n, &faults).no_drop_matrix(&patterns);
+        let stem = StemRegionEngine::for_circuit(&compile(&n), &faults).no_drop_matrix(&patterns);
         assert_eq!(per_fault, stem);
     }
 
@@ -735,7 +776,7 @@ mod tests {
         let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ns = AND(a, b)\np = NOT(s)\nq = BUF(s)\ny = AND(p, q)\n";
         let n = bench_format::parse(src, "reconv").unwrap();
         let faults = FaultList::full(&n);
-        let engine = StemRegionEngine::new(&n, &faults);
+        let engine = StemRegionEngine::for_circuit(&compile(&n), &faults);
         let total: usize = (0..engine.group_roots.len())
             .map(|g| (engine.group_index[g + 1] - engine.group_index[g]) as usize)
             .sum();
@@ -761,9 +802,9 @@ mod tests {
             Fault::branch_at(y, 0, true),
         ]);
         let patterns = PatternSet::exhaustive(1);
-        let per_fault = FaultSimulator::with_engine(&n, &faults, EngineKind::PerFault)
+        let per_fault = FaultSimulator::for_circuit_with_engine(&compile(&n), &faults, EngineKind::PerFault)
             .no_drop_matrix(&patterns);
-        let stem = StemRegionEngine::new(&n, &faults).no_drop_matrix(&patterns);
+        let stem = StemRegionEngine::for_circuit(&compile(&n), &faults).no_drop_matrix(&patterns);
         assert_eq!(per_fault, stem);
     }
 
@@ -772,7 +813,7 @@ mod tests {
         let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
         let n = bench_format::parse(src, "inv").unwrap();
         let faults = FaultList::collapsed(&n);
-        let engine = StemRegionEngine::new(&n, &faults);
+        let engine = StemRegionEngine::for_circuit(&compile(&n), &faults);
         let matrix = engine.no_drop_matrix(&PatternSet::new(1));
         assert_eq!(matrix.num_patterns(), 0);
         assert_eq!(matrix.num_detected_faults(), 0);
@@ -784,7 +825,7 @@ mod tests {
         let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
         let n = bench_format::parse(src, "and2").unwrap();
         let faults = FaultList::collapsed(&n);
-        let engine = StemRegionEngine::new(&n, &faults);
+        let engine = StemRegionEngine::for_circuit(&compile(&n), &faults);
         let _ = engine.no_drop_matrix(&PatternSet::exhaustive(3));
     }
 }

@@ -10,8 +10,7 @@
 //! and relative run times, i.e. a miniature of Tables 5 and 6.
 
 use adi::circuits::paper_suite_up_to;
-use adi::core::pipeline::run_experiment;
-use adi::core::{ExperimentConfig, FaultOrdering};
+use adi::core::{Experiment, FaultOrdering};
 
 fn main() {
     let orderings = [
@@ -27,8 +26,7 @@ fn main() {
 
     let mut totals = [0usize; 4];
     for circuit in paper_suite_up_to(250) {
-        let netlist = circuit.netlist();
-        let experiment = run_experiment(&netlist, &ExperimentConfig::default());
+        let experiment = Experiment::on(&circuit.compiled()).run();
         let counts: Vec<usize> = orderings
             .iter()
             .map(|&o| experiment.run_for(o).map(|r| r.num_tests()).unwrap_or(0))

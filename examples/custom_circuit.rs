@@ -10,10 +10,9 @@
 
 use adi::atpg::{TestGenConfig, TestGenerator};
 use adi::circuits::generators::ripple_carry_adder;
-use adi::core::uset::select_u;
+use adi::core::uset::select_u_for;
 use adi::core::{order_faults, AdiAnalysis, AdiConfig, FaultOrdering, USetConfig};
-use adi::netlist::fault::FaultList;
-use adi::netlist::{bench_format, NetlistStats};
+use adi::netlist::{bench_format, CompiledCircuit, NetlistStats};
 
 fn main() {
     let netlist = match std::env::args().nth(1) {
@@ -26,13 +25,15 @@ fn main() {
     };
     println!("{}\n", NetlistStats::compute(&netlist));
 
-    let faults = FaultList::collapsed(&netlist);
+    // Compile once; U selection, the ADI, and ATPG all reuse it.
+    let circuit = CompiledCircuit::compile(netlist);
+    let faults = circuit.collapsed_faults();
     println!("collapsed stuck-at faults: {}", faults.len());
 
-    let selection = select_u(&netlist, &faults, USetConfig::default());
-    let analysis = AdiAnalysis::compute(
-        &netlist,
-        &faults,
+    let selection = select_u_for(&circuit, faults, USetConfig::default());
+    let analysis = AdiAnalysis::for_circuit(
+        &circuit,
+        faults,
         &selection.patterns,
         AdiConfig::default(),
     );
@@ -47,7 +48,7 @@ fn main() {
     );
 
     let order = order_faults(&analysis, FaultOrdering::Dynamic0);
-    let result = TestGenerator::new(&netlist, &faults, TestGenConfig::default()).run(&order);
+    let result = TestGenerator::for_circuit(&circuit, faults, TestGenConfig::default()).run(&order);
     println!(
         "\nF0dynm test set: {} tests, coverage {:.1}%, {} redundant, {} aborted",
         result.num_tests(),

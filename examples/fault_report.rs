@@ -7,22 +7,24 @@
 //! cargo run --release --example fault_report
 //! ```
 
-use adi::atpg::Scoap;
 use adi::circuits::embedded;
-use adi::core::uset::select_u;
+use adi::core::uset::select_u_for;
 use adi::core::{AdiAnalysis, AdiConfig, USetConfig};
-use adi::netlist::fault::FaultList;
+use adi::netlist::CompiledCircuit;
 use adi::sim::probability::independent_probabilities;
 
 fn main() {
-    let netlist = embedded::s27();
-    let faults = FaultList::collapsed(&netlist);
-    let scoap = Scoap::compute(&netlist);
-    let prob = independent_probabilities(&netlist);
-    let selection = select_u(&netlist, &faults, USetConfig::default());
-    let analysis = AdiAnalysis::compute(
-        &netlist,
-        &faults,
+    // One compilation feeds all three analyses: SCOAP comes straight
+    // from the compiled circuit's cache.
+    let circuit = CompiledCircuit::compile(embedded::s27());
+    let netlist = circuit.netlist();
+    let faults = circuit.collapsed_faults();
+    let scoap = circuit.scoap();
+    let prob = independent_probabilities(netlist);
+    let selection = select_u_for(&circuit, faults, USetConfig::default());
+    let analysis = AdiAnalysis::for_circuit(
+        &circuit,
+        faults,
         &selection.patterns,
         AdiConfig::default(),
     );
@@ -42,7 +44,7 @@ fn main() {
         let cc = scoap.cc(site, !fault.stuck_value());
         println!(
             "{:<14} {:>5} {:>6} {:>6} {:>6} {:>8.3} {:>6}",
-            fault.describe(&netlist),
+            fault.describe(netlist),
             analysis.adi(id),
             analysis.detecting_patterns(id).count(),
             cc,

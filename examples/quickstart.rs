@@ -8,20 +8,20 @@
 //! detection indices, orders the faults all six ways, runs PODEM-based
 //! test generation per order, and prints a comparison.
 
-use adi::core::pipeline::run_experiment;
-use adi::core::{ExperimentConfig, FaultOrdering};
+use adi::core::{Experiment, ExperimentConfig, FaultOrdering};
 use adi::circuits::embedded;
-use adi::netlist::NetlistStats;
+use adi::netlist::{CompiledCircuit, NetlistStats};
 
 fn main() {
-    let netlist = embedded::c17();
-    println!("{}\n", NetlistStats::compute(&netlist));
+    // Compile once; every pipeline stage below shares this compilation.
+    let circuit = CompiledCircuit::compile(embedded::c17());
+    println!("{}\n", NetlistStats::compute(circuit.netlist()));
 
     let config = ExperimentConfig {
         orderings: FaultOrdering::ALL.to_vec(),
         ..ExperimentConfig::default()
     };
-    let experiment = run_experiment(&netlist, &config);
+    let experiment = Experiment::on(&circuit).config(config).run();
 
     println!(
         "U: {} vectors covering {:.1}% of {} collapsed faults",

@@ -12,15 +12,13 @@
 
 use adi::circuits::paper_suite;
 use adi::core::metrics::{ascii_plot, LabelledCurve};
-use adi::core::pipeline::run_experiment;
-use adi::core::{ExperimentConfig, FaultOrdering};
+use adi::core::{Experiment, ExperimentConfig, FaultOrdering};
 
 fn main() {
     let circuit = paper_suite()
         .into_iter()
         .find(|c| c.name == "irs298")
         .expect("suite contains irs298");
-    let netlist = circuit.netlist();
     let config = ExperimentConfig {
         orderings: vec![
             FaultOrdering::Original,
@@ -29,7 +27,7 @@ fn main() {
         ],
         ..ExperimentConfig::default()
     };
-    let experiment = run_experiment(&netlist, &config);
+    let experiment = Experiment::on(&circuit.compiled()).config(config).run();
 
     let curves: Vec<LabelledCurve> = [
         (FaultOrdering::Original, 'o'),

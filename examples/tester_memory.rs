@@ -11,15 +11,13 @@
 
 use adi::circuits::paper_suite;
 use adi::core::metrics::truncated_coverage;
-use adi::core::pipeline::run_experiment;
-use adi::core::{ExperimentConfig, FaultOrdering};
+use adi::core::{Experiment, ExperimentConfig, FaultOrdering};
 
 fn main() {
     let circuit = paper_suite()
         .into_iter()
         .find(|c| c.name == "irs344")
         .expect("suite contains irs344");
-    let netlist = circuit.netlist();
     let config = ExperimentConfig {
         orderings: vec![
             FaultOrdering::Original,
@@ -28,7 +26,7 @@ fn main() {
         ],
         ..ExperimentConfig::default()
     };
-    let experiment = run_experiment(&netlist, &config);
+    let experiment = Experiment::on(&circuit.compiled()).config(config).run();
 
     println!(
         "Coverage retained after dropping the tail of the test set ({}):\n",

@@ -18,12 +18,17 @@
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use adi::core::{pipeline::run_experiment, ExperimentConfig, FaultOrdering};
-//! use adi::circuits::embedded;
+//! Compile the circuit once; every analysis, simulator, and generator
+//! consumes the [`CompiledCircuit`](netlist::CompiledCircuit) and shares
+//! its artifacts (levelized view, FFR partition, fault lists, SCOAP):
 //!
-//! let netlist = embedded::c17();
-//! let experiment = run_experiment(&netlist, &ExperimentConfig::default());
+//! ```
+//! use adi::core::{Experiment, FaultOrdering};
+//! use adi::circuits::embedded;
+//! use adi::netlist::CompiledCircuit;
+//!
+//! let circuit = CompiledCircuit::compile(embedded::c17());
+//! let experiment = Experiment::on(&circuit).run();
 //! let orig = experiment.run_for(FaultOrdering::Original).unwrap();
 //! let dyn0 = experiment.run_for(FaultOrdering::Dynamic0).unwrap();
 //! assert_eq!(orig.result.coverage(), 1.0);
@@ -33,7 +38,25 @@
 //!     orig.num_tests(),
 //!     dyn0.num_tests()
 //! );
+//!
+//! // The compilation is Arc-backed: clone it freely and run as many
+//! // scenarios (orderings, vector budgets, n-detection settings) as you
+//! // like without repeating any setup.
+//! let decr = Experiment::on(&circuit)
+//!     .orderings(vec![FaultOrdering::Decr])
+//!     .run();
+//! assert_eq!(decr.runs.len(), 1);
 //! ```
+//!
+//! ### Migrating from the `&Netlist` entry points
+//!
+//! The pre-0.2 free-standing entry points (`run_experiment`,
+//! `select_u`, `AdiAnalysis::compute`, `FaultSimulator::new`,
+//! `GoodValues::compute`, `TestGenerator::new`, …) still exist as
+//! deprecated thin wrappers that compile a private copy of the netlist
+//! per call. Replace them with `CompiledCircuit::compile` plus the
+//! corresponding `for_circuit` method (or the `Experiment::on` builder);
+//! see the README's migration table.
 //!
 //! ## Regenerating the paper's results
 //!

@@ -6,7 +6,7 @@ use adi::core::dynamic::dynamic_order_traced;
 use adi::core::metrics::average_detection_position;
 use adi::core::{order_faults, AdiAnalysis, AdiConfig, AdiEstimator, FaultOrdering};
 use adi::netlist::fault::{FaultId, FaultList};
-use adi::netlist::Netlist;
+use adi::netlist::{CompiledCircuit, Netlist};
 use adi::sim::{CoverageCurve, PatternSet};
 use proptest::prelude::*;
 
@@ -17,9 +17,10 @@ fn tiny_circuit() -> impl Strategy<Value = Netlist> {
 }
 
 fn analysis_for(netlist: &Netlist, seed: u64) -> (FaultList, AdiAnalysis) {
+    let circuit = CompiledCircuit::compile(netlist.clone());
     let faults = FaultList::collapsed(netlist);
     let patterns = PatternSet::random(netlist.num_inputs(), 96, seed);
-    let analysis = AdiAnalysis::compute(netlist, &faults, &patterns, AdiConfig::default());
+    let analysis = AdiAnalysis::for_circuit(&circuit, &faults, &patterns, AdiConfig::default());
     (faults, analysis)
 }
 
@@ -53,11 +54,12 @@ proptest! {
 
     #[test]
     fn mean_estimator_dominates_min(netlist in tiny_circuit(), seed in any::<u64>()) {
+        let circuit = CompiledCircuit::compile(netlist.clone());
         let faults = FaultList::collapsed(&netlist);
         let patterns = PatternSet::random(netlist.num_inputs(), 96, seed);
-        let min = AdiAnalysis::compute(&netlist, &faults, &patterns, AdiConfig::default());
-        let mean = AdiAnalysis::compute(
-            &netlist,
+        let min = AdiAnalysis::for_circuit(&circuit, &faults, &patterns, AdiConfig::default());
+        let mean = AdiAnalysis::for_circuit(
+            &circuit,
             &faults,
             &patterns,
             AdiConfig { estimator: AdiEstimator::MeanNdet, ..AdiConfig::default() },
@@ -129,11 +131,12 @@ proptest! {
 
     #[test]
     fn n_detect_cap_never_increases_counts(netlist in tiny_circuit(), seed in any::<u64>(), cap in 1u32..6) {
+        let circuit = CompiledCircuit::compile(netlist.clone());
         let faults = FaultList::collapsed(&netlist);
         let patterns = PatternSet::random(netlist.num_inputs(), 96, seed);
-        let exact = AdiAnalysis::compute(&netlist, &faults, &patterns, AdiConfig::default());
-        let capped = AdiAnalysis::compute(
-            &netlist,
+        let exact = AdiAnalysis::for_circuit(&circuit, &faults, &patterns, AdiConfig::default());
+        let capped = AdiAnalysis::for_circuit(
+            &circuit,
             &faults,
             &patterns,
             AdiConfig { n_detect_cap: Some(cap), ..AdiConfig::default() },
@@ -156,7 +159,12 @@ fn zero_adi_faults_keep_relative_order() {
     let faults = FaultList::collapsed(&netlist);
     // A tiny U leaves many faults undetected (ADI = 0).
     let patterns = PatternSet::random(6, 2, 1);
-    let analysis = AdiAnalysis::compute(&netlist, &faults, &patterns, AdiConfig::default());
+    let analysis = AdiAnalysis::for_circuit(
+        &CompiledCircuit::compile(netlist.clone()),
+        &faults,
+        &patterns,
+        AdiConfig::default(),
+    );
     let zeros: Vec<FaultId> = faults.ids().filter(|&f| analysis.adi(f) == 0).collect();
     assert!(!zeros.is_empty(), "expected undetected faults with |U| = 2");
     for ordering in FaultOrdering::ALL {

@@ -1,0 +1,181 @@
+//! An offline, `cargo semver-checks`-style guard for the facade's public
+//! API: every load-bearing item is pinned by exact signature (via typed
+//! function pointers) or by type assertion, so renaming, re-typing, or
+//! dropping any of them breaks this test at compile time.
+//!
+//! The crate-level `deny(deprecated)` makes any *new* use of the legacy
+//! `&Netlist` wrappers an error throughout this file; the wrappers
+//! themselves are pinned inside narrowly-scoped `#[allow(deprecated)]`
+//! functions — that exemption is exactly the contract "deprecated but
+//! still compiling".
+
+#![deny(deprecated)]
+
+use std::time::Duration;
+
+use adi::atpg::{
+    DropLoopKind, FaultStatus, FillStrategy, Podem, PodemConfig, PodemOutcome, Scoap,
+    TestGenConfig, TestGenResult, TestGenerator,
+};
+use adi::circuits::PaperCircuit;
+use adi::core::{
+    order_faults, AdiAnalysis, AdiConfig, AdiSummary, Experiment, ExperimentBuilder,
+    ExperimentConfig, FaultOrdering, OrderingRun, USelection, USetConfig,
+};
+use adi::netlist::fault::{FaultId, FaultList};
+use adi::netlist::{CompiledCircuit, FfrPartition, LevelizedCsr, Netlist};
+use adi::sim::{
+    DetectionMatrix, DropOutcome, DropSession, EngineKind, FaultSimulator, GoodValues,
+    NDetectOutcome, Pattern, PatternSet, SimScratch, StemRegionEngine,
+};
+
+/// The compiled-circuit surface: compile-once entry point and artifact
+/// accessors.
+#[test]
+fn compiled_circuit_surface_is_stable() {
+    let _: fn(Netlist) -> CompiledCircuit = CompiledCircuit::compile;
+    let _: fn(&CompiledCircuit) -> &Netlist = CompiledCircuit::netlist;
+    let _: fn(&CompiledCircuit) -> &LevelizedCsr = CompiledCircuit::view;
+    let _: fn(&CompiledCircuit) -> &FfrPartition = CompiledCircuit::ffr;
+    let _: fn(&CompiledCircuit) -> &FaultList = CompiledCircuit::collapsed_faults;
+    let _: fn(&CompiledCircuit) -> &FaultList = CompiledCircuit::full_faults;
+    let _: fn(&CompiledCircuit) -> &Scoap = CompiledCircuit::scoap;
+    let _: fn(&CompiledCircuit, &CompiledCircuit) -> bool = CompiledCircuit::same_compilation;
+    let _: fn() -> u64 = LevelizedCsr::build_count;
+    // Cheap clonability is part of the contract.
+    fn assert_clone<T: Clone>() {}
+    assert_clone::<CompiledCircuit>();
+    let _: fn(Netlist) -> CompiledCircuit = <CompiledCircuit as From<Netlist>>::from;
+}
+
+/// The compiled entry points of every pipeline stage (pinned inside a
+/// lifetime-generic function so the fn-item-to-fn-pointer coercions use
+/// one concrete lifetime instead of higher-ranked ones).
+fn pin_compiled_entry_points<'a>(_: &'a ()) {
+    let _: fn(&CompiledCircuit, &PatternSet) -> GoodValues = GoodValues::for_circuit;
+    let _: fn(&'a CompiledCircuit, &'a FaultList) -> FaultSimulator<'a> =
+        FaultSimulator::for_circuit;
+    let _: fn(&'a CompiledCircuit, &'a FaultList, EngineKind) -> FaultSimulator<'a> =
+        FaultSimulator::for_circuit_with_engine;
+    let _: fn(&'a CompiledCircuit, &'a FaultList) -> StemRegionEngine<'a> =
+        StemRegionEngine::for_circuit;
+    let _: fn(&CompiledCircuit) -> SimScratch = SimScratch::for_circuit;
+    let _: fn(&'a CompiledCircuit, &'a FaultList) -> DropSession<'a> = DropSession::for_circuit;
+    let _: fn(&CompiledCircuit, usize, u64) -> Vec<f64> =
+        adi::sim::probability::sampled_probabilities_for;
+    let _: fn(&'a CompiledCircuit, PodemConfig) -> Podem<'a> = Podem::for_circuit;
+    let _: fn(&'a CompiledCircuit, &'a FaultList, TestGenConfig) -> TestGenerator<'a> =
+        TestGenerator::for_circuit;
+    let _: fn(&CompiledCircuit, &FaultList, &PatternSet, AdiConfig) -> AdiAnalysis =
+        AdiAnalysis::for_circuit;
+    let _: fn(&CompiledCircuit, &FaultList, USetConfig) -> USelection =
+        adi::core::uset::select_u_for;
+    let _: fn(&'a CompiledCircuit) -> ExperimentBuilder<'a> = Experiment::on;
+    let _: fn(&CompiledCircuit, &FaultList, &PatternSet) -> adi::core::reorder::ReorderResult =
+        adi::core::reorder::reorder_tests_for;
+    let _: fn(&CompiledCircuit, &FaultList, &PatternSet) -> Vec<usize> =
+        adi::core::reorder::reverse_order_compaction_for;
+    let _: fn(&PaperCircuit) -> CompiledCircuit = PaperCircuit::compiled;
+}
+
+#[test]
+fn compiled_entry_points_are_stable() {
+    pin_compiled_entry_points(&());
+}
+
+/// The experiment builder's fluent surface.
+fn pin_experiment_builder<'a>(_: &'a ()) {
+    let _: fn(ExperimentBuilder<'a>, ExperimentConfig) -> ExperimentBuilder<'a> =
+        ExperimentBuilder::config;
+    let _: fn(ExperimentBuilder<'a>, USetConfig) -> ExperimentBuilder<'a> =
+        ExperimentBuilder::uset;
+    let _: fn(ExperimentBuilder<'a>, AdiConfig) -> ExperimentBuilder<'a> = ExperimentBuilder::adi;
+    let _: fn(ExperimentBuilder<'a>, TestGenConfig) -> ExperimentBuilder<'a> =
+        ExperimentBuilder::testgen;
+    let _: fn(ExperimentBuilder<'a>, Vec<FaultOrdering>) -> ExperimentBuilder<'a> =
+        ExperimentBuilder::orderings;
+    let _: fn(ExperimentBuilder<'a>, bool) -> ExperimentBuilder<'a> =
+        ExperimentBuilder::collapse_faults;
+    let _: fn(ExperimentBuilder<'a>) -> Experiment = ExperimentBuilder::run;
+}
+
+#[test]
+fn experiment_builder_surface_is_stable() {
+    pin_experiment_builder(&());
+    // The result type keeps its reporting surface.
+    let _: fn(&Experiment, FaultOrdering) -> Option<&OrderingRun> = Experiment::run_for;
+    let _: fn(&Experiment, FaultOrdering) -> Option<f64> = Experiment::relative_runtime;
+    let _: fn(&Experiment, FaultOrdering) -> Option<f64> = Experiment::relative_ave;
+    fn fields(e: &Experiment) -> (&String, usize, usize, usize, f64, AdiSummary, Duration) {
+        (
+            &e.circuit,
+            e.num_inputs,
+            e.num_faults,
+            e.u_size,
+            e.u_coverage,
+            e.adi_summary,
+            e.adi_time,
+        )
+    }
+    let _ = fields;
+}
+
+/// Simulation / ATPG types keep their drive modes and knobs.
+fn pin_simulation_surface<'a>(_: &'a ()) {
+    let _: fn(&FaultSimulator<'a>, &PatternSet) -> DetectionMatrix = FaultSimulator::no_drop_matrix;
+    let _: fn(&FaultSimulator<'a>, &PatternSet, usize) -> DetectionMatrix =
+        FaultSimulator::no_drop_matrix_parallel;
+    let _: fn(&FaultSimulator<'a>, &PatternSet) -> DropOutcome = FaultSimulator::with_dropping;
+    let _: fn(&FaultSimulator<'a>, &PatternSet, u32) -> NDetectOutcome = FaultSimulator::n_detect;
+    let _: fn(&FaultSimulator<'a>, &Pattern, &[FaultId], &mut SimScratch) -> Vec<FaultId> =
+        FaultSimulator::detect_pattern;
+    let _: fn(&'a FaultSimulator<'a>) -> &'a CompiledCircuit = FaultSimulator::circuit;
+    let _: fn(&DropSession<'a>) -> usize = DropSession::pending;
+    let _: fn(&DropSession<'a>) -> bool = DropSession::is_full;
+    let _: fn(&mut DropSession<'a>, &Pattern) = DropSession::push;
+    let _: fn(&mut DropSession<'a>, FaultId) -> u64 = DropSession::pending_detections;
+    let _: fn(&mut DropSession<'a>, &[FaultId]) -> Vec<Vec<FaultId>> = DropSession::flush;
+    let _: fn(&TestGenResult) -> usize = TestGenResult::num_tests;
+    let _: fn(&AdiAnalysis, FaultOrdering) -> Vec<FaultId> = |a, o| order_faults(a, o);
+}
+
+#[test]
+fn simulation_surface_is_stable() {
+    pin_simulation_surface(&());
+    // Config enums and their defaults.
+    assert_eq!(EngineKind::default(), EngineKind::StemRegion);
+    assert_eq!(DropLoopKind::default(), DropLoopKind::Batched);
+    assert_eq!(TestGenConfig::default().drop_loop, DropLoopKind::Batched);
+    let _ = FillStrategy::Random;
+    let _ = PodemOutcome::Aborted;
+    let _ = FaultStatus::Redundant;
+}
+
+/// The deprecated `&Netlist` wrappers must stay present and compiling —
+/// each pinned inside its own `allow(deprecated)` scope, under the
+/// file-wide `deny(deprecated)`.
+#[test]
+fn deprecated_wrappers_stay_compiling() {
+    #[allow(deprecated)]
+    fn pins<'a>(_: &'a ()) {
+        let _: fn(&Netlist, &PatternSet) -> GoodValues = GoodValues::compute;
+        let _: fn(&'a Netlist, &'a FaultList) -> FaultSimulator<'a> = FaultSimulator::new;
+        let _: fn(&'a Netlist, &'a FaultList, EngineKind) -> FaultSimulator<'a> =
+            FaultSimulator::with_engine;
+        let _: fn(&'a Netlist, &'a FaultList) -> StemRegionEngine<'a> = StemRegionEngine::new;
+        let _: fn(&Netlist) -> SimScratch = SimScratch::new;
+        let _: fn(&Netlist, usize, u64) -> Vec<f64> = adi::sim::probability::sampled_probabilities;
+        let _: fn(&'a Netlist, &'a FaultList, TestGenConfig) -> TestGenerator<'a> =
+            TestGenerator::new;
+        let _: fn(&Netlist, &FaultList, &PatternSet, AdiConfig) -> AdiAnalysis =
+            AdiAnalysis::compute;
+        let _: fn(&Netlist, &FaultList, USetConfig) -> USelection = adi::core::uset::select_u;
+        let _: fn(&Netlist, &FaultList, &PatternSet) -> adi::core::reorder::ReorderResult =
+            adi::core::reorder::reorder_tests;
+        let _: fn(&Netlist, &FaultList, &PatternSet) -> Vec<usize> =
+            adi::core::reorder::reverse_order_compaction;
+        let _: fn(&Netlist, &ExperimentConfig) -> Experiment =
+            adi::core::pipeline::run_experiment;
+    }
+    pins(&());
+}

@@ -4,8 +4,8 @@
 
 use adi::circuits::{random_circuit, RandomCircuitConfig};
 use adi::netlist::fault::{Fault, FaultList, FaultSite};
-use adi::netlist::Netlist;
-use adi::sim::probability::{independent_probabilities, sampled_probabilities};
+use adi::netlist::{CompiledCircuit, Netlist};
+use adi::sim::probability::{independent_probabilities, sampled_probabilities_for};
 use adi::sim::{FaultSimulator, PatternSet};
 use proptest::prelude::*;
 
@@ -28,7 +28,8 @@ proptest! {
     fn dominance_inclusion_holds(netlist in tiny_circuit()) {
         let full = FaultList::full(&netlist);
         let patterns = PatternSet::exhaustive(netlist.num_inputs());
-        let matrix = FaultSimulator::new(&netlist, &full).no_drop_matrix(&patterns);
+        let matrix = FaultSimulator::for_circuit(&CompiledCircuit::compile(netlist.clone()), &full)
+            .no_drop_matrix(&patterns);
         let row = |f: Fault| -> Vec<usize> {
             let id = full.position(f).expect("fault in full universe");
             matrix.detecting_patterns(id).collect()
@@ -77,10 +78,11 @@ proptest! {
     fn sampled_probability_is_an_unbiased_estimate(netlist in tiny_circuit(), seed in any::<u64>()) {
         // For <= 8 inputs we can compute the exact probability by
         // exhaustive simulation and compare the sampler against it.
+        let circuit = CompiledCircuit::compile(netlist.clone());
         let exhaustive = PatternSet::exhaustive(netlist.num_inputs());
-        let good = adi::sim::GoodValues::compute(&netlist, &exhaustive);
+        let good = adi::sim::GoodValues::for_circuit(&circuit, &exhaustive);
         let n_pat = exhaustive.len();
-        let sampled = sampled_probabilities(&netlist, 4096, seed);
+        let sampled = sampled_probabilities_for(&circuit, 4096, seed);
         for node in netlist.node_ids() {
             let ones = (0..n_pat).filter(|&p| good.value(node, p)).count();
             let exact = ones as f64 / n_pat as f64;
@@ -98,7 +100,8 @@ proptest! {
         // independence assumption is exact.
         let netlist = adi::circuits::generators::parity_tree(width);
         let exhaustive = PatternSet::exhaustive(width);
-        let good = adi::sim::GoodValues::compute(&netlist, &exhaustive);
+        let good =
+            adi::sim::GoodValues::for_circuit(&CompiledCircuit::compile(netlist.clone()), &exhaustive);
         let p = independent_probabilities(&netlist);
         for node in netlist.node_ids() {
             let ones = (0..exhaustive.len()).filter(|&q| good.value(node, q)).count();

@@ -1,0 +1,65 @@
+//! The compile-once contract, counter-verified: one full `Experiment`
+//! over a suite circuit must perform **exactly one** `LevelizedCsr`
+//! build — the one inside `CompiledCircuit::compile` — no matter how
+//! many pipeline stages (U selection, no-drop simulation, ADI, four
+//! ATPG runs) consume the view.
+//!
+//! This file deliberately contains a single `#[test]`: the build counter
+//! is process-wide, and integration-test binaries run as separate
+//! processes, so keeping the file to one test makes the delta assertion
+//! race-free.
+
+use adi::circuits::paper_suite;
+use adi::core::{Experiment, ExperimentConfig, FaultOrdering};
+use adi::netlist::{CompiledCircuit, LevelizedCsr};
+
+#[test]
+fn one_experiment_levelizes_exactly_once() {
+    let suite = paper_suite();
+    let circuit = suite.iter().find(|c| c.name == "irs298").expect("in suite");
+    let netlist = circuit.netlist();
+
+    let before_compile = LevelizedCsr::build_count();
+    let compiled = CompiledCircuit::compile(netlist);
+    assert_eq!(
+        LevelizedCsr::build_count() - before_compile,
+        1,
+        "compile() performs the single levelization"
+    );
+
+    // The full paper pipeline — dropping simulation for U, parallel
+    // no-drop simulation for the ADI, and ATPG (with its batched drop
+    // sessions) under four fault orders — adds zero further builds.
+    let mut cfg = ExperimentConfig::default();
+    cfg.uset.max_vectors = 512;
+    cfg.adi.threads = 4;
+    let before_run = LevelizedCsr::build_count();
+    let experiment = Experiment::on(&compiled).config(cfg).run();
+    assert_eq!(
+        LevelizedCsr::build_count() - before_run,
+        0,
+        "an Experiment run must not re-levelize"
+    );
+
+    // Sanity: the run actually did the work.
+    assert_eq!(experiment.runs.len(), 4);
+    assert!(experiment.u_size > 0);
+    assert!(experiment
+        .run_for(FaultOrdering::Original)
+        .is_some_and(|r| r.num_tests() > 0));
+
+    // Scenario fan-out on the same compilation (the n-detection-style
+    // many-runs workload) stays at zero builds too.
+    let before_more = LevelizedCsr::build_count();
+    for ordering in [FaultOrdering::Decr, FaultOrdering::Incr0] {
+        let e = Experiment::on(&compiled)
+            .orderings(vec![ordering])
+            .uset(adi::core::USetConfig {
+                max_vectors: 256,
+                ..Default::default()
+            })
+            .run();
+        assert_eq!(e.runs.len(), 1);
+    }
+    assert_eq!(LevelizedCsr::build_count() - before_more, 0);
+}

@@ -5,7 +5,7 @@
 use adi::atpg::{FillStrategy, Podem, PodemConfig, PodemOutcome};
 use adi::circuits::{random_circuit, RandomCircuitConfig};
 use adi::netlist::fault::FaultList;
-use adi::netlist::Netlist;
+use adi::netlist::{CompiledCircuit, Netlist};
 use adi::sim::{logic, EventSim, FaultSimulator, GoodValues, PatternSet};
 use proptest::prelude::*;
 
@@ -22,7 +22,7 @@ proptest! {
     #[test]
     fn parallel_and_scalar_simulation_agree(netlist in tiny_circuit(), seed in any::<u64>()) {
         let patterns = PatternSet::random(netlist.num_inputs(), 96, seed);
-        let good = GoodValues::compute(&netlist, &patterns);
+        let good = GoodValues::for_circuit(&CompiledCircuit::compile(netlist.clone()), &patterns);
         for p in [0usize, 63, 64, 95] {
             let scalar = logic::evaluate(&netlist, patterns.get(p).as_slice());
             for node in netlist.node_ids() {
@@ -49,10 +49,11 @@ proptest! {
     fn podem_tests_are_sound(netlist in tiny_circuit()) {
         // Every test PODEM produces must actually detect its target under
         // both all-zeros and all-ones completion.
+        let circuit = CompiledCircuit::compile(netlist.clone());
         let faults = FaultList::collapsed(&netlist);
-        let sim = FaultSimulator::new(&netlist, &faults);
-        let mut scratch = adi::sim::faultsim::SimScratch::new(&netlist);
-        let mut podem = Podem::new(&netlist, PodemConfig::default());
+        let sim = FaultSimulator::for_circuit(&circuit, &faults);
+        let mut scratch = adi::sim::SimScratch::for_circuit(&circuit);
+        let mut podem = Podem::for_circuit(&circuit, PodemConfig::default());
         for (id, fault) in faults.iter() {
             if let PodemOutcome::Test(cube) = podem.generate(fault) {
                 for fill in [FillStrategy::Zeros, FillStrategy::Ones] {
@@ -72,8 +73,9 @@ proptest! {
         // testability. PODEM (with a generous backtrack budget) must agree.
         let faults = FaultList::collapsed(&netlist);
         let patterns = PatternSet::exhaustive(netlist.num_inputs());
-        let matrix = FaultSimulator::new(&netlist, &faults).no_drop_matrix(&patterns);
-        let mut podem = Podem::new(&netlist, PodemConfig { backtrack_limit: 10_000 });
+        let circuit = CompiledCircuit::compile(netlist.clone());
+        let matrix = FaultSimulator::for_circuit(&circuit, &faults).no_drop_matrix(&patterns);
+        let mut podem = Podem::for_circuit(&circuit, PodemConfig { backtrack_limit: 10_000 });
         for (id, fault) in faults.iter() {
             let truly_testable = matrix.detected_any(id);
             match podem.generate(fault) {
@@ -97,7 +99,8 @@ proptest! {
         let patterns = PatternSet::exhaustive(netlist.num_inputs());
         let classes = adi::netlist::fault::equivalence_classes(&netlist);
         let full = FaultList::full(&netlist);
-        let matrix = FaultSimulator::new(&netlist, &full).no_drop_matrix(&patterns);
+        let matrix = FaultSimulator::for_circuit(&CompiledCircuit::compile(netlist.clone()), &full)
+            .no_drop_matrix(&patterns);
         for class in classes {
             let rows: Vec<Vec<usize>> = class
                 .iter()
@@ -116,7 +119,7 @@ proptest! {
     fn dropping_is_consistent_with_no_drop(netlist in tiny_circuit(), seed in any::<u64>()) {
         let faults = FaultList::collapsed(&netlist);
         let patterns = PatternSet::random(netlist.num_inputs(), 128, seed);
-        let sim = FaultSimulator::new(&netlist, &faults);
+        let sim = FaultSimulator::for_circuit(&CompiledCircuit::compile(netlist.clone()), &faults);
         let matrix = sim.no_drop_matrix(&patterns);
         let drop = sim.with_dropping(&patterns);
         for id in faults.ids() {

@@ -5,7 +5,7 @@
 
 use adi::circuits::{embedded, paper_suite, random_circuit, RandomCircuitConfig};
 use adi::netlist::fault::{Fault, FaultList, FaultSite};
-use adi::netlist::{GateKind, Netlist};
+use adi::netlist::{CompiledCircuit, GateKind, Netlist};
 use adi::sim::{logic, EngineKind, FaultSimulator, Pattern, PatternSet, StemRegionEngine};
 use proptest::prelude::*;
 
@@ -14,9 +14,10 @@ fn matrices_for(
     faults: &FaultList,
     patterns: &PatternSet,
 ) -> (adi::sim::DetectionMatrix, adi::sim::DetectionMatrix) {
-    let per_fault =
-        FaultSimulator::with_engine(netlist, faults, EngineKind::PerFault).no_drop_matrix(patterns);
-    let stem = FaultSimulator::with_engine(netlist, faults, EngineKind::StemRegion)
+    let circuit = CompiledCircuit::compile(netlist.clone());
+    let per_fault = FaultSimulator::for_circuit_with_engine(&circuit, faults, EngineKind::PerFault)
+        .no_drop_matrix(patterns);
+    let stem = FaultSimulator::for_circuit_with_engine(&circuit, faults, EngineKind::StemRegion)
         .no_drop_matrix(patterns);
     (per_fault, stem)
 }
@@ -101,8 +102,11 @@ fn drive_modes_identical_on_suite_sample() {
         let netlist = circuit.netlist();
         let faults = FaultList::collapsed(&netlist);
         let patterns = PatternSet::random(netlist.num_inputs(), 256, 7);
-        let per_fault = FaultSimulator::with_engine(&netlist, &faults, EngineKind::PerFault);
-        let stem = FaultSimulator::with_engine(&netlist, &faults, EngineKind::StemRegion);
+        let compiled = CompiledCircuit::compile(netlist.clone());
+        let per_fault =
+            FaultSimulator::for_circuit_with_engine(&compiled, &faults, EngineKind::PerFault);
+        let stem =
+            FaultSimulator::for_circuit_with_engine(&compiled, &faults, EngineKind::StemRegion);
         assert_eq!(
             per_fault.with_dropping(&patterns),
             stem.with_dropping(&patterns),
@@ -127,8 +131,9 @@ fn parallel_identical_across_engines_and_threads() {
     let faults = FaultList::collapsed(&netlist);
     let patterns = PatternSet::random(netlist.num_inputs(), 300, 13);
     let (serial, _) = matrices_for(&netlist, &faults, &patterns);
+    let circuit = CompiledCircuit::compile(netlist.clone());
     for engine in [EngineKind::PerFault, EngineKind::StemRegion] {
-        let sim = FaultSimulator::with_engine(&netlist, &faults, engine);
+        let sim = FaultSimulator::for_circuit_with_engine(&circuit, &faults, engine);
         for threads in [1, 2, 5, 16] {
             assert_eq!(
                 serial,
@@ -143,11 +148,12 @@ fn parallel_identical_across_engines_and_threads() {
 #[test]
 fn prebuilt_engine_is_reusable() {
     let netlist = embedded::c17();
+    let circuit = CompiledCircuit::compile(netlist.clone());
     let faults = FaultList::full(&netlist);
-    let engine = StemRegionEngine::new(&netlist, &faults);
+    let engine = StemRegionEngine::for_circuit(&circuit, &faults);
     for seed in [1u64, 2, 3] {
         let patterns = PatternSet::random(netlist.num_inputs(), 100, seed);
-        let fresh = FaultSimulator::with_engine(&netlist, &faults, EngineKind::PerFault)
+        let fresh = FaultSimulator::for_circuit_with_engine(&circuit, &faults, EngineKind::PerFault)
             .no_drop_matrix(&patterns);
         assert_eq!(engine.no_drop_matrix(&patterns), fresh, "seed {seed}");
     }
@@ -193,8 +199,10 @@ proptest! {
     fn differential_drive_modes(netlist in tiny_circuit(), seed in any::<u64>()) {
         let faults = FaultList::collapsed(&netlist);
         let patterns = PatternSet::random(netlist.num_inputs(), 130, seed);
-        let per_fault = FaultSimulator::with_engine(&netlist, &faults, EngineKind::PerFault);
-        let stem = FaultSimulator::with_engine(&netlist, &faults, EngineKind::StemRegion);
+        let circuit = CompiledCircuit::compile(netlist.clone());
+        let per_fault =
+            FaultSimulator::for_circuit_with_engine(&circuit, &faults, EngineKind::PerFault);
+        let stem = FaultSimulator::for_circuit_with_engine(&circuit, &faults, EngineKind::StemRegion);
         prop_assert_eq!(per_fault.with_dropping(&patterns), stem.with_dropping(&patterns));
         prop_assert_eq!(per_fault.n_detect(&patterns, 4), stem.n_detect(&patterns, 4));
     }

@@ -2,7 +2,8 @@
 //! resolve under its facade path, and the crate-root quickstart must
 //! actually run on `c17`.
 
-use adi::core::{pipeline::run_experiment, ExperimentConfig, FaultOrdering};
+use adi::core::{Experiment, FaultOrdering};
+use adi::netlist::CompiledCircuit;
 
 #[test]
 fn all_reexports_resolve_under_facade_paths() {
@@ -12,25 +13,26 @@ fn all_reexports_resolve_under_facade_paths() {
     let stats = adi::netlist::NetlistStats::compute(&netlist);
     assert!(stats.num_gates > 0);
 
-    let faults = adi::netlist::fault::FaultList::collapsed(&netlist);
+    let circuit = adi::netlist::CompiledCircuit::compile(netlist);
+    let faults = circuit.collapsed_faults();
     assert!(!faults.is_empty());
 
-    let patterns = adi::sim::PatternSet::exhaustive(netlist.num_inputs());
-    let good = adi::sim::GoodValues::compute(&netlist, &patterns);
-    let first_output = *netlist.outputs().first().expect("c17 has outputs");
+    let patterns = adi::sim::PatternSet::exhaustive(circuit.netlist().num_inputs());
+    let good = adi::sim::GoodValues::for_circuit(&circuit, &patterns);
+    let first_output = *circuit.netlist().outputs().first().expect("c17 has outputs");
     // Force evaluation of the simulator result.
     let _ = good.value(first_output, 0);
 
-    let mut podem = adi::atpg::Podem::new(&netlist, adi::atpg::PodemConfig::default());
+    let mut podem = adi::atpg::Podem::for_circuit(&circuit, adi::atpg::PodemConfig::default());
     let (_, fault) = faults.iter().next().expect("collapsed list non-empty");
     assert!(matches!(
         podem.generate(fault),
         adi::atpg::PodemOutcome::Test(_)
     ));
 
-    let analysis = adi::core::AdiAnalysis::compute(
-        &netlist,
-        &faults,
+    let analysis = adi::core::AdiAnalysis::for_circuit(
+        &circuit,
+        faults,
         &patterns,
         adi::core::AdiConfig::default(),
     );
@@ -41,8 +43,8 @@ fn all_reexports_resolve_under_facade_paths() {
 fn quickstart_runs_on_c17() {
     // Mirrors the crate-root doctest; kept as an integration test so a
     // quickstart regression fails even when doctests are skipped.
-    let netlist = adi::circuits::embedded::c17();
-    let experiment = run_experiment(&netlist, &ExperimentConfig::default());
+    let circuit = CompiledCircuit::compile(adi::circuits::embedded::c17());
+    let experiment = Experiment::on(&circuit).run();
     let orig = experiment.run_for(FaultOrdering::Original).unwrap();
     let dyn0 = experiment.run_for(FaultOrdering::Dynamic0).unwrap();
     assert_eq!(orig.result.coverage(), 1.0);

@@ -8,8 +8,8 @@
 //!    `AVE` is below 1 (Table 7, paper averages 0.870/0.898).
 
 use adi::circuits::{random_circuit, RandomCircuitConfig};
-use adi::core::pipeline::run_experiment;
-use adi::core::{ExperimentConfig, FaultOrdering};
+use adi::core::{Experiment, ExperimentConfig, FaultOrdering};
+use adi::netlist::CompiledCircuit;
 
 /// A basket of medium circuits, kept small enough for debug-mode CI.
 ///
@@ -35,7 +35,9 @@ fn table5_shape_f0dynm_smallest_incr0_largest() {
     for netlist in basket() {
         let mut cfg = ExperimentConfig::default();
         cfg.uset.max_vectors = 1024;
-        let e = run_experiment(&netlist, &cfg);
+        let e = Experiment::on(&CompiledCircuit::compile(netlist))
+            .config(cfg)
+            .run();
         for run in &e.runs {
             *totals.entry(run.ordering).or_insert(0usize) += run.num_tests();
         }
@@ -73,7 +75,9 @@ fn table7_shape_dynamic_orders_steepen_curves() {
             FaultOrdering::Dynamic,
             FaultOrdering::Dynamic0,
         ];
-        let e = run_experiment(&netlist, &cfg);
+        let e = Experiment::on(&CompiledCircuit::compile(netlist))
+            .config(cfg)
+            .run();
         sum_dynm += e.relative_ave(FaultOrdering::Dynamic).unwrap();
         sum_dynm0 += e.relative_ave(FaultOrdering::Dynamic0).unwrap();
         n += 1;

@@ -3,9 +3,8 @@
 
 use adi::atpg::{TestGenConfig, TestGenerator};
 use adi::circuits::{embedded, random_circuit, RandomCircuitConfig};
-use adi::core::pipeline::run_experiment;
-use adi::core::{order_faults, AdiAnalysis, AdiConfig, ExperimentConfig, FaultOrdering};
-use adi::netlist::fault::FaultList;
+use adi::core::{order_faults, AdiAnalysis, AdiConfig, Experiment, ExperimentConfig, FaultOrdering};
+use adi::netlist::CompiledCircuit;
 use adi::sim::{FaultSimulator, PatternSet};
 
 fn small_config() -> ExperimentConfig {
@@ -16,10 +15,10 @@ fn small_config() -> ExperimentConfig {
 
 #[test]
 fn c17_pipeline_all_orderings() {
-    let netlist = embedded::c17();
+    let circuit = CompiledCircuit::compile(embedded::c17());
     let mut cfg = small_config();
     cfg.orderings = FaultOrdering::ALL.to_vec();
-    let e = run_experiment(&netlist, &cfg);
+    let e = Experiment::on(&circuit).config(cfg).run();
     assert_eq!(e.runs.len(), 6);
     for run in &e.runs {
         assert_eq!(run.result.coverage(), 1.0, "{}", run.ordering);
@@ -30,8 +29,8 @@ fn c17_pipeline_all_orderings() {
 
 #[test]
 fn s27_pipeline_has_full_efficiency() {
-    let netlist = embedded::s27();
-    let e = run_experiment(&netlist, &small_config());
+    let circuit = CompiledCircuit::compile(embedded::s27());
+    let e = Experiment::on(&circuit).config(small_config()).run();
     for run in &e.runs {
         // Everything is either detected or proven redundant.
         assert!(
@@ -45,10 +44,10 @@ fn s27_pipeline_has_full_efficiency() {
 
 #[test]
 fn lion_pipeline_matches_walkthrough_shape() {
-    let netlist = embedded::lion();
-    let faults = FaultList::collapsed(&netlist);
+    let circuit = CompiledCircuit::compile(embedded::lion());
+    let faults = circuit.collapsed_faults();
     let u = PatternSet::exhaustive(4);
-    let analysis = AdiAnalysis::compute(&netlist, &faults, &u, AdiConfig::default());
+    let analysis = AdiAnalysis::for_circuit(&circuit, faults, &u, AdiConfig::default());
     // Every fault of the lion stand-in is detectable by exhaustive U.
     assert!(faults.ids().all(|f| analysis.detected(f)));
     // ndet(u) sums to the total number of (fault, vector) detections.
@@ -64,24 +63,27 @@ fn lion_pipeline_matches_walkthrough_shape() {
 fn generated_tests_verified_by_independent_simulation() {
     // The pipeline's claimed coverage must agree with re-simulating its
     // test set from scratch (catches bookkeeping drift between crates).
-    let netlist = random_circuit(&RandomCircuitConfig::new("x", 12, 90, 5));
-    let faults = FaultList::collapsed(&netlist);
+    let circuit =
+        CompiledCircuit::compile(random_circuit(&RandomCircuitConfig::new("x", 12, 90, 5)));
+    let faults = circuit.collapsed_faults();
     let u = PatternSet::random(12, 512, 7);
-    let analysis = AdiAnalysis::compute(&netlist, &faults, &u, AdiConfig::default());
+    let analysis = AdiAnalysis::for_circuit(&circuit, faults, &u, AdiConfig::default());
     let order = order_faults(&analysis, FaultOrdering::Dynamic0);
-    let result = TestGenerator::new(&netlist, &faults, TestGenConfig::default()).run(&order);
+    let result =
+        TestGenerator::for_circuit(&circuit, faults, TestGenConfig::default()).run(&order);
 
     let set = PatternSet::from_patterns(12, result.tests.iter());
-    let drop = FaultSimulator::new(&netlist, &faults).with_dropping(&set);
+    let drop = FaultSimulator::for_circuit(&circuit, faults).with_dropping(&set);
     assert_eq!(drop.num_detected(), result.num_detected());
 }
 
 #[test]
 fn orderings_do_not_change_what_is_detectable() {
-    let netlist = random_circuit(&RandomCircuitConfig::new("y", 10, 70, 11));
+    let circuit =
+        CompiledCircuit::compile(random_circuit(&RandomCircuitConfig::new("y", 10, 70, 11)));
     let mut cfg = small_config();
     cfg.orderings = FaultOrdering::ALL.to_vec();
-    let e = run_experiment(&netlist, &cfg);
+    let e = Experiment::on(&circuit).config(cfg).run();
     let detected: Vec<usize> = e.runs.iter().map(|r| r.result.num_detected()).collect();
     // A complete ATPG detects the same fault set under any order; aborts
     // could in principle differ, so require zero aborts first.
@@ -96,8 +98,8 @@ fn orderings_do_not_change_what_is_detectable() {
 
 #[test]
 fn experiment_reports_consistent_summary() {
-    let netlist = embedded::s27();
-    let e = run_experiment(&netlist, &small_config());
+    let circuit = CompiledCircuit::compile(embedded::s27());
+    let e = Experiment::on(&circuit).config(small_config()).run();
     assert_eq!(e.circuit, "s27");
     assert_eq!(e.num_inputs, 7);
     assert!(e.u_size > 0);
