@@ -11,7 +11,10 @@
 //! * [`Podem`] — the path-oriented decision making test generator with
 //!   X-path checking and a backtrack limit, returning a [`TestCube`]
 //!   (possibly partial input assignment), an untestability proof, or an
-//!   abort.
+//!   abort. Two bit-identical simulation backends are selected by
+//!   [`PodemEngine`]: the default incremental event-driven evaluator
+//!   over the compiled position space, and the classic full-netlist
+//!   resimulation kept as the differential oracle.
 //! * [`FillStrategy`] — completion of unspecified cube inputs.
 //! * [`testgen`] — the ordered-fault-list driver with fault dropping:
 //!   exactly the "test generation procedure without dynamic compaction
@@ -53,7 +56,7 @@ pub mod value;
 
 pub use cube::TestCube;
 pub use fill::FillStrategy;
-pub use podem::{Podem, PodemConfig, PodemOutcome, PodemStats};
+pub use podem::{Podem, PodemConfig, PodemEngine, PodemOutcome, PodemStats};
 pub use testgen::{DropLoopKind, FaultStatus, TestGenConfig, TestGenResult, TestGenerator};
 pub use value::T3;
 

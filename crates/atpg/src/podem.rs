@@ -10,17 +10,61 @@
 //!    observability.
 //! 3. **Backtrace** maps the objective to an unassigned primary input,
 //!    guided by SCOAP controllability.
-//! 4. The input is assigned and both machines are re-simulated. Conflicts
+//! 4. The input is assigned and both machines are updated. Conflicts
 //!    (fault unexcitable, empty D-frontier, or no X-path to any output)
 //!    trigger chronological backtracking with a configurable limit.
-
-use std::borrow::Cow;
+//!
+//! Step 4 is where the two [`PodemEngine`]s differ:
+//!
+//! * [`PodemEngine::EventDriven`] (the default) runs on
+//!   [`adi_sim::t3event::DualMachineSim`], the incremental dual-machine
+//!   evaluator over the compiled [`LevelizedCsr`](adi_netlist::LevelizedCsr)
+//!   position space: an assignment seeds one event wave from the changed
+//!   primary input, a backtrack retracts exactly the nodes the decision
+//!   changed (an undo trail, not a resimulation), detection and the
+//!   D-frontier are maintained incrementally, and the X-path check walks
+//!   only the still-X region pruned by output-cone reachability masks.
+//! * [`PodemEngine::FullResim`] re-simulates both machines over the whole
+//!   netlist in node-id order on every decision and backtrack — the
+//!   classic implementation, kept as the differential-testing oracle.
+//!
+//! Both engines produce **bit-identical** outcomes, test cubes, and
+//! decision/backtrack counts (asserted by the `podem_equivalence`
+//! differential suite and gated in `perf_report`); only the
+//! [`PodemStats::sim_events`] / [`PodemStats::sim_updates`] diagnostics
+//! reflect the backend actually doing the work.
 
 use adi_netlist::fault::{Fault, FaultSite};
 use adi_netlist::{CompiledCircuit, GateKind, Netlist, NodeId};
+use adi_sim::t3event::DualMachineSim;
 
-use crate::value::{eval_t3, T3};
+use crate::value::{eval_t3, eval_t3_branch, T3};
 use crate::{Scoap, TestCube};
+
+/// Which simulation backend drives the PODEM search.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PodemEngine {
+    /// Re-simulate both 3-valued machines over the whole netlist after
+    /// every decision and backtrack. Kept as the differential-testing
+    /// oracle.
+    FullResim,
+    /// Incremental event-driven evaluation on the compiled position
+    /// space ([`adi_sim::t3event::DualMachineSim`]): events propagate
+    /// only from the changed input, and backtracks retract via an undo
+    /// trail. Bit-identical to [`FullResim`](PodemEngine::FullResim),
+    /// asymptotically faster.
+    #[default]
+    EventDriven,
+}
+
+impl std::fmt::Display for PodemEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PodemEngine::FullResim => write!(f, "full-resim"),
+            PodemEngine::EventDriven => write!(f, "event-driven"),
+        }
+    }
+}
 
 /// Tuning knobs for [`Podem`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -28,14 +72,19 @@ pub struct PodemConfig {
     /// Maximum number of backtracks before the target is abandoned as
     /// [`PodemOutcome::Aborted`].
     pub backtrack_limit: u32,
+    /// Which simulation backend drives the search
+    /// ([`PodemEngine::EventDriven`] by default; both backends are
+    /// bit-identical in outcomes, cubes, and decision/backtrack counts).
+    pub engine: PodemEngine,
 }
 
 impl Default for PodemConfig {
-    /// 1000 backtracks, a generous budget for circuits of the paper's
-    /// scale.
+    /// 1000 backtracks (a generous budget for circuits of the paper's
+    /// scale) on the event-driven engine.
     fn default() -> Self {
         PodemConfig {
             backtrack_limit: 1000,
+            engine: PodemEngine::default(),
         }
     }
 }
@@ -62,6 +111,12 @@ impl PodemOutcome {
 }
 
 /// Counters accumulated across [`Podem::generate`] calls.
+///
+/// The search counters (`targets` through `decisions`) are part of the
+/// engine-parity contract: both [`PodemEngine`]s produce the same values
+/// for the same targets. `sim_events` / `sim_updates` are backend
+/// diagnostics — they measure how much simulation work the configured
+/// engine actually performed and naturally differ between engines.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct PodemStats {
     /// Total targets attempted.
@@ -76,22 +131,54 @@ pub struct PodemStats {
     pub backtracks: u64,
     /// Total primary-input decisions across all targets.
     pub decisions: u64,
+    /// Node evaluations performed by the simulation backend (for the
+    /// full-resim oracle, every node of both machines per resimulation;
+    /// for the event engine, nodes actually visited by event waves).
+    pub sim_events: u64,
+    /// Node value changes applied by the event engine's waves (zero for
+    /// the full-resim oracle, which overwrites rather than tracks).
+    pub sim_updates: u64,
+}
+
+impl PodemStats {
+    /// The engine-parity counters as one tuple — everything except the
+    /// backend-specific `sim_events`/`sim_updates` diagnostics. Both
+    /// [`PodemEngine`]s must produce equal values here; every parity
+    /// gate (the equivalence suite, `perf_report`) compares through this
+    /// single accessor so the contract cannot drift.
+    pub fn search_counters(self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.targets,
+            self.tests,
+            self.untestable,
+            self.aborted,
+            self.backtracks,
+            self.decisions,
+        )
+    }
 }
 
 /// The PODEM test generator, reusable across many target faults of one
-/// netlist.
+/// compiled circuit.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
 #[derive(Clone, Debug)]
-pub struct Podem<'a> {
-    netlist: &'a Netlist,
-    scoap: Cow<'a, Scoap>,
+pub struct Podem {
+    circuit: CompiledCircuit,
     config: PodemConfig,
     stats: PodemStats,
-    good: Vec<T3>,
-    faulty: Vec<T3>,
     pi_values: Vec<T3>,
     pi_index_of: Vec<usize>,
+    /// Full-resim machine state, node-indexed (the oracle backend);
+    /// sized on first full-resim target so the event engine never pays
+    /// for it.
+    good: Vec<T3>,
+    faulty: Vec<T3>,
+    /// Event-driven backend, built on first event-driven target so the
+    /// full-resim oracle never pays its setup.
+    sim: Option<DualMachineSim>,
+    /// Scratch for the event path's frontier snapshot.
+    frontier_buf: Vec<NodeId>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -101,37 +188,36 @@ struct Decision {
     flipped: bool,
 }
 
-impl<'a> Podem<'a> {
-    /// Creates a generator for `netlist`, precomputing SCOAP measures.
+impl Podem {
+    /// Creates a generator for `netlist`, compiling a private copy
+    /// (levelized view, SCOAP measures included).
     ///
-    /// When a [`CompiledCircuit`] is available, prefer
-    /// [`Podem::for_circuit`], which borrows the compilation's cached
-    /// SCOAP instead of recomputing it.
-    pub fn new(netlist: &'a Netlist, config: PodemConfig) -> Self {
-        Self::with_scoap(netlist, Cow::Owned(Scoap::compute(netlist)), config)
+    /// Prefer [`Podem::for_circuit`] when a [`CompiledCircuit`] is at
+    /// hand — it shares the compilation's cached artifacts instead of
+    /// rebuilding them per generator.
+    pub fn new(netlist: &Netlist, config: PodemConfig) -> Self {
+        Self::for_circuit(&CompiledCircuit::compile(netlist.clone()), config)
     }
 
     /// Creates a generator over a compiled circuit, sharing its cached
-    /// SCOAP measures (computed once per compilation, not per
-    /// generator).
-    pub fn for_circuit(circuit: &'a CompiledCircuit, config: PodemConfig) -> Self {
-        Self::with_scoap(circuit.netlist(), Cow::Borrowed(circuit.scoap()), config)
-    }
-
-    fn with_scoap(netlist: &'a Netlist, scoap: Cow<'a, Scoap>, config: PodemConfig) -> Self {
+    /// SCOAP measures and levelized view (computed once per compilation,
+    /// not per generator).
+    pub fn for_circuit(circuit: &CompiledCircuit, config: PodemConfig) -> Self {
+        let netlist = circuit.netlist();
         let mut pi_index_of = vec![usize::MAX; netlist.num_nodes()];
         for (i, &pi) in netlist.inputs().iter().enumerate() {
             pi_index_of[pi.index()] = i;
         }
         Podem {
-            netlist,
-            scoap,
             config,
             stats: PodemStats::default(),
-            good: vec![T3::X; netlist.num_nodes()],
-            faulty: vec![T3::X; netlist.num_nodes()],
             pi_values: vec![T3::X; netlist.num_inputs()],
             pi_index_of,
+            good: Vec::new(),
+            faulty: Vec::new(),
+            sim: None,
+            frontier_buf: Vec::new(),
+            circuit: circuit.clone(),
         }
     }
 
@@ -140,9 +226,15 @@ impl<'a> Podem<'a> {
         self.stats
     }
 
-    /// The SCOAP measures used by backtrace (exposed for diagnostics).
+    /// The SCOAP measures used by backtrace (shared from the
+    /// compilation; exposed for diagnostics).
     pub fn scoap(&self) -> &Scoap {
-        &self.scoap
+        self.circuit.scoap()
+    }
+
+    /// The engine driving this generator's simulation.
+    pub fn engine(&self) -> PodemEngine {
+        self.config.engine
     }
 
     /// Attempts to generate a test for `fault`.
@@ -153,24 +245,164 @@ impl<'a> Podem<'a> {
     pub fn generate(&mut self, fault: Fault) -> PodemOutcome {
         self.stats.targets += 1;
         self.pi_values.fill(T3::X);
+        match self.config.engine {
+            PodemEngine::FullResim => self.generate_full(fault),
+            PodemEngine::EventDriven => self.generate_event(fault),
+        }
+    }
+
+    // ----- event-driven engine ------------------------------------------
+
+    fn generate_event(&mut self, fault: Fault) -> PodemOutcome {
+        let mut sim = self
+            .sim
+            .take()
+            .unwrap_or_else(|| DualMachineSim::for_circuit(&self.circuit));
+        let (events_before, updates_before) = sim.counters();
+        sim.begin_target(fault);
+        let outcome = self.search_event(&mut sim);
+        sim.end_target();
+        let (events_after, updates_after) = sim.counters();
+        self.stats.sim_events += events_after - events_before;
+        self.stats.sim_updates += updates_after - updates_before;
+        self.sim = Some(sim);
+        outcome
+    }
+
+    fn search_event(&mut self, sim: &mut DualMachineSim) -> PodemOutcome {
+        let circuit = self.circuit.clone();
+        let nl = circuit.netlist();
+        let view = circuit.view();
+        let scoap = circuit.scoap();
         let mut stack: Vec<Decision> = Vec::new();
         let mut backtracks: u32 = 0;
 
         loop {
-            self.simulate(fault);
-            if self.detected() {
+            if sim.detected() {
                 self.stats.tests += 1;
                 return PodemOutcome::Test(TestCube::from_t3(&self.pi_values));
             }
 
-            let objective = if self.conflict(fault) {
-                None
+            let (site_pos, needed) = sim.excite_site();
+            let site_good = sim.good_at(site_pos);
+            let objective = if site_good.is_binary() && site_good != T3::from_bool(needed) {
+                None // pinned to the stuck value: the fault is unexcitable
+            } else if site_good == T3::X {
+                Some((view.node_at(site_pos), needed))
             } else {
-                self.objective(fault)
+                // Excited: the effect must still reach an output through
+                // the (incrementally maintained) D-frontier.
+                sim.refresh_frontier();
+                if sim.frontier_ids().is_empty() || !sim.x_path_exists() {
+                    None
+                } else {
+                    self.frontier_buf.clear();
+                    self.frontier_buf.extend_from_slice(sim.frontier_ids());
+                    objective_from_frontier(nl, scoap, &mut self.frontier_buf, |n| {
+                        sim.good_of(n)
+                    })
+                }
             };
 
             if let Some((node, value)) = objective {
-                if let Some((pi, v)) = self.backtrace(node, value) {
+                let choice = backtrace_from(
+                    nl,
+                    scoap,
+                    &self.pi_index_of,
+                    &self.pi_values,
+                    |n| sim.good_of(n),
+                    node,
+                    value,
+                );
+                if let Some((pi, v)) = choice {
+                    self.stats.decisions += 1;
+                    self.pi_values[pi] = T3::from_bool(v);
+                    sim.assign(pi, v);
+                    stack.push(Decision {
+                        pi,
+                        value: v,
+                        flipped: false,
+                    });
+                    continue;
+                }
+            }
+
+            // Conflict (or no objective reachable): chronological backtrack.
+            loop {
+                match stack.pop() {
+                    None => {
+                        self.stats.untestable += 1;
+                        return PodemOutcome::Untestable;
+                    }
+                    Some(d) if !d.flipped => {
+                        backtracks += 1;
+                        self.stats.backtracks += 1;
+                        if backtracks > self.config.backtrack_limit {
+                            self.stats.aborted += 1;
+                            return PodemOutcome::Aborted;
+                        }
+                        sim.retract_frame();
+                        self.pi_values[d.pi] = T3::from_bool(!d.value);
+                        sim.assign(d.pi, !d.value);
+                        stack.push(Decision {
+                            pi: d.pi,
+                            value: !d.value,
+                            flipped: true,
+                        });
+                        break;
+                    }
+                    Some(d) => {
+                        self.pi_values[d.pi] = T3::X;
+                        sim.retract_frame();
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- full-resimulation oracle -------------------------------------
+
+    fn generate_full(&mut self, fault: Fault) -> PodemOutcome {
+        let circuit = self.circuit.clone();
+        let nl = circuit.netlist();
+        let scoap = circuit.scoap();
+        // Lazily sized: the event engine never pays for the oracle's
+        // node-indexed arrays. `simulate` overwrites every entry.
+        self.good.resize(nl.num_nodes(), T3::X);
+        self.faulty.resize(nl.num_nodes(), T3::X);
+        let mut stack: Vec<Decision> = Vec::new();
+        let mut backtracks: u32 = 0;
+
+        loop {
+            self.simulate(nl, fault);
+            if self.detected_full(nl) {
+                self.stats.tests += 1;
+                return PodemOutcome::Test(TestCube::from_t3(&self.pi_values));
+            }
+
+            let objective = if self.conflict_full(nl, fault) {
+                None
+            } else {
+                let (site, needed) = excitation(nl, fault);
+                if self.good[site.index()] == T3::X {
+                    Some((site, needed))
+                } else {
+                    let mut frontier = self.d_frontier_full(nl, fault);
+                    objective_from_frontier(nl, scoap, &mut frontier, |n| self.good[n.index()])
+                }
+            };
+
+            if let Some((node, value)) = objective {
+                let choice = backtrace_from(
+                    nl,
+                    scoap,
+                    &self.pi_index_of,
+                    &self.pi_values,
+                    |n| self.good[n.index()],
+                    node,
+                    value,
+                );
+                if let Some((pi, v)) = choice {
                     self.stats.decisions += 1;
                     self.pi_values[pi] = T3::from_bool(v);
                     stack.push(Decision {
@@ -213,8 +445,8 @@ impl<'a> Podem<'a> {
     }
 
     /// Re-simulates both machines from the current PI assignment.
-    fn simulate(&mut self, fault: Fault) {
-        let nl = self.netlist;
+    fn simulate(&mut self, nl: &Netlist, fault: Fault) {
+        self.stats.sim_events += 2 * nl.num_nodes() as u64;
         for (i, &pi) in nl.inputs().iter().enumerate() {
             self.good[pi.index()] = self.pi_values[i];
             self.faulty[pi.index()] = self.pi_values[i];
@@ -229,9 +461,13 @@ impl<'a> Podem<'a> {
             // Faulty machine with injection.
             let fv = match fault.site() {
                 FaultSite::Stem(n) if n == node => stuck,
-                FaultSite::Branch { gate, pin } if gate == node => {
-                    eval_branch_t3(kind, nl.fanins(node), pin as usize, stuck, &self.faulty)
-                }
+                FaultSite::Branch { gate, pin } if gate == node => eval_t3_branch(
+                    kind,
+                    nl.fanins(node),
+                    pin as usize,
+                    stuck,
+                    |f| self.faulty[f.index()],
+                ),
                 _ => {
                     if kind == GateKind::Input {
                         self.faulty[node.index()]
@@ -245,23 +481,12 @@ impl<'a> Podem<'a> {
     }
 
     /// True if some primary output shows a binary good/faulty discrepancy.
-    fn detected(&self) -> bool {
-        self.netlist.outputs().iter().any(|&o| {
+    fn detected_full(&self, nl: &Netlist) -> bool {
+        nl.outputs().iter().any(|&o| {
             let g = self.good[o.index()];
             let f = self.faulty[o.index()];
             g.is_binary() && f.is_binary() && g != f
         })
-    }
-
-    /// The good-machine node whose value excites the fault, with the value
-    /// it must take.
-    fn excitation(&self, fault: Fault) -> (NodeId, bool) {
-        match fault.site() {
-            FaultSite::Stem(n) => (n, !fault.stuck_value()),
-            FaultSite::Branch { gate, pin } => {
-                (self.netlist.fanins(gate)[pin as usize], !fault.stuck_value())
-            }
-        }
     }
 
     /// Conflict detection: the current partial assignment can no longer
@@ -271,8 +496,8 @@ impl<'a> Podem<'a> {
     /// binary node value is final: once the excitation line is pinned to
     /// the stuck value, or every effect path is blocked, no completion of
     /// the assignment can detect the fault.
-    fn conflict(&self, fault: Fault) -> bool {
-        let (site, needed) = self.excitation(fault);
+    fn conflict_full(&self, nl: &Netlist, fault: Fault) -> bool {
+        let (site, needed) = excitation(nl, fault);
         let gv = self.good[site.index()];
         if gv.is_binary() && gv != T3::from_bool(needed) {
             return true; // fault can never be excited
@@ -284,35 +509,26 @@ impl<'a> Podem<'a> {
         // be able to reach a primary output. A stem fault places D on its
         // node; a branch fault places D on the (un-modelled) branch line,
         // so the reading gate acts as its frontier entry.
-        if self.effect_at_output() {
-            return false; // handled by `detected`, defensive
+        if self.detected_full(nl) {
+            return false; // handled by the detection check, defensive
         }
-        let frontier = self.d_frontier(fault);
+        let frontier = self.d_frontier_full(nl, fault);
         if frontier.is_empty() {
             // For a stem fault the stem itself may still be an observable
             // PO; that case is `detected`. Nothing can advance the effect.
             return true;
         }
-        !self.x_path_exists(&frontier)
-    }
-
-    fn effect_at_output(&self) -> bool {
-        self.netlist.outputs().iter().any(|&o| {
-            let g = self.good[o.index()];
-            let f = self.faulty[o.index()];
-            g.is_binary() && f.is_binary() && g != f
-        })
+        !self.x_path_full(nl, &frontier)
     }
 
     /// Gates whose output is still undetermined in some machine while at
     /// least one input carries a fault effect. The branch-fault gate
     /// itself belongs to the frontier while the branch line carries D and
     /// the gate output is undetermined.
-    fn d_frontier(&self, fault: Fault) -> Vec<NodeId> {
-        let nl = self.netlist;
+    fn d_frontier_full(&self, nl: &Netlist, fault: Fault) -> Vec<NodeId> {
         let branch_gate = match fault.site() {
             FaultSite::Branch { gate, .. } => {
-                let (driver, needed) = self.excitation(fault);
+                let (driver, needed) = excitation(nl, fault);
                 let excited = self.good[driver.index()] == T3::from_bool(needed);
                 excited.then_some(gate)
             }
@@ -339,8 +555,7 @@ impl<'a> Podem<'a> {
 
     /// True if some D-frontier gate reaches a primary output through nodes
     /// that are still X in at least one machine.
-    fn x_path_exists(&self, frontier: &[NodeId]) -> bool {
-        let nl = self.netlist;
+    fn x_path_full(&self, nl: &Netlist, frontier: &[NodeId]) -> bool {
         let mut visited = vec![false; nl.num_nodes()];
         let mut stack: Vec<NodeId> = frontier.to_vec();
         while let Some(n) = stack.pop() {
@@ -360,128 +575,123 @@ impl<'a> Podem<'a> {
         }
         false
     }
+}
 
-    /// Chooses the next objective `(node, value)`.
-    fn objective(&self, fault: Fault) -> Option<(NodeId, bool)> {
-        let (site, needed) = self.excitation(fault);
-        if self.good[site.index()] == T3::X {
-            return Some((site, needed));
-        }
-        // Advance the easiest-to-observe D-frontier gate that still has an
-        // unassigned side input.
-        let mut frontier = self.d_frontier(fault);
-        frontier.sort_by_key(|&g| self.scoap.co(g));
-        for gate in frontier {
-            let kind = self.netlist.kind(gate);
-            let fanins = self.netlist.fanins(gate);
-            let x_inputs: Vec<NodeId> = fanins
-                .iter()
-                .copied()
-                .filter(|&f| self.good[f.index()] == T3::X)
-                .collect();
-            let target = match kind.controlling_value() {
-                Some(c) => {
-                    // All X side-inputs eventually need the non-controlling
-                    // value; pursue the hardest first (standard heuristic).
-                    let v = !c;
-                    x_inputs
-                        .into_iter()
-                        .max_by_key(|&f| self.scoap.cc(f, v))
-                        .map(|f| (f, v))
-                }
-                None => {
-                    // Parity / single-input gates: any X input propagates;
-                    // choose the cheapest overall assignment.
-                    x_inputs
-                        .into_iter()
-                        .map(|f| {
-                            let zero_cheaper = self.scoap.cc0(f) <= self.scoap.cc1(f);
-                            (f, !zero_cheaper)
-                        })
-                        .next()
-                }
-            };
-            if target.is_some() {
-                return target;
-            }
-        }
-        None
-    }
-
-    /// Maps an objective to a primary-input assignment along X-valued
-    /// lines.
-    fn backtrace(&self, mut node: NodeId, mut value: bool) -> Option<(usize, bool)> {
-        let nl = self.netlist;
-        loop {
-            let kind = nl.kind(node);
-            if kind == GateKind::Input {
-                let pi = self.pi_index_of[node.index()];
-                debug_assert_ne!(pi, usize::MAX);
-                if self.pi_values[pi] == T3::X {
-                    return Some((pi, value));
-                }
-                return None; // objective already blocked
-            }
-            if matches!(kind, GateKind::Const0 | GateKind::Const1) {
-                return None;
-            }
-            let fanins = nl.fanins(node);
-            let v_in = value != kind.is_inverting();
-            let x_fanins: Vec<NodeId> = fanins
-                .iter()
-                .copied()
-                .filter(|&f| self.good[f.index()] == T3::X)
-                .collect();
-            if x_fanins.is_empty() {
-                return None;
-            }
-            let next = match kind.controlling_value() {
-                Some(c) => {
-                    if v_in == c {
-                        // One input at the controlling value suffices:
-                        // easiest.
-                        x_fanins
-                            .into_iter()
-                            .min_by_key(|&f| self.scoap.cc(f, v_in))
-                    } else {
-                        // All inputs must be non-controlling: hardest first.
-                        x_fanins
-                            .into_iter()
-                            .max_by_key(|&f| self.scoap.cc(f, v_in))
-                    }
-                }
-                None => x_fanins
-                    .into_iter()
-                    .min_by_key(|&f| self.scoap.cc(f, v_in).min(self.scoap.cc(f, !v_in))),
-            };
-            node = next.expect("nonempty X fanins");
-            value = v_in;
+/// The good-machine node whose value excites the fault, with the value
+/// it must take.
+fn excitation(nl: &Netlist, fault: Fault) -> (NodeId, bool) {
+    match fault.site() {
+        FaultSite::Stem(n) => (n, !fault.stuck_value()),
+        FaultSite::Branch { gate, pin } => {
+            (nl.fanins(gate)[pin as usize], !fault.stuck_value())
         }
     }
 }
 
-/// Evaluates a gate in ternary logic with one fanin pin forced to `stuck`
-/// (branch-fault injection for the faulty machine).
-fn eval_branch_t3(kind: GateKind, fanins: &[NodeId], pin: usize, stuck: T3, faulty: &[T3]) -> T3 {
-    let value = |i: usize| {
-        if i == pin {
-            stuck
-        } else {
-            faulty[fanins[i].index()]
+/// Chooses the next objective `(node, value)` from a D-frontier: the
+/// easiest-to-observe gate that still has an unassigned side input, in
+/// ascending SCOAP observability (stable, so ties keep node-id order —
+/// the engine-parity contract depends on this). Shared by both engines.
+fn objective_from_frontier(
+    nl: &Netlist,
+    scoap: &Scoap,
+    frontier: &mut [NodeId],
+    good: impl Fn(NodeId) -> T3,
+) -> Option<(NodeId, bool)> {
+    frontier.sort_by_key(|&g| scoap.co(g));
+    for &gate in frontier.iter() {
+        let kind = nl.kind(gate);
+        let fanins = nl.fanins(gate);
+        let x_inputs: Vec<NodeId> = fanins
+            .iter()
+            .copied()
+            .filter(|&f| good(f) == T3::X)
+            .collect();
+        let target = match kind.controlling_value() {
+            Some(c) => {
+                // All X side-inputs eventually need the non-controlling
+                // value; pursue the hardest first (standard heuristic).
+                let v = !c;
+                x_inputs
+                    .into_iter()
+                    .max_by_key(|&f| scoap.cc(f, v))
+                    .map(|f| (f, v))
+            }
+            None => {
+                // Parity / single-input gates: any X input propagates;
+                // choose the cheapest overall assignment.
+                x_inputs
+                    .into_iter()
+                    .map(|f| {
+                        let zero_cheaper = scoap.cc0(f) <= scoap.cc1(f);
+                        (f, !zero_cheaper)
+                    })
+                    .next()
+            }
+        };
+        if target.is_some() {
+            return target;
         }
-    };
-    match kind {
-        GateKind::Buf => value(0),
-        GateKind::Not => !value(0),
-        GateKind::And => (0..fanins.len()).fold(T3::One, |acc, i| acc & value(i)),
-        GateKind::Nand => !(0..fanins.len()).fold(T3::One, |acc, i| acc & value(i)),
-        GateKind::Or => (0..fanins.len()).fold(T3::Zero, |acc, i| acc | value(i)),
-        GateKind::Nor => !(0..fanins.len()).fold(T3::Zero, |acc, i| acc | value(i)),
-        GateKind::Xor => (0..fanins.len()).fold(T3::Zero, |acc, i| acc ^ value(i)),
-        GateKind::Xnor => !(0..fanins.len()).fold(T3::Zero, |acc, i| acc ^ value(i)),
-        GateKind::Input | GateKind::Const0 | GateKind::Const1 => {
-            panic!("{kind:?} has no fanin pins")
+    }
+    None
+}
+
+/// Maps an objective to a primary-input assignment along X-valued lines.
+/// Shared by both engines; `good` abstracts over the backend's value
+/// storage (node-indexed arrays or position-mapped event state).
+fn backtrace_from(
+    nl: &Netlist,
+    scoap: &Scoap,
+    pi_index_of: &[usize],
+    pi_values: &[T3],
+    good: impl Fn(NodeId) -> T3,
+    mut node: NodeId,
+    mut value: bool,
+) -> Option<(usize, bool)> {
+    loop {
+        let kind = nl.kind(node);
+        if kind == GateKind::Input {
+            let pi = pi_index_of[node.index()];
+            debug_assert_ne!(pi, usize::MAX);
+            if pi_values[pi] == T3::X {
+                return Some((pi, value));
+            }
+            return None; // objective already blocked
         }
+        if matches!(kind, GateKind::Const0 | GateKind::Const1) {
+            return None;
+        }
+        let fanins = nl.fanins(node);
+        let v_in = value != kind.is_inverting();
+        let x_fanins: Vec<NodeId> = fanins
+            .iter()
+            .copied()
+            .filter(|&f| good(f) == T3::X)
+            .collect();
+        if x_fanins.is_empty() {
+            return None;
+        }
+        let next = match kind.controlling_value() {
+            Some(c) => {
+                if v_in == c {
+                    // One input at the controlling value suffices:
+                    // easiest.
+                    x_fanins
+                        .into_iter()
+                        .min_by_key(|&f| scoap.cc(f, v_in))
+                } else {
+                    // All inputs must be non-controlling: hardest first.
+                    x_fanins
+                        .into_iter()
+                        .max_by_key(|&f| scoap.cc(f, v_in))
+                }
+            }
+            None => x_fanins
+                .into_iter()
+                .min_by_key(|&f| scoap.cc(f, v_in).min(scoap.cc(f, !v_in))),
+        };
+        node = next.expect("nonempty X fanins");
+        value = v_in;
     }
 }
 
@@ -496,6 +706,8 @@ mod tests {
     fn compile(netlist: &Netlist) -> CompiledCircuit {
         CompiledCircuit::compile(netlist.clone())
     }
+
+    const ENGINES: [PodemEngine; 2] = [PodemEngine::FullResim, PodemEngine::EventDriven];
 
     const C17: &str = "
 INPUT(G1)
@@ -520,26 +732,56 @@ G23 = NAND(G16, G19)
         let circuit = compile(&n);
         let sim = FaultSimulator::for_circuit(&circuit, &faults);
         let mut scratch = SimScratch::for_circuit(&circuit);
-        let mut podem = Podem::new(&n, PodemConfig::default());
-        for (id, fault) in faults.iter() {
-            match podem.generate(fault) {
-                PodemOutcome::Test(cube) => {
-                    // Every completion must detect the fault; check two.
-                    for fill in [crate::FillStrategy::Zeros, crate::FillStrategy::Ones] {
-                        let pattern = fill.fill(&cube, 0);
-                        assert!(
-                            sim.detects(&pattern, id, Some(&mut scratch)),
-                            "cube {cube} (filled {fill:?}) misses fault {fault}"
-                        );
+        for engine in ENGINES {
+            let mut podem = Podem::for_circuit(
+                &circuit,
+                PodemConfig {
+                    engine,
+                    ..PodemConfig::default()
+                },
+            );
+            for (id, fault) in faults.iter() {
+                match podem.generate(fault) {
+                    PodemOutcome::Test(cube) => {
+                        // Every completion must detect the fault; check two.
+                        for fill in [crate::FillStrategy::Zeros, crate::FillStrategy::Ones] {
+                            let pattern = fill.fill(&cube, 0);
+                            assert!(
+                                sim.detects(&pattern, id, Some(&mut scratch)),
+                                "[{engine}] cube {cube} (filled {fill:?}) misses fault {fault}"
+                            );
+                        }
                     }
+                    other => panic!("[{engine}] c17 fault {fault} not tested: {other:?}"),
                 }
-                other => panic!("c17 fault {fault} not tested: {other:?}"),
             }
+            let stats = podem.stats();
+            assert_eq!(stats.targets, faults.len() as u64);
+            assert_eq!(stats.tests, faults.len() as u64);
+            assert_eq!(stats.untestable + stats.aborted, 0);
         }
-        let stats = podem.stats();
-        assert_eq!(stats.targets, faults.len() as u64);
-        assert_eq!(stats.tests, faults.len() as u64);
-        assert_eq!(stats.untestable + stats.aborted, 0);
+    }
+
+    #[test]
+    fn engines_agree_bit_for_bit_on_c17() {
+        let n = bench_format::parse(C17, "c17").unwrap();
+        let faults = FaultList::full(&n);
+        let circuit = compile(&n);
+        let mut full = Podem::for_circuit(
+            &circuit,
+            PodemConfig {
+                engine: PodemEngine::FullResim,
+                ..PodemConfig::default()
+            },
+        );
+        let mut event = Podem::for_circuit(&circuit, PodemConfig::default());
+        for (_, fault) in faults.iter() {
+            assert_eq!(full.generate(fault), event.generate(fault), "{fault}");
+        }
+        let (fs, es) = (full.stats(), event.stats());
+        assert_eq!(fs.search_counters(), es.search_counters());
+        // The whole point: the event engine evaluates far fewer nodes.
+        assert!(es.sim_events < fs.sim_events);
     }
 
     #[test]
@@ -548,16 +790,25 @@ G23 = NAND(G16, G19)
         let src = "INPUT(a)\nOUTPUT(y)\nna = NOT(a)\ny = OR(a, na)\n";
         let n = bench_format::parse(src, "taut").unwrap();
         let y = n.find_node("y").unwrap();
-        let mut podem = Podem::new(&n, PodemConfig::default());
-        assert_eq!(
-            podem.generate(Fault::stem_at(y, true)),
-            PodemOutcome::Untestable
-        );
-        // But y s-a-0 is testable (any pattern works).
-        assert!(matches!(
-            podem.generate(Fault::stem_at(y, false)),
-            PodemOutcome::Test(_)
-        ));
+        for engine in ENGINES {
+            let mut podem = Podem::new(
+                &n,
+                PodemConfig {
+                    engine,
+                    ..PodemConfig::default()
+                },
+            );
+            assert_eq!(
+                podem.generate(Fault::stem_at(y, true)),
+                PodemOutcome::Untestable,
+                "[{engine}]"
+            );
+            // But y s-a-0 is testable (any pattern works).
+            assert!(matches!(
+                podem.generate(Fault::stem_at(y, false)),
+                PodemOutcome::Test(_)
+            ));
+        }
     }
 
     #[test]
@@ -577,11 +828,22 @@ y = XOR(p, q)
         let circuit = compile(&n);
         let sim = FaultSimulator::for_circuit(&circuit, &faults);
         let mut scratch = SimScratch::for_circuit(&circuit);
-        let mut podem = Podem::new(&n, PodemConfig::default());
-        for (id, fault) in faults.iter() {
-            if let PodemOutcome::Test(cube) = podem.generate(fault) {
-                let pattern = crate::FillStrategy::Zeros.fill(&cube, 0);
-                assert!(sim.detects(&pattern, id, Some(&mut scratch)), "fault {fault}");
+        for engine in ENGINES {
+            let mut podem = Podem::for_circuit(
+                &circuit,
+                PodemConfig {
+                    engine,
+                    ..PodemConfig::default()
+                },
+            );
+            for (id, fault) in faults.iter() {
+                if let PodemOutcome::Test(cube) = podem.generate(fault) {
+                    let pattern = crate::FillStrategy::Zeros.fill(&cube, 0);
+                    assert!(
+                        sim.detects(&pattern, id, Some(&mut scratch)),
+                        "[{engine}] fault {fault}"
+                    );
+                }
             }
         }
     }
@@ -607,19 +869,32 @@ y = OR(t, v)
         let sim = FaultSimulator::for_circuit(&circuit, &faults);
         let mut scratch = SimScratch::for_circuit(&circuit);
         let matrix = sim.no_drop_matrix(&patterns);
-        let mut podem = Podem::new(&n, PodemConfig::default());
-        for (id, fault) in faults.iter() {
-            let testable = matrix.detected_any(id);
-            match podem.generate(fault) {
-                PodemOutcome::Test(cube) => {
-                    assert!(testable, "PODEM found test for undetectable {fault}");
-                    let p = crate::FillStrategy::Random.fill(&cube, 5);
-                    assert!(sim.detects(&p, id, Some(&mut scratch)), "bad test for {fault}");
+        for engine in ENGINES {
+            let mut podem = Podem::for_circuit(
+                &circuit,
+                PodemConfig {
+                    engine,
+                    ..PodemConfig::default()
+                },
+            );
+            for (id, fault) in faults.iter() {
+                let testable = matrix.detected_any(id);
+                match podem.generate(fault) {
+                    PodemOutcome::Test(cube) => {
+                        assert!(testable, "[{engine}] PODEM found test for undetectable {fault}");
+                        let p = crate::FillStrategy::Random.fill(&cube, 5);
+                        assert!(
+                            sim.detects(&p, id, Some(&mut scratch)),
+                            "[{engine}] bad test for {fault}"
+                        );
+                    }
+                    PodemOutcome::Untestable => {
+                        assert!(!testable, "[{engine}] PODEM wrongly proved {fault} redundant");
+                    }
+                    PodemOutcome::Aborted => {
+                        panic!("[{engine}] abort on tiny circuit for {fault}")
+                    }
                 }
-                PodemOutcome::Untestable => {
-                    assert!(!testable, "PODEM wrongly proved {fault} redundant");
-                }
-                PodemOutcome::Aborted => panic!("abort on tiny circuit for {fault}"),
             }
         }
     }
@@ -628,21 +903,24 @@ y = OR(t, v)
     fn backtrack_limit_triggers_abort_or_verdict() {
         let n = bench_format::parse(C17, "c17").unwrap();
         let faults = FaultList::full(&n);
-        let mut podem = Podem::new(
-            &n,
-            PodemConfig {
-                backtrack_limit: 0,
-            },
-        );
-        // With zero backtracks allowed, every outcome must still be sound:
-        // any Test produced must be correct.
         let circuit = compile(&n);
         let sim = FaultSimulator::for_circuit(&circuit, &faults);
         let mut scratch = SimScratch::for_circuit(&circuit);
-        for (id, fault) in faults.iter() {
-            if let PodemOutcome::Test(cube) = podem.generate(fault) {
-                let p = crate::FillStrategy::Zeros.fill(&cube, 0);
-                assert!(sim.detects(&p, id, Some(&mut scratch)));
+        for engine in ENGINES {
+            let mut podem = Podem::for_circuit(
+                &circuit,
+                PodemConfig {
+                    backtrack_limit: 0,
+                    engine,
+                },
+            );
+            // With zero backtracks allowed, every outcome must still be
+            // sound: any Test produced must be correct.
+            for (id, fault) in faults.iter() {
+                if let PodemOutcome::Test(cube) = podem.generate(fault) {
+                    let p = crate::FillStrategy::Zeros.fill(&cube, 0);
+                    assert!(sim.detects(&p, id, Some(&mut scratch)), "[{engine}]");
+                }
             }
         }
     }
@@ -652,10 +930,18 @@ y = OR(t, v)
         let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n";
         let n = bench_format::parse(src, "x2").unwrap();
         let a = n.find_node("a").unwrap();
-        let mut podem = Podem::new(&n, PodemConfig::default());
-        let outcome = podem.generate(Fault::stem_at(a, false));
-        let cube = outcome.test().expect("a/0 is testable through XOR");
-        assert_eq!(cube.get(0), Some(true)); // a must be 1 to excite s-a-0
+        for engine in ENGINES {
+            let mut podem = Podem::new(
+                &n,
+                PodemConfig {
+                    engine,
+                    ..PodemConfig::default()
+                },
+            );
+            let outcome = podem.generate(Fault::stem_at(a, false));
+            let cube = outcome.test().expect("a/0 is testable through XOR");
+            assert_eq!(cube.get(0), Some(true)); // a must be 1 to excite s-a-0
+        }
     }
 
     #[test]
@@ -664,11 +950,30 @@ y = OR(t, v)
         let src = "INPUT(a)\nOUTPUT(a)\n";
         let n = bench_format::parse(src, "wire").unwrap();
         let a = n.find_node("a").unwrap();
-        let mut podem = Podem::new(&n, PodemConfig::default());
-        let cube = podem
-            .generate(Fault::stem_at(a, false))
-            .test()
-            .expect("testable");
-        assert_eq!(cube.get(0), Some(true));
+        for engine in ENGINES {
+            let mut podem = Podem::new(
+                &n,
+                PodemConfig {
+                    engine,
+                    ..PodemConfig::default()
+                },
+            );
+            let cube = podem
+                .generate(Fault::stem_at(a, false))
+                .test()
+                .expect("testable");
+            assert_eq!(cube.get(0), Some(true));
+        }
+    }
+
+    #[test]
+    fn default_engine_is_event_driven() {
+        assert_eq!(PodemEngine::default(), PodemEngine::EventDriven);
+        assert_eq!(PodemConfig::default().engine, PodemEngine::EventDriven);
+        assert_eq!(PodemEngine::EventDriven.to_string(), "event-driven");
+        assert_eq!(PodemEngine::FullResim.to_string(), "full-resim");
+        let n = bench_format::parse(C17, "c17").unwrap();
+        let podem = Podem::new(&n, PodemConfig::default());
+        assert_eq!(podem.engine(), PodemEngine::EventDriven);
     }
 }

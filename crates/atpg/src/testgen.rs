@@ -18,7 +18,7 @@
 //! walk per test.
 
 use adi_netlist::fault::{FaultId, FaultList};
-use adi_netlist::{CompiledCircuit, Netlist};
+use adi_netlist::CompiledCircuit;
 use adi_sim::faultsim::SimScratch;
 use adi_sim::{CoverageCurve, DropSession, FaultSimulator, Pattern};
 
@@ -211,16 +211,6 @@ impl<'a> TestGenerator<'a> {
             faults,
             config,
         }
-    }
-
-    /// Creates a driver for `faults` of `netlist`, compiling a private
-    /// copy of the netlist.
-    #[deprecated(
-        since = "0.2.0",
-        note = "compile the netlist once (`CompiledCircuit::compile`) and use `TestGenerator::for_circuit`"
-    )]
-    pub fn new(netlist: &'a Netlist, faults: &'a FaultList, config: TestGenConfig) -> Self {
-        Self::for_circuit(&CompiledCircuit::compile(netlist.clone()), faults, config)
     }
 
     /// Runs test generation targeting faults in exactly `order`.
@@ -590,7 +580,7 @@ fn apply_flush(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adi_netlist::bench_format;
+    use adi_netlist::{bench_format, Netlist};
     use adi_sim::PatternSet;
 
     const C17: &str = "
@@ -869,18 +859,6 @@ G23 = NAND(G16, G19)
             .run_with_random_phase(&order, &warmup);
             assert_eq!(batched, scalar, "seed {seed}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_matches_compiled_path() {
-        let n = c17();
-        let faults = FaultList::collapsed(&n);
-        let order: Vec<FaultId> = faults.ids().collect();
-        let cfg = TestGenConfig::default();
-        let legacy = TestGenerator::new(&n, &faults, cfg).run(&order);
-        let compiled = TestGenerator::for_circuit(&compile(&n), &faults, cfg).run(&order);
-        assert_eq!(legacy, compiled);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! `perf_report` — the tracked performance harness.
 //!
-//! Times the fault-simulation hot paths (no-drop matrix, dropping
-//! simulation, the ADI computation end-to-end, and ordered ATPG) per
-//! suite circuit for **both** engines, verifies the engines (and the two
-//! ATPG drop loops) agree bit for bit, prints a summary table, and
-//! writes a `BENCH_<date>.json` snapshot so the repository accumulates a
+//! Times the fault-simulation and ATPG hot paths (no-drop matrix,
+//! dropping simulation, the ADI computation end-to-end, ordered ATPG,
+//! the isolated drop loop, and raw PODEM generation) per suite circuit
+//! for **both** implementations of each path, verifies the
+//! implementations agree bit for bit, prints a summary table, and writes
+//! a `BENCH_<date>.json` snapshot so the repository accumulates a
 //! performance trajectory over time.
 //!
 //! ```text
@@ -12,19 +13,30 @@
 //!     [--quick] [--patterns N] [--out PATH] [--min-speedup X]
 //! ```
 //!
-//! JSON schema (`adi-perf-report/v2`): a header with the run parameters,
+//! JSON schema (`adi-perf-report/v3`): a header with the run parameters,
 //! a `circuits` array carrying the compile-once vs compile-per-call
 //! timings (`compile_ns`, `adi_compile_once_ns`, `adi_per_call_ns`), and
 //! one `entries` element per `(circuit, engine, phase)` carrying
-//! `wall_ns` and `speedup` (that phase's per-fault time over this
-//! engine's time, so per-fault rows read 1.0). For the `atpg` and
-//! `drop-loop` phases the engine column maps to the drop loop:
-//! `per-fault` is the scalar loop, `stem-region` the 64-wide batched
-//! one. `atpg` is end-to-end ordered generation (PODEM-search-bound by
-//! nature); `drop-loop` replays the generated test set through just the
-//! drop primitive, isolating what the batching replaced.
+//! `wall_ns` and `speedup` (that phase's per-fault-row time over this
+//! row's time, so per-fault rows read 1.0). The engine column maps per
+//! phase:
 //!
-//! Unless `--quick` is given, the run **fails** (exit 1) if the
+//! * `no-drop` / `dropping` / `adi` — the fault-simulation engines
+//!   (per-fault PPSFP vs the stem-region engine).
+//! * `atpg` — end-to-end ordered generation: the `per-fault` row is the
+//!   classic stack (full-resim PODEM + scalar drop loop), the
+//!   `stem-region` row the current stack (event-driven PODEM + 64-wide
+//!   batched drop loop).
+//! * `drop-loop` — the isolated drop primitive: scalar `detect_pattern`
+//!   replay vs the batched `DropSession`.
+//! * `podem` — raw PODEM generation over a fixed target sample, no
+//!   dropping: full-resim vs event-driven engine. These entries carry
+//!   two extra fields, `targets_per_s` and `events_per_decision`.
+//!
+//! Every paired implementation is verified **before the report is
+//! written**: detection matrices, ATPG results, drop-loop replays, and
+//! PODEM outcomes must each agree bit for bit or the run aborts. Unless
+//! `--quick` is given, the run additionally **fails** (exit 1) if the
 //! stem-region no-drop speedup on the largest selected circuit falls
 //! below the floor (default 1.5×, `--min-speedup`): the perf trajectory
 //! is enforced, not just recorded.
@@ -32,11 +44,14 @@
 use std::fmt::Write as _;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use adi_atpg::{DropLoopKind, TestGenConfig, TestGenResult, TestGenerator};
+use adi_atpg::{
+    DropLoopKind, Podem, PodemConfig, PodemEngine, PodemOutcome, PodemStats, TestGenConfig,
+    TestGenResult, TestGenerator,
+};
 use adi_bench::TextTable;
 use adi_circuits::paper_suite;
 use adi_core::{AdiAnalysis, AdiConfig};
-use adi_netlist::fault::{FaultId, FaultList};
+use adi_netlist::fault::{Fault, FaultId, FaultList};
 use adi_netlist::{CompiledCircuit, Netlist};
 use adi_sim::{
     DropSession, EngineKind, FaultSimulator, Pattern, PatternSet, SimScratch,
@@ -46,7 +61,12 @@ use adi_sim::{
 /// across commits).
 const PATTERN_SEED: u64 = 0xBE9C_2005;
 
-const PHASES: [&str; 5] = ["no-drop", "dropping", "adi", "atpg", "drop-loop"];
+/// How many collapsed faults the raw `podem` phase targets per circuit
+/// (without dropping, a full list would make the full-resim row take
+/// tens of minutes on the large stand-ins).
+const PODEM_SAMPLE: usize = 128;
+
+const PHASES: [&str; 6] = ["no-drop", "dropping", "adi", "atpg", "drop-loop", "podem"];
 const ENGINES: [EngineKind; 2] = [EngineKind::PerFault, EngineKind::StemRegion];
 
 struct Options {
@@ -158,6 +178,8 @@ struct Entry {
     phase: &'static str,
     wall_ns: u128,
     speedup: f64,
+    /// `podem`-phase extras: `(targets_per_s, events_per_decision)`.
+    podem_metrics: Option<(f64, f64)>,
 }
 
 /// Compile-once vs compile-per-call accounting for one circuit.
@@ -167,17 +189,17 @@ struct CircuitStats {
     compile_ns: u128,
     /// ADI end-to-end over a prebuilt compilation (stem engine).
     adi_compile_once_ns: u128,
-    /// ADI end-to-end through the legacy `&Netlist` wrapper, which
-    /// compiles a private copy per call (stem engine).
+    /// ADI end-to-end compiling a private copy per call (stem engine).
     adi_per_call_ns: u128,
 }
 
-/// The legacy compile-per-call path, isolated so the deprecation exempt
-/// stays local: this is precisely the cost the compiled API removes.
-#[allow(deprecated)]
+/// The compile-per-call path the pre-0.2 wrappers used to take (spelled
+/// out now that those wrappers are gone): this is precisely the cost the
+/// compiled API removes.
 fn adi_per_call(netlist: &Netlist, patterns: &PatternSet, config: AdiConfig) -> AdiAnalysis {
+    let circuit = CompiledCircuit::compile(netlist.clone());
     let faults = adi_netlist::fault::FaultList::collapsed(netlist);
-    AdiAnalysis::compute(netlist, &faults, patterns, config)
+    AdiAnalysis::for_circuit(&circuit, &faults, patterns, config)
 }
 
 /// Scalar drop-loop replay: one `detect_pattern` call per test against
@@ -221,6 +243,20 @@ fn replay_batched(
     }
     out.extend(session.flush(&active));
     out
+}
+
+/// Asserts two ATPG results are bit-identical modulo the backend
+/// diagnostics in the stats.
+fn assert_atpg_agreement(circuit: &str, a: &TestGenResult, b: &TestGenResult) {
+    let agree = a.tests == b.tests
+        && a.targets == b.targets
+        && a.new_detections == b.new_detections
+        && a.status == b.status
+        && a.podem_stats.search_counters() == b.podem_stats.search_counters();
+    assert!(
+        agree,
+        "{circuit}: the classic and current ATPG stacks disagree — refusing to write a perf report"
+    );
 }
 
 fn main() {
@@ -281,6 +317,7 @@ fn main() {
         drop((reference, candidate));
 
         let mut wall = [[0u128; PHASES.len()]; ENGINES.len()];
+        let mut podem_metrics: [Option<(f64, f64)>; 2] = [None, None];
         for (ei, &engine) in ENGINES.iter().enumerate() {
             let sim = FaultSimulator::for_circuit_with_engine(&compiled, faults, engine);
             wall[ei][0] = time_ns(|| {
@@ -300,20 +337,27 @@ fn main() {
             });
         }
 
-        // ATPG: the scalar drop loop (per-fault row) vs the 64-wide
-        // batched loop (stem-region row), with a bit-identical gate on
-        // the full result before the timings count.
+        // ATPG end-to-end: the classic stack (full-resim PODEM + scalar
+        // drop loop, the per-fault row) vs the current stack
+        // (event-driven PODEM + batched drop loop, the stem-region row),
+        // with a bit-identical gate on the full result before the
+        // timings count.
         let order: Vec<FaultId> = faults.ids().collect();
         let mut results: [Option<TestGenResult>; 2] = [None, None];
-        for (li, drop_loop) in [DropLoopKind::Scalar, DropLoopKind::Batched]
-            .into_iter()
-            .enumerate()
-        {
+        let stacks = [
+            (PodemEngine::FullResim, DropLoopKind::Scalar),
+            (PodemEngine::EventDriven, DropLoopKind::Batched),
+        ];
+        for (li, (podem_engine, drop_loop)) in stacks.into_iter().enumerate() {
             let gen = TestGenerator::for_circuit(
                 &compiled,
                 faults,
                 TestGenConfig {
                     drop_loop,
+                    podem: PodemConfig {
+                        engine: podem_engine,
+                        ..PodemConfig::default()
+                    },
                     ..TestGenConfig::default()
                 },
             );
@@ -321,17 +365,15 @@ fn main() {
                 results[li] = Some(std::hint::black_box(gen.run(&order)));
             });
         }
-        assert_eq!(
-            results[0], results[1],
-            "{}: scalar and batched drop loops disagree — refusing to write a perf report",
-            circuit.name
+        let (a, b) = (
+            results[0].as_ref().expect("timed"),
+            results[1].as_ref().expect("timed"),
         );
+        assert_atpg_agreement(circuit.name, a, b);
 
         // The drop loop in isolation: replay the generated test set (the
         // exact sequence ATPG produced) through the scalar
-        // `detect_pattern` loop vs the batched `DropSession`. End-to-end
-        // ATPG above is PODEM-search-bound; this phase measures the
-        // primitive the batching replaced.
+        // `detect_pattern` loop vs the batched `DropSession`.
         let tests = results[0].take().expect("timed at least once").tests;
         let mut drop_lists: [Option<Vec<Vec<FaultId>>>; 2] = [None, None];
         wall[0][4] = time_ns(|| {
@@ -350,6 +392,60 @@ fn main() {
             circuit.name
         );
 
+        // Raw PODEM over a fixed fault sample, no dropping: full-resim
+        // vs event-driven engine, outcome-for-outcome gated. Generator
+        // construction happens *outside* the timed region (a fresh one
+        // per repetition, so stats always reflect exactly one pass) —
+        // the O(n) setup must not dilute the per-target throughput.
+        let sample: Vec<Fault> = faults.iter().take(PODEM_SAMPLE).map(|(_, f)| f).collect();
+        let mut outcomes: [Option<Vec<PodemOutcome>>; 2] = [None, None];
+        let mut stats = [PodemStats::default(); 2];
+        let podem_engines = [PodemEngine::FullResim, PodemEngine::EventDriven];
+        for (ei, &engine) in podem_engines.iter().enumerate() {
+            let mut best = u128::MAX;
+            let mut spent = 0u128;
+            for _ in 0..15 {
+                let mut podem = Podem::for_circuit(
+                    &compiled,
+                    PodemConfig {
+                        engine,
+                        ..PodemConfig::default()
+                    },
+                );
+                let t0 = Instant::now();
+                let outs: Vec<PodemOutcome> =
+                    sample.iter().map(|&f| podem.generate(f)).collect();
+                let ns = t0.elapsed().as_nanos();
+                best = best.min(ns);
+                spent += ns;
+                stats[ei] = podem.stats();
+                outcomes[ei] = Some(std::hint::black_box(outs));
+                if spent >= 200_000_000 {
+                    break;
+                }
+            }
+            wall[ei][5] = best;
+            let s = stats[ei];
+            let targets_per_s = s.targets as f64 / (wall[ei][5] as f64 / 1e9);
+            let events_per_decision = if s.decisions == 0 {
+                0.0
+            } else {
+                s.sim_events as f64 / s.decisions as f64
+            };
+            podem_metrics[ei] = Some((targets_per_s, events_per_decision));
+        }
+        assert_eq!(
+            outcomes[0], outcomes[1],
+            "{}: PODEM engines disagree — refusing to write a perf report",
+            circuit.name
+        );
+        assert_eq!(
+            stats[0].search_counters(),
+            stats[1].search_counters(),
+            "{}: PODEM search stats disagree — refusing to write a perf report",
+            circuit.name
+        );
+
         for (ei, &engine) in ENGINES.iter().enumerate() {
             for (pi, &phase) in PHASES.iter().enumerate() {
                 let speedup = wall[0][pi] as f64 / wall[ei][pi].max(1) as f64;
@@ -359,6 +455,7 @@ fn main() {
                     phase,
                     wall_ns: wall[ei][pi],
                     speedup,
+                    podem_metrics: if phase == "podem" { podem_metrics[ei] } else { None },
                 });
             }
         }
@@ -385,7 +482,8 @@ fn main() {
     });
     eprintln!("[perf_report] wrote {out_path}");
 
-    // Summary table: one row per circuit, stem-region speedups per phase.
+    // Summary table: one row per circuit, current-stack speedups per
+    // phase.
     let mut table = TextTable::new(vec![
         "circuit",
         "no-drop/pf (ms)",
@@ -395,6 +493,7 @@ fn main() {
         "adi speedup",
         "atpg speedup",
         "drop-loop speedup",
+        "podem speedup",
     ]);
     let find = |circuit: &str, engine: EngineKind, phase: &str| {
         entries
@@ -425,6 +524,10 @@ fn main() {
             format!(
                 "{:.2}x",
                 find(circuit.name, EngineKind::StemRegion, "drop-loop").speedup
+            ),
+            format!(
+                "{:.2}x",
+                find(circuit.name, EngineKind::StemRegion, "podem").speedup
             ),
         ]);
     }
@@ -460,9 +563,10 @@ fn render_json(
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"adi-perf-report/v2\",");
+    let _ = writeln!(out, "  \"schema\": \"adi-perf-report/v3\",");
     let _ = writeln!(out, "  \"date\": \"{date}\",");
     let _ = writeln!(out, "  \"patterns\": {},", opts.patterns);
+    let _ = writeln!(out, "  \"podem_sample\": {PODEM_SAMPLE},");
     let _ = writeln!(out, "  \"quick\": {},", opts.quick);
     let _ = writeln!(out, "  \"min_speedup\": {:.3},", opts.min_speedup);
     let _ = writeln!(out, "  \"circuits\": [");
@@ -479,10 +583,16 @@ fn render_json(
     let _ = writeln!(out, "  \"entries\": [");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };
+        let extra = match e.podem_metrics {
+            Some((tps, epd)) => {
+                format!(", \"targets_per_s\": {tps:.2}, \"events_per_decision\": {epd:.2}")
+            }
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
             "    {{\"circuit\": \"{}\", \"engine\": \"{}\", \"phase\": \"{}\", \
-             \"wall_ns\": {}, \"speedup\": {:.3}}}{comma}",
+             \"wall_ns\": {}{extra}, \"speedup\": {:.3}}}{comma}",
             e.circuit, e.engine, e.phase, e.wall_ns, e.speedup
         );
     }
@@ -505,13 +615,24 @@ mod tests {
 
     #[test]
     fn json_is_well_formed_enough() {
-        let entries = vec![Entry {
-            circuit: "irs208".into(),
-            engine: EngineKind::StemRegion,
-            phase: "no-drop",
-            wall_ns: 12345,
-            speedup: 2.5,
-        }];
+        let entries = vec![
+            Entry {
+                circuit: "irs208".into(),
+                engine: EngineKind::StemRegion,
+                phase: "no-drop",
+                wall_ns: 12345,
+                speedup: 2.5,
+                podem_metrics: None,
+            },
+            Entry {
+                circuit: "irs208".into(),
+                engine: EngineKind::StemRegion,
+                phase: "podem",
+                wall_ns: 999,
+                speedup: 8.0,
+                podem_metrics: Some((1234.5, 42.25)),
+            },
+        ];
         let stats = vec![CircuitStats {
             name: "irs208".into(),
             compile_ns: 1000,
@@ -519,9 +640,13 @@ mod tests {
             adi_per_call_ns: 3000,
         }];
         let json = render_json("2026-01-01", &Options::default(), &stats, &entries);
-        assert!(json.contains("\"schema\": \"adi-perf-report/v2\""));
+        assert!(json.contains("\"schema\": \"adi-perf-report/v3\""));
         assert!(json.contains("\"engine\": \"stem-region\""));
         assert!(json.contains("\"wall_ns\": 12345"));
+        assert!(json.contains("\"phase\": \"podem\""));
+        assert!(json.contains("\"targets_per_s\": 1234.50"));
+        assert!(json.contains("\"events_per_decision\": 42.25"));
+        assert!(json.contains("\"podem_sample\": 128"));
         assert!(json.contains("\"compile_ns\": 1000"));
         assert!(json.contains("\"adi_per_call_ns\": 3000"));
         assert!(json.contains("\"min_speedup\": 1.500"));

@@ -1,8 +1,8 @@
 //! Shared harness for the table/figure binaries that regenerate the
 //! paper's experimental results.
 //!
-//! Each binary in `src/bin/` is a thin formatter over
-//! [`adi_core::pipeline::run_experiment`]; this library provides the
+//! Each binary in `src/bin/` is a thin formatter over the
+//! [`adi_core::Experiment`] builder pipeline; this library provides the
 //! common command-line handling, suite iteration, and fixed-width table
 //! rendering.
 //!

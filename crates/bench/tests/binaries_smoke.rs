@@ -78,14 +78,17 @@ fn perf_report_writes_json() {
     assert!(ok);
     assert!(stdout.contains("speedup"));
     let json = std::fs::read_to_string(&out_path).expect("report written");
-    assert!(json.contains("\"schema\": \"adi-perf-report/v2\""));
+    assert!(json.contains("\"schema\": \"adi-perf-report/v3\""));
     assert!(json.contains("\"circuit\": \"irs208\""));
     assert!(json.contains("\"engine\": \"per-fault\""));
     assert!(json.contains("\"engine\": \"stem-region\""));
-    for phase in ["no-drop", "dropping", "adi", "atpg", "drop-loop"] {
+    for phase in ["no-drop", "dropping", "adi", "atpg", "drop-loop", "podem"] {
         assert!(json.contains(&format!("\"phase\": \"{phase}\"")), "{phase}");
     }
-    // v2: compile-once vs compile-per-call accounting per circuit.
+    // v3: raw-PODEM throughput metrics on the podem entries.
+    assert!(json.contains("\"targets_per_s\""));
+    assert!(json.contains("\"events_per_decision\""));
+    // compile-once vs compile-per-call accounting per circuit (since v2).
     assert!(json.contains("\"compile_ns\""));
     assert!(json.contains("\"adi_compile_once_ns\""));
     assert!(json.contains("\"adi_per_call_ns\""));

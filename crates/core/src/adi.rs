@@ -1,7 +1,7 @@
 //! Computation of the accidental detection index (Section 2 of the paper).
 
 use adi_netlist::fault::{FaultId, FaultList};
-use adi_netlist::{CompiledCircuit, Netlist};
+use adi_netlist::CompiledCircuit;
 use adi_sim::{DetectionMatrix, EngineKind, FaultSimulator, PatternSet};
 
 /// How `ADI(f)` is aggregated from the detection counts of the vectors in
@@ -92,25 +92,6 @@ impl AdiAnalysis {
             matrix = cap_matrix(&matrix, cap);
         }
         Self::from_matrix(matrix, config)
-    }
-
-    /// Simulates `faults` under `patterns` without dropping and computes
-    /// all indices, compiling a private copy of the netlist.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the pattern width does not match the circuit.
-    #[deprecated(
-        since = "0.2.0",
-        note = "compile the netlist once (`CompiledCircuit::compile`) and use `AdiAnalysis::for_circuit`"
-    )]
-    pub fn compute(
-        netlist: &Netlist,
-        faults: &FaultList,
-        patterns: &PatternSet,
-        config: AdiConfig,
-    ) -> Self {
-        Self::for_circuit(&CompiledCircuit::compile(netlist.clone()), faults, patterns, config)
     }
 
     /// Builds the analysis from a precomputed detection matrix.
@@ -247,7 +228,7 @@ fn cap_matrix(matrix: &DetectionMatrix, cap: u32) -> DetectionMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adi_netlist::bench_format;
+    use adi_netlist::{bench_format, Netlist};
 
     const AND2: &str = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
 

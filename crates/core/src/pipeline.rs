@@ -17,7 +17,7 @@
 use std::time::{Duration, Instant};
 
 use adi_netlist::fault::FaultId;
-use adi_netlist::{CompiledCircuit, Netlist};
+use adi_netlist::CompiledCircuit;
 use adi_sim::CoverageCurve;
 use adi_atpg::{TestGenConfig, TestGenResult, TestGenerator};
 
@@ -39,6 +39,12 @@ pub struct ExperimentConfig {
     /// Use the collapsed fault list (`true`, the usual choice) or the full
     /// fault universe.
     pub collapse_faults: bool,
+    /// Run the per-ordering ATPG passes on one OS thread each (`true`,
+    /// the default). The orderings are independent given the shared
+    /// `Arc`-backed compilation, and every pass is deterministic, so the
+    /// results are identical to the serial path (asserted by tests);
+    /// only wall-clock timings vary.
+    pub parallel_orderings: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -55,6 +61,7 @@ impl Default for ExperimentConfig {
                 FaultOrdering::Incr0,
             ],
             collapse_faults: true,
+            parallel_orderings: true,
         }
     }
 }
@@ -225,10 +232,20 @@ impl<'a> ExperimentBuilder<'a> {
         self
     }
 
+    /// Chooses between one OS thread per ordering (`true`, the default)
+    /// and the serial path. Results are identical either way.
+    pub fn parallel_orderings(mut self, parallel: bool) -> Self {
+        self.config.parallel_orderings = parallel;
+        self
+    }
+
     /// Runs the full paper pipeline: select `U`, compute the ADI, build
     /// each requested order, and run ATPG per order — all on the shared
     /// compilation (the fault list itself comes from the compilation's
-    /// cache).
+    /// cache). With [`parallel_orderings`](Self::parallel_orderings) set
+    /// (the default), the independent per-ordering ATPG passes run on
+    /// one thread each over the `Arc`-shared compilation; the results
+    /// are deterministic and identical to the serial path.
     pub fn run(self) -> Experiment {
         let ExperimentBuilder { circuit, config } = self;
         let netlist = circuit.netlist();
@@ -244,8 +261,7 @@ impl<'a> ExperimentBuilder<'a> {
         let adi_time = adi_start.elapsed();
 
         let generator = TestGenerator::for_circuit(circuit, faults, config.testgen);
-        let mut runs = Vec::with_capacity(config.orderings.len());
-        for &ordering in &config.orderings {
+        let run_one = |ordering: FaultOrdering| -> OrderingRun {
             let t0 = Instant::now();
             let order = order_faults(&analysis, ordering);
             let ordering_time = t0.elapsed();
@@ -254,7 +270,7 @@ impl<'a> ExperimentBuilder<'a> {
             let testgen_time = t1.elapsed();
             let curve = result.coverage_curve();
             let ave = average_detection_position(&curve);
-            runs.push(OrderingRun {
+            OrderingRun {
                 ordering,
                 order,
                 result,
@@ -262,8 +278,27 @@ impl<'a> ExperimentBuilder<'a> {
                 ave,
                 testgen_time,
                 ordering_time,
-            });
-        }
+            }
+        };
+        let runs: Vec<OrderingRun> = if config.parallel_orderings && config.orderings.len() > 1 {
+            // One thread per ordering: each pass only reads the shared
+            // analysis and generator (the compilation is Arc-backed), so
+            // request order is preserved by collecting joins in order.
+            let run_one = &run_one;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = config
+                    .orderings
+                    .iter()
+                    .map(|&ordering| scope.spawn(move || run_one(ordering)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("ordering worker panicked"))
+                    .collect()
+            })
+        } else {
+            config.orderings.iter().map(|&o| run_one(o)).collect()
+        };
 
         Experiment {
             circuit: netlist.name().to_string(),
@@ -276,36 +311,6 @@ impl<'a> ExperimentBuilder<'a> {
             runs,
         }
     }
-}
-
-/// Runs the full paper pipeline on one circuit, compiling a private copy
-/// of the netlist.
-///
-/// # Examples
-///
-/// ```
-/// # #![allow(deprecated)]
-/// use adi_core::{pipeline::run_experiment, ExperimentConfig, FaultOrdering};
-/// use adi_netlist::bench_format;
-///
-/// # fn main() -> Result<(), adi_netlist::NetlistError> {
-/// let n = bench_format::parse(
-///     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n", "nand2")?;
-/// let exp = run_experiment(&n, &ExperimentConfig::default());
-/// assert_eq!(exp.runs.len(), 4);
-/// let orig = exp.run_for(FaultOrdering::Original).unwrap();
-/// assert!(orig.result.coverage() > 0.99);
-/// # Ok(())
-/// # }
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "compile the netlist once (`CompiledCircuit::compile`) and use the `Experiment::on(&circuit)` builder"
-)]
-pub fn run_experiment(netlist: &Netlist, config: &ExperimentConfig) -> Experiment {
-    Experiment::on(&CompiledCircuit::compile(netlist.clone()))
-        .config(config.clone())
-        .run()
 }
 
 #[cfg(test)]
@@ -394,6 +399,23 @@ G23 = NAND(G16, G19)
     }
 
     #[test]
+    fn parallel_orderings_match_serial_exactly() {
+        let n = bench_format::parse(C17, "c17").unwrap();
+        let circuit = CompiledCircuit::compile(n);
+        let parallel = Experiment::on(&circuit).parallel_orderings(true).run();
+        let serial = Experiment::on(&circuit).parallel_orderings(false).run();
+        assert_eq!(parallel.runs.len(), serial.runs.len());
+        for (p, s) in parallel.runs.iter().zip(&serial.runs) {
+            assert_eq!(p.ordering, s.ordering, "request order preserved");
+            assert_eq!(p.order, s.order);
+            assert_eq!(p.result, s.result, "{} differs across modes", p.ordering);
+            assert_eq!(p.ave, s.ave);
+        }
+        assert_eq!(parallel.u_size, serial.u_size);
+        assert_eq!(parallel.adi_summary, serial.adi_summary);
+    }
+
+    #[test]
     fn full_fault_universe_option() {
         let n = bench_format::parse(C17, "c17").unwrap();
         let circuit = CompiledCircuit::compile(n);
@@ -419,6 +441,7 @@ G23 = NAND(G16, G19)
             .testgen(cfg.testgen)
             .orderings(cfg.orderings.clone())
             .collapse_faults(cfg.collapse_faults)
+            .parallel_orderings(cfg.parallel_orderings)
             .run();
         assert_eq!(via_config.num_faults, via_setters.num_faults);
         assert_eq!(via_config.u_size, via_setters.u_size);
@@ -429,17 +452,4 @@ G23 = NAND(G16, G19)
         }
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_experiment_matches_builder() {
-        let n = bench_format::parse(C17, "c17").unwrap();
-        let legacy = run_experiment(&n, &ExperimentConfig::default());
-        let compiled = Experiment::on(&CompiledCircuit::compile(n)).run();
-        assert_eq!(legacy.num_faults, compiled.num_faults);
-        assert_eq!(legacy.u_size, compiled.u_size);
-        for (a, b) in legacy.runs.iter().zip(&compiled.runs) {
-            assert_eq!(a.order, b.order);
-            assert_eq!(a.result.tests, b.result.tests);
-        }
-    }
 }

@@ -12,7 +12,7 @@
 //! original position), using the full no-drop detection matrix.
 
 use adi_netlist::fault::{FaultId, FaultList};
-use adi_netlist::{CompiledCircuit, Netlist};
+use adi_netlist::CompiledCircuit;
 use adi_sim::{CoverageCurve, FaultSimulator, PatternSet};
 
 /// The result of reordering a test set.
@@ -23,20 +23,6 @@ pub struct ReorderResult {
     pub permutation: Vec<usize>,
     /// Coverage curve of the reordered test set.
     pub curve: CoverageCurve,
-}
-
-/// Greedily reorders `tests` for the steepest coverage curve,
-/// compiling a private copy of the netlist.
-#[deprecated(
-    since = "0.2.0",
-    note = "compile the netlist once (`CompiledCircuit::compile`) and use `reorder_tests_for`"
-)]
-pub fn reorder_tests(
-    netlist: &Netlist,
-    faults: &FaultList,
-    tests: &PatternSet,
-) -> ReorderResult {
-    reorder_tests_for(&CompiledCircuit::compile(netlist.clone()), faults, tests)
 }
 
 /// Greedily reorders `tests` for the steepest coverage curve over an
@@ -119,29 +105,15 @@ pub fn reorder_tests_for(
     }
 }
 
-/// Classic **reverse-order static compaction**: simulate the test set in
-/// reverse application order with fault dropping and keep only tests that
-/// detect at least one new fault. Because late tests in an ATPG-generated
-/// set target hard faults, reverse simulation lets them absorb the easy
-/// detections and frequently exposes early tests as unnecessary.
+/// Classic **reverse-order static compaction** over an already-compiled
+/// circuit: simulate the test set in reverse application order with
+/// fault dropping and keep only tests that detect at least one new
+/// fault. Because late tests in an ATPG-generated set target hard
+/// faults, reverse simulation lets them absorb the easy detections and
+/// frequently exposes early tests as unnecessary.
 ///
 /// Returns the indices of the retained tests in original order. Total
-/// coverage is preserved exactly. Compiles a private copy of the
-/// netlist.
-#[deprecated(
-    since = "0.2.0",
-    note = "compile the netlist once (`CompiledCircuit::compile`) and use `reverse_order_compaction_for`"
-)]
-pub fn reverse_order_compaction(
-    netlist: &Netlist,
-    faults: &FaultList,
-    tests: &PatternSet,
-) -> Vec<usize> {
-    reverse_order_compaction_for(&CompiledCircuit::compile(netlist.clone()), faults, tests)
-}
-
-/// Reverse-order static compaction over an already-compiled circuit;
-/// see [`reverse_order_compaction`] for the algorithm.
+/// coverage is preserved exactly.
 ///
 /// # Examples
 ///

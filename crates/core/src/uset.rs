@@ -7,7 +7,7 @@
 //! dropping simulation can be removed as a further speed-up.
 
 use adi_netlist::fault::FaultList;
-use adi_netlist::{CompiledCircuit, Netlist};
+use adi_netlist::CompiledCircuit;
 use adi_sim::{FaultSimulator, PatternSet};
 
 /// Configuration for [`select_u_for`].
@@ -139,21 +139,11 @@ pub fn select_u_for(
     }
 }
 
-/// Selects the vector set `U` for `netlist`/`faults` per the paper's
-/// Section 4 procedure, compiling a private copy of the netlist.
-#[deprecated(
-    since = "0.2.0",
-    note = "compile the netlist once (`CompiledCircuit::compile`) and use `select_u_for`"
-)]
-pub fn select_u(netlist: &Netlist, faults: &FaultList, config: USetConfig) -> USelection {
-    select_u_for(&CompiledCircuit::compile(netlist.clone()), faults, config)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use adi_netlist::bench_format;
-    use adi_netlist::{GateKind, NetlistBuilder};
+    use adi_netlist::{GateKind, Netlist, NetlistBuilder};
 
     /// A wide OR-of-ANDs circuit: random vectors detect most faults fast.
     fn medium_circuit() -> Netlist {

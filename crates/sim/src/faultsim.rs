@@ -97,15 +97,6 @@ impl SimScratch {
         }
     }
 
-    /// Allocates scratch buffers (and compiles a private copy of
-    /// `netlist`, including its levelized view).
-    #[deprecated(
-        since = "0.2.0",
-        note = "compile the netlist once (`CompiledCircuit::compile`) and use `SimScratch::for_circuit`"
-    )]
-    pub fn new(netlist: &Netlist) -> Self {
-        Self::for_circuit(&CompiledCircuit::compile(netlist.clone()))
-    }
 }
 
 impl ScratchBuf {
@@ -249,34 +240,6 @@ impl<'a> FaultSimulator<'a> {
             faults,
             engine,
         }
-    }
-
-    /// Creates a simulator for `faults` of `netlist` with the default
-    /// engine, compiling a private copy of the netlist.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any fault references a node outside the netlist.
-    #[deprecated(
-        since = "0.2.0",
-        note = "compile the netlist once (`CompiledCircuit::compile`) and use `FaultSimulator::for_circuit`"
-    )]
-    pub fn new(netlist: &'a Netlist, faults: &'a FaultList) -> Self {
-        Self::for_circuit(&CompiledCircuit::compile(netlist.clone()), faults)
-    }
-
-    /// Creates a simulator driving the given `engine`, compiling a
-    /// private copy of the netlist.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any fault references a node outside the netlist.
-    #[deprecated(
-        since = "0.2.0",
-        note = "compile the netlist once (`CompiledCircuit::compile`) and use `FaultSimulator::for_circuit_with_engine`"
-    )]
-    pub fn with_engine(netlist: &'a Netlist, faults: &'a FaultList, engine: EngineKind) -> Self {
-        Self::for_circuit_with_engine(&CompiledCircuit::compile(netlist.clone()), faults, engine)
     }
 
     /// The compiled circuit being simulated.
@@ -949,38 +912,6 @@ G23 = NAND(G16, G19)
         assert_eq!(sim.engine_kind(), EngineKind::StemRegion);
         assert_eq!(EngineKind::default().to_string(), "stem-region");
         assert_eq!(EngineKind::PerFault.to_string(), "per-fault");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_compiled_paths() {
-        // The `&Netlist` constructors must stay thin compile-and-delegate
-        // wrappers over the compiled-circuit API.
-        let n = c17();
-        let faults = FaultList::collapsed(&n);
-        let patterns = PatternSet::random(5, 100, 5);
-        let circuit = compile(&n);
-        let compiled_sim = FaultSimulator::for_circuit(&circuit, &faults);
-        let legacy_sim = FaultSimulator::new(&n, &faults);
-        assert_eq!(
-            legacy_sim.no_drop_matrix(&patterns),
-            compiled_sim.no_drop_matrix(&patterns)
-        );
-        let legacy_oracle = FaultSimulator::with_engine(&n, &faults, EngineKind::PerFault);
-        assert_eq!(
-            legacy_oracle.no_drop_matrix(&patterns),
-            compiled_sim.no_drop_matrix(&patterns)
-        );
-        let mut legacy_scratch = SimScratch::new(&n);
-        let active: Vec<FaultId> = faults.ids().collect();
-        let mut scratch = SimScratch::for_circuit(&circuit);
-        for p in [0usize, 31, 63] {
-            let pattern = patterns.get(p);
-            assert_eq!(
-                legacy_sim.detect_pattern(&pattern, &active, &mut legacy_scratch),
-                compiled_sim.detect_pattern(&pattern, &active, &mut scratch),
-            );
-        }
     }
 
     #[test]

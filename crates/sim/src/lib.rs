@@ -21,14 +21,18 @@
 //! * [`DropSession`] — 64-wide batching of *sequentially generated*
 //!   tests (the ATPG drop loop) through the stem-region engine, with
 //!   drop-for-drop scalar semantics.
+//! * [`t3`] / [`t3event`] — Kleene 3-valued logic and the incremental
+//!   dual-machine (good/faulty) evaluator PODEM's event engine runs on:
+//!   position-indexed value arrays, a level-bucket event frontier,
+//!   fault injection at the site, and an undo trail so a backtrack
+//!   retracts exactly the nodes it changed.
 //! * [`CoverageCurve`] — fault-coverage-per-test bookkeeping.
 //!
 //! Every simulator takes an
 //! [`adi_netlist::CompiledCircuit`] — compile the netlist once with
 //! [`CompiledCircuit::compile`](adi_netlist::CompiledCircuit::compile)
-//! and thread the compilation through all entry points; the legacy
-//! `&Netlist` constructors are deprecated thin wrappers that compile a
-//! private copy per call.
+//! and thread the compilation through all entry points (the legacy
+//! `&Netlist` compile-per-call wrappers were removed in 0.3.0).
 //!
 //! ## Choosing an engine
 //!
@@ -76,6 +80,8 @@ mod pattern;
 pub mod probability;
 pub mod session;
 pub mod stem;
+pub mod t3;
+pub mod t3event;
 
 pub use coverage::CoverageCurve;
 pub use detection::DetectionMatrix;
@@ -85,3 +91,5 @@ pub use logic::GoodValues;
 pub use pattern::{Pattern, PatternSet};
 pub use session::DropSession;
 pub use stem::StemRegionEngine;
+pub use t3::{T3, V5};
+pub use t3event::DualMachineSim;

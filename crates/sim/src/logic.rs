@@ -4,8 +4,8 @@
 //! `topo_order()` in node-id space (the convenient layout for scalar
 //! tooling), while [`simulate_block_csr`] is the hot path — a single
 //! linear sweep over a [`LevelizedCsr`] view whose `kinds`/fanin arrays
-//! are contiguous in evaluation order. [`GoodValues::compute`] runs on
-//! the CSR path internally and scatters back to node-id layout.
+//! are contiguous in evaluation order. [`GoodValues::for_circuit`] runs
+//! on the CSR path internally and scatters back to node-id layout.
 
 use adi_netlist::{CompiledCircuit, GateKind, LevelizedCsr, Netlist, NodeId};
 
@@ -225,17 +225,6 @@ impl GoodValues {
         Self::with_view(circuit.netlist(), circuit.view(), patterns)
     }
 
-    /// Simulates all patterns and stores per-node values.
-    ///
-    /// Rebuilds the [`LevelizedCsr`] view on every call.
-    #[deprecated(
-        since = "0.2.0",
-        note = "compile the netlist once (`CompiledCircuit::compile`) and use `GoodValues::for_circuit`"
-    )]
-    pub fn compute(netlist: &Netlist, patterns: &PatternSet) -> Self {
-        Self::with_view(netlist, &LevelizedCsr::build(netlist), patterns)
-    }
-
     /// The shared implementation: one CSR sweep per block over `view`,
     /// scattered back to node-id layout.
     fn with_view(netlist: &Netlist, view: &LevelizedCsr, patterns: &PatternSet) -> Self {
@@ -376,17 +365,6 @@ y = OR(t0, t1)
         for node in n.node_ids() {
             assert_eq!(good.value(node, 199), scalar[node.index()]);
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_compute_matches_for_circuit() {
-        // The `&Netlist` wrapper must stay a thin delegate of the
-        // compiled path.
-        let c = compiled(MUX, "mux");
-        let pats = PatternSet::random(3, 100, 7);
-        let wrapper = GoodValues::compute(c.netlist(), &pats);
-        assert_eq!(wrapper, GoodValues::for_circuit(&c, &pats));
     }
 
     #[test]

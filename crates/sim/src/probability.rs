@@ -105,18 +105,6 @@ pub fn sampled_probabilities_for(
         .collect()
 }
 
-/// Sampled signal probabilities over `samples` random vectors from
-/// `seed`, using the bit-parallel simulator.
-///
-/// Compiles a private copy of the netlist on every call.
-#[deprecated(
-    since = "0.2.0",
-    note = "compile the netlist once (`CompiledCircuit::compile`) and use `sampled_probabilities_for`"
-)]
-pub fn sampled_probabilities(netlist: &Netlist, samples: usize, seed: u64) -> Vec<f64> {
-    sampled_probabilities_for(&CompiledCircuit::compile(netlist.clone()), samples, seed)
-}
-
 /// Nodes whose signal probability is within `epsilon` of constant 0 or 1
 /// — the classic random-pattern-resistant sites (their stuck-at faults at
 /// the dominant value are hard to excite, those at the rare value hard to
@@ -187,16 +175,6 @@ y = XOR(t, u)
         let y = n.find_node("y").unwrap();
         assert!((exact[y.index()] - 0.25).abs() < 1e-12);
         assert_eq!(sampled[y.index()], 0.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_sampled_probabilities_matches_compiled_path() {
-        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
-        let n = bench_format::parse(src, "nand2").unwrap();
-        let legacy = sampled_probabilities(&n, 512, 9);
-        let compiled = sampled_probabilities_for(&CompiledCircuit::compile(n), 512, 9);
-        assert_eq!(legacy, compiled);
     }
 
     #[test]

@@ -86,6 +86,17 @@ pub struct DropSession<'a> {
     active_flags: Vec<bool>,
     /// Per-fault detection words of the current flush.
     words: Vec<u64>,
+    /// Sensitization path marking used by flushes: the engine's
+    /// whole-fault-list marking initially, lazily rebuilt for just the
+    /// still-active faults as the active set shrinks (the late-ATPG
+    /// reverse sweep then skips the retired regions).
+    sens_active: Vec<bool>,
+    /// Fault-coverage flags of `sens_active` (by fault id): which faults
+    /// the current marking is valid for.
+    sens_covers: Vec<bool>,
+    /// Number of faults covered at the last (re)build, the shrink
+    /// reference for the rebuild heuristic.
+    sens_covered_count: usize,
 }
 
 impl<'a> DropSession<'a> {
@@ -99,6 +110,7 @@ impl<'a> DropSession<'a> {
         let stem = StemRegionEngine::for_circuit(circuit, faults);
         let buf = ScratchBuf::new(circuit.view());
         let scratch = StemScratch::new(circuit.view());
+        let sens_active = stem.sens_needed().to_vec();
         DropSession {
             stem,
             faults,
@@ -108,6 +120,9 @@ impl<'a> DropSession<'a> {
             lanes: 0,
             active_flags: vec![false; faults.len()],
             words: vec![0; faults.len()],
+            sens_active,
+            sens_covers: vec![true; faults.len()],
+            sens_covered_count: faults.len(),
         }
     }
 
@@ -194,19 +209,21 @@ impl<'a> DropSession<'a> {
             return per_lane;
         }
         let mask = self.lane_mask();
+        self.refresh_sens_marking(active);
 
         let DropSession {
             stem,
             scratch,
             active_flags,
             words,
+            sens_active,
             ..
         } = self;
         for &id in active {
             active_flags[id.index()] = true;
         }
         words.fill(0);
-        stem.prepare_block(scratch);
+        stem.prepare_block_with(scratch, sens_active);
         stem.for_each_detection(mask, scratch, Some(active_flags), |fault, word| {
             words[fault as usize] = word;
         });
@@ -224,6 +241,26 @@ impl<'a> DropSession<'a> {
         self.lanes = 0;
         self.lane_words.fill(0);
         per_lane
+    }
+
+    /// Keeps the sensitization path marking valid for `active` and
+    /// lazily shrinks it. A rebuild happens when the marking does not
+    /// cover some requested fault (correctness — `flush` accepts any
+    /// fault set), or when the active set has halved since the marking
+    /// was built (profit — the reverse sweep then skips the retired
+    /// regions). Between rebuilds the marking is a superset, which only
+    /// costs sweep work, never changes a detection word.
+    fn refresh_sens_marking(&mut self, active: &[FaultId]) {
+        let covered = active.iter().all(|id| self.sens_covers[id.index()]);
+        if covered && active.len() * 2 > self.sens_covered_count {
+            return;
+        }
+        self.stem.mark_sens_needed(active, &mut self.sens_active);
+        self.sens_covers.fill(false);
+        for &id in active {
+            self.sens_covers[id.index()] = true;
+        }
+        self.sens_covered_count = active.len();
     }
 }
 
@@ -349,6 +386,58 @@ G23 = NAND(G16, G19)
         assert_eq!(lists.len(), 64);
         assert_eq!(session.pending(), 0);
         assert_eq!(lists, scalar_drop_lists(&circuit, faults, &patterns));
+    }
+
+    #[test]
+    fn shrinking_active_set_rebuilds_marking_and_stays_exact() {
+        // Drive the active set far below half so the lazy sens rebuild
+        // fires, then keep flushing: results must stay scalar-identical.
+        let circuit = c17();
+        let faults = circuit.full_faults();
+        let patterns = PatternSet::random(5, 200, 11);
+        let expected = scalar_drop_lists(&circuit, faults, &patterns);
+
+        let mut session = DropSession::for_circuit(&circuit, faults);
+        let mut active: Vec<FaultId> = faults.ids().collect();
+        let mut got: Vec<Vec<FaultId>> = Vec::new();
+        for p in 0..patterns.len() {
+            session.push(&patterns.get(p));
+            // Flush after every push: the active set shrinks while
+            // blocks stay 1-wide, maximizing rebuild churn.
+            let lists = session.flush(&active);
+            for detected in &lists {
+                active.retain(|id| !detected.contains(id));
+            }
+            got.extend(lists);
+        }
+        assert_eq!(got, expected);
+        assert!(
+            active.len() * 2 < faults.len(),
+            "test premise: the active set must shrink below half"
+        );
+    }
+
+    #[test]
+    fn regrowing_active_set_is_still_exact() {
+        // `flush` accepts any fault set; after the marking shrank to a
+        // small active set, asking about the full list again must
+        // trigger a covering rebuild, not read a stale sweep.
+        let circuit = c17();
+        let faults = circuit.full_faults();
+        let patterns = PatternSet::exhaustive(5);
+        let all: Vec<FaultId> = faults.ids().collect();
+        let few: Vec<FaultId> = faults.ids().take(2).collect();
+
+        let mut session = DropSession::for_circuit(&circuit, faults);
+        session.push(&patterns.get(3));
+        let _ = session.flush(&few); // shrink the marking
+        session.push(&patterns.get(3));
+        let got = session.flush(&all); // regrow: needs a rebuild
+
+        let sim = FaultSimulator::for_circuit(&circuit, faults);
+        let mut scratch = crate::faultsim::SimScratch::for_circuit(&circuit);
+        let expected = sim.detect_pattern(&patterns.get(3), &all, &mut scratch);
+        assert_eq!(got, vec![expected]);
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! all touch contiguous arrays in evaluation order.
 
 use adi_netlist::fault::{FaultId, FaultList, FaultSite};
-use adi_netlist::{CompiledCircuit, GateKind, LevelizedCsr, Netlist};
+use adi_netlist::{CompiledCircuit, GateKind, LevelizedCsr};
 
 use crate::faultsim::{DropOutcome, NDetectOutcome};
 use crate::logic::{self, eval_with_pos};
@@ -264,20 +264,6 @@ impl<'a> StemRegionEngine<'a> {
         }
     }
 
-    /// Builds the engine from a bare netlist, compiling a private copy
-    /// (levelized view and FFR decomposition included).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any fault references a node outside the netlist.
-    #[deprecated(
-        since = "0.2.0",
-        note = "compile the netlist once (`CompiledCircuit::compile`) and use `StemRegionEngine::for_circuit`"
-    )]
-    pub fn new(netlist: &Netlist, faults: &'a FaultList) -> Self {
-        Self::for_circuit(&CompiledCircuit::compile(netlist.clone()), faults)
-    }
-
     /// The levelized view the engine runs on.
     pub fn view(&self) -> &LevelizedCsr {
         self.circuit.view()
@@ -480,17 +466,27 @@ impl<'a> StemRegionEngine<'a> {
 
     /// Prepares detection for a block whose good-machine words are
     /// already in `s.good`: sensitization sweep backward plus a fresh
-    /// observability memo generation. Used directly by callers (the
-    /// batched ATPG drop session) that fill `s.good` themselves.
+    /// observability memo generation, using the engine's whole-fault-list
+    /// path marking.
     pub(crate) fn prepare_block(&self, s: &mut StemScratch) {
+        self.prepare_block_with(s, &self.sens_needed);
+    }
+
+    /// Like [`prepare_block`](Self::prepare_block) but with a
+    /// caller-supplied path marking. `sens_needed` must cover (at least)
+    /// every fault whose detection words will be read for this block —
+    /// the batched ATPG drop session passes a marking restricted to its
+    /// still-active faults so the reverse sweep skips retired regions.
+    pub(crate) fn prepare_block_with(&self, s: &mut StemScratch, sens_needed: &[bool]) {
+        debug_assert_eq!(sens_needed.len(), self.view().num_nodes());
         // Reverse sweep: every reader sits at a higher position, so its
         // sensitization word is final before its drivers are visited.
-        // Only positions on some fault's path to its root are consumed;
-        // everything else is skipped.
+        // Only positions on some covered fault's path to its root are
+        // consumed; everything else is skipped.
         for p in (0..self.view().num_nodes()).rev() {
             if self.is_root[p] {
                 s.sens[p] = !0u64;
-            } else if self.sens_needed[p] {
+            } else if sens_needed[p] {
                 let (g, pin) = self.reader[p];
                 s.sens[p] = s.sens[g as usize]
                     & pin_sens(
@@ -505,6 +501,38 @@ impl<'a> StemRegionEngine<'a> {
         if s.obs.memo_version == 0 {
             s.obs.memo_stamp.fill(0);
             s.obs.memo_version = 1;
+        }
+    }
+
+    /// The engine's whole-fault-list path marking (positions whose
+    /// sensitization word some fault's stem-difference computation
+    /// reads).
+    pub(crate) fn sens_needed(&self) -> &[bool] {
+        &self.sens_needed
+    }
+
+    /// Rewrites `out` as the path marking restricted to `active`: for
+    /// each active fault, its effect position and the unique path from
+    /// there to its FFR root. A block prepared with this marking answers
+    /// detection queries for exactly the active faults.
+    pub(crate) fn mark_sens_needed(&self, active: &[FaultId], out: &mut Vec<bool>) {
+        out.clear();
+        out.resize(self.view().num_nodes(), false);
+        for &id in active {
+            let mut p = match self.fault_info[id.index()].site {
+                PosSite::Stem { pos } => pos as usize,
+                PosSite::Branch { gate_pos, .. } => gate_pos as usize,
+            };
+            loop {
+                if out[p] {
+                    break;
+                }
+                out[p] = true;
+                if self.is_root[p] {
+                    break;
+                }
+                p = self.reader[p].0 as usize;
+            }
         }
     }
 
@@ -690,7 +718,7 @@ mod tests {
     use crate::{EngineKind, FaultSimulator};
     use adi_netlist::bench_format;
     use adi_netlist::fault::Fault;
-    use adi_netlist::NetlistBuilder;
+    use adi_netlist::{Netlist, NetlistBuilder};
 
     fn compile(netlist: &Netlist) -> CompiledCircuit {
         CompiledCircuit::compile(netlist.clone())

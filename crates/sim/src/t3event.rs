@@ -1,0 +1,894 @@
+//! Incremental 3-valued dual-machine simulation for PODEM.
+//!
+//! PODEM's inner loop changes exactly one primary input per decision and
+//! retracts a handful of decisions per backtrack, yet the classic
+//! implementation re-simulates **both** 3-valued machines over the whole
+//! netlist after every change. [`DualMachineSim`] replaces that with an
+//! event-driven evaluator on the compiled [`LevelizedCsr`] position
+//! space:
+//!
+//! * **Position-indexed value arrays.** Good- and faulty-machine [`T3`]
+//!   values live in flat arrays indexed by CSR position, so a
+//!   propagation wave touches contiguous memory in evaluation order.
+//! * **Level-bucket event frontier.** Fanouts always sit on strictly
+//!   higher levels, so draining per-level buckets in ascending order
+//!   evaluates every node after all of its fanins — the same heap-free
+//!   event queue the stem-region fault simulator uses.
+//! * **Fault injection at the site.** [`begin_target`] pins the faulty
+//!   machine at the stem position (or re-evaluates the branch gate with
+//!   the faulty pin forced) and propagates the injection like any other
+//!   event wave; the pin stays in force for every later wave.
+//! * **Undo trail.** Every value change is recorded on a trail with
+//!   per-decision frame marks; [`retract_frame`] restores exactly the
+//!   nodes the retracted decision changed, instead of re-simulating.
+//! * **Incrementally maintained search state.** A counter of
+//!   fault-effect fanins per gate and a counter of differing primary
+//!   outputs are updated on every value change, so the D-frontier
+//!   ([`refresh_frontier`]) is assembled from a small candidate set and
+//!   [`detected`] is O(1). The X-path check walks only the still-X
+//!   region, pruned by the CSR's output-cone reachability masks.
+//!
+//! The evaluator's contract is *exact equivalence* with a full two-machine
+//! resimulation of the current assignment ([`is_consistent`] recomputes
+//! that reference state, and the PODEM differential suite asserts
+//! bit-identical outcomes end to end).
+//!
+//! [`begin_target`]: DualMachineSim::begin_target
+//! [`retract_frame`]: DualMachineSim::retract_frame
+//! [`refresh_frontier`]: DualMachineSim::refresh_frontier
+//! [`detected`]: DualMachineSim::detected
+//! [`is_consistent`]: DualMachineSim::is_consistent
+
+use adi_netlist::fault::{Fault, FaultSite};
+use adi_netlist::{CompiledCircuit, GateKind, LevelizedCsr, NodeId};
+
+use crate::t3::{eval_t3_branch, eval_t3_pos, T3};
+
+/// One restorable value change: the position and the pair it held
+/// *before* the change.
+#[derive(Clone, Copy, Debug)]
+struct Change {
+    pos: u32,
+    good: T3,
+    faulty: T3,
+}
+
+/// The active target fault, resolved into position space.
+#[derive(Clone, Copy, Debug)]
+struct Target {
+    /// Stem position, or the branch fault's reading-gate position.
+    site_pos: u32,
+    /// `Some(pin)` for a branch fault on that pin of the site gate.
+    branch_pin: Option<u16>,
+    /// The stuck value as a ternary constant.
+    stuck: T3,
+    /// The good-machine node that must take [`Target::excite_val`] to
+    /// excite the fault (the stem itself, or the branch pin's driver).
+    excite_pos: u32,
+    /// The excitation value (`!stuck`).
+    excite_val: bool,
+}
+
+/// An incremental good/faulty 3-valued evaluator over one compiled
+/// circuit, reusable across any number of target faults.
+///
+/// The intended driver is `adi_atpg::Podem`'s event engine; the type is
+/// public so alternative search strategies (and differential tests) can
+/// build on the same substrate.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::{bench_format, fault::Fault, CompiledCircuit};
+/// use adi_sim::t3::T3;
+/// use adi_sim::t3event::DualMachineSim;
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
+/// let y = n.find_node("y").unwrap();
+/// let circuit = CompiledCircuit::compile(n);
+/// let mut sim = DualMachineSim::for_circuit(&circuit);
+///
+/// sim.begin_target(Fault::stem_at(y, false)); // y stuck-at-0
+/// assert!(!sim.detected());
+/// sim.assign(0, true); // a = 1
+/// sim.assign(1, true); // b = 1: good y = 1, faulty y = 0 -> detected
+/// assert!(sim.detected());
+/// sim.retract_frame(); // undo b: exactly the changed nodes are restored
+/// assert!(!sim.detected());
+/// assert!(sim.is_consistent());
+/// sim.end_target();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct DualMachineSim {
+    circuit: CompiledCircuit,
+    /// Good-machine value per position.
+    good: Vec<T3>,
+    /// Faulty-machine value per position.
+    faulty: Vec<T3>,
+    target: Option<Target>,
+    /// Undo trail of value changes, oldest first.
+    trail: Vec<Change>,
+    /// Trail length at the start of each open frame (frame 0 is the
+    /// injection frame pushed by [`begin_target`](Self::begin_target)).
+    frames: Vec<u32>,
+    /// Per position: number of fanin pins whose driver currently carries
+    /// a fault effect (good and faulty both binary and different).
+    effect_fanins: Vec<u32>,
+    /// Number of primary outputs currently showing a fault effect.
+    detected_outputs: u32,
+    /// Positions that may belong to the D-frontier (superset, deduped by
+    /// `cand_stamp`); append-only while a target is active.
+    candidates: Vec<u32>,
+    cand_stamp: Vec<u32>,
+    cand_version: u32,
+    /// Event-wave state: per-level buckets plus a queued stamp.
+    buckets: Vec<Vec<u32>>,
+    queued: Vec<u32>,
+    qversion: u32,
+    wave_lo: usize,
+    wave_hi: usize,
+    /// Monotone state counter bumped on every value/target change, so
+    /// frontier refreshes can be skipped when nothing moved.
+    state_version: u64,
+    /// `state_version` the current frontier snapshot was computed at.
+    frontier_version: u64,
+    /// Current D-frontier, refreshed on demand.
+    frontier_pos: Vec<u32>,
+    frontier_ids: Vec<NodeId>,
+    /// X-path DFS scratch.
+    xvisited: Vec<u32>,
+    xfrontier: Vec<u32>,
+    xversion: u32,
+    xstack: Vec<u32>,
+    /// Node evaluations performed by event waves.
+    events: u64,
+    /// Node value changes applied (trail pushes).
+    updates: u64,
+}
+
+#[inline]
+fn is_effect(good: T3, faulty: T3) -> bool {
+    good.is_binary() && faulty.is_binary() && good != faulty
+}
+
+impl DualMachineSim {
+    /// Builds the evaluator over `circuit` in its quiescent baseline
+    /// state: all primary inputs X, no fault injected, both machines
+    /// settled (constants propagated).
+    pub fn for_circuit(circuit: &CompiledCircuit) -> Self {
+        let view = circuit.view();
+        let n = view.num_nodes();
+        let mut good = vec![T3::X; n];
+        for p in 0..n {
+            let kind = view.kind_at(p);
+            if kind != GateKind::Input {
+                let v = eval_t3_pos(kind, view.fanins_at(p), |f| good[f as usize]);
+                good[p] = v;
+            }
+        }
+        let faulty = good.clone();
+        DualMachineSim {
+            circuit: circuit.clone(),
+            good,
+            faulty,
+            target: None,
+            trail: Vec::new(),
+            frames: Vec::new(),
+            effect_fanins: vec![0; n],
+            detected_outputs: 0,
+            candidates: Vec::new(),
+            cand_stamp: vec![0; n],
+            cand_version: 0,
+            buckets: vec![Vec::new(); view.num_levels()],
+            queued: vec![0; n],
+            qversion: 0,
+            wave_lo: usize::MAX,
+            wave_hi: 0,
+            state_version: 0,
+            frontier_version: u64::MAX,
+            frontier_pos: Vec::new(),
+            frontier_ids: Vec::new(),
+            xvisited: vec![0; n],
+            xfrontier: vec![0; n],
+            xversion: 0,
+            xstack: Vec::new(),
+            events: 0,
+            updates: 0,
+        }
+    }
+
+    /// The compiled circuit this evaluator runs on.
+    #[inline]
+    pub fn circuit(&self) -> &CompiledCircuit {
+        &self.circuit
+    }
+
+    /// Returns `true` while a target fault is injected.
+    #[inline]
+    pub fn target_active(&self) -> bool {
+        self.target.is_some()
+    }
+
+    /// Injects `fault` and propagates the injection, opening the
+    /// target's base frame. All primary inputs must currently be X
+    /// (i.e. the previous target, if any, was ended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target is already active or the fault references a
+    /// node outside the circuit.
+    pub fn begin_target(&mut self, fault: Fault) {
+        assert!(self.target.is_none(), "previous target not ended");
+        let circuit = self.circuit.clone();
+        let view = circuit.view();
+        assert!(
+            fault.effect_node().index() < view.num_nodes(),
+            "fault {fault} outside netlist"
+        );
+        let stuck = T3::from_bool(fault.stuck_value());
+        let target = match fault.site() {
+            FaultSite::Stem(n) => {
+                let p = view.position(n) as u32;
+                Target {
+                    site_pos: p,
+                    branch_pin: None,
+                    stuck,
+                    excite_pos: p,
+                    excite_val: !fault.stuck_value(),
+                }
+            }
+            FaultSite::Branch { gate, pin } => {
+                let gp = view.position(gate);
+                Target {
+                    site_pos: gp as u32,
+                    branch_pin: Some(u16::from(pin)),
+                    stuck,
+                    excite_pos: view.fanins_at(gp)[pin as usize],
+                    excite_val: !fault.stuck_value(),
+                }
+            }
+        };
+        self.target = Some(target);
+        self.state_version += 1;
+        self.cand_version = self.cand_version.wrapping_add(1);
+        if self.cand_version == 0 {
+            self.cand_stamp.fill(0);
+            self.cand_version = 1;
+        }
+        self.candidates.clear();
+        self.frames.push(self.trail.len() as u32);
+
+        let p = target.site_pos as usize;
+        let (g, f) = self.eval_pair(view, p);
+        self.start_wave();
+        if self.apply(view, p, g, f) {
+            self.schedule_fanouts(view, p);
+            self.run_wave(view);
+        }
+    }
+
+    /// Retracts every remaining frame (decisions and injection alike),
+    /// returning the evaluator to its quiescent baseline, and clears the
+    /// target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no target is active.
+    pub fn end_target(&mut self) {
+        assert!(self.target.is_some(), "no active target");
+        let circuit = self.circuit.clone();
+        let view = circuit.view();
+        while let Some(mark) = self.frames.pop() {
+            while self.trail.len() > mark as usize {
+                self.retract_one(view);
+            }
+        }
+        self.target = None;
+        self.state_version += 1;
+        debug_assert_eq!(self.detected_outputs, 0, "baseline shows a detection");
+    }
+
+    /// Assigns primary input `pi` (index into the circuit's input list)
+    /// and propagates the change as one event wave, opening a new frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no target is active or `pi` is out of range.
+    pub fn assign(&mut self, pi: usize, value: bool) {
+        let target = self.target.expect("no active target");
+        let circuit = self.circuit.clone();
+        let view = circuit.view();
+        let p = view.inputs()[pi] as usize;
+        self.frames.push(self.trail.len() as u32);
+        let new_good = T3::from_bool(value);
+        // A stem fault on this very input keeps the faulty machine
+        // pinned at the stuck value.
+        let new_faulty = if target.site_pos as usize == p && target.branch_pin.is_none() {
+            target.stuck
+        } else {
+            new_good
+        };
+        self.start_wave();
+        if self.apply(view, p, new_good, new_faulty) {
+            self.schedule_fanouts(view, p);
+            self.run_wave(view);
+        }
+    }
+
+    /// Undoes the most recent open frame (one [`assign`](Self::assign)),
+    /// restoring exactly the nodes that frame changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if only the injection frame remains (use
+    /// [`end_target`](Self::end_target) for that).
+    pub fn retract_frame(&mut self) {
+        assert!(self.frames.len() > 1, "no decision frame to retract");
+        let circuit = self.circuit.clone();
+        let view = circuit.view();
+        let mark = self.frames.pop().expect("frame present") as usize;
+        while self.trail.len() > mark {
+            self.retract_one(view);
+        }
+    }
+
+    /// O(1): does some primary output currently show a binary
+    /// good/faulty discrepancy?
+    #[inline]
+    pub fn detected(&self) -> bool {
+        self.detected_outputs > 0
+    }
+
+    /// The good-machine value at CSR `position`.
+    #[inline]
+    pub fn good_at(&self, position: usize) -> T3 {
+        self.good[position]
+    }
+
+    /// The faulty-machine value at CSR `position`.
+    #[inline]
+    pub fn faulty_at(&self, position: usize) -> T3 {
+        self.faulty[position]
+    }
+
+    /// The good-machine value of `node`.
+    #[inline]
+    pub fn good_of(&self, node: NodeId) -> T3 {
+        self.good[self.circuit.view().position(node)]
+    }
+
+    /// The excitation obligation of the active target: the CSR position
+    /// whose good value must become the returned boolean for the fault
+    /// to be excited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no target is active.
+    #[inline]
+    pub fn excite_site(&self) -> (usize, bool) {
+        let t = self.target.expect("no active target");
+        (t.excite_pos as usize, t.excite_val)
+    }
+
+    /// Recomputes the current D-frontier from the maintained candidate
+    /// set: gates whose output is still X in some machine while at least
+    /// one fanin carries a fault effect (plus the branch fault's reading
+    /// gate while the branch line carries D). Results are readable via
+    /// [`frontier_ids`](Self::frontier_ids) until the next state change.
+    pub fn refresh_frontier(&mut self) {
+        if self.frontier_version == self.state_version {
+            return; // nothing changed since the last refresh
+        }
+        self.frontier_version = self.state_version;
+        let circuit = self.circuit.clone();
+        let view = circuit.view();
+        self.frontier_pos.clear();
+        self.frontier_ids.clear();
+        for i in 0..self.candidates.len() {
+            let p = self.candidates[i] as usize;
+            if self.is_member(view, p) {
+                self.frontier_pos.push(p as u32);
+            }
+        }
+        // The branch gate enters through excitation of its driver, which
+        // the candidate bookkeeping (keyed on fault *effects*) does not
+        // see; check it explicitly.
+        if let Some(t) = self.target {
+            if t.branch_pin.is_some() {
+                let gp = t.site_pos as usize;
+                if self.is_member(view, gp) && !self.frontier_pos.contains(&t.site_pos) {
+                    self.frontier_pos.push(t.site_pos);
+                }
+            }
+        }
+        self.frontier_ids
+            .extend(self.frontier_pos.iter().map(|&p| view.node_at(p as usize)));
+        self.frontier_ids.sort_unstable_by_key(|n| n.index());
+    }
+
+    /// The D-frontier as of the last
+    /// [`refresh_frontier`](Self::refresh_frontier), in ascending node-id
+    /// order (the order the full-resim scan produces, so SCOAP ties break
+    /// identically).
+    #[inline]
+    pub fn frontier_ids(&self) -> &[NodeId] {
+        &self.frontier_ids
+    }
+
+    /// True if some gate of the current D-frontier (refreshed on entry
+    /// if stale) reaches a primary output through nodes that are still X
+    /// in at least one machine. The walk is restricted to the still-X region and pruned
+    /// by the CSR's output-cone reachability masks (a fanout that
+    /// structurally reaches no output is never entered).
+    pub fn x_path_exists(&mut self) -> bool {
+        self.refresh_frontier(); // no-op when already current
+        let circuit = self.circuit.clone();
+        let view = circuit.view();
+        self.xversion = self.xversion.wrapping_add(1);
+        if self.xversion == 0 {
+            self.xvisited.fill(0);
+            self.xfrontier.fill(0);
+            self.xversion = 1;
+        }
+        let v = self.xversion;
+        self.xstack.clear();
+        for &p in &self.frontier_pos {
+            self.xfrontier[p as usize] = v;
+        }
+        self.xstack.extend_from_slice(&self.frontier_pos);
+        while let Some(p) = self.xstack.pop() {
+            let p = p as usize;
+            if self.xvisited[p] == v {
+                continue;
+            }
+            self.xvisited[p] = v;
+            let unknown = self.good[p] == T3::X || self.faulty[p] == T3::X;
+            if !unknown && self.xfrontier[p] != v {
+                continue;
+            }
+            if view.is_output_at(p) {
+                return true;
+            }
+            for &g in view.fanouts_at(p) {
+                if view.reaches_output(g as usize) {
+                    self.xstack.push(g);
+                }
+            }
+        }
+        false
+    }
+
+    /// Cumulative `(events, updates)` counters: node evaluations
+    /// performed by event waves and node value changes applied.
+    #[inline]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.events, self.updates)
+    }
+
+    /// Differential-oracle hook: recomputes both machines (and every
+    /// derived counter) from scratch for the current assignment and
+    /// target, and compares against the incremental state. Intended for
+    /// tests; O(circuit).
+    pub fn is_consistent(&self) -> bool {
+        let view = self.circuit.view();
+        let n = view.num_nodes();
+        let mut good = vec![T3::X; n];
+        let mut faulty = vec![T3::X; n];
+        for &p in view.inputs() {
+            good[p as usize] = self.good[p as usize];
+            faulty[p as usize] = self.good[p as usize];
+        }
+        for p in 0..n {
+            let kind = view.kind_at(p);
+            if kind != GateKind::Input {
+                good[p] = eval_t3_pos(kind, view.fanins_at(p), |f| good[f as usize]);
+            }
+            faulty[p] = match self.target {
+                Some(t) if t.site_pos as usize == p => match t.branch_pin {
+                    None => t.stuck,
+                    Some(pin) => eval_t3_branch(
+                        kind,
+                        view.fanins_at(p),
+                        pin as usize,
+                        t.stuck,
+                        |f| faulty[f as usize],
+                    ),
+                },
+                _ => {
+                    if kind == GateKind::Input {
+                        faulty[p]
+                    } else {
+                        eval_t3_pos(kind, view.fanins_at(p), |f| faulty[f as usize])
+                    }
+                }
+            };
+        }
+        if good != self.good || faulty != self.faulty {
+            return false;
+        }
+        let mut effect_fanins = vec![0u32; n];
+        let mut detected_outputs = 0u32;
+        for p in 0..n {
+            if is_effect(good[p], faulty[p]) {
+                for &g in view.fanouts_at(p) {
+                    effect_fanins[g as usize] += 1;
+                }
+                if view.is_output_at(p) {
+                    detected_outputs += 1;
+                }
+            }
+        }
+        effect_fanins == self.effect_fanins && detected_outputs == self.detected_outputs
+    }
+
+    /// D-frontier membership of position `p` under the current state.
+    #[inline]
+    fn is_member(&self, view: &LevelizedCsr, p: usize) -> bool {
+        let out_unknown = self.good[p] == T3::X || self.faulty[p] == T3::X;
+        if !out_unknown || view.kind_at(p) == GateKind::Input {
+            return false;
+        }
+        if self.effect_fanins[p] > 0 {
+            return true;
+        }
+        match self.target {
+            Some(t) if t.branch_pin.is_some() && t.site_pos as usize == p => {
+                self.good[t.excite_pos as usize] == T3::from_bool(t.excite_val)
+            }
+            _ => false,
+        }
+    }
+
+    /// Evaluates the pair a node *should* hold given current fanin
+    /// values and the active injection.
+    fn eval_pair(&self, view: &LevelizedCsr, p: usize) -> (T3, T3) {
+        let kind = view.kind_at(p);
+        let fanins = view.fanins_at(p);
+        let good = if kind == GateKind::Input {
+            self.good[p]
+        } else {
+            eval_t3_pos(kind, fanins, |f| self.good[f as usize])
+        };
+        let faulty = match self.target {
+            Some(t) if t.site_pos as usize == p => match t.branch_pin {
+                None => t.stuck,
+                Some(pin) => eval_t3_branch(kind, fanins, pin as usize, t.stuck, |f| {
+                    self.faulty[f as usize]
+                }),
+            },
+            _ => {
+                if kind == GateKind::Input {
+                    self.faulty[p]
+                } else {
+                    eval_t3_pos(kind, fanins, |f| self.faulty[f as usize])
+                }
+            }
+        };
+        (good, faulty)
+    }
+
+    /// Records and applies a value change; returns `false` if the pair
+    /// is unchanged. Keeps every derived counter in sync.
+    fn apply(&mut self, view: &LevelizedCsr, p: usize, new_good: T3, new_faulty: T3) -> bool {
+        let (old_good, old_faulty) = (self.good[p], self.faulty[p]);
+        if (old_good, old_faulty) == (new_good, new_faulty) {
+            return false;
+        }
+        self.trail.push(Change {
+            pos: p as u32,
+            good: old_good,
+            faulty: old_faulty,
+        });
+        self.updates += 1;
+        self.state_version += 1;
+        self.transition(view, p, is_effect(old_good, old_faulty), is_effect(new_good, new_faulty));
+        self.good[p] = new_good;
+        self.faulty[p] = new_faulty;
+        true
+    }
+
+    /// Restores the most recent trail entry.
+    fn retract_one(&mut self, view: &LevelizedCsr) {
+        let c = self.trail.pop().expect("trail entry present");
+        let p = c.pos as usize;
+        self.state_version += 1;
+        self.transition(
+            view,
+            p,
+            is_effect(self.good[p], self.faulty[p]),
+            is_effect(c.good, c.faulty),
+        );
+        self.good[p] = c.good;
+        self.faulty[p] = c.faulty;
+    }
+
+    /// Derived-state bookkeeping for a value change at `p` whose effect
+    /// status moves `was` → `now` (shared by apply and retract).
+    fn transition(&mut self, view: &LevelizedCsr, p: usize, was: bool, now: bool) {
+        if was != now {
+            for &g in view.fanouts_at(p) {
+                let count = &mut self.effect_fanins[g as usize];
+                if now {
+                    *count += 1;
+                } else {
+                    *count -= 1;
+                }
+                self.push_candidate(g);
+            }
+            if view.is_output_at(p) {
+                if now {
+                    self.detected_outputs += 1;
+                } else {
+                    self.detected_outputs -= 1;
+                }
+            }
+        }
+        // The node's own membership can only matter while it has an
+        // effect fanin (the branch gate is checked separately).
+        if self.effect_fanins[p] > 0 {
+            self.push_candidate(p as u32);
+        }
+    }
+
+    #[inline]
+    fn push_candidate(&mut self, p: u32) {
+        if self.cand_stamp[p as usize] != self.cand_version {
+            self.cand_stamp[p as usize] = self.cand_version;
+            self.candidates.push(p);
+        }
+    }
+
+    fn start_wave(&mut self) {
+        self.qversion = self.qversion.wrapping_add(1);
+        if self.qversion == 0 {
+            self.queued.fill(0);
+            self.qversion = 1;
+        }
+        self.wave_lo = usize::MAX;
+        self.wave_hi = 0;
+    }
+
+    fn schedule_fanouts(&mut self, view: &LevelizedCsr, p: usize) {
+        for &g in view.fanouts_at(p) {
+            if self.queued[g as usize] != self.qversion {
+                self.queued[g as usize] = self.qversion;
+                let lvl = view.level_at(g as usize) as usize;
+                self.buckets[lvl].push(g);
+                self.wave_lo = self.wave_lo.min(lvl);
+                self.wave_hi = self.wave_hi.max(lvl);
+            }
+        }
+    }
+
+    /// Drains the level buckets in ascending order, evaluating each
+    /// scheduled node once and rippling further changes forward.
+    fn run_wave(&mut self, view: &LevelizedCsr) {
+        if self.wave_lo == usize::MAX {
+            return;
+        }
+        let mut lvl = self.wave_lo;
+        while lvl <= self.wave_hi {
+            let mut bucket = std::mem::take(&mut self.buckets[lvl]);
+            for &p in &bucket {
+                let p = p as usize;
+                self.events += 1;
+                let (g, f) = self.eval_pair(view, p);
+                if self.apply(view, p, g, f) {
+                    self.schedule_fanouts(view, p);
+                }
+            }
+            bucket.clear();
+            self.buckets[lvl] = bucket;
+            lvl += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adi_netlist::bench_format;
+    use adi_netlist::Netlist;
+
+    const C17: &str = "
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    fn compile(src: &str, name: &str) -> CompiledCircuit {
+        CompiledCircuit::compile(bench_format::parse(src, name).unwrap())
+    }
+
+    /// The reference D-frontier by the full-resim definition.
+    fn reference_frontier(sim: &DualMachineSim, fault: Fault) -> Vec<NodeId> {
+        let circuit = sim.circuit().clone();
+        let nl: &Netlist = circuit.netlist();
+        let view = circuit.view();
+        let branch_gate = match fault.site() {
+            FaultSite::Branch { gate, pin } => {
+                let driver = nl.fanins(gate)[pin as usize];
+                let needed = T3::from_bool(!fault.stuck_value());
+                (sim.good_of(driver) == needed).then_some(gate)
+            }
+            FaultSite::Stem(_) => None,
+        };
+        nl.node_ids()
+            .filter(|&n| {
+                let p = view.position(n);
+                let out_unknown = sim.good_at(p) == T3::X || sim.faulty_at(p) == T3::X;
+                if !out_unknown || nl.kind(n) == GateKind::Input {
+                    return false;
+                }
+                if branch_gate == Some(n) {
+                    return true;
+                }
+                nl.fanins(n).iter().any(|&f| {
+                    let fp = view.position(f);
+                    is_effect(sim.good_at(fp), sim.faulty_at(fp))
+                })
+            })
+            .collect()
+    }
+
+    /// Drives every assignment prefix of an exhaustive walk and checks
+    /// consistency, the frontier, and detection against the reference.
+    fn exhaustive_walk(src: &str, name: &str) {
+        let circuit = compile(src, name);
+        let n_inputs = circuit.netlist().num_inputs();
+        let faults = adi_netlist::fault::FaultList::full(circuit.netlist());
+        let mut sim = DualMachineSim::for_circuit(&circuit);
+        for (_, fault) in faults.iter() {
+            sim.begin_target(fault);
+            assert!(sim.is_consistent(), "{name}: after injection of {fault}");
+            for value_bits in 0..(1u32 << n_inputs) {
+                for pi in 0..n_inputs {
+                    sim.assign(pi, value_bits >> pi & 1 == 1);
+                    assert!(sim.is_consistent(), "{name}: {fault} bits={value_bits} pi={pi}");
+                    sim.refresh_frontier();
+                    assert_eq!(
+                        sim.frontier_ids(),
+                        reference_frontier(&sim, fault),
+                        "{name}: frontier for {fault} bits={value_bits} pi={pi}"
+                    );
+                }
+                for _ in 0..n_inputs {
+                    sim.retract_frame();
+                }
+                assert!(sim.is_consistent(), "{name}: {fault} after retracts");
+            }
+            sim.end_target();
+        }
+    }
+
+    #[test]
+    fn exhaustive_walk_c17() {
+        exhaustive_walk(C17, "c17");
+    }
+
+    #[test]
+    fn exhaustive_walk_reconvergent() {
+        exhaustive_walk(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ns = AND(a, b)\np = NOT(s)\nq = BUF(s)\ny = AND(p, q)\n",
+            "reconv",
+        );
+    }
+
+    #[test]
+    fn exhaustive_walk_with_constants() {
+        exhaustive_walk(
+            "INPUT(a)\nOUTPUT(y)\nk = CONST1()\nt = XOR(a, k)\ny = OR(t, a)\n",
+            "consts",
+        );
+    }
+
+    #[test]
+    fn detection_matches_fault_simulation() {
+        let circuit = compile(C17, "c17");
+        let faults = adi_netlist::fault::FaultList::full(circuit.netlist());
+        let patterns = crate::PatternSet::exhaustive(5);
+        let matrix = crate::FaultSimulator::for_circuit(&circuit, &faults).no_drop_matrix(&patterns);
+        let mut sim = DualMachineSim::for_circuit(&circuit);
+        for (id, fault) in faults.iter() {
+            sim.begin_target(fault);
+            for p in 0..patterns.len() {
+                let pattern = patterns.get(p);
+                for (pi, v) in pattern.iter().enumerate() {
+                    sim.assign(pi, v);
+                }
+                assert_eq!(
+                    sim.detected(),
+                    matrix.detected(id, p),
+                    "fault {fault} pattern {p}"
+                );
+                for _ in 0..pattern.len() {
+                    sim.retract_frame();
+                }
+            }
+            sim.end_target();
+        }
+    }
+
+    #[test]
+    fn x_path_refreshes_the_frontier_itself() {
+        // Calling x_path_exists without an explicit refresh_frontier
+        // must answer from the *current* state, not a stale snapshot.
+        let circuit = compile(C17, "c17");
+        let g10 = circuit.netlist().find_node("G10").unwrap();
+        let mut sim = DualMachineSim::for_circuit(&circuit);
+        sim.begin_target(Fault::stem_at(g10, false));
+        // Excite the fault (G1 = 0 makes G10 = NAND(0, X) good-1,
+        // faulty-0) without touching refresh_frontier first.
+        sim.assign(0, false); // G1
+        assert!(
+            sim.x_path_exists(),
+            "an X-path to G22 exists straight after excitation"
+        );
+        sim.end_target();
+    }
+
+
+    #[test]
+    fn counters_accumulate() {
+        let circuit = compile(C17, "c17");
+        let y = circuit.netlist().find_node("G22").unwrap();
+        let mut sim = DualMachineSim::for_circuit(&circuit);
+        sim.begin_target(Fault::stem_at(y, false));
+        let before = sim.counters();
+        sim.assign(0, true);
+        let after = sim.counters();
+        assert!(after.1 > before.1, "an assignment changes at least the PI");
+        sim.end_target();
+    }
+
+    #[test]
+    #[should_panic(expected = "previous target not ended")]
+    fn double_begin_panics() {
+        let circuit = compile(C17, "c17");
+        let y = circuit.netlist().find_node("G22").unwrap();
+        let mut sim = DualMachineSim::for_circuit(&circuit);
+        sim.begin_target(Fault::stem_at(y, false));
+        sim.begin_target(Fault::stem_at(y, true));
+    }
+
+    #[test]
+    #[should_panic(expected = "no decision frame")]
+    fn retracting_injection_frame_panics() {
+        let circuit = compile(C17, "c17");
+        let y = circuit.netlist().find_node("G22").unwrap();
+        let mut sim = DualMachineSim::for_circuit(&circuit);
+        sim.begin_target(Fault::stem_at(y, false));
+        sim.retract_frame();
+    }
+
+    #[test]
+    fn end_target_restores_baseline_for_next_target() {
+        let circuit = compile(C17, "c17");
+        let nl = circuit.netlist();
+        let a = nl.find_node("G1").unwrap();
+        let y = nl.find_node("G22").unwrap();
+        let mut sim = DualMachineSim::for_circuit(&circuit);
+        sim.begin_target(Fault::stem_at(y, false));
+        sim.assign(0, true);
+        sim.assign(2, true);
+        sim.end_target();
+        // A fresh target over the same evaluator starts from all-X.
+        sim.begin_target(Fault::stem_at(a, true));
+        assert!(sim.is_consistent());
+        assert_eq!(sim.good_of(a), T3::X);
+        sim.end_target();
+    }
+}

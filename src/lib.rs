@@ -7,8 +7,8 @@
 //! | Crate | Contents |
 //! |-------|----------|
 //! | [`netlist`] | gate-level circuits, `.bench` I/O, stuck-at fault model with collapsing |
-//! | [`sim`] | bit-parallel logic simulation, PPSFP fault simulation, coverage curves |
-//! | [`atpg`] | PODEM test generation with SCOAP guidance and an ordered-fault-list driver |
+//! | [`sim`] | bit-parallel logic simulation, PPSFP fault simulation, the incremental dual-machine PODEM evaluator, coverage curves |
+//! | [`atpg`] | event-driven PODEM test generation with SCOAP guidance and an ordered-fault-list driver |
 //! | [`core`] | the paper itself: `U` selection, `ADI(f)`, the six fault orders, metrics, pipeline |
 //! | [`circuits`] | embedded benchmark circuits and the synthetic paper suite |
 //!
@@ -52,11 +52,11 @@
 //!
 //! The pre-0.2 free-standing entry points (`run_experiment`,
 //! `select_u`, `AdiAnalysis::compute`, `FaultSimulator::new`,
-//! `GoodValues::compute`, `TestGenerator::new`, …) still exist as
-//! deprecated thin wrappers that compile a private copy of the netlist
-//! per call. Replace them with `CompiledCircuit::compile` plus the
-//! corresponding `for_circuit` method (or the `Experiment::on` builder);
-//! see the README's migration table.
+//! `GoodValues::compute`, `TestGenerator::new`, …) were deprecated in
+//! 0.2.0 and **removed in 0.3.0**. Replace them with
+//! `CompiledCircuit::compile` plus the corresponding `for_circuit`
+//! method (or the `Experiment::on` builder); see the README's migration
+//! table.
 //!
 //! ## Regenerating the paper's results
 //!

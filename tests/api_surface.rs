@@ -3,30 +3,28 @@
 //! function pointers) or by type assertion, so renaming, re-typing, or
 //! dropping any of them breaks this test at compile time.
 //!
-//! The crate-level `deny(deprecated)` makes any *new* use of the legacy
-//! `&Netlist` wrappers an error throughout this file; the wrappers
-//! themselves are pinned inside narrowly-scoped `#[allow(deprecated)]`
-//! functions — that exemption is exactly the contract "deprecated but
-//! still compiling".
+//! As of 0.3.0 the pre-0.2 `&Netlist` compile-per-call wrappers are
+//! **removed**; the crate-level `deny(deprecated)` keeps this file honest
+//! should a deprecation cycle ever start again.
 
 #![deny(deprecated)]
 
 use std::time::Duration;
 
 use adi::atpg::{
-    DropLoopKind, FaultStatus, FillStrategy, Podem, PodemConfig, PodemOutcome, Scoap,
-    TestGenConfig, TestGenResult, TestGenerator,
+    DropLoopKind, FaultStatus, FillStrategy, Podem, PodemConfig, PodemEngine, PodemOutcome,
+    PodemStats, Scoap, TestGenConfig, TestGenResult, TestGenerator,
 };
 use adi::circuits::PaperCircuit;
 use adi::core::{
     order_faults, AdiAnalysis, AdiConfig, AdiSummary, Experiment, ExperimentBuilder,
     ExperimentConfig, FaultOrdering, OrderingRun, USelection, USetConfig,
 };
-use adi::netlist::fault::{FaultId, FaultList};
+use adi::netlist::fault::{Fault, FaultId, FaultList};
 use adi::netlist::{CompiledCircuit, FfrPartition, LevelizedCsr, Netlist};
 use adi::sim::{
-    DetectionMatrix, DropOutcome, DropSession, EngineKind, FaultSimulator, GoodValues,
-    NDetectOutcome, Pattern, PatternSet, SimScratch, StemRegionEngine,
+    DetectionMatrix, DropOutcome, DropSession, DualMachineSim, EngineKind, FaultSimulator,
+    GoodValues, NDetectOutcome, Pattern, PatternSet, SimScratch, StemRegionEngine,
 };
 
 /// The compiled-circuit surface: compile-once entry point and artifact
@@ -63,7 +61,8 @@ fn pin_compiled_entry_points<'a>(_: &'a ()) {
     let _: fn(&'a CompiledCircuit, &'a FaultList) -> DropSession<'a> = DropSession::for_circuit;
     let _: fn(&CompiledCircuit, usize, u64) -> Vec<f64> =
         adi::sim::probability::sampled_probabilities_for;
-    let _: fn(&'a CompiledCircuit, PodemConfig) -> Podem<'a> = Podem::for_circuit;
+    let _: fn(&CompiledCircuit, PodemConfig) -> Podem = Podem::for_circuit;
+    let _: fn(&CompiledCircuit) -> DualMachineSim = DualMachineSim::for_circuit;
     let _: fn(&'a CompiledCircuit, &'a FaultList, TestGenConfig) -> TestGenerator<'a> =
         TestGenerator::for_circuit;
     let _: fn(&CompiledCircuit, &FaultList, &PatternSet, AdiConfig) -> AdiAnalysis =
@@ -96,6 +95,8 @@ fn pin_experiment_builder<'a>(_: &'a ()) {
         ExperimentBuilder::orderings;
     let _: fn(ExperimentBuilder<'a>, bool) -> ExperimentBuilder<'a> =
         ExperimentBuilder::collapse_faults;
+    let _: fn(ExperimentBuilder<'a>, bool) -> ExperimentBuilder<'a> =
+        ExperimentBuilder::parallel_orderings;
     let _: fn(ExperimentBuilder<'a>) -> Experiment = ExperimentBuilder::run;
 }
 
@@ -151,31 +152,38 @@ fn simulation_surface_is_stable() {
     let _ = FaultStatus::Redundant;
 }
 
-/// The deprecated `&Netlist` wrappers must stay present and compiling —
-/// each pinned inside its own `allow(deprecated)` scope, under the
-/// file-wide `deny(deprecated)`.
+/// The event-driven PODEM core: the engine switch (event-driven by
+/// default), the generator's reusable surface, and the incremental
+/// dual-machine evaluator it is built on.
 #[test]
-fn deprecated_wrappers_stay_compiling() {
-    #[allow(deprecated)]
-    fn pins<'a>(_: &'a ()) {
-        let _: fn(&Netlist, &PatternSet) -> GoodValues = GoodValues::compute;
-        let _: fn(&'a Netlist, &'a FaultList) -> FaultSimulator<'a> = FaultSimulator::new;
-        let _: fn(&'a Netlist, &'a FaultList, EngineKind) -> FaultSimulator<'a> =
-            FaultSimulator::with_engine;
-        let _: fn(&'a Netlist, &'a FaultList) -> StemRegionEngine<'a> = StemRegionEngine::new;
-        let _: fn(&Netlist) -> SimScratch = SimScratch::new;
-        let _: fn(&Netlist, usize, u64) -> Vec<f64> = adi::sim::probability::sampled_probabilities;
-        let _: fn(&'a Netlist, &'a FaultList, TestGenConfig) -> TestGenerator<'a> =
-            TestGenerator::new;
-        let _: fn(&Netlist, &FaultList, &PatternSet, AdiConfig) -> AdiAnalysis =
-            AdiAnalysis::compute;
-        let _: fn(&Netlist, &FaultList, USetConfig) -> USelection = adi::core::uset::select_u;
-        let _: fn(&Netlist, &FaultList, &PatternSet) -> adi::core::reorder::ReorderResult =
-            adi::core::reorder::reorder_tests;
-        let _: fn(&Netlist, &FaultList, &PatternSet) -> Vec<usize> =
-            adi::core::reorder::reverse_order_compaction;
-        let _: fn(&Netlist, &ExperimentConfig) -> Experiment =
-            adi::core::pipeline::run_experiment;
+fn podem_engine_surface_is_stable() {
+    assert_eq!(PodemEngine::default(), PodemEngine::EventDriven);
+    assert_eq!(PodemConfig::default().engine, PodemEngine::EventDriven);
+    let _ = PodemEngine::FullResim;
+    let _: fn(&Netlist, PodemConfig) -> Podem = Podem::new;
+    let _: fn(&mut Podem, Fault) -> PodemOutcome = Podem::generate;
+    let _: fn(&Podem) -> PodemStats = Podem::stats;
+    let _: fn(&Podem) -> PodemEngine = Podem::engine;
+    fn stats_fields(s: &PodemStats) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
+        (
+            s.targets,
+            s.tests,
+            s.untestable,
+            s.aborted,
+            s.backtracks,
+            s.decisions,
+            s.sim_events,
+            s.sim_updates,
+        )
     }
-    pins(&());
+    let _ = stats_fields;
+    // The evaluator's driving surface.
+    let _: fn(&mut DualMachineSim, Fault) = DualMachineSim::begin_target;
+    let _: fn(&mut DualMachineSim) = DualMachineSim::end_target;
+    let _: fn(&mut DualMachineSim, usize, bool) = DualMachineSim::assign;
+    let _: fn(&mut DualMachineSim) = DualMachineSim::retract_frame;
+    let _: fn(&DualMachineSim) -> bool = DualMachineSim::detected;
+    let _: fn(&mut DualMachineSim) -> bool = DualMachineSim::x_path_exists;
+    let _: fn(&DualMachineSim) -> (u64, u64) = DualMachineSim::counters;
+    let _: fn(&DualMachineSim) -> bool = DualMachineSim::is_consistent;
 }

@@ -75,7 +75,13 @@ proptest! {
         let patterns = PatternSet::exhaustive(netlist.num_inputs());
         let circuit = CompiledCircuit::compile(netlist.clone());
         let matrix = FaultSimulator::for_circuit(&circuit, &faults).no_drop_matrix(&patterns);
-        let mut podem = Podem::for_circuit(&circuit, PodemConfig { backtrack_limit: 10_000 });
+        let mut podem = Podem::for_circuit(
+            &circuit,
+            PodemConfig {
+                backtrack_limit: 10_000,
+                ..PodemConfig::default()
+            },
+        );
         for (id, fault) in faults.iter() {
             let truly_testable = matrix.detected_any(id);
             match podem.generate(fault) {
