@@ -24,9 +24,12 @@
 //!   changed (an undo trail, not a resimulation), detection and the
 //!   D-frontier are maintained incrementally, and the X-path check walks
 //!   only the still-X region pruned by output-cone reachability masks.
-//! * [`PodemEngine::FullResim`] re-simulates both machines over the whole
-//!   netlist in node-id order on every decision and backtrack — the
-//!   classic implementation, kept as the differential-testing oracle.
+//! * `PodemEngine::FullResim` (behind the `oracle` cargo feature, off by
+//!   default) re-simulates both machines over the whole netlist in
+//!   node-id order on every decision and backtrack — the classic
+//!   implementation, kept as the differential-testing oracle. Release
+//!   serving binaries build without it; `adi-bench` and the facade's
+//!   default features force it on so every differential gate still runs.
 //!
 //! Both engines produce **bit-identical** outcomes, test cubes, and
 //! decision/backtrack counts (asserted by the `podem_equivalence`
@@ -34,25 +37,36 @@
 //! [`PodemStats::sim_events`] / [`PodemStats::sim_updates`] diagnostics
 //! reflect the backend actually doing the work.
 
-use adi_netlist::fault::{Fault, FaultSite};
+use adi_netlist::fault::Fault;
+#[cfg(feature = "oracle")]
+use adi_netlist::fault::FaultSite;
 use adi_netlist::{CompiledCircuit, GateKind, Netlist, NodeId};
 use adi_sim::t3event::DualMachineSim;
 
-use crate::value::{eval_t3, eval_t3_branch, T3};
+#[cfg(feature = "oracle")]
+use crate::value::{eval_t3, eval_t3_branch};
+use crate::value::T3;
 use crate::{Scoap, TestCube};
 
 /// Which simulation backend drives the PODEM search.
+///
+/// The full-resimulation oracle is compiled in only with the `oracle`
+/// cargo feature (off by default): it exists for differential testing
+/// and `perf_report` gating, and release serving binaries ship without
+/// it. `adi-bench` forces the feature on; so does the facade's default
+/// feature set.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum PodemEngine {
     /// Re-simulate both 3-valued machines over the whole netlist after
     /// every decision and backtrack. Kept as the differential-testing
-    /// oracle.
+    /// oracle (requires the `oracle` cargo feature).
+    #[cfg(feature = "oracle")]
     FullResim,
     /// Incremental event-driven evaluation on the compiled position
     /// space ([`adi_sim::t3event::DualMachineSim`]): events propagate
     /// only from the changed input, and backtracks retract via an undo
-    /// trail. Bit-identical to [`FullResim`](PodemEngine::FullResim),
-    /// asymptotically faster.
+    /// trail. Bit-identical to the full-resim oracle, asymptotically
+    /// faster.
     #[default]
     EventDriven,
 }
@@ -60,6 +74,7 @@ pub enum PodemEngine {
 impl std::fmt::Display for PodemEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            #[cfg(feature = "oracle")]
             PodemEngine::FullResim => write!(f, "full-resim"),
             PodemEngine::EventDriven => write!(f, "event-driven"),
         }
@@ -172,7 +187,9 @@ pub struct Podem {
     /// Full-resim machine state, node-indexed (the oracle backend);
     /// sized on first full-resim target so the event engine never pays
     /// for it.
+    #[cfg(feature = "oracle")]
     good: Vec<T3>,
+    #[cfg(feature = "oracle")]
     faulty: Vec<T3>,
     /// Event-driven backend, built on first event-driven target so the
     /// full-resim oracle never pays its setup.
@@ -213,7 +230,9 @@ impl Podem {
             stats: PodemStats::default(),
             pi_values: vec![T3::X; netlist.num_inputs()],
             pi_index_of,
+            #[cfg(feature = "oracle")]
             good: Vec::new(),
+            #[cfg(feature = "oracle")]
             faulty: Vec::new(),
             sim: None,
             frontier_buf: Vec::new(),
@@ -246,6 +265,7 @@ impl Podem {
         self.stats.targets += 1;
         self.pi_values.fill(T3::X);
         match self.config.engine {
+            #[cfg(feature = "oracle")]
             PodemEngine::FullResim => self.generate_full(fault),
             PodemEngine::EventDriven => self.generate_event(fault),
         }
@@ -360,8 +380,12 @@ impl Podem {
         }
     }
 
-    // ----- full-resimulation oracle -------------------------------------
+}
 
+// ----- full-resimulation oracle (the `oracle` cargo feature) ------------
+
+#[cfg(feature = "oracle")]
+impl Podem {
     fn generate_full(&mut self, fault: Fault) -> PodemOutcome {
         let circuit = self.circuit.clone();
         let nl = circuit.netlist();
@@ -578,7 +602,8 @@ impl Podem {
 }
 
 /// The good-machine node whose value excites the fault, with the value
-/// it must take.
+/// it must take (oracle-only: the event engine asks its simulator).
+#[cfg(feature = "oracle")]
 fn excitation(nl: &Netlist, fault: Fault) -> (NodeId, bool) {
     match fault.site() {
         FaultSite::Stem(n) => (n, !fault.stuck_value()),
@@ -707,7 +732,10 @@ mod tests {
         CompiledCircuit::compile(netlist.clone())
     }
 
+    #[cfg(feature = "oracle")]
     const ENGINES: [PodemEngine; 2] = [PodemEngine::FullResim, PodemEngine::EventDriven];
+    #[cfg(not(feature = "oracle"))]
+    const ENGINES: [PodemEngine; 1] = [PodemEngine::EventDriven];
 
     const C17: &str = "
 INPUT(G1)
@@ -762,6 +790,7 @@ G23 = NAND(G16, G19)
         }
     }
 
+    #[cfg(feature = "oracle")]
     #[test]
     fn engines_agree_bit_for_bit_on_c17() {
         let n = bench_format::parse(C17, "c17").unwrap();
@@ -971,6 +1000,7 @@ y = OR(t, v)
         assert_eq!(PodemEngine::default(), PodemEngine::EventDriven);
         assert_eq!(PodemConfig::default().engine, PodemEngine::EventDriven);
         assert_eq!(PodemEngine::EventDriven.to_string(), "event-driven");
+        #[cfg(feature = "oracle")]
         assert_eq!(PodemEngine::FullResim.to_string(), "full-resim");
         let n = bench_format::parse(C17, "c17").unwrap();
         let podem = Podem::new(&n, PodemConfig::default());

@@ -13,13 +13,22 @@
 //!     [--quick] [--patterns N] [--out PATH] [--min-speedup X]
 //! ```
 //!
-//! JSON schema (`adi-perf-report/v3`): a header with the run parameters,
-//! a `circuits` array carrying the compile-once vs compile-per-call
-//! timings (`compile_ns`, `adi_compile_once_ns`, `adi_per_call_ns`), and
-//! one `entries` element per `(circuit, engine, phase)` carrying
-//! `wall_ns` and `speedup` (that phase's per-fault-row time over this
-//! row's time, so per-fault rows read 1.0). The engine column maps per
-//! phase:
+//! JSON schema (`adi-perf-report/v4`, written via the vendored `json`
+//! value model): a header with the run parameters, a `circuits` array
+//! carrying the compile-once vs compile-per-call timings (`compile_ns`,
+//! `adi_compile_once_ns`, `adi_per_call_ns`), one `entries` element per
+//! `(circuit, engine, phase)` carrying `wall_ns` and `speedup` (that
+//! phase's per-fault-row time over this row's time, so per-fault rows
+//! read 1.0), and — new in v4 — one `service` element per circuit with
+//! the `adi-service` request-path numbers: `cold_compile_ns` (a fresh
+//! store answering a `compile` request with bench text),
+//! `cache_hit_ns` (the same circuit re-requested by hash),
+//! `hit_speedup` (their ratio), and `throughput_rps` (closed-loop
+//! multi-threaded cache-hit request throughput). Every service response
+//! is agreement-gated against the direct library result before any
+//! timing is recorded, and non-`--quick` runs fail unless the largest
+//! circuit's `hit_speedup` clears the 10x floor. The engine column of
+//! `entries` maps per phase:
 //!
 //! * `no-drop` / `dropping` / `adi` — the fault-simulation engines
 //!   (per-fault PPSFP vs the stem-region engine).
@@ -41,7 +50,6 @@
 //! below the floor (default 1.5×, `--min-speedup`): the perf trajectory
 //! is enforced, not just recorded.
 
-use std::fmt::Write as _;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use adi_atpg::{
@@ -52,10 +60,12 @@ use adi_bench::TextTable;
 use adi_circuits::paper_suite;
 use adi_core::{AdiAnalysis, AdiConfig};
 use adi_netlist::fault::{Fault, FaultId, FaultList};
-use adi_netlist::{CompiledCircuit, Netlist};
+use adi_netlist::{bench_format, CompiledCircuit, Netlist};
+use adi_service::{ServiceState, StoreConfig};
 use adi_sim::{
     DropSession, EngineKind, FaultSimulator, Pattern, PatternSet, SimScratch,
 };
+use json::{Object, Value};
 
 /// Seed for the shared random pattern set (fixed so runs are comparable
 /// across commits).
@@ -68,6 +78,13 @@ const PODEM_SAMPLE: usize = 128;
 
 const PHASES: [&str; 6] = ["no-drop", "dropping", "adi", "atpg", "drop-loop", "podem"];
 const ENGINES: [EngineKind; 2] = [EngineKind::PerFault, EngineKind::StemRegion];
+
+/// Non-quick runs fail unless a cache-hit service request on the
+/// largest circuit beats a cold compile by at least this factor.
+const SERVICE_HIT_FLOOR: f64 = 10.0;
+
+/// Seed for the service phase's agreement vector sets.
+const AGREEMENT_SEED: u64 = 0x05EC_71CE;
 
 struct Options {
     max_gates: usize,
@@ -193,6 +210,241 @@ struct CircuitStats {
     adi_per_call_ns: u128,
 }
 
+/// `adi-service` request-path numbers for one circuit (the v4 `service`
+/// phase).
+struct ServiceStats {
+    name: String,
+    /// A `compile` request with bench text against a fresh (cold) store.
+    cold_compile_ns: u128,
+    /// A `compile` request by hash against the warm store.
+    cache_hit_ns: u128,
+    /// `cold_compile_ns / cache_hit_ns`.
+    hit_speedup: f64,
+    /// Closed-loop cache-hit request throughput (4 threads, mixed
+    /// compile/coverage/ndetect requests by hash).
+    throughput_rps: f64,
+}
+
+/// Unwraps a service response, panicking (and thus refusing to write a
+/// report) unless it succeeded.
+fn service_ok(circuit: &str, response: &str) -> Value {
+    let v = json::parse(response)
+        .unwrap_or_else(|e| panic!("{circuit}: service response is not JSON ({e})"));
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{circuit}: service request failed: {v} — refusing to write a perf report"
+    );
+    v.get("result").expect("ok responses carry a result").clone()
+}
+
+fn service_u64(circuit: &str, result: &Value, key: &str) -> u64 {
+    result
+        .get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("{circuit}: service response lacks `{key}`: {result}"))
+}
+
+/// The v4 `service` phase for one circuit: agreement-gate every
+/// endpoint the phase touches against the direct library result, then
+/// record cold-compile vs cache-hit request latency and multi-threaded
+/// cache-hit throughput.
+fn service_phase(name: &str, netlist_text: &str, patterns: usize) -> ServiceStats {
+    // The `.bench` parser numbers nodes by first mention, so the direct
+    // reference must run on the same parse the service performs.
+    let netlist = bench_format::parse(netlist_text, name).expect("suite circuit reparses");
+    let compiled = CompiledCircuit::compile(netlist.clone());
+    let faults = compiled.collapsed_faults();
+    let agreement_patterns = patterns.min(256);
+
+    let compile_req = {
+        let mut o = Object::new();
+        o.insert("op", "compile");
+        o.insert("bench", netlist_text);
+        o.insert("name", name);
+        Value::Object(o).to_string()
+    };
+
+    // ---- agreement gates (every endpoint the phase touches) ----------
+    let state = ServiceState::new(StoreConfig::default());
+    let r = service_ok(name, &state.handle_line(&compile_req));
+    let hash = r
+        .get("hash")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("{name}: compile response lacks a hash"))
+        .to_string();
+    assert_eq!(hash, netlist.content_hash().to_hex(), "{name}: content hash disagrees");
+    assert_eq!(service_u64(name, &r, "nodes"), netlist.num_nodes() as u64);
+    assert_eq!(
+        service_u64(name, &r, "collapsed_faults"),
+        faults.len() as u64,
+        "{name}: collapsed fault count disagrees"
+    );
+
+    let sim = FaultSimulator::for_circuit(&compiled, faults);
+    let pats = PatternSet::random(netlist.num_inputs(), agreement_patterns, AGREEMENT_SEED);
+    let r = service_ok(
+        name,
+        &state.handle_line(&format!(
+            r#"{{"op":"coverage","hash":"{hash}","random":{{"count":{agreement_patterns},"seed":{}}}}}"#,
+            AGREEMENT_SEED
+        )),
+    );
+    let direct = sim.with_dropping(&pats);
+    assert_eq!(
+        service_u64(name, &r, "num_detected"),
+        direct.num_detected() as u64,
+        "{name}: coverage endpoint disagrees with direct simulation"
+    );
+
+    let r = service_ok(
+        name,
+        &state.handle_line(&format!(
+            r#"{{"op":"ndetect","hash":"{hash}","random":{{"count":{agreement_patterns},"seed":{}}},"n":4}}"#,
+            AGREEMENT_SEED
+        )),
+    );
+    let nd = sim.n_detect(&pats, 4);
+    let counts: Vec<u64> = r
+        .get("counts")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("{name}: ndetect response lacks counts"))
+        .iter()
+        .map(|v| v.as_u64().expect("count"))
+        .collect();
+    assert_eq!(
+        counts,
+        nd.counts.iter().map(|&c| c as u64).collect::<Vec<_>>(),
+        "{name}: ndetect endpoint disagrees with direct simulation"
+    );
+
+    let r = service_ok(
+        name,
+        &state.handle_line(&format!(
+            r#"{{"op":"adi","hash":"{hash}","random":{{"count":{agreement_patterns},"seed":{}}},"ordering":"0dynm"}}"#,
+            AGREEMENT_SEED
+        )),
+    );
+    let analysis = AdiAnalysis::for_circuit(&compiled, faults, &pats, AdiConfig::default());
+    let summary = analysis.summary();
+    let order: Vec<u64> = adi_core::order_faults(&analysis, adi_core::FaultOrdering::Dynamic0)
+        .into_iter()
+        .map(|f| f.index() as u64)
+        .collect();
+    let adi_obj = r.get("adi").expect("adi summary");
+    assert_eq!(service_u64(name, adi_obj, "min"), summary.min as u64);
+    assert_eq!(service_u64(name, adi_obj, "max"), summary.max as u64);
+    assert_eq!(service_u64(name, adi_obj, "detected"), summary.detected as u64);
+    let service_order: Vec<u64> = r
+        .get("order")
+        .and_then(Value::as_array)
+        .expect("ordering requested")
+        .iter()
+        .map(|v| v.as_u64().expect("fault index"))
+        .collect();
+    assert_eq!(service_order, order, "{name}: adi ordering disagrees");
+
+    let r = service_ok(
+        name,
+        &state.handle_line(&format!(
+            r#"{{"op":"atpg","hash":"{hash}","ordering":"orig","include_tests":true}}"#
+        )),
+    );
+    let ids: Vec<FaultId> = faults.ids().collect();
+    let direct_gen = TestGenerator::for_circuit(&compiled, faults, TestGenConfig::default()).run(&ids);
+    assert_eq!(
+        service_u64(name, &r, "num_tests"),
+        direct_gen.num_tests() as u64,
+        "{name}: atpg endpoint disagrees with direct generation"
+    );
+    let service_tests: Vec<String> = r
+        .get("tests")
+        .and_then(Value::as_array)
+        .expect("tests requested")
+        .iter()
+        .map(|t| t.as_str().expect("bit string").to_string())
+        .collect();
+    let direct_tests: Vec<String> = direct_gen
+        .tests
+        .iter()
+        .map(|p| p.iter().map(|b| if b { '1' } else { '0' }).collect())
+        .collect();
+    assert_eq!(service_tests, direct_tests, "{name}: atpg test sets disagree");
+
+    // Reorder over a prefix of the generated set (bounded for speed).
+    let prefix: Vec<&String> = direct_tests.iter().take(24).collect();
+    let list = prefix
+        .iter()
+        .map(|t| format!("\"{t}\""))
+        .collect::<Vec<_>>()
+        .join(",");
+    let r = service_ok(
+        name,
+        &state.handle_line(&format!(
+            r#"{{"op":"reorder","hash":"{hash}","patterns":[{list}]}}"#
+        )),
+    );
+    let prefix_set = PatternSet::from_patterns(
+        netlist.num_inputs(),
+        &direct_gen.tests[..prefix.len().min(direct_gen.tests.len())],
+    );
+    let direct_reorder = adi_core::reorder::reorder_tests_for(&compiled, faults, &prefix_set);
+    let service_perm: Vec<u64> = r
+        .get("permutation")
+        .and_then(Value::as_array)
+        .expect("permutation")
+        .iter()
+        .map(|v| v.as_u64().expect("index"))
+        .collect();
+    assert_eq!(
+        service_perm,
+        direct_reorder.permutation.iter().map(|&i| i as u64).collect::<Vec<_>>(),
+        "{name}: reorder endpoint disagrees"
+    );
+
+    // ---- timings (only after every gate above has passed) ------------
+    let cold_compile_ns = time_ns(|| {
+        let fresh = ServiceState::new(StoreConfig::default());
+        std::hint::black_box(fresh.handle_line(&compile_req));
+    });
+    let hit_req = format!(r#"{{"op":"compile","hash":"{hash}"}}"#);
+    let cache_hit_ns = time_ns(|| {
+        std::hint::black_box(state.handle_line(&hit_req));
+    });
+
+    // Closed-loop throughput: 4 threads, hash-addressed request mix.
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 48;
+    let mix = [
+        hit_req.clone(),
+        format!(r#"{{"op":"coverage","hash":"{hash}","random":{{"count":32,"seed":3}}}}"#),
+        format!(r#"{{"op":"ndetect","hash":"{hash}","random":{{"count":32,"seed":5}},"n":2}}"#),
+    ];
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let state = &state;
+            let mix = &mix;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let response = state.handle_line(&mix[(t + i) % mix.len()]);
+                    std::hint::black_box(&response);
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let throughput_rps = (THREADS * PER_THREAD) as f64 / wall.max(1e-9);
+
+    ServiceStats {
+        name: name.to_string(),
+        cold_compile_ns,
+        cache_hit_ns,
+        hit_speedup: cold_compile_ns as f64 / cache_hit_ns.max(1) as f64,
+        throughput_rps,
+    }
+}
+
 /// The compile-per-call path the pre-0.2 wrappers used to take (spelled
 /// out now that those wrappers are gone): this is precisely the cost the
 /// compiled API removes.
@@ -283,6 +535,7 @@ fn main() {
         .collect();
     let mut entries: Vec<Entry> = Vec::new();
     let mut circuit_stats: Vec<CircuitStats> = Vec::new();
+    let mut service_stats: Vec<ServiceStats> = Vec::new();
 
     for circuit in &circuits {
         eprintln!(
@@ -471,11 +724,17 @@ fn main() {
             adi_compile_once_ns: wall[1][2],
             adi_per_call_ns,
         });
+
+        // The v4 service phase: the same circuit served over the
+        // request path, agreement-gated, cold vs cache-hit.
+        eprintln!("[perf_report] {} service phase...", circuit.name);
+        let text = bench_format::to_bench(compiled.netlist());
+        service_stats.push(service_phase(circuit.name, &text, opts.patterns));
     }
 
     // Persist the snapshot before printing: a consumer truncating our
     // stdout (e.g. `| head`) must not cost us the report.
-    let json = render_json(&date, &opts, &circuit_stats, &entries);
+    let json = render_report(&date, &opts, &circuit_stats, &entries, &service_stats).pretty();
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -533,6 +792,25 @@ fn main() {
     }
     println!("{}", table.render());
 
+    // Service phase summary: the request path, cold vs cache-hit.
+    let mut service_table = TextTable::new(vec![
+        "circuit",
+        "cold compile (ms)",
+        "cache hit (us)",
+        "hit speedup",
+        "throughput (req/s)",
+    ]);
+    for s in &service_stats {
+        service_table.row(vec![
+            s.name.clone(),
+            format!("{:.2}", s.cold_compile_ns as f64 / 1e6),
+            format!("{:.1}", s.cache_hit_ns as f64 / 1e3),
+            format!("{:.1}x", s.hit_speedup),
+            format!("{:.0}", s.throughput_rps),
+        ]);
+    }
+    println!("{}", service_table.render());
+
     // Ratio-regression gate: the stem engine must keep its no-drop win
     // on the largest selected circuit. `--quick` runs (tiny pattern
     // counts, CI smoke) are exempt.
@@ -551,54 +829,101 @@ fn main() {
                 "[perf_report] ratio gate passed: {} no-drop speedup {:.2}x >= {:.2}x",
                 largest.name, speedup, opts.min_speedup
             );
+
+            // Service gate: a cache-hit request must be at least 10x
+            // cheaper than a cold compile — the store is the product.
+            let service = service_stats
+                .iter()
+                .find(|s| s.name == largest.name)
+                .expect("service stats recorded per circuit");
+            if service.hit_speedup < SERVICE_HIT_FLOOR {
+                eprintln!(
+                    "error: service cache-hit speedup on {} is {:.2}x, below the \
+                     {SERVICE_HIT_FLOOR:.0}x floor",
+                    largest.name, service.hit_speedup
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[perf_report] service gate passed: {} cache-hit {:.1}x >= {SERVICE_HIT_FLOOR:.0}x",
+                largest.name, service.hit_speedup
+            );
         }
     }
 }
 
-fn render_json(
+/// Assembles the v4 report document (serialized with
+/// [`Value::pretty`]).
+fn render_report(
     date: &str,
     opts: &Options,
     circuit_stats: &[CircuitStats],
     entries: &[Entry],
-) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"schema\": \"adi-perf-report/v3\",");
-    let _ = writeln!(out, "  \"date\": \"{date}\",");
-    let _ = writeln!(out, "  \"patterns\": {},", opts.patterns);
-    let _ = writeln!(out, "  \"podem_sample\": {PODEM_SAMPLE},");
-    let _ = writeln!(out, "  \"quick\": {},", opts.quick);
-    let _ = writeln!(out, "  \"min_speedup\": {:.3},", opts.min_speedup);
-    let _ = writeln!(out, "  \"circuits\": [");
-    for (i, c) in circuit_stats.iter().enumerate() {
-        let comma = if i + 1 == circuit_stats.len() { "" } else { "," };
-        let _ = writeln!(
-            out,
-            "    {{\"name\": \"{}\", \"compile_ns\": {}, \"adi_compile_once_ns\": {}, \
-             \"adi_per_call_ns\": {}}}{comma}",
-            c.name, c.compile_ns, c.adi_compile_once_ns, c.adi_per_call_ns
-        );
-    }
-    let _ = writeln!(out, "  ],");
-    let _ = writeln!(out, "  \"entries\": [");
-    for (i, e) in entries.iter().enumerate() {
-        let comma = if i + 1 == entries.len() { "" } else { "," };
-        let extra = match e.podem_metrics {
-            Some((tps, epd)) => {
-                format!(", \"targets_per_s\": {tps:.2}, \"events_per_decision\": {epd:.2}")
-            }
-            None => String::new(),
-        };
-        let _ = writeln!(
-            out,
-            "    {{\"circuit\": \"{}\", \"engine\": \"{}\", \"phase\": \"{}\", \
-             \"wall_ns\": {}{extra}, \"speedup\": {:.3}}}{comma}",
-            e.circuit, e.engine, e.phase, e.wall_ns, e.speedup
-        );
-    }
-    let _ = writeln!(out, "  ]");
-    let _ = writeln!(out, "}}");
-    out
+    service_stats: &[ServiceStats],
+) -> Value {
+    let mut root = Object::new();
+    root.insert("schema", "adi-perf-report/v4");
+    root.insert("date", date);
+    root.insert("patterns", opts.patterns);
+    root.insert("podem_sample", PODEM_SAMPLE);
+    root.insert("quick", opts.quick);
+    root.insert("min_speedup", Value::rounded(opts.min_speedup, 3));
+    root.insert(
+        "circuits",
+        Value::Array(
+            circuit_stats
+                .iter()
+                .map(|c| {
+                    let mut o = Object::new();
+                    o.insert("name", c.name.as_str());
+                    o.insert("compile_ns", Value::from_u128(c.compile_ns));
+                    o.insert("adi_compile_once_ns", Value::from_u128(c.adi_compile_once_ns));
+                    o.insert("adi_per_call_ns", Value::from_u128(c.adi_per_call_ns));
+                    o.into()
+                })
+                .collect(),
+        ),
+    );
+    root.insert(
+        "entries",
+        Value::Array(
+            entries
+                .iter()
+                .map(|e| {
+                    let mut o = Object::new();
+                    o.insert("circuit", e.circuit.as_str());
+                    o.insert("engine", e.engine.to_string());
+                    o.insert("phase", e.phase);
+                    o.insert("wall_ns", Value::from_u128(e.wall_ns));
+                    if let Some((tps, epd)) = e.podem_metrics {
+                        o.insert("targets_per_s", Value::rounded(tps, 2));
+                        o.insert("events_per_decision", Value::rounded(epd, 2));
+                    }
+                    o.insert("speedup", Value::rounded(e.speedup, 3));
+                    o.into()
+                })
+                .collect(),
+        ),
+    );
+    root.insert(
+        "service",
+        Value::Array(
+            service_stats
+                .iter()
+                .map(|s| {
+                    let mut o = Object::new();
+                    o.insert("name", s.name.as_str());
+                    o.insert("phase", "service");
+                    o.insert("cold_compile_ns", Value::from_u128(s.cold_compile_ns));
+                    o.insert("cache_hit_ns", Value::from_u128(s.cache_hit_ns));
+                    o.insert("hit_speedup", Value::rounded(s.hit_speedup, 2));
+                    o.insert("throughput_rps", Value::rounded(s.throughput_rps, 1));
+                    o.into()
+                })
+                .collect(),
+        ),
+    );
+    Value::Object(root)
 }
 
 #[cfg(test)]
@@ -614,7 +939,7 @@ mod tests {
     }
 
     #[test]
-    fn json_is_well_formed_enough() {
+    fn json_is_well_formed_and_v4_shaped() {
         let entries = vec![
             Entry {
                 circuit: "irs208".into(),
@@ -639,17 +964,35 @@ mod tests {
             adi_compile_once_ns: 2000,
             adi_per_call_ns: 3000,
         }];
-        let json = render_json("2026-01-01", &Options::default(), &stats, &entries);
-        assert!(json.contains("\"schema\": \"adi-perf-report/v3\""));
-        assert!(json.contains("\"engine\": \"stem-region\""));
-        assert!(json.contains("\"wall_ns\": 12345"));
-        assert!(json.contains("\"phase\": \"podem\""));
-        assert!(json.contains("\"targets_per_s\": 1234.50"));
-        assert!(json.contains("\"events_per_decision\": 42.25"));
-        assert!(json.contains("\"podem_sample\": 128"));
-        assert!(json.contains("\"compile_ns\": 1000"));
-        assert!(json.contains("\"adi_per_call_ns\": 3000"));
-        assert!(json.contains("\"min_speedup\": 1.500"));
-        assert!(!json.contains(",\n  ]"), "no trailing comma");
+        let service = vec![ServiceStats {
+            name: "irs208".into(),
+            cold_compile_ns: 5_000_000,
+            cache_hit_ns: 12_000,
+            hit_speedup: 416.67,
+            throughput_rps: 52_000.5,
+        }];
+        let doc = render_report("2026-01-01", &Options::default(), &stats, &entries, &service);
+        let text = doc.pretty();
+        // Strict JSON: our own parser must read it back identically.
+        assert_eq!(json::parse(&text).unwrap(), doc);
+        for needle in [
+            "\"schema\": \"adi-perf-report/v4\"",
+            "\"engine\": \"stem-region\"",
+            "\"wall_ns\": 12345",
+            "\"phase\": \"podem\"",
+            "\"targets_per_s\": 1234.5",
+            "\"events_per_decision\": 42.25",
+            "\"podem_sample\": 128",
+            "\"compile_ns\": 1000",
+            "\"adi_per_call_ns\": 3000",
+            "\"min_speedup\": 1.5",
+            "\"phase\": \"service\"",
+            "\"cold_compile_ns\": 5000000",
+            "\"cache_hit_ns\": 12000",
+            "\"hit_speedup\": 416.67",
+            "\"throughput_rps\": 52000.5",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
     }
 }

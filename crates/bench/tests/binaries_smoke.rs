@@ -78,11 +78,11 @@ fn perf_report_writes_json() {
     assert!(ok);
     assert!(stdout.contains("speedup"));
     let json = std::fs::read_to_string(&out_path).expect("report written");
-    assert!(json.contains("\"schema\": \"adi-perf-report/v3\""));
+    assert!(json.contains("\"schema\": \"adi-perf-report/v4\""));
     assert!(json.contains("\"circuit\": \"irs208\""));
     assert!(json.contains("\"engine\": \"per-fault\""));
     assert!(json.contains("\"engine\": \"stem-region\""));
-    for phase in ["no-drop", "dropping", "adi", "atpg", "drop-loop", "podem"] {
+    for phase in ["no-drop", "dropping", "adi", "atpg", "drop-loop", "podem", "service"] {
         assert!(json.contains(&format!("\"phase\": \"{phase}\"")), "{phase}");
     }
     // v3: raw-PODEM throughput metrics on the podem entries.
@@ -92,6 +92,11 @@ fn perf_report_writes_json() {
     assert!(json.contains("\"compile_ns\""));
     assert!(json.contains("\"adi_compile_once_ns\""));
     assert!(json.contains("\"adi_per_call_ns\""));
+    // v4: the service phase (cold vs cache-hit request latency).
+    assert!(json.contains("\"cold_compile_ns\""));
+    assert!(json.contains("\"cache_hit_ns\""));
+    assert!(json.contains("\"hit_speedup\""));
+    assert!(json.contains("\"throughput_rps\""));
     let _ = std::fs::remove_file(&out_path);
 }
 

@@ -22,7 +22,7 @@
 use std::sync::{Arc, OnceLock};
 
 use crate::fault::FaultList;
-use crate::{FfrPartition, LevelizedCsr, Netlist, Scoap};
+use crate::{FfrPartition, LevelizedCsr, Netlist, NetlistHash, Scoap};
 
 /// An immutable, shareable compilation of a [`Netlist`] and its derived
 /// analysis artifacts.
@@ -66,6 +66,7 @@ struct Compilation {
     collapsed: OnceLock<FaultList>,
     full: OnceLock<FaultList>,
     scoap: OnceLock<Scoap>,
+    hash: OnceLock<NetlistHash>,
 }
 
 impl CompiledCircuit {
@@ -87,6 +88,7 @@ impl CompiledCircuit {
                 collapsed: OnceLock::new(),
                 full: OnceLock::new(),
                 scoap: OnceLock::new(),
+                hash: OnceLock::new(),
             }),
         }
     }
@@ -133,6 +135,16 @@ impl CompiledCircuit {
         self.inner
             .scoap
             .get_or_init(|| Scoap::compute(&self.inner.netlist))
+    }
+
+    /// The canonical content hash of the compiled netlist (computed on
+    /// first access, then shared) — the key a [`NetlistHash`]-addressed
+    /// circuit cache stores this compilation under.
+    pub fn content_hash(&self) -> NetlistHash {
+        *self
+            .inner
+            .hash
+            .get_or_init(|| self.inner.netlist.content_hash())
     }
 
     /// Returns `true` if `other` shares this compilation (clone of the

@@ -1,0 +1,297 @@
+//! Canonical content hashing for netlists.
+//!
+//! A [`NetlistHash`] identifies a circuit by **structure**, not by
+//! spelling: it digests the gate kinds, the fanin wiring, the primary
+//! input order, and the primary output markings — and nothing else. Two
+//! `.bench` files that differ only in node names (or in the circuit
+//! name) hash identically, so a hash-keyed cache of compiled circuits
+//! deduplicates renamed copies of the same design.
+//!
+//! # Canonicalization contract
+//!
+//! The digest covers, in order:
+//!
+//! 1. a format tag (`adi-netlist-hash/v1`), so a future canonicalization
+//!    change cannot silently collide with this one;
+//! 2. the node count, then for every node in **creation order**: its
+//!    [`GateKind`] tag and its fanin list as node indices (pin order
+//!    preserved — `NAND(a, b)` and `NAND(b, a)` are different circuits
+//!    for fault bookkeeping even when logically symmetric);
+//! 3. the primary-input list (its order defines pattern bit positions);
+//! 4. the primary-output list (its order defines response positions).
+//!
+//! Excluded: node names and the circuit name (renames are invisible),
+//! and everything derivable (levels, topological order, fanouts).
+//!
+//! Declaration *order* is part of the structure: the same gates written
+//! in a different order produce different node indices — and different
+//! fault-list, pattern, and ordering indices everywhere else in this
+//! workspace — so they intentionally hash differently. Note that the
+//! `.bench` parser assigns a node's index at its **first mention**
+//! (fanin references included), so two texts of the same circuit hash
+//! identically exactly when their first-mention order agrees; byte-equal
+//! request bodies always do.
+//!
+//! The hash function is FNV-1a/128: deterministic across processes,
+//! platforms, and Rust versions (unlike `DefaultHasher`), cheap, and
+//! with a 128-bit state that makes accidental collisions between cached
+//! circuits negligible. It is **not** cryptographic; the cache key
+//! defends against coincidence, not against an adversary crafting
+//! collisions.
+
+use std::fmt;
+
+use crate::{GateKind, Netlist};
+
+/// A 128-bit canonical content hash of a [`Netlist`]'s structure.
+///
+/// Obtain one from [`Netlist::content_hash`]. The [`Display`](fmt::Display) form (and
+/// [`NetlistHash::to_hex`]) is 32 lowercase hex digits, the wire format
+/// the `adi-service` protocol uses to address cached circuits.
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::bench_format;
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// let a = bench_format::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "one")?;
+/// let b = bench_format::parse("INPUT(in)\nOUTPUT(out)\nout = NOT(in)\n", "two")?;
+/// assert_eq!(a.content_hash(), b.content_hash()); // renames are invisible
+///
+/// let c = bench_format::parse("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n", "three")?;
+/// assert_ne!(a.content_hash(), c.content_hash()); // structure differs
+///
+/// let hex = a.content_hash().to_hex();
+/// assert_eq!(adi_netlist::NetlistHash::from_hex(&hex), Some(a.content_hash()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NetlistHash(u128);
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Incremental FNV-1a/128 over a canonical byte stream.
+struct Fnv(u128);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// The canonical tag for a gate kind. Explicit (rather than an enum
+/// cast) so reordering the `GateKind` declaration can never silently
+/// change every stored hash.
+fn kind_tag(kind: GateKind) -> u8 {
+    match kind {
+        GateKind::Input => 0,
+        GateKind::And => 1,
+        GateKind::Or => 2,
+        GateKind::Not => 3,
+        GateKind::Nand => 4,
+        GateKind::Nor => 5,
+        GateKind::Xor => 6,
+        GateKind::Xnor => 7,
+        GateKind::Buf => 8,
+        GateKind::Const0 => 9,
+        GateKind::Const1 => 10,
+    }
+}
+
+impl NetlistHash {
+    /// Computes the canonical hash of `netlist` (see the module
+    /// documentation for exactly what is digested).
+    pub fn of(netlist: &Netlist) -> NetlistHash {
+        let mut h = Fnv::new();
+        h.bytes(b"adi-netlist-hash/v1");
+        h.u32(netlist.num_nodes() as u32);
+        for node in netlist.node_ids() {
+            h.bytes(&[kind_tag(netlist.kind(node))]);
+            let fanins = netlist.fanins(node);
+            h.u32(fanins.len() as u32);
+            for &f in fanins {
+                h.u32(f.index() as u32);
+            }
+        }
+        h.u32(netlist.num_inputs() as u32);
+        for &pi in netlist.inputs() {
+            h.u32(pi.index() as u32);
+        }
+        h.u32(netlist.num_outputs() as u32);
+        for &po in netlist.outputs() {
+            h.u32(po.index() as u32);
+        }
+        NetlistHash(h.0)
+    }
+
+    /// The 32-digit lowercase hex form (the protocol wire format).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the hex form produced by [`to_hex`](Self::to_hex).
+    /// Accepts exactly 32 hex digits (either case).
+    pub fn from_hex(hex: &str) -> Option<NetlistHash> {
+        // `from_str_radix` alone would also admit a leading sign; the
+        // wire format is digits only.
+        if hex.len() != 32 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(hex, 16).ok().map(NetlistHash)
+    }
+
+    /// The low 64 bits of the hash — well mixed, for cheap bucketing
+    /// (e.g. cache shard selection) without going through the hex form.
+    pub fn low64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+impl fmt::Display for NetlistHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl Netlist {
+    /// The canonical content hash of this netlist: stable across node
+    /// and circuit renames, sensitive to any structural change. See
+    /// [`NetlistHash`].
+    pub fn content_hash(&self) -> NetlistHash {
+        NetlistHash::of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format;
+
+    const MUX: &str = "
+INPUT(a)
+INPUT(s)
+INPUT(b)
+OUTPUT(y)
+ns = NOT(s)
+t0 = AND(a, ns)
+t1 = AND(b, s)
+y = OR(t0, t1)
+";
+
+    /// MUX with every node renamed (same structure, same line order).
+    const MUX_RENAMED: &str = "
+INPUT(x0)
+INPUT(sel)
+INPUT(x1)
+OUTPUT(zz)
+w = NOT(sel)
+g1 = AND(x0, w)
+g2 = AND(x1, sel)
+zz = OR(g1, g2)
+";
+
+    #[test]
+    fn renames_do_not_change_the_hash() {
+        let a = bench_format::parse(MUX, "mux").unwrap();
+        let b = bench_format::parse(MUX_RENAMED, "totally-different-name").unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn structural_edits_change_the_hash() {
+        let base = bench_format::parse(MUX, "mux").unwrap().content_hash();
+        // Gate kind swap.
+        let kind = bench_format::parse(&MUX.replace("OR(t0, t1)", "NOR(t0, t1)"), "mux").unwrap();
+        assert_ne!(base, kind.content_hash());
+        // Rewire (swap fanin pins).
+        let pins = bench_format::parse(&MUX.replace("AND(a, ns)", "AND(ns, a)"), "mux").unwrap();
+        assert_ne!(base, pins.content_hash());
+        // Output marking.
+        let extra_po =
+            bench_format::parse(&format!("{MUX}OUTPUT(t0)\n"), "mux").unwrap();
+        assert_ne!(base, extra_po.content_hash());
+    }
+
+    #[test]
+    fn declaration_order_is_structural() {
+        // Same gates, inputs declared in a different order: pattern bit
+        // positions differ, so the hash must differ.
+        let swapped = "
+INPUT(s)
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+ns = NOT(s)
+t0 = AND(a, ns)
+t1 = AND(b, s)
+y = OR(t0, t1)
+";
+        let a = bench_format::parse(MUX, "mux").unwrap();
+        let b = bench_format::parse(swapped, "mux").unwrap();
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let h = bench_format::parse(MUX, "mux").unwrap().content_hash();
+        let hex = h.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(NetlistHash::from_hex(&hex), Some(h));
+        assert_eq!(NetlistHash::from_hex(&hex.to_uppercase()), Some(h));
+        assert_eq!(NetlistHash::from_hex("xyz"), None);
+        assert_eq!(NetlistHash::from_hex(&hex[..31]), None);
+        assert_eq!(
+            NetlistHash::from_hex("+00000000000000000000000000000ff"),
+            None,
+            "a sign is not a hex digit"
+        );
+        assert_eq!(h.to_string(), hex);
+        assert_eq!(h.low64(), u64::from_str_radix(&hex[16..], 16).unwrap());
+    }
+
+    #[test]
+    fn hash_is_deterministic_across_parses() {
+        let a = bench_format::parse(MUX, "m1").unwrap();
+        let b = bench_format::parse(MUX, "m2").unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.content_hash(), a.clone().content_hash());
+    }
+
+    #[test]
+    fn every_gate_kind_has_a_distinct_tag() {
+        let kinds = [
+            GateKind::Input,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Not,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Buf,
+            GateKind::Const0,
+            GateKind::Const1,
+        ];
+        let mut tags: Vec<u8> = kinds.iter().map(|&k| kind_tag(k)).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), kinds.len());
+    }
+}

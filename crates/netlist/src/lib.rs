@@ -56,6 +56,7 @@ mod error;
 pub mod fault;
 mod ffr;
 mod gate;
+mod hash;
 mod id;
 mod levelized;
 mod netlist;
@@ -69,6 +70,7 @@ pub use dot::to_dot;
 pub use error::NetlistError;
 pub use ffr::FfrPartition;
 pub use gate::GateKind;
+pub use hash::NetlistHash;
 pub use id::NodeId;
 pub use levelized::LevelizedCsr;
 pub use netlist::Netlist;

@@ -1,0 +1,332 @@
+//! `adi-loadgen` — closed-loop load generator for `adi-serve`.
+//!
+//! ```text
+//! adi-loadgen --addr HOST:PORT [--smoke]
+//!             [--connections C] [--requests N] [--gates G] [--shutdown]
+//! ```
+//!
+//! Two modes:
+//!
+//! * `--smoke`: one connection drives every endpoint once (compile by
+//!   bench and by hash, coverage, adi, atpg, ndetect, reorder, ping),
+//!   verifies each response, sends `shutdown`, and checks the server
+//!   answers it and closes the connection. Exit 0 means the whole
+//!   protocol works end to end.
+//! * load mode (default): `C` connections each issue `N` closed-loop
+//!   requests (a cache-hit `compile`, `coverage`, and `ndetect` mix
+//!   against one suite circuit, compiled once up front), then the tool
+//!   reports aggregate requests/s and p50/p99 latency. `--shutdown`
+//!   additionally stops the server afterwards.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use adi_circuits::{embedded, paper_suite};
+use adi_netlist::bench_format;
+use json::Value;
+
+struct Options {
+    addr: String,
+    smoke: bool,
+    connections: usize,
+    requests: usize,
+    gates: usize,
+    shutdown: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:4717".to_string(),
+            smoke: false,
+            connections: 4,
+            requests: 200,
+            gates: 300,
+            shutdown: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| {
+            args.next()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("{name} requires a positive number"))
+        };
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--shutdown" => opts.shutdown = true,
+            "--addr" => {
+                opts.addr = args
+                    .next()
+                    .ok_or_else(|| "--addr requires an address".to_string())?;
+            }
+            "--connections" => opts.connections = num("--connections")?,
+            "--requests" => opts.requests = num("--requests")?,
+            "--gates" => opts.gates = num("--gates")?,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// One client connection: blocking request/response over a line each.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .map_err(|e| e.to_string())?;
+        let writer = stream.try_clone().map_err(|e| e.to_string())?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    fn roundtrip(&mut self, request: &str) -> Result<Value, String> {
+        self.writer
+            .write_all(request.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("receive: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        json::parse(line.trim_end()).map_err(|e| format!("bad response JSON: {e}"))
+    }
+
+    /// Round trip that must succeed (`"ok": true`); returns the result.
+    fn expect_ok(&mut self, request: &str) -> Result<Value, String> {
+        let v = self.roundtrip(request)?;
+        if v.get("ok").and_then(Value::as_bool) != Some(true) {
+            return Err(format!("request failed: {request} -> {v}"));
+        }
+        Ok(v.get("result").cloned().unwrap_or(Value::Null))
+    }
+
+    /// Reads until EOF, failing if the server keeps the socket open past
+    /// the read timeout. Used by `--smoke` to verify a clean shutdown.
+    fn expect_eof(&mut self) -> Result<(), String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Ok(()),
+            Ok(_) => Err(format!("unexpected data after shutdown: {line}")),
+            Err(e) => Err(format!("waiting for close: {e}")),
+        }
+    }
+}
+
+/// JSON-escapes `text` for embedding as a string field.
+fn escaped(text: &str) -> String {
+    let v = Value::Str(text.to_string()).to_string();
+    v[1..v.len() - 1].to_string()
+}
+
+fn field<'a>(result: &'a Value, key: &str) -> Result<&'a Value, String> {
+    result.get(key).ok_or_else(|| format!("missing `{key}` in {result}"))
+}
+
+/// Drives every endpoint once and shuts the server down.
+fn smoke(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr)?;
+    let bench = escaped(&bench_format::to_bench(&embedded::c17()));
+
+    let r = client.expect_ok(r#"{"id": 0, "op": "ping"}"#)?;
+    if field(&r, "pong")?.as_bool() != Some(true) {
+        return Err("ping did not pong".to_string());
+    }
+
+    let r = client.expect_ok(&format!(r#"{{"id": 1, "op": "compile", "bench": "{bench}"}}"#))?;
+    let hash = field(&r, "hash")?
+        .as_str()
+        .ok_or("hash is not a string")?
+        .to_string();
+    if hash.len() != 32 {
+        return Err(format!("malformed hash {hash}"));
+    }
+    let num_faults = field(&r, "collapsed_faults")?.as_u64().ok_or("bad fault count")?;
+
+    let r = client.expect_ok(&format!(r#"{{"id": 2, "op": "compile", "hash": "{hash}"}}"#))?;
+    if field(&r, "cached")?.as_bool() != Some(true) {
+        return Err("hash-addressed compile was not a cache hit".to_string());
+    }
+
+    let r = client.expect_ok(&format!(
+        r#"{{"id": 3, "op": "coverage", "hash": "{hash}", "exhaustive": true}}"#
+    ))?;
+    if field(&r, "coverage")?.as_f64() != Some(1.0) {
+        return Err("exhaustive coverage of c17 must be 1.0".to_string());
+    }
+
+    let r = client.expect_ok(&format!(
+        r#"{{"id": 4, "op": "adi", "hash": "{hash}", "ordering": "0dynm"}}"#
+    ))?;
+    let order_len = field(&r, "order")?.as_array().ok_or("order missing")?.len();
+    if order_len as u64 != num_faults {
+        return Err(format!("adi order has {order_len} entries, want {num_faults}"));
+    }
+
+    let r = client.expect_ok(&format!(
+        r#"{{"id": 5, "op": "atpg", "hash": "{hash}", "ordering": "0dynm", "include_tests": true}}"#
+    ))?;
+    if field(&r, "coverage")?.as_f64() != Some(1.0) {
+        return Err("c17 ATPG coverage must be 1.0".to_string());
+    }
+    let tests: Vec<String> = field(&r, "tests")?
+        .as_array()
+        .ok_or("tests missing")?
+        .iter()
+        .filter_map(|t| t.as_str().map(str::to_string))
+        .collect();
+    if tests.is_empty() {
+        return Err("ATPG produced no tests".to_string());
+    }
+
+    let r = client.expect_ok(&format!(
+        r#"{{"id": 6, "op": "ndetect", "hash": "{hash}", "random": {{"count": 64, "seed": 7}}, "n": 4}}"#
+    ))?;
+    if field(&r, "counts")?.as_array().ok_or("counts missing")?.len() as u64 != num_faults {
+        return Err("ndetect counts length mismatch".to_string());
+    }
+
+    let test_list = tests
+        .iter()
+        .map(|t| format!("\"{t}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let r = client.expect_ok(&format!(
+        r#"{{"id": 7, "op": "reorder", "hash": "{hash}", "patterns": [{test_list}]}}"#
+    ))?;
+    if field(&r, "permutation")?.as_array().ok_or("permutation missing")?.len() != tests.len() {
+        return Err("reorder permutation length mismatch".to_string());
+    }
+
+    let r = client.expect_ok(r#"{"id": 8, "op": "shutdown"}"#)?;
+    if field(&r, "stopping")?.as_bool() != Some(true) {
+        return Err("shutdown not acknowledged".to_string());
+    }
+    client.expect_eof()?;
+    println!("adi-loadgen: smoke OK (all endpoints, clean shutdown)");
+    Ok(())
+}
+
+/// The closed-loop measurement: every connection thread runs the same
+/// request mix and records per-request latency.
+fn load(opts: &Options) -> Result<(), String> {
+    // One circuit for the whole run: the largest suite stand-in within
+    // the gate budget (the cache-hit path is the point of the server).
+    let circuit = paper_suite()
+        .into_iter()
+        .filter(|c| c.gates <= opts.gates)
+        .max_by_key(|c| c.gates)
+        .ok_or_else(|| format!("no suite circuit with <= {} gates", opts.gates))?;
+    let bench = escaped(&bench_format::to_bench(&circuit.netlist()));
+    let mut warm = Client::connect(&opts.addr)?;
+    let r = warm.expect_ok(&format!(
+        r#"{{"op": "compile", "bench": "{bench}", "name": "{}"}}"#,
+        circuit.name
+    ))?;
+    let hash = field(&r, "hash")?.as_str().ok_or("hash missing")?.to_string();
+
+    let requests: Vec<String> = vec![
+        format!(r#"{{"op": "compile", "hash": "{hash}"}}"#),
+        format!(r#"{{"op": "coverage", "hash": "{hash}", "random": {{"count": 64, "seed": 11}}}}"#),
+        format!(r#"{{"op": "ndetect", "hash": "{hash}", "random": {{"count": 64, "seed": 12}}, "n": 3}}"#),
+    ];
+
+    let t0 = Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|ci| {
+                let requests = &requests;
+                let addr = &opts.addr;
+                scope.spawn(move || -> Result<Vec<u64>, String> {
+                    let mut client = Client::connect(addr)?;
+                    let mut lat = Vec::with_capacity(opts.requests);
+                    for i in 0..opts.requests {
+                        let req = &requests[(ci + i) % requests.len()];
+                        let t = Instant::now();
+                        client.expect_ok(req)?;
+                        lat.push(t.elapsed().as_nanos() as u64);
+                    }
+                    Ok(lat)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        let mut first_err = None;
+        for h in handles {
+            match h.join().expect("loadgen connection thread panicked") {
+                Ok(mut lat) => all.append(&mut lat),
+                Err(e) => first_err = Some(e),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(all),
+        }
+    })?;
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx] as f64 / 1e6
+    };
+    println!(
+        "adi-loadgen: {} ({} gates) — {} connections x {} requests in {:.2}s",
+        circuit.name, circuit.gates, opts.connections, opts.requests, wall
+    );
+    println!(
+        "adi-loadgen: {:.0} req/s, latency p50 {:.3} ms, p99 {:.3} ms",
+        latencies.len() as f64 / wall,
+        pct(50.0),
+        pct(99.0)
+    );
+
+    if opts.shutdown {
+        warm.expect_ok(r#"{"op": "shutdown"}"#)?;
+        println!("adi-loadgen: server shutdown requested");
+    }
+    Ok(())
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: adi-loadgen --addr HOST:PORT [--smoke] [--connections C] \
+                 [--requests N] [--gates G] [--shutdown]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let outcome = if opts.smoke { smoke(&opts.addr) } else { load(&opts) };
+    if let Err(message) = outcome {
+        eprintln!("adi-loadgen: FAILED: {message}");
+        std::process::exit(1);
+    }
+}

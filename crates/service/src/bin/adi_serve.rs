@@ -1,0 +1,116 @@
+//! `adi-serve` — the compiled-circuit server.
+//!
+//! ```text
+//! adi-serve [--listen ADDR | --stdio] [--workers N] [--queue N]
+//!           [--capacity N] [--shards N]
+//! ```
+//!
+//! TCP mode (default, `--listen 127.0.0.1:4717`; use port 0 for an
+//! ephemeral port) serves newline-delimited JSON until a client sends
+//! `{"op": "shutdown"}`, then drains and exits 0. The bound address is
+//! announced on stderr as `adi-serve: listening on <addr>`.
+//!
+//! `--stdio` serves the same protocol over stdin/stdout, one request at
+//! a time, until EOF or a `shutdown` request.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use adi_service::{serve_stdio, serve_tcp, ServerConfig, ServiceState, StoreConfig};
+
+struct Options {
+    listen: String,
+    stdio: bool,
+    server: ServerConfig,
+    store: StoreConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            listen: "127.0.0.1:4717".to_string(),
+            stdio: false,
+            server: ServerConfig::default(),
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |name: &str| {
+            args.next()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("{name} requires a positive number"))
+        };
+        match arg.as_str() {
+            "--stdio" => opts.stdio = true,
+            "--listen" => {
+                opts.listen = args
+                    .next()
+                    .ok_or_else(|| "--listen requires an address".to_string())?;
+            }
+            "--workers" => opts.server.workers = num("--workers")?,
+            "--queue" => opts.server.queue_depth = num("--queue")?,
+            "--capacity" => opts.store.capacity = num("--capacity")?,
+            "--shards" => opts.store.shards = num("--shards")?,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "usage: adi-serve [--listen ADDR | --stdio] [--workers N] [--queue N] \
+                 [--capacity N] [--shards N]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let state = ServiceState::new(opts.store);
+
+    if opts.stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        match serve_stdio(stdin.lock(), stdout.lock(), &state) {
+            Ok(served) => eprintln!("adi-serve: stdio session done ({served} requests)"),
+            Err(e) => {
+                eprintln!("adi-serve: stdio error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let listener = match TcpListener::bind(&opts.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("adi-serve: cannot bind {}: {e}", opts.listen);
+            std::process::exit(1);
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => eprintln!("adi-serve: listening on {addr}"),
+        Err(_) => eprintln!("adi-serve: listening on {}", opts.listen),
+    }
+    match serve_tcp(listener, Arc::new(state), opts.server) {
+        Ok(report) => {
+            eprintln!(
+                "adi-serve: shutdown complete ({} connections, {} requests)",
+                report.connections, report.requests
+            );
+        }
+        Err(e) => {
+            eprintln!("adi-serve: server error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

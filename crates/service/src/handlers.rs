@@ -1,0 +1,498 @@
+//! The request handlers: each endpoint is a thin adapter from protocol
+//! fields onto the library's compiled-circuit session APIs.
+//!
+//! Every handler resolves its circuit through the shared
+//! [`CircuitStore`], so any number of scenario requests against the
+//! same structure reuse one compilation — a cache-hit request performs
+//! **zero** levelizations (asserted by the endpoint test suite via
+//! [`LevelizedCsr::build_count`](adi_netlist::LevelizedCsr::build_count)).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use adi_atpg::TestGenerator;
+use adi_core::metrics::average_detection_position;
+use adi_core::reorder::{reorder_tests_for, reverse_order_compaction_for};
+use adi_core::uset::select_u_for;
+use adi_core::{order_faults, AdiAnalysis, FaultOrdering};
+use adi_netlist::fault::FaultList;
+use adi_netlist::{bench_format, CompiledCircuit, NetlistHash};
+use adi_sim::FaultSimulator;
+use json::{Object, Value};
+
+use crate::protocol::{
+    error_response, invalid_json_response, ok_response, opt_bool, opt_str, opt_u64,
+    parse_adi_config, parse_engine, parse_ordering, parse_pattern_spec, parse_testgen_config,
+    parse_uset_config, pattern_to_string, require_patterns, PatternSpec, RequestError,
+    RequestResult,
+};
+use crate::store::{CacheOutcome, CircuitStore, StoreConfig};
+
+/// Everything a request needs to be answered: the circuit cache (and,
+/// through it, every per-circuit artifact).
+///
+/// The state is shared (`&self`) across worker threads; all mutability
+/// lives behind the store's shard locks.
+///
+/// # Examples
+///
+/// ```
+/// use adi_service::{ServiceState, StoreConfig};
+///
+/// let state = ServiceState::new(StoreConfig::default());
+/// let response = state.handle_line(
+///     r#"{"id": 1, "op": "compile", "bench": "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"}"#,
+/// );
+/// let v = json::parse(&response).unwrap();
+/// assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(true));
+/// let hash = v.get("result").unwrap().get("hash").unwrap().as_str().unwrap();
+/// assert_eq!(hash.len(), 32);
+/// ```
+pub struct ServiceState {
+    store: CircuitStore,
+}
+
+impl ServiceState {
+    /// Creates a state with an empty circuit cache.
+    pub fn new(store: StoreConfig) -> Self {
+        ServiceState {
+            store: CircuitStore::new(store),
+        }
+    }
+
+    /// The underlying circuit cache.
+    pub fn store(&self) -> &CircuitStore {
+        &self.store
+    }
+
+    /// Answers one request line with one response line (no trailing
+    /// newline). Never panics: malformed JSON, unknown ops, and handler
+    /// panics all become `"ok": false` responses.
+    pub fn handle_line(&self, line: &str) -> String {
+        let parsed = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return invalid_json_response(&e).to_string(),
+        };
+        self.handle(&parsed).to_string()
+    }
+
+    /// Answers one parsed request. See [`handle_line`](Self::handle_line).
+    pub fn handle(&self, request: &Value) -> Value {
+        let id = request.get("id");
+        if request.as_object().is_none() {
+            return error_response(id, "request must be a JSON object");
+        }
+        let op = match request.get("op").and_then(Value::as_str) {
+            Some(op) => op,
+            None => return error_response(id, "request needs a string `op` field"),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(op, request)));
+        match outcome {
+            Ok(Ok(result)) => ok_response(id, result),
+            Ok(Err(e)) => error_response(id, &e.0),
+            Err(panic) => {
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                error_response(id, &format!("internal error: {message}"))
+            }
+        }
+    }
+
+    fn dispatch(&self, op: &str, req: &Value) -> RequestResult<Object> {
+        match op {
+            "compile" => self.op_compile(req),
+            "coverage" => self.op_coverage(req),
+            "adi" => self.op_adi(req),
+            "atpg" => self.op_atpg(req),
+            "ndetect" => self.op_ndetect(req),
+            "reorder" => self.op_reorder(req),
+            "ping" => self.op_ping(),
+            "shutdown" => {
+                let mut o = Object::new();
+                o.insert("stopping", true);
+                Ok(o)
+            }
+            other => Err(RequestError::new(format!(
+                "unknown op `{other}` (expected compile, coverage, adi, atpg, ndetect, \
+                 reorder, ping, or shutdown)"
+            ))),
+        }
+    }
+
+    /// Resolves the request's circuit reference: `"hash"` (must already
+    /// be cached) or `"bench"` text (compiled through the store, so
+    /// repeats are cache hits).
+    fn resolve_circuit(&self, req: &Value) -> RequestResult<(CompiledCircuit, CacheOutcome)> {
+        if let Some(hex) = req.get("hash") {
+            let hex = hex
+                .as_str()
+                .ok_or_else(|| RequestError::new("`hash` must be a string"))?;
+            let hash = NetlistHash::from_hex(hex)
+                .ok_or_else(|| RequestError::new("`hash` must be 32 hex digits"))?;
+            let circuit = self.store.lookup(hash).ok_or_else(|| {
+                RequestError::new(format!("unknown circuit hash {hex} (compile it first)"))
+            })?;
+            return Ok((circuit, CacheOutcome::Hit));
+        }
+        if let Some(bench) = req.get("bench") {
+            let bench = bench
+                .as_str()
+                .ok_or_else(|| RequestError::new("`bench` must be a string"))?;
+            let name = opt_str(req, "name", "circuit")?;
+            let netlist = bench_format::parse(bench, name)
+                .map_err(|e| RequestError::new(format!("bench parse error: {e}")))?;
+            return Ok(self.store.get_or_compile(netlist));
+        }
+        Err(RequestError::new(
+            "circuit reference required: provide `bench` (text) or `hash` (cached)",
+        ))
+    }
+
+    /// The request's target fault list (collapsed unless
+    /// `"collapse": false`).
+    fn resolve_faults<'c>(
+        &self,
+        req: &Value,
+        circuit: &'c CompiledCircuit,
+    ) -> RequestResult<&'c FaultList> {
+        Ok(if opt_bool(req, "collapse", true)? {
+            circuit.collapsed_faults()
+        } else {
+            circuit.full_faults()
+        })
+    }
+
+    fn op_compile(&self, req: &Value) -> RequestResult<Object> {
+        let (circuit, outcome) = self.resolve_circuit(req)?;
+        let netlist = circuit.netlist();
+        let mut o = Object::new();
+        o.insert("hash", circuit.content_hash().to_hex());
+        o.insert("name", netlist.name());
+        o.insert("nodes", netlist.num_nodes());
+        o.insert("inputs", netlist.num_inputs());
+        o.insert("outputs", netlist.num_outputs());
+        o.insert("gates", netlist.num_gates());
+        o.insert("max_level", netlist.max_level());
+        o.insert("collapsed_faults", circuit.collapsed_faults().len());
+        o.insert("cached", outcome != CacheOutcome::Miss);
+        o.insert("store", store_stats_object(&self.store));
+        Ok(o)
+    }
+
+    fn op_coverage(&self, req: &Value) -> RequestResult<Object> {
+        let (circuit, _) = self.resolve_circuit(req)?;
+        let faults = self.resolve_faults(req, &circuit)?;
+        let num_inputs = circuit.netlist().num_inputs();
+        let patterns = require_patterns(parse_pattern_spec(req, num_inputs)?, num_inputs)?;
+        let engine = parse_engine(req)?;
+        let sim = FaultSimulator::for_circuit_with_engine(&circuit, faults, engine);
+        let drop = sim.with_dropping(&patterns);
+        let mut o = Object::new();
+        o.insert("hash", circuit.content_hash().to_hex());
+        o.insert("engine", engine.to_string());
+        o.insert("num_patterns", patterns.len());
+        o.insert("num_faults", faults.len());
+        o.insert("num_detected", drop.num_detected());
+        o.insert("coverage", drop.coverage());
+        if opt_bool(req, "include_detail", false)? {
+            let news = drop.new_detections(patterns.len());
+            o.insert(
+                "new_detections",
+                Value::Array(news.into_iter().map(Value::from).collect()),
+            );
+        }
+        Ok(o)
+    }
+
+    /// The ADI analysis over a vector set (explicit, random, exhaustive,
+    /// or — when absent — the paper's `U` selection), plus an optional
+    /// fault ordering built from it.
+    fn op_adi(&self, req: &Value) -> RequestResult<Object> {
+        let (circuit, _) = self.resolve_circuit(req)?;
+        let faults = self.resolve_faults(req, &circuit)?;
+        let num_inputs = circuit.netlist().num_inputs();
+        let mut o = Object::new();
+        o.insert("hash", circuit.content_hash().to_hex());
+        let patterns = match parse_pattern_spec(req, num_inputs)? {
+            PatternSpec::Absent => {
+                let selection = select_u_for(&circuit, faults, parse_uset_config(req)?);
+                o.insert("u_coverage", selection.coverage);
+                o.insert("u_exhaustive", selection.exhaustive);
+                selection.patterns
+            }
+            other => require_patterns(other, num_inputs)?,
+        };
+        o.insert("u_size", patterns.len());
+        let analysis = AdiAnalysis::for_circuit(&circuit, faults, &patterns, parse_adi_config(req)?);
+        let summary = analysis.summary();
+        let mut s = Object::new();
+        s.insert("min", summary.min);
+        s.insert("max", summary.max);
+        s.insert("ratio", summary.ratio);
+        s.insert("detected", summary.detected);
+        s.insert("total", summary.total);
+        o.insert("adi", s);
+        if opt_bool(req, "include_values", false)? {
+            o.insert(
+                "values",
+                Value::Array(analysis.adi_values().iter().map(|&v| Value::from(v)).collect()),
+            );
+        }
+        if req.get("ordering").is_some() {
+            let ordering = parse_ordering(req, FaultOrdering::Original)?;
+            let order = order_faults(&analysis, ordering);
+            o.insert("ordering", ordering.label());
+            o.insert(
+                "order",
+                Value::Array(order.into_iter().map(|f| Value::from(f.index())).collect()),
+            );
+        }
+        Ok(o)
+    }
+
+    /// Ordered test generation: builds the requested fault order (via
+    /// the ADI analysis unless the order is `orig`) and runs the
+    /// paper's dropping ATPG with the per-request [`TestGenConfig`].
+    ///
+    /// [`TestGenConfig`]: adi_atpg::TestGenConfig
+    fn op_atpg(&self, req: &Value) -> RequestResult<Object> {
+        let (circuit, _) = self.resolve_circuit(req)?;
+        let faults = self.resolve_faults(req, &circuit)?;
+        let num_inputs = circuit.netlist().num_inputs();
+        let ordering = parse_ordering(req, FaultOrdering::Original)?;
+        let mut o = Object::new();
+        o.insert("hash", circuit.content_hash().to_hex());
+        o.insert("ordering", ordering.label());
+        let order = if ordering == FaultOrdering::Original {
+            faults.ids().collect()
+        } else {
+            let patterns = match parse_pattern_spec(req, num_inputs)? {
+                PatternSpec::Absent => {
+                    let selection = select_u_for(&circuit, faults, parse_uset_config(req)?);
+                    o.insert("u_coverage", selection.coverage);
+                    selection.patterns
+                }
+                other => require_patterns(other, num_inputs)?,
+            };
+            o.insert("u_size", patterns.len());
+            let analysis =
+                AdiAnalysis::for_circuit(&circuit, faults, &patterns, parse_adi_config(req)?);
+            order_faults(&analysis, ordering)
+        };
+        let config = parse_testgen_config(req)?;
+        let result = TestGenerator::for_circuit(&circuit, faults, config).run(&order);
+        o.insert("num_faults", faults.len());
+        o.insert("num_tests", result.num_tests());
+        o.insert("num_detected", result.num_detected());
+        o.insert("num_redundant", result.num_redundant());
+        o.insert("num_aborted", result.num_aborted());
+        o.insert("coverage", result.coverage());
+        o.insert("efficiency", result.efficiency());
+        o.insert("ave", average_detection_position(&result.coverage_curve()));
+        if opt_bool(req, "include_tests", false)? {
+            o.insert(
+                "tests",
+                Value::Array(
+                    result
+                        .tests
+                        .iter()
+                        .map(|t| Value::from(pattern_to_string(t)))
+                        .collect(),
+                ),
+            );
+            o.insert(
+                "targets",
+                Value::Array(
+                    result
+                        .targets
+                        .iter()
+                        .map(|f| Value::from(f.index()))
+                        .collect(),
+                ),
+            );
+        }
+        if opt_bool(req, "include_detail", false)? {
+            o.insert(
+                "new_detections",
+                Value::Array(
+                    result
+                        .new_detections
+                        .iter()
+                        .map(|&n| Value::from(n))
+                        .collect(),
+                ),
+            );
+        }
+        Ok(o)
+    }
+
+    /// The n-detection matrix: per-fault detection counts saturated at
+    /// `n`, the companion-paper workload.
+    fn op_ndetect(&self, req: &Value) -> RequestResult<Object> {
+        let (circuit, _) = self.resolve_circuit(req)?;
+        let faults = self.resolve_faults(req, &circuit)?;
+        let num_inputs = circuit.netlist().num_inputs();
+        let patterns = require_patterns(parse_pattern_spec(req, num_inputs)?, num_inputs)?;
+        let n = opt_u64(req, "n", 0)?;
+        if n == 0 || n > u32::MAX as u64 {
+            return Err(RequestError::new("`n` must be a positive integer"));
+        }
+        let engine = parse_engine(req)?;
+        let sim = FaultSimulator::for_circuit_with_engine(&circuit, faults, engine);
+        let outcome = sim.n_detect(&patterns, n as u32);
+        let mut o = Object::new();
+        o.insert("hash", circuit.content_hash().to_hex());
+        o.insert("n", n);
+        o.insert("num_patterns", patterns.len());
+        o.insert("num_faults", faults.len());
+        o.insert("num_detected", outcome.num_detected());
+        o.insert("num_saturated", outcome.num_saturated());
+        o.insert(
+            "counts",
+            Value::Array(outcome.counts.iter().map(|&c| Value::from(c)).collect()),
+        );
+        Ok(o)
+    }
+
+    /// Post-generation test-set transforms: `"mode": "steepest"` (the
+    /// greedy reordering baseline) or `"mode": "compact"`
+    /// (reverse-order static compaction).
+    fn op_reorder(&self, req: &Value) -> RequestResult<Object> {
+        let (circuit, _) = self.resolve_circuit(req)?;
+        let faults = self.resolve_faults(req, &circuit)?;
+        let num_inputs = circuit.netlist().num_inputs();
+        let tests = match parse_pattern_spec(req, num_inputs)? {
+            PatternSpec::Explicit(set) => set,
+            _ => {
+                return Err(RequestError::new(
+                    "`reorder` requires an explicit `patterns` test list",
+                ))
+            }
+        };
+        let mut o = Object::new();
+        o.insert("hash", circuit.content_hash().to_hex());
+        o.insert("num_tests", tests.len());
+        o.insert("num_faults", faults.len());
+        match opt_str(req, "mode", "steepest")? {
+            "steepest" => {
+                let r = reorder_tests_for(&circuit, faults, &tests);
+                o.insert("mode", "steepest");
+                o.insert("final_detected", r.curve.final_detected());
+                o.insert(
+                    "permutation",
+                    Value::Array(r.permutation.into_iter().map(Value::from).collect()),
+                );
+            }
+            "compact" => {
+                let kept = reverse_order_compaction_for(&circuit, faults, &tests);
+                o.insert("mode", "compact");
+                o.insert("num_kept", kept.len());
+                o.insert(
+                    "kept",
+                    Value::Array(kept.into_iter().map(Value::from).collect()),
+                );
+            }
+            other => {
+                return Err(RequestError::new(format!(
+                    "unknown mode `{other}` (expected steepest or compact)"
+                )))
+            }
+        }
+        Ok(o)
+    }
+
+    fn op_ping(&self) -> RequestResult<Object> {
+        let mut o = Object::new();
+        o.insert("pong", true);
+        o.insert("version", env!("CARGO_PKG_VERSION"));
+        o.insert("store", store_stats_object(&self.store));
+        Ok(o)
+    }
+}
+
+/// The store's counters as a response fragment.
+fn store_stats_object(store: &CircuitStore) -> Object {
+    let s = store.stats();
+    let mut o = Object::new();
+    o.insert("hits", s.hits);
+    o.insert("misses", s.misses);
+    o.insert("coalesced", s.coalesced);
+    o.insert("evictions", s.evictions);
+    o.insert("entries", s.entries);
+    o.insert("capacity", s.capacity);
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INV: &str = "INPUT(a)\\nOUTPUT(y)\\ny = NOT(a)\\n";
+
+    fn state() -> ServiceState {
+        ServiceState::new(StoreConfig::default())
+    }
+
+    fn ok_result(state: &ServiceState, req: &str) -> Value {
+        let v = json::parse(&state.handle_line(req)).unwrap();
+        assert_eq!(
+            v.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "request failed: {v}"
+        );
+        v.get("result").unwrap().clone()
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_response() {
+        let s = state();
+        let v = json::parse(&s.handle_line("{oops")).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(v.get("error").unwrap().as_str().unwrap().contains("invalid JSON"));
+    }
+
+    #[test]
+    fn unknown_op_echoes_the_id() {
+        let s = state();
+        let v = json::parse(&s.handle_line(r#"{"id": "abc", "op": "frobnicate"}"#)).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("abc"));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn compile_then_hash_addressing() {
+        let s = state();
+        let r = ok_result(&s, &format!(r#"{{"op": "compile", "bench": "{INV}"}}"#));
+        assert_eq!(r.get("cached").and_then(Value::as_bool), Some(false));
+        assert_eq!(r.get("nodes").and_then(Value::as_u64), Some(2));
+        let hash = r.get("hash").unwrap().as_str().unwrap().to_string();
+        let r2 = ok_result(&s, &format!(r#"{{"op": "compile", "hash": "{hash}"}}"#));
+        assert_eq!(r2.get("cached").and_then(Value::as_bool), Some(true));
+        // An unknown hash is a clean error.
+        let bad = format!(r#"{{"op": "compile", "hash": "{}"}}"#, "0".repeat(32));
+        let v = json::parse(&s.handle_line(&bad)).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn coverage_exhaustive_inverter() {
+        let s = state();
+        let r = ok_result(
+            &s,
+            &format!(r#"{{"op": "coverage", "bench": "{INV}", "exhaustive": true}}"#),
+        );
+        assert_eq!(r.get("num_patterns").and_then(Value::as_u64), Some(2));
+        assert_eq!(r.get("coverage").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn shutdown_and_ping_answer() {
+        let s = state();
+        let r = ok_result(&s, r#"{"op": "ping"}"#);
+        assert_eq!(r.get("pong").and_then(Value::as_bool), Some(true));
+        let r = ok_result(&s, r#"{"op": "shutdown"}"#);
+        assert_eq!(r.get("stopping").and_then(Value::as_bool), Some(true));
+    }
+}

@@ -1,0 +1,407 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line. Every request is a JSON
+//! object with an `"op"` field naming the endpoint and an optional
+//! client-chosen `"id"` that is echoed verbatim in the response, so
+//! pipelined requests can be matched even when responses complete out
+//! of order:
+//!
+//! ```text
+//! → {"id": 1, "op": "compile", "bench": "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"}
+//! ← {"id": 1, "ok": true, "result": {"hash": "…", "nodes": 2, …}}
+//! → {"id": 2, "op": "coverage", "hash": "…", "random": {"count": 64}}
+//! ← {"id": 2, "ok": true, "result": {"num_detected": 4, …}}
+//! ```
+//!
+//! Failures answer `{"id": …, "ok": false, "error": "…"}` and keep the
+//! connection open. See the repository README for the per-endpoint
+//! field reference; this module holds the shared request-side parsing
+//! helpers (circuit references, pattern specifications, enum labels)
+//! used by every handler.
+
+use adi_atpg::{DropLoopKind, FillStrategy, PodemConfig, TestGenConfig};
+use adi_core::uset::USetConfig;
+use adi_core::{AdiConfig, AdiEstimator, FaultOrdering};
+use adi_sim::{EngineKind, Pattern, PatternSet};
+use json::{Object, Value};
+
+/// A request-level failure, reported to the client as the `error`
+/// string of a `"ok": false` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestError(pub String);
+
+impl RequestError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        RequestError(message.into())
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+pub(crate) type RequestResult<T> = Result<T, RequestError>;
+
+/// Hard ceiling on generated pattern counts (`random.count`,
+/// `exhaustive` width) so a single request cannot allocate unbounded
+/// memory.
+pub(crate) const MAX_PATTERNS: usize = 1 << 20;
+
+/// Widest circuit `"exhaustive": true` accepts (2^20 vectors).
+pub(crate) const MAX_EXHAUSTIVE_INPUTS: usize = 20;
+
+/// Builds the success envelope for `id` around `result`.
+pub fn ok_response(id: Option<&Value>, result: Object) -> Value {
+    let mut o = Object::new();
+    if let Some(id) = id {
+        o.insert("id", id.clone());
+    }
+    o.insert("ok", true);
+    o.insert("result", result);
+    Value::Object(o)
+}
+
+/// Builds the failure envelope for a request line that was not valid
+/// JSON (no `id` to echo — the line never parsed).
+pub fn invalid_json_response(err: &json::ParseError) -> Value {
+    error_response(None, &format!("invalid JSON: {err}"))
+}
+
+/// Builds the failure envelope for `id` around `error`.
+pub fn error_response(id: Option<&Value>, error: &str) -> Value {
+    let mut o = Object::new();
+    if let Some(id) = id {
+        o.insert("id", id.clone());
+    }
+    o.insert("ok", false);
+    o.insert("error", error);
+    Value::Object(o)
+}
+
+/// A string field, with a default when absent.
+pub(crate) fn opt_str<'a>(req: &'a Value, key: &str, default: &'a str) -> RequestResult<&'a str> {
+    match req.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| RequestError::new(format!("`{key}` must be a string"))),
+    }
+}
+
+/// An unsigned integer field, with a default when absent.
+pub(crate) fn opt_u64(req: &Value, key: &str, default: u64) -> RequestResult<u64> {
+    match req.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| RequestError::new(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+/// A boolean field, with a default when absent.
+pub(crate) fn opt_bool(req: &Value, key: &str, default: bool) -> RequestResult<bool> {
+    match req.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| RequestError::new(format!("`{key}` must be a boolean"))),
+    }
+}
+
+/// Parses a fault-simulation engine label (`"engine"` field).
+pub(crate) fn parse_engine(req: &Value) -> RequestResult<EngineKind> {
+    match opt_str(req, "engine", "stem-region")? {
+        "stem-region" => Ok(EngineKind::StemRegion),
+        "per-fault" => Ok(EngineKind::PerFault),
+        other => Err(RequestError::new(format!(
+            "unknown engine `{other}` (expected `stem-region` or `per-fault`)"
+        ))),
+    }
+}
+
+/// Parses a fault-ordering label (`"ordering"` field, paper spelling).
+pub(crate) fn parse_ordering(req: &Value, default: FaultOrdering) -> RequestResult<FaultOrdering> {
+    let label = opt_str(req, "ordering", default.label())?;
+    FaultOrdering::from_label(label).ok_or_else(|| {
+        RequestError::new(format!(
+            "unknown ordering `{label}` (expected one of orig, incr0, decr, 0decr, dynm, 0dynm)"
+        ))
+    })
+}
+
+/// Parses the per-request ATPG configuration (`"atpg"` object:
+/// `backtrack_limit`, `fill`, `fill_seed`, `drop_loop`), defaulting to
+/// [`TestGenConfig::default`].
+pub(crate) fn parse_testgen_config(req: &Value) -> RequestResult<TestGenConfig> {
+    let mut config = TestGenConfig::default();
+    let Some(spec) = req.get("atpg") else {
+        return Ok(config);
+    };
+    if spec.as_object().is_none() {
+        return Err(RequestError::new("`atpg` must be an object"));
+    }
+    let limit = opt_u64(spec, "backtrack_limit", config.podem.backtrack_limit as u64)?;
+    config.podem = PodemConfig {
+        backtrack_limit: u32::try_from(limit)
+            .map_err(|_| RequestError::new("`atpg.backtrack_limit` too large"))?,
+        ..config.podem
+    };
+    config.fill = match opt_str(spec, "fill", "random")? {
+        "random" => FillStrategy::Random,
+        "zeros" => FillStrategy::Zeros,
+        "ones" => FillStrategy::Ones,
+        "alternating" => FillStrategy::Alternating,
+        other => {
+            return Err(RequestError::new(format!(
+                "unknown fill `{other}` (expected random, zeros, ones, alternating)"
+            )))
+        }
+    };
+    config.fill_seed = opt_u64(spec, "fill_seed", config.fill_seed)?;
+    config.drop_loop = match opt_str(spec, "drop_loop", "batched")? {
+        "batched" => DropLoopKind::Batched,
+        "scalar" => DropLoopKind::Scalar,
+        other => {
+            return Err(RequestError::new(format!(
+                "unknown drop_loop `{other}` (expected batched or scalar)"
+            )))
+        }
+    };
+    Ok(config)
+}
+
+/// Parses the ADI configuration (`"adi"` object: `estimator`,
+/// `n_detect_cap`, `threads`), defaulting to [`AdiConfig::default`]
+/// with the requested simulation engine.
+pub(crate) fn parse_adi_config(req: &Value) -> RequestResult<AdiConfig> {
+    let mut config = AdiConfig {
+        engine: parse_engine(req)?,
+        ..AdiConfig::default()
+    };
+    let Some(spec) = req.get("adi") else {
+        return Ok(config);
+    };
+    if spec.as_object().is_none() {
+        return Err(RequestError::new("`adi` must be an object"));
+    }
+    config.estimator = match opt_str(spec, "estimator", "min")? {
+        "min" => AdiEstimator::MinNdet,
+        "mean" => AdiEstimator::MeanNdet,
+        other => {
+            return Err(RequestError::new(format!(
+                "unknown estimator `{other}` (expected min or mean)"
+            )))
+        }
+    };
+    if let Some(cap) = spec.get("n_detect_cap") {
+        let cap = cap
+            .as_u64()
+            .filter(|&n| n > 0 && n <= u32::MAX as u64)
+            .ok_or_else(|| RequestError::new("`adi.n_detect_cap` must be a positive integer"))?;
+        config.n_detect_cap = Some(cap as u32);
+    }
+    config.threads = opt_u64(spec, "threads", 0)? as usize;
+    Ok(config)
+}
+
+/// Parses the `U`-selection configuration (`"u"` object mirroring
+/// [`USetConfig`]), defaulting to the paper's procedure.
+pub(crate) fn parse_uset_config(req: &Value) -> RequestResult<USetConfig> {
+    let mut config = USetConfig::default();
+    let Some(spec) = req.get("u") else {
+        return Ok(config);
+    };
+    if spec.as_object().is_none() {
+        return Err(RequestError::new("`u` must be an object"));
+    }
+    let max_vectors = opt_u64(spec, "max_vectors", config.max_vectors as u64)? as usize;
+    if max_vectors == 0 || max_vectors > MAX_PATTERNS {
+        return Err(RequestError::new(format!(
+            "`u.max_vectors` must be in 1..={MAX_PATTERNS}"
+        )));
+    }
+    config.max_vectors = max_vectors;
+    if let Some(tc) = spec.get("target_coverage") {
+        config.target_coverage = tc
+            .as_f64()
+            .filter(|t| (0.0..=1.0).contains(t))
+            .ok_or_else(|| RequestError::new("`u.target_coverage` must be in [0, 1]"))?;
+    }
+    config.seed = opt_u64(spec, "seed", config.seed)?;
+    config.exhaustive_threshold =
+        opt_u64(spec, "exhaustive_threshold", config.exhaustive_threshold as u64)? as usize;
+    config.strip_useless = opt_bool(spec, "strip_useless", config.strip_useless)?;
+    Ok(config)
+}
+
+/// How a request described its input vectors.
+pub(crate) enum PatternSpec {
+    /// Explicit `"patterns": ["0101…", …]` bit strings (bit `i` drives
+    /// primary input `i`).
+    Explicit(PatternSet),
+    /// `"random": {"count": N, "seed": S}`.
+    Random { count: usize, seed: u64 },
+    /// `"exhaustive": true`.
+    Exhaustive,
+    /// None of the above was present.
+    Absent,
+}
+
+/// Extracts the pattern specification from a request (without resolving
+/// it against a circuit width yet — explicit patterns are validated
+/// here, width-dependent specs later).
+pub(crate) fn parse_pattern_spec(req: &Value, num_inputs: usize) -> RequestResult<PatternSpec> {
+    if let Some(list) = req.get("patterns") {
+        let list = list
+            .as_array()
+            .ok_or_else(|| RequestError::new("`patterns` must be an array of bit strings"))?;
+        if list.len() > MAX_PATTERNS {
+            return Err(RequestError::new(format!(
+                "`patterns` is limited to {MAX_PATTERNS} vectors"
+            )));
+        }
+        let mut set = PatternSet::new(num_inputs);
+        for (i, item) in list.iter().enumerate() {
+            let bits = item
+                .as_str()
+                .ok_or_else(|| RequestError::new(format!("`patterns[{i}]` must be a string")))?;
+            set.push(&parse_pattern(bits, num_inputs, i)?);
+        }
+        return Ok(PatternSpec::Explicit(set));
+    }
+    if let Some(spec) = req.get("random") {
+        if spec.as_object().is_none() {
+            return Err(RequestError::new("`random` must be an object"));
+        }
+        let count = opt_u64(spec, "count", 256)? as usize;
+        if count == 0 || count > MAX_PATTERNS {
+            return Err(RequestError::new(format!(
+                "`random.count` must be in 1..={MAX_PATTERNS}"
+            )));
+        }
+        let seed = opt_u64(spec, "seed", 0xAD1_5EED)?;
+        return Ok(PatternSpec::Random { count, seed });
+    }
+    if opt_bool(req, "exhaustive", false)? {
+        if num_inputs > MAX_EXHAUSTIVE_INPUTS {
+            return Err(RequestError::new(format!(
+                "`exhaustive` is limited to circuits with at most \
+                 {MAX_EXHAUSTIVE_INPUTS} inputs (this one has {num_inputs})"
+            )));
+        }
+        return Ok(PatternSpec::Exhaustive);
+    }
+    Ok(PatternSpec::Absent)
+}
+
+/// Resolves a [`PatternSpec`] into concrete vectors; `Absent` is an
+/// error here (endpoints with a default `U` selection handle `Absent`
+/// themselves).
+pub(crate) fn require_patterns(spec: PatternSpec, num_inputs: usize) -> RequestResult<PatternSet> {
+    match spec {
+        PatternSpec::Explicit(set) => Ok(set),
+        PatternSpec::Random { count, seed } => Ok(PatternSet::random(num_inputs, count, seed)),
+        PatternSpec::Exhaustive => Ok(PatternSet::exhaustive(num_inputs)),
+        PatternSpec::Absent => Err(RequestError::new(
+            "vectors required: provide `patterns`, `random`, or `exhaustive`",
+        )),
+    }
+}
+
+/// Parses one `'0'`/`'1'` bit string into a [`Pattern`].
+pub(crate) fn parse_pattern(bits: &str, num_inputs: usize, index: usize) -> RequestResult<Pattern> {
+    if bits.len() != num_inputs {
+        return Err(RequestError::new(format!(
+            "`patterns[{index}]` has {} bits, circuit has {num_inputs} inputs",
+            bits.len()
+        )));
+    }
+    let mut values = Vec::with_capacity(num_inputs);
+    for c in bits.chars() {
+        match c {
+            '0' => values.push(false),
+            '1' => values.push(true),
+            other => {
+                return Err(RequestError::new(format!(
+                    "`patterns[{index}]` contains `{other}` (only 0/1 allowed)"
+                )))
+            }
+        }
+    }
+    Ok(Pattern::new(values))
+}
+
+/// Renders a [`Pattern`] as the protocol's bit-string form.
+pub(crate) fn pattern_to_string(pattern: &Pattern) -> String {
+    pattern.iter().map(|b| if b { '1' } else { '0' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_strings_roundtrip() {
+        let p = parse_pattern("0110", 4, 0).unwrap();
+        assert_eq!(p.as_slice(), &[false, true, true, false]);
+        assert_eq!(pattern_to_string(&p), "0110");
+        assert!(parse_pattern("01", 4, 0).is_err());
+        assert!(parse_pattern("01x0", 4, 0).is_err());
+    }
+
+    #[test]
+    fn ordering_labels_parse() {
+        let req = json::parse(r#"{"ordering": "0dynm"}"#).unwrap();
+        assert_eq!(
+            parse_ordering(&req, FaultOrdering::Original).unwrap(),
+            FaultOrdering::Dynamic0
+        );
+        let bad = json::parse(r#"{"ordering": "bogus"}"#).unwrap();
+        assert!(parse_ordering(&bad, FaultOrdering::Original).is_err());
+        let absent = json::parse("{}").unwrap();
+        assert_eq!(
+            parse_ordering(&absent, FaultOrdering::Original).unwrap(),
+            FaultOrdering::Original
+        );
+    }
+
+    #[test]
+    fn testgen_config_parses_and_validates() {
+        let req = json::parse(
+            r#"{"atpg": {"backtrack_limit": 50, "fill": "zeros", "drop_loop": "scalar"}}"#,
+        )
+        .unwrap();
+        let cfg = parse_testgen_config(&req).unwrap();
+        assert_eq!(cfg.podem.backtrack_limit, 50);
+        assert_eq!(cfg.fill, FillStrategy::Zeros);
+        assert_eq!(cfg.drop_loop, DropLoopKind::Scalar);
+        let bad = json::parse(r#"{"atpg": {"fill": "sideways"}}"#).unwrap();
+        assert!(parse_testgen_config(&bad).is_err());
+    }
+
+    #[test]
+    fn exhaustive_width_is_guarded() {
+        let req = json::parse(r#"{"exhaustive": true}"#).unwrap();
+        assert!(parse_pattern_spec(&req, 10).is_ok());
+        assert!(parse_pattern_spec(&req, 64).is_err());
+    }
+
+    #[test]
+    fn envelope_shapes() {
+        let id = Value::Int(9);
+        let mut r = Object::new();
+        r.insert("x", 1i64);
+        assert_eq!(
+            ok_response(Some(&id), r).to_string(),
+            r#"{"id":9,"ok":true,"result":{"x":1}}"#
+        );
+        assert_eq!(
+            error_response(None, "nope").to_string(),
+            r#"{"ok":false,"error":"nope"}"#
+        );
+    }
+}

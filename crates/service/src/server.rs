@@ -1,0 +1,270 @@
+//! The serving loops: multi-threaded TCP and single-stream stdio.
+//!
+//! **TCP** ([`serve_tcp`]): an accept loop hands each connection to a
+//! cheap reader thread that parses newline-delimited requests and
+//! submits them to the shared [`WorkerPool`], so request concurrency is
+//! bounded by the worker count regardless of connection count and the
+//! bounded queue pushes backpressure onto the sockets. Responses are
+//! written back under a per-connection lock; pipelined requests may
+//! complete out of order (match on `id`). A `shutdown` request answers,
+//! then stops the accept loop, unblocks every connection's read side,
+//! drains the pool, and returns.
+//!
+//! **stdio** ([`serve_stdio`]): one request per line on stdin, one
+//! response per line on stdout, handled serially in request order —
+//! the form that makes the server usable as a subprocess pipe.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use json::Value;
+
+use crate::handlers::ServiceState;
+use crate::pool::WorkerPool;
+use crate::protocol::invalid_json_response;
+
+/// Sizing knobs for [`serve_tcp`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded depth of the request queue feeding the workers.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    /// Workers matching the available parallelism (at least 2), queue
+    /// depth 64.
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .max(2);
+        ServerConfig {
+            workers,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// Totals reported by [`serve_tcp`] after a graceful shutdown.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ServeReport {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests answered (including error responses).
+    pub requests: u64,
+}
+
+/// Serves `state` over `listener` until a client sends
+/// `{"op": "shutdown"}`. Blocks the calling thread; returns lifetime
+/// totals after a graceful drain (accept loop stopped, connection
+/// readers joined, request queue drained, workers joined).
+///
+/// # Errors
+///
+/// Returns any I/O error from configuring or polling the listener;
+/// per-connection errors only terminate that connection.
+pub fn serve_tcp(
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    config: ServerConfig,
+) -> io::Result<ServeReport> {
+    listener.set_nonblocking(true)?;
+    let pool = WorkerPool::new(config.workers, config.queue_depth);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let requests = Arc::new(AtomicU64::new(0));
+    // Read-half clones of the currently live connections, so shutdown
+    // can unblock the reader threads blocked in `read`. Each reader
+    // removes its own entry on exit — a long-lived server must not
+    // accumulate one fd per connection it ever served.
+    let live: Mutex<HashMap<u64, TcpStream>> = Mutex::new(HashMap::new());
+    let mut connections = 0u64;
+    let mut accept_error = None;
+
+    std::thread::scope(|scope| {
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    connections += 1;
+                    let conn_id = connections;
+                    let _ = stream.set_nodelay(true);
+                    if let Ok(clone) = stream.try_clone() {
+                        live.lock().expect("live list").insert(conn_id, clone);
+                    }
+                    let state = Arc::clone(&state);
+                    let shutdown = Arc::clone(&shutdown);
+                    let requests = Arc::clone(&requests);
+                    let pool = &pool;
+                    let live = &live;
+                    scope.spawn(move || {
+                        connection_loop(stream, state, pool, shutdown, requests);
+                        live.lock().expect("live list").remove(&conn_id);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    accept_error = Some(e);
+                    break;
+                }
+            }
+        }
+        // Unblock every reader: they submit whatever they already read,
+        // then exit on the closed read half. The scope joins them.
+        for stream in live.lock().expect("live list").values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    });
+    // Readers are gone; drain everything they submitted.
+    pool.shutdown();
+    match accept_error {
+        Some(e) => Err(e),
+        None => Ok(ServeReport {
+            connections,
+            requests: requests.load(Ordering::SeqCst),
+        }),
+    }
+}
+
+/// Reads one connection's requests and submits them to the pool. The
+/// response is written by the worker under the connection's write lock,
+/// so a slow request never blocks this reader from accepting the next
+/// pipelined request (the bounded queue does that).
+fn connection_loop(
+    stream: TcpStream,
+    state: Arc<ServiceState>,
+    pool: &WorkerPool,
+    shutdown: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Parse once, here on the reader thread; the worker handles the
+        // already-parsed request (large payloads are not parsed twice).
+        let parsed = json::parse(&line);
+        let stop_after = is_shutdown_request(&parsed);
+        let state = Arc::clone(&state);
+        let writer = Arc::clone(&writer);
+        let shutdown_flag = Arc::clone(&shutdown);
+        let requests = Arc::clone(&requests);
+        let submitted = pool.submit(move || {
+            let response = match &parsed {
+                Ok(request) => state.handle(request).to_string(),
+                Err(e) => invalid_json_response(e).to_string(),
+            };
+            requests.fetch_add(1, Ordering::SeqCst);
+            let mut w = writer.lock().expect("connection writer");
+            // A vanished client is the client's problem, not the
+            // server's: ignore write errors.
+            let _ = w.write_all(response.as_bytes());
+            let _ = w.write_all(b"\n");
+            let _ = w.flush();
+            if stop_after {
+                shutdown_flag.store(true, Ordering::SeqCst);
+            }
+        });
+        if submitted.is_err() || stop_after {
+            break;
+        }
+    }
+}
+
+/// Serves requests from `input` to `output`, one line at a time, in
+/// order, until end of input or a `shutdown` request. This is the
+/// stdio transport (`adi-serve --stdio`), and — being generic over the
+/// streams — the directly testable core of the line protocol.
+///
+/// Returns the number of requests answered.
+///
+/// # Errors
+///
+/// Returns the first write error; read errors end the loop cleanly.
+pub fn serve_stdio(
+    input: impl BufRead,
+    mut output: impl Write,
+    state: &ServiceState,
+) -> io::Result<u64> {
+    let mut served = 0u64;
+    for line in input.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = json::parse(&line);
+        let stop_after = is_shutdown_request(&parsed);
+        let response = match &parsed {
+            Ok(request) => state.handle(request).to_string(),
+            Err(e) => invalid_json_response(e).to_string(),
+        };
+        output.write_all(response.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        served += 1;
+        if stop_after {
+            break;
+        }
+    }
+    Ok(served)
+}
+
+/// Pre-dispatch check for `"op": "shutdown"` on an already-parsed line
+/// (full validation happens in the handler; this only decides whether
+/// the serving loop should stop after answering).
+fn is_shutdown_request(parsed: &Result<Value, json::ParseError>) -> bool {
+    matches!(parsed, Ok(v) if v.get("op").and_then(Value::as_str) == Some("shutdown"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    #[test]
+    fn stdio_serves_in_order_and_stops_on_shutdown() {
+        let state = ServiceState::new(StoreConfig::default());
+        let input = concat!(
+            r#"{"id": 1, "op": "ping"}"#,
+            "\n\n",
+            r#"{"id": 2, "op": "compile", "bench": "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"}"#,
+            "\n",
+            r#"{"id": 3, "op": "shutdown"}"#,
+            "\n",
+            r#"{"id": 4, "op": "ping"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let served = serve_stdio(input.as_bytes(), &mut out, &state).unwrap();
+        assert_eq!(served, 3, "the request after shutdown is not served");
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let v = json::parse(line).unwrap();
+            assert_eq!(v.get("id").and_then(json::Value::as_u64), Some(i as u64 + 1));
+            assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(true));
+        }
+    }
+
+    #[test]
+    fn shutdown_detection_tolerates_garbage() {
+        assert!(is_shutdown_request(&json::parse(r#"{"op": "shutdown"}"#)));
+        assert!(!is_shutdown_request(&json::parse(r#"{"op": "ping"}"#)));
+        assert!(!is_shutdown_request(&json::parse("not json")));
+    }
+}

@@ -1,0 +1,389 @@
+//! End-to-end obligations of the service endpoints:
+//!
+//! 1. every endpoint's response is **bit-identical** to the direct
+//!    library computation it wraps (same defaults, same seeds);
+//! 2. hash-addressed (cache-hit) requests perform **zero**
+//!    levelizations — the whole point of the hash-cached store;
+//! 3. the TCP transport serves the same protocol and shuts down
+//!    cleanly.
+//!
+//! The levelization counter is process-global, so tests here serialize
+//! on a local mutex.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+use adi_atpg::{TestGenConfig, TestGenerator};
+use adi_circuits::{embedded, random_circuit, RandomCircuitConfig};
+use adi_core::reorder::reorder_tests_for;
+use adi_core::uset::{select_u_for, USetConfig};
+use adi_core::{order_faults, AdiAnalysis, AdiConfig, FaultOrdering};
+use adi_netlist::{bench_format, CompiledCircuit, LevelizedCsr, Netlist};
+use adi_sim::{FaultSimulator, PatternSet};
+use adi_service::{serve_tcp, ServerConfig, ServiceState, StoreConfig};
+use json::Value;
+
+static BUILD_COUNT_LOCK: Mutex<()> = Mutex::new(());
+
+/// A mid-size circuit where random vectors leave real work to do.
+///
+/// Returned as `(bench text, parsed netlist)` with the netlist parsed
+/// from that exact text: the `.bench` parser numbers nodes by first
+/// mention, so the direct-library comparison must run on the same
+/// parse the service performs, not on the generator's original netlist.
+fn medium() -> (String, Netlist) {
+    let generated = random_circuit(&RandomCircuitConfig::new("svc_medium", 12, 160, 0xC0FFEE));
+    let text = bench_format::to_bench(&generated);
+    let parsed = bench_format::parse(&text, "svc_medium").unwrap();
+    (text, parsed)
+}
+
+fn state() -> ServiceState {
+    ServiceState::new(StoreConfig::default())
+}
+
+fn request_ok(state: &ServiceState, request: &str) -> Value {
+    let v = json::parse(&state.handle_line(request)).unwrap();
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "request failed: {request} -> {v}"
+    );
+    v.get("result").unwrap().clone()
+}
+
+/// Compiles bench `text` through the service and returns its hash.
+fn compile_via_service(state: &ServiceState, text: &str, name: &str) -> String {
+    let bench = Value::Str(text.to_string()).to_string();
+    let r = request_ok(
+        state,
+        &format!(r#"{{"op": "compile", "bench": {bench}, "name": "{name}"}}"#),
+    );
+    r.get("hash").unwrap().as_str().unwrap().to_string()
+}
+
+fn u64s(result: &Value, key: &str) -> Vec<u64> {
+    result
+        .get(key)
+        .unwrap_or_else(|| panic!("missing `{key}` in {result}"))
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect()
+}
+
+#[test]
+fn compile_reports_structure_and_cache_state() {
+    let _guard = BUILD_COUNT_LOCK.lock().unwrap();
+    let s = state();
+    let text = bench_format::to_bench(&embedded::c17());
+    let c17 = bench_format::parse(&text, "c17").unwrap();
+    let hash = compile_via_service(&s, &text, "c17");
+    assert_eq!(hash, c17.content_hash().to_hex());
+    let r = request_ok(&s, &format!(r#"{{"op": "compile", "hash": "{hash}"}}"#));
+    assert_eq!(r.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(r.get("nodes").and_then(Value::as_u64), Some(c17.num_nodes() as u64));
+    assert_eq!(
+        r.get("collapsed_faults").and_then(Value::as_u64),
+        Some(CompiledCircuit::compile(c17.clone()).collapsed_faults().len() as u64)
+    );
+    let store = r.get("store").unwrap();
+    assert_eq!(store.get("misses").and_then(Value::as_u64), Some(1));
+}
+
+#[test]
+fn coverage_matches_direct_simulation() {
+    let _guard = BUILD_COUNT_LOCK.lock().unwrap();
+    let s = state();
+    let (text, netlist) = medium();
+    let hash = compile_via_service(&s, &text, "svc_medium");
+    let r = request_ok(
+        &s,
+        &format!(
+            r#"{{"op": "coverage", "hash": "{hash}", "random": {{"count": 200, "seed": 9}}, "include_detail": true}}"#
+        ),
+    );
+
+    let circuit = CompiledCircuit::compile(netlist);
+    let faults = circuit.collapsed_faults();
+    let patterns = PatternSet::random(circuit.netlist().num_inputs(), 200, 9);
+    let direct = FaultSimulator::for_circuit(&circuit, faults).with_dropping(&patterns);
+
+    assert_eq!(
+        r.get("num_detected").and_then(Value::as_u64),
+        Some(direct.num_detected() as u64)
+    );
+    assert_eq!(r.get("num_faults").and_then(Value::as_u64), Some(faults.len() as u64));
+    assert_eq!(r.get("coverage").and_then(Value::as_f64), Some(direct.coverage()));
+    let news: Vec<u64> = direct
+        .new_detections(patterns.len())
+        .into_iter()
+        .map(u64::from)
+        .collect();
+    assert_eq!(u64s(&r, "new_detections"), news);
+}
+
+#[test]
+fn adi_and_ordering_match_direct_analysis() {
+    let _guard = BUILD_COUNT_LOCK.lock().unwrap();
+    let s = state();
+    let (text, netlist) = medium();
+    let hash = compile_via_service(&s, &text, "svc_medium");
+    // Default U selection, the paper's procedure.
+    let r = request_ok(
+        &s,
+        &format!(r#"{{"op": "adi", "hash": "{hash}", "ordering": "0dynm", "include_values": true}}"#),
+    );
+
+    let circuit = CompiledCircuit::compile(netlist);
+    let faults = circuit.collapsed_faults();
+    let selection = select_u_for(&circuit, faults, USetConfig::default());
+    let analysis =
+        AdiAnalysis::for_circuit(&circuit, faults, &selection.patterns, AdiConfig::default());
+    let summary = analysis.summary();
+    let order: Vec<u64> = order_faults(&analysis, FaultOrdering::Dynamic0)
+        .into_iter()
+        .map(|f| f.index() as u64)
+        .collect();
+
+    assert_eq!(r.get("u_size").and_then(Value::as_u64), Some(selection.len() as u64));
+    assert_eq!(r.get("u_coverage").and_then(Value::as_f64), Some(selection.coverage));
+    let adi = r.get("adi").unwrap();
+    assert_eq!(adi.get("min").and_then(Value::as_u64), Some(summary.min as u64));
+    assert_eq!(adi.get("max").and_then(Value::as_u64), Some(summary.max as u64));
+    assert_eq!(adi.get("detected").and_then(Value::as_u64), Some(summary.detected as u64));
+    assert_eq!(
+        u64s(&r, "values"),
+        analysis.adi_values().iter().map(|&v| v as u64).collect::<Vec<_>>()
+    );
+    assert_eq!(u64s(&r, "order"), order);
+}
+
+#[test]
+fn atpg_matches_direct_generation_bit_for_bit() {
+    let _guard = BUILD_COUNT_LOCK.lock().unwrap();
+    let s = state();
+    let (text, netlist) = medium();
+    let hash = compile_via_service(&s, &text, "svc_medium");
+    let r = request_ok(
+        &s,
+        &format!(
+            r#"{{"op": "atpg", "hash": "{hash}", "ordering": "0dynm", "random": {{"count": 256, "seed": 21}}, "include_tests": true}}"#
+        ),
+    );
+
+    let circuit = CompiledCircuit::compile(netlist);
+    let faults = circuit.collapsed_faults();
+    let patterns = PatternSet::random(circuit.netlist().num_inputs(), 256, 21);
+    let analysis = AdiAnalysis::for_circuit(&circuit, faults, &patterns, AdiConfig::default());
+    let order = order_faults(&analysis, FaultOrdering::Dynamic0);
+    let direct = TestGenerator::for_circuit(&circuit, faults, TestGenConfig::default()).run(&order);
+
+    assert_eq!(r.get("num_tests").and_then(Value::as_u64), Some(direct.num_tests() as u64));
+    assert_eq!(
+        r.get("num_detected").and_then(Value::as_u64),
+        Some(direct.num_detected() as u64)
+    );
+    assert_eq!(
+        r.get("num_redundant").and_then(Value::as_u64),
+        Some(direct.num_redundant() as u64)
+    );
+    assert_eq!(r.get("coverage").and_then(Value::as_f64), Some(direct.coverage()));
+    // The generated tests themselves, bit for bit.
+    let tests: Vec<String> = r
+        .get("tests")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|t| t.as_str().unwrap().to_string())
+        .collect();
+    let direct_tests: Vec<String> = direct
+        .tests
+        .iter()
+        .map(|p| p.iter().map(|b| if b { '1' } else { '0' }).collect())
+        .collect();
+    assert_eq!(tests, direct_tests);
+    assert_eq!(
+        u64s(&r, "targets"),
+        direct.targets.iter().map(|f| f.index() as u64).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn ndetect_matches_direct_counts() {
+    let _guard = BUILD_COUNT_LOCK.lock().unwrap();
+    let s = state();
+    let (text, netlist) = medium();
+    let hash = compile_via_service(&s, &text, "svc_medium");
+    let r = request_ok(
+        &s,
+        &format!(
+            r#"{{"op": "ndetect", "hash": "{hash}", "random": {{"count": 300, "seed": 4}}, "n": 5}}"#
+        ),
+    );
+
+    let circuit = CompiledCircuit::compile(netlist);
+    let faults = circuit.collapsed_faults();
+    let patterns = PatternSet::random(circuit.netlist().num_inputs(), 300, 4);
+    let direct = FaultSimulator::for_circuit(&circuit, faults).n_detect(&patterns, 5);
+
+    assert_eq!(
+        u64s(&r, "counts"),
+        direct.counts.iter().map(|&c| c as u64).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        r.get("num_saturated").and_then(Value::as_u64),
+        Some(direct.num_saturated() as u64)
+    );
+}
+
+#[test]
+fn reorder_matches_direct_permutation() {
+    let _guard = BUILD_COUNT_LOCK.lock().unwrap();
+    let s = state();
+    let text = bench_format::to_bench(&embedded::c17());
+    let c17 = bench_format::parse(&text, "c17").unwrap();
+    let hash = compile_via_service(&s, &text, "c17");
+    let patterns = PatternSet::random(c17.num_inputs(), 24, 77);
+    let list = patterns
+        .iter()
+        .map(|p| {
+            let bits: String = p.iter().map(|b| if b { '1' } else { '0' }).collect();
+            format!("\"{bits}\"")
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let r = request_ok(
+        &s,
+        &format!(r#"{{"op": "reorder", "hash": "{hash}", "patterns": [{list}]}}"#),
+    );
+
+    let circuit = CompiledCircuit::compile(c17);
+    let direct = reorder_tests_for(&circuit, circuit.collapsed_faults(), &patterns);
+    assert_eq!(
+        u64s(&r, "permutation"),
+        direct.permutation.iter().map(|&i| i as u64).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        r.get("final_detected").and_then(Value::as_u64),
+        Some(direct.curve.final_detected() as u64)
+    );
+}
+
+#[test]
+fn cache_hit_requests_perform_zero_levelizations() {
+    let _guard = BUILD_COUNT_LOCK.lock().unwrap();
+    let s = state();
+    let (text, _netlist) = medium();
+    let hash = compile_via_service(&s, &text, "svc_medium");
+
+    // Everything below addresses the cached compilation by hash: the
+    // levelization counter must not move at all.
+    let before = LevelizedCsr::build_count();
+    request_ok(&s, &format!(r#"{{"op": "compile", "hash": "{hash}"}}"#));
+    request_ok(
+        &s,
+        &format!(r#"{{"op": "coverage", "hash": "{hash}", "random": {{"count": 64, "seed": 1}}}}"#),
+    );
+    request_ok(
+        &s,
+        &format!(r#"{{"op": "adi", "hash": "{hash}", "random": {{"count": 64, "seed": 2}}, "ordering": "incr0"}}"#),
+    );
+    request_ok(
+        &s,
+        &format!(r#"{{"op": "atpg", "hash": "{hash}", "random": {{"count": 64, "seed": 3}}, "ordering": "dynm"}}"#),
+    );
+    request_ok(
+        &s,
+        &format!(r#"{{"op": "ndetect", "hash": "{hash}", "random": {{"count": 64, "seed": 4}}, "n": 3}}"#),
+    );
+    request_ok(
+        &s,
+        &format!(r#"{{"op": "reorder", "hash": "{hash}", "patterns": ["000000000000", "111111111111"]}}"#),
+    );
+    assert_eq!(
+        LevelizedCsr::build_count() - before,
+        0,
+        "cache-hit requests must reuse the stored compilation"
+    );
+    // And re-sending the original bench text is a hit, not a recompile.
+    let before = LevelizedCsr::build_count();
+    compile_via_service(&s, &text, "svc_medium");
+    assert_eq!(LevelizedCsr::build_count() - before, 0);
+}
+
+#[test]
+fn tcp_transport_round_trips_and_shuts_down() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        serve_tcp(
+            listener,
+            Arc::new(ServiceState::new(StoreConfig::default())),
+            ServerConfig {
+                workers: 2,
+                queue_depth: 8,
+            },
+        )
+        .unwrap()
+    });
+
+    let roundtrip = |stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str| {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        json::parse(line.trim_end()).unwrap()
+    };
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let bench = Value::Str(bench_format::to_bench(&embedded::c17())).to_string();
+    let v = roundtrip(
+        &mut stream,
+        &mut reader,
+        &format!(r#"{{"id": 1, "op": "compile", "bench": {bench}}}"#),
+    );
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    let hash = v
+        .get("result")
+        .unwrap()
+        .get("hash")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    // A second connection sees the same cache.
+    let mut second = TcpStream::connect(addr).unwrap();
+    let mut second_reader = BufReader::new(second.try_clone().unwrap());
+    let v = roundtrip(
+        &mut second,
+        &mut second_reader,
+        &format!(r#"{{"id": 2, "op": "coverage", "hash": "{hash}", "exhaustive": true}}"#),
+    );
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        v.get("result").unwrap().get("coverage").and_then(Value::as_f64),
+        Some(1.0)
+    );
+
+    // Malformed input keeps the connection usable.
+    let v = roundtrip(&mut stream, &mut reader, "this is not json");
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+
+    // Graceful shutdown: answered, then the server exits and the
+    // connection closes.
+    let v = roundtrip(&mut stream, &mut reader, r#"{"id": 3, "op": "shutdown"}"#);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).unwrap(), 0, "EOF after shutdown");
+
+    let report = server.join().unwrap();
+    assert_eq!(report.connections, 2);
+    assert!(report.requests >= 4);
+}

@@ -120,10 +120,21 @@ pub struct DualMachineSim {
     /// Number of primary outputs currently showing a fault effect.
     detected_outputs: u32,
     /// Positions that may belong to the D-frontier (superset, deduped by
-    /// `cand_stamp`); append-only while a target is active.
+    /// the `cand_stamp` generation). The list is compacted in place once
+    /// it outgrows `cand_limit`: dead entries (no fault-effect fanin) are
+    /// dropped and the generation is bumped so they can re-enter later —
+    /// any event that can restore a dropped position's membership flows
+    /// through [`transition`](Self::transition), which re-pushes it. This
+    /// keeps pathological million-decision targets bounded by the *live*
+    /// effect region instead of by every position ever touched.
     candidates: Vec<u32>,
     cand_stamp: Vec<u32>,
     cand_version: u32,
+    /// Compaction trigger: compact when `candidates` reaches this length
+    /// (floor [`CAND_COMPACT_FLOOR`], else twice the last live count).
+    cand_limit: usize,
+    /// Mid-target compactions performed (diagnostics).
+    cand_compactions: u64,
     /// Event-wave state: per-level buckets plus a queued stamp.
     buckets: Vec<Vec<u32>>,
     queued: Vec<u32>,
@@ -154,6 +165,10 @@ fn is_effect(good: T3, faulty: T3) -> bool {
     good.is_binary() && faulty.is_binary() && good != faulty
 }
 
+/// Minimum candidate-list length before a compaction is considered:
+/// below this, scanning the list is cheaper than maintaining it.
+const CAND_COMPACT_FLOOR: usize = 128;
+
 impl DualMachineSim {
     /// Builds the evaluator over `circuit` in its quiescent baseline
     /// state: all primary inputs X, no fault injected, both machines
@@ -182,6 +197,8 @@ impl DualMachineSim {
             candidates: Vec::new(),
             cand_stamp: vec![0; n],
             cand_version: 0,
+            cand_limit: CAND_COMPACT_FLOOR,
+            cand_compactions: 0,
             buckets: vec![Vec::new(); view.num_levels()],
             queued: vec![0; n],
             qversion: 0,
@@ -253,12 +270,9 @@ impl DualMachineSim {
         };
         self.target = Some(target);
         self.state_version += 1;
-        self.cand_version = self.cand_version.wrapping_add(1);
-        if self.cand_version == 0 {
-            self.cand_stamp.fill(0);
-            self.cand_version = 1;
-        }
+        self.bump_cand_generation();
         self.candidates.clear();
+        self.cand_limit = CAND_COMPACT_FLOOR;
         self.frames.push(self.trail.len() as u32);
 
         let p = target.site_pos as usize;
@@ -468,6 +482,21 @@ impl DualMachineSim {
         (self.events, self.updates)
     }
 
+    /// Diagnostics: current length of the D-frontier candidate list.
+    /// Bounded within a constant factor of the live effect region by
+    /// mid-target compaction, independent of how many decisions the
+    /// target has accumulated.
+    #[inline]
+    pub fn frontier_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Diagnostics: cumulative mid-target candidate compactions.
+    #[inline]
+    pub fn frontier_compactions(&self) -> u64 {
+        self.cand_compactions
+    }
+
     /// Differential-oracle hook: recomputes both machines (and every
     /// derived counter) from scratch for the current assignment and
     /// target, and compares against the incremental state. Intended for
@@ -638,6 +667,52 @@ impl DualMachineSim {
         if self.cand_stamp[p as usize] != self.cand_version {
             self.cand_stamp[p as usize] = self.cand_version;
             self.candidates.push(p);
+            if self.candidates.len() >= self.cand_limit {
+                self.compact_candidates();
+            }
+        }
+    }
+
+    /// Can `p` (re)enter the D-frontier without a further
+    /// [`transition`](Self::transition) re-pushing it? Only while a
+    /// fanin still carries a fault effect (or `p` is the branch fault's
+    /// reading gate, whose membership keys on its driver's good value).
+    /// Everything else may be dropped: restoring its membership requires
+    /// an effect transition on a fanin, and that re-pushes it.
+    #[inline]
+    fn candidate_live(&self, p: u32) -> bool {
+        self.effect_fanins[p as usize] > 0
+            || matches!(self.target, Some(t) if t.branch_pin.is_some() && t.site_pos == p)
+    }
+
+    /// Generation-stamped compaction: bump the generation, restamp and
+    /// retain the live candidates in place, and drop the rest (their
+    /// stale stamps let them re-enter through `push_candidate`). The
+    /// next trigger point is twice the surviving count, so the list
+    /// stays within a constant factor of the live effect region.
+    fn compact_candidates(&mut self) {
+        self.bump_cand_generation();
+        let mut keep = 0;
+        for i in 0..self.candidates.len() {
+            let p = self.candidates[i];
+            if self.candidate_live(p) {
+                self.cand_stamp[p as usize] = self.cand_version;
+                self.candidates[keep] = p;
+                keep += 1;
+            }
+        }
+        self.candidates.truncate(keep);
+        self.cand_limit = (2 * keep).max(CAND_COMPACT_FLOOR);
+        self.cand_compactions += 1;
+    }
+
+    /// Starts a fresh candidate generation (with the usual wraparound
+    /// reset of the stamp array).
+    fn bump_cand_generation(&mut self) {
+        self.cand_version = self.cand_version.wrapping_add(1);
+        if self.cand_version == 0 {
+            self.cand_stamp.fill(0);
+            self.cand_version = 1;
         }
     }
 

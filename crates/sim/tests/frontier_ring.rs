@@ -1,0 +1,155 @@
+//! Regression coverage for the generation-stamped D-frontier candidate
+//! ring: on a deep circuit with high candidate turnover, the candidate
+//! list must stay bounded by the *live* effect region across thousands
+//! of decisions (instead of accumulating every position ever touched),
+//! and membership answers must stay exactly equal to the full-scan
+//! reference after every compaction.
+
+use adi_netlist::fault::Fault;
+use adi_netlist::{CompiledCircuit, GateKind, NetlistBuilder, NodeId};
+use adi_sim::t3::T3;
+use adi_sim::t3event::DualMachineSim;
+
+const CHAINS: usize = 16;
+const CHAIN_LEN: usize = 256;
+
+/// A fault-effect "selector" circuit: one faulted head `h = BUF(a)`
+/// fans out to `CHAINS` AND gates, each gated by its own select input
+/// and followed by a `CHAIN_LEN`-deep buffer chain to an output.
+/// Asserting `sel_k` floods chain `k` with fault effects; retracting it
+/// kills them all — maximal candidate turnover with a small live set.
+fn selector_circuit() -> CompiledCircuit {
+    let mut b = NetlistBuilder::new("selector");
+    let a = b.add_input("a");
+    let sels: Vec<NodeId> = (0..CHAINS).map(|k| b.add_input(format!("sel{k}"))).collect();
+    let h = b.add_gate(GateKind::Buf, "h", &[a]).unwrap();
+    for (k, &sel) in sels.iter().enumerate() {
+        let mut prev = b.add_gate(GateKind::And, format!("g{k}"), &[h, sel]).unwrap();
+        for i in 0..CHAIN_LEN {
+            prev = b
+                .add_gate(GateKind::Buf, format!("c{k}_{i}"), &[prev])
+                .unwrap();
+        }
+        b.mark_output(prev);
+    }
+    CompiledCircuit::compile(b.build().unwrap())
+}
+
+/// The D-frontier by the full-scan definition, via public accessors
+/// only (stem-fault circuits: no branch-gate special case).
+fn reference_frontier(sim: &DualMachineSim) -> Vec<NodeId> {
+    let circuit = sim.circuit().clone();
+    let nl = circuit.netlist();
+    let view = circuit.view();
+    let effect = |n: NodeId| {
+        let p = view.position(n);
+        let (g, f) = (sim.good_at(p), sim.faulty_at(p));
+        g.is_binary() && f.is_binary() && g != f
+    };
+    nl.node_ids()
+        .filter(|&n| {
+            let p = view.position(n);
+            let out_unknown = sim.good_at(p) == T3::X || sim.faulty_at(p) == T3::X;
+            out_unknown
+                && nl.kind(n) != GateKind::Input
+                && nl.fanins(n).iter().any(|&f| effect(f))
+        })
+        .collect()
+}
+
+#[test]
+fn candidate_ring_stays_bounded_under_turnover() {
+    let circuit = selector_circuit();
+    let nl = circuit.netlist();
+    let n = nl.num_nodes();
+    assert!(n > 4000, "the regression needs a deep circuit, got {n} nodes");
+    let a = nl.find_node("a").unwrap();
+
+    let mut sim = DualMachineSim::for_circuit(&circuit);
+    sim.begin_target(Fault::stem_at(a, false)); // a stuck-at-0
+    sim.assign(0, true); // excite: good a = 1, faulty a = 0
+
+    let mut max_candidates = 0usize;
+    let mut step = 0usize;
+    for round in 0..24 {
+        for k in 0..CHAINS {
+            // Flood chain k with fault effects, then kill them again.
+            sim.assign(1 + k, true);
+            max_candidates = max_candidates.max(sim.frontier_candidates());
+            // Membership stays exact across compactions.
+            sim.refresh_frontier();
+            assert_eq!(
+                sim.frontier_ids(),
+                reference_frontier(&sim),
+                "round {round} chain {k} (active)"
+            );
+            sim.retract_frame();
+            max_candidates = max_candidates.max(sim.frontier_candidates());
+            if step.is_multiple_of(64) {
+                assert!(sim.is_consistent(), "round {round} chain {k}");
+                sim.refresh_frontier();
+                assert_eq!(
+                    sim.frontier_ids(),
+                    reference_frontier(&sim),
+                    "round {round} chain {k} (retracted)"
+                );
+            }
+            step += 1;
+        }
+    }
+
+    assert!(
+        sim.frontier_compactions() > 0,
+        "the walk must have triggered compactions"
+    );
+    // The whole point: every chain was flooded (24 times over), yet the
+    // candidate list never grew anywhere near the CHAINS * CHAIN_LEN
+    // positions that carried an effect at some point. The bound is a
+    // constant factor of one live chain (~CHAIN_LEN + CHAINS), not of
+    // the circuit.
+    assert!(
+        max_candidates <= 4 * (CHAIN_LEN + CHAINS + 2),
+        "candidate list reached {max_candidates}, expected it bounded by \
+         the live region (~{})",
+        CHAIN_LEN + CHAINS
+    );
+    assert!(
+        max_candidates < n / 2,
+        "candidate list reached {max_candidates} of {n} positions — \
+         compaction is not bounding it"
+    );
+
+    sim.retract_frame(); // the excitation assign
+    sim.end_target();
+    assert!(sim.is_consistent());
+}
+
+#[test]
+fn compaction_survives_target_reuse() {
+    // After heavy turnover, a fresh target on the same evaluator starts
+    // from a clean generation and stays exact.
+    let circuit = selector_circuit();
+    let nl = circuit.netlist();
+    let a = nl.find_node("a").unwrap();
+    let g0 = nl.find_node("g0").unwrap();
+    let mut sim = DualMachineSim::for_circuit(&circuit);
+
+    sim.begin_target(Fault::stem_at(a, false));
+    sim.assign(0, true);
+    for k in 0..CHAINS {
+        sim.assign(1 + k, true);
+        sim.retract_frame();
+    }
+    sim.retract_frame();
+    sim.end_target();
+    let compactions = sim.frontier_compactions();
+    assert!(compactions > 0);
+
+    sim.begin_target(Fault::stem_at(g0, true)); // g0 stuck-at-1
+    sim.assign(0, true);
+    sim.assign(1, false); // sel0 = 0: good g0 = 0, faulty 1 -> excited
+    assert!(sim.is_consistent());
+    sim.refresh_frontier();
+    assert_eq!(sim.frontier_ids(), reference_frontier(&sim));
+    sim.end_target();
+}

@@ -11,6 +11,7 @@
 //! | [`atpg`] | event-driven PODEM test generation with SCOAP guidance and an ordered-fault-list driver |
 //! | [`core`] | the paper itself: `U` selection, `ADI(f)`, the six fault orders, metrics, pipeline |
 //! | [`circuits`] | embedded benchmark circuits and the synthetic paper suite |
+//! | [`service`] | the hash-cached compiled-circuit server (`adi-serve`, `adi-loadgen`) |
 //!
 //! This facade crate re-exports all of them under one roof; depend on it
 //! (`adi`) for applications, or on the individual crates for narrower
@@ -80,6 +81,9 @@ pub use adi_atpg as atpg;
 
 /// Netlists and the fault model (re-export of `adi-netlist`).
 pub use adi_netlist as netlist;
+
+/// The hash-cached compiled-circuit server (re-export of `adi-service`).
+pub use adi_service as service;
 
 /// Logic and fault simulation (re-export of `adi-sim`).
 pub use adi_sim as sim;

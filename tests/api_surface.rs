@@ -27,6 +27,37 @@ use adi::sim::{
     GoodValues, NDetectOutcome, Pattern, PatternSet, SimScratch, StemRegionEngine,
 };
 
+/// The content-hash and serving surface added in 0.4.0: the canonical
+/// netlist hash, the hash-keyed circuit store, and the request path.
+#[test]
+fn service_surface_is_stable() {
+    use adi::netlist::NetlistHash;
+    use adi::service::{
+        CacheOutcome, CircuitStore, ServeReport, ServerConfig, ServiceState, StoreConfig,
+        StoreStats, WorkerPool,
+    };
+
+    let _: fn(&Netlist) -> NetlistHash = Netlist::content_hash;
+    let _: fn(NetlistHash) -> String = NetlistHash::to_hex;
+    let _: fn(&str) -> Option<NetlistHash> = NetlistHash::from_hex;
+    let _: fn(NetlistHash) -> u64 = NetlistHash::low64;
+    let _: fn(&CompiledCircuit) -> NetlistHash = CompiledCircuit::content_hash;
+
+    let _: fn(StoreConfig) -> CircuitStore = CircuitStore::new;
+    let _: fn(&CircuitStore, Netlist) -> (CompiledCircuit, CacheOutcome) =
+        CircuitStore::get_or_compile;
+    let _: fn(&CircuitStore, NetlistHash) -> Option<CompiledCircuit> = CircuitStore::lookup;
+    let _: fn(&CircuitStore) -> StoreStats = CircuitStore::stats;
+
+    let _: fn(StoreConfig) -> ServiceState = ServiceState::new;
+    let _: fn(&ServiceState, &str) -> String = ServiceState::handle_line;
+    let _: fn(usize, usize) -> WorkerPool = WorkerPool::new;
+    let _: fn(WorkerPool) = WorkerPool::shutdown;
+    let _ = ServerConfig::default();
+    let _ = ServeReport::default();
+    let _ = StoreConfig::default();
+}
+
 /// The compiled-circuit surface: compile-once entry point and artifact
 /// accessors.
 #[test]
@@ -159,6 +190,9 @@ fn simulation_surface_is_stable() {
 fn podem_engine_surface_is_stable() {
     assert_eq!(PodemEngine::default(), PodemEngine::EventDriven);
     assert_eq!(PodemConfig::default().engine, PodemEngine::EventDriven);
+    // The full-resim oracle is part of the surface only with the
+    // `oracle` feature (a facade default).
+    #[cfg(feature = "oracle")]
     let _ = PodemEngine::FullResim;
     let _: fn(&Netlist, PodemConfig) -> Podem = Podem::new;
     let _: fn(&mut Podem, Fault) -> PodemOutcome = Podem::generate;

@@ -5,6 +5,11 @@
 //! synthetic paper suite, and arbitrary random circuits under arbitrary
 //! backtrack limits. The whole ordered-ATPG driver must likewise be
 //! bit-identical across engines.
+//!
+//! The oracle engine lives behind the `oracle` cargo feature (a default
+//! feature of this facade, disabled for the lean serving binaries), so
+//! this whole suite compiles away under `--no-default-features`.
+#![cfg(feature = "oracle")]
 
 use adi::atpg::{
     Podem, PodemConfig, PodemEngine, TestGenConfig, TestGenResult, TestGenerator,
