@@ -20,7 +20,7 @@
 use adi_netlist::fault::{FaultId, FaultList};
 use adi_netlist::CompiledCircuit;
 use adi_sim::faultsim::SimScratch;
-use adi_sim::{CoverageCurve, DropSession, FaultSimulator, Pattern};
+use adi_sim::{CoverageCurve, DropSession, FaultSimulator, Pattern, SimWidth};
 
 use crate::{FillStrategy, Podem, PodemConfig, PodemOutcome, PodemStats};
 
@@ -59,6 +59,13 @@ pub struct TestGenConfig {
     /// Which drop loop simulates generated tests against the active
     /// faults ([`DropLoopKind::Batched`] by default).
     pub drop_loop: DropLoopKind,
+    /// Simulation word width of the batched drop loop (blocks hold
+    /// `width.bits()` pending tests). All widths are bit-identical; the
+    /// scalar loop ignores this.
+    pub width: SimWidth,
+    /// Threads the batched drop loop's flushes split across
+    /// (region-parallel; results identical at every count).
+    pub threads: usize,
 }
 
 impl Default for TestGenConfig {
@@ -68,6 +75,8 @@ impl Default for TestGenConfig {
             fill: FillStrategy::Random,
             fill_seed: 0x0AD1_F111,
             drop_loop: DropLoopKind::default(),
+            width: SimWidth::default(),
+            threads: 1,
         }
     }
 }
@@ -322,20 +331,35 @@ impl<'a> TestGenerator<'a> {
         }
     }
 
-    /// The batched drop loop: generated tests accumulate into a 64-wide
-    /// [`DropSession`] block; before each target is handed to PODEM a
-    /// single per-fault cone walk checks whether a *pending* test
-    /// already covers it (the batched equivalent of the scalar loop's
-    /// already-dropped skip), and full blocks are drained through the
-    /// stem-region engine. The resulting test set, classifications, and
-    /// per-test detection counts are bit-identical to the scalar loop's.
+    /// The batched drop loop: generated tests accumulate into a wide
+    /// [`DropSession`] block (`width.bits()` lanes); before each target
+    /// is handed to PODEM a single per-fault cone walk checks whether a
+    /// *pending* test already covers it (the batched equivalent of the
+    /// scalar loop's already-dropped skip), and full blocks are drained
+    /// through the stem-region engine. The resulting test set,
+    /// classifications, and per-test detection counts are bit-identical
+    /// to the scalar loop's at every width and thread count.
     fn run_phase_batched(&self, order: &[FaultId], predropped: &[bool]) -> TestGenResult {
+        match self.config.width {
+            SimWidth::W1 => self.run_phase_batched_w::<1>(order, predropped),
+            SimWidth::W2 => self.run_phase_batched_w::<2>(order, predropped),
+            SimWidth::W4 => self.run_phase_batched_w::<4>(order, predropped),
+            SimWidth::W8 => self.run_phase_batched_w::<8>(order, predropped),
+        }
+    }
+
+    fn run_phase_batched_w<const N: usize>(
+        &self,
+        order: &[FaultId],
+        predropped: &[bool],
+    ) -> TestGenResult {
         let n_faults = self.faults.len();
         assert_eq!(predropped.len(), n_faults);
         self.validate_order(order);
 
         let mut podem = Podem::for_circuit(&self.circuit, self.config.podem);
-        let mut session = DropSession::for_circuit(&self.circuit, self.faults);
+        let mut session = DropSession::<N>::for_circuit(&self.circuit, self.faults)
+            .with_threads(self.config.threads.max(1));
 
         let mut status: Vec<Option<FaultStatus>> = vec![None; n_faults];
         let mut active: Vec<FaultId> = self
@@ -351,7 +375,7 @@ impl<'a> TestGenerator<'a> {
             if status[target.index()].is_some() {
                 continue; // resolved by a flushed block, or aborted/redundant
             }
-            if session.pending_detections(target) != 0 {
+            if !session.pending_detections(target).is_zero() {
                 continue; // a pending test covers it; classified at flush
             }
             let fault = self.faults.fault(target);
@@ -365,7 +389,7 @@ impl<'a> TestGenerator<'a> {
                     let pattern = self.config.fill.fill(&cube, seed);
                     session.push(&pattern);
                     debug_assert!(
-                        session.pending_detections(target) >> (session.pending() - 1) & 1 == 1,
+                        session.pending_detections(target).bit(session.pending() - 1),
                         "generated test {pattern} does not detect its target {fault}"
                     );
                     tests.push(pattern);
@@ -464,29 +488,19 @@ impl<'a> TestGenerator<'a> {
                 }
             }
             DropLoopKind::Batched => {
-                let mut session = DropSession::for_circuit(&self.circuit, self.faults);
-                let mut p = 0;
-                while p < warmup.len() {
-                    let base = p;
-                    while p < warmup.len() && !session.is_full() {
-                        session.push(&warmup.get(p));
-                        p += 1;
-                    }
-                    let lists = session.flush(&active);
-                    for (off, detected) in lists.iter().enumerate() {
-                        if detected.is_empty() {
-                            continue;
-                        }
-                        let test_index = warm_tests.len() as u32;
-                        for &d in detected {
-                            dropped[d.index()] = true;
-                            warm_status.push((d, test_index));
-                        }
-                        warm_targets.push(detected[0]);
-                        warm_news.push(detected.len() as u32);
-                        warm_tests.push(warmup.get(base + off));
-                    }
-                    active.retain(|id| !dropped[id.index()]);
+                let mut warm = WarmupState {
+                    active: &mut active,
+                    dropped: &mut dropped,
+                    tests: &mut warm_tests,
+                    targets: &mut warm_targets,
+                    news: &mut warm_news,
+                    status: &mut warm_status,
+                };
+                match self.config.width {
+                    SimWidth::W1 => self.warmup_batched_w::<1>(warmup, &mut warm),
+                    SimWidth::W2 => self.warmup_batched_w::<2>(warmup, &mut warm),
+                    SimWidth::W4 => self.warmup_batched_w::<4>(warmup, &mut warm),
+                    SimWidth::W8 => self.warmup_batched_w::<8>(warmup, &mut warm),
                 }
             }
         }
@@ -535,6 +549,55 @@ impl<'a> TestGenerator<'a> {
     }
 }
 
+/// Mutable bookkeeping of the warm-up admission loop, bundled so the
+/// width-dispatched batched variant has one parameter instead of six.
+struct WarmupState<'s> {
+    active: &'s mut Vec<FaultId>,
+    dropped: &'s mut [bool],
+    tests: &'s mut Vec<Pattern>,
+    targets: &'s mut Vec<FaultId>,
+    news: &'s mut Vec<u32>,
+    status: &'s mut Vec<(FaultId, u32)>,
+}
+
+impl<'a> TestGenerator<'a> {
+    /// The batched warm-up admission loop at width `N`: whole wide
+    /// blocks are simulated at once and the admission bookkeeping is
+    /// replayed lane by lane — bit-identical to the scalar per-vector
+    /// loop at every width.
+    fn warmup_batched_w<const N: usize>(
+        &self,
+        warmup: &adi_sim::PatternSet,
+        w: &mut WarmupState<'_>,
+    ) {
+        let mut session = DropSession::<N>::for_circuit(&self.circuit, self.faults)
+            .with_threads(self.config.threads.max(1));
+        let mut p = 0;
+        while p < warmup.len() {
+            let base = p;
+            while p < warmup.len() && !session.is_full() {
+                session.push(&warmup.get(p));
+                p += 1;
+            }
+            let lists = session.flush(w.active);
+            for (off, detected) in lists.iter().enumerate() {
+                if detected.is_empty() {
+                    continue;
+                }
+                let test_index = w.tests.len() as u32;
+                for &d in detected {
+                    w.dropped[d.index()] = true;
+                    w.status.push((d, test_index));
+                }
+                w.targets.push(detected[0]);
+                w.news.push(detected.len() as u32);
+                w.tests.push(warmup.get(base + off));
+            }
+            w.active.retain(|id| !w.dropped[id.index()]);
+        }
+    }
+}
+
 /// Resolves still-`None` statuses: untargeted, never-detected faults
 /// were deliberately excluded from `order`; treat them as aborted so
 /// totals stay consistent without inventing detections.
@@ -550,8 +613,8 @@ fn finalize_status(status: Vec<Option<FaultStatus>>) -> Vec<FaultStatus> {
 /// detected faults are classified against that test (as-target for the
 /// lane's own target, accidental otherwise), and `active` is pruned —
 /// exactly the per-test bookkeeping the scalar loop performs inline.
-fn apply_flush(
-    session: &mut DropSession<'_>,
+fn apply_flush<const N: usize>(
+    session: &mut DropSession<'_, N>,
     targets: &[FaultId],
     status: &mut [Option<FaultStatus>],
     active: &mut Vec<FaultId>,
@@ -828,6 +891,39 @@ G23 = NAND(G16, G19)
             )
             .run(order);
             assert_eq!(batched, scalar);
+        }
+    }
+
+    #[test]
+    fn batched_loop_is_width_and_thread_invariant() {
+        let n = c17();
+        let circuit = compile(&n);
+        let faults = FaultList::collapsed(&n);
+        let order: Vec<FaultId> = faults.ids().collect();
+        let scalar = TestGenerator::for_circuit(
+            &circuit,
+            &faults,
+            TestGenConfig {
+                drop_loop: DropLoopKind::Scalar,
+                ..TestGenConfig::default()
+            },
+        )
+        .run(&order);
+        for width in SimWidth::ALL {
+            for threads in [1usize, 2, 4] {
+                let batched = TestGenerator::for_circuit(
+                    &circuit,
+                    &faults,
+                    TestGenConfig {
+                        drop_loop: DropLoopKind::Batched,
+                        width,
+                        threads,
+                        ..TestGenConfig::default()
+                    },
+                )
+                .run(&order);
+                assert_eq!(batched, scalar, "width {width} threads {threads}");
+            }
         }
     }
 

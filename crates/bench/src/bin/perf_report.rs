@@ -11,24 +11,32 @@
 //! ```text
 //! cargo run -p adi-bench --release --bin perf_report -- [--max-gates N | --all]
 //!     [--quick] [--patterns N] [--out PATH] [--min-speedup X]
+//!     [--width 1|2|4|8] [--threads N]
 //! ```
 //!
-//! JSON schema (`adi-perf-report/v4`, written via the vendored `json`
+//! JSON schema (`adi-perf-report/v5`, written via the vendored `json`
 //! value model): a header with the run parameters, a `circuits` array
 //! carrying the compile-once vs compile-per-call timings (`compile_ns`,
 //! `adi_compile_once_ns`, `adi_per_call_ns`), one `entries` element per
 //! `(circuit, engine, phase)` carrying `wall_ns` and `speedup` (that
 //! phase's per-fault-row time over this row's time, so per-fault rows
-//! read 1.0), and — new in v4 — one `service` element per circuit with
-//! the `adi-service` request-path numbers: `cold_compile_ns` (a fresh
-//! store answering a `compile` request with bench text),
-//! `cache_hit_ns` (the same circuit re-requested by hash),
-//! `hit_speedup` (their ratio), and `throughput_rps` (closed-loop
-//! multi-threaded cache-hit request throughput). Every service response
-//! is agreement-gated against the direct library result before any
-//! timing is recorded, and non-`--quick` runs fail unless the largest
-//! circuit's `hit_speedup` clears the 10x floor. The engine column of
-//! `entries` maps per phase:
+//! read 1.0; stem-region rows are pinned to one 64-bit lane for
+//! cross-commit comparability), one `service` element per circuit with
+//! the `adi-service` request-path numbers (`cold_compile_ns`,
+//! `cache_hit_ns`, `hit_speedup`, `throughput_rps`), and — new in v5 —
+//! one `widths` element per `(circuit, lanes, threads)` cell of the
+//! wide-word lattice carrying `wall_ns`, `patterns_per_s`,
+//! `patterns_per_s_per_core`, and `scaling_efficiency`
+//! (`pps(t) / (t * pps(1))` at the same width). **Every lattice cell is
+//! agreement-gated bit-identical to the 64-bit single-thread oracle
+//! before its timing is written** (the hidden `--inject-width-mismatch`
+//! flag corrupts one cell's pattern set so CI can assert the gate
+//! fires), and non-`--quick` runs additionally fail unless irs13207's
+//! best 4-lane cell clears twice the committed PR 5 no-drop
+//! patterns/s baseline. Every service response is agreement-gated
+//! against the direct library result before any timing is recorded, and
+//! non-`--quick` runs fail unless the largest circuit's `hit_speedup`
+//! clears the 10x floor. The engine column of `entries` maps per phase:
 //!
 //! * `no-drop` / `dropping` / `adi` — the fault-simulation engines
 //!   (per-fault PPSFP vs the stem-region engine).
@@ -63,7 +71,7 @@ use adi_netlist::fault::{Fault, FaultId, FaultList};
 use adi_netlist::{bench_format, CompiledCircuit, Netlist};
 use adi_service::{ServiceState, StoreConfig};
 use adi_sim::{
-    DropSession, EngineKind, FaultSimulator, Pattern, PatternSet, SimScratch,
+    DropSession, EngineKind, FaultSimulator, Pattern, PatternSet, SimScratch, SimWidth,
 };
 use json::{Object, Value};
 
@@ -86,12 +94,29 @@ const SERVICE_HIT_FLOOR: f64 = 10.0;
 /// Seed for the service phase's agreement vector sets.
 const AGREEMENT_SEED: u64 = 0x05EC_71CE;
 
+/// Committed PR 5 baseline: stem-region no-drop wall time on irs13207
+/// at 2048 patterns, one 64-bit lane, one thread. The v5 wide-word gate
+/// holds the 4-lane cell to at least twice this throughput.
+const PR5_IRS13207_NODROP_NS: u128 = 2_240_694_130;
+const PR5_BASELINE_PATTERNS: f64 = 2048.0;
+const WIDE_GAIN_FLOOR: f64 = 2.0;
+
+/// Thread counts the width lattice measures (clipped by `--threads`).
+const LATTICE_THREADS: [usize; 3] = [1, 2, 4];
+
 struct Options {
     max_gates: usize,
     patterns: usize,
     quick: bool,
     out: Option<String>,
     min_speedup: f64,
+    /// Restrict the width lattice to one lane count (`--width`).
+    width: Option<SimWidth>,
+    /// Cap on the lattice thread counts (`--threads`).
+    max_threads: usize,
+    /// Hidden: corrupt one lattice cell so the width-agreement gate
+    /// demonstrably fires (CI smoke).
+    inject_width_mismatch: bool,
 }
 
 impl Default for Options {
@@ -102,6 +127,9 @@ impl Default for Options {
             quick: false,
             out: None,
             min_speedup: 1.5,
+            width: None,
+            max_threads: 4,
+            inject_width_mismatch: false,
         }
     }
 }
@@ -141,6 +169,22 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or_else(|| "--out requires a path".to_string())?,
                 );
             }
+            "--width" => {
+                opts.width = Some(
+                    args.next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .and_then(SimWidth::from_lanes)
+                        .ok_or_else(|| "--width requires 1, 2, 4, or 8 (lanes)".to_string())?,
+                );
+            }
+            "--threads" => {
+                opts.max_threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "--threads requires a positive number".to_string())?;
+            }
+            "--inject-width-mismatch" => opts.inject_width_mismatch = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -223,6 +267,22 @@ struct ServiceStats {
     /// Closed-loop cache-hit request throughput (4 threads, mixed
     /// compile/coverage/ndetect requests by hash).
     throughput_rps: f64,
+}
+
+/// One cell of the v5 wide-word lattice: the stem-region no-drop matrix
+/// at a given lane count and thread count, agreement-gated bit-identical
+/// to the 64-bit single-thread oracle before the timing is recorded.
+struct WidthStats {
+    circuit: String,
+    lanes: usize,
+    threads: usize,
+    wall_ns: u128,
+    /// Patterns simulated per second of wall time.
+    patterns_per_s: f64,
+    /// `patterns_per_s / threads` — the per-core yield of this cell.
+    patterns_per_s_per_core: f64,
+    /// `pps(threads) / (threads * pps(1))` at the same width.
+    scaling_efficiency: f64,
 }
 
 /// Unwraps a service response, panicking (and thus refusing to write a
@@ -480,7 +540,7 @@ fn replay_batched(
     faults: &FaultList,
     tests: &[Pattern],
 ) -> Vec<Vec<FaultId>> {
-    let mut session = DropSession::for_circuit(circuit, faults);
+    let mut session: DropSession = DropSession::for_circuit(circuit, faults);
     let mut active: Vec<FaultId> = faults.ids().collect();
     let mut out = Vec::with_capacity(tests.len());
     for test in tests {
@@ -518,7 +578,8 @@ fn main() {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: perf_report [--max-gates N | --all] [--quick] \
-                 [--patterns N] [--out PATH] [--min-speedup X]"
+                 [--patterns N] [--out PATH] [--min-speedup X] \
+                 [--width 1|2|4|8] [--threads N]"
             );
             std::process::exit(2);
         }
@@ -536,6 +597,17 @@ fn main() {
     let mut entries: Vec<Entry> = Vec::new();
     let mut circuit_stats: Vec<CircuitStats> = Vec::new();
     let mut service_stats: Vec<ServiceStats> = Vec::new();
+    let mut width_stats: Vec<WidthStats> = Vec::new();
+    let lattice_widths: Vec<SimWidth> = match opts.width {
+        Some(w) => vec![w],
+        None => SimWidth::ALL.to_vec(),
+    };
+    let lattice_threads: Vec<usize> = LATTICE_THREADS
+        .into_iter()
+        .filter(|&t| t <= opts.max_threads)
+        .collect();
+    // One cell is corrupted at most once per run (the first measured).
+    let mut inject_pending = opts.inject_width_mismatch;
 
     for circuit in &circuits {
         eprintln!(
@@ -555,24 +627,79 @@ fn main() {
         );
 
         // Correctness gate: the engines must agree bit for bit before
-        // their timings are worth recording.
+        // their timings are worth recording. The stem-region result at
+        // one lane on one thread doubles as the wide-word oracle.
         let reference =
             FaultSimulator::for_circuit_with_engine(&compiled, faults, EngineKind::PerFault)
                 .no_drop_matrix(&patterns);
-        let candidate =
+        let oracle =
             FaultSimulator::for_circuit_with_engine(&compiled, faults, EngineKind::StemRegion)
+                .with_width(SimWidth::W1)
                 .no_drop_matrix(&patterns);
         assert_eq!(
-            reference, candidate,
+            reference, oracle,
             "{}: engines disagree — refusing to write a perf report",
             circuit.name
         );
-        drop((reference, candidate));
+        drop(reference);
+
+        // The v5 wide-word lattice: every (lanes, threads) cell must be
+        // bit-identical to the 64-bit single-thread oracle before its
+        // timing is written.
+        for &width in &lattice_widths {
+            let sim = FaultSimulator::for_circuit_with_engine(
+                &compiled,
+                faults,
+                EngineKind::StemRegion,
+            )
+            .with_width(width);
+            let mut serial_pps = None;
+            for &threads in &lattice_threads {
+                let gate_matrix = if inject_pending {
+                    inject_pending = false;
+                    // Deliberately simulate a different pattern set for
+                    // the agreement check: the gate must catch it.
+                    let skewed = PatternSet::random(
+                        compiled.netlist().num_inputs(),
+                        opts.patterns,
+                        PATTERN_SEED ^ 1,
+                    );
+                    sim.no_drop_matrix_parallel(&skewed, threads)
+                } else {
+                    sim.no_drop_matrix_parallel(&patterns, threads)
+                };
+                if gate_matrix != oracle {
+                    eprintln!(
+                        "error: width agreement gate fired: {} at {width} lanes x{threads} \
+                         threads disagrees with the 64-bit single-thread oracle — \
+                         refusing to write a perf report",
+                        circuit.name
+                    );
+                    std::process::exit(1);
+                }
+                let wall_ns = time_ns(|| {
+                    std::hint::black_box(sim.no_drop_matrix_parallel(&patterns, threads));
+                });
+                let pps = opts.patterns as f64 / (wall_ns.max(1) as f64 / 1e9);
+                let serial = *serial_pps.get_or_insert(pps);
+                width_stats.push(WidthStats {
+                    circuit: circuit.name.to_string(),
+                    lanes: width.lanes(),
+                    threads,
+                    wall_ns,
+                    patterns_per_s: pps,
+                    patterns_per_s_per_core: pps / threads as f64,
+                    scaling_efficiency: pps / (threads as f64 * serial),
+                });
+            }
+        }
+        drop(oracle);
 
         let mut wall = [[0u128; PHASES.len()]; ENGINES.len()];
         let mut podem_metrics: [Option<(f64, f64)>; 2] = [None, None];
         for (ei, &engine) in ENGINES.iter().enumerate() {
-            let sim = FaultSimulator::for_circuit_with_engine(&compiled, faults, engine);
+            let sim = FaultSimulator::for_circuit_with_engine(&compiled, faults, engine)
+                .with_width(SimWidth::W1);
             wall[ei][0] = time_ns(|| {
                 std::hint::black_box(sim.no_drop_matrix(&patterns));
             });
@@ -581,6 +708,7 @@ fn main() {
             });
             let config = AdiConfig {
                 engine,
+                width: SimWidth::W1,
                 ..AdiConfig::default()
             };
             wall[ei][2] = time_ns(|| {
@@ -607,6 +735,7 @@ fn main() {
                 faults,
                 TestGenConfig {
                     drop_loop,
+                    width: SimWidth::W1,
                     podem: PodemConfig {
                         engine: podem_engine,
                         ..PodemConfig::default()
@@ -713,7 +842,10 @@ fn main() {
             }
         }
 
-        let adi_config = AdiConfig::default();
+        let adi_config = AdiConfig {
+            width: SimWidth::W1,
+            ..AdiConfig::default()
+        };
         let netlist = compiled.netlist().clone();
         let adi_per_call_ns = time_ns(|| {
             std::hint::black_box(adi_per_call(&netlist, &patterns, adi_config));
@@ -734,7 +866,15 @@ fn main() {
 
     // Persist the snapshot before printing: a consumer truncating our
     // stdout (e.g. `| head`) must not cost us the report.
-    let json = render_report(&date, &opts, &circuit_stats, &entries, &service_stats).pretty();
+    let json = render_report(
+        &date,
+        &opts,
+        &circuit_stats,
+        &entries,
+        &service_stats,
+        &width_stats,
+    )
+    .pretty();
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -791,6 +931,44 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+
+    // Wide-word lattice summary: one row per (circuit, lanes), serial
+    // wall plus per-core yield and scaling efficiency at the widest
+    // measured thread count.
+    let max_threads = lattice_threads.last().copied().unwrap_or(1);
+    let mut width_table = TextTable::new(vec![
+        "circuit".to_string(),
+        "lanes".to_string(),
+        "serial (ms)".to_string(),
+        "patterns/s".to_string(),
+        format!("p/s/core x{max_threads}"),
+        format!("efficiency x{max_threads}"),
+    ]);
+    for circuit in &circuits {
+        for &width in &lattice_widths {
+            let cell = |threads: usize| {
+                width_stats
+                    .iter()
+                    .find(|w| {
+                        w.circuit == circuit.name
+                            && w.lanes == width.lanes()
+                            && w.threads == threads
+                    })
+                    .expect("lattice cell recorded")
+            };
+            let serial = cell(1);
+            let widest = cell(max_threads);
+            width_table.row(vec![
+                circuit.name.to_string(),
+                width.lanes().to_string(),
+                format!("{:.2}", serial.wall_ns as f64 / 1e6),
+                format!("{:.0}", serial.patterns_per_s),
+                format!("{:.0}", widest.patterns_per_s_per_core),
+                format!("{:.2}", widest.scaling_efficiency),
+            ]);
+        }
+    }
+    println!("{}", width_table.render());
 
     // Service phase summary: the request path, cold vs cache-hit.
     let mut service_table = TextTable::new(vec![
@@ -849,10 +1027,35 @@ fn main() {
                 largest.name, service.hit_speedup
             );
         }
+
+        // Wide-word gate: the 4-lane no-drop cell on irs13207 must hold
+        // at least twice the committed PR 5 patterns/s baseline (best
+        // measured thread count; the baseline was one lane, one thread).
+        if let Some(best) = width_stats
+            .iter()
+            .filter(|w| w.circuit == "irs13207" && w.lanes == 4)
+            .max_by(|a, b| a.patterns_per_s.total_cmp(&b.patterns_per_s))
+        {
+            let baseline_pps = PR5_BASELINE_PATTERNS / (PR5_IRS13207_NODROP_NS as f64 / 1e9);
+            let gain = best.patterns_per_s / baseline_pps;
+            if gain < WIDE_GAIN_FLOOR {
+                eprintln!(
+                    "error: irs13207 4-lane no-drop is {:.0} patterns/s ({gain:.2}x the \
+                     PR 5 baseline {baseline_pps:.0}), below the {WIDE_GAIN_FLOOR:.1}x floor",
+                    best.patterns_per_s
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[perf_report] wide-word gate passed: irs13207 4-lane no-drop \
+                 {:.0} patterns/s (x{} threads) = {gain:.2}x the PR 5 baseline",
+                best.patterns_per_s, best.threads
+            );
+        }
     }
 }
 
-/// Assembles the v4 report document (serialized with
+/// Assembles the v5 report document (serialized with
 /// [`Value::pretty`]).
 fn render_report(
     date: &str,
@@ -860,9 +1063,10 @@ fn render_report(
     circuit_stats: &[CircuitStats],
     entries: &[Entry],
     service_stats: &[ServiceStats],
+    width_stats: &[WidthStats],
 ) -> Value {
     let mut root = Object::new();
-    root.insert("schema", "adi-perf-report/v4");
+    root.insert("schema", "adi-perf-report/v5");
     root.insert("date", date);
     root.insert("patterns", opts.patterns);
     root.insert("podem_sample", PODEM_SAMPLE);
@@ -923,6 +1127,31 @@ fn render_report(
                 .collect(),
         ),
     );
+    root.insert(
+        "widths",
+        Value::Array(
+            width_stats
+                .iter()
+                .map(|w| {
+                    let mut o = Object::new();
+                    o.insert("circuit", w.circuit.as_str());
+                    o.insert("lanes", w.lanes);
+                    o.insert("threads", w.threads);
+                    o.insert("wall_ns", Value::from_u128(w.wall_ns));
+                    o.insert("patterns_per_s", Value::rounded(w.patterns_per_s, 1));
+                    o.insert(
+                        "patterns_per_s_per_core",
+                        Value::rounded(w.patterns_per_s_per_core, 1),
+                    );
+                    o.insert(
+                        "scaling_efficiency",
+                        Value::rounded(w.scaling_efficiency, 3),
+                    );
+                    o.into()
+                })
+                .collect(),
+        ),
+    );
     Value::Object(root)
 }
 
@@ -939,7 +1168,7 @@ mod tests {
     }
 
     #[test]
-    fn json_is_well_formed_and_v4_shaped() {
+    fn json_is_well_formed_and_v5_shaped() {
         let entries = vec![
             Entry {
                 circuit: "irs208".into(),
@@ -971,12 +1200,28 @@ mod tests {
             hit_speedup: 416.67,
             throughput_rps: 52_000.5,
         }];
-        let doc = render_report("2026-01-01", &Options::default(), &stats, &entries, &service);
+        let widths = vec![WidthStats {
+            circuit: "irs208".into(),
+            lanes: 4,
+            threads: 2,
+            wall_ns: 777,
+            patterns_per_s: 1_000_000.5,
+            patterns_per_s_per_core: 500_000.5,
+            scaling_efficiency: 0.875,
+        }];
+        let doc = render_report(
+            "2026-01-01",
+            &Options::default(),
+            &stats,
+            &entries,
+            &service,
+            &widths,
+        );
         let text = doc.pretty();
         // Strict JSON: our own parser must read it back identically.
         assert_eq!(json::parse(&text).unwrap(), doc);
         for needle in [
-            "\"schema\": \"adi-perf-report/v4\"",
+            "\"schema\": \"adi-perf-report/v5\"",
             "\"engine\": \"stem-region\"",
             "\"wall_ns\": 12345",
             "\"phase\": \"podem\"",
@@ -991,6 +1236,11 @@ mod tests {
             "\"cache_hit_ns\": 12000",
             "\"hit_speedup\": 416.67",
             "\"throughput_rps\": 52000.5",
+            "\"lanes\": 4",
+            "\"threads\": 2",
+            "\"patterns_per_s\": 1000000.5",
+            "\"patterns_per_s_per_core\": 500000.5",
+            "\"scaling_efficiency\": 0.875",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

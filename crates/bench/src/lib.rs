@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 use adi_circuits::{paper_suite, PaperCircuit};
 use adi_core::pipeline::Experiment;
 use adi_core::{ExperimentConfig, FaultOrdering};
-use adi_sim::EngineKind;
+use adi_sim::{EngineKind, SimWidth};
 
 /// Command-line options shared by all table binaries.
 #[derive(Clone, Debug)]
@@ -33,6 +33,8 @@ pub struct HarnessOptions {
     pub quick: bool,
     /// Fault-simulation engine behind the ADI computation.
     pub engine: EngineKind,
+    /// Simulation word width (lanes) for the stem-region engine.
+    pub width: SimWidth,
 }
 
 impl Default for HarnessOptions {
@@ -44,6 +46,7 @@ impl Default for HarnessOptions {
             threads: default_threads(),
             quick: false,
             engine: EngineKind::default(),
+            width: SimWidth::default(),
         }
     }
 }
@@ -104,6 +107,13 @@ impl HarnessOptions {
                         }
                     };
                 }
+                "--width" => {
+                    opts.width = args
+                        .next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .and_then(SimWidth::from_lanes)
+                        .ok_or_else(|| "--width requires 1, 2, 4, or 8 (lanes)".to_string())?;
+                }
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
@@ -115,6 +125,7 @@ impl HarnessOptions {
         let mut cfg = ExperimentConfig::default();
         cfg.adi.threads = self.threads;
         cfg.adi.engine = self.engine;
+        cfg.adi.width = self.width;
         if self.quick {
             cfg.uset.max_vectors = 1000;
         }
@@ -134,7 +145,7 @@ fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: <table-binary> [--max-gates N | --all] [--quick] [--threads N] \
-         [--engine per-fault|stem-region]"
+         [--engine per-fault|stem-region] [--width 1|2|4|8]"
     );
     std::process::exit(2);
 }
@@ -280,6 +291,13 @@ mod tests {
         assert_eq!(ok(&["--engine", "stem-region"]).engine, EngineKind::StemRegion);
         assert_eq!(ok(&["--engine", "stem"]).engine, EngineKind::StemRegion);
         assert_eq!(ok(&[]).engine, EngineKind::StemRegion);
+        assert_eq!(ok(&["--width", "8"]).width, SimWidth::W8);
+        assert_eq!(ok(&[]).width, SimWidth::default());
+        let err = HarnessOptions::try_from_iter(
+            ["--width", "3"].iter().map(|s| s.to_string()),
+        )
+        .unwrap_err();
+        assert!(err.contains("1, 2, 4, or 8"));
         let err = HarnessOptions::try_from_iter(
             ["--engine", "warp"].iter().map(|s| s.to_string()),
         )

@@ -78,7 +78,7 @@ fn perf_report_writes_json() {
     assert!(ok);
     assert!(stdout.contains("speedup"));
     let json = std::fs::read_to_string(&out_path).expect("report written");
-    assert!(json.contains("\"schema\": \"adi-perf-report/v4\""));
+    assert!(json.contains("\"schema\": \"adi-perf-report/v5\""));
     assert!(json.contains("\"circuit\": \"irs208\""));
     assert!(json.contains("\"engine\": \"per-fault\""));
     assert!(json.contains("\"engine\": \"stem-region\""));
@@ -97,7 +97,44 @@ fn perf_report_writes_json() {
     assert!(json.contains("\"cache_hit_ns\""));
     assert!(json.contains("\"hit_speedup\""));
     assert!(json.contains("\"throughput_rps\""));
+    // v5: the wide-word lattice, one cell per (circuit, lanes, threads).
+    for lanes in [1, 2, 4, 8] {
+        assert!(json.contains(&format!("\"lanes\": {lanes}")), "lanes {lanes}");
+    }
+    assert!(json.contains("\"patterns_per_s\""));
+    assert!(json.contains("\"patterns_per_s_per_core\""));
+    assert!(json.contains("\"scaling_efficiency\""));
     let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn perf_report_width_agreement_gate_fires_on_injected_mismatch() {
+    let dir = std::env::temp_dir().join("adi_perf_report_width_gate");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out_path = dir.join("BENCH_width_gate.json");
+    let _ = std::fs::remove_file(&out_path);
+    // The hidden flag corrupts one lattice cell's pattern set; the
+    // agreement gate must catch it and refuse to write any report.
+    let out = Command::new(env!("CARGO_BIN_EXE_perf_report"))
+        .args([
+            "--quick",
+            "--max-gates",
+            "150",
+            "--patterns",
+            "64",
+            "--inject-width-mismatch",
+            "--out",
+            out_path.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "injected mismatch must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("width agreement gate fired"),
+        "stderr: {stderr}"
+    );
+    assert!(!out_path.exists(), "no report may be written on a mismatch");
 }
 
 #[test]

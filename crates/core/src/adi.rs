@@ -2,7 +2,7 @@
 
 use adi_netlist::fault::{FaultId, FaultList};
 use adi_netlist::CompiledCircuit;
-use adi_sim::{DetectionMatrix, EngineKind, FaultSimulator, PatternSet};
+use adi_sim::{DetectionMatrix, EngineKind, FaultSimulator, PatternSet, SimWidth};
 
 /// How `ADI(f)` is aggregated from the detection counts of the vectors in
 /// `D(f)`.
@@ -35,6 +35,10 @@ pub struct AdiConfig {
     /// default) pays the propagation cost per fanout-free region instead
     /// of per fault.
     pub engine: EngineKind,
+    /// Simulation word width of the stem-region engine (every width is
+    /// bit-identical; wider words amortize the per-block sweeps over
+    /// more patterns). The per-fault engine ignores this.
+    pub width: SimWidth,
 }
 
 /// Summary statistics for one circuit's ADI values (the paper's Table 4
@@ -82,7 +86,8 @@ impl AdiAnalysis {
         patterns: &PatternSet,
         config: AdiConfig,
     ) -> Self {
-        let sim = FaultSimulator::for_circuit_with_engine(circuit, faults, config.engine);
+        let sim = FaultSimulator::for_circuit_with_engine(circuit, faults, config.engine)
+            .with_width(config.width);
         let mut matrix = if config.threads > 1 {
             sim.no_drop_matrix_parallel(patterns, config.threads)
         } else {
@@ -371,6 +376,25 @@ mod tests {
         assert_eq!(stem.matrix(), per_fault.matrix());
         assert_eq!(stem.adi_values(), per_fault.adi_values());
         assert_eq!(stem.ndet_counts(), per_fault.ndet_counts());
+    }
+
+    #[test]
+    fn every_width_matches_the_default_analysis() {
+        let (n, faults, base) = and2_analysis();
+        let u = PatternSet::exhaustive(2);
+        for width in SimWidth::ALL {
+            let wide = AdiAnalysis::for_circuit(
+                &CompiledCircuit::compile(n.clone()),
+                &faults,
+                &u,
+                AdiConfig {
+                    width,
+                    ..AdiConfig::default()
+                },
+            );
+            assert_eq!(base.matrix(), wide.matrix(), "width {width}");
+            assert_eq!(base.adi_values(), wide.adi_values(), "width {width}");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use std::sync::{Arc, OnceLock};
 
 use crate::fault::FaultList;
-use crate::{FfrPartition, LevelizedCsr, Netlist, NetlistHash, Scoap};
+use crate::{dominator, FfrPartition, LevelizedCsr, Netlist, NetlistHash, Scoap};
 
 /// An immutable, shareable compilation of a [`Netlist`] and its derived
 /// analysis artifacts.
@@ -67,6 +67,7 @@ struct Compilation {
     full: OnceLock<FaultList>,
     scoap: OnceLock<Scoap>,
     hash: OnceLock<NetlistHash>,
+    post_dominators: OnceLock<Vec<u32>>,
 }
 
 impl CompiledCircuit {
@@ -89,6 +90,7 @@ impl CompiledCircuit {
                 full: OnceLock::new(),
                 scoap: OnceLock::new(),
                 hash: OnceLock::new(),
+                post_dominators: OnceLock::new(),
             }),
         }
     }
@@ -135,6 +137,16 @@ impl CompiledCircuit {
         self.inner
             .scoap
             .get_or_init(|| Scoap::compute(&self.inner.netlist))
+    }
+
+    /// The immediate post-dominator position of every levelized
+    /// position (computed on first access, then shared) — the cut
+    /// structure the stem-region engine's dominator-based stem merging
+    /// runs on. See [`dominator::immediate_post_dominators`].
+    pub fn post_dominators(&self) -> &[u32] {
+        self.inner
+            .post_dominators
+            .get_or_init(|| dominator::immediate_post_dominators(&self.inner.view))
     }
 
     /// The canonical content hash of the compiled netlist (computed on
@@ -197,6 +209,10 @@ y = OR(t0, t1)
         assert_eq!(c.collapsed_faults(), &FaultList::collapsed(&n));
         assert_eq!(c.full_faults(), &FaultList::full(&n));
         assert_eq!(c.scoap(), &Scoap::compute(&n));
+        assert_eq!(
+            c.post_dominators(),
+            dominator::immediate_post_dominators(c.view()).as_slice()
+        );
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Immediate post-dominators on the levelized position space.
+//!
+//! The stem-region fault-simulation engine propagates a stem's fault
+//! effect through its whole fanout cone to the primary outputs — once
+//! per stem per pattern block. But if a node `d` sits on **every** path
+//! from stem `s` to every reachable output, the walk past `d` is the
+//! same work `d`'s own observability walk performs: the stem's
+//! observability factors as `obs(s) = diff_at_d(s) & obs(d)`, where
+//! `diff_at_d` is the (much shorter) propagation from `s` to `d` only.
+//! Chains of stems then share the memoized `obs(d)` suffix instead of
+//! each re-walking it — the dominator-based stem merging of ROADMAP
+//! item 1.
+//!
+//! That cut node `d` is exactly the **immediate post-dominator** of `s`
+//! in the observable subgraph: the graph restricted to positions that
+//! reach a primary output, with an edge from every output to a virtual
+//! sink `T` (an output is observed *at* the output even when its signal
+//! also continues combinationally). [`immediate_post_dominators`]
+//! computes `ipdom` for every position with one reverse sweep of the
+//! Cooper–Harvey–Kennedy intersection algorithm — positions are
+//! topologically ordered, so on a DAG a single descending-position pass
+//! is exact (every successor is finalized before its predecessors are
+//! visited; no iteration to fixpoint is needed).
+
+use crate::LevelizedCsr;
+
+/// The virtual sink `T` every primary output feeds; also the `ipdom`
+/// value of nodes whose only common post-dominator is `T` itself (their
+/// observability walk cannot be restricted) and of nodes that reach no
+/// output at all (their observability is zero and their entry is never
+/// consumed).
+pub const POST_DOM_SINK: u32 = u32::MAX;
+
+/// Computes the immediate post-dominator position of every position of
+/// `view`, toward a virtual sink fed by every primary output.
+///
+/// For a position `p` that reaches an output, `ipdom[p]` is either the
+/// unique closest position lying on every path from `p` to an observed
+/// output, or [`POST_DOM_SINK`] when no such position exists (`p` is an
+/// output itself, or its paths only meet at `T`). Positions that reach
+/// no output get [`POST_DOM_SINK`].
+///
+/// # Examples
+///
+/// ```
+/// use adi_netlist::{bench_format, dominator, LevelizedCsr};
+///
+/// # fn main() -> Result<(), adi_netlist::NetlistError> {
+/// // a chain: every node's ipdom is the next node; the output's is T.
+/// let n = bench_format::parse(
+///     "INPUT(a)\nOUTPUT(y)\nb = NOT(a)\ny = BUF(b)\n", "chain")?;
+/// let view = LevelizedCsr::build(&n);
+/// let ipdom = dominator::immediate_post_dominators(&view);
+/// let a = view.position(n.find_node("a").unwrap());
+/// let b = view.position(n.find_node("b").unwrap());
+/// let y = view.position(n.find_node("y").unwrap());
+/// assert_eq!(ipdom[a], b as u32);
+/// assert_eq!(ipdom[b], y as u32);
+/// assert_eq!(ipdom[y], dominator::POST_DOM_SINK);
+/// # Ok(())
+/// # }
+/// ```
+pub fn immediate_post_dominators(view: &LevelizedCsr) -> Vec<u32> {
+    let n = view.num_nodes();
+    let mut ipdom = vec![POST_DOM_SINK; n];
+    // Descending position = reverse topological order: every successor
+    // in the observable subgraph (fanouts that reach an output, plus T
+    // for outputs) is finalized before `p` is visited.
+    for p in (0..n).rev() {
+        if !view.reaches_output(p) {
+            continue;
+        }
+        // `new` = the running intersection of the successors' dominator
+        // chains; NONE until the first successor seeds it.
+        const NONE: u64 = u64::MAX;
+        let mut new: u64 = NONE;
+        if view.is_output_at(p) {
+            new = u64::from(POST_DOM_SINK);
+        }
+        for &g in view.fanouts_at(p) {
+            if !view.reaches_output(g as usize) {
+                continue;
+            }
+            new = if new == NONE {
+                u64::from(g)
+            } else {
+                u64::from(intersect(&ipdom, new as u32, g))
+            };
+        }
+        debug_assert_ne!(new, NONE, "reaching node with no observable successor");
+        ipdom[p] = new as u32;
+    }
+    ipdom
+}
+
+/// Walks two dominator chains to their closest common element. Chains
+/// ascend strictly in position and terminate at [`POST_DOM_SINK`]
+/// (which compares above every position), so advancing the lower side
+/// converges.
+fn intersect(ipdom: &[u32], mut a: u32, mut b: u32) -> u32 {
+    while a != b {
+        while a != POST_DOM_SINK && (b == POST_DOM_SINK || a < b) {
+            a = ipdom[a as usize];
+        }
+        while b != POST_DOM_SINK && (a == POST_DOM_SINK || b < a) {
+            b = ipdom[b as usize];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bench_format, Netlist};
+
+    fn view(src: &str, name: &str) -> (Netlist, LevelizedCsr) {
+        let n = bench_format::parse(src, name).unwrap();
+        let v = LevelizedCsr::build(&n);
+        (n, v)
+    }
+
+    fn pos(n: &Netlist, v: &LevelizedCsr, name: &str) -> usize {
+        v.position(n.find_node(name).unwrap())
+    }
+
+    /// Naive oracle: `q` post-dominates `p` iff removing `q` cuts every
+    /// path from `p` to an observed output (a path "reaches T" when it
+    /// ends at any primary-output node). The immediate post-dominator
+    /// is the lowest-position element of the set — position order is
+    /// path order on a DAG, so the lowest is the closest.
+    fn oracle_ipdom(view: &LevelizedCsr) -> Vec<u32> {
+        let n = view.num_nodes();
+        let reaches_t = |start: usize, removed: Option<usize>| -> bool {
+            // DFS over fanouts, skipping `removed`.
+            let mut stack = vec![start];
+            let mut seen = vec![false; n];
+            while let Some(p) = stack.pop() {
+                if Some(p) == removed || seen[p] {
+                    continue;
+                }
+                seen[p] = true;
+                if view.is_output_at(p) {
+                    return true;
+                }
+                for &g in view.fanouts_at(p) {
+                    stack.push(g as usize);
+                }
+            }
+            false
+        };
+        (0..n)
+            .map(|p| {
+                if !reaches_t(p, None) {
+                    return POST_DOM_SINK;
+                }
+                if view.is_output_at(p) && view.fanouts_at(p).is_empty() {
+                    return POST_DOM_SINK;
+                }
+                (p + 1..n)
+                    .filter(|&q| {
+                        // An output node `p` still reaches T directly even
+                        // if `q` blocks its combinational continuation.
+                        !view.is_output_at(p) && !reaches_t(p, Some(q))
+                    })
+                    .map(|q| q as u32)
+                    .next()
+                    .unwrap_or(POST_DOM_SINK)
+            })
+            .collect()
+    }
+
+    fn assert_matches_oracle(src: &str, name: &str) {
+        let (_, v) = view(src, name);
+        assert_eq!(immediate_post_dominators(&v), oracle_ipdom(&v), "{name}");
+    }
+
+    #[test]
+    fn chain_dominators_are_the_next_node() {
+        let (n, v) = view(
+            "INPUT(a)\nOUTPUT(y)\nb = NOT(a)\nc = BUF(b)\ny = NOT(c)\n",
+            "chain",
+        );
+        let ipdom = immediate_post_dominators(&v);
+        assert_eq!(ipdom[pos(&n, &v, "a")], pos(&n, &v, "b") as u32);
+        assert_eq!(ipdom[pos(&n, &v, "b")], pos(&n, &v, "c") as u32);
+        assert_eq!(ipdom[pos(&n, &v, "c")], pos(&n, &v, "y") as u32);
+        assert_eq!(ipdom[pos(&n, &v, "y")], POST_DOM_SINK);
+        assert_eq!(ipdom, oracle_ipdom(&v));
+    }
+
+    #[test]
+    fn diamond_reconverges_at_the_join() {
+        // s fans out to p and q which reconverge at y: ipdom(s) = y.
+        let (n, v) = view(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ns = AND(a, b)\np = NOT(s)\nq = BUF(s)\ny = AND(p, q)\n",
+            "diamond",
+        );
+        let ipdom = immediate_post_dominators(&v);
+        let y = pos(&n, &v, "y") as u32;
+        assert_eq!(ipdom[pos(&n, &v, "s")], y);
+        assert_eq!(ipdom[pos(&n, &v, "p")], y);
+        assert_eq!(ipdom[pos(&n, &v, "q")], y);
+        assert_eq!(ipdom, oracle_ipdom(&v));
+    }
+
+    #[test]
+    fn fanout_to_two_outputs_meets_only_at_the_sink() {
+        let (n, v) = view(
+            "INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = BUF(a)\nz = NOT(a)\n",
+            "fan",
+        );
+        let ipdom = immediate_post_dominators(&v);
+        assert_eq!(ipdom[pos(&n, &v, "a")], POST_DOM_SINK);
+        assert_eq!(ipdom, oracle_ipdom(&v));
+    }
+
+    #[test]
+    fn output_with_fanout_dominates_nothing_past_itself() {
+        // g is a PO that also feeds h: g's paths to T include the direct
+        // exit at g, so ipdom(g) = T, and ipdom(a) = g.
+        let (n, v) = view(
+            "INPUT(a)\nOUTPUT(g)\nOUTPUT(h)\ng = NOT(a)\nh = BUF(g)\n",
+            "po_fan",
+        );
+        let ipdom = immediate_post_dominators(&v);
+        assert_eq!(ipdom[pos(&n, &v, "g")], POST_DOM_SINK);
+        assert_eq!(ipdom[pos(&n, &v, "a")], pos(&n, &v, "g") as u32);
+        assert_eq!(ipdom, oracle_ipdom(&v));
+    }
+
+    #[test]
+    fn dead_logic_gets_the_sink_sentinel() {
+        let (n, v) = view(
+            "INPUT(a)\nINPUT(x)\nOUTPUT(y)\ndead = NOT(x)\ny = BUF(a)\n",
+            "dead",
+        );
+        let ipdom = immediate_post_dominators(&v);
+        assert_eq!(ipdom[pos(&n, &v, "dead")], POST_DOM_SINK);
+        assert_eq!(ipdom, oracle_ipdom(&v));
+    }
+
+    #[test]
+    fn reconvergent_with_unbalanced_depths() {
+        // The two branches have different lengths; reconvergence is
+        // still the unique ipdom of the stem.
+        assert_matches_oracle(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ns = OR(a, b)\nu = NOT(s)\nv = NOT(u)\nw = BUF(s)\ny = XOR(v, w)\n",
+            "unbalanced",
+        );
+    }
+
+    #[test]
+    fn nested_diamonds_chain_their_joins() {
+        // Two diamonds in series: s1's ipdom is j1, j1's is j2's stem
+        // path, etc. Checked wholly against the oracle.
+        assert_matches_oracle(
+            "INPUT(a)\nOUTPUT(y)\n\
+             s1 = NOT(a)\np1 = NOT(s1)\nq1 = BUF(s1)\nj1 = AND(p1, q1)\n\
+             p2 = NOT(j1)\nq2 = BUF(j1)\ny = OR(p2, q2)\n",
+            "nested",
+        );
+    }
+
+    #[test]
+    fn c17_matches_oracle() {
+        assert_matches_oracle(
+            "INPUT(G1)\nINPUT(G2)\nINPUT(G3)\nINPUT(G6)\nINPUT(G7)\n\
+             OUTPUT(G22)\nOUTPUT(G23)\n\
+             G10 = NAND(G1, G3)\nG11 = NAND(G3, G6)\nG16 = NAND(G2, G11)\n\
+             G19 = NAND(G11, G7)\nG22 = NAND(G10, G16)\nG23 = NAND(G16, G19)\n",
+            "c17",
+        );
+    }
+
+    #[test]
+    fn chains_ascend_strictly() {
+        // On any circuit: following ipdom pointers strictly increases
+        // position until the sink, so chain walks terminate.
+        let (_, v) = view(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n\
+             t = XOR(a, b)\nu = AND(t, c)\nw = OR(t, u)\ny = NOT(w)\nz = BUF(u)\n",
+            "mixed",
+        );
+        let ipdom = immediate_post_dominators(&v);
+        for (p, &d) in ipdom.iter().enumerate() {
+            if d != POST_DOM_SINK {
+                assert!((d as usize) > p, "ipdom[{p}] = {d} does not ascend");
+            }
+        }
+        assert_eq!(ipdom, oracle_ipdom(&v));
+    }
+}

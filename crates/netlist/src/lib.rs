@@ -51,6 +51,7 @@ pub mod bench_format;
 mod builder;
 mod compiled;
 mod cone;
+pub mod dominator;
 mod dot;
 mod error;
 pub mod fault;

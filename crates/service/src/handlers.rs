@@ -22,8 +22,8 @@ use json::{Object, Value};
 use crate::protocol::{
     error_response, invalid_json_response, ok_response, opt_bool, opt_str, opt_u64,
     parse_adi_config, parse_engine, parse_ordering, parse_pattern_spec, parse_testgen_config,
-    parse_uset_config, pattern_to_string, require_patterns, PatternSpec, RequestError,
-    RequestResult,
+    parse_uset_config, parse_width, pattern_to_string, require_patterns, PatternSpec,
+    RequestError, RequestResult,
 };
 use crate::store::{CacheOutcome, CircuitStore, StoreConfig};
 
@@ -187,7 +187,8 @@ impl ServiceState {
         let num_inputs = circuit.netlist().num_inputs();
         let patterns = require_patterns(parse_pattern_spec(req, num_inputs)?, num_inputs)?;
         let engine = parse_engine(req)?;
-        let sim = FaultSimulator::for_circuit_with_engine(&circuit, faults, engine);
+        let sim = FaultSimulator::for_circuit_with_engine(&circuit, faults, engine)
+            .with_width(parse_width(req)?);
         let drop = sim.with_dropping(&patterns);
         let mut o = Object::new();
         o.insert("hash", circuit.content_hash().to_hex());
@@ -340,7 +341,8 @@ impl ServiceState {
             return Err(RequestError::new("`n` must be a positive integer"));
         }
         let engine = parse_engine(req)?;
-        let sim = FaultSimulator::for_circuit_with_engine(&circuit, faults, engine);
+        let sim = FaultSimulator::for_circuit_with_engine(&circuit, faults, engine)
+            .with_width(parse_width(req)?);
         let outcome = sim.n_detect(&patterns, n as u32);
         let mut o = Object::new();
         o.insert("hash", circuit.content_hash().to_hex());
@@ -485,6 +487,30 @@ mod tests {
         );
         assert_eq!(r.get("num_patterns").and_then(Value::as_u64), Some(2));
         assert_eq!(r.get("coverage").and_then(Value::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn coverage_is_width_invariant() {
+        let s = state();
+        let base = ok_result(
+            &s,
+            &format!(r#"{{"op": "coverage", "bench": "{INV}", "exhaustive": true, "width": 1}}"#),
+        );
+        for lanes in [2, 4, 8] {
+            let wide = ok_result(
+                &s,
+                &format!(
+                    r#"{{"op": "coverage", "bench": "{INV}", "exhaustive": true, "width": {lanes}}}"#
+                ),
+            );
+            assert_eq!(
+                wide.get("num_detected").and_then(Value::as_u64),
+                base.get("num_detected").and_then(Value::as_u64),
+            );
+        }
+        let bad = format!(r#"{{"op": "coverage", "bench": "{INV}", "exhaustive": true, "width": 5}}"#);
+        let v = json::parse(&s.handle_line(&bad)).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
     }
 
     #[test]

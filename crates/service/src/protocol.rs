@@ -22,7 +22,7 @@
 use adi_atpg::{DropLoopKind, FillStrategy, PodemConfig, TestGenConfig};
 use adi_core::uset::USetConfig;
 use adi_core::{AdiConfig, AdiEstimator, FaultOrdering};
-use adi_sim::{EngineKind, Pattern, PatternSet};
+use adi_sim::{EngineKind, Pattern, PatternSet, SimWidth};
 use json::{Object, Value};
 
 /// A request-level failure, reported to the client as the `error`
@@ -123,6 +123,22 @@ pub(crate) fn parse_engine(req: &Value) -> RequestResult<EngineKind> {
     }
 }
 
+/// Parses a simulation word width from `spec`'s `"width"` field
+/// (lane count: 1, 2, 4, or 8; default = process environment default).
+/// Every width is bit-identical.
+pub(crate) fn parse_width(spec: &Value) -> RequestResult<SimWidth> {
+    match spec.get("width") {
+        None => Ok(SimWidth::default()),
+        Some(v) => {
+            let lanes = v
+                .as_u64()
+                .ok_or_else(|| RequestError::new("`width` must be 1, 2, 4, or 8"))?;
+            SimWidth::from_lanes(lanes as usize)
+                .ok_or_else(|| RequestError::new("`width` must be 1, 2, 4, or 8"))
+        }
+    }
+}
+
 /// Parses a fault-ordering label (`"ordering"` field, paper spelling).
 pub(crate) fn parse_ordering(req: &Value, default: FaultOrdering) -> RequestResult<FaultOrdering> {
     let label = opt_str(req, "ordering", default.label())?;
@@ -134,8 +150,8 @@ pub(crate) fn parse_ordering(req: &Value, default: FaultOrdering) -> RequestResu
 }
 
 /// Parses the per-request ATPG configuration (`"atpg"` object:
-/// `backtrack_limit`, `fill`, `fill_seed`, `drop_loop`), defaulting to
-/// [`TestGenConfig::default`].
+/// `backtrack_limit`, `fill`, `fill_seed`, `drop_loop`, `width`,
+/// `threads`), defaulting to [`TestGenConfig::default`].
 pub(crate) fn parse_testgen_config(req: &Value) -> RequestResult<TestGenConfig> {
     let mut config = TestGenConfig::default();
     let Some(spec) = req.get("atpg") else {
@@ -171,12 +187,14 @@ pub(crate) fn parse_testgen_config(req: &Value) -> RequestResult<TestGenConfig> 
             )))
         }
     };
+    config.width = parse_width(spec)?;
+    config.threads = (opt_u64(spec, "threads", 1)? as usize).max(1);
     Ok(config)
 }
 
 /// Parses the ADI configuration (`"adi"` object: `estimator`,
-/// `n_detect_cap`, `threads`), defaulting to [`AdiConfig::default`]
-/// with the requested simulation engine.
+/// `n_detect_cap`, `threads`, `width`), defaulting to
+/// [`AdiConfig::default`] with the requested simulation engine.
 pub(crate) fn parse_adi_config(req: &Value) -> RequestResult<AdiConfig> {
     let mut config = AdiConfig {
         engine: parse_engine(req)?,
@@ -205,6 +223,7 @@ pub(crate) fn parse_adi_config(req: &Value) -> RequestResult<AdiConfig> {
         config.n_detect_cap = Some(cap as u32);
     }
     config.threads = opt_u64(spec, "threads", 0)? as usize;
+    config.width = parse_width(spec)?;
     Ok(config)
 }
 
@@ -381,6 +400,24 @@ mod tests {
         assert_eq!(cfg.drop_loop, DropLoopKind::Scalar);
         let bad = json::parse(r#"{"atpg": {"fill": "sideways"}}"#).unwrap();
         assert!(parse_testgen_config(&bad).is_err());
+    }
+
+    #[test]
+    fn width_and_threads_parse() {
+        let req = json::parse(r#"{"atpg": {"width": 4, "threads": 3}}"#).unwrap();
+        let cfg = parse_testgen_config(&req).unwrap();
+        assert_eq!(cfg.width, SimWidth::W4);
+        assert_eq!(cfg.threads, 3);
+        let adi = json::parse(r#"{"adi": {"width": 8, "threads": 2}}"#).unwrap();
+        let cfg = parse_adi_config(&adi).unwrap();
+        assert_eq!(cfg.width, SimWidth::W8);
+        assert_eq!(cfg.threads, 2);
+        let absent = json::parse("{}").unwrap();
+        assert_eq!(parse_adi_config(&absent).unwrap().width, SimWidth::default());
+        for bad in [r#"{"adi": {"width": 3}}"#, r#"{"adi": {"width": "wide"}}"#] {
+            let req = json::parse(bad).unwrap();
+            assert!(parse_adi_config(&req).is_err(), "{bad}");
+        }
     }
 
     #[test]

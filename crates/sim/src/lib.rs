@@ -18,7 +18,11 @@
 //!   instead of once per fault. Drive modes: with dropping, without
 //!   dropping (producing the [`DetectionMatrix`] that the accidental
 //!   detection index is computed from), and n-detection.
-//! * [`DropSession`] — 64-wide batching of *sequentially generated*
+//! * [`SimWord`] / [`SimWidth`] — the configurable simulation word:
+//!   every stem-region hot path is generic over the lane count
+//!   (64/128/256/512 patterns per word) and runtime-dispatched, so one
+//!   binary serves all widths bit-identically.
+//! * [`DropSession`] — wide-word batching of *sequentially generated*
 //!   tests (the ATPG drop loop) through the stem-region engine, with
 //!   drop-for-drop scalar semantics.
 //! * [`t3`] / [`t3event`] — Kleene 3-valued logic and the incremental
@@ -82,6 +86,7 @@ pub mod session;
 pub mod stem;
 pub mod t3;
 pub mod t3event;
+pub mod word;
 
 pub use coverage::CoverageCurve;
 pub use detection::DetectionMatrix;
@@ -93,3 +98,4 @@ pub use session::DropSession;
 pub use stem::StemRegionEngine;
 pub use t3::{T3, V5};
 pub use t3event::DualMachineSim;
+pub use word::{SimWord, SimWidth};

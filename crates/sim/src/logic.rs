@@ -9,6 +9,7 @@
 
 use adi_netlist::{CompiledCircuit, GateKind, LevelizedCsr, Netlist, NodeId};
 
+use crate::word::SimWord;
 use crate::PatternSet;
 
 /// Evaluates one node from already-computed fanin values.
@@ -102,6 +103,76 @@ pub fn simulate_block_csr(view: &LevelizedCsr, input_words: &[u64], out: &mut [u
         }
         let v = eval_with_pos(kind, view.fanins_at(p), |f| out[f as usize]);
         out[p] = v;
+    }
+}
+
+/// Wide counterpart of [`eval_with_pos`]: the same gate semantics over
+/// [`SimWord`] lanes. Kept as a separate monomorphized fold (rather
+/// than an abstraction both widths share) so the `u64` oracle path
+/// stays byte-for-byte what PR 2 shipped.
+#[inline]
+pub(crate) fn eval_with_pos_w<const N: usize>(
+    kind: GateKind,
+    fanins: &[u32],
+    value: impl Fn(u32) -> SimWord<N>,
+) -> SimWord<N> {
+    match kind {
+        GateKind::Input => panic!("inputs are loaded, not evaluated"),
+        GateKind::Buf => value(fanins[0]),
+        GateKind::Not => !value(fanins[0]),
+        GateKind::And => fanins.iter().fold(SimWord::ONES, |acc, &f| acc & value(f)),
+        GateKind::Nand => !fanins.iter().fold(SimWord::ONES, |acc, &f| acc & value(f)),
+        GateKind::Or => fanins.iter().fold(SimWord::ZERO, |acc, &f| acc | value(f)),
+        GateKind::Nor => !fanins.iter().fold(SimWord::ZERO, |acc, &f| acc | value(f)),
+        GateKind::Xor => fanins.iter().fold(SimWord::ZERO, |acc, &f| acc ^ value(f)),
+        GateKind::Xnor => !fanins.iter().fold(SimWord::ZERO, |acc, &f| acc ^ value(f)),
+        GateKind::Const0 => SimWord::ZERO,
+        GateKind::Const1 => SimWord::ONES,
+    }
+}
+
+/// Simulates one superblock of up to `N * 64` patterns over a
+/// [`LevelizedCsr`] view — the wide counterpart of
+/// [`simulate_block_csr`].
+///
+/// # Panics
+///
+/// Panics if `input_words.len() != view.inputs().len()` or
+/// `out.len() != view.num_nodes()`.
+pub(crate) fn simulate_superblock_csr<const N: usize>(
+    view: &LevelizedCsr,
+    input_words: &[SimWord<N>],
+    out: &mut [SimWord<N>],
+) {
+    assert_eq!(input_words.len(), view.inputs().len());
+    assert_eq!(out.len(), view.num_nodes());
+    for (i, &p) in view.inputs().iter().enumerate() {
+        out[p as usize] = input_words[i];
+    }
+    for p in 0..view.num_nodes() {
+        let kind = view.kind_at(p);
+        if kind == GateKind::Input {
+            continue;
+        }
+        let v = eval_with_pos_w(kind, view.fanins_at(p), |f| out[f as usize]);
+        out[p] = v;
+    }
+}
+
+/// Fills `input_words` with the packed superblock words of
+/// `superblock` — the wide counterpart of [`load_input_words`].
+///
+/// # Panics
+///
+/// Panics if `input_words.len() != patterns.num_inputs()`.
+pub(crate) fn load_input_words_w<const N: usize>(
+    patterns: &PatternSet,
+    superblock: usize,
+    input_words: &mut [SimWord<N>],
+) {
+    assert_eq!(input_words.len(), patterns.num_inputs());
+    for (i, w) in input_words.iter_mut().enumerate() {
+        *w = patterns.input_word_wide(i, superblock);
     }
 }
 
@@ -385,6 +456,32 @@ y = OR(t0, t1)
                     by_pos[view.position(node)],
                     "node {node} block {block}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn superblock_sweep_lanes_match_per_block_sweeps() {
+        let n = bench_format::parse(MUX, "mux").unwrap();
+        let view = LevelizedCsr::build(&n);
+        let pats = PatternSet::random(3, 300, 11); // 5 blocks: a ragged tail lane
+        let mut wide_in = vec![SimWord::<4>::ZERO; n.num_inputs()];
+        let mut wide_out = vec![SimWord::<4>::ZERO; n.num_nodes()];
+        let mut scalar_in = vec![0u64; n.num_inputs()];
+        let mut scalar_out = vec![0u64; n.num_nodes()];
+        for sb in 0..pats.num_superblocks(4) {
+            load_input_words_w(&pats, sb, &mut wide_in);
+            simulate_superblock_csr(&view, &wide_in, &mut wide_out);
+            for k in 0..4 {
+                let block = sb * 4 + k;
+                if block >= pats.num_blocks() {
+                    continue;
+                }
+                load_input_words(&pats, block, &mut scalar_in);
+                simulate_block_csr(&view, &scalar_in, &mut scalar_out);
+                for p in 0..n.num_nodes() {
+                    assert_eq!(wide_out[p].lane(k), scalar_out[p], "pos {p} lane {k}");
+                }
             }
         }
     }

@@ -5,6 +5,8 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::word::SimWord;
+
 /// A single input vector: one boolean per primary input.
 ///
 /// For circuits with at most 64 inputs a pattern has a *decimal
@@ -275,6 +277,47 @@ impl PatternSet {
         }
     }
 
+    /// Number of `N`-lane superblocks (`N * 64` patterns each) covering
+    /// the set.
+    pub fn num_superblocks(&self, lanes: usize) -> usize {
+        self.num_patterns.div_ceil(lanes * 64)
+    }
+
+    /// The packed [`SimWord`] of `input` for superblock `superblock`
+    /// (lane `k` = 64-pattern block `superblock * N + k`). Lanes past
+    /// the final block are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    #[inline]
+    pub fn input_word_wide<const N: usize>(&self, input: usize, superblock: usize) -> SimWord<N> {
+        let blocks = &self.words[input];
+        let mut w = SimWord::ZERO;
+        for k in 0..N {
+            let b = superblock * N + k;
+            if b < blocks.len() {
+                w.0[k] = blocks[b];
+            }
+        }
+        w
+    }
+
+    /// Mask of valid pattern bits within superblock `superblock`: the
+    /// wide counterpart of [`valid_mask`](Self::valid_mask), with lanes
+    /// past the final block zeroed.
+    pub fn valid_mask_wide<const N: usize>(&self, superblock: usize) -> SimWord<N> {
+        let n_blocks = self.num_blocks();
+        let mut m = SimWord::ZERO;
+        for k in 0..N {
+            let b = superblock * N + k;
+            if b < n_blocks {
+                m.0[k] = self.valid_mask(b);
+            }
+        }
+        m
+    }
+
     /// Extracts pattern `index`.
     ///
     /// # Panics
@@ -502,6 +545,37 @@ mod tests {
         let set = PatternSet::exhaustive(2);
         let values: Vec<u64> = set.iter().map(|p| p.value().unwrap()).collect();
         assert_eq!(values, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn wide_accessors_stack_blocks_in_pattern_order() {
+        let set = PatternSet::random(4, 300, 17);
+        assert_eq!(set.num_blocks(), 5);
+        assert_eq!(set.num_superblocks(1), 5);
+        assert_eq!(set.num_superblocks(2), 3);
+        assert_eq!(set.num_superblocks(4), 2);
+        assert_eq!(set.num_superblocks(8), 1);
+        for input in 0..4 {
+            let w: SimWord<4> = set.input_word_wide(input, 0);
+            for k in 0..4 {
+                assert_eq!(w.lane(k), set.input_word(input, k), "lane {k}");
+            }
+            // Second superblock: block 4 then three zero lanes.
+            let w: SimWord<4> = set.input_word_wide(input, 1);
+            assert_eq!(w.lane(0), set.input_word(input, 4));
+            assert_eq!(w.lane(1), 0);
+            assert_eq!(w.lane(3), 0);
+        }
+        let m: SimWord<4> = set.valid_mask_wide(1);
+        assert_eq!(m.lane(0), set.valid_mask(4)); // 300 % 64 = 44 bits
+        assert_eq!(m.lane(1), 0);
+        let m: SimWord<8> = set.valid_mask_wide(0);
+        for k in 0..5 {
+            assert_eq!(m.lane(k), set.valid_mask(k));
+        }
+        for k in 5..8 {
+            assert_eq!(m.lane(k), 0);
+        }
     }
 
     #[test]

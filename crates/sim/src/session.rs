@@ -8,13 +8,15 @@
 //! walk *per active fault* per test; with thousands of active faults
 //! early in a run, the cone walks dominate end-to-end ATPG time.
 //!
-//! [`DropSession`] batches the generated tests into 64-wide pattern
-//! blocks and runs the detection through the stem-region engine, while
-//! preserving the scalar loop's semantics **exactly**:
+//! [`DropSession`] batches the generated tests into wide pattern blocks
+//! (`N * 64` lanes for a [`SimWord<N>`] session; the default `N = 1`
+//! keeps the classic 64-wide block) and runs the detection through the
+//! stem-region engine, while preserving the scalar loop's semantics
+//! **exactly**:
 //!
 //! * [`DropSession::push`] appends a generated test as the next lane of
 //!   the pending block and refreshes the block's good-machine words
-//!   (one 64-wide CSR sweep — the same cost the scalar loop paid for its
+//!   (one wide CSR sweep — the same cost the scalar loop paid for its
 //!   1-wide sweep).
 //! * [`DropSession::pending_detections`] answers "which pending tests
 //!   detect this fault?" with a single per-fault cone walk over the
@@ -27,7 +29,11 @@
 //!   per region with an active fault — instead of one walk per active
 //!   fault per test) and replays the drop bookkeeping lane by lane:
 //!   each fault is credited to the *first* pending test that detects
-//!   it, in the order the scalar loop would have reported.
+//!   it, in the order the scalar loop would have reported. With
+//!   [`with_threads`](DropSession::with_threads) the flush detection is
+//!   split region-parallel across threads (disjoint faults per thread,
+//!   merged without locks) — same results, useful when wide blocks make
+//!   single flushes heavy.
 //!
 //! Detection of a fault by a pattern does not depend on which other
 //! faults have been dropped, so deferring the bookkeeping to the flush
@@ -38,14 +44,21 @@
 use adi_netlist::fault::{FaultId, FaultList};
 use adi_netlist::CompiledCircuit;
 
-use crate::faultsim::{detect_block_impl, ScratchBuf};
+use crate::faultsim::{detect_superblock_impl, WideScratchBuf};
 use crate::logic;
 use crate::stem::{StemRegionEngine, StemScratch};
+use crate::word::SimWord;
 use crate::Pattern;
 
-/// A 64-wide batched drop-simulation session for sequentially generated
+/// A wide batched drop-simulation session for sequentially generated
 /// tests, bit-identical to the scalar
 /// [`detect_pattern`](crate::FaultSimulator::detect_pattern) loop.
+///
+/// The const parameter `N` is the lane count of the session's
+/// [`SimWord`]: the pending block holds up to `N * 64` tests. The
+/// default `N = 1` is the classic 64-wide block; the batched ATPG
+/// driver instantiates the width its
+/// [`TestGenConfig`](../../adi_atpg/struct.TestGenConfig.html) asks for.
 ///
 /// # Examples
 ///
@@ -59,7 +72,7 @@ use crate::Pattern;
 /// let faults = circuit.collapsed_faults();
 /// let active: Vec<FaultId> = faults.ids().collect();
 ///
-/// let mut session = DropSession::for_circuit(&circuit, faults);
+/// let mut session: DropSession = DropSession::for_circuit(&circuit, faults);
 /// session.push(&Pattern::new(vec![true, true]));   // lane 0: detects the s-a-0 class
 /// session.push(&Pattern::new(vec![false, true]));  // lane 1: detects a/1 and y/1
 /// let per_test = session.flush(&active);
@@ -70,22 +83,24 @@ use crate::Pattern;
 /// # }
 /// ```
 #[derive(Clone, Debug)]
-pub struct DropSession<'a> {
+pub struct DropSession<'a, const N: usize = 1> {
     stem: StemRegionEngine<'a>,
     faults: &'a FaultList,
     /// Per-fault scratch for the pending-lane cone walks.
-    buf: ScratchBuf,
+    buf: WideScratchBuf<N>,
     /// Stem-region block scratch; `scratch.good` always holds the good
     /// words of the pending block.
-    scratch: StemScratch,
+    scratch: StemScratch<N>,
     /// Packed input words of the pending block, one per primary input.
-    lane_words: Vec<u64>,
+    lane_words: Vec<SimWord<N>>,
     /// Number of pending lanes (tests pushed since the last flush).
     lanes: u32,
+    /// Threads the flush detection splits across (region-parallel).
+    threads: usize,
     /// Active flags by fault id, populated transiently per flush.
     active_flags: Vec<bool>,
     /// Per-fault detection words of the current flush.
-    words: Vec<u64>,
+    words: Vec<SimWord<N>>,
     /// Sensitization path marking used by flushes: the engine's
     /// whole-fault-list marking initially, lazily rebuilt for just the
     /// still-active faults as the active set shrinks (the late-ATPG
@@ -99,7 +114,7 @@ pub struct DropSession<'a> {
     sens_covered_count: usize,
 }
 
-impl<'a> DropSession<'a> {
+impl<'a, const N: usize> DropSession<'a, N> {
     /// Creates a session for `faults` of `circuit`, reusing the
     /// compilation's levelized view and FFR decomposition.
     ///
@@ -108,7 +123,7 @@ impl<'a> DropSession<'a> {
     /// Panics if any fault references a node outside the circuit.
     pub fn for_circuit(circuit: &CompiledCircuit, faults: &'a FaultList) -> Self {
         let stem = StemRegionEngine::for_circuit(circuit, faults);
-        let buf = ScratchBuf::new(circuit.view());
+        let buf = WideScratchBuf::new(circuit.view());
         let scratch = StemScratch::new(circuit.view());
         let sens_active = stem.sens_needed().to_vec();
         DropSession {
@@ -116,14 +131,35 @@ impl<'a> DropSession<'a> {
             faults,
             buf,
             scratch,
-            lane_words: vec![0; circuit.view().inputs().len()],
+            lane_words: vec![SimWord::ZERO; circuit.view().inputs().len()],
             lanes: 0,
+            threads: 1,
             active_flags: vec![false; faults.len()],
-            words: vec![0; faults.len()],
+            words: vec![SimWord::ZERO; faults.len()],
             sens_active,
             sens_covers: vec![true; faults.len()],
             sens_covered_count: faults.len(),
         }
+    }
+
+    /// Returns the session with its flush detection split across
+    /// `threads` OS threads, region-parallel (builder style). Results
+    /// are identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread required");
+        self.threads = threads;
+        self
+    }
+
+    /// Lane capacity of the pending block (`N * 64`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        N * 64
     }
 
     /// Number of tests pushed since the last flush.
@@ -132,45 +168,45 @@ impl<'a> DropSession<'a> {
         self.lanes as usize
     }
 
-    /// Returns `true` once 64 tests are pending; the next
-    /// [`push`](Self::push) requires a [`flush`](Self::flush) first.
+    /// Returns `true` once [`capacity`](Self::capacity) tests are
+    /// pending; the next [`push`](Self::push) requires a
+    /// [`flush`](Self::flush) first.
     #[inline]
     pub fn is_full(&self) -> bool {
-        self.lanes == 64
+        self.lanes as usize == N * 64
     }
 
     #[inline]
-    fn lane_mask(&self) -> u64 {
-        if self.lanes == 64 {
-            !0
-        } else {
-            (1u64 << self.lanes) - 1
-        }
+    fn lane_mask(&self) -> SimWord<N> {
+        SimWord::low_mask(self.lanes as usize)
     }
 
     /// Appends `pattern` as the next lane of the pending block and
-    /// refreshes the block's good-machine words (one 64-wide CSR sweep).
+    /// refreshes the block's good-machine words (one wide CSR sweep).
     ///
     /// # Panics
     ///
     /// Panics if the block is full or the pattern width does not match
     /// the circuit.
     pub fn push(&mut self, pattern: &Pattern) {
-        assert!(self.lanes < 64, "pending block full: flush before pushing");
+        assert!(
+            (self.lanes as usize) < N * 64,
+            "pending block full: flush before pushing"
+        );
         let view = self.stem.view();
         assert_eq!(
             pattern.len(),
             view.inputs().len(),
             "pattern width does not match circuit input count"
         );
-        let bit = 1u64 << self.lanes;
+        let lane = self.lanes as usize;
         for (i, v) in pattern.iter().enumerate() {
             if v {
-                self.lane_words[i] |= bit;
+                self.lane_words[i].set_bit(lane);
             }
         }
         self.lanes += 1;
-        logic::simulate_block_csr(view, &self.lane_words, &mut self.scratch.good);
+        logic::simulate_superblock_csr(view, &self.lane_words, &mut self.scratch.good);
     }
 
     /// The word of pending lanes that detect `fault` (bit `j` set iff
@@ -180,12 +216,12 @@ impl<'a> DropSession<'a> {
     /// The ATPG driver calls this before targeting a fault: a non-zero
     /// word means a pending test already covers it, exactly as the
     /// scalar loop's per-test dropping would have.
-    pub fn pending_detections(&mut self, fault: FaultId) -> u64 {
+    pub fn pending_detections(&mut self, fault: FaultId) -> SimWord<N> {
         if self.lanes == 0 {
-            return 0;
+            return SimWord::ZERO;
         }
         let mask = self.lane_mask();
-        detect_block_impl(
+        detect_superblock_impl(
             self.stem.view(),
             &self.scratch.good,
             self.faults.fault(fault),
@@ -217,29 +253,74 @@ impl<'a> DropSession<'a> {
             active_flags,
             words,
             sens_active,
+            threads,
             ..
         } = self;
         for &id in active {
             active_flags[id.index()] = true;
         }
-        words.fill(0);
-        stem.prepare_block_with(scratch, sens_active);
-        stem.for_each_detection(mask, scratch, Some(active_flags), |fault, word| {
-            words[fault as usize] = word;
-        });
+        words.fill(SimWord::ZERO);
+        let threads = (*threads).min(stem.num_fault_regions());
+        if threads > 1 {
+            // Region-parallel flush: disjoint group ranges per thread
+            // read the shared good words of the pending block; the
+            // (fault, word) hits are merged serially (disjoint faults,
+            // so order within a thread's bucket is irrelevant).
+            let good: &[SimWord<N>] = &scratch.good;
+            let bounds = stem.balance_group_ranges(threads);
+            let flags: &[bool] = active_flags;
+            let marking: &[bool] = sens_active;
+            let stem_ref: &StemRegionEngine<'_> = stem;
+            let mut buckets: Vec<Vec<(u32, SimWord<N>)>> = Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for t in 0..threads {
+                    let (g0, g1) = (bounds[t], bounds[t + 1]);
+                    if g0 >= g1 {
+                        continue;
+                    }
+                    handles.push(scope.spawn(move || {
+                        let mut out = Vec::new();
+                        stem_ref.detect_range_shared_good(
+                            g0,
+                            g1,
+                            mask,
+                            good,
+                            marking,
+                            Some(flags),
+                            &mut out,
+                        );
+                        out
+                    }));
+                }
+                for h in handles {
+                    buckets.push(h.join().expect("flush worker panicked"));
+                }
+            });
+            for bucket in buckets {
+                for (fault, word) in bucket {
+                    words[fault as usize] = word;
+                }
+            }
+        } else {
+            stem.prepare_block_with(scratch, sens_active);
+            stem.for_each_detection(mask, scratch, Some(active_flags), |fault, word| {
+                words[fault as usize] = word;
+            });
+        }
         for &id in active {
             active_flags[id.index()] = false;
         }
 
         for &id in active {
             let w = self.words[id.index()];
-            if w != 0 {
-                per_lane[w.trailing_zeros() as usize].push(id);
+            if !w.is_zero() {
+                per_lane[w.first_set_bit() as usize].push(id);
             }
         }
 
         self.lanes = 0;
-        self.lane_words.fill(0);
+        self.lane_words.fill(SimWord::ZERO);
         per_lane
     }
 
@@ -311,14 +392,16 @@ G23 = NAND(G16, G19)
         out
     }
 
-    #[test]
-    fn flush_matches_scalar_loop_exactly() {
-        let circuit = c17();
-        let faults = circuit.full_faults();
-        let patterns = PatternSet::random(5, 150, 42);
-        let expected = scalar_drop_lists(&circuit, faults, &patterns);
-
-        let mut session = DropSession::for_circuit(&circuit, faults);
+    /// Drives a session over the whole pattern set with flush-when-full,
+    /// returning the concatenated per-test drop lists.
+    fn session_drop_lists<const N: usize>(
+        circuit: &CompiledCircuit,
+        faults: &FaultList,
+        patterns: &PatternSet,
+        threads: usize,
+    ) -> Vec<Vec<FaultId>> {
+        let mut session =
+            DropSession::<N>::for_circuit(circuit, faults).with_threads(threads);
         let mut active: Vec<FaultId> = faults.ids().collect();
         let mut got: Vec<Vec<FaultId>> = Vec::new();
         for p in 0..patterns.len() {
@@ -331,9 +414,33 @@ G23 = NAND(G16, G19)
                 got.extend(lists);
             }
         }
-        let lists = session.flush(&active);
-        got.extend(lists);
-        assert_eq!(got, expected);
+        got.extend(session.flush(&active));
+        got
+    }
+
+    #[test]
+    fn flush_matches_scalar_loop_exactly() {
+        let circuit = c17();
+        let faults = circuit.full_faults();
+        let patterns = PatternSet::random(5, 150, 42);
+        let expected = scalar_drop_lists(&circuit, faults, &patterns);
+        assert_eq!(session_drop_lists::<1>(&circuit, faults, &patterns, 1), expected);
+    }
+
+    #[test]
+    fn wide_and_threaded_sessions_match_scalar_loop() {
+        // 150 patterns: the 4-lane session flushes one full 256-lane
+        // block never, the 2-lane one once — exercising partial blocks
+        // at every width, with and without region-parallel flushes.
+        let circuit = c17();
+        let faults = circuit.full_faults();
+        let patterns = PatternSet::random(5, 150, 42);
+        let expected = scalar_drop_lists(&circuit, faults, &patterns);
+        assert_eq!(session_drop_lists::<2>(&circuit, faults, &patterns, 1), expected);
+        assert_eq!(session_drop_lists::<4>(&circuit, faults, &patterns, 1), expected);
+        assert_eq!(session_drop_lists::<8>(&circuit, faults, &patterns, 1), expected);
+        assert_eq!(session_drop_lists::<1>(&circuit, faults, &patterns, 4), expected);
+        assert_eq!(session_drop_lists::<4>(&circuit, faults, &patterns, 4), expected);
     }
 
     #[test]
@@ -345,7 +452,7 @@ G23 = NAND(G16, G19)
         let mut scratch = crate::faultsim::SimScratch::for_circuit(&circuit);
         let all: Vec<FaultId> = faults.ids().collect();
 
-        let mut session = DropSession::for_circuit(&circuit, faults);
+        let mut session: DropSession = DropSession::for_circuit(&circuit, faults);
         for p in 0..8 {
             session.push(&patterns.get(p));
         }
@@ -355,7 +462,34 @@ G23 = NAND(G16, G19)
                 let scalar = sim
                     .detect_pattern(&patterns.get(p), &[id], &mut scratch)
                     .contains(&id);
-                assert_eq!(word >> p & 1 == 1, scalar, "fault {id} lane {p}");
+                assert_eq!(word.bit(p), scalar, "fault {id} lane {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_pending_detections_cross_lane_boundaries() {
+        // Push past lane 64 of a 2-lane session so pending detections
+        // must read the second u64 lane.
+        let circuit = c17();
+        let faults = circuit.collapsed_faults();
+        let patterns = PatternSet::random(5, 100, 17);
+        let sim = FaultSimulator::for_circuit(&circuit, faults);
+        let mut scratch = crate::faultsim::SimScratch::for_circuit(&circuit);
+
+        let mut session = DropSession::<2>::for_circuit(&circuit, faults);
+        for p in 0..100 {
+            session.push(&patterns.get(p));
+        }
+        assert_eq!(session.pending(), 100);
+        assert_eq!(session.capacity(), 128);
+        for id in faults.ids() {
+            let word = session.pending_detections(id);
+            for p in [0usize, 63, 64, 65, 99] {
+                let scalar = sim
+                    .detect_pattern(&patterns.get(p), &[id], &mut scratch)
+                    .contains(&id);
+                assert_eq!(word.bit(p), scalar, "fault {id} lane {p}");
             }
         }
     }
@@ -364,11 +498,11 @@ G23 = NAND(G16, G19)
     fn empty_flush_is_a_noop() {
         let circuit = c17();
         let faults = circuit.collapsed_faults();
-        let mut session = DropSession::for_circuit(&circuit, faults);
+        let mut session: DropSession = DropSession::for_circuit(&circuit, faults);
         let active: Vec<FaultId> = faults.ids().collect();
         assert_eq!(session.pending(), 0);
         assert!(session.flush(&active).is_empty());
-        assert_eq!(session.pending_detections(active[0]), 0);
+        assert!(session.pending_detections(active[0]).is_zero());
     }
 
     #[test]
@@ -376,7 +510,7 @@ G23 = NAND(G16, G19)
         let circuit = c17();
         let faults = circuit.collapsed_faults();
         let patterns = PatternSet::random(5, 64, 7);
-        let mut session = DropSession::for_circuit(&circuit, faults);
+        let mut session: DropSession = DropSession::for_circuit(&circuit, faults);
         for p in 0..64 {
             session.push(&patterns.get(p));
         }
@@ -397,7 +531,7 @@ G23 = NAND(G16, G19)
         let patterns = PatternSet::random(5, 200, 11);
         let expected = scalar_drop_lists(&circuit, faults, &patterns);
 
-        let mut session = DropSession::for_circuit(&circuit, faults);
+        let mut session: DropSession = DropSession::for_circuit(&circuit, faults);
         let mut active: Vec<FaultId> = faults.ids().collect();
         let mut got: Vec<Vec<FaultId>> = Vec::new();
         for p in 0..patterns.len() {
@@ -428,7 +562,7 @@ G23 = NAND(G16, G19)
         let all: Vec<FaultId> = faults.ids().collect();
         let few: Vec<FaultId> = faults.ids().take(2).collect();
 
-        let mut session = DropSession::for_circuit(&circuit, faults);
+        let mut session: DropSession = DropSession::for_circuit(&circuit, faults);
         session.push(&patterns.get(3));
         let _ = session.flush(&few); // shrink the marking
         session.push(&patterns.get(3));
@@ -445,7 +579,7 @@ G23 = NAND(G16, G19)
     fn width_mismatch_panics() {
         let circuit = c17();
         let faults = circuit.collapsed_faults();
-        let mut session = DropSession::for_circuit(&circuit, faults);
+        let mut session: DropSession = DropSession::for_circuit(&circuit, faults);
         session.push(&Pattern::new(vec![true]));
     }
 }

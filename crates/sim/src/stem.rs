@@ -1,4 +1,4 @@
-//! Two-level stem-region fault simulation.
+//! Two-level stem-region fault simulation on configurable-width words.
 //!
 //! The per-fault PPSFP engine pays one event-driven cone propagation *per
 //! fault* per 64-pattern block. This module collapses that to one
@@ -20,22 +20,47 @@
 //!    stem's observability word `obs(stem)`; every fault in the region is
 //!    then detected exactly on `stem_diff(f) & obs(stem)`.
 //!
-//! The combination is bit-identical to per-fault simulation (asserted by
-//! differential tests against both the per-fault engine and a scalar
-//! brute-force oracle) while the expensive cone walk is paid once per
-//! stem with a non-zero difference word — an asymptotic win since FFRs
-//! average several faults each.
+//! Three further multipliers sit on top of the two-level scheme:
+//!
+//! * **Wide words.** Every per-superblock kernel is generic over
+//!   [`SimWord<N>`] (`N` ∈ {1, 2, 4, 8} lanes, selected at runtime by
+//!   [`SimWidth`] — see the [`word`](crate::word) module for the
+//!   dispatch strategy). A superblock is `N` consecutive 64-pattern
+//!   blocks, so one sensitization sweep and one observability walk
+//!   serve `N * 64` patterns.
+//! * **Dominator-based stem merging.** When a node `d` lies on every
+//!   path from stem `s` to the outputs (its immediate post-dominator,
+//!   precomputed on the [`CompiledCircuit`]), the engine propagates the
+//!   flipped stem only as far as `d` and composes
+//!   `obs(s) = diff_at_d(s) & obs(d)` — stem chains share the memoized
+//!   `obs(d)` suffix instead of each re-walking the whole cone.
+//! * **Two-dimensional parallelism.** The block-parallel split carves
+//!   the superblock range across threads (best when there are plenty of
+//!   blocks); the region-parallel split carves the *stem-region groups*
+//!   across threads, each writing a disjoint set of matrix rows merged
+//!   without locks (best for few-block, small-`U` workloads — the
+//!   paper's actual experiment shape).
+//!   [`no_drop_matrix_parallel`](StemRegionEngine::no_drop_matrix_parallel)
+//!   picks automatically; both variants are also exposed directly.
+//!
+//! The combination is bit-identical to per-fault simulation at every
+//! width and thread count (asserted by differential tests against both
+//! the per-fault engine and a scalar brute-force oracle) while the
+//! expensive cone walk is paid once per stem with a non-zero difference
+//! word — an asymptotic win since FFRs average several faults each.
 //!
 //! Everything runs in [`LevelizedCsr`] position space: the forward good
 //! sweep, the reverse sensitization sweep, and the observability
 //! propagation (which uses the position itself as its event priority)
 //! all touch contiguous arrays in evaluation order.
 
+use adi_netlist::dominator::POST_DOM_SINK;
 use adi_netlist::fault::{FaultId, FaultList, FaultSite};
 use adi_netlist::{CompiledCircuit, GateKind, LevelizedCsr};
 
 use crate::faultsim::{DropOutcome, NDetectOutcome};
-use crate::logic::{self, eval_with_pos};
+use crate::logic::{self, eval_with_pos_w};
+use crate::word::{SimWord, SimWidth};
 use crate::{DetectionMatrix, PatternSet};
 
 /// A fault site resolved into CSR position space.
@@ -51,7 +76,8 @@ enum PosSite {
 #[derive(Clone, Copy, Debug)]
 struct FaultInfo {
     site: PosSite,
-    /// The stuck value as a word (`!0` for s-a-1, `0` for s-a-0).
+    /// The stuck value as a word (`!0` for s-a-1, `0` for s-a-0),
+    /// splatted across lanes at injection.
     stuck_word: u64,
 }
 
@@ -62,20 +88,24 @@ struct FaultInfo {
 /// call when driving [`EngineKind::StemRegion`](crate::EngineKind); hold
 /// an instance directly to amortize the per-fault-list setup over many
 /// pattern sets. The per-circuit artifacts (levelized view, FFR
-/// decomposition) come from the [`CompiledCircuit`] and are shared, not
-/// rebuilt.
+/// decomposition, post-dominators) come from the [`CompiledCircuit`]
+/// and are shared, not rebuilt.
+///
+/// The engine carries a [`SimWidth`] (default: the process-wide
+/// environment default) selecting the lane count of every simulation;
+/// all widths produce bit-identical results.
 ///
 /// # Examples
 ///
 /// ```
 /// use adi_netlist::{bench_format, CompiledCircuit};
-/// use adi_sim::{stem::StemRegionEngine, PatternSet};
+/// use adi_sim::{stem::StemRegionEngine, PatternSet, SimWidth};
 ///
 /// # fn main() -> Result<(), adi_netlist::NetlistError> {
 /// let n = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
 /// let circuit = CompiledCircuit::compile(n);
 /// let faults = circuit.collapsed_faults();
-/// let engine = StemRegionEngine::for_circuit(&circuit, faults);
+/// let engine = StemRegionEngine::for_circuit(&circuit, faults).with_width(SimWidth::W4);
 /// let matrix = engine.no_drop_matrix(&PatternSet::exhaustive(2));
 /// assert_eq!(matrix.num_detected_faults(), faults.len());
 /// # Ok(())
@@ -102,61 +132,84 @@ pub struct StemRegionEngine<'a> {
     group_index: Vec<u32>,
     /// Fault ids grouped by FFR root, ascending fault id within a group.
     group_faults: Vec<u32>,
+    /// Simulation word width every drive mode runs at.
+    width: SimWidth,
+    /// Dominator-based stem merging (on by default; the off switch
+    /// exists for differential testing of the merged observability).
+    merge_stems: bool,
 }
 
-/// Reusable per-block buffers for the stem-region engine.
+/// Reusable per-superblock buffers for the stem-region engine, generic
+/// over the lane count.
 #[derive(Clone, Debug)]
-pub(crate) struct StemScratch {
+pub(crate) struct StemScratch<const N: usize> {
     /// Good-machine words by position.
-    pub(crate) good: Vec<u64>,
+    pub(crate) good: Vec<SimWord<N>>,
     /// Sensitization-to-root words by position.
-    sens: Vec<u64>,
-    /// Packed input words for the current block.
-    input_words: Vec<u64>,
+    sens: Vec<SimWord<N>>,
+    /// Packed input words for the current superblock.
+    input_words: Vec<SimWord<N>>,
     /// Observability propagation state (shared across roots via stamps).
-    obs: ObsScratch,
+    obs: ObsScratch<N>,
 }
 
 #[derive(Clone, Debug)]
-struct ObsScratch {
-    faulty: Vec<u64>,
+struct ObsScratch<const N: usize> {
+    faulty: Vec<SimWord<N>>,
     stamp: Vec<u32>,
     queued: Vec<u32>,
     version: u32,
     /// Level-bucket frontier: positions are level-sorted, so draining
     /// buckets in level order is a correct (and heap-free) event queue.
     frontier: Vec<Vec<u32>>,
-    /// Memoized `obs(root)` values for the current block.
-    memo: Vec<u64>,
+    /// Memoized `obs(position)` values for the current superblock
+    /// (roots and their dominator-chain ancestors).
+    memo: Vec<SimWord<N>>,
     memo_stamp: Vec<u32>,
     memo_version: u32,
+    /// Reusable dominator-chain buffer for the iterative memo fill.
+    chain: Vec<u32>,
 }
 
-impl StemScratch {
+impl<const N: usize> StemScratch<N> {
     pub(crate) fn new(view: &LevelizedCsr) -> Self {
         let n = view.num_nodes();
         StemScratch {
-            good: vec![0; n],
-            sens: vec![0; n],
-            input_words: vec![0; view.inputs().len()],
+            good: vec![SimWord::ZERO; n],
+            sens: vec![SimWord::ZERO; n],
+            input_words: vec![SimWord::ZERO; view.inputs().len()],
             obs: ObsScratch {
-                faulty: vec![0; n],
+                faulty: vec![SimWord::ZERO; n],
                 stamp: vec![0; n],
                 queued: vec![0; n],
                 version: 0,
                 frontier: vec![Vec::new(); view.num_levels()],
-                memo: vec![0; n],
+                memo: vec![SimWord::ZERO; n],
                 memo_stamp: vec![0; n],
                 memo_version: 0,
+                chain: Vec::new(),
             },
+        }
+    }
+}
+
+impl<const N: usize> ObsScratch<N> {
+    /// Starts a fresh memo generation (all memoized observabilities of
+    /// the previous superblock become stale).
+    fn advance_memo(&mut self) {
+        self.memo_version = self.memo_version.wrapping_add(1);
+        if self.memo_version == 0 {
+            self.memo_stamp.fill(0);
+            self.memo_version = 1;
         }
     }
 }
 
 impl<'a> StemRegionEngine<'a> {
     /// Builds the engine for `circuit`: per-fault injection info and the
-    /// fault-per-region grouping. The levelized view and the FFR
-    /// decomposition are shared from the compilation, not rebuilt.
+    /// fault-per-region grouping. The levelized view, the FFR
+    /// decomposition, and the post-dominators are shared from the
+    /// compilation, not rebuilt.
     ///
     /// # Panics
     ///
@@ -166,6 +219,9 @@ impl<'a> StemRegionEngine<'a> {
         let view = circuit.view();
         let ffr = circuit.ffr();
         let n = netlist.num_nodes();
+        // Materialize the shared post-dominators now so the hot loops
+        // (possibly on several threads) never race the lazy init.
+        let _ = circuit.post_dominators();
 
         let mut is_root = vec![false; n];
         for id in netlist.node_ids() {
@@ -233,7 +289,6 @@ impl<'a> StemRegionEngine<'a> {
             }
         }
 
-
         // Group faults by root position (the sort is stable, so fault
         // ids stay ascending within each group).
         let mut order: Vec<u32> = (0..faults.len() as u32).collect();
@@ -261,7 +316,33 @@ impl<'a> StemRegionEngine<'a> {
             group_roots,
             group_index,
             group_faults,
+            width: SimWidth::default(),
+            merge_stems: true,
         }
+    }
+
+    /// Returns the engine with its simulation word width set to `width`
+    /// (builder style). All widths are bit-identical; wider words
+    /// amortize the per-superblock sweeps and walks over more patterns.
+    #[must_use]
+    pub fn with_width(mut self, width: SimWidth) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// The simulation word width every drive mode runs at.
+    pub fn width(&self) -> SimWidth {
+        self.width
+    }
+
+    /// Enables or disables dominator-based stem merging (builder
+    /// style). Merging is on by default and bit-identical to the full
+    /// cone walk; the switch exists so differential tests can pin
+    /// merged observability against unmerged.
+    #[must_use]
+    pub fn with_stem_merging(mut self, merge: bool) -> Self {
+        self.merge_stems = merge;
+        self
     }
 
     /// The levelized view the engine runs on.
@@ -275,28 +356,42 @@ impl<'a> StemRegionEngine<'a> {
     }
 
     /// Simulates every fault under every pattern **without dropping**,
-    /// bit-identical to the per-fault engine's matrix.
+    /// bit-identical to the per-fault engine's matrix at every width.
     ///
     /// # Panics
     ///
     /// Panics if the pattern width does not match the circuit.
     pub fn no_drop_matrix(&self, patterns: &PatternSet) -> DetectionMatrix {
+        match self.width {
+            SimWidth::W1 => self.no_drop_matrix_w::<1>(patterns),
+            SimWidth::W2 => self.no_drop_matrix_w::<2>(patterns),
+            SimWidth::W4 => self.no_drop_matrix_w::<4>(patterns),
+            SimWidth::W8 => self.no_drop_matrix_w::<8>(patterns),
+        }
+    }
+
+    fn no_drop_matrix_w<const N: usize>(&self, patterns: &PatternSet) -> DetectionMatrix {
         self.assert_width(patterns);
         let mut matrix = DetectionMatrix::new(self.faults.len(), patterns.len());
-        let mut scratch = StemScratch::new(self.view());
-        for block in 0..patterns.num_blocks() {
-            self.sim_block(patterns, block, &mut scratch);
-            let mask = patterns.valid_mask(block);
+        let mut scratch = StemScratch::<N>::new(self.view());
+        for sb in 0..patterns.num_superblocks(N) {
+            self.sim_superblock(patterns, sb, &mut scratch);
+            let mask = patterns.valid_mask_wide::<N>(sb);
             self.for_each_detection(mask, &mut scratch, None, |fault, word| {
-                matrix.or_word(FaultId::new(fault as usize), block, word);
+                or_word_wide(&mut matrix, fault, sb, word);
             });
         }
         matrix
     }
 
-    /// Like [`no_drop_matrix`](Self::no_drop_matrix) but splits the
-    /// pattern blocks across `threads` OS threads. The result is
-    /// identical to the serial version.
+    /// Like [`no_drop_matrix`](Self::no_drop_matrix) but parallel in
+    /// two dimensions: when the pattern set has at least one superblock
+    /// per thread the superblock range is split
+    /// ([`no_drop_matrix_block_parallel`](Self::no_drop_matrix_block_parallel));
+    /// otherwise — the few-block, small-`U` shape — the stem-region
+    /// groups are split
+    /// ([`no_drop_matrix_region_parallel`](Self::no_drop_matrix_region_parallel)).
+    /// The result is identical to the serial version either way.
     ///
     /// # Panics
     ///
@@ -308,32 +403,70 @@ impl<'a> StemRegionEngine<'a> {
     ) -> DetectionMatrix {
         assert!(threads > 0, "at least one thread required");
         self.assert_width(patterns);
-        let n_blocks = patterns.num_blocks();
-        let threads = threads.min(n_blocks.max(1));
-        if threads <= 1 {
+        if threads == 1 {
             return self.no_drop_matrix(patterns);
         }
+        let n_superblocks = patterns.num_superblocks(self.width.lanes());
+        if n_superblocks >= threads {
+            self.no_drop_matrix_block_parallel(patterns, threads)
+        } else {
+            self.no_drop_matrix_region_parallel(patterns, threads)
+        }
+    }
+
+    /// The block-parallel split: each thread simulates a contiguous
+    /// superblock range into a fault-major stripe, scattered into the
+    /// matrix afterwards. Identical to the serial result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or the pattern width does not match.
+    pub fn no_drop_matrix_block_parallel(
+        &self,
+        patterns: &PatternSet,
+        threads: usize,
+    ) -> DetectionMatrix {
+        assert!(threads > 0, "at least one thread required");
+        match self.width {
+            SimWidth::W1 => self.block_parallel_w::<1>(patterns, threads),
+            SimWidth::W2 => self.block_parallel_w::<2>(patterns, threads),
+            SimWidth::W4 => self.block_parallel_w::<4>(patterns, threads),
+            SimWidth::W8 => self.block_parallel_w::<8>(patterns, threads),
+        }
+    }
+
+    fn block_parallel_w<const N: usize>(
+        &self,
+        patterns: &PatternSet,
+        threads: usize,
+    ) -> DetectionMatrix {
+        self.assert_width(patterns);
+        let n_superblocks = patterns.num_superblocks(N);
+        let threads = threads.min(n_superblocks.max(1));
+        if threads <= 1 {
+            return self.no_drop_matrix_w::<N>(patterns);
+        }
         let n_faults = self.faults.len();
-        let chunk = n_blocks.div_ceil(threads);
-        // Each thread fills a fault-major stripe over its block range;
-        // stripes are scattered into the matrix afterwards.
-        let mut stripes: Vec<(usize, Vec<u64>)> = Vec::with_capacity(threads);
+        let chunk = n_superblocks.div_ceil(threads);
+        // Each thread fills a fault-major stripe over its superblock
+        // range; stripes are scattered into the matrix afterwards.
+        let mut stripes: Vec<(usize, Vec<SimWord<N>>)> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads {
                 let b0 = t * chunk;
-                let b1 = ((t + 1) * chunk).min(n_blocks);
+                let b1 = ((t + 1) * chunk).min(n_superblocks);
                 if b0 >= b1 {
                     break;
                 }
                 handles.push(scope.spawn(move || {
                     let len = b1 - b0;
-                    let mut local = vec![0u64; n_faults * len];
-                    let mut scratch = StemScratch::new(self.view());
-                    for block in b0..b1 {
-                        self.sim_block(patterns, block, &mut scratch);
-                        let mask = patterns.valid_mask(block);
-                        let off = block - b0;
+                    let mut local = vec![SimWord::<N>::ZERO; n_faults * len];
+                    let mut scratch = StemScratch::<N>::new(self.view());
+                    for sb in b0..b1 {
+                        self.sim_superblock(patterns, sb, &mut scratch);
+                        let mask = patterns.valid_mask_wide::<N>(sb);
+                        let off = sb - b0;
                         self.for_each_detection(mask, &mut scratch, None, |fault, word| {
                             local[fault as usize * len + off] |= word;
                         });
@@ -351,8 +484,8 @@ impl<'a> StemRegionEngine<'a> {
             for f in 0..n_faults {
                 for off in 0..len {
                     let w = local[f * len + off];
-                    if w != 0 {
-                        matrix.or_word(FaultId::new(f), b0 + off, w);
+                    if !w.is_zero() {
+                        or_word_wide(&mut matrix, f as u32, b0 + off, w);
                     }
                 }
             }
@@ -360,23 +493,169 @@ impl<'a> StemRegionEngine<'a> {
         matrix
     }
 
+    /// The region-parallel split: the good machine is computed once
+    /// (superblock ranges split across threads), then each thread
+    /// detects a contiguous range of stem-region groups — a disjoint
+    /// set of matrix rows, so the stripes merge without locks. This is
+    /// the split that scales when the pattern set has fewer superblocks
+    /// than threads. Identical to the serial result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or the pattern width does not match.
+    pub fn no_drop_matrix_region_parallel(
+        &self,
+        patterns: &PatternSet,
+        threads: usize,
+    ) -> DetectionMatrix {
+        assert!(threads > 0, "at least one thread required");
+        match self.width {
+            SimWidth::W1 => self.region_parallel_w::<1>(patterns, threads),
+            SimWidth::W2 => self.region_parallel_w::<2>(patterns, threads),
+            SimWidth::W4 => self.region_parallel_w::<4>(patterns, threads),
+            SimWidth::W8 => self.region_parallel_w::<8>(patterns, threads),
+        }
+    }
+
+    fn region_parallel_w<const N: usize>(
+        &self,
+        patterns: &PatternSet,
+        threads: usize,
+    ) -> DetectionMatrix {
+        self.assert_width(patterns);
+        let n_superblocks = patterns.num_superblocks(N);
+        let n_groups = self.group_roots.len();
+        let threads = threads.min(n_groups.max(1));
+        if threads <= 1 || n_superblocks == 0 {
+            return self.no_drop_matrix_w::<N>(patterns);
+        }
+        let n_pos = self.view().num_nodes();
+        let n_faults = self.faults.len();
+
+        // Phase 1: the shared good machine, superblock-major. The
+        // superblock ranges are disjoint slices, so this phase is
+        // embarrassingly parallel too.
+        let mut good_all = vec![SimWord::<N>::ZERO; n_pos * n_superblocks];
+        let sb_chunk = n_superblocks.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, chunk) in good_all.chunks_mut(n_pos * sb_chunk).enumerate() {
+                scope.spawn(move || {
+                    let mut input_words = vec![SimWord::<N>::ZERO; self.view().inputs().len()];
+                    for (off, out) in chunk.chunks_mut(n_pos).enumerate() {
+                        let sb = ci * sb_chunk + off;
+                        logic::load_input_words_w(patterns, sb, &mut input_words);
+                        logic::simulate_superblock_csr(self.view(), &input_words, out);
+                    }
+                });
+            }
+        });
+
+        // Phase 2: contiguous group ranges (balanced by fault count) per
+        // thread; each thread's faults are disjoint matrix rows.
+        let bounds = self.balance_group_ranges(threads);
+        let good_ref: &[SimWord<N>] = &good_all;
+        let mut stripes: Vec<(usize, Vec<SimWord<N>>)> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let (g0, g1) = (bounds[t], bounds[t + 1]);
+                if g0 >= g1 {
+                    continue;
+                }
+                handles.push(scope.spawn(move || {
+                    let f_lo = self.group_index[g0] as usize;
+                    let f_hi = self.group_index[g1] as usize;
+                    let n_local = f_hi - f_lo;
+                    let mut local = vec![SimWord::<N>::ZERO; n_local * n_superblocks];
+                    // Rank of each owned fault inside the local stripe.
+                    let mut rank = vec![0u32; n_faults];
+                    for (k, &f) in self.group_faults[f_lo..f_hi].iter().enumerate() {
+                        rank[f as usize] = k as u32;
+                    }
+                    // Sensitization marking restricted to the owned
+                    // faults: the reverse sweep skips every other region.
+                    let ids: Vec<FaultId> = self.group_faults[f_lo..f_hi]
+                        .iter()
+                        .map(|&f| FaultId::new(f as usize))
+                        .collect();
+                    let mut marking = Vec::new();
+                    self.mark_sens_needed(&ids, &mut marking);
+                    let mut scratch = StemScratch::<N>::new(self.view());
+                    for sb in 0..n_superblocks {
+                        let good = &good_ref[sb * n_pos..(sb + 1) * n_pos];
+                        self.prepare_sens(good, &mut scratch.sens, &marking);
+                        scratch.obs.advance_memo();
+                        let mask = patterns.valid_mask_wide::<N>(sb);
+                        let StemScratch { sens, obs, .. } = &mut scratch;
+                        self.detect_groups(g0, g1, mask, good, sens, obs, None, &mut |f, det| {
+                            local[rank[f as usize] as usize * n_superblocks + sb] = det;
+                        });
+                    }
+                    (f_lo, local)
+                }));
+            }
+            for h in handles {
+                stripes.push(h.join().expect("stem region worker panicked"));
+            }
+        });
+        let mut matrix = DetectionMatrix::new(n_faults, patterns.len());
+        for (f_lo, local) in stripes {
+            let n_local = local.len() / n_superblocks;
+            for k in 0..n_local {
+                let fault = self.group_faults[f_lo + k];
+                for sb in 0..n_superblocks {
+                    let w = local[k * n_superblocks + sb];
+                    if !w.is_zero() {
+                        or_word_wide(&mut matrix, fault, sb, w);
+                    }
+                }
+            }
+        }
+        matrix
+    }
+
+    /// Splits the group range into `threads` contiguous sub-ranges with
+    /// roughly equal fault counts. Returns `threads + 1` boundaries.
+    pub(crate) fn balance_group_ranges(&self, threads: usize) -> Vec<usize> {
+        let n_groups = self.group_roots.len();
+        let total = self.group_faults.len();
+        let mut bounds = Vec::with_capacity(threads + 1);
+        bounds.push(0);
+        for t in 1..threads {
+            let target = (total * t / threads) as u32;
+            let g = self.group_index.partition_point(|&x| x < target).min(n_groups);
+            bounds.push(g.max(bounds[t - 1]));
+        }
+        bounds.push(n_groups);
+        bounds
+    }
+
     /// Simulates with fault dropping, matching the per-fault engine's
-    /// [`DropOutcome`] exactly.
+    /// [`DropOutcome`] exactly at every width.
     ///
     /// # Panics
     ///
     /// Panics if the pattern width does not match the circuit.
     pub fn with_dropping(&self, patterns: &PatternSet) -> DropOutcome {
+        match self.width {
+            SimWidth::W1 => self.with_dropping_w::<1>(patterns),
+            SimWidth::W2 => self.with_dropping_w::<2>(patterns),
+            SimWidth::W4 => self.with_dropping_w::<4>(patterns),
+            SimWidth::W8 => self.with_dropping_w::<8>(patterns),
+        }
+    }
+
+    fn with_dropping_w<const N: usize>(&self, patterns: &PatternSet) -> DropOutcome {
         self.assert_width(patterns);
-        let mut scratch = StemScratch::new(self.view());
+        let mut scratch = StemScratch::<N>::new(self.view());
         let mut first: Vec<Option<u32>> = vec![None; self.faults.len()];
         let mut remaining = self.faults.len();
-        for block in 0..patterns.num_blocks() {
+        for sb in 0..patterns.num_superblocks(N) {
             if remaining == 0 {
                 break;
             }
-            self.sim_block(patterns, block, &mut scratch);
-            let mask = patterns.valid_mask(block);
+            self.sim_superblock(patterns, sb, &mut scratch);
+            let mask = patterns.valid_mask_wide::<N>(sb);
             let StemScratch { good, sens, obs, .. } = &mut scratch;
             for g in 0..self.group_roots.len() {
                 let root = self.group_roots[g];
@@ -387,13 +666,16 @@ impl<'a> StemRegionEngine<'a> {
                         continue;
                     }
                     let rd = self.stem_diff(fault, good, sens) & mask;
-                    if rd == 0 {
+                    if rd.is_zero() {
                         continue;
                     }
-                    let det = rd & stem_obs(self.view(), good, root, obs);
-                    if det != 0 {
+                    let det = rd & self.stem_obs(good, root, obs);
+                    if !det.is_zero() {
+                        // Lanes are in pattern order, so the first set
+                        // bit is the earliest detecting pattern — the
+                        // same index the 64-bit loop reports.
                         first[fault as usize] =
-                            Some((block * 64) as u32 + det.trailing_zeros());
+                            Some((sb * N * 64) as u32 + det.first_set_bit());
                         remaining -= 1;
                     }
                 }
@@ -404,23 +686,33 @@ impl<'a> StemRegionEngine<'a> {
         }
     }
 
-    /// n-detection simulation, matching the per-fault engine exactly.
+    /// n-detection simulation, matching the per-fault engine exactly at
+    /// every width.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0` or the pattern width does not match.
     pub fn n_detect(&self, patterns: &PatternSet, n: u32) -> NDetectOutcome {
         assert!(n > 0, "n-detection requires n >= 1");
+        match self.width {
+            SimWidth::W1 => self.n_detect_w::<1>(patterns, n),
+            SimWidth::W2 => self.n_detect_w::<2>(patterns, n),
+            SimWidth::W4 => self.n_detect_w::<4>(patterns, n),
+            SimWidth::W8 => self.n_detect_w::<8>(patterns, n),
+        }
+    }
+
+    fn n_detect_w<const N: usize>(&self, patterns: &PatternSet, n: u32) -> NDetectOutcome {
         self.assert_width(patterns);
-        let mut scratch = StemScratch::new(self.view());
+        let mut scratch = StemScratch::<N>::new(self.view());
         let mut counts = vec![0u32; self.faults.len()];
         let mut remaining = self.faults.len();
-        for block in 0..patterns.num_blocks() {
+        for sb in 0..patterns.num_superblocks(N) {
             if remaining == 0 {
                 break;
             }
-            self.sim_block(patterns, block, &mut scratch);
-            let mask = patterns.valid_mask(block);
+            self.sim_superblock(patterns, sb, &mut scratch);
+            let mask = patterns.valid_mask_wide::<N>(sb);
             let StemScratch { good, sens, obs, .. } = &mut scratch;
             for g in 0..self.group_roots.len() {
                 let root = self.group_roots[g];
@@ -431,11 +723,14 @@ impl<'a> StemRegionEngine<'a> {
                         continue; // saturated: dropped
                     }
                     let rd = self.stem_diff(fault, good, sens) & mask;
-                    if rd == 0 {
+                    if rd.is_zero() {
                         continue;
                     }
-                    let det = rd & stem_obs(self.view(), good, root, obs);
-                    if det != 0 {
+                    let det = rd & self.stem_obs(good, root, obs);
+                    if !det.is_zero() {
+                        // Saturating-min arithmetic is associative over
+                        // the block split, so counting a superblock at
+                        // once equals counting its blocks in sequence.
                         let c = &mut counts[fault as usize];
                         *c = (*c + det.count_ones()).min(n);
                         if *c >= n {
@@ -456,19 +751,24 @@ impl<'a> StemRegionEngine<'a> {
         );
     }
 
-    /// Loads one block: good-machine sweep forward, then
+    /// Loads one superblock: good-machine sweep forward, then
     /// [`prepare_block`](Self::prepare_block).
-    fn sim_block(&self, patterns: &PatternSet, block: usize, s: &mut StemScratch) {
-        logic::load_input_words(patterns, block, &mut s.input_words);
-        logic::simulate_block_csr(self.view(), &s.input_words, &mut s.good);
+    fn sim_superblock<const N: usize>(
+        &self,
+        patterns: &PatternSet,
+        superblock: usize,
+        s: &mut StemScratch<N>,
+    ) {
+        logic::load_input_words_w(patterns, superblock, &mut s.input_words);
+        logic::simulate_superblock_csr(self.view(), &s.input_words, &mut s.good);
         self.prepare_block(s);
     }
 
-    /// Prepares detection for a block whose good-machine words are
+    /// Prepares detection for a superblock whose good-machine words are
     /// already in `s.good`: sensitization sweep backward plus a fresh
     /// observability memo generation, using the engine's whole-fault-list
     /// path marking.
-    pub(crate) fn prepare_block(&self, s: &mut StemScratch) {
+    pub(crate) fn prepare_block<const N: usize>(&self, s: &mut StemScratch<N>) {
         self.prepare_block_with(s, &self.sens_needed);
     }
 
@@ -477,7 +777,25 @@ impl<'a> StemRegionEngine<'a> {
     /// every fault whose detection words will be read for this block —
     /// the batched ATPG drop session passes a marking restricted to its
     /// still-active faults so the reverse sweep skips retired regions.
-    pub(crate) fn prepare_block_with(&self, s: &mut StemScratch, sens_needed: &[bool]) {
+    pub(crate) fn prepare_block_with<const N: usize>(
+        &self,
+        s: &mut StemScratch<N>,
+        sens_needed: &[bool],
+    ) {
+        self.prepare_sens(&s.good, &mut s.sens, sens_needed);
+        s.obs.advance_memo();
+    }
+
+    /// The reverse sensitization sweep alone, reading good-machine
+    /// words from `good` (which may be a shared slice rather than the
+    /// scratch's own buffer — the region-parallel split shares one good
+    /// machine across threads).
+    fn prepare_sens<const N: usize>(
+        &self,
+        good: &[SimWord<N>],
+        sens: &mut [SimWord<N>],
+        sens_needed: &[bool],
+    ) {
         debug_assert_eq!(sens_needed.len(), self.view().num_nodes());
         // Reverse sweep: every reader sits at a higher position, so its
         // sensitization word is final before its drivers are visited.
@@ -485,22 +803,17 @@ impl<'a> StemRegionEngine<'a> {
         // consumed; everything else is skipped.
         for p in (0..self.view().num_nodes()).rev() {
             if self.is_root[p] {
-                s.sens[p] = !0u64;
+                sens[p] = SimWord::ONES;
             } else if sens_needed[p] {
                 let (g, pin) = self.reader[p];
-                s.sens[p] = s.sens[g as usize]
+                sens[p] = sens[g as usize]
                     & pin_sens(
-                        &s.good,
+                        good,
                         self.view().kind_at(g as usize),
                         self.view().fanins_at(g as usize),
                         pin as usize,
                     );
             }
-        }
-        s.obs.memo_version = s.obs.memo_version.wrapping_add(1);
-        if s.obs.memo_version == 0 {
-            s.obs.memo_stamp.fill(0);
-            s.obs.memo_version = 1;
         }
     }
 
@@ -539,18 +852,24 @@ impl<'a> StemRegionEngine<'a> {
     /// The word of patterns (unmasked) on which `fault` flips its FFR
     /// stem.
     #[inline]
-    fn stem_diff(&self, fault: u32, good: &[u64], sens: &[u64]) -> u64 {
+    fn stem_diff<const N: usize>(
+        &self,
+        fault: u32,
+        good: &[SimWord<N>],
+        sens: &[SimWord<N>],
+    ) -> SimWord<N> {
         let info = self.fault_info[fault as usize];
+        let stuck = SimWord::splat(info.stuck_word);
         match info.site {
             PosSite::Stem { pos } => {
                 let p = pos as usize;
-                (good[p] ^ info.stuck_word) & sens[p]
+                (good[p] ^ stuck) & sens[p]
             }
             PosSite::Branch { gate_pos, pin } => {
                 let g = gate_pos as usize;
                 let fanins = self.view().fanins_at(g);
                 let src = fanins[pin as usize] as usize;
-                (good[src] ^ info.stuck_word)
+                (good[src] ^ stuck)
                     & pin_sens(good, self.view().kind_at(g), fanins, pin as usize)
                     & sens[g]
             }
@@ -558,19 +877,71 @@ impl<'a> StemRegionEngine<'a> {
     }
 
     /// Visits every `(fault, detection_word)` pair with a non-zero word
-    /// for the current block. With `active`, faults whose flag is
+    /// for the current superblock. With `active`, faults whose flag is
     /// `false` are skipped entirely (no stem-difference computation, and
     /// regions with only inactive faults never pay an observability
     /// walk).
-    pub(crate) fn for_each_detection(
+    pub(crate) fn for_each_detection<const N: usize>(
         &self,
-        valid_mask: u64,
-        s: &mut StemScratch,
+        valid_mask: SimWord<N>,
+        s: &mut StemScratch<N>,
         active: Option<&[bool]>,
-        mut visit: impl FnMut(u32, u64),
+        mut visit: impl FnMut(u32, SimWord<N>),
     ) {
         let StemScratch { good, sens, obs, .. } = s;
-        for g in 0..self.group_roots.len() {
+        self.detect_groups(
+            0,
+            self.group_roots.len(),
+            valid_mask,
+            good,
+            sens,
+            obs,
+            active,
+            &mut visit,
+        );
+    }
+
+    /// Prepares its own scratch and detects the group range `g0..g1`
+    /// against a **shared** good-machine slice, appending every
+    /// `(fault, word)` hit to `out`. This is the region-parallel flush
+    /// primitive: each thread owns a disjoint group range (hence
+    /// disjoint faults) and reads the same good words.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn detect_range_shared_good<const N: usize>(
+        &self,
+        g0: usize,
+        g1: usize,
+        valid_mask: SimWord<N>,
+        good: &[SimWord<N>],
+        sens_needed: &[bool],
+        active: Option<&[bool]>,
+        out: &mut Vec<(u32, SimWord<N>)>,
+    ) {
+        let mut scratch = StemScratch::<N>::new(self.view());
+        self.prepare_sens(good, &mut scratch.sens, sens_needed);
+        scratch.obs.advance_memo();
+        let StemScratch { sens, obs, .. } = &mut scratch;
+        self.detect_groups(g0, g1, valid_mask, good, sens, obs, active, &mut |f, w| {
+            out.push((f, w));
+        });
+    }
+
+    /// [`for_each_detection`](Self::for_each_detection) over the group
+    /// range `g0..g1` only — the region-parallel primitive (each thread
+    /// owns a disjoint range, hence disjoint faults).
+    #[allow(clippy::too_many_arguments)]
+    fn detect_groups<const N: usize>(
+        &self,
+        g0: usize,
+        g1: usize,
+        valid_mask: SimWord<N>,
+        good: &[SimWord<N>],
+        sens: &[SimWord<N>],
+        obs: &mut ObsScratch<N>,
+        active: Option<&[bool]>,
+        visit: &mut impl FnMut(u32, SimWord<N>),
+    ) {
+        for g in g0..g1 {
             let root = self.group_roots[g];
             let lo = self.group_index[g] as usize;
             let hi = self.group_index[g + 1] as usize;
@@ -581,14 +952,177 @@ impl<'a> StemRegionEngine<'a> {
                     }
                 }
                 let rd = self.stem_diff(fault, good, sens) & valid_mask;
-                if rd == 0 {
+                if rd.is_zero() {
                     continue;
                 }
-                let det = rd & stem_obs(self.view(), good, root, obs);
-                if det != 0 {
+                let det = rd & self.stem_obs(good, root, obs);
+                if !det.is_zero() {
                     visit(fault, det);
                 }
             }
+        }
+    }
+
+    /// The observability word of a stem: the patterns on which
+    /// complementing the stem's value changes at least one primary
+    /// output. Memoized per superblock in `s`; with stem merging, the
+    /// whole dominator chain above the stem is filled (and shared by
+    /// every stem whose chain passes through it).
+    fn stem_obs<const N: usize>(
+        &self,
+        good: &[SimWord<N>],
+        root: u32,
+        s: &mut ObsScratch<N>,
+    ) -> SimWord<N> {
+        let view = self.view();
+        let ipdom = self.circuit.post_dominators();
+        // Ascend the dominator chain to the first memoized or terminal
+        // position, stacking the unresolved ones; then fill downward.
+        // The chain ascends strictly in position, so this terminates.
+        debug_assert!(s.chain.is_empty());
+        let mut p = root as usize;
+        let mut obs = loop {
+            if s.memo_stamp[p] == s.memo_version {
+                break s.memo[p];
+            }
+            // A stem that is itself a primary output is observed
+            // directly on every pattern; one that reaches no output is
+            // never observed.
+            let terminal = if view.is_output_at(p) {
+                Some(SimWord::ONES)
+            } else if !view.reaches_output(p) {
+                Some(SimWord::ZERO)
+            } else if !self.merge_stems || ipdom[p] == POST_DOM_SINK {
+                // No usable dominator: pay the full cone walk.
+                Some(compute_stem_obs_cone(view, good, p, s))
+            } else {
+                None
+            };
+            if let Some(o) = terminal {
+                s.memo[p] = o;
+                s.memo_stamp[p] = s.memo_version;
+                break o;
+            }
+            s.chain.push(p as u32);
+            p = ipdom[p] as usize;
+        };
+        while let Some(q) = s.chain.pop() {
+            let q = q as usize;
+            // obs(q) = (does the flip at q reach its dominator d?) AND
+            // (does a flip at d reach an output?). The dominator is a
+            // cut, so the factorization is exact — see the dominator
+            // module docs for the argument.
+            let o = if obs.is_zero() {
+                SimWord::ZERO
+            } else {
+                self.walk_to_dominator(good, q, ipdom[q] as usize, s) & obs
+            };
+            s.memo[q] = o;
+            s.memo_stamp[q] = s.memo_version;
+            obs = o;
+        }
+        obs
+    }
+
+    /// Propagates the complemented value of `start` through its fanout
+    /// cone **up to its immediate post-dominator `dom` only** and
+    /// returns the difference word observed at `dom`. Nothing past
+    /// `dom` is expanded: every affected position that reaches an
+    /// output does so through `dom`, so positions past it either equal
+    /// `dom` or are pruned by the reachability mask.
+    fn walk_to_dominator<const N: usize>(
+        &self,
+        good: &[SimWord<N>],
+        start: usize,
+        dom: usize,
+        s: &mut ObsScratch<N>,
+    ) -> SimWord<N> {
+        let view = self.view();
+        s.version = s.version.wrapping_add(1);
+        if s.version == 0 {
+            s.stamp.fill(0);
+            s.queued.fill(0);
+            s.version = 1;
+        }
+        let v = s.version;
+        s.faulty[start] = !good[start];
+        s.stamp[start] = v;
+        let mut result = SimWord::ZERO;
+
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for &g in view.fanouts_at(start) {
+            if s.queued[g as usize] != v && view.reaches_output(g as usize) {
+                s.queued[g as usize] = v;
+                let lvl = view.level_at(g as usize) as usize;
+                s.frontier[lvl].push(g);
+                lo = lo.min(lvl);
+                hi = hi.max(lvl);
+            }
+        }
+        if lo == usize::MAX {
+            return SimWord::ZERO;
+        }
+        let mut lvl = lo;
+        while lvl <= hi {
+            let mut bucket = std::mem::take(&mut s.frontier[lvl]);
+            for &p in &bucket {
+                let p = p as usize;
+                let kind = view.kind_at(p);
+                let val = eval_with_pos_w(kind, view.fanins_at(p), |f| {
+                    if s.stamp[f as usize] == v {
+                        s.faulty[f as usize]
+                    } else {
+                        good[f as usize]
+                    }
+                });
+                if p == dom {
+                    // The dominator is where the restricted walk stops:
+                    // record its difference, expand nothing.
+                    result = val ^ good[p];
+                    continue;
+                }
+                let d = val ^ good[p];
+                if !d.is_zero() {
+                    // The dominator cut guarantees no other affected
+                    // position ahead of `dom` is an output.
+                    debug_assert!(
+                        !view.is_output_at(p),
+                        "output inside a dominator-restricted walk"
+                    );
+                    s.faulty[p] = val;
+                    s.stamp[p] = v;
+                    for &g in view.fanouts_at(p) {
+                        if s.queued[g as usize] != v && view.reaches_output(g as usize) {
+                            s.queued[g as usize] = v;
+                            let glvl = view.level_at(g as usize) as usize;
+                            s.frontier[glvl].push(g);
+                            hi = hi.max(glvl);
+                        }
+                    }
+                }
+            }
+            bucket.clear();
+            s.frontier[lvl] = bucket;
+            lvl += 1;
+        }
+        result
+    }
+}
+
+/// ORs a wide detection word into the 64-bit-blocked matrix: lane `k`
+/// of superblock `sb` is block `sb * N + k`. Invalid lanes are zero
+/// (masked upstream), so no lane ever lands outside the matrix.
+fn or_word_wide<const N: usize>(
+    matrix: &mut DetectionMatrix,
+    fault: u32,
+    superblock: usize,
+    word: SimWord<N>,
+) {
+    for k in 0..N {
+        let w = word.lane(k);
+        if w != 0 {
+            matrix.or_word(FaultId::new(fault as usize), superblock * N + k, w);
         }
     }
 }
@@ -596,11 +1130,16 @@ impl<'a> StemRegionEngine<'a> {
 /// The word of patterns on which a change at `pin` of the gate (alone)
 /// changes the gate's output, given good values of the other pins.
 #[inline]
-fn pin_sens(good: &[u64], kind: GateKind, fanins: &[u32], pin: usize) -> u64 {
+fn pin_sens<const N: usize>(
+    good: &[SimWord<N>],
+    kind: GateKind,
+    fanins: &[u32],
+    pin: usize,
+) -> SimWord<N> {
     match kind {
-        GateKind::Buf | GateKind::Not | GateKind::Xor | GateKind::Xnor => !0u64,
+        GateKind::Buf | GateKind::Not | GateKind::Xor | GateKind::Xnor => SimWord::ONES,
         GateKind::And | GateKind::Nand => {
-            let mut acc = !0u64;
+            let mut acc = SimWord::ONES;
             for (i, &f) in fanins.iter().enumerate() {
                 if i != pin {
                     acc &= good[f as usize];
@@ -609,7 +1148,7 @@ fn pin_sens(good: &[u64], kind: GateKind, fanins: &[u32], pin: usize) -> u64 {
             acc
         }
         GateKind::Or | GateKind::Nor => {
-            let mut acc = 0u64;
+            let mut acc = SimWord::ZERO;
             for (i, &f) in fanins.iter().enumerate() {
                 if i != pin {
                     acc |= good[f as usize];
@@ -623,30 +1162,16 @@ fn pin_sens(good: &[u64], kind: GateKind, fanins: &[u32], pin: usize) -> u64 {
     }
 }
 
-/// The observability word of a stem: the patterns on which complementing
-/// the stem's value changes at least one primary output. Memoized per
-/// block in `s`.
-fn stem_obs(view: &LevelizedCsr, good: &[u64], root: u32, s: &mut ObsScratch) -> u64 {
-    let r = root as usize;
-    if s.memo_stamp[r] == s.memo_version {
-        return s.memo[r];
-    }
-    let obs = compute_stem_obs(view, good, r, s);
-    s.memo_stamp[r] = s.memo_version;
-    s.memo[r] = obs;
-    obs
-}
-
-fn compute_stem_obs(view: &LevelizedCsr, good: &[u64], root: usize, s: &mut ObsScratch) -> u64 {
-    // A stem that is itself a primary output is observed directly on
-    // every pattern; one that reaches no output is never observed.
-    if view.is_output_at(root) {
-        return !0u64;
-    }
-    if !view.reaches_output(root) {
-        return 0;
-    }
-
+/// The unrestricted observability walk: propagates the complemented
+/// stem through its whole fanout cone to the primary outputs. Used for
+/// stems whose immediate post-dominator is the virtual sink (and for
+/// everything when stem merging is disabled).
+fn compute_stem_obs_cone<const N: usize>(
+    view: &LevelizedCsr,
+    good: &[SimWord<N>],
+    root: usize,
+    s: &mut ObsScratch<N>,
+) -> SimWord<N> {
     s.version = s.version.wrapping_add(1);
     if s.version == 0 {
         s.stamp.fill(0);
@@ -656,7 +1181,7 @@ fn compute_stem_obs(view: &LevelizedCsr, good: &[u64], root: usize, s: &mut ObsS
     let v = s.version;
     s.faulty[root] = !good[root];
     s.stamp[root] = v;
-    let mut obs = 0u64;
+    let mut obs = SimWord::ZERO;
 
     // Fanouts always sit on strictly higher levels, so draining the
     // level buckets in ascending order processes every event after all
@@ -673,7 +1198,7 @@ fn compute_stem_obs(view: &LevelizedCsr, good: &[u64], root: usize, s: &mut ObsS
         }
     }
     if lo == usize::MAX {
-        return 0;
+        return SimWord::ZERO;
     }
     let mut lvl = lo;
     while lvl <= hi {
@@ -681,7 +1206,7 @@ fn compute_stem_obs(view: &LevelizedCsr, good: &[u64], root: usize, s: &mut ObsS
         for &p in &bucket {
             let p = p as usize;
             let kind = view.kind_at(p);
-            let val = eval_with_pos(kind, view.fanins_at(p), |f| {
+            let val = eval_with_pos_w(kind, view.fanins_at(p), |f| {
                 if s.stamp[f as usize] == v {
                     s.faulty[f as usize]
                 } else {
@@ -689,7 +1214,7 @@ fn compute_stem_obs(view: &LevelizedCsr, good: &[u64], root: usize, s: &mut ObsS
                 }
             });
             let d = val ^ good[p];
-            if d != 0 {
+            if !d.is_zero() {
                 s.faulty[p] = val;
                 s.stamp[p] = v;
                 if view.is_output_at(p) {
@@ -730,8 +1255,12 @@ mod tests {
         let patterns = PatternSet::exhaustive(inputs);
         let per_fault = FaultSimulator::for_circuit_with_engine(&compile(&n), &faults, EngineKind::PerFault)
             .no_drop_matrix(&patterns);
-        let stem = StemRegionEngine::for_circuit(&compile(&n), &faults).no_drop_matrix(&patterns);
-        assert_eq!(per_fault, stem, "{name}");
+        for width in SimWidth::ALL {
+            let stem = StemRegionEngine::for_circuit(&compile(&n), &faults)
+                .with_width(width)
+                .no_drop_matrix(&patterns);
+            assert_eq!(per_fault, stem, "{name} width {width}");
+        }
     }
 
     #[test]
@@ -842,9 +1371,69 @@ mod tests {
         let n = bench_format::parse(src, "inv").unwrap();
         let faults = FaultList::collapsed(&n);
         let engine = StemRegionEngine::for_circuit(&compile(&n), &faults);
-        let matrix = engine.no_drop_matrix(&PatternSet::new(1));
-        assert_eq!(matrix.num_patterns(), 0);
-        assert_eq!(matrix.num_detected_faults(), 0);
+        for width in SimWidth::ALL {
+            let engine = engine.clone().with_width(width);
+            let matrix = engine.no_drop_matrix(&PatternSet::new(1));
+            assert_eq!(matrix.num_patterns(), 0);
+            assert_eq!(matrix.num_detected_faults(), 0);
+            let par = engine.no_drop_matrix_parallel(&PatternSet::new(1), 4);
+            assert_eq!(par.num_detected_faults(), 0);
+        }
+    }
+
+    #[test]
+    fn merged_and_unmerged_observability_agree() {
+        // Chained diamonds make long dominator chains; merged stems
+        // must produce the identical matrix.
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
+                   s1 = AND(a, b)\np1 = NOT(s1)\nq1 = BUF(s1)\nj1 = OR(p1, q1)\n\
+                   p2 = NOT(j1)\nq2 = BUF(j1)\ny = XOR(p2, q2)\n";
+        let n = bench_format::parse(src, "chained").unwrap();
+        let faults = FaultList::full(&n);
+        let patterns = PatternSet::exhaustive(2);
+        let circuit = compile(&n);
+        let merged = StemRegionEngine::for_circuit(&circuit, &faults).no_drop_matrix(&patterns);
+        let unmerged = StemRegionEngine::for_circuit(&circuit, &faults)
+            .with_stem_merging(false)
+            .no_drop_matrix(&patterns);
+        assert_eq!(merged, unmerged);
+    }
+
+    #[test]
+    fn region_parallel_matches_serial_on_one_block() {
+        // One 64-pattern block and many threads: exactly the shape the
+        // region split exists for.
+        let src = "INPUT(G1)\nINPUT(G2)\nINPUT(G3)\nINPUT(G6)\nINPUT(G7)\n\
+                   OUTPUT(G22)\nOUTPUT(G23)\n\
+                   G10 = NAND(G1, G3)\nG11 = NAND(G3, G6)\nG16 = NAND(G2, G11)\n\
+                   G19 = NAND(G11, G7)\nG22 = NAND(G10, G16)\nG23 = NAND(G16, G19)\n";
+        let n = bench_format::parse(src, "c17").unwrap();
+        let faults = FaultList::full(&n);
+        let patterns = PatternSet::random(5, 60, 3);
+        let engine = StemRegionEngine::for_circuit(&compile(&n), &faults);
+        let serial = engine.no_drop_matrix(&patterns);
+        for threads in [2, 3, 7, 16] {
+            assert_eq!(
+                serial,
+                engine.no_drop_matrix_region_parallel(&patterns, threads),
+                "region x{threads}"
+            );
+            assert_eq!(
+                serial,
+                engine.no_drop_matrix_parallel(&patterns, threads),
+                "auto x{threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn width_default_comes_from_environment() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+        let n = bench_format::parse(src, "inv").unwrap();
+        let faults = FaultList::collapsed(&n);
+        let engine = StemRegionEngine::for_circuit(&compile(&n), &faults);
+        assert_eq!(engine.width(), SimWidth::from_env());
+        assert_eq!(engine.with_width(SimWidth::W8).width(), SimWidth::W8);
     }
 
     #[test]

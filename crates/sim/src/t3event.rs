@@ -26,7 +26,10 @@
 //!   outputs are updated on every value change, so the D-frontier
 //!   ([`refresh_frontier`]) is assembled from a small candidate set and
 //!   [`detected`] is O(1). The X-path check walks only the still-X
-//!   region, pruned by the CSR's output-cone reachability masks.
+//!   region, pruned by the CSR's output-cone reachability masks, and is
+//!   cached between decisions: an unchanged state answers in O(1), and
+//!   after a change the last positive answer's witness path is
+//!   revalidated in O(path) before any fresh walk.
 //!
 //! The evaluator's contract is *exact equivalence* with a full two-machine
 //! resimulation of the current assignment ([`is_consistent`] recomputes
@@ -153,7 +156,22 @@ pub struct DualMachineSim {
     xvisited: Vec<u32>,
     xfrontier: Vec<u32>,
     xversion: u32,
-    xstack: Vec<u32>,
+    xstack: Vec<u64>,
+    /// DFS predecessor per position (stamped by `xvisited`), so a
+    /// successful walk can record its witness path.
+    xparent: Vec<u32>,
+    /// Witness of the last positive answer: a frontier gate followed by
+    /// still-X positions ending at a primary output. Revalidated in
+    /// O(path) before any fresh DFS.
+    xwitness: Vec<u32>,
+    /// `state_version` the cached X-path answer was computed at.
+    xpath_version: u64,
+    /// The cached answer itself.
+    xpath_cached: bool,
+    /// X-path queries answered (cache hits included).
+    xpath_queries: u64,
+    /// X-path queries that needed a full X-region DFS.
+    xpath_walks: u64,
     /// Node evaluations performed by event waves.
     events: u64,
     /// Node value changes applied (trail pushes).
@@ -212,6 +230,12 @@ impl DualMachineSim {
             xfrontier: vec![0; n],
             xversion: 0,
             xstack: Vec::new(),
+            xparent: vec![0; n],
+            xwitness: Vec::new(),
+            xpath_version: u64::MAX,
+            xpath_cached: false,
+            xpath_queries: 0,
+            xpath_walks: 0,
             events: 0,
             updates: 0,
         }
@@ -437,10 +461,54 @@ impl DualMachineSim {
     /// in at least one machine. The walk is restricted to the still-X region and pruned
     /// by the CSR's output-cone reachability masks (a fanout that
     /// structurally reaches no output is never entered).
+    ///
+    /// The answer is cached between decisions. An unchanged
+    /// `state_version` (no value moved since the last query — the same
+    /// invalidation the D-frontier snapshot uses, driven by the undo
+    /// trail) answers in O(1). After a state change, a positive answer's
+    /// *witness path* is revalidated in O(path): if its frontier gate is
+    /// still a D-frontier member and every later node is still X, the
+    /// path still exists and the full X-region DFS is skipped.
     pub fn x_path_exists(&mut self) -> bool {
+        self.xpath_queries += 1;
+        if self.xpath_version == self.state_version {
+            return self.xpath_cached;
+        }
         self.refresh_frontier(); // no-op when already current
         let circuit = self.circuit.clone();
         let view = circuit.view();
+        let answer = if self.witness_still_valid(view) {
+            true
+        } else {
+            self.xpath_walks += 1;
+            self.walk_x_region(view)
+        };
+        self.xpath_version = self.state_version;
+        self.xpath_cached = answer;
+        answer
+    }
+
+    /// O(path) recheck of the last recorded witness under the current
+    /// state: the path's frontier gate must still be a member and every
+    /// downstream node still X in some machine. Sound either way — a
+    /// failed check only means the DFS runs again.
+    fn witness_still_valid(&self, view: &LevelizedCsr) -> bool {
+        let Some((&root, rest)) = self.xwitness.split_first() else {
+            return false;
+        };
+        if !self.is_member(view, root as usize) {
+            return false;
+        }
+        rest.iter().all(|&p| {
+            let p = p as usize;
+            self.good[p] == T3::X || self.faulty[p] == T3::X
+        })
+    }
+
+    /// The full X-region DFS from the current D-frontier, recording the
+    /// witness path on success (cleared on failure).
+    fn walk_x_region(&mut self, view: &LevelizedCsr) -> bool {
+        self.xwitness.clear();
         self.xversion = self.xversion.wrapping_add(1);
         if self.xversion == 0 {
             self.xvisited.fill(0);
@@ -451,28 +519,45 @@ impl DualMachineSim {
         self.xstack.clear();
         for &p in &self.frontier_pos {
             self.xfrontier[p as usize] = v;
+            self.xstack.push((u64::from(u32::MAX) << 32) | u64::from(p));
         }
-        self.xstack.extend_from_slice(&self.frontier_pos);
-        while let Some(p) = self.xstack.pop() {
-            let p = p as usize;
+        while let Some(packed) = self.xstack.pop() {
+            let p = (packed & u64::from(u32::MAX)) as usize;
             if self.xvisited[p] == v {
                 continue;
             }
             self.xvisited[p] = v;
+            self.xparent[p] = (packed >> 32) as u32;
             let unknown = self.good[p] == T3::X || self.faulty[p] == T3::X;
             if !unknown && self.xfrontier[p] != v {
                 continue;
             }
             if view.is_output_at(p) {
+                // Reconstruct frontier-gate-first witness via parents.
+                let mut q = p as u32;
+                while q != u32::MAX {
+                    self.xwitness.push(q);
+                    q = self.xparent[q as usize];
+                }
+                self.xwitness.reverse();
                 return true;
             }
+            let parent = (p as u64) << 32;
             for &g in view.fanouts_at(p) {
                 if view.reaches_output(g as usize) {
-                    self.xstack.push(g);
+                    self.xstack.push(parent | u64::from(g));
                 }
             }
         }
         false
+    }
+
+    /// Diagnostics: cumulative `(queries, walks)` for the X-path check —
+    /// total calls versus calls that needed a full X-region DFS (the
+    /// rest were answered by the cache or a witness revalidation).
+    #[inline]
+    pub fn xpath_counters(&self) -> (u64, u64) {
+        (self.xpath_queries, self.xpath_walks)
     }
 
     /// Cumulative `(events, updates)` counters: node evaluations
@@ -819,6 +904,33 @@ G23 = NAND(G16, G19)
             .collect()
     }
 
+    /// The reference X-path answer: a fresh DFS from the reference
+    /// frontier through nodes still X in some machine.
+    fn reference_x_path(sim: &DualMachineSim, fault: Fault) -> bool {
+        let circuit = sim.circuit().clone();
+        let view = circuit.view();
+        let mut stack: Vec<usize> = reference_frontier(sim, fault)
+            .into_iter()
+            .map(|n| view.position(n))
+            .collect();
+        let roots: Vec<usize> = stack.clone();
+        let mut seen = vec![false; view.num_nodes()];
+        while let Some(p) = stack.pop() {
+            if std::mem::replace(&mut seen[p], true) {
+                continue;
+            }
+            let unknown = sim.good_at(p) == T3::X || sim.faulty_at(p) == T3::X;
+            if !unknown && !roots.contains(&p) {
+                continue;
+            }
+            if view.is_output_at(p) {
+                return true;
+            }
+            stack.extend(view.fanouts_at(p).iter().map(|&g| g as usize));
+        }
+        false
+    }
+
     /// Drives every assignment prefix of an exhaustive walk and checks
     /// consistency, the frontier, and detection against the reference.
     fn exhaustive_walk(src: &str, name: &str) {
@@ -838,6 +950,11 @@ G23 = NAND(G16, G19)
                         sim.frontier_ids(),
                         reference_frontier(&sim, fault),
                         "{name}: frontier for {fault} bits={value_bits} pi={pi}"
+                    );
+                    assert_eq!(
+                        sim.x_path_exists(),
+                        reference_x_path(&sim, fault),
+                        "{name}: x-path for {fault} bits={value_bits} pi={pi}"
                     );
                 }
                 for _ in 0..n_inputs {
@@ -915,6 +1032,33 @@ G23 = NAND(G16, G19)
         sim.end_target();
     }
 
+
+    #[test]
+    fn x_path_cache_skips_repeat_walks() {
+        // Same-state queries hit the version cache; after a state change
+        // a surviving witness path is revalidated without a fresh DFS.
+        let circuit = compile(C17, "c17");
+        let g10 = circuit.netlist().find_node("G10").unwrap();
+        let mut sim = DualMachineSim::for_circuit(&circuit);
+        sim.begin_target(Fault::stem_at(g10, false));
+        sim.assign(0, false); // G1 = 0 excites G10 s-a-0
+        assert!(sim.x_path_exists());
+        assert!(sim.x_path_exists()); // unchanged state: cached answer
+        assert_eq!(sim.xpath_counters(), (2, 1), "second query must not walk");
+        // G2 = 1 leaves G16 (and so G22) X: the recorded witness through
+        // G22 survives, so the state change costs a revalidation only.
+        sim.assign(1, true);
+        assert!(sim.x_path_exists());
+        assert_eq!(sim.xpath_counters(), (3, 1), "witness revalidation, no walk");
+        // Retract back to just the excitation: the cache is invalidated
+        // by the trail, and the answer stays exact.
+        sim.retract_frame();
+        assert!(sim.x_path_exists());
+        let (queries, walks) = sim.xpath_counters();
+        assert_eq!(queries, 4);
+        assert!(walks < queries, "the cache must absorb some queries");
+        sim.end_target();
+    }
 
     #[test]
     fn counters_accumulate() {

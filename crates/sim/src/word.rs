@@ -1,0 +1,391 @@
+//! Configurable-width simulation words.
+//!
+//! Every bit-parallel hot path in this crate is generic over
+//! [`SimWord<N>`] — a stack of `N` machine words holding `N * 64`
+//! patterns. `N = 1` is the classic PPSFP block; `N = 4` and `N = 8`
+//! are 256/512-bit lanes that amortize the per-block bookkeeping
+//! (sensitization sweeps, observability cone walks, event-queue
+//! plumbing) over four or eight times as many patterns, and compile to
+//! straight-line element loops the optimizer vectorizes.
+//!
+//! # Dispatch strategy
+//!
+//! The lane count is a **const generic**, so each width gets its own
+//! monomorphized kernel with no per-operation branching — but the width
+//! a caller wants is a **runtime** choice ([`SimWidth`], carried by
+//! `AdiConfig`, `TestGenConfig`, and the service protocol). The two
+//! meet at a single dispatch point per public entry: the engine holds a
+//! `SimWidth` and each public method performs one
+//! `match width { W1 => f::<1>(..), W2 => f::<2>(..), .. }` before
+//! entering the generic kernel. One binary therefore serves all four
+//! widths; nothing inside a kernel ever re-checks the width.
+//!
+//! Lane order is **pattern order**: bit `b` of lane word `k` holds
+//! pattern `k * 64 + b` of the superblock, so
+//! [`SimWord::first_set_bit`] returns the *earliest* matching pattern —
+//! the invariant that keeps wide fault dropping bit-identical to the
+//! 64-bit oracle.
+//!
+//! The process-wide default width comes from the `ADI_SIM_WIDTH`
+//! environment variable (`1`, `2`, `4`, or `8`; read once, then
+//! cached); unset or unrecognized values fall back to
+//! [`SimWidth::W4`]. Any width is safe as a default because every
+//! width is differentially pinned to the `N = 1` oracle.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
+use std::sync::OnceLock;
+
+/// A simulation word of `N * 64` patterns: `N` stacked `u64` lanes.
+///
+/// Lane `k` bit `b` holds pattern `k * 64 + b` — ascending lane index
+/// is ascending pattern order. All bitwise operators work lane-wise;
+/// the element loops are shaped for auto-vectorization.
+///
+/// # Examples
+///
+/// ```
+/// use adi_sim::SimWord;
+///
+/// let mut w = SimWord::<4>::ZERO;
+/// w.set_bit(130); // pattern 130 = lane 2, bit 2
+/// assert_eq!(w.lane(2), 0b100);
+/// assert_eq!(w.first_set_bit(), 130);
+/// assert_eq!((w | SimWord::ONES).count_ones(), 256);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SimWord<const N: usize>(pub [u64; N]);
+
+impl<const N: usize> SimWord<N> {
+    /// All bits clear.
+    pub const ZERO: Self = SimWord([0u64; N]);
+    /// All bits set.
+    pub const ONES: Self = SimWord([!0u64; N]);
+
+    /// Broadcasts one 64-bit word to every lane (stuck-at constants are
+    /// per-pattern-uniform, so `splat(0)` / `splat(!0)` are the wide
+    /// stuck words).
+    #[inline]
+    pub const fn splat(w: u64) -> Self {
+        SimWord([w; N])
+    }
+
+    /// Returns `true` if no bit is set.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits across all lanes.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Index of the lowest set bit in pattern order (`lane * 64 + bit`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the word is zero.
+    #[inline]
+    pub fn first_set_bit(&self) -> u32 {
+        for (k, &w) in self.0.iter().enumerate() {
+            if w != 0 {
+                return k as u32 * 64 + w.trailing_zeros();
+            }
+        }
+        debug_assert!(false, "first_set_bit on a zero word");
+        N as u32 * 64
+    }
+
+    /// The value of pattern bit `idx` (`idx < N * 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn bit(&self, idx: usize) -> bool {
+        self.0[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    /// Sets pattern bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn set_bit(&mut self, idx: usize) {
+        self.0[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    /// Lane `k` (patterns `k * 64 ..= k * 64 + 63`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= N`.
+    #[inline]
+    pub fn lane(&self, k: usize) -> u64 {
+        self.0[k]
+    }
+
+    /// Mask with the lowest `count` pattern bits set (`count <= N * 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > N * 64`.
+    #[inline]
+    pub fn low_mask(count: usize) -> Self {
+        assert!(count <= N * 64, "mask of {count} bits exceeds word width");
+        let mut w = [0u64; N];
+        let full = count / 64;
+        for lane in w.iter_mut().take(full) {
+            *lane = !0;
+        }
+        if !count.is_multiple_of(64) {
+            w[full] = (1u64 << (count % 64)) - 1;
+        }
+        SimWord(w)
+    }
+}
+
+impl<const N: usize> Default for SimWord<N> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const N: usize> BitAnd for SimWord<N> {
+    type Output = Self;
+    #[inline]
+    fn bitand(mut self, rhs: Self) -> Self {
+        for k in 0..N {
+            self.0[k] &= rhs.0[k];
+        }
+        self
+    }
+}
+
+impl<const N: usize> BitAndAssign for SimWord<N> {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Self) {
+        for k in 0..N {
+            self.0[k] &= rhs.0[k];
+        }
+    }
+}
+
+impl<const N: usize> BitOr for SimWord<N> {
+    type Output = Self;
+    #[inline]
+    fn bitor(mut self, rhs: Self) -> Self {
+        for k in 0..N {
+            self.0[k] |= rhs.0[k];
+        }
+        self
+    }
+}
+
+impl<const N: usize> BitOrAssign for SimWord<N> {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Self) {
+        for k in 0..N {
+            self.0[k] |= rhs.0[k];
+        }
+    }
+}
+
+impl<const N: usize> BitXor for SimWord<N> {
+    type Output = Self;
+    #[inline]
+    fn bitxor(mut self, rhs: Self) -> Self {
+        for k in 0..N {
+            self.0[k] ^= rhs.0[k];
+        }
+        self
+    }
+}
+
+impl<const N: usize> BitXorAssign for SimWord<N> {
+    #[inline]
+    fn bitxor_assign(&mut self, rhs: Self) {
+        for k in 0..N {
+            self.0[k] ^= rhs.0[k];
+        }
+    }
+}
+
+impl<const N: usize> Not for SimWord<N> {
+    type Output = Self;
+    #[inline]
+    fn not(mut self) -> Self {
+        for k in 0..N {
+            self.0[k] = !self.0[k];
+        }
+        self
+    }
+}
+
+/// The runtime-selectable simulation word width (see the
+/// [module docs](self) for the dispatch strategy).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SimWidth {
+    /// One 64-bit lane: the classic PPSFP block (the differential
+    /// oracle width).
+    W1,
+    /// Two lanes, 128 patterns per superblock.
+    W2,
+    /// Four lanes, 256 patterns per superblock.
+    W4,
+    /// Eight lanes, 512 patterns per superblock.
+    W8,
+}
+
+impl SimWidth {
+    /// All widths, ascending — the axis differential test lattices
+    /// iterate over.
+    pub const ALL: [SimWidth; 4] = [SimWidth::W1, SimWidth::W2, SimWidth::W4, SimWidth::W8];
+
+    /// Number of 64-bit lanes.
+    #[inline]
+    pub const fn lanes(self) -> usize {
+        match self {
+            SimWidth::W1 => 1,
+            SimWidth::W2 => 2,
+            SimWidth::W4 => 4,
+            SimWidth::W8 => 8,
+        }
+    }
+
+    /// Patterns per superblock (`lanes * 64`).
+    #[inline]
+    pub const fn bits(self) -> usize {
+        self.lanes() * 64
+    }
+
+    /// The width with `lanes` lanes, if `lanes` is 1, 2, 4, or 8.
+    pub const fn from_lanes(lanes: usize) -> Option<SimWidth> {
+        match lanes {
+            1 => Some(SimWidth::W1),
+            2 => Some(SimWidth::W2),
+            4 => Some(SimWidth::W4),
+            8 => Some(SimWidth::W8),
+            _ => None,
+        }
+    }
+
+    /// The process-wide default width: `ADI_SIM_WIDTH` (`1`/`2`/`4`/`8`,
+    /// read once and cached), falling back to [`SimWidth::W4`] when
+    /// unset or unrecognized.
+    pub fn from_env() -> SimWidth {
+        static DEFAULT: OnceLock<SimWidth> = OnceLock::new();
+        *DEFAULT.get_or_init(|| {
+            std::env::var("ADI_SIM_WIDTH")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .and_then(SimWidth::from_lanes)
+                .unwrap_or(SimWidth::W4)
+        })
+    }
+}
+
+impl Default for SimWidth {
+    /// The environment-selected default ([`SimWidth::from_env`]).
+    fn default() -> Self {
+        SimWidth::from_env()
+    }
+}
+
+impl fmt::Display for SimWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.lanes())
+    }
+}
+
+impl std::str::FromStr for SimWidth {
+    type Err = String;
+
+    /// Parses a lane count: `1`, `2`, `4`, or `8`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.trim()
+            .parse::<usize>()
+            .ok()
+            .and_then(SimWidth::from_lanes)
+            .ok_or_else(|| format!("invalid simulation width `{s}` (expected 1, 2, 4, or 8)"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_major_bit_order() {
+        let mut w = SimWord::<4>::ZERO;
+        w.set_bit(0);
+        w.set_bit(63);
+        w.set_bit(64);
+        w.set_bit(255);
+        assert_eq!(w.lane(0), 1 | 1 << 63);
+        assert_eq!(w.lane(1), 1);
+        assert_eq!(w.lane(3), 1 << 63);
+        assert_eq!(w.count_ones(), 4);
+        assert!(w.bit(64));
+        assert!(!w.bit(65));
+    }
+
+    #[test]
+    fn first_set_bit_is_earliest_pattern() {
+        let mut w = SimWord::<8>::ZERO;
+        w.set_bit(400);
+        w.set_bit(130);
+        assert_eq!(w.first_set_bit(), 130);
+        let mut one = SimWord::<2>::ZERO;
+        one.set_bit(0);
+        assert_eq!(one.first_set_bit(), 0);
+    }
+
+    #[test]
+    fn bitwise_ops_are_lane_wise() {
+        let a = SimWord::<2>([0b1100, 0b1010]);
+        let b = SimWord::<2>([0b1010, 0b0110]);
+        assert_eq!((a & b).0, [0b1000, 0b0010]);
+        assert_eq!((a | b).0, [0b1110, 0b1110]);
+        assert_eq!((a ^ b).0, [0b0110, 0b1100]);
+        assert_eq!((!SimWord::<2>::ZERO), SimWord::<2>::ONES);
+        let mut c = a;
+        c &= b;
+        c |= b;
+        c ^= a;
+        assert_eq!(c, (a & b | b) ^ a);
+    }
+
+    #[test]
+    fn splat_and_masks() {
+        assert_eq!(SimWord::<4>::splat(!0), SimWord::<4>::ONES);
+        assert_eq!(SimWord::<4>::splat(0), SimWord::<4>::ZERO);
+        assert_eq!(SimWord::<2>::low_mask(0), SimWord::<2>::ZERO);
+        assert_eq!(SimWord::<2>::low_mask(128), SimWord::<2>::ONES);
+        assert_eq!(SimWord::<2>::low_mask(65).0, [!0, 1]);
+        assert_eq!(SimWord::<1>::low_mask(3).0, [0b111]);
+    }
+
+    #[test]
+    fn width_lanes_roundtrip() {
+        for w in SimWidth::ALL {
+            assert_eq!(SimWidth::from_lanes(w.lanes()), Some(w));
+            assert_eq!(w.bits(), w.lanes() * 64);
+            assert_eq!(w.to_string().parse::<SimWidth>().unwrap(), w);
+        }
+        assert_eq!(SimWidth::from_lanes(3), None);
+        assert!("16".parse::<SimWidth>().is_err());
+        assert!("x".parse::<SimWidth>().is_err());
+    }
+
+    #[test]
+    fn env_default_is_a_valid_width() {
+        // The cached value depends on the test environment; it must be
+        // one of the four supported widths either way.
+        assert!(SimWidth::ALL.contains(&SimWidth::from_env()));
+        assert_eq!(SimWidth::default(), SimWidth::from_env());
+    }
+}

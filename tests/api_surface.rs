@@ -24,7 +24,8 @@ use adi::netlist::fault::{Fault, FaultId, FaultList};
 use adi::netlist::{CompiledCircuit, FfrPartition, LevelizedCsr, Netlist};
 use adi::sim::{
     DetectionMatrix, DropOutcome, DropSession, DualMachineSim, EngineKind, FaultSimulator,
-    GoodValues, NDetectOutcome, Pattern, PatternSet, SimScratch, StemRegionEngine,
+    GoodValues, NDetectOutcome, Pattern, PatternSet, SimScratch, SimWidth, SimWord,
+    StemRegionEngine,
 };
 
 /// The content-hash and serving surface added in 0.4.0: the canonical
@@ -162,10 +163,11 @@ fn pin_simulation_surface<'a>(_: &'a ()) {
     let _: fn(&FaultSimulator<'a>, &Pattern, &[FaultId], &mut SimScratch) -> Vec<FaultId> =
         FaultSimulator::detect_pattern;
     let _: fn(&'a FaultSimulator<'a>) -> &'a CompiledCircuit = FaultSimulator::circuit;
+    let _: fn(FaultSimulator<'a>, SimWidth) -> FaultSimulator<'a> = FaultSimulator::with_width;
     let _: fn(&DropSession<'a>) -> usize = DropSession::pending;
     let _: fn(&DropSession<'a>) -> bool = DropSession::is_full;
     let _: fn(&mut DropSession<'a>, &Pattern) = DropSession::push;
-    let _: fn(&mut DropSession<'a>, FaultId) -> u64 = DropSession::pending_detections;
+    let _: fn(&mut DropSession<'a>, FaultId) -> SimWord<1> = DropSession::pending_detections;
     let _: fn(&mut DropSession<'a>, &[FaultId]) -> Vec<Vec<FaultId>> = DropSession::flush;
     let _: fn(&TestGenResult) -> usize = TestGenResult::num_tests;
     let _: fn(&AdiAnalysis, FaultOrdering) -> Vec<FaultId> = |a, o| order_faults(a, o);
@@ -177,6 +179,11 @@ fn simulation_surface_is_stable() {
     // Config enums and their defaults.
     assert_eq!(EngineKind::default(), EngineKind::StemRegion);
     assert_eq!(DropLoopKind::default(), DropLoopKind::Batched);
+    // The wide-word surface: runtime width selection and its bounds.
+    assert_eq!(SimWidth::from_lanes(4), Some(SimWidth::W4));
+    assert_eq!(SimWidth::from_lanes(3), None);
+    assert_eq!(SimWidth::ALL.len(), 4);
+    assert_eq!(SimWord::<4>::ZERO.0, [0u64; 4]);
     assert_eq!(TestGenConfig::default().drop_loop, DropLoopKind::Batched);
     let _ = FillStrategy::Random;
     let _ = PodemOutcome::Aborted;

@@ -112,7 +112,7 @@ proptest! {
 
         // Batched: flush at an arbitrary cadence (<= the 64-lane cap).
         let cadence = flush_every.min(64);
-        let mut session = DropSession::for_circuit(&circuit, faults);
+        let mut session: DropSession = DropSession::for_circuit(&circuit, faults);
         let mut active: Vec<FaultId> = faults.ids().collect();
         let mut got = Vec::new();
         for p in 0..patterns.len() {
