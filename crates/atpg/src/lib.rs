@@ -19,6 +19,10 @@
 //! * [`testgen`] — the ordered-fault-list driver with fault dropping:
 //!   exactly the "test generation procedure without dynamic compaction
 //!   heuristics" of the paper's Section 4.
+//! * [`speculate`] — the speculative multi-target parallel form of that
+//!   driver ([`TestGenConfig::atpg_threads`] `> 1`): a worker pool runs
+//!   PODEM ahead of the commit position and a deterministic first-win
+//!   committer keeps the output bit-identical to the sequential loop.
 //!
 //! # Examples
 //!
@@ -51,13 +55,17 @@
 mod cube;
 mod fill;
 mod podem;
+pub mod speculate;
 pub mod testgen;
 pub mod value;
 
 pub use cube::TestCube;
 pub use fill::FillStrategy;
 pub use podem::{Podem, PodemConfig, PodemEngine, PodemOutcome, PodemStats};
-pub use testgen::{DropLoopKind, FaultStatus, TestGenConfig, TestGenResult, TestGenerator};
+pub use testgen::{
+    DropLoopKind, FaultStatus, PhaseTimings, TestGenConfig, TestGenResult, TestGenSummary,
+    TestGenerator,
+};
 pub use value::T3;
 
 /// SCOAP testability measures (re-export; the type now lives in

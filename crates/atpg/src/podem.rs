@@ -153,11 +153,30 @@ pub struct PodemStats {
     /// Node value changes applied by the event engine's waves (zero for
     /// the full-resim oracle, which overwrites rather than tracks).
     pub sim_updates: u64,
+    /// Speculative `generate` runs whose result was discarded by the
+    /// first-win committer (always zero for a single [`Podem`]; filled
+    /// in by the speculative `TestGenerator` loop). A scheduling
+    /// diagnostic, not a search counter: it depends on thread timing
+    /// and is excluded from every determinism contract.
+    pub wasted_speculations: u64,
 }
 
 impl PodemStats {
+    /// This stats value with the scheduling-dependent
+    /// `wasted_speculations` diagnostic zeroed — the counters that are
+    /// bit-identical across every deterministic-equivalent loop
+    /// (sequential vs speculative, any width or thread count).
+    /// Determinism contracts compare through this accessor.
+    pub fn deterministic(self) -> PodemStats {
+        PodemStats {
+            wasted_speculations: 0,
+            ..self
+        }
+    }
+
     /// The engine-parity counters as one tuple — everything except the
-    /// backend-specific `sim_events`/`sim_updates` diagnostics. Both
+    /// backend-specific `sim_events`/`sim_updates` diagnostics and the
+    /// scheduling-dependent `wasted_speculations` counter. Both
     /// [`PodemEngine`]s must produce equal values here; every parity
     /// gate (the equivalence suite, `perf_report`) compares through this
     /// single accessor so the contract cannot drift.

@@ -1,0 +1,493 @@
+//! Speculative multi-target ATPG with a deterministic first-win commit.
+//!
+//! `run_speculative` is the batched drop loop of
+//! [`TestGenerator`] with the PODEM calls hoisted
+//! onto a worker pool: `atpg_threads - 1` workers race ahead of the
+//! commit position, each running PODEM on upcoming targets of the ADI
+//! order with its **own** [`Podem`] (and event engine) over the shared
+//! compiled circuit, while the calling thread replays the sequential
+//! loop's bookkeeping — drop-session pushes, flushes, classifications —
+//! strictly in ordering position.
+//!
+//! # The first-win commit rule
+//!
+//! A speculated result for ordering position `p` is **consumed only if
+//! its target is still live when the committer reaches `p`**: not yet
+//! classified (`status` is `None`) and not covered by a test pending in
+//! the drop session. Otherwise the committer skips the position exactly
+//! as the sequential loop would have, and the speculated result — if a
+//! worker produced one — is discarded and counted in
+//! [`PodemStats::wasted_speculations`].
+//!
+//! # Why the output is bit-identical to the sequential loop
+//!
+//! The parallel loop produces the same tests, classifications, coverage
+//! curve, and deterministic PODEM counters as
+//! `TestGenConfig { atpg_threads: 1, .. }` for every seed, width, and
+//! thread count, because each of the three inputs to every commit
+//! decision is history-independent or committer-owned:
+//!
+//! 1. **Per-target PODEM purity.** `Podem::generate` starts from the
+//!    all-X quiescent baseline and the event engine fully retracts its
+//!    trail when a target ends, so a target's outcome *and its stats
+//!    delta* are pure functions of `(circuit, fault, config)` — which
+//!    worker runs it, and after whatever target history, cannot matter.
+//!    (The one cross-target cache, the X-path witness, only short-cuts
+//!    a walk whose boolean answer is unchanged and whose cost is not a
+//!    `PodemStats` counter.)
+//! 2. **Committer-owned skip state.** Both skip checks — `status` and
+//!    the drop session's pending-cover word — read state mutated only
+//!    by the committer itself, in commit order. Workers never touch it.
+//! 3. **Commit-time fill.** Random fill is seeded by the *committed*
+//!    test index (`fill_seed + test_index`), so cubes are filled at
+//!    commit, never at speculation.
+//!
+//! The shared `resolved` flags are pruning **hints only** (a worker
+//! skips generating for a fault the committer has already classified);
+//! the committer re-checks its own state before consuming anything, so
+//! a stale or missing hint affects wall clock and the waste counter,
+//! never the output. `wasted_speculations`, the per-phase wall-clock
+//! timings, and nothing else depend on thread timing; both are excluded
+//! from [`TestGenResult`] equality.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use adi_netlist::fault::FaultId;
+use adi_sim::DropSession;
+
+use crate::testgen::{apply_flush, finalize_status, PhaseTimings, TestGenResult, TestGenerator};
+use crate::{FaultStatus, Podem, PodemOutcome, PodemStats};
+
+/// One ordering position's speculation slot.
+enum Slot {
+    /// Not yet produced (unclaimed, or a worker is running it).
+    Pending,
+    /// A worker finished PODEM: the outcome plus the worker's stats
+    /// delta for exactly this target.
+    Ready(PodemOutcome, PodemStats),
+    /// A worker saw the target's resolved hint and skipped it.
+    Skipped,
+    /// The committer took the result.
+    Consumed,
+}
+
+/// Mutex-guarded scheduler state shared by the committer and workers.
+struct SpecState {
+    /// Next unclaimed ordering position.
+    next_claim: usize,
+    /// The position the committer is currently at; claims are limited
+    /// to `commit_pos + depth` (the speculation window).
+    commit_pos: usize,
+    /// Per-position speculation slots.
+    slots: Vec<Slot>,
+    /// Shutdown flag (set once the commit loop has finished).
+    stop: bool,
+}
+
+struct Shared {
+    state: Mutex<SpecState>,
+    /// Signaled when the claim window may have opened (commit advance,
+    /// shutdown).
+    work: Condvar,
+    /// Signaled when a slot transitions out of `Pending`.
+    done: Condvar,
+}
+
+/// Field-wise `after - before` of two cumulative stats snapshots.
+fn stats_delta(after: PodemStats, before: PodemStats) -> PodemStats {
+    PodemStats {
+        targets: after.targets - before.targets,
+        tests: after.tests - before.tests,
+        untestable: after.untestable - before.untestable,
+        aborted: after.aborted - before.aborted,
+        backtracks: after.backtracks - before.backtracks,
+        decisions: after.decisions - before.decisions,
+        sim_events: after.sim_events - before.sim_events,
+        sim_updates: after.sim_updates - before.sim_updates,
+        wasted_speculations: 0,
+    }
+}
+
+/// Field-wise accumulation of a per-target delta.
+fn stats_add(acc: &mut PodemStats, d: PodemStats) {
+    acc.targets += d.targets;
+    acc.tests += d.tests;
+    acc.untestable += d.untestable;
+    acc.aborted += d.aborted;
+    acc.backtracks += d.backtracks;
+    acc.decisions += d.decisions;
+    acc.sim_events += d.sim_events;
+    acc.sim_updates += d.sim_updates;
+}
+
+/// The speculative batched run (see the [module docs](self) for the
+/// commit rule and the determinism argument). Called by
+/// `TestGenerator::run_phase_batched` when
+/// `TestGenConfig::atpg_threads > 1`.
+pub(crate) fn run_speculative<const N: usize>(
+    g: &TestGenerator<'_>,
+    order: &[FaultId],
+    predropped: &[bool],
+) -> TestGenResult {
+    let n_faults = g.faults.len();
+    assert_eq!(predropped.len(), n_faults);
+    g.validate_order(order);
+
+    let workers = (g.config.atpg_threads - 1).max(1);
+    let depth = g.config.speculation_depth.max(1);
+
+    let shared = Shared {
+        state: Mutex::new(SpecState {
+            next_claim: 0,
+            commit_pos: 0,
+            slots: order.iter().map(|_| Slot::Pending).collect(),
+            stop: false,
+        }),
+        work: Condvar::new(),
+        done: Condvar::new(),
+    };
+    let resolved: Vec<AtomicBool> = (0..n_faults).map(|_| AtomicBool::new(false)).collect();
+    // Total speculative generates and their summed wall clock, wasted
+    // ones included (the committer's rare fallback generates also land
+    // here so `generate_ns` covers every PODEM call of the run).
+    let speculated = AtomicU64::new(0);
+    let generate_ns = AtomicU64::new(0);
+
+    let mut committed = None;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker_loop(g, order, &shared, &resolved, &speculated, &generate_ns, depth));
+        }
+        committed = Some(commit_loop::<N>(g, order, predropped, &shared, &resolved, &generate_ns));
+        shared.state.lock().expect("scheduler lock poisoned").stop = true;
+        shared.work.notify_all();
+    });
+    // All workers have joined: the speculation counters are final.
+    let (tests, targets, new_detections, status, mut stats, mut timing, consumed) =
+        committed.expect("commit loop ran");
+    stats.wasted_speculations = speculated.load(Ordering::Relaxed) - consumed;
+    timing.generate_ns = generate_ns.load(Ordering::Relaxed);
+
+    TestGenResult {
+        tests,
+        targets,
+        new_detections,
+        status: finalize_status(status),
+        podem_stats: stats,
+        timing,
+    }
+}
+
+/// A speculation worker: claim the next ordering position inside the
+/// window, run PODEM on it (unless its resolved hint is set), publish
+/// the slot, repeat until shutdown.
+fn worker_loop(
+    g: &TestGenerator<'_>,
+    order: &[FaultId],
+    shared: &Shared,
+    resolved: &[AtomicBool],
+    speculated: &AtomicU64,
+    generate_ns: &AtomicU64,
+    depth: usize,
+) {
+    let mut podem = Podem::for_circuit(&g.circuit, g.config.podem);
+    loop {
+        let pos = {
+            let mut s = shared.state.lock().expect("scheduler lock poisoned");
+            loop {
+                if s.stop {
+                    return;
+                }
+                if s.next_claim < order.len() && s.next_claim < s.commit_pos.saturating_add(depth)
+                {
+                    break;
+                }
+                s = shared.work.wait(s).expect("scheduler lock poisoned");
+            }
+            let p = s.next_claim;
+            s.next_claim += 1;
+            p
+        };
+        let target = order[pos];
+        if resolved[target.index()].load(Ordering::Relaxed) {
+            // The committer already classified this fault; the slot can
+            // never be consumed (status never reverts to unclassified).
+            shared.state.lock().expect("scheduler lock poisoned").slots[pos] = Slot::Skipped;
+            shared.done.notify_all();
+            continue;
+        }
+        let before = podem.stats();
+        let t0 = Instant::now();
+        let outcome = podem.generate(g.faults.fault(target));
+        generate_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        speculated.fetch_add(1, Ordering::Relaxed);
+        let delta = stats_delta(podem.stats(), before);
+        shared.state.lock().expect("scheduler lock poisoned").slots[pos] =
+            Slot::Ready(outcome, delta);
+        shared.done.notify_all();
+    }
+}
+
+/// Everything the commit loop hands back to `run_speculative`: the
+/// result fields under construction plus the consumed-speculation count.
+type Committed = (
+    Vec<adi_sim::Pattern>,
+    Vec<FaultId>,
+    Vec<u32>,
+    Vec<Option<FaultStatus>>,
+    PodemStats,
+    PhaseTimings,
+    u64,
+);
+
+/// The committer: replays the sequential batched loop in ordering
+/// position, consuming speculated outcomes under the first-win rule.
+fn commit_loop<const N: usize>(
+    g: &TestGenerator<'_>,
+    order: &[FaultId],
+    predropped: &[bool],
+    shared: &Shared,
+    resolved: &[AtomicBool],
+    generate_ns: &AtomicU64,
+) -> Committed {
+    let n_faults = g.faults.len();
+    let mut session = DropSession::<N>::for_circuit(&g.circuit, g.faults)
+        .with_threads(g.config.threads.max(1));
+    let mut status: Vec<Option<FaultStatus>> = vec![None; n_faults];
+    let mut active: Vec<FaultId> = g
+        .faults
+        .ids()
+        .filter(|id| !predropped[id.index()])
+        .collect();
+    let mut tests: Vec<adi_sim::Pattern> = Vec::new();
+    let mut targets: Vec<FaultId> = Vec::new();
+    let mut new_detections: Vec<u32> = Vec::new();
+    let mut timing = PhaseTimings::default();
+    let mut stats = PodemStats::default();
+    let mut consumed: u64 = 0;
+    // Fallback generator for the defensive Skipped-slot path below;
+    // never built in a correct run.
+    let mut fallback: Option<Podem> = None;
+
+    for (pos, &target) in order.iter().enumerate() {
+        shared.state.lock().expect("scheduler lock poisoned").commit_pos = pos;
+        shared.work.notify_all();
+
+        if status[target.index()].is_some() {
+            // Classified by an earlier flush (or as redundant/aborted);
+            // make sure in-flight workers see it.
+            resolved[target.index()].store(true, Ordering::Relaxed);
+            continue;
+        }
+        let t0 = Instant::now();
+        let covered = !session.pending_detections(target).is_zero();
+        timing.drop_ns += t0.elapsed().as_nanos() as u64;
+        if covered {
+            // A pending test covers it: the flush that drains the block
+            // is guaranteed to classify it, so the hint is safe to set
+            // now.
+            resolved[target.index()].store(true, Ordering::Relaxed);
+            continue;
+        }
+
+        // First win: the target is live at commit time, so this
+        // position's speculation is the one that counts.
+        let wait0 = Instant::now();
+        let slot = {
+            let mut s = shared.state.lock().expect("scheduler lock poisoned");
+            loop {
+                match std::mem::replace(&mut s.slots[pos], Slot::Consumed) {
+                    Slot::Pending => {
+                        s.slots[pos] = Slot::Pending;
+                        s = shared.done.wait(s).expect("scheduler lock poisoned");
+                    }
+                    other => break other,
+                }
+            }
+        };
+        timing.commit_wait_ns += wait0.elapsed().as_nanos() as u64;
+        let (outcome, delta) = match slot {
+            Slot::Ready(outcome, delta) => {
+                consumed += 1;
+                (outcome, delta)
+            }
+            Slot::Pending => unreachable!("wait loop only exits on a settled slot"),
+            Slot::Skipped | Slot::Consumed => {
+                // Defensively unreachable: a worker only skips on a
+                // resolved hint, hints are only set for classified or
+                // pending-covered faults, and neither state reverts.
+                // Generating here (in commit order) preserves the
+                // deterministic output even if a hint were ever wrong.
+                debug_assert!(false, "speculation slot skipped for a live target");
+                let podem = fallback
+                    .get_or_insert_with(|| Podem::for_circuit(&g.circuit, g.config.podem));
+                let before = podem.stats();
+                let t0 = Instant::now();
+                let outcome = podem.generate(g.faults.fault(target));
+                generate_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                (outcome, stats_delta(podem.stats(), before))
+            }
+        };
+        stats_add(&mut stats, delta);
+
+        match outcome {
+            PodemOutcome::Test(cube) => {
+                let test_index = tests.len() as u32;
+                let seed = g.config.fill_seed.wrapping_add(u64::from(test_index));
+                let pattern = g.config.fill.fill(&cube, seed);
+                let t0 = Instant::now();
+                session.push(&pattern);
+                debug_assert!(
+                    session.pending_detections(target).bit(session.pending() - 1),
+                    "speculated test {pattern} does not detect its target"
+                );
+                tests.push(pattern);
+                targets.push(target);
+                if session.is_full() {
+                    apply_flush(
+                        &mut session,
+                        &targets,
+                        &mut status,
+                        &mut active,
+                        &mut new_detections,
+                        Some(resolved),
+                    );
+                }
+                timing.drop_ns += t0.elapsed().as_nanos() as u64;
+            }
+            PodemOutcome::Untestable => {
+                status[target.index()] = Some(FaultStatus::Redundant);
+                resolved[target.index()].store(true, Ordering::Relaxed);
+                active.retain(|&id| id != target);
+            }
+            PodemOutcome::Aborted => {
+                status[target.index()] = Some(FaultStatus::Aborted);
+                resolved[target.index()].store(true, Ordering::Relaxed);
+                active.retain(|&id| id != target);
+            }
+        }
+    }
+    let t0 = Instant::now();
+    apply_flush(
+        &mut session,
+        &targets,
+        &mut status,
+        &mut active,
+        &mut new_detections,
+        Some(resolved),
+    );
+    timing.drop_ns += t0.elapsed().as_nanos() as u64;
+
+    (tests, targets, new_detections, status, stats, timing, consumed)
+}
+
+#[cfg(test)]
+mod tests {
+    use adi_netlist::fault::FaultList;
+    use adi_netlist::{bench_format, CompiledCircuit};
+    use adi_sim::SimWidth;
+
+    use crate::{DropLoopKind, TestGenConfig, TestGenerator};
+
+    const C17: &str = "
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    #[test]
+    fn speculative_loop_matches_sequential_exactly() {
+        let n = bench_format::parse(C17, "c17").unwrap();
+        let circuit = CompiledCircuit::compile(n);
+        let faults = FaultList::collapsed(circuit.netlist());
+        let order: Vec<_> = faults.ids().collect();
+        let sequential = TestGenerator::for_circuit(
+            &circuit,
+            &faults,
+            TestGenConfig {
+                atpg_threads: 1,
+                ..TestGenConfig::default()
+            },
+        )
+        .run(&order);
+        for atpg_threads in [2usize, 3, 5] {
+            for depth in [1usize, 2, 16] {
+                let speculative = TestGenerator::for_circuit(
+                    &circuit,
+                    &faults,
+                    TestGenConfig {
+                        atpg_threads,
+                        speculation_depth: depth,
+                        ..TestGenConfig::default()
+                    },
+                )
+                .run(&order);
+                // Whole-result equality (tests, classifications, curve,
+                // deterministic stats) — `wasted_speculations` and the
+                // timings are excluded by `TestGenResult`'s `PartialEq`.
+                assert_eq!(speculative, sequential, "threads {atpg_threads} depth {depth}");
+                assert_eq!(
+                    speculative.coverage_curve(),
+                    sequential.coverage_curve(),
+                    "threads {atpg_threads} depth {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn speculation_requires_the_batched_loop() {
+        // The scalar oracle loop ignores `atpg_threads` entirely.
+        let n = bench_format::parse(C17, "c17").unwrap();
+        let circuit = CompiledCircuit::compile(n);
+        let faults = FaultList::collapsed(circuit.netlist());
+        let order: Vec<_> = faults.ids().collect();
+        let mk = |atpg_threads| {
+            TestGenerator::for_circuit(
+                &circuit,
+                &faults,
+                TestGenConfig {
+                    drop_loop: DropLoopKind::Scalar,
+                    atpg_threads,
+                    ..TestGenConfig::default()
+                },
+            )
+            .run(&order)
+        };
+        let seq = mk(1);
+        let spec = mk(4);
+        assert_eq!(seq, spec);
+        assert_eq!(spec.podem_stats.wasted_speculations, 0);
+    }
+
+    #[test]
+    fn narrow_width_and_deep_window_still_agree() {
+        // W1 blocks flush every 64 tests, maximizing commit/flush
+        // interleaving against a deep speculation window.
+        let n = bench_format::parse(C17, "c17").unwrap();
+        let circuit = CompiledCircuit::compile(n);
+        let faults = FaultList::collapsed(circuit.netlist());
+        let order: Vec<_> = faults.ids().collect();
+        let cfg = |atpg_threads| TestGenConfig {
+            width: SimWidth::W1,
+            atpg_threads,
+            speculation_depth: 64,
+            ..TestGenConfig::default()
+        };
+        let seq = TestGenerator::for_circuit(&circuit, &faults, cfg(1)).run(&order);
+        let spec = TestGenerator::for_circuit(&circuit, &faults, cfg(4)).run(&order);
+        assert_eq!(seq, spec);
+    }
+}

@@ -16,13 +16,24 @@
 //! through an [`adi_sim::DropSession`] and pays the stem-region engine's
 //! per-region propagation once per block instead of one per-fault cone
 //! walk per test.
+//!
+//! With [`TestGenConfig::atpg_threads`] above one, the batched loop runs
+//! **speculatively**: a pool of worker threads generates tests for
+//! upcoming targets while the calling thread commits outcomes strictly
+//! in ordering position under the first-win rule (see the
+//! [`speculate`] module docs for the invariants).
+//! Every knob combination — drop loop, width, threads, speculation —
+//! produces the same [`TestGenResult`].
+
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use adi_netlist::fault::{FaultId, FaultList};
 use adi_netlist::CompiledCircuit;
 use adi_sim::faultsim::SimScratch;
 use adi_sim::{CoverageCurve, DropSession, FaultSimulator, Pattern, SimWidth};
 
-use crate::{FillStrategy, Podem, PodemConfig, PodemOutcome, PodemStats};
+use crate::{speculate, FillStrategy, Podem, PodemConfig, PodemOutcome, PodemStats};
 
 /// Which drop loop [`TestGenerator`] runs generated tests through. Both
 /// produce bit-identical results.
@@ -66,6 +77,35 @@ pub struct TestGenConfig {
     /// Threads the batched drop loop's flushes split across
     /// (region-parallel; results identical at every count).
     pub threads: usize,
+    /// Total threads of the batched ATPG loop itself. `1` runs the
+    /// sequential loop; `>= 2` runs the speculative first-win loop with
+    /// `atpg_threads - 1` PODEM workers plus the committing caller.
+    /// Results are **bit-identical** at every value (the determinism
+    /// contract of the [`speculate`] module); the
+    /// scalar oracle loop ignores this. Defaults to the
+    /// `ADI_ATPG_THREADS` environment variable (read once and cached),
+    /// falling back to `1`.
+    pub atpg_threads: usize,
+    /// How far past the commit position speculation workers may claim
+    /// targets, in ordering positions (the lookahead window; `>= 1`).
+    /// Larger windows keep workers busy across skip runs but waste more
+    /// PODEM work on targets that a pending test covers by the time
+    /// they commit. Has no effect on results, only on wall clock and
+    /// [`PodemStats::wasted_speculations`].
+    pub speculation_depth: usize,
+}
+
+/// The cached `ADI_ATPG_THREADS` default for
+/// [`TestGenConfig::atpg_threads`].
+fn atpg_threads_from_env() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("ADI_ATPG_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1)
+    })
 }
 
 impl Default for TestGenConfig {
@@ -77,6 +117,8 @@ impl Default for TestGenConfig {
             drop_loop: DropLoopKind::default(),
             width: SimWidth::default(),
             threads: 1,
+            atpg_threads: atpg_threads_from_env(),
+            speculation_depth: 16,
         }
     }
 }
@@ -111,8 +153,54 @@ impl FaultStatus {
     }
 }
 
+/// Wall-clock nanoseconds spent in each phase of a test-generation run,
+/// carried in [`TestGenResult::timing`].
+///
+/// Timing is a measurement, not an output: it is **excluded from
+/// [`TestGenResult`] equality** so the differential contracts (scalar vs
+/// batched, sequential vs speculative, every width and thread count)
+/// can keep comparing whole results.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Nanoseconds inside `Podem::generate`. Under speculation this sums
+    /// over every worker run — including discarded ones — so it can
+    /// exceed wall clock; the excess over the sequential run is the
+    /// price of the wasted speculation.
+    pub generate_ns: u64,
+    /// Nanoseconds in the drop path: pending-cover checks, test pushes,
+    /// and block flushes (plus the warm-up admission phase, for
+    /// [`TestGenerator::run_with_random_phase`]).
+    pub drop_ns: u64,
+    /// Nanoseconds the committer spent blocked on a speculation slot
+    /// that no worker had finished yet (zero for sequential runs). High
+    /// values mean the worker pool, not the drop path, is the
+    /// bottleneck.
+    pub commit_wait_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Accumulates `other` into `self` (phase-wise saturating sum).
+    fn absorb(&mut self, other: PhaseTimings) {
+        self.generate_ns = self.generate_ns.saturating_add(other.generate_ns);
+        self.drop_ns = self.drop_ns.saturating_add(other.drop_ns);
+        self.commit_wait_ns = self.commit_wait_ns.saturating_add(other.commit_wait_ns);
+    }
+}
+
 /// The outcome of one ordered test-generation run.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// # Equality
+///
+/// `PartialEq`/`Eq` compare the **deterministic outputs** — tests,
+/// targets, per-test detection counts, classifications, and the
+/// deterministic [`PodemStats`] counters. The [`timing`] field
+/// (wall-clock measurement) and the scheduling-dependent
+/// [`PodemStats::wasted_speculations`] diagnostic are excluded, which is
+/// what lets the determinism lattice assert whole-result equality
+/// across drop loops, widths, and thread counts.
+///
+/// [`timing`]: TestGenResult::timing
+#[derive(Clone, Debug)]
 pub struct TestGenResult {
     /// The generated test set, in generation order.
     pub tests: Vec<Pattern>,
@@ -122,9 +210,26 @@ pub struct TestGenResult {
     pub new_detections: Vec<u32>,
     /// Per-fault classification (indexed by `FaultId`).
     pub status: Vec<FaultStatus>,
-    /// PODEM counters for the whole run.
+    /// PODEM counters for the whole run. Under speculation, the
+    /// committed counters (everything except
+    /// [`PodemStats::wasted_speculations`]) are the exact sums the
+    /// sequential loop would have produced.
     pub podem_stats: PodemStats,
+    /// Per-phase wall-clock breakdown (excluded from equality).
+    pub timing: PhaseTimings,
 }
+
+impl PartialEq for TestGenResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.tests == other.tests
+            && self.targets == other.targets
+            && self.new_detections == other.new_detections
+            && self.status == other.status
+            && self.podem_stats.deterministic() == other.podem_stats.deterministic()
+    }
+}
+
+impl Eq for TestGenResult {}
 
 impl TestGenResult {
     /// Number of generated tests.
@@ -176,6 +281,52 @@ impl TestGenResult {
     pub fn coverage_curve(&self) -> CoverageCurve {
         CoverageCurve::from_new_detections(&self.new_detections, self.status.len())
     }
+
+    /// One-struct digest of the run: counts, coverage, the per-phase
+    /// wall-clock split, and the wasted-speculation counter — everything
+    /// needed to see where a run spent its time (and whether speculation
+    /// paid off) without a profiler.
+    pub fn summary(&self) -> TestGenSummary {
+        TestGenSummary {
+            num_tests: self.num_tests(),
+            num_detected: self.num_detected(),
+            num_redundant: self.num_redundant(),
+            num_aborted: self.num_aborted(),
+            coverage: self.coverage(),
+            generate_ns: self.timing.generate_ns,
+            drop_ns: self.timing.drop_ns,
+            commit_wait_ns: self.timing.commit_wait_ns,
+            wasted_speculations: self.podem_stats.wasted_speculations,
+        }
+    }
+}
+
+/// Digest of a [`TestGenResult`] ([`TestGenResult::summary`]): result
+/// counts plus the phase timing and speculation-waste diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TestGenSummary {
+    /// Generated tests.
+    pub num_tests: usize,
+    /// Detected faults (as target or accidentally).
+    pub num_detected: usize,
+    /// Faults proven redundant.
+    pub num_redundant: usize,
+    /// Aborted faults.
+    pub num_aborted: usize,
+    /// Fault coverage over all faults.
+    pub coverage: f64,
+    /// Wall-clock nanoseconds in `Podem::generate`
+    /// ([`PhaseTimings::generate_ns`]).
+    pub generate_ns: u64,
+    /// Wall-clock nanoseconds in the drop path
+    /// ([`PhaseTimings::drop_ns`]).
+    pub drop_ns: u64,
+    /// Wall-clock nanoseconds the committer waited on unfinished
+    /// speculation ([`PhaseTimings::commit_wait_ns`]).
+    pub commit_wait_ns: u64,
+    /// Speculative PODEM runs whose result was discarded
+    /// ([`PodemStats::wasted_speculations`]).
+    pub wasted_speculations: u64,
 }
 
 /// Drives PODEM over an ordered fault list with fault dropping.
@@ -201,9 +352,9 @@ impl TestGenResult {
 /// ```
 #[derive(Debug)]
 pub struct TestGenerator<'a> {
-    circuit: CompiledCircuit,
-    faults: &'a FaultList,
-    config: TestGenConfig,
+    pub(crate) circuit: CompiledCircuit,
+    pub(crate) faults: &'a FaultList,
+    pub(crate) config: TestGenConfig,
 }
 
 impl<'a> TestGenerator<'a> {
@@ -236,7 +387,7 @@ impl<'a> TestGenerator<'a> {
     }
 
     /// Validates `order` (in-range, duplicate-free) and marks targets.
-    fn validate_order(&self, order: &[FaultId]) {
+    pub(crate) fn validate_order(&self, order: &[FaultId]) {
         let n_faults = self.faults.len();
         let mut seen = vec![false; n_faults];
         for &id in order {
@@ -280,13 +431,17 @@ impl<'a> TestGenerator<'a> {
         let mut tests: Vec<Pattern> = Vec::new();
         let mut targets: Vec<FaultId> = Vec::new();
         let mut new_detections: Vec<u32> = Vec::new();
+        let mut timing = PhaseTimings::default();
 
         for &target in order {
             if status[target.index()].is_some() {
                 continue; // already detected or resolved
             }
             let fault = self.faults.fault(target);
-            match podem.generate(fault) {
+            let t0 = Instant::now();
+            let outcome = podem.generate(fault);
+            timing.generate_ns += t0.elapsed().as_nanos() as u64;
+            match outcome {
                 PodemOutcome::Test(cube) => {
                     let test_index = tests.len() as u32;
                     let seed = self
@@ -294,7 +449,9 @@ impl<'a> TestGenerator<'a> {
                         .fill_seed
                         .wrapping_add(u64::from(test_index));
                     let pattern = self.config.fill.fill(&cube, seed);
+                    let t0 = Instant::now();
                     let detected = sim.detect_pattern(&pattern, &active, &mut scratch);
+                    timing.drop_ns += t0.elapsed().as_nanos() as u64;
                     debug_assert!(
                         detected.contains(&target),
                         "generated test {pattern} does not detect its target {fault}"
@@ -328,6 +485,7 @@ impl<'a> TestGenerator<'a> {
             new_detections,
             status: finalize_status(status),
             podem_stats: podem.stats(),
+            timing,
         }
     }
 
@@ -340,6 +498,14 @@ impl<'a> TestGenerator<'a> {
     /// classifications, and per-test detection counts are bit-identical
     /// to the scalar loop's at every width and thread count.
     fn run_phase_batched(&self, order: &[FaultId], predropped: &[bool]) -> TestGenResult {
+        if self.config.atpg_threads > 1 {
+            return match self.config.width {
+                SimWidth::W1 => speculate::run_speculative::<1>(self, order, predropped),
+                SimWidth::W2 => speculate::run_speculative::<2>(self, order, predropped),
+                SimWidth::W4 => speculate::run_speculative::<4>(self, order, predropped),
+                SimWidth::W8 => speculate::run_speculative::<8>(self, order, predropped),
+            };
+        }
         match self.config.width {
             SimWidth::W1 => self.run_phase_batched_w::<1>(order, predropped),
             SimWidth::W2 => self.run_phase_batched_w::<2>(order, predropped),
@@ -370,16 +536,23 @@ impl<'a> TestGenerator<'a> {
         let mut tests: Vec<Pattern> = Vec::new();
         let mut targets: Vec<FaultId> = Vec::new();
         let mut new_detections: Vec<u32> = Vec::new();
+        let mut timing = PhaseTimings::default();
 
         for &target in order {
             if status[target.index()].is_some() {
                 continue; // resolved by a flushed block, or aborted/redundant
             }
-            if !session.pending_detections(target).is_zero() {
+            let t0 = Instant::now();
+            let covered = !session.pending_detections(target).is_zero();
+            timing.drop_ns += t0.elapsed().as_nanos() as u64;
+            if covered {
                 continue; // a pending test covers it; classified at flush
             }
             let fault = self.faults.fault(target);
-            match podem.generate(fault) {
+            let t0 = Instant::now();
+            let outcome = podem.generate(fault);
+            timing.generate_ns += t0.elapsed().as_nanos() as u64;
+            match outcome {
                 PodemOutcome::Test(cube) => {
                     let test_index = tests.len() as u32;
                     let seed = self
@@ -387,6 +560,7 @@ impl<'a> TestGenerator<'a> {
                         .fill_seed
                         .wrapping_add(u64::from(test_index));
                     let pattern = self.config.fill.fill(&cube, seed);
+                    let t0 = Instant::now();
                     session.push(&pattern);
                     debug_assert!(
                         session.pending_detections(target).bit(session.pending() - 1),
@@ -401,8 +575,10 @@ impl<'a> TestGenerator<'a> {
                             &mut status,
                             &mut active,
                             &mut new_detections,
+                            None,
                         );
                     }
+                    timing.drop_ns += t0.elapsed().as_nanos() as u64;
                 }
                 PodemOutcome::Untestable => {
                     status[target.index()] = Some(FaultStatus::Redundant);
@@ -414,13 +590,16 @@ impl<'a> TestGenerator<'a> {
                 }
             }
         }
+        let t0 = Instant::now();
         apply_flush(
             &mut session,
             &targets,
             &mut status,
             &mut active,
             &mut new_detections,
+            None,
         );
+        timing.drop_ns += t0.elapsed().as_nanos() as u64;
 
         TestGenResult {
             tests,
@@ -428,6 +607,7 @@ impl<'a> TestGenerator<'a> {
             new_detections,
             status: finalize_status(status),
             podem_stats: podem.stats(),
+            timing,
         }
     }
 
@@ -460,6 +640,7 @@ impl<'a> TestGenerator<'a> {
         let mut warm_targets: Vec<FaultId> = Vec::new();
         let mut warm_news: Vec<u32> = Vec::new();
         let mut warm_status: Vec<(FaultId, u32)> = Vec::new();
+        let warm_start = Instant::now();
 
         // Admit every warm-up vector that detects at least one new
         // fault. Detection of a fault by a vector is independent of what
@@ -505,6 +686,13 @@ impl<'a> TestGenerator<'a> {
             }
         }
 
+        // The warm-up admission phase is all fault simulation: book it
+        // under the drop phase.
+        let mut timing = PhaseTimings {
+            drop_ns: warm_start.elapsed().as_nanos() as u64,
+            ..PhaseTimings::default()
+        };
+
         // Deterministic ATPG on the survivors.
         let remaining: Vec<FaultId> = order
             .iter()
@@ -538,6 +726,7 @@ impl<'a> TestGenerator<'a> {
         targets.extend(tail.targets);
         let mut new_detections = warm_news;
         new_detections.extend(tail.new_detections);
+        timing.absorb(tail.timing);
 
         TestGenResult {
             tests,
@@ -545,6 +734,7 @@ impl<'a> TestGenerator<'a> {
             new_detections,
             status,
             podem_stats: tail.podem_stats,
+            timing,
         }
     }
 }
@@ -601,7 +791,7 @@ impl<'a> TestGenerator<'a> {
 /// Resolves still-`None` statuses: untargeted, never-detected faults
 /// were deliberately excluded from `order`; treat them as aborted so
 /// totals stay consistent without inventing detections.
-fn finalize_status(status: Vec<Option<FaultStatus>>) -> Vec<FaultStatus> {
+pub(crate) fn finalize_status(status: Vec<Option<FaultStatus>>) -> Vec<FaultStatus> {
     status
         .into_iter()
         .map(|s| s.unwrap_or(FaultStatus::Aborted))
@@ -613,12 +803,18 @@ fn finalize_status(status: Vec<Option<FaultStatus>>) -> Vec<FaultStatus> {
 /// detected faults are classified against that test (as-target for the
 /// lane's own target, accidental otherwise), and `active` is pruned —
 /// exactly the per-test bookkeeping the scalar loop performs inline.
-fn apply_flush<const N: usize>(
+///
+/// `resolved` is the speculative loop's shared pruning hints: every
+/// fault classified here is flagged so in-flight workers stop targeting
+/// it. Hints are advisory (the committer re-checks `status` at commit
+/// time), so the sequential loops pass `None`.
+pub(crate) fn apply_flush<const N: usize>(
     session: &mut DropSession<'_, N>,
     targets: &[FaultId],
     status: &mut [Option<FaultStatus>],
     active: &mut Vec<FaultId>,
     new_detections: &mut Vec<u32>,
+    resolved: Option<&[std::sync::atomic::AtomicBool]>,
 ) {
     let lists = session.flush(active);
     if lists.is_empty() {
@@ -634,6 +830,9 @@ fn apply_flush<const N: usize>(
             } else {
                 FaultStatus::DetectedAccidentally { test: test_index }
             });
+            if let Some(hints) = resolved {
+                hints[d.index()].store(true, std::sync::atomic::Ordering::Relaxed);
+            }
         }
         new_detections.push(detected.len() as u32);
     }

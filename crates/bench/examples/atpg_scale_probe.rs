@@ -1,0 +1,45 @@
+//! Phase-split probe for speculative ATPG tuning: runs ordered ATPG on
+//! one suite circuit at a chosen thread count and width and prints the
+//! `TestGenSummary` split (generate vs drop vs commit-wait, plus wasted
+//! speculations), so "where did the wall clock go?" is one command:
+//!
+//! ```text
+//! cargo run -p adi-bench --release --example atpg_scale_probe -- irs13207 4 1
+//! ```
+
+use adi_atpg::{TestGenConfig, TestGenerator};
+use adi_circuits::paper_suite;
+use adi_netlist::fault::FaultId;
+use adi_netlist::CompiledCircuit;
+use adi_sim::SimWidth;
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "irs13207".into());
+    let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let width: usize = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let circuit = paper_suite().into_iter().find(|c| c.name == name).unwrap();
+    let compiled = CompiledCircuit::compile(circuit.netlist());
+    let faults = compiled.collapsed_faults();
+    let order: Vec<FaultId> = faults.ids().collect();
+    let config = TestGenConfig {
+        width: SimWidth::from_lanes(width).unwrap(),
+        threads,
+        atpg_threads: threads,
+        ..TestGenConfig::default()
+    };
+    let gen = TestGenerator::for_circuit(&compiled, faults, config);
+    let t0 = Instant::now();
+    let result = gen.run(&order);
+    let wall = t0.elapsed();
+    let s = result.summary();
+    println!(
+        "{name} threads={threads} width={width}: wall={:?} tests={} gen={:.3}s drop={:.3}s wait={:.3}s waste={}",
+        wall,
+        s.num_tests,
+        s.generate_ns as f64 / 1e9,
+        s.drop_ns as f64 / 1e9,
+        s.commit_wait_ns as f64 / 1e9,
+        s.wasted_speculations,
+    );
+}

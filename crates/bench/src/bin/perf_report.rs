@@ -14,7 +14,7 @@
 //!     [--width 1|2|4|8] [--threads N]
 //! ```
 //!
-//! JSON schema (`adi-perf-report/v5`, written via the vendored `json`
+//! JSON schema (`adi-perf-report/v6`, written via the vendored `json`
 //! value model): a header with the run parameters, a `circuits` array
 //! carrying the compile-once vs compile-per-call timings (`compile_ns`,
 //! `adi_compile_once_ns`, `adi_per_call_ns`), one `entries` element per
@@ -36,7 +36,26 @@
 //! patterns/s baseline. Every service response is agreement-gated
 //! against the direct library result before any timing is recorded, and
 //! non-`--quick` runs fail unless the largest circuit's `hit_speedup`
-//! clears the 10x floor. The engine column of `entries` maps per phase:
+//! clears the 10x floor.
+//!
+//! New in v6: one `atpg_scaling` element per `(circuit, threads)` cell
+//! of the speculative-ATPG lattice (threads 1, 2, 4, clipped by
+//! `--threads`) carrying `wall_ns`, `speedup` (serial wall over this
+//! cell's wall), `wasted_speculations`, and the phase split
+//! (`generate_ns`, `drop_ns`, `commit_wait_ns`). **Every threaded cell
+//! is agreement-gated bit-identical to the sequential `atpg_threads: 1`
+//! run before its timing is written** — even under `--quick` — (the
+//! hidden `--inject-atpg-mismatch` flag skews one threaded cell's fill
+//! seed so CI can assert the gate fires), and non-`--quick` runs
+//! additionally fail unless irs13207's 4-thread cell clears twice the
+//! committed PR 6 sequential ATPG wall time — on hosts with at least 4
+//! cores. On smaller hosts (the committed snapshots come from a
+//! single-core container, recorded in the report's `host_parallelism`
+//! field) that floor is unreachable by construction, so the gate
+//! degrades to a speculation-overhead ceiling against the run's own
+//! sequential cell.
+//!
+//! The engine column of `entries` maps per phase:
 //!
 //! * `no-drop` / `dropping` / `adi` — the fault-simulation engines
 //!   (per-fault PPSFP vs the stem-region engine).
@@ -104,6 +123,21 @@ const WIDE_GAIN_FLOOR: f64 = 2.0;
 /// Thread counts the width lattice measures (clipped by `--threads`).
 const LATTICE_THREADS: [usize; 3] = [1, 2, 4];
 
+/// Committed PR 6 baseline: end-to-end ordered ATPG (event-driven
+/// PODEM with the batched drop loop, one lane, one thread) wall time
+/// on irs13207. The v6 parallel-atpg gate holds the 4-thread
+/// speculative cell to at least twice this speed.
+const PR6_IRS13207_ATPG_NS: u128 = 2_355_143_480;
+const ATPG_GAIN_FLOOR: f64 = 2.0;
+
+/// On hosts without enough cores for the throughput floor (the
+/// committed snapshots come from a single-core container), the
+/// parallel-atpg gate degrades to an overhead bound: the 4-thread cell
+/// must stay within this factor of the measured sequential cell, i.e.
+/// speculation must cost bounded coordination overhead, never a
+/// blow-up, when there is no parallel hardware to win on.
+const ATPG_OVERHEAD_CEIL: f64 = 1.35;
+
 struct Options {
     max_gates: usize,
     patterns: usize,
@@ -117,6 +151,9 @@ struct Options {
     /// Hidden: corrupt one lattice cell so the width-agreement gate
     /// demonstrably fires (CI smoke).
     inject_width_mismatch: bool,
+    /// Hidden: skew one speculative ATPG cell's fill seed so the
+    /// atpg-agreement gate demonstrably fires (CI smoke).
+    inject_atpg_mismatch: bool,
 }
 
 impl Default for Options {
@@ -130,6 +167,7 @@ impl Default for Options {
             width: None,
             max_threads: 4,
             inject_width_mismatch: false,
+            inject_atpg_mismatch: false,
         }
     }
 }
@@ -185,6 +223,7 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or_else(|| "--threads requires a positive number".to_string())?;
             }
             "--inject-width-mismatch" => opts.inject_width_mismatch = true,
+            "--inject-atpg-mismatch" => opts.inject_atpg_mismatch = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -283,6 +322,21 @@ struct WidthStats {
     patterns_per_s_per_core: f64,
     /// `pps(threads) / (threads * pps(1))` at the same width.
     scaling_efficiency: f64,
+}
+
+/// One cell of the v6 speculative-ATPG lattice: end-to-end ordered ATPG
+/// (event-driven PODEM + batched drop loop, one lane) at one total
+/// thread count, agreement-gated bit-identical to the sequential cell.
+struct AtpgScalingStats {
+    circuit: String,
+    threads: usize,
+    wall_ns: u128,
+    /// Sequential-cell wall time over this cell's (so threads=1 reads 1.0).
+    speedup: f64,
+    wasted_speculations: u64,
+    generate_ns: u64,
+    drop_ns: u64,
+    commit_wait_ns: u64,
 }
 
 /// Unwraps a service response, panicking (and thus refusing to write a
@@ -608,6 +662,9 @@ fn main() {
         .collect();
     // One cell is corrupted at most once per run (the first measured).
     let mut inject_pending = opts.inject_width_mismatch;
+    let mut atpg_scaling: Vec<AtpgScalingStats> = Vec::new();
+    let mut inject_atpg_pending = opts.inject_atpg_mismatch;
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     for circuit in &circuits {
         eprintln!(
@@ -753,6 +810,55 @@ fn main() {
         );
         assert_atpg_agreement(circuit.name, a, b);
 
+        // The v6 speculative-ATPG lattice: the same ordered run at
+        // total thread counts 1, 2, 4 — every threaded cell must be
+        // bit-identical to the sequential cell before its timing is
+        // written, even under `--quick` (this is where the fill-seed
+        // skew of `--inject-atpg-mismatch` gets caught).
+        eprintln!("[perf_report] {} atpg scaling phase...", circuit.name);
+        let mut serial_cell: Option<(u128, TestGenResult)> = None;
+        for &threads in &lattice_threads {
+            let mut config = TestGenConfig {
+                width: SimWidth::W1,
+                threads,
+                atpg_threads: threads,
+                ..TestGenConfig::default()
+            };
+            if threads > 1 && inject_atpg_pending {
+                inject_atpg_pending = false;
+                // Deliberately skew the fill seed: the committed tests
+                // differ, and the agreement gate must catch it.
+                config.fill_seed ^= 1;
+            }
+            let gen = TestGenerator::for_circuit(&compiled, faults, config);
+            let mut cell: Option<TestGenResult> = None;
+            let wall_ns = time_ns(|| {
+                cell = Some(std::hint::black_box(gen.run(&order)));
+            });
+            let cell = cell.expect("timed");
+            let (serial_ns, serial_result) =
+                serial_cell.get_or_insert_with(|| (wall_ns, cell.clone()));
+            if cell != *serial_result {
+                eprintln!(
+                    "error: atpg agreement gate fired: {} at {threads} threads disagrees \
+                     with the sequential loop — refusing to write a perf report",
+                    circuit.name
+                );
+                std::process::exit(1);
+            }
+            let summary = cell.summary();
+            atpg_scaling.push(AtpgScalingStats {
+                circuit: circuit.name.to_string(),
+                threads,
+                wall_ns,
+                speedup: *serial_ns as f64 / wall_ns.max(1) as f64,
+                wasted_speculations: summary.wasted_speculations,
+                generate_ns: summary.generate_ns,
+                drop_ns: summary.drop_ns,
+                commit_wait_ns: summary.commit_wait_ns,
+            });
+        }
+
         // The drop loop in isolation: replay the generated test set (the
         // exact sequence ATPG produced) through the scalar
         // `detect_pattern` loop vs the batched `DropSession`.
@@ -873,6 +979,7 @@ fn main() {
         &entries,
         &service_stats,
         &width_stats,
+        &atpg_scaling,
     )
     .pretty();
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
@@ -970,6 +1077,33 @@ fn main() {
     }
     println!("{}", width_table.render());
 
+    // Speculative-ATPG summary: one row per (circuit, threads) with the
+    // wall, the speedup over the sequential cell, and where the time
+    // went (PODEM vs drop loop vs waiting on out-of-order outcomes).
+    let mut atpg_table = TextTable::new(vec![
+        "circuit",
+        "atpg threads",
+        "wall (ms)",
+        "speedup",
+        "wasted",
+        "generate (ms)",
+        "drop (ms)",
+        "commit wait (ms)",
+    ]);
+    for s in &atpg_scaling {
+        atpg_table.row(vec![
+            s.circuit.clone(),
+            s.threads.to_string(),
+            format!("{:.2}", s.wall_ns as f64 / 1e6),
+            format!("{:.2}x", s.speedup),
+            s.wasted_speculations.to_string(),
+            format!("{:.2}", s.generate_ns as f64 / 1e6),
+            format!("{:.2}", s.drop_ns as f64 / 1e6),
+            format!("{:.2}", s.commit_wait_ns as f64 / 1e6),
+        ]);
+    }
+    println!("{}", atpg_table.render());
+
     // Service phase summary: the request path, cold vs cache-hit.
     let mut service_table = TextTable::new(vec![
         "circuit",
@@ -1052,11 +1186,63 @@ fn main() {
                 best.patterns_per_s, best.threads
             );
         }
+
+        // Parallel-ATPG gate: on a host with cores to run them, the
+        // 4-thread speculative cell on irs13207 must run the whole
+        // ordered generation at least twice as fast as the committed
+        // PR 6 sequential baseline. On smaller hosts (the committed
+        // snapshots come from a single-core container, where no thread
+        // count can beat sequential wall time) the gate degrades to an
+        // overhead bound against this run's own sequential cell —
+        // speculation must never blow up the wall clock.
+        let cell4 = atpg_scaling
+            .iter()
+            .find(|s| s.circuit == "irs13207" && s.threads == 4);
+        let cell1 = atpg_scaling
+            .iter()
+            .find(|s| s.circuit == "irs13207" && s.threads == 1);
+        if let (Some(cell), Some(serial)) = (cell4, cell1) {
+            let gain = PR6_IRS13207_ATPG_NS as f64 / cell.wall_ns.max(1) as f64;
+            if host_parallelism >= 4 {
+                if gain < ATPG_GAIN_FLOOR {
+                    eprintln!(
+                        "error: irs13207 4-thread speculative ATPG is {:.0} ms ({gain:.2}x \
+                         the PR 6 sequential baseline {:.0} ms), below the \
+                         {ATPG_GAIN_FLOOR:.1}x floor",
+                        cell.wall_ns as f64 / 1e6,
+                        PR6_IRS13207_ATPG_NS as f64 / 1e6
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "[perf_report] parallel-atpg gate passed: irs13207 4-thread ATPG \
+                     {:.0} ms = {gain:.2}x the PR 6 baseline",
+                    cell.wall_ns as f64 / 1e6
+                );
+            } else {
+                let overhead = cell.wall_ns as f64 / serial.wall_ns.max(1) as f64;
+                if overhead > ATPG_OVERHEAD_CEIL {
+                    eprintln!(
+                        "error: irs13207 4-thread speculative ATPG is {overhead:.2}x the \
+                         sequential wall on a {host_parallelism}-core host, above the \
+                         {ATPG_OVERHEAD_CEIL:.2}x overhead ceiling",
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "[perf_report] parallel-atpg gate: host has {host_parallelism} core(s), \
+                     below the 4 the {ATPG_GAIN_FLOOR:.1}x throughput floor assumes — \
+                     enforced the {ATPG_OVERHEAD_CEIL:.2}x overhead ceiling instead \
+                     (4-thread cell = {overhead:.2}x sequential, {gain:.2}x the PR 6 baseline)",
+                );
+            }
+        }
     }
 }
 
-/// Assembles the v5 report document (serialized with
+/// Assembles the v6 report document (serialized with
 /// [`Value::pretty`]).
+#[allow(clippy::too_many_arguments)]
 fn render_report(
     date: &str,
     opts: &Options,
@@ -1064,10 +1250,17 @@ fn render_report(
     entries: &[Entry],
     service_stats: &[ServiceStats],
     width_stats: &[WidthStats],
+    atpg_scaling: &[AtpgScalingStats],
 ) -> Value {
     let mut root = Object::new();
-    root.insert("schema", "adi-perf-report/v5");
+    root.insert("schema", "adi-perf-report/v6");
     root.insert("date", date);
+    // The snapshot host's core count — the context every scaling and
+    // efficiency number in this report must be read against.
+    root.insert(
+        "host_parallelism",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
     root.insert("patterns", opts.patterns);
     root.insert("podem_sample", PODEM_SAMPLE);
     root.insert("quick", opts.quick);
@@ -1152,6 +1345,26 @@ fn render_report(
                 .collect(),
         ),
     );
+    root.insert(
+        "atpg_scaling",
+        Value::Array(
+            atpg_scaling
+                .iter()
+                .map(|s| {
+                    let mut o = Object::new();
+                    o.insert("circuit", s.circuit.as_str());
+                    o.insert("threads", s.threads);
+                    o.insert("wall_ns", Value::from_u128(s.wall_ns));
+                    o.insert("speedup", Value::rounded(s.speedup, 3));
+                    o.insert("wasted_speculations", s.wasted_speculations);
+                    o.insert("generate_ns", s.generate_ns);
+                    o.insert("drop_ns", s.drop_ns);
+                    o.insert("commit_wait_ns", s.commit_wait_ns);
+                    o.into()
+                })
+                .collect(),
+        ),
+    );
     Value::Object(root)
 }
 
@@ -1168,7 +1381,7 @@ mod tests {
     }
 
     #[test]
-    fn json_is_well_formed_and_v5_shaped() {
+    fn json_is_well_formed_and_v6_shaped() {
         let entries = vec![
             Entry {
                 circuit: "irs208".into(),
@@ -1209,6 +1422,16 @@ mod tests {
             patterns_per_s_per_core: 500_000.5,
             scaling_efficiency: 0.875,
         }];
+        let scaling = vec![AtpgScalingStats {
+            circuit: "irs208".into(),
+            threads: 4,
+            wall_ns: 2_500_000,
+            speedup: 2.75,
+            wasted_speculations: 7,
+            generate_ns: 1_500_000,
+            drop_ns: 600_000,
+            commit_wait_ns: 150_000,
+        }];
         let doc = render_report(
             "2026-01-01",
             &Options::default(),
@@ -1216,12 +1439,13 @@ mod tests {
             &entries,
             &service,
             &widths,
+            &scaling,
         );
         let text = doc.pretty();
         // Strict JSON: our own parser must read it back identically.
         assert_eq!(json::parse(&text).unwrap(), doc);
         for needle in [
-            "\"schema\": \"adi-perf-report/v5\"",
+            "\"schema\": \"adi-perf-report/v6\"",
             "\"engine\": \"stem-region\"",
             "\"wall_ns\": 12345",
             "\"phase\": \"podem\"",
@@ -1241,6 +1465,13 @@ mod tests {
             "\"patterns_per_s\": 1000000.5",
             "\"patterns_per_s_per_core\": 500000.5",
             "\"scaling_efficiency\": 0.875",
+            "\"atpg_scaling\"",
+            "\"host_parallelism\"",
+            "\"speedup\": 2.75",
+            "\"wasted_speculations\": 7",
+            "\"generate_ns\": 1500000",
+            "\"drop_ns\": 600000",
+            "\"commit_wait_ns\": 150000",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

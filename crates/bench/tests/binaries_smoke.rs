@@ -78,7 +78,7 @@ fn perf_report_writes_json() {
     assert!(ok);
     assert!(stdout.contains("speedup"));
     let json = std::fs::read_to_string(&out_path).expect("report written");
-    assert!(json.contains("\"schema\": \"adi-perf-report/v5\""));
+    assert!(json.contains("\"schema\": \"adi-perf-report/v6\""));
     assert!(json.contains("\"circuit\": \"irs208\""));
     assert!(json.contains("\"engine\": \"per-fault\""));
     assert!(json.contains("\"engine\": \"stem-region\""));
@@ -104,7 +104,45 @@ fn perf_report_writes_json() {
     assert!(json.contains("\"patterns_per_s\""));
     assert!(json.contains("\"patterns_per_s_per_core\""));
     assert!(json.contains("\"scaling_efficiency\""));
+    // v6: the speculative-ATPG lattice, one cell per (circuit, threads).
+    assert!(json.contains("\"atpg_scaling\""));
+    assert!(json.contains("\"host_parallelism\""));
+    assert!(json.contains("\"wasted_speculations\""));
+    assert!(json.contains("\"generate_ns\""));
+    assert!(json.contains("\"drop_ns\""));
+    assert!(json.contains("\"commit_wait_ns\""));
     let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn perf_report_atpg_agreement_gate_fires_on_injected_mismatch() {
+    let dir = std::env::temp_dir().join("adi_perf_report_atpg_gate");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out_path = dir.join("BENCH_atpg_gate.json");
+    let _ = std::fs::remove_file(&out_path);
+    // The hidden flag skews one speculative cell's fill seed; the
+    // sequential-agreement gate must catch it and refuse to write any
+    // report.
+    let out = Command::new(env!("CARGO_BIN_EXE_perf_report"))
+        .args([
+            "--quick",
+            "--max-gates",
+            "150",
+            "--patterns",
+            "64",
+            "--inject-atpg-mismatch",
+            "--out",
+            out_path.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "injected mismatch must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("atpg agreement gate fired"),
+        "stderr: {stderr}"
+    );
+    assert!(!out_path.exists(), "no report may be written on a mismatch");
 }
 
 #[test]

@@ -219,6 +219,18 @@ impl<'a> ExperimentBuilder<'a> {
         self
     }
 
+    /// Sets the total thread count of each per-ordering ATPG loop (the
+    /// speculative first-win loop when `>= 2`; results are bit-identical
+    /// at every value). Composes multiplicatively with
+    /// [`parallel_orderings`](Self::parallel_orderings) — an experiment
+    /// over `k` orderings at `atpg_threads: t` can occupy `k * t`
+    /// threads — so prefer `parallel_orderings(false)` when `t` already
+    /// saturates the machine.
+    pub fn atpg_threads(mut self, threads: usize) -> Self {
+        self.config.testgen.atpg_threads = threads.max(1);
+        self
+    }
+
     /// Sets the fault orders to run ATPG with.
     pub fn orderings(mut self, orderings: Vec<FaultOrdering>) -> Self {
         self.config.orderings = orderings;
@@ -413,6 +425,25 @@ G23 = NAND(G16, G19)
         }
         assert_eq!(parallel.u_size, serial.u_size);
         assert_eq!(parallel.adi_summary, serial.adi_summary);
+    }
+
+    #[test]
+    fn speculative_atpg_matches_serial_experiment() {
+        let n = bench_format::parse(C17, "c17").unwrap();
+        let circuit = CompiledCircuit::compile(n);
+        let speculative = Experiment::on(&circuit)
+            .parallel_orderings(false)
+            .atpg_threads(4)
+            .run();
+        let sequential = Experiment::on(&circuit)
+            .parallel_orderings(false)
+            .atpg_threads(1)
+            .run();
+        assert_eq!(speculative.runs.len(), sequential.runs.len());
+        for (p, s) in speculative.runs.iter().zip(&sequential.runs) {
+            assert_eq!(p.result, s.result, "{} differs under speculation", p.ordering);
+            assert_eq!(p.ave, s.ave);
+        }
     }
 
     #[test]

@@ -292,6 +292,15 @@ impl ServiceState {
         o.insert("coverage", result.coverage());
         o.insert("efficiency", result.efficiency());
         o.insert("ave", average_detection_position(&result.coverage_curve()));
+        // Phase timings and speculation diagnostics (wall-clock only —
+        // every other response field is independent of `atpg_threads`).
+        let summary = result.summary();
+        let mut t = Object::new();
+        t.insert("generate_ns", summary.generate_ns);
+        t.insert("drop_ns", summary.drop_ns);
+        t.insert("commit_wait_ns", summary.commit_wait_ns);
+        o.insert("timing", t);
+        o.insert("wasted_speculations", summary.wasted_speculations);
         if opt_bool(req, "include_tests", false)? {
             o.insert(
                 "tests",

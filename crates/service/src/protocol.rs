@@ -151,7 +151,14 @@ pub(crate) fn parse_ordering(req: &Value, default: FaultOrdering) -> RequestResu
 
 /// Parses the per-request ATPG configuration (`"atpg"` object:
 /// `backtrack_limit`, `fill`, `fill_seed`, `drop_loop`, `width`,
-/// `threads`), defaulting to [`TestGenConfig::default`].
+/// `threads`, `atpg_threads`, `speculation_depth`), defaulting to
+/// [`TestGenConfig::default`].
+///
+/// `threads` sets both the drop-loop flush parallelism and (absent an
+/// explicit `atpg_threads` key, which wins) the speculative ATPG loop's
+/// total thread count, so a client can say `"threads": 4` once and get
+/// the whole pipeline parallel. Either way the response is bit-identical
+/// to the sequential loop (the `speculate` determinism contract).
 pub(crate) fn parse_testgen_config(req: &Value) -> RequestResult<TestGenConfig> {
     let mut config = TestGenConfig::default();
     let Some(spec) = req.get("atpg") else {
@@ -189,6 +196,17 @@ pub(crate) fn parse_testgen_config(req: &Value) -> RequestResult<TestGenConfig> 
     };
     config.width = parse_width(spec)?;
     config.threads = (opt_u64(spec, "threads", 1)? as usize).max(1);
+    // An explicit `atpg_threads` wins; otherwise an explicit `threads`
+    // parallelizes the whole loop; otherwise keep the config default
+    // (the `ADI_ATPG_THREADS` environment fallback).
+    let atpg_default = if spec.get("threads").is_some() {
+        config.threads as u64
+    } else {
+        config.atpg_threads as u64
+    };
+    config.atpg_threads = (opt_u64(spec, "atpg_threads", atpg_default)? as usize).max(1);
+    config.speculation_depth =
+        (opt_u64(spec, "speculation_depth", config.speculation_depth as u64)? as usize).max(1);
     Ok(config)
 }
 
@@ -408,6 +426,21 @@ mod tests {
         let cfg = parse_testgen_config(&req).unwrap();
         assert_eq!(cfg.width, SimWidth::W4);
         assert_eq!(cfg.threads, 3);
+        // `threads` parallelizes the ATPG loop too unless an explicit
+        // `atpg_threads` overrides it; `speculation_depth` is clamped.
+        assert_eq!(cfg.atpg_threads, 3);
+        assert_eq!(cfg.speculation_depth, TestGenConfig::default().speculation_depth);
+        let req = json::parse(
+            r#"{"atpg": {"threads": 3, "atpg_threads": 2, "speculation_depth": 0}}"#,
+        )
+        .unwrap();
+        let cfg = parse_testgen_config(&req).unwrap();
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.atpg_threads, 2);
+        assert_eq!(cfg.speculation_depth, 1);
+        let req = json::parse(r#"{"atpg": {"width": 2}}"#).unwrap();
+        let cfg = parse_testgen_config(&req).unwrap();
+        assert_eq!(cfg.atpg_threads, TestGenConfig::default().atpg_threads);
         let adi = json::parse(r#"{"adi": {"width": 8, "threads": 2}}"#).unwrap();
         let cfg = parse_adi_config(&adi).unwrap();
         assert_eq!(cfg.width, SimWidth::W8);

@@ -212,6 +212,43 @@ fn atpg_matches_direct_generation_bit_for_bit() {
     );
 }
 
+/// A speculative (`atpg_threads: 4`) request must answer with exactly
+/// the sequential response — the service-level face of the first-win
+/// determinism contract — and carry the phase-timing diagnostics.
+#[test]
+fn atpg_is_thread_count_invariant_and_reports_timing() {
+    let _guard = BUILD_COUNT_LOCK.lock().unwrap();
+    let s = state();
+    let (text, _) = medium();
+    let hash = compile_via_service(&s, &text, "svc_medium");
+    let run = |atpg: &str| {
+        request_ok(
+            &s,
+            &format!(
+                r#"{{"op": "atpg", "hash": "{hash}", "ordering": "0dynm", "random": {{"count": 256, "seed": 21}}, "include_tests": true, "atpg": {atpg}}}"#
+            ),
+        )
+    };
+    let sequential = run(r#"{"atpg_threads": 1}"#);
+    let speculative = run(r#"{"threads": 4, "speculation_depth": 8}"#);
+    for key in ["num_tests", "num_detected", "num_redundant", "num_aborted"] {
+        assert_eq!(
+            speculative.get(key).and_then(Value::as_u64),
+            sequential.get(key).and_then(Value::as_u64),
+            "{key}"
+        );
+    }
+    assert_eq!(speculative.get("coverage"), sequential.get("coverage"));
+    assert_eq!(speculative.get("tests"), sequential.get("tests"));
+    for r in [&sequential, &speculative] {
+        let timing = r.get("timing").expect("timing reported");
+        for key in ["generate_ns", "drop_ns", "commit_wait_ns"] {
+            assert!(timing.get(key).and_then(Value::as_u64).is_some(), "{key}");
+        }
+        assert!(r.get("wasted_speculations").and_then(Value::as_u64).is_some());
+    }
+}
+
 #[test]
 fn ndetect_matches_direct_counts() {
     let _guard = BUILD_COUNT_LOCK.lock().unwrap();

@@ -262,28 +262,28 @@ impl<'a, const N: usize> DropSession<'a, N> {
         words.fill(SimWord::ZERO);
         let threads = (*threads).min(stem.num_fault_regions());
         if threads > 1 {
-            // Region-parallel flush: disjoint group ranges per thread
-            // read the shared good words of the pending block; the
-            // (fault, word) hits are merged serially (disjoint faults,
-            // so order within a thread's bucket is irrelevant).
+            // Work-stealing region-parallel flush: weight-balanced group
+            // chunks pulled from a shared cursor read the shared good
+            // words of the pending block; the (fault, word) hits are
+            // merged serially (every fault lives in exactly one chunk,
+            // so order within and across buckets is irrelevant).
             let good: &[SimWord<N>] = &scratch.good;
-            let bounds = stem.balance_group_ranges(threads);
+            let chunks = stem.chunk_group_ranges(threads * 4);
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
             let flags: &[bool] = active_flags;
             let marking: &[bool] = sens_active;
             let stem_ref: &StemRegionEngine<'_> = stem;
             let mut buckets: Vec<Vec<(u32, SimWord<N>)>> = Vec::with_capacity(threads);
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(threads);
-                for t in 0..threads {
-                    let (g0, g1) = (bounds[t], bounds[t + 1]);
-                    if g0 >= g1 {
-                        continue;
-                    }
+                for _ in 0..threads {
+                    let chunks = &chunks;
+                    let cursor = &cursor;
                     handles.push(scope.spawn(move || {
                         let mut out = Vec::new();
-                        stem_ref.detect_range_shared_good(
-                            g0,
-                            g1,
+                        stem_ref.detect_chunks_shared_good(
+                            chunks,
+                            cursor,
                             mask,
                             good,
                             marking,

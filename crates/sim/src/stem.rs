@@ -54,9 +54,17 @@
 //! propagation (which uses the position itself as its event priority)
 //! all touch contiguous arrays in evaluation order.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use adi_netlist::dominator::POST_DOM_SINK;
 use adi_netlist::fault::{FaultId, FaultList, FaultSite};
 use adi_netlist::{CompiledCircuit, GateKind, LevelizedCsr};
+
+/// Oversplit factor for the work-stealing region split: each thread's
+/// share of the stem-region groups is cut into this many weight-balanced
+/// chunks, so a thread finishing a cheap chunk pulls another from the
+/// shared cursor instead of idling while a skewed chunk finishes.
+const CHUNKS_PER_THREAD: usize = 4;
 
 use crate::faultsim::{DropOutcome, NDetectOutcome};
 use crate::logic::{self, eval_with_pos_w};
@@ -132,6 +140,12 @@ pub struct StemRegionEngine<'a> {
     group_index: Vec<u32>,
     /// Fault ids grouped by FFR root, ascending fault id within a group.
     group_faults: Vec<u32>,
+    /// Per-group work estimate: fault count plus the root's (capped)
+    /// fanout-cone size — the two terms the group's detection cost is
+    /// proportional to (stem-difference words per fault, one
+    /// observability cone walk per stem). Drives the weight-balanced
+    /// chunking behind the work-stealing region split.
+    group_weights: Vec<u64>,
     /// Simulation word width every drive mode runs at.
     width: SimWidth,
     /// Dominator-based stem merging (on by default; the off switch
@@ -306,6 +320,25 @@ impl<'a> StemRegionEngine<'a> {
         }
         group_index.push(group_faults.len() as u32);
 
+        // Fanout-cone size estimate per position (reverse-topological
+        // accumulation; reconvergence double-counts, which is fine for a
+        // load-balancing weight — saturate and cap so skewed circuits
+        // cannot overflow the prefix sums).
+        const CONE_CAP: u64 = 1 << 20;
+        let mut cone = vec![1u64; n];
+        for p in (0..n).rev() {
+            let mut acc = 1u64;
+            for &q in view.fanouts_at(p) {
+                acc = acc.saturating_add(cone[q as usize]);
+            }
+            cone[p] = acc.min(CONE_CAP);
+        }
+        let group_weights: Vec<u64> = group_roots
+            .iter()
+            .zip(group_index.windows(2))
+            .map(|(&root, w)| u64::from(w[1] - w[0]) + cone[root as usize])
+            .collect();
+
         StemRegionEngine {
             circuit: circuit.clone(),
             faults,
@@ -316,6 +349,7 @@ impl<'a> StemRegionEngine<'a> {
             group_roots,
             group_index,
             group_faults,
+            group_weights,
             width: SimWidth::default(),
             merge_stems: true,
         }
@@ -550,84 +584,101 @@ impl<'a> StemRegionEngine<'a> {
             }
         });
 
-        // Phase 2: contiguous group ranges (balanced by fault count) per
-        // thread; each thread's faults are disjoint matrix rows.
-        let bounds = self.balance_group_ranges(threads);
+        // Phase 2: weight-balanced group chunks pulled from a shared
+        // atomic cursor (work stealing — a thread that drew a cheap
+        // chunk takes another instead of idling at the barrier). Every
+        // fault lives in exactly one chunk, so the collected
+        // `(fault, superblock, word)` hits target disjoint matrix rows
+        // and the final scatter is order-independent.
+        let chunks = self.chunk_group_ranges(threads * CHUNKS_PER_THREAD);
+        let cursor = AtomicUsize::new(0);
         let good_ref: &[SimWord<N>] = &good_all;
-        let mut stripes: Vec<(usize, Vec<SimWord<N>>)> = Vec::with_capacity(threads);
+        let mut hit_lists: Vec<Vec<(u32, u32, SimWord<N>)>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let (g0, g1) = (bounds[t], bounds[t + 1]);
-                if g0 >= g1 {
-                    continue;
-                }
+            for _ in 0..threads {
+                let cursor = &cursor;
+                let chunks = &chunks;
                 handles.push(scope.spawn(move || {
-                    let f_lo = self.group_index[g0] as usize;
-                    let f_hi = self.group_index[g1] as usize;
-                    let n_local = f_hi - f_lo;
-                    let mut local = vec![SimWord::<N>::ZERO; n_local * n_superblocks];
-                    // Rank of each owned fault inside the local stripe.
-                    let mut rank = vec![0u32; n_faults];
-                    for (k, &f) in self.group_faults[f_lo..f_hi].iter().enumerate() {
-                        rank[f as usize] = k as u32;
-                    }
-                    // Sensitization marking restricted to the owned
-                    // faults: the reverse sweep skips every other region.
-                    let ids: Vec<FaultId> = self.group_faults[f_lo..f_hi]
-                        .iter()
-                        .map(|&f| FaultId::new(f as usize))
-                        .collect();
-                    let mut marking = Vec::new();
-                    self.mark_sens_needed(&ids, &mut marking);
+                    let mut hits: Vec<(u32, u32, SimWord<N>)> = Vec::new();
                     let mut scratch = StemScratch::<N>::new(self.view());
-                    for sb in 0..n_superblocks {
-                        let good = &good_ref[sb * n_pos..(sb + 1) * n_pos];
-                        self.prepare_sens(good, &mut scratch.sens, &marking);
-                        scratch.obs.advance_memo();
-                        let mask = patterns.valid_mask_wide::<N>(sb);
-                        let StemScratch { sens, obs, .. } = &mut scratch;
-                        self.detect_groups(g0, g1, mask, good, sens, obs, None, &mut |f, det| {
-                            local[rank[f as usize] as usize * n_superblocks + sb] = det;
-                        });
+                    let mut marking = Vec::new();
+                    let mut ids: Vec<FaultId> = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= chunks.len() {
+                            break;
+                        }
+                        let (g0, g1) = chunks[c];
+                        let f_lo = self.group_index[g0] as usize;
+                        let f_hi = self.group_index[g1] as usize;
+                        // Sensitization marking restricted to the
+                        // chunk's faults: the reverse sweep skips every
+                        // other region.
+                        ids.clear();
+                        ids.extend(
+                            self.group_faults[f_lo..f_hi]
+                                .iter()
+                                .map(|&f| FaultId::new(f as usize)),
+                        );
+                        self.mark_sens_needed(&ids, &mut marking);
+                        for sb in 0..n_superblocks {
+                            let good = &good_ref[sb * n_pos..(sb + 1) * n_pos];
+                            self.prepare_sens(good, &mut scratch.sens, &marking);
+                            scratch.obs.advance_memo();
+                            let mask = patterns.valid_mask_wide::<N>(sb);
+                            let StemScratch { sens, obs, .. } = &mut scratch;
+                            self.detect_groups(g0, g1, mask, good, sens, obs, None, &mut |f, det| {
+                                hits.push((f, sb as u32, det));
+                            });
+                        }
                     }
-                    (f_lo, local)
+                    hits
                 }));
             }
             for h in handles {
-                stripes.push(h.join().expect("stem region worker panicked"));
+                hit_lists.push(h.join().expect("stem region worker panicked"));
             }
         });
         let mut matrix = DetectionMatrix::new(n_faults, patterns.len());
-        for (f_lo, local) in stripes {
-            let n_local = local.len() / n_superblocks;
-            for k in 0..n_local {
-                let fault = self.group_faults[f_lo + k];
-                for sb in 0..n_superblocks {
-                    let w = local[k * n_superblocks + sb];
-                    if !w.is_zero() {
-                        or_word_wide(&mut matrix, fault, sb, w);
-                    }
-                }
+        for hits in hit_lists {
+            for (fault, sb, w) in hits {
+                or_word_wide(&mut matrix, fault, sb as usize, w);
             }
         }
         matrix
     }
 
-    /// Splits the group range into `threads` contiguous sub-ranges with
-    /// roughly equal fault counts. Returns `threads + 1` boundaries.
-    pub(crate) fn balance_group_ranges(&self, threads: usize) -> Vec<usize> {
+    /// Splits the group range into at most `chunks` contiguous,
+    /// non-empty sub-ranges of roughly equal total *weight* (fault count
+    /// plus capped root-cone size, computed at build time). Workers pull
+    /// chunk indices from a shared atomic cursor, so oversplitting
+    /// relative to the thread count (several chunks per thread) is what
+    /// turns the static split into a work-stealing one: a thread that
+    /// lands on a cheap chunk simply takes another.
+    pub(crate) fn chunk_group_ranges(&self, chunks: usize) -> Vec<(usize, usize)> {
         let n_groups = self.group_roots.len();
-        let total = self.group_faults.len();
-        let mut bounds = Vec::with_capacity(threads + 1);
-        bounds.push(0);
-        for t in 1..threads {
-            let target = (total * t / threads) as u32;
-            let g = self.group_index.partition_point(|&x| x < target).min(n_groups);
-            bounds.push(g.max(bounds[t - 1]));
+        let chunks = chunks.clamp(1, n_groups.max(1));
+        let total: u64 = self.group_weights.iter().sum();
+        let mut out = Vec::with_capacity(chunks);
+        let mut g = 0usize;
+        let mut acc = 0u64;
+        for c in 0..chunks {
+            let start = g;
+            let target = total / chunks as u64 * (c as u64 + 1);
+            while g < n_groups && (acc < target || g == start) {
+                acc += self.group_weights[g];
+                g += 1;
+            }
+            if c + 1 == chunks {
+                g = n_groups;
+            }
+            if g > start {
+                out.push((start, g));
+            }
         }
-        bounds.push(n_groups);
-        bounds
+        debug_assert_eq!(out.iter().map(|&(a, b)| b - a).sum::<usize>(), n_groups);
+        out
     }
 
     /// Simulates with fault dropping, matching the per-fault engine's
@@ -901,16 +952,18 @@ impl<'a> StemRegionEngine<'a> {
         );
     }
 
-    /// Prepares its own scratch and detects the group range `g0..g1`
-    /// against a **shared** good-machine slice, appending every
-    /// `(fault, word)` hit to `out`. This is the region-parallel flush
-    /// primitive: each thread owns a disjoint group range (hence
-    /// disjoint faults) and reads the same good words.
+    /// Prepares its own scratch once, then detects group chunks pulled
+    /// from the shared `cursor` against a **shared** good-machine slice,
+    /// appending every `(fault, word)` hit to `out`. This is the
+    /// work-stealing region-parallel flush primitive: every fault lives
+    /// in exactly one chunk, so concurrent callers (each with its own
+    /// `out`) produce hits for disjoint faults and the caller's merge
+    /// is order-independent.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn detect_range_shared_good<const N: usize>(
+    pub(crate) fn detect_chunks_shared_good<const N: usize>(
         &self,
-        g0: usize,
-        g1: usize,
+        chunks: &[(usize, usize)],
+        cursor: &AtomicUsize,
         valid_mask: SimWord<N>,
         good: &[SimWord<N>],
         sens_needed: &[bool],
@@ -921,9 +974,16 @@ impl<'a> StemRegionEngine<'a> {
         self.prepare_sens(good, &mut scratch.sens, sens_needed);
         scratch.obs.advance_memo();
         let StemScratch { sens, obs, .. } = &mut scratch;
-        self.detect_groups(g0, g1, valid_mask, good, sens, obs, active, &mut |f, w| {
-            out.push((f, w));
-        });
+        loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= chunks.len() {
+                break;
+            }
+            let (g0, g1) = chunks[c];
+            self.detect_groups(g0, g1, valid_mask, good, sens, obs, active, &mut |f, w| {
+                out.push((f, w));
+            });
+        }
     }
 
     /// [`for_each_detection`](Self::for_each_detection) over the group

@@ -27,10 +27,13 @@
 //! 64-bit oracle.
 //!
 //! The process-wide default width comes from the `ADI_SIM_WIDTH`
-//! environment variable (`1`, `2`, `4`, or `8`; read once, then
-//! cached); unset or unrecognized values fall back to
-//! [`SimWidth::W4`]. Any width is safe as a default because every
-//! width is differentially pinned to the `N = 1` oracle.
+//! environment variable (`1`, `2`, `4`, `8`, or `auto`; read once,
+//! then cached); unset or unrecognized values fall back to
+//! [`SimWidth::W4`]. `auto` picks lanes from the machine's available
+//! parallelism ([`SimWidth::auto`]); callers that know their
+//! pattern-set size can clamp further with [`SimWidth::auto_for`].
+//! Any width is safe as a default because every width is
+//! differentially pinned to the `N = 1` oracle.
 
 use std::fmt;
 use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Not};
@@ -273,18 +276,59 @@ impl SimWidth {
         }
     }
 
-    /// The process-wide default width: `ADI_SIM_WIDTH` (`1`/`2`/`4`/`8`,
-    /// read once and cached), falling back to [`SimWidth::W4`] when
-    /// unset or unrecognized.
+    /// The process-wide default width: `ADI_SIM_WIDTH` (`1`/`2`/`4`/`8`
+    /// or `auto`, read once and cached), falling back to
+    /// [`SimWidth::W4`] when unset or unrecognized. `auto` resolves via
+    /// [`SimWidth::auto`].
     pub fn from_env() -> SimWidth {
         static DEFAULT: OnceLock<SimWidth> = OnceLock::new();
         *DEFAULT.get_or_init(|| {
             std::env::var("ADI_SIM_WIDTH")
                 .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .and_then(SimWidth::from_lanes)
+                .and_then(|v| v.trim().parse::<SimWidth>().ok())
                 .unwrap_or(SimWidth::W4)
         })
+    }
+
+    /// A machine-derived width: one 64-bit lane per available hardware
+    /// thread (`std::thread::available_parallelism`), rounded down to a
+    /// supported lane count and capped at [`SimWidth::W8`].
+    ///
+    /// The rationale: wide lanes amortize per-superblock bookkeeping but
+    /// shrink the number of superblocks the block-parallel sweeps can
+    /// split across threads, so a machine with few hardware threads
+    /// keeps narrower words (more superblocks per sweep) while a big
+    /// machine takes the full 512-bit lane. When the pattern-set size is
+    /// known, prefer [`SimWidth::auto_for`], which also clamps by it.
+    pub fn auto() -> SimWidth {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::widest_lanes_at_most(cores)
+    }
+
+    /// The widest width that keeps every lane populated **and** leaves
+    /// at least one superblock per thread for the block-parallel sweeps:
+    /// the widest `w` with `w.bits() * threads <= num_patterns`, falling
+    /// back to the widest `w` with `w.bits() <= num_patterns` for small
+    /// sets, and [`SimWidth::W1`] for tiny ones.
+    pub fn auto_for(num_patterns: usize, threads: usize) -> SimWidth {
+        let threads = threads.max(1);
+        for w in Self::ALL.iter().rev() {
+            if num_patterns >= w.bits() * threads {
+                return *w;
+            }
+        }
+        Self::widest_lanes_at_most(num_patterns / 64)
+    }
+
+    /// The widest supported width with at most `lanes` lanes (minimum
+    /// [`SimWidth::W1`]).
+    const fn widest_lanes_at_most(lanes: usize) -> SimWidth {
+        match lanes {
+            0 | 1 => SimWidth::W1,
+            2 | 3 => SimWidth::W2,
+            4..=7 => SimWidth::W4,
+            _ => SimWidth::W8,
+        }
     }
 }
 
@@ -304,13 +348,17 @@ impl fmt::Display for SimWidth {
 impl std::str::FromStr for SimWidth {
     type Err = String;
 
-    /// Parses a lane count: `1`, `2`, `4`, or `8`.
+    /// Parses a lane count (`1`, `2`, `4`, or `8`) or the literal
+    /// `auto`, which resolves through [`SimWidth::auto`].
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        s.trim()
-            .parse::<usize>()
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("auto") {
+            return Ok(SimWidth::auto());
+        }
+        s.parse::<usize>()
             .ok()
             .and_then(SimWidth::from_lanes)
-            .ok_or_else(|| format!("invalid simulation width `{s}` (expected 1, 2, 4, or 8)"))
+            .ok_or_else(|| format!("invalid simulation width `{s}` (expected 1, 2, 4, 8, or auto)"))
     }
 }
 
@@ -379,6 +427,30 @@ mod tests {
         assert_eq!(SimWidth::from_lanes(3), None);
         assert!("16".parse::<SimWidth>().is_err());
         assert!("x".parse::<SimWidth>().is_err());
+    }
+
+    #[test]
+    fn auto_width_tracks_parallelism_and_pattern_count() {
+        // `auto()` must always be a supported width, whatever machine
+        // the tests run on.
+        assert!(SimWidth::ALL.contains(&SimWidth::auto()));
+        assert_eq!("auto".parse::<SimWidth>().unwrap(), SimWidth::auto());
+        assert_eq!(" AUTO ".parse::<SimWidth>().unwrap(), SimWidth::auto());
+
+        // Plenty of patterns: widest lane that still leaves one
+        // superblock per thread.
+        assert_eq!(SimWidth::auto_for(4096, 1), SimWidth::W8);
+        assert_eq!(SimWidth::auto_for(4096, 8), SimWidth::W8);
+        assert_eq!(SimWidth::auto_for(1024, 4), SimWidth::W4);
+        assert_eq!(SimWidth::auto_for(512, 4), SimWidth::W2);
+        assert_eq!(SimWidth::auto_for(256, 4), SimWidth::W1);
+        // Small sets: never pick a width with a fully masked lane.
+        assert_eq!(SimWidth::auto_for(512, 1), SimWidth::W8);
+        assert_eq!(SimWidth::auto_for(300, 1), SimWidth::W4);
+        assert_eq!(SimWidth::auto_for(128, 1), SimWidth::W2);
+        assert_eq!(SimWidth::auto_for(64, 1), SimWidth::W1);
+        assert_eq!(SimWidth::auto_for(1, 1), SimWidth::W1);
+        assert_eq!(SimWidth::auto_for(0, 0), SimWidth::W1);
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use std::time::Duration;
 
 use adi::atpg::{
-    DropLoopKind, FaultStatus, FillStrategy, Podem, PodemConfig, PodemEngine, PodemOutcome,
-    PodemStats, Scoap, TestGenConfig, TestGenResult, TestGenerator,
+    DropLoopKind, FaultStatus, FillStrategy, PhaseTimings, Podem, PodemConfig, PodemEngine,
+    PodemOutcome, PodemStats, Scoap, TestGenConfig, TestGenResult, TestGenSummary, TestGenerator,
 };
 use adi::circuits::PaperCircuit;
 use adi::core::{
@@ -170,6 +170,7 @@ fn pin_simulation_surface<'a>(_: &'a ()) {
     let _: fn(&mut DropSession<'a>, FaultId) -> SimWord<1> = DropSession::pending_detections;
     let _: fn(&mut DropSession<'a>, &[FaultId]) -> Vec<Vec<FaultId>> = DropSession::flush;
     let _: fn(&TestGenResult) -> usize = TestGenResult::num_tests;
+    let _: fn(&TestGenResult) -> TestGenSummary = TestGenResult::summary;
     let _: fn(&AdiAnalysis, FaultOrdering) -> Vec<FaultId> = |a, o| order_faults(a, o);
 }
 
@@ -185,9 +186,36 @@ fn simulation_surface_is_stable() {
     assert_eq!(SimWidth::ALL.len(), 4);
     assert_eq!(SimWord::<4>::ZERO.0, [0u64; 4]);
     assert_eq!(TestGenConfig::default().drop_loop, DropLoopKind::Batched);
+    // Auto width selection (0.7.0): thread- and pattern-aware pickers.
+    let _: fn() -> SimWidth = SimWidth::auto;
+    let _: fn(usize, usize) -> SimWidth = SimWidth::auto_for;
     let _ = FillStrategy::Random;
     let _ = PodemOutcome::Aborted;
     let _ = FaultStatus::Redundant;
+    // The speculative-ATPG surface (0.7.0): thread/window knobs, phase
+    // timings, the roll-up summary, and the waste diagnostic with its
+    // determinism-preserving projection.
+    let dflt = TestGenConfig::default();
+    assert!(dflt.atpg_threads >= 1);
+    assert!(dflt.speculation_depth >= 1);
+    let timings = PhaseTimings::default();
+    let _ = (timings.generate_ns, timings.drop_ns, timings.commit_wait_ns);
+    fn summary_fields(s: TestGenSummary) -> (usize, usize, usize, usize, f64, u64, u64, u64, u64) {
+        (
+            s.num_tests,
+            s.num_detected,
+            s.num_redundant,
+            s.num_aborted,
+            s.coverage,
+            s.generate_ns,
+            s.drop_ns,
+            s.commit_wait_ns,
+            s.wasted_speculations,
+        )
+    }
+    let _ = summary_fields;
+    let _: fn(PodemStats) -> PodemStats = PodemStats::deterministic;
+    let _ = PodemStats::default().wasted_speculations;
 }
 
 /// The event-driven PODEM core: the engine switch (event-driven by

@@ -1,0 +1,209 @@
+//! The parallel-ATPG determinism lattice: the speculative multi-target
+//! loop must produce a test set, fault classifications, per-test
+//! detection counts, deterministic PODEM counters, and coverage curve
+//! **bit-identical** to the sequential loop at every point of the
+//! (atpg_threads × speculation_depth × sim width) lattice — on the
+//! embedded circuits, the paper-suite stand-ins, and random circuits.
+//!
+//! The oracle is the sequential batched loop (`atpg_threads: 1`) at
+//! `SimWidth::W1`; `wide_word_equivalence.rs` and
+//! `podem_equivalence.rs` pin that loop to the scalar and oracle
+//! engines, so this suite extends the chain of equivalence to the
+//! speculative first-win committer of `adi::atpg::speculate`.
+
+use adi::atpg::{TestGenConfig, TestGenResult, TestGenerator};
+use adi::circuits::{embedded, paper_suite, random_circuit, RandomCircuitConfig};
+use adi::netlist::fault::{FaultId, FaultList};
+use adi::netlist::{CompiledCircuit, Netlist};
+use adi::sim::SimWidth;
+use proptest::prelude::*;
+
+const ATPG_THREADS: [usize; 3] = [1, 2, 4];
+const DEPTHS: [usize; 3] = [1, 4, 16];
+const WIDTHS: [SimWidth; 2] = [SimWidth::W1, SimWidth::W4];
+
+fn run_once(
+    circuit: &CompiledCircuit,
+    faults: &FaultList,
+    order: &[FaultId],
+    atpg_threads: usize,
+    speculation_depth: usize,
+    width: SimWidth,
+) -> TestGenResult {
+    let config = TestGenConfig {
+        width,
+        atpg_threads,
+        speculation_depth,
+        ..TestGenConfig::default()
+    };
+    TestGenerator::for_circuit(circuit, faults, config).run(order)
+}
+
+/// Asserts the full lattice for one circuit: every thread count and
+/// lookahead depth at every width against the single sequential oracle,
+/// including the deterministic stats counters and the coverage curve.
+fn assert_lattice(netlist: &Netlist, label: &str) {
+    let circuit = CompiledCircuit::compile(netlist.clone());
+    let faults = FaultList::collapsed(netlist);
+    let order: Vec<FaultId> = faults.ids().collect();
+    let oracle = run_once(&circuit, &faults, &order, 1, 1, SimWidth::W1);
+    let curve = oracle.coverage_curve();
+    for width in WIDTHS {
+        for threads in ATPG_THREADS {
+            for depth in DEPTHS {
+                let got = run_once(&circuit, &faults, &order, threads, depth, width);
+                assert_eq!(
+                    got, oracle,
+                    "{label} {width} atpg x{threads} depth {depth}"
+                );
+                assert_eq!(
+                    got.podem_stats.deterministic(),
+                    oracle.podem_stats.deterministic(),
+                    "{label} {width} atpg x{threads} depth {depth} stats"
+                );
+                assert_eq!(
+                    got.coverage_curve(),
+                    curve,
+                    "{label} {width} atpg x{threads} depth {depth} curve"
+                );
+            }
+        }
+    }
+}
+
+/// Every embedded circuit, full lattice, in both fault orderings.
+#[test]
+fn speculative_atpg_identical_on_embedded_circuits() {
+    for netlist in embedded::all() {
+        assert_lattice(&netlist, netlist.name());
+        // A reversed order changes the skip pattern the committer sees
+        // (late faults drop early ones), stressing the first-win rule.
+        let circuit = CompiledCircuit::compile(netlist.clone());
+        let faults = FaultList::collapsed(&netlist);
+        let mut rev: Vec<FaultId> = faults.ids().collect();
+        rev.reverse();
+        let oracle = run_once(&circuit, &faults, &rev, 1, 1, SimWidth::W1);
+        for threads in ATPG_THREADS {
+            let got = run_once(&circuit, &faults, &rev, threads, 16, SimWidth::W4);
+            assert_eq!(got, oracle, "{} reversed atpg x{threads}", netlist.name());
+        }
+    }
+}
+
+/// Paper-suite stand-ins (bounded so the tier-1 wall clock stays sane):
+/// small circuits get the full lattice, larger ones a sparse sub-lattice
+/// biased toward the configurations with the most commit/claim traffic.
+#[test]
+fn speculative_atpg_identical_on_suite_circuits() {
+    for circuit in paper_suite() {
+        // The largest stand-in (irs13207, ~8k gates) is too slow for a
+        // debug-build ATPG run here; its speculative determinism is
+        // enforced in release mode by the perf-report agreement gate.
+        if circuit.gates > 3000 {
+            continue;
+        }
+        let netlist = circuit.netlist();
+        if circuit.gates <= 150 {
+            assert_lattice(&netlist, circuit.name);
+            continue;
+        }
+        let compiled = CompiledCircuit::compile(netlist.clone());
+        let faults = FaultList::collapsed(&netlist);
+        let order: Vec<FaultId> = faults.ids().collect();
+        let oracle = run_once(&compiled, &faults, &order, 1, 1, SimWidth::W1);
+        let points: &[(usize, usize, SimWidth)] = if circuit.gates <= 600 {
+            &[
+                (2, 1, SimWidth::W1),
+                (4, 16, SimWidth::W4),
+                (4, 4, SimWidth::W1),
+            ]
+        } else {
+            &[(4, 16, SimWidth::W4)]
+        };
+        for &(threads, depth, width) in points {
+            let got = run_once(&compiled, &faults, &order, threads, depth, width);
+            assert_eq!(
+                got, oracle,
+                "{} {width} atpg x{threads} depth {depth}",
+                circuit.name
+            );
+        }
+    }
+}
+
+/// The random-phase driver (warm-up vectors + ATPG tail) must stay
+/// bit-identical too: the tail reuses the speculative loop on the
+/// post-warm-up residue, where pre-dropped faults make skip runs long.
+#[test]
+fn speculative_atpg_identical_after_random_warmup() {
+    use adi::sim::PatternSet;
+    let netlist = random_circuit(&RandomCircuitConfig::new("warm", 8, 200, 0x5EED));
+    let circuit = CompiledCircuit::compile(netlist.clone());
+    let faults = FaultList::collapsed(&netlist);
+    let order: Vec<FaultId> = faults.ids().collect();
+    let warmup = PatternSet::random(netlist.num_inputs(), 64, 0xBEE5);
+    let run = |threads: usize, depth: usize, width: SimWidth| {
+        let config = TestGenConfig {
+            width,
+            atpg_threads: threads,
+            speculation_depth: depth,
+            ..TestGenConfig::default()
+        };
+        TestGenerator::for_circuit(&circuit, &faults, config).run_with_random_phase(&order, &warmup)
+    };
+    let oracle = run(1, 1, SimWidth::W1);
+    for width in WIDTHS {
+        for threads in ATPG_THREADS {
+            for depth in DEPTHS {
+                assert_eq!(
+                    run(threads, depth, width),
+                    oracle,
+                    "warmup {width} atpg x{threads} depth {depth}"
+                );
+            }
+        }
+    }
+}
+
+fn tiny_circuit() -> impl Strategy<Value = Netlist> {
+    (2usize..=6, 4usize..=35, any::<u64>()).prop_map(|(inputs, gates, seed)| {
+        random_circuit(&RandomCircuitConfig::new("prop", inputs, gates, seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary circuits, arbitrary fill seeds, arbitrary lattice
+    /// points: whole-result equality against the sequential oracle.
+    #[test]
+    fn differential_speculative_vs_sequential(
+        netlist in tiny_circuit(),
+        seed in any::<u64>(),
+        threads in (0usize..3).prop_map(|i| [2usize, 3, 4][i]),
+        depth in (0usize..4).prop_map(|i| [1usize, 2, 7, 16][i]),
+        width in (0usize..2).prop_map(|i| [SimWidth::W1, SimWidth::W4][i]),
+    ) {
+        let circuit = CompiledCircuit::compile(netlist.clone());
+        let faults = FaultList::collapsed(&netlist);
+        let order: Vec<FaultId> = faults.ids().collect();
+        let run = |atpg_threads: usize, depth: usize, width: SimWidth| {
+            let config = TestGenConfig {
+                width,
+                fill_seed: seed,
+                atpg_threads,
+                speculation_depth: depth,
+                ..TestGenConfig::default()
+            };
+            TestGenerator::for_circuit(&circuit, &faults, config).run(&order)
+        };
+        let oracle = run(1, 1, SimWidth::W1);
+        let got = run(threads, depth, width);
+        prop_assert_eq!(&got, &oracle);
+        prop_assert_eq!(
+            got.podem_stats.deterministic(),
+            oracle.podem_stats.deterministic()
+        );
+        prop_assert_eq!(got.coverage_curve(), oracle.coverage_curve());
+    }
+}
