@@ -23,6 +23,11 @@
 //!   driver ([`TestGenConfig::atpg_threads`] `> 1`): a worker pool runs
 //!   PODEM ahead of the commit position and a deterministic first-win
 //!   committer keeps the output bit-identical to the sequential loop.
+//! * [`cnf`] — the formal layer: Tseitin encoding of the compiled
+//!   position space, cone-restricted fault miters decided by the
+//!   vendored CDCL solver (redundancy proofs for the faults PODEM
+//!   aborts on, selected by [`SatFallback`]), and bounded two-netlist
+//!   equivalence checking for the service's `equiv` endpoint.
 //!
 //! # Examples
 //!
@@ -52,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cnf;
 mod cube;
 mod fill;
 mod podem;
@@ -59,9 +65,10 @@ pub mod speculate;
 pub mod testgen;
 pub mod value;
 
+pub use cnf::{EquivError, EquivVerdict, FaultVerdict};
 pub use cube::TestCube;
 pub use fill::FillStrategy;
-pub use podem::{Podem, PodemConfig, PodemEngine, PodemOutcome, PodemStats};
+pub use podem::{Podem, PodemConfig, PodemEngine, PodemOutcome, PodemStats, SatFallback, SatResolved};
 pub use testgen::{
     DropLoopKind, FaultStatus, PhaseTimings, TestGenConfig, TestGenResult, TestGenSummary,
     TestGenerator,

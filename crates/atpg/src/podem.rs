@@ -81,6 +81,46 @@ impl std::fmt::Display for PodemEngine {
     }
 }
 
+/// When the SAT formal layer ([`crate::cnf`]) backs up the PODEM search.
+///
+/// Orthogonal to [`PodemEngine`]: the engine picks *how the search
+/// simulates*, this picks *what happens when the search gives up*. The
+/// SAT resolution is a pure function of `(circuit, fault, conflict
+/// limit)` — deterministic across engines, threads, and the speculative
+/// pool — so enabling it never breaks an outcome-parity or
+/// first-win-determinism contract.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SatFallback {
+    /// Never consult the solver; backtrack-limited targets stay
+    /// [`PodemOutcome::Aborted`]. The `PodemConfig` default, so direct
+    /// [`Podem`] users (and the engine-parity suites) see the raw
+    /// search.
+    #[default]
+    Off,
+    /// Every backtrack-aborted target gets a cone-restricted miter
+    /// query: UNSAT ⇒ [`PodemOutcome::Untestable`] (a redundancy
+    /// proof), SAT ⇒ [`PodemOutcome::Test`] with the model as the
+    /// cube, conflict-limit exhaustion ⇒ the abort stands. The
+    /// [`TestGenConfig`](crate::TestGenConfig) default.
+    AbortedOnly,
+}
+
+impl SatFallback {
+    /// The wire/CLI label (`"off"` / `"aborted-only"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            SatFallback::Off => "off",
+            SatFallback::AbortedOnly => "aborted-only",
+        }
+    }
+}
+
+impl std::fmt::Display for SatFallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Tuning knobs for [`Podem`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PodemConfig {
@@ -91,15 +131,24 @@ pub struct PodemConfig {
     /// ([`PodemEngine::EventDriven`] by default; both backends are
     /// bit-identical in outcomes, cubes, and decision/backtrack counts).
     pub engine: PodemEngine,
+    /// Whether aborted targets are handed to the SAT layer for a
+    /// definitive verdict ([`SatFallback::Off`] here; the test-generation
+    /// driver defaults it to [`SatFallback::AbortedOnly`]).
+    pub sat_fallback: SatFallback,
+    /// Conflict budget per SAT fallback query (counts toward
+    /// [`SatResolved::undecided`] when exhausted).
+    pub sat_conflict_limit: u64,
 }
 
 impl Default for PodemConfig {
     /// 1000 backtracks (a generous budget for circuits of the paper's
-    /// scale) on the event-driven engine.
+    /// scale) on the event-driven engine, SAT fallback off.
     fn default() -> Self {
         PodemConfig {
             backtrack_limit: 1000,
             engine: PodemEngine::default(),
+            sat_fallback: SatFallback::default(),
+            sat_conflict_limit: crate::cnf::DEFAULT_CONFLICT_LIMIT,
         }
     }
 }
@@ -159,6 +208,36 @@ pub struct PodemStats {
     /// diagnostic, not a search counter: it depends on thread timing
     /// and is excluded from every determinism contract.
     pub wasted_speculations: u64,
+    /// How the SAT fallback resolved backtrack-aborted targets
+    /// (all-zero when [`SatFallback::Off`]). Deterministic — the
+    /// resolution is a pure function of the circuit and fault — but
+    /// not a *search* counter: it describes the formal layer, so it is
+    /// excluded from [`search_counters`](Self::search_counters).
+    pub sat_resolved: SatResolved,
+}
+
+/// Breakdown of SAT-fallback resolutions of PODEM aborts.
+///
+/// `redundant + testable + undecided` equals the number of aborted
+/// targets the fallback examined ([`PodemStats::aborted`] when
+/// [`SatFallback::AbortedOnly`] is active).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SatResolved {
+    /// Miter proved unsatisfiable: the fault is redundant and leaves
+    /// every downstream fault list.
+    pub redundant: u64,
+    /// Miter satisfiable: the model became a test cube on the normal
+    /// commit/drop path.
+    pub testable: u64,
+    /// The solver's conflict limit ran out; the abort stands.
+    pub undecided: u64,
+}
+
+impl SatResolved {
+    /// Total aborted targets the SAT fallback examined.
+    pub fn total(self) -> u64 {
+        self.redundant + self.testable + self.undecided
+    }
 }
 
 impl PodemStats {
@@ -283,10 +362,35 @@ impl Podem {
     pub fn generate(&mut self, fault: Fault) -> PodemOutcome {
         self.stats.targets += 1;
         self.pi_values.fill(T3::X);
-        match self.config.engine {
+        let outcome = match self.config.engine {
             #[cfg(feature = "oracle")]
             PodemEngine::FullResim => self.generate_full(fault),
             PodemEngine::EventDriven => self.generate_event(fault),
+        };
+        match (outcome, self.config.sat_fallback) {
+            (PodemOutcome::Aborted, SatFallback::AbortedOnly) => self.resolve_aborted(fault),
+            (outcome, _) => outcome,
+        }
+    }
+
+    /// Hands a backtrack-aborted target to the formal layer. The search
+    /// counters (including [`PodemStats::aborted`]) keep describing the
+    /// raw PODEM search; the resolution lands in
+    /// [`PodemStats::sat_resolved`] and in the returned outcome.
+    fn resolve_aborted(&mut self, fault: Fault) -> PodemOutcome {
+        match crate::cnf::prove_fault(&self.circuit, fault, self.config.sat_conflict_limit) {
+            crate::cnf::FaultVerdict::Testable(cube) => {
+                self.stats.sat_resolved.testable += 1;
+                PodemOutcome::Test(cube)
+            }
+            crate::cnf::FaultVerdict::Redundant => {
+                self.stats.sat_resolved.redundant += 1;
+                PodemOutcome::Untestable
+            }
+            crate::cnf::FaultVerdict::Undecided => {
+                self.stats.sat_resolved.undecided += 1;
+                PodemOutcome::Aborted
+            }
         }
     }
 
@@ -960,6 +1064,7 @@ y = OR(t, v)
                 PodemConfig {
                     backtrack_limit: 0,
                     engine,
+                    ..PodemConfig::default()
                 },
             );
             // With zero backtracks allowed, every outcome must still be

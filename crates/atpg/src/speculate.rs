@@ -49,8 +49,24 @@
 //! never the output. `wasted_speculations`, the per-phase wall-clock
 //! timings, and nothing else depend on thread timing; both are excluded
 //! from [`TestGenResult`] equality.
+//!
+//! # The adaptive claim window
+//!
+//! `TestGenConfig::speculation_depth` is a **cap**, not a fixed window:
+//! the committer tracks whether recent positions consumed their
+//! speculation or skipped past a claimed one, and resizes the live
+//! claim window within `[1, speculation_depth]` — halving it after a
+//! streak of wasted claims (dense accidental detection: tests keep
+//! covering upcoming targets first), growing it back multiplicatively
+//! after a streak of consumed ones (starved workers). The window is
+//! advisory in exactly the sense the `resolved` hints are: it bounds
+//! *what workers claim next*, never what the committer does with a
+//! settled slot, so any window trajectory — including a different one
+//! on every run — leaves the committed output bit-identical. The
+//! equivalence lattice in `tests/parallel_atpg_equivalence.rs` pins
+//! this across depth caps on both sides of the adaptation range.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
@@ -58,7 +74,7 @@ use adi_netlist::fault::FaultId;
 use adi_sim::DropSession;
 
 use crate::testgen::{apply_flush, finalize_status, PhaseTimings, TestGenResult, TestGenerator};
-use crate::{FaultStatus, Podem, PodemOutcome, PodemStats};
+use crate::{FaultStatus, Podem, PodemOutcome, PodemStats, SatResolved};
 
 /// One ordering position's speculation slot.
 enum Slot {
@@ -107,6 +123,11 @@ fn stats_delta(after: PodemStats, before: PodemStats) -> PodemStats {
         sim_events: after.sim_events - before.sim_events,
         sim_updates: after.sim_updates - before.sim_updates,
         wasted_speculations: 0,
+        sat_resolved: SatResolved {
+            redundant: after.sat_resolved.redundant - before.sat_resolved.redundant,
+            testable: after.sat_resolved.testable - before.sat_resolved.testable,
+            undecided: after.sat_resolved.undecided - before.sat_resolved.undecided,
+        },
     }
 }
 
@@ -120,6 +141,9 @@ fn stats_add(acc: &mut PodemStats, d: PodemStats) {
     acc.decisions += d.decisions;
     acc.sim_events += d.sim_events;
     acc.sim_updates += d.sim_updates;
+    acc.sat_resolved.redundant += d.sat_resolved.redundant;
+    acc.sat_resolved.testable += d.sat_resolved.testable;
+    acc.sat_resolved.undecided += d.sat_resolved.undecided;
 }
 
 /// The speculative batched run (see the [module docs](self) for the
@@ -137,6 +161,9 @@ pub(crate) fn run_speculative<const N: usize>(
 
     let workers = (g.config.atpg_threads - 1).max(1);
     let depth = g.config.speculation_depth.max(1);
+    // Live claim window, committer-adjusted within `[1, depth]`
+    // (see the module docs). Advisory: workers read it when claiming.
+    let window = AtomicUsize::new(depth);
 
     let shared = Shared {
         state: Mutex::new(SpecState {
@@ -158,9 +185,11 @@ pub(crate) fn run_speculative<const N: usize>(
     let mut committed = None;
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| worker_loop(g, order, &shared, &resolved, &speculated, &generate_ns, depth));
+            scope.spawn(|| worker_loop(g, order, &shared, &resolved, &speculated, &generate_ns, &window));
         }
-        committed = Some(commit_loop::<N>(g, order, predropped, &shared, &resolved, &generate_ns));
+        committed = Some(commit_loop::<N>(
+            g, order, predropped, &shared, &resolved, &generate_ns, &window, depth,
+        ));
         shared.state.lock().expect("scheduler lock poisoned").stop = true;
         shared.work.notify_all();
     });
@@ -190,7 +219,7 @@ fn worker_loop(
     resolved: &[AtomicBool],
     speculated: &AtomicU64,
     generate_ns: &AtomicU64,
-    depth: usize,
+    window: &AtomicUsize,
 ) {
     let mut podem = Podem::for_circuit(&g.circuit, g.config.podem);
     loop {
@@ -200,8 +229,8 @@ fn worker_loop(
                 if s.stop {
                     return;
                 }
-                if s.next_claim < order.len() && s.next_claim < s.commit_pos.saturating_add(depth)
-                {
+                let w = window.load(Ordering::Relaxed).max(1);
+                if s.next_claim < order.len() && s.next_claim < s.commit_pos.saturating_add(w) {
                     break;
                 }
                 s = shared.work.wait(s).expect("scheduler lock poisoned");
@@ -242,8 +271,37 @@ type Committed = (
     u64,
 );
 
+/// One committer-side adjustment of the adaptive claim window (see the
+/// module docs). `useful` means the position consumed its speculation;
+/// `!useful` means the committer skipped past a claimed one. Streaks of
+/// waste halve the window, streaks of consumption regrow it toward the
+/// `cap`. Advisory only: this changes what workers claim, never what
+/// the committer commits.
+fn adapt_window(window: &AtomicUsize, cap: usize, streak: &mut i64, useful: bool) {
+    if useful {
+        *streak = (*streak).max(0) + 1;
+        if *streak >= 4 {
+            *streak = 0;
+            let w = window.load(Ordering::Relaxed);
+            if w < cap {
+                window.store((w + (w / 2).max(1)).min(cap), Ordering::Relaxed);
+            }
+        }
+    } else {
+        *streak = (*streak).min(0) - 1;
+        if *streak <= -2 {
+            *streak = 0;
+            let w = window.load(Ordering::Relaxed);
+            if w > 1 {
+                window.store(w / 2, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 /// The committer: replays the sequential batched loop in ordering
 /// position, consuming speculated outcomes under the first-win rule.
+#[allow(clippy::too_many_arguments)]
 fn commit_loop<const N: usize>(
     g: &TestGenerator<'_>,
     order: &[FaultId],
@@ -251,6 +309,8 @@ fn commit_loop<const N: usize>(
     shared: &Shared,
     resolved: &[AtomicBool],
     generate_ns: &AtomicU64,
+    window: &AtomicUsize,
+    depth: usize,
 ) -> Committed {
     let n_faults = g.faults.len();
     let mut session = DropSession::<N>::for_circuit(&g.circuit, g.faults)
@@ -270,15 +330,27 @@ fn commit_loop<const N: usize>(
     // Fallback generator for the defensive Skipped-slot path below;
     // never built in a correct run.
     let mut fallback: Option<Podem> = None;
+    // Adaptive-window streak (see `adapt_window`).
+    let mut streak: i64 = 0;
 
     for (pos, &target) in order.iter().enumerate() {
-        shared.state.lock().expect("scheduler lock poisoned").commit_pos = pos;
+        // Advance the window and note whether this position was already
+        // claimed by a worker — if the committer then skips it, that
+        // claim was wasted and the adaptive window should hear about it.
+        let claimed = {
+            let mut s = shared.state.lock().expect("scheduler lock poisoned");
+            s.commit_pos = pos;
+            pos < s.next_claim && !matches!(s.slots[pos], Slot::Skipped)
+        };
         shared.work.notify_all();
 
         if status[target.index()].is_some() {
             // Classified by an earlier flush (or as redundant/aborted);
             // make sure in-flight workers see it.
             resolved[target.index()].store(true, Ordering::Relaxed);
+            if claimed {
+                adapt_window(window, depth, &mut streak, false);
+            }
             continue;
         }
         let t0 = Instant::now();
@@ -289,6 +361,9 @@ fn commit_loop<const N: usize>(
             // is guaranteed to classify it, so the hint is safe to set
             // now.
             resolved[target.index()].store(true, Ordering::Relaxed);
+            if claimed {
+                adapt_window(window, depth, &mut streak, false);
+            }
             continue;
         }
 
@@ -311,6 +386,7 @@ fn commit_loop<const N: usize>(
         let (outcome, delta) = match slot {
             Slot::Ready(outcome, delta) => {
                 consumed += 1;
+                adapt_window(window, depth, &mut streak, true);
                 (outcome, delta)
             }
             Slot::Pending => unreachable!("wait loop only exits on a settled slot"),

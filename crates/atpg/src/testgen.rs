@@ -33,7 +33,7 @@ use adi_netlist::CompiledCircuit;
 use adi_sim::faultsim::SimScratch;
 use adi_sim::{CoverageCurve, DropSession, FaultSimulator, Pattern, SimWidth};
 
-use crate::{speculate, FillStrategy, Podem, PodemConfig, PodemOutcome, PodemStats};
+use crate::{speculate, FillStrategy, Podem, PodemConfig, PodemOutcome, PodemStats, SatFallback, SatResolved};
 
 /// Which drop loop [`TestGenerator`] runs generated tests through. Both
 /// produce bit-identical results.
@@ -61,7 +61,10 @@ impl std::fmt::Display for DropLoopKind {
 /// Configuration for a [`TestGenerator`] run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TestGenConfig {
-    /// PODEM backtrack limit per target.
+    /// PODEM backtrack limit, engine, and SAT-fallback policy per
+    /// target. The driver's default turns the fallback **on**
+    /// ([`SatFallback::AbortedOnly`]): every backtrack-aborted target is
+    /// handed to the formal layer for a redundancy proof or a test cube.
     pub podem: PodemConfig,
     /// How unspecified cube inputs are completed.
     pub fill: FillStrategy,
@@ -87,10 +90,12 @@ pub struct TestGenConfig {
     /// falling back to `1`.
     pub atpg_threads: usize,
     /// How far past the commit position speculation workers may claim
-    /// targets, in ordering positions (the lookahead window; `>= 1`).
-    /// Larger windows keep workers busy across skip runs but waste more
-    /// PODEM work on targets that a pending test covers by the time
-    /// they commit. Has no effect on results, only on wall clock and
+    /// targets, in ordering positions — the **cap** of the adaptive
+    /// lookahead window (`>= 1`). The committer resizes the live window
+    /// within `[1, speculation_depth]` from the observed waste rate
+    /// (see the [`speculate`] module docs). Larger caps keep workers
+    /// busy across skip runs but allow more wasted PODEM work. Has no
+    /// effect on results, only on wall clock and
     /// [`PodemStats::wasted_speculations`].
     pub speculation_depth: usize,
 }
@@ -111,7 +116,10 @@ fn atpg_threads_from_env() -> usize {
 impl Default for TestGenConfig {
     fn default() -> Self {
         TestGenConfig {
-            podem: PodemConfig::default(),
+            podem: PodemConfig {
+                sat_fallback: SatFallback::AbortedOnly,
+                ..PodemConfig::default()
+            },
             fill: FillStrategy::Random,
             fill_seed: 0x0AD1_F111,
             drop_loop: DropLoopKind::default(),
@@ -137,9 +145,12 @@ pub enum FaultStatus {
         /// Index of the detecting test in [`TestGenResult::tests`].
         test: u32,
     },
-    /// Proven untestable by PODEM.
+    /// Proven untestable — by the PODEM search itself or, under
+    /// [`SatFallback::AbortedOnly`], by an UNSAT cone-restricted miter
+    /// after the search aborted.
     Redundant,
-    /// PODEM hit its backtrack limit.
+    /// PODEM hit its backtrack limit and no SAT verdict rescued it
+    /// (fallback off, or the solver's conflict limit also ran out).
     Aborted,
 }
 
@@ -297,6 +308,8 @@ impl TestGenResult {
             drop_ns: self.timing.drop_ns,
             commit_wait_ns: self.timing.commit_wait_ns,
             wasted_speculations: self.podem_stats.wasted_speculations,
+            aborted_faults: self.podem_stats.aborted,
+            sat_resolved: self.podem_stats.sat_resolved,
         }
     }
 }
@@ -327,6 +340,14 @@ pub struct TestGenSummary {
     /// Speculative PODEM runs whose result was discarded
     /// ([`PodemStats::wasted_speculations`]).
     pub wasted_speculations: u64,
+    /// Targets whose PODEM search hit the backtrack limit, **before**
+    /// any SAT fallback ([`PodemStats::aborted`]). Compare with
+    /// `num_aborted`, which counts the faults still unresolved after
+    /// the fallback had its say.
+    pub aborted_faults: u64,
+    /// How the SAT fallback resolved those aborts
+    /// ([`PodemStats::sat_resolved`]; all-zero with the fallback off).
+    pub sat_resolved: SatResolved,
 }
 
 /// Drives PODEM over an ordered fault list with fault dropping.

@@ -14,7 +14,7 @@
 //!     [--width 1|2|4|8] [--threads N]
 //! ```
 //!
-//! JSON schema (`adi-perf-report/v6`, written via the vendored `json`
+//! JSON schema (`adi-perf-report/v7`, written via the vendored `json`
 //! value model): a header with the run parameters, a `circuits` array
 //! carrying the compile-once vs compile-per-call timings (`compile_ns`,
 //! `adi_compile_once_ns`, `adi_per_call_ns`), one `entries` element per
@@ -55,6 +55,16 @@
 //! degrades to a speculation-overhead ceiling against the run's own
 //! sequential cell.
 //!
+//! New in v7: one `sat` element per circuit carrying the SAT-backed
+//! proof phase (`wall_ns`, `proofs_per_s`, the `sample` size, `agreed`)
+//! plus what became of the event-driven run's backtrack-aborted faults
+//! (`aborted_faults`, `resolved_redundant`, `resolved_testable`,
+//! `resolved_undecided`). **Every SAT verdict over the PODEM sample is
+//! agreement-gated against the event-driven PODEM outcome on
+//! commonly-decided faults before any timing is written** — even under
+//! `--quick` — (the hidden `--inject-sat-mismatch` flag flips one
+//! decided verdict so CI can assert the gate fires).
+//!
 //! The engine column of `entries` maps per phase:
 //!
 //! * `no-drop` / `dropping` / `adi` — the fault-simulation engines
@@ -79,9 +89,10 @@
 
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
+use adi_atpg::cnf::{prove_fault, DEFAULT_CONFLICT_LIMIT};
 use adi_atpg::{
-    DropLoopKind, Podem, PodemConfig, PodemEngine, PodemOutcome, PodemStats, TestGenConfig,
-    TestGenResult, TestGenerator,
+    DropLoopKind, FaultVerdict, Podem, PodemConfig, PodemEngine, PodemOutcome, PodemStats,
+    TestCube, TestGenConfig, TestGenResult, TestGenerator,
 };
 use adi_bench::TextTable;
 use adi_circuits::paper_suite;
@@ -154,6 +165,9 @@ struct Options {
     /// Hidden: skew one speculative ATPG cell's fill seed so the
     /// atpg-agreement gate demonstrably fires (CI smoke).
     inject_atpg_mismatch: bool,
+    /// Hidden: flip one SAT verdict so the sat-agreement gate
+    /// demonstrably fires (CI smoke).
+    inject_sat_mismatch: bool,
 }
 
 impl Default for Options {
@@ -168,6 +182,7 @@ impl Default for Options {
             max_threads: 4,
             inject_width_mismatch: false,
             inject_atpg_mismatch: false,
+            inject_sat_mismatch: false,
         }
     }
 }
@@ -224,6 +239,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--inject-width-mismatch" => opts.inject_width_mismatch = true,
             "--inject-atpg-mismatch" => opts.inject_atpg_mismatch = true,
+            "--inject-sat-mismatch" => opts.inject_sat_mismatch = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -322,6 +338,32 @@ struct WidthStats {
     patterns_per_s_per_core: f64,
     /// `pps(threads) / (threads * pps(1))` at the same width.
     scaling_efficiency: f64,
+}
+
+/// The v7 `sat` phase for one circuit: cone-restricted miter proofs
+/// over the raw-PODEM fault sample, verdict-agreement-gated against the
+/// event-driven engine on every commonly-decided fault, plus the SAT
+/// resolution of whatever the default-limit ATPG run aborted on.
+struct SatStats {
+    circuit: String,
+    /// Wall time for the `sample` miter proofs.
+    wall_ns: u128,
+    /// `sample / wall_ns` in proofs per second.
+    proofs_per_s: f64,
+    /// How many faults the phase proved (the raw-PODEM sample).
+    sample: usize,
+    /// Faults where both PODEM and the solver reached a verdict (and,
+    /// past the gate, agreed).
+    agreed: usize,
+    /// Backtrack-aborted targets of the sequential default-limit ATPG
+    /// run that the phase handed to the solver.
+    aborted_faults: u64,
+    /// ... of which proved redundant (UNSAT).
+    resolved_redundant: u64,
+    /// ... of which got a test cube (SAT).
+    resolved_testable: u64,
+    /// ... of which ran out of conflicts too.
+    resolved_undecided: u64,
 }
 
 /// One cell of the v6 speculative-ATPG lattice: end-to-end ordered ATPG
@@ -664,6 +706,8 @@ fn main() {
     let mut inject_pending = opts.inject_width_mismatch;
     let mut atpg_scaling: Vec<AtpgScalingStats> = Vec::new();
     let mut inject_atpg_pending = opts.inject_atpg_mismatch;
+    let mut sat_stats: Vec<SatStats> = Vec::new();
+    let mut inject_sat_pending = opts.inject_sat_mismatch;
     let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     for circuit in &circuits {
@@ -934,6 +978,87 @@ fn main() {
             circuit.name
         );
 
+        // The v7 sat phase: cone-restricted miter proofs over the same
+        // fault sample the raw-PODEM phase just decided. Every fault
+        // both sides decide must carry the same verdict (test ⇔ SAT,
+        // untestable ⇔ UNSAT) before the proof timing is written — even
+        // under `--quick` (the hidden `--inject-sat-mismatch` flag flips
+        // one verdict so CI can assert the gate fires).
+        eprintln!("[perf_report] {} sat phase...", circuit.name);
+        let mut verdicts: Vec<FaultVerdict> = Vec::new();
+        let sat_wall_ns = time_ns(|| {
+            verdicts = sample
+                .iter()
+                .map(|&f| prove_fault(&compiled, f, DEFAULT_CONFLICT_LIMIT))
+                .collect();
+            std::hint::black_box(&verdicts);
+        });
+        if inject_sat_pending {
+            inject_sat_pending = false;
+            // Deliberately flip the first decided verdict: the gate
+            // must catch it.
+            if let Some(v) = verdicts
+                .iter_mut()
+                .find(|v| !matches!(v, FaultVerdict::Undecided))
+            {
+                *v = match v {
+                    FaultVerdict::Redundant => FaultVerdict::Testable(TestCube::unspecified(0)),
+                    _ => FaultVerdict::Redundant,
+                };
+            }
+        }
+        let podem_outcomes = outcomes[1].as_ref().expect("gated above");
+        let mut agreed = 0usize;
+        for ((fault, outcome), verdict) in
+            sample.iter().zip(podem_outcomes).zip(&verdicts)
+        {
+            let consistent = match (outcome, verdict) {
+                (PodemOutcome::Test(_), FaultVerdict::Testable(_)) => true,
+                (PodemOutcome::Untestable, FaultVerdict::Redundant) => true,
+                (PodemOutcome::Aborted, _) | (_, FaultVerdict::Undecided) => continue,
+                _ => false,
+            };
+            if !consistent {
+                eprintln!(
+                    "error: sat agreement gate fired: {} {fault}: PODEM says \
+                     {outcome:?}, the miter says {verdict:?} — refusing to write \
+                     a perf report",
+                    circuit.name
+                );
+                std::process::exit(1);
+            }
+            agreed += 1;
+        }
+        // SAT resolution of the sequential run's backtrack-aborted
+        // faults (the atpg phase runs with the fallback off so both
+        // stacks stay comparable; this is where those aborts get their
+        // verdicts).
+        let atpg_status = &results[1].as_ref().expect("timed").status;
+        let (mut res_red, mut res_test, mut res_undec) = (0u64, 0u64, 0u64);
+        let mut aborted_faults = 0u64;
+        for (id, fault) in faults.iter() {
+            if !matches!(atpg_status[id.index()], adi_atpg::FaultStatus::Aborted) {
+                continue;
+            }
+            aborted_faults += 1;
+            match prove_fault(&compiled, fault, DEFAULT_CONFLICT_LIMIT) {
+                FaultVerdict::Redundant => res_red += 1,
+                FaultVerdict::Testable(_) => res_test += 1,
+                FaultVerdict::Undecided => res_undec += 1,
+            }
+        }
+        sat_stats.push(SatStats {
+            circuit: circuit.name.to_string(),
+            wall_ns: sat_wall_ns,
+            proofs_per_s: sample.len() as f64 / (sat_wall_ns.max(1) as f64 / 1e9),
+            sample: sample.len(),
+            agreed,
+            aborted_faults,
+            resolved_redundant: res_red,
+            resolved_testable: res_test,
+            resolved_undecided: res_undec,
+        });
+
         for (ei, &engine) in ENGINES.iter().enumerate() {
             for (pi, &phase) in PHASES.iter().enumerate() {
                 let speedup = wall[0][pi] as f64 / wall[ei][pi].max(1) as f64;
@@ -980,6 +1105,7 @@ fn main() {
         &service_stats,
         &width_stats,
         &atpg_scaling,
+        &sat_stats,
     )
     .pretty();
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
@@ -1103,6 +1229,32 @@ fn main() {
         ]);
     }
     println!("{}", atpg_table.render());
+
+    // SAT phase summary: proof throughput and what became of the
+    // aborted faults.
+    let mut sat_table = TextTable::new(vec![
+        "circuit",
+        "proofs",
+        "proofs/s",
+        "agreed",
+        "aborted",
+        "redundant",
+        "testable",
+        "undecided",
+    ]);
+    for s in &sat_stats {
+        sat_table.row(vec![
+            s.circuit.clone(),
+            s.sample.to_string(),
+            format!("{:.0}", s.proofs_per_s),
+            s.agreed.to_string(),
+            s.aborted_faults.to_string(),
+            s.resolved_redundant.to_string(),
+            s.resolved_testable.to_string(),
+            s.resolved_undecided.to_string(),
+        ]);
+    }
+    println!("{}", sat_table.render());
 
     // Service phase summary: the request path, cold vs cache-hit.
     let mut service_table = TextTable::new(vec![
@@ -1240,7 +1392,7 @@ fn main() {
     }
 }
 
-/// Assembles the v6 report document (serialized with
+/// Assembles the v7 report document (serialized with
 /// [`Value::pretty`]).
 #[allow(clippy::too_many_arguments)]
 fn render_report(
@@ -1251,9 +1403,10 @@ fn render_report(
     service_stats: &[ServiceStats],
     width_stats: &[WidthStats],
     atpg_scaling: &[AtpgScalingStats],
+    sat_stats: &[SatStats],
 ) -> Value {
     let mut root = Object::new();
-    root.insert("schema", "adi-perf-report/v6");
+    root.insert("schema", "adi-perf-report/v7");
     root.insert("date", date);
     // The snapshot host's core count — the context every scaling and
     // efficiency number in this report must be read against.
@@ -1365,6 +1518,27 @@ fn render_report(
                 .collect(),
         ),
     );
+    root.insert(
+        "sat",
+        Value::Array(
+            sat_stats
+                .iter()
+                .map(|s| {
+                    let mut o = Object::new();
+                    o.insert("circuit", s.circuit.as_str());
+                    o.insert("wall_ns", Value::from_u128(s.wall_ns));
+                    o.insert("proofs_per_s", Value::rounded(s.proofs_per_s, 1));
+                    o.insert("sample", s.sample);
+                    o.insert("agreed", s.agreed);
+                    o.insert("aborted_faults", s.aborted_faults);
+                    o.insert("resolved_redundant", s.resolved_redundant);
+                    o.insert("resolved_testable", s.resolved_testable);
+                    o.insert("resolved_undecided", s.resolved_undecided);
+                    o.into()
+                })
+                .collect(),
+        ),
+    );
     Value::Object(root)
 }
 
@@ -1381,7 +1555,7 @@ mod tests {
     }
 
     #[test]
-    fn json_is_well_formed_and_v6_shaped() {
+    fn json_is_well_formed_and_v7_shaped() {
         let entries = vec![
             Entry {
                 circuit: "irs208".into(),
@@ -1432,6 +1606,17 @@ mod tests {
             drop_ns: 600_000,
             commit_wait_ns: 150_000,
         }];
+        let sat = vec![SatStats {
+            circuit: "irs208".into(),
+            wall_ns: 4_200_000,
+            proofs_per_s: 30_476.2,
+            sample: 128,
+            agreed: 125,
+            aborted_faults: 3,
+            resolved_redundant: 2,
+            resolved_testable: 1,
+            resolved_undecided: 0,
+        }];
         let doc = render_report(
             "2026-01-01",
             &Options::default(),
@@ -1440,12 +1625,13 @@ mod tests {
             &service,
             &widths,
             &scaling,
+            &sat,
         );
         let text = doc.pretty();
         // Strict JSON: our own parser must read it back identically.
         assert_eq!(json::parse(&text).unwrap(), doc);
         for needle in [
-            "\"schema\": \"adi-perf-report/v6\"",
+            "\"schema\": \"adi-perf-report/v7\"",
             "\"engine\": \"stem-region\"",
             "\"wall_ns\": 12345",
             "\"phase\": \"podem\"",
@@ -1472,6 +1658,14 @@ mod tests {
             "\"generate_ns\": 1500000",
             "\"drop_ns\": 600000",
             "\"commit_wait_ns\": 150000",
+            "\"sat\"",
+            "\"proofs_per_s\": 30476.2",
+            "\"sample\": 128",
+            "\"agreed\": 125",
+            "\"aborted_faults\": 3",
+            "\"resolved_redundant\": 2",
+            "\"resolved_testable\": 1",
+            "\"resolved_undecided\": 0",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

@@ -78,7 +78,7 @@ fn perf_report_writes_json() {
     assert!(ok);
     assert!(stdout.contains("speedup"));
     let json = std::fs::read_to_string(&out_path).expect("report written");
-    assert!(json.contains("\"schema\": \"adi-perf-report/v6\""));
+    assert!(json.contains("\"schema\": \"adi-perf-report/v7\""));
     assert!(json.contains("\"circuit\": \"irs208\""));
     assert!(json.contains("\"engine\": \"per-fault\""));
     assert!(json.contains("\"engine\": \"stem-region\""));
@@ -111,6 +111,13 @@ fn perf_report_writes_json() {
     assert!(json.contains("\"generate_ns\""));
     assert!(json.contains("\"drop_ns\""));
     assert!(json.contains("\"commit_wait_ns\""));
+    // v7: the SAT proof phase (proofs/s + aborted-fault resolution).
+    assert!(json.contains("\"sat\""));
+    assert!(json.contains("\"proofs_per_s\""));
+    assert!(json.contains("\"aborted_faults\""));
+    assert!(json.contains("\"resolved_redundant\""));
+    assert!(json.contains("\"resolved_testable\""));
+    assert!(json.contains("\"resolved_undecided\""));
     let _ = std::fs::remove_file(&out_path);
 }
 
@@ -140,6 +147,36 @@ fn perf_report_atpg_agreement_gate_fires_on_injected_mismatch() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         stderr.contains("atpg agreement gate fired"),
+        "stderr: {stderr}"
+    );
+    assert!(!out_path.exists(), "no report may be written on a mismatch");
+}
+
+#[test]
+fn perf_report_sat_agreement_gate_fires_on_injected_mismatch() {
+    let dir = std::env::temp_dir().join("adi_perf_report_sat_gate");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out_path = dir.join("BENCH_sat_gate.json");
+    let _ = std::fs::remove_file(&out_path);
+    // The hidden flag flips one decided SAT verdict; the PODEM-agreement
+    // gate must catch it and refuse to write any report.
+    let out = Command::new(env!("CARGO_BIN_EXE_perf_report"))
+        .args([
+            "--quick",
+            "--max-gates",
+            "150",
+            "--patterns",
+            "64",
+            "--inject-sat-mismatch",
+            "--out",
+            out_path.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "injected mismatch must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("sat agreement gate fired"),
         "stderr: {stderr}"
     );
     assert!(!out_path.exists(), "no report may be written on a mismatch");

@@ -1,0 +1,849 @@
+//! Offline CDCL SAT solver stand-in: the (small) engine the workspace's
+//! formal layer actually needs.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! a self-contained conflict-driven clause-learning solver in the same
+//! offline-stand-in discipline as `compat/{rand,json,proptest}`. It is
+//! deliberately compact but implements the real algorithm, not a toy
+//! DPLL:
+//!
+//! * **Two-watched-literal** propagation with blocker literals, so
+//!   backtracking never touches the watch lists.
+//! * **First-UIP conflict analysis** producing one learned clause per
+//!   conflict, asserted on backjump.
+//! * **VSIDS-lite branching**: exponentially decayed per-variable
+//!   activity bumped along each conflict, served from an indexed binary
+//!   max-heap, with phase saving for polarity.
+//! * **Luby restarts** (base 128 conflicts) and a caller-supplied
+//!   **conflict limit** that turns unbounded searches into a clean
+//!   [`Verdict::Unknown`].
+//!
+//! There is no clause-database reduction and no incremental/assumption
+//! interface: the intended use is one fresh, cone-restricted solver per
+//! query (ATPG redundancy proofs and bounded equivalence miters), where
+//! instances are small and a conflict limit bounds the worst case.
+//! Everything is deterministic — identical clauses added in an identical
+//! order always produce the identical verdict and model.
+//!
+//! # Examples
+//!
+//! ```
+//! use sat::{Lit, Solver, Verdict};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! // (a ∨ b) ∧ (¬a ∨ b) forces b.
+//! s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+//! assert_eq!(s.solve(10_000), Verdict::Sat);
+//! assert_eq!(s.value(b), Some(true));
+//!
+//! // Adding ¬b makes the formula unsatisfiable.
+//! s.add_clause(&[Lit::neg(b)]);
+//! assert_eq!(s.solve(10_000), Verdict::Unsat);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A propositional variable, numbered densely from zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(u32);
+
+impl Var {
+    /// The variable's dense index (its creation order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a [`Var`] together with a polarity.
+///
+/// Encoded as `var << 1 | sign` so literals index watch lists directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    #[inline]
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    #[inline]
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// The literal of `v` that is true exactly when `v = value`.
+    #[inline]
+    pub fn with_value(v: Var, value: bool) -> Lit {
+        if value {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` for a positive literal.
+    #[inline]
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index over literals (`2 * var + sign`), used for watch lists.
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Verdict {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The clause set is unsatisfiable.
+    Unsat,
+    /// The conflict limit was reached before a verdict.
+    Unknown,
+}
+
+/// A watcher entry: the clause index plus a blocker literal that lets
+/// propagation skip the clause without touching its literal array.
+#[derive(Clone, Copy)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// Reason for an assignment on the trail.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    /// A branching decision (or an externally added unit at level 0).
+    Decision,
+    /// Propagated by the clause with this index.
+    Clause(u32),
+}
+
+const RESTART_BASE: u64 = 128;
+const ACTIVITY_DECAY: f64 = 1.0 / 0.95;
+const ACTIVITY_RESCALE: f64 = 1e100;
+
+/// A CDCL solver over a growable set of variables and clauses.
+///
+/// See the [crate docs](crate) for the algorithm outline and an example.
+pub struct Solver {
+    /// Clause arena; every stored clause has at least two literals
+    /// (units go straight onto the level-0 trail).
+    clauses: Vec<Vec<Lit>>,
+    /// Watch lists indexed by literal: clauses to revisit when that
+    /// literal becomes false.
+    watches: Vec<Vec<Watcher>>,
+    /// Current assignment per variable (`None` = unassigned).
+    assigns: Vec<Option<bool>>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Why each variable was assigned.
+    reason: Vec<Reason>,
+    /// Assignment trail in chronological order.
+    trail: Vec<Lit>,
+    /// Trail index where each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Next trail position to propagate from.
+    qhead: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    /// Current activity increment (grows by `ACTIVITY_DECAY` per conflict).
+    act_inc: f64,
+    /// Saved phase per variable, used as the branching polarity.
+    polarity: Vec<bool>,
+    /// Binary max-heap of variable indices ordered by activity.
+    heap: Vec<u32>,
+    /// Position of each variable in `heap` (`-1` when absent).
+    heap_pos: Vec<i32>,
+    /// Scratch marks for conflict analysis.
+    seen: Vec<bool>,
+    /// False once the clause set is known unsatisfiable at level 0.
+    ok: bool,
+    /// Model captured at the last `Sat` verdict.
+    model: Vec<Option<bool>>,
+    /// Conflicts encountered over the solver's lifetime.
+    conflicts: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            act_inc: 1.0,
+            polarity: Vec::new(),
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            conflicts: 0,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(None);
+        self.level.push(0);
+        self.reason.push(Reason::Decision);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_pos.push(-1);
+        self.heap_insert(v.0);
+        v
+    }
+
+    /// The number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// The number of stored clauses (original plus learned; units that
+    /// were absorbed into the level-0 trail are not counted).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Total conflicts encountered over the solver's lifetime.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the clause set is already known unsatisfiable
+    /// — either before this call or because this clause (after level-0
+    /// simplification) is empty or contradicts a level-0 assignment.
+    /// Tautologies and duplicate literals are removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal mentions a variable that was never allocated
+    /// with [`new_var`](Self::new_var).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut c: Vec<Lit> = lits.to_vec();
+        for l in &c {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal references unallocated variable"
+            );
+        }
+        c.sort_unstable();
+        c.dedup();
+        // Drop literals false at level 0; a true literal or a p/¬p pair
+        // makes the clause permanently satisfied.
+        let mut i = 0;
+        while i < c.len() {
+            if i + 1 < c.len() && c[i].var() == c[i + 1].var() {
+                return true; // tautology: p ∨ ¬p
+            }
+            match self.lit_value(c[i]) {
+                Some(true) => return true,
+                Some(false) => {
+                    c.remove(i);
+                }
+                None => i += 1,
+            }
+        }
+        match c.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], Reason::Decision);
+                // Propagate eagerly so later add_clause calls see the
+                // implied level-0 assignments.
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(c);
+                true
+            }
+        }
+    }
+
+    /// Runs the CDCL search until a verdict or until `conflict_limit`
+    /// additional conflicts have been spent.
+    ///
+    /// On [`Verdict::Sat`] the model is captured and readable through
+    /// [`value`](Self::value) until the next `solve` call. The solver
+    /// keeps its learned clauses, so a follow-up call (e.g. after
+    /// [`add_clause`](Self::add_clause)) resumes with everything it
+    /// already knows.
+    pub fn solve(&mut self, conflict_limit: u64) -> Verdict {
+        if !self.ok {
+            return Verdict::Unsat;
+        }
+        self.cancel_until(0);
+        let budget = self.conflicts.saturating_add(conflict_limit);
+        let mut restart: u64 = 0;
+        let mut bound = RESTART_BASE * luby(restart);
+        let mut since_restart: u64 = 0;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Verdict::Unsat;
+                }
+                let (learnt, back_level) = self.analyze(confl);
+                self.cancel_until(back_level);
+                self.learn(learnt);
+                self.decay_activity();
+                if self.conflicts >= budget {
+                    self.cancel_until(0);
+                    return Verdict::Unknown;
+                }
+                if since_restart >= bound {
+                    self.cancel_until(0);
+                    restart += 1;
+                    bound = RESTART_BASE * luby(restart);
+                    since_restart = 0;
+                }
+            } else {
+                match self.pick_branch_var() {
+                    None => {
+                        self.model = self.assigns.clone();
+                        self.cancel_until(0);
+                        return Verdict::Sat;
+                    }
+                    Some(v) => {
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::with_value(v, self.polarity[v.index()]);
+                        self.enqueue(lit, Reason::Decision);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The value of `v` in the model captured by the last
+    /// [`Verdict::Sat`] answer (`None` if the variable never mattered or
+    /// no model is available).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.model.get(v.index()).copied().flatten()
+    }
+
+    // ---- internals ----------------------------------------------------
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.assigns[l.var().index()].map(|b| b == l.is_pos())
+    }
+
+    fn attach_clause(&mut self, c: Vec<Lit>) -> u32 {
+        debug_assert!(c.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        self.watches[(!c[0]).index()].push(Watcher {
+            clause: idx,
+            blocker: c[1],
+        });
+        self.watches[(!c[1]).index()].push(Watcher {
+            clause: idx,
+            blocker: c[0],
+        });
+        self.clauses.push(c);
+        idx
+    }
+
+    /// Installs a learned clause (first literal is the asserting one)
+    /// and enqueues its asserting literal.
+    fn learn(&mut self, learnt: Vec<Lit>) {
+        let assert_lit = learnt[0];
+        if learnt.len() == 1 {
+            self.enqueue(assert_lit, Reason::Decision);
+        } else {
+            let idx = self.attach_clause(learnt);
+            self.enqueue(assert_lit, Reason::Clause(idx));
+        }
+    }
+
+    #[inline]
+    fn enqueue(&mut self, l: Lit, reason: Reason) {
+        debug_assert!(self.lit_value(l).is_none());
+        let vi = l.var().index();
+        self.assigns[vi] = Some(l.is_pos());
+        self.level[vi] = self.decision_level();
+        self.reason[vi] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            // Clauses watching ¬p must be revisited: ¬p just became
+            // false. Their watchers live in the list indexed by p (see
+            // `attach_clause`, which files a watch on lit l under ¬l).
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let w = ws[i];
+                if self.lit_value(w.blocker) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                let ci = w.clause as usize;
+                // Normalize: the false watched literal sits at position 1.
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci][1], false_lit);
+                let first = self.clauses[ci][0];
+                if first != w.blocker && self.lit_value(first) == Some(true) {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut moved = false;
+                for k in 2..self.clauses[ci].len() {
+                    if self.lit_value(self.clauses[ci][k]) != Some(false) {
+                        self.clauses[ci].swap(1, k);
+                        let new_watch = self.clauses[ci][1];
+                        self.watches[(!new_watch).index()].push(Watcher {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // No replacement: the clause is unit or conflicting.
+                if self.lit_value(first) == Some(false) {
+                    // Conflict: restore the remaining watchers and stop.
+                    self.qhead = self.trail.len();
+                    let dest = &mut self.watches[p.index()];
+                    debug_assert!(dest.is_empty());
+                    *dest = ws;
+                    return Some(w.clause);
+                }
+                self.enqueue(first, Reason::Clause(w.clause));
+                i += 1;
+            }
+            self.watches[p.index()] = ws;
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (the
+    /// asserting literal first) and the level to backjump to.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0usize;
+        let mut confl = confl as usize;
+        let mut index = self.trail.len();
+        let mut first = true;
+        let uip = loop {
+            let skip = if first { None } else { Some(self.trail[index]) };
+            let mut k = 0;
+            while k < self.clauses[confl].len() {
+                let q = self.clauses[confl][k];
+                k += 1;
+                if Some(q) == skip {
+                    continue;
+                }
+                let vi = q.var().index();
+                if !self.seen[vi] && self.level[vi] > 0 {
+                    self.seen[vi] = true;
+                    self.bump_activity(q.var());
+                    if self.level[vi] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            first = false;
+            // Walk back to the next marked trail literal.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let p = self.trail[index];
+            self.seen[p.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break p;
+            }
+            confl = match self.reason[p.var().index()] {
+                Reason::Clause(c) => c as usize,
+                Reason::Decision => unreachable!("non-UIP literal must have a reason"),
+            };
+        };
+        // Asserting literal first; backjump to the second-highest level.
+        let mut clause = Vec::with_capacity(learnt.len() + 1);
+        clause.push(!uip);
+        let mut back_level = 0;
+        let mut max_at = 0usize;
+        for (k, &q) in learnt.iter().enumerate() {
+            let lv = self.level[q.var().index()];
+            if lv > back_level {
+                back_level = lv;
+                max_at = k + 1;
+            }
+        }
+        clause.extend_from_slice(&learnt);
+        // The second watched literal must be from the backjump level so
+        // the clause wakes up exactly when it becomes unit again.
+        if clause.len() > 2 {
+            clause.swap(1, max_at);
+        }
+        for &q in &clause[1..] {
+            self.seen[q.var().index()] = false;
+        }
+        (clause, back_level)
+    }
+
+    /// Undoes all assignments above `target_level`.
+    fn cancel_until(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let bound = self.trail_lim[target_level as usize];
+        while self.trail.len() > bound {
+            let l = self.trail.pop().expect("trail underflow");
+            let vi = l.var().index();
+            self.polarity[vi] = l.is_pos();
+            self.assigns[vi] = None;
+            if self.heap_pos[vi] < 0 {
+                self.heap_insert(vi as u32);
+            }
+        }
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v as usize].is_none() {
+                return Some(Var(v));
+            }
+        }
+        None
+    }
+
+    fn bump_activity(&mut self, v: Var) {
+        let vi = v.index();
+        self.activity[vi] += self.act_inc;
+        if self.activity[vi] > ACTIVITY_RESCALE {
+            for a in &mut self.activity {
+                *a /= ACTIVITY_RESCALE;
+            }
+            self.act_inc /= ACTIVITY_RESCALE;
+        }
+        if self.heap_pos[vi] >= 0 {
+            self.heap_up(self.heap_pos[vi] as usize);
+        }
+    }
+
+    fn decay_activity(&mut self) {
+        self.act_inc *= ACTIVITY_DECAY;
+    }
+
+    // ---- indexed max-heap over variable activities ---------------------
+
+    fn heap_insert(&mut self, v: u32) {
+        debug_assert!(self.heap_pos[v as usize] < 0);
+        self.heap_pos[v as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.heap_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("heap nonempty");
+        self.heap_pos[top as usize] = -1;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last as usize] = 0;
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    #[inline]
+    fn heap_less(&self, a: u32, b: u32) -> bool {
+        // Max-heap on activity; ties broken toward the lower variable
+        // index for determinism.
+        let (aa, ab) = (self.activity[a as usize], self.activity[b as usize]);
+        aa > ab || (aa == ab && a < b)
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                self.heap_pos[self.heap[i] as usize] = i as i32;
+                self.heap_pos[self.heap[parent] as usize] = parent as i32;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                return;
+            }
+            self.heap.swap(i, best);
+            self.heap_pos[self.heap[i] as usize] = i as i32;
+            self.heap_pos[self.heap[best] as usize] = best as i32;
+            i = best;
+        }
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4,
+/// 8, … (`luby(i)` is the `i`-th element, zero-based).
+fn luby(i: u64) -> u64 {
+    let mut x = i;
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::pos(s.new_var())).collect()
+    }
+
+    /// Checks that the captured model satisfies every stored clause.
+    fn model_satisfies(s: &Solver) -> bool {
+        s.clauses.iter().all(|c| {
+            c.iter()
+                .any(|&l| s.value(l.var()) == Some(l.is_pos()))
+        })
+    }
+
+    #[test]
+    fn luby_prefix_is_canonical() {
+        let want = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..want.len() as u64).map(luby).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(100), Verdict::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 5);
+        s.add_clause(&[v[0]]);
+        for w in v.windows(2) {
+            s.add_clause(&[!w[0], w[1]]);
+        }
+        assert_eq!(s.solve(100), Verdict::Sat);
+        for &l in &v {
+            assert_eq!(s.value(l.var()), Some(true));
+        }
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a)]));
+        assert!(!s.add_clause(&[Lit::neg(a)]));
+        assert_eq!(s.solve(100), Verdict::Unsat);
+    }
+
+    #[test]
+    fn tautology_and_duplicates_are_harmless() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(a), Lit::neg(a)]));
+        assert!(s.add_clause(&[Lit::pos(b), Lit::pos(b)]));
+        assert_eq!(s.solve(100), Verdict::Sat);
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn xor_constraints_force_unique_model() {
+        // a ⊕ b = 1, b ⊕ c = 1, a = 1  ⇒  b = 0, c = 1.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        let (a, b, c) = (v[0], v[1], v[2]);
+        for (x, y) in [(a, b), (b, c)] {
+            s.add_clause(&[x, y]);
+            s.add_clause(&[!x, !y]);
+        }
+        s.add_clause(&[a]);
+        assert_eq!(s.solve(10_000), Verdict::Sat);
+        assert_eq!(s.value(a.var()), Some(true));
+        assert_eq!(s.value(b.var()), Some(false));
+        assert_eq!(s.value(c.var()), Some(true));
+        assert!(model_satisfies(&s));
+    }
+
+    /// Pigeonhole formula PHP(n+1, n): n+1 pigeons into n holes.
+    fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) {
+        let var = |s_vars: &[Vec<Lit>], p: usize, h: usize| s_vars[p][h];
+        let vars: Vec<Vec<Lit>> = (0..pigeons).map(|_| lits(s, holes)).collect();
+        for p in 0..pigeons {
+            let row: Vec<Lit> = (0..holes).map(|h| var(&vars, p, h)).collect();
+            s.add_clause(&row);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause(&[!var(&vars, p1, h), !var(&vars, p2, h)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_is_unsat() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 4, 3);
+        assert_eq!(s.solve(1_000_000), Verdict::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_3_is_sat() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 3, 3);
+        assert_eq!(s.solve(1_000_000), Verdict::Sat);
+        assert!(model_satisfies(&s));
+    }
+
+    #[test]
+    fn conflict_limit_yields_unknown_then_resumes() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6, 5);
+        assert_eq!(s.solve(1), Verdict::Unknown);
+        // Learned clauses are kept; an ample follow-up budget finishes.
+        assert_eq!(s.solve(10_000_000), Verdict::Unsat);
+    }
+
+    #[test]
+    fn incremental_clause_addition_after_sat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&v.clone());
+        assert_eq!(s.solve(10_000), Verdict::Sat);
+        // Force every variable false one by one: still SAT until the
+        // last clause contradicts the initial disjunction.
+        for &l in &v[..3] {
+            assert!(s.add_clause(&[!l]));
+            assert_eq!(s.solve(10_000), Verdict::Sat);
+            assert!(model_satisfies(&s));
+        }
+        // By now level-0 propagation has forced v3 true, so the final
+        // contradicting unit is rejected on arrival.
+        assert!(!s.add_clause(&[!v[3]]));
+        assert_eq!(s.solve(10_000), Verdict::Unsat);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let mut s = Solver::new();
+            let v = lits(&mut s, 8);
+            for w in v.chunks(2) {
+                s.add_clause(w);
+            }
+            for w in v.windows(3) {
+                s.add_clause(&[!w[0], !w[1], w[2]]);
+            }
+            assert_eq!(s.solve(10_000), Verdict::Sat);
+            (0..8)
+                .map(|i| s.value(v[i].var()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

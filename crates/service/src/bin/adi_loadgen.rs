@@ -218,7 +218,17 @@ fn smoke(addr: &str) -> Result<(), String> {
         return Err("reorder permutation length mismatch".to_string());
     }
 
-    let r = client.expect_ok(r#"{"id": 8, "op": "shutdown"}"#)?;
+    // A single-gate mutation must be distinguished from the original;
+    // the left side rides the cache via the hash.
+    let mutated = escaped(&bench_format::to_bench(&embedded::c17()).replacen("NAND", "NOR", 1));
+    let r = client.expect_ok(&format!(
+        r#"{{"id": 8, "op": "equiv", "left": {{"hash": "{hash}"}}, "right": {{"bench": "{mutated}"}}}}"#
+    ))?;
+    if field(&r, "verdict")?.as_str() != Some("inequivalent") {
+        return Err("mutated c17 must be inequivalent to the original".to_string());
+    }
+
+    let r = client.expect_ok(r#"{"id": 9, "op": "shutdown"}"#)?;
     if field(&r, "stopping")?.as_bool() != Some(true) {
         return Err("shutdown not acknowledged".to_string());
     }

@@ -9,7 +9,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use adi_atpg::TestGenerator;
+use adi_atpg::{EquivVerdict, TestGenerator};
 use adi_core::metrics::average_detection_position;
 use adi_core::reorder::{reorder_tests_for, reverse_order_compaction_for};
 use adi_core::uset::select_u_for;
@@ -106,6 +106,7 @@ impl ServiceState {
             "coverage" => self.op_coverage(req),
             "adi" => self.op_adi(req),
             "atpg" => self.op_atpg(req),
+            "equiv" => self.op_equiv(req),
             "ndetect" => self.op_ndetect(req),
             "reorder" => self.op_reorder(req),
             "ping" => self.op_ping(),
@@ -115,8 +116,8 @@ impl ServiceState {
                 Ok(o)
             }
             other => Err(RequestError::new(format!(
-                "unknown op `{other}` (expected compile, coverage, adi, atpg, ndetect, \
-                 reorder, ping, or shutdown)"
+                "unknown op `{other}` (expected compile, coverage, adi, atpg, equiv, \
+                 ndetect, reorder, ping, or shutdown)"
             ))),
         }
     }
@@ -301,6 +302,15 @@ impl ServiceState {
         t.insert("commit_wait_ns", summary.commit_wait_ns);
         o.insert("timing", t);
         o.insert("wasted_speculations", summary.wasted_speculations);
+        // SAT-fallback diagnostics: how many targets hit the backtrack
+        // limit, and what the solver made of them. `num_aborted` above
+        // counts only the faults that stayed unresolved.
+        o.insert("aborted_faults", summary.aborted_faults);
+        let mut sr = Object::new();
+        sr.insert("redundant", summary.sat_resolved.redundant);
+        sr.insert("testable", summary.sat_resolved.testable);
+        sr.insert("undecided", summary.sat_resolved.undecided);
+        o.insert("sat_resolved", sr);
         if opt_bool(req, "include_tests", false)? {
             o.insert(
                 "tests",
@@ -334,6 +344,54 @@ impl ServiceState {
                         .collect(),
                 ),
             );
+        }
+        Ok(o)
+    }
+
+    /// Bounded equivalence checking: a full-circuit miter between two
+    /// cached/compiled circuits (`"left"` and `"right"` objects, each a
+    /// `bench`/`hash` circuit reference), decided by the vendored CDCL
+    /// solver. Interfaces are matched by declaration order; the
+    /// distinguishing witness (when one exists) comes back as a
+    /// protocol bit string.
+    fn op_equiv(&self, req: &Value) -> RequestResult<Object> {
+        let side = |key: &str| -> RequestResult<CompiledCircuit> {
+            let spec = req
+                .get(key)
+                .ok_or_else(|| RequestError::new(format!("`{key}` circuit reference required")))?;
+            if spec.as_object().is_none() {
+                return Err(RequestError::new(format!(
+                    "`{key}` must be an object with `bench` or `hash`"
+                )));
+            }
+            self.resolve_circuit(spec)
+                .map(|(circuit, _)| circuit)
+                .map_err(|e| RequestError::new(format!("{key}: {e}")))
+        };
+        let left = side("left")?;
+        let right = side("right")?;
+        let limit = opt_u64(req, "conflict_limit", adi_atpg::cnf::DEFAULT_CONFLICT_LIMIT)?;
+        let verdict = adi_atpg::cnf::check_equiv(&left, &right, limit)
+            .map_err(|e| RequestError::new(e.to_string()))?;
+        let mut o = Object::new();
+        o.insert("left_hash", left.content_hash().to_hex());
+        o.insert("right_hash", right.content_hash().to_hex());
+        o.insert("inputs", left.netlist().num_inputs());
+        o.insert("outputs", left.netlist().num_outputs());
+        match verdict {
+            EquivVerdict::Equivalent => {
+                o.insert("verdict", "equivalent");
+            }
+            EquivVerdict::Inequivalent(witness) => {
+                o.insert("verdict", "inequivalent");
+                o.insert(
+                    "witness",
+                    witness.iter().map(|&b| if b { '1' } else { '0' }).collect::<String>(),
+                );
+            }
+            EquivVerdict::Undecided => {
+                o.insert("verdict", "undecided");
+            }
         }
         Ok(o)
     }

@@ -19,7 +19,7 @@
 //! helpers (circuit references, pattern specifications, enum labels)
 //! used by every handler.
 
-use adi_atpg::{DropLoopKind, FillStrategy, PodemConfig, TestGenConfig};
+use adi_atpg::{DropLoopKind, FillStrategy, PodemConfig, SatFallback, TestGenConfig};
 use adi_core::uset::USetConfig;
 use adi_core::{AdiConfig, AdiEstimator, FaultOrdering};
 use adi_sim::{EngineKind, Pattern, PatternSet, SimWidth};
@@ -151,8 +151,10 @@ pub(crate) fn parse_ordering(req: &Value, default: FaultOrdering) -> RequestResu
 
 /// Parses the per-request ATPG configuration (`"atpg"` object:
 /// `backtrack_limit`, `fill`, `fill_seed`, `drop_loop`, `width`,
-/// `threads`, `atpg_threads`, `speculation_depth`), defaulting to
-/// [`TestGenConfig::default`].
+/// `threads`, `atpg_threads`, `speculation_depth`, `sat_fallback`,
+/// `sat_conflict_limit`), defaulting to [`TestGenConfig::default`]
+/// (which resolves backtrack-aborted faults through the SAT layer —
+/// pass `"sat_fallback": "off"` for raw PODEM aborts).
 ///
 /// `threads` sets both the drop-loop flush parallelism and (absent an
 /// explicit `atpg_threads` key, which wins) the speculative ATPG loop's
@@ -168,9 +170,20 @@ pub(crate) fn parse_testgen_config(req: &Value) -> RequestResult<TestGenConfig> 
         return Err(RequestError::new("`atpg` must be an object"));
     }
     let limit = opt_u64(spec, "backtrack_limit", config.podem.backtrack_limit as u64)?;
+    let sat_fallback = match opt_str(spec, "sat_fallback", config.podem.sat_fallback.label())? {
+        "off" => SatFallback::Off,
+        "aborted-only" => SatFallback::AbortedOnly,
+        other => {
+            return Err(RequestError::new(format!(
+                "unknown sat_fallback `{other}` (expected off or aborted-only)"
+            )))
+        }
+    };
     config.podem = PodemConfig {
         backtrack_limit: u32::try_from(limit)
             .map_err(|_| RequestError::new("`atpg.backtrack_limit` too large"))?,
+        sat_fallback,
+        sat_conflict_limit: opt_u64(spec, "sat_conflict_limit", config.podem.sat_conflict_limit)?,
         ..config.podem
     };
     config.fill = match opt_str(spec, "fill", "random")? {

@@ -249,6 +249,101 @@ fn atpg_is_thread_count_invariant_and_reports_timing() {
     }
 }
 
+/// The `atpg` response reports the SAT-fallback resolution counts, and
+/// they obey the books: every backtrack-aborted target is either
+/// resolved (redundant/testable) or stays in `num_aborted`, and turning
+/// the fallback off zeroes the resolution counts while restoring the
+/// raw aborts.
+#[test]
+fn atpg_reports_sat_resolution_counts() {
+    let _guard = BUILD_COUNT_LOCK.lock().unwrap();
+    let s = state();
+    let (text, _) = medium();
+    let hash = compile_via_service(&s, &text, "svc_medium");
+    // A starvation-level backtrack limit forces aborts so the fallback
+    // has real work.
+    let run = |atpg: &str| {
+        request_ok(
+            &s,
+            &format!(r#"{{"op": "atpg", "hash": "{hash}", "atpg": {atpg}}}"#),
+        )
+    };
+    let on = run(r#"{"backtrack_limit": 1}"#);
+    let aborted = on.get("aborted_faults").and_then(Value::as_u64).unwrap();
+    let unresolved = on.get("num_aborted").and_then(Value::as_u64).unwrap();
+    let sr = on.get("sat_resolved").expect("sat_resolved reported");
+    let count = |key: &str| sr.get(key).and_then(Value::as_u64).unwrap();
+    assert!(aborted > 0, "backtrack limit 1 must abort something");
+    assert_eq!(
+        count("redundant") + count("testable") + count("undecided") + unresolved,
+        aborted,
+        "every aborted fault is accounted for"
+    );
+    assert_eq!(count("undecided"), unresolved);
+
+    let off = run(r#"{"backtrack_limit": 1, "sat_fallback": "off"}"#);
+    let sr = off.get("sat_resolved").unwrap();
+    for key in ["redundant", "testable", "undecided"] {
+        assert_eq!(sr.get(key).and_then(Value::as_u64), Some(0), "{key}");
+    }
+    assert_eq!(off.get("num_aborted"), off.get("aborted_faults"));
+
+    // Unknown labels are clean request errors.
+    let bad = s.handle_line(&format!(
+        r#"{{"op": "atpg", "hash": "{hash}", "atpg": {{"sat_fallback": "sometimes"}}}}"#
+    ));
+    let v = json::parse(&bad).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+}
+
+/// The `equiv` endpoint must tell an equivalent rewrite apart from a
+/// single-gate mutation, answer by hash or bench on either side, and
+/// return a witness that is a valid input bit string.
+#[test]
+fn equiv_separates_rewrite_from_mutation() {
+    let _guard = BUILD_COUNT_LOCK.lock().unwrap();
+    let s = state();
+    let c17 = embedded::C17_BENCH;
+    let rewrite = c17.replace("G10 = NAND(G1, G3)", "G10a = AND(G1, G3)\nG10 = NOT(G10a)");
+    let mutation = c17.replace("G10 = NAND(G1, G3)", "G10 = NOR(G1, G3)");
+    let left_hash = compile_via_service(&s, c17, "c17");
+    let side = |text: &str| Value::Str(text.to_string()).to_string();
+
+    let r = request_ok(
+        &s,
+        &format!(
+            r#"{{"op": "equiv", "left": {{"hash": "{left_hash}"}}, "right": {{"bench": {}}}}}"#,
+            side(&rewrite)
+        ),
+    );
+    assert_eq!(r.get("verdict").and_then(Value::as_str), Some("equivalent"));
+    assert_eq!(r.get("left_hash").and_then(Value::as_str), Some(left_hash.as_str()));
+    assert!(r.get("witness").is_none());
+
+    let r = request_ok(
+        &s,
+        &format!(
+            r#"{{"op": "equiv", "left": {{"hash": "{left_hash}"}}, "right": {{"bench": {}}}}}"#,
+            side(&mutation)
+        ),
+    );
+    assert_eq!(r.get("verdict").and_then(Value::as_str), Some("inequivalent"));
+    let witness = r.get("witness").and_then(Value::as_str).expect("witness");
+    assert_eq!(witness.len(), 5, "one bit per c17 input");
+    assert!(witness.chars().all(|c| c == '0' || c == '1'));
+
+    // Mismatched interfaces and missing references are clean errors.
+    for bad in [
+        format!(
+            r#"{{"op": "equiv", "left": {{"hash": "{left_hash}"}}, "right": {{"bench": "INPUT(a)\\nOUTPUT(y)\\ny = NOT(a)\\n"}}}}"#
+        ),
+        format!(r#"{{"op": "equiv", "left": {{"hash": "{left_hash}"}}}}"#),
+    ] {
+        let v = json::parse(&s.handle_line(&bad)).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false), "{bad}");
+    }
+}
+
 #[test]
 fn ndetect_matches_direct_counts() {
     let _guard = BUILD_COUNT_LOCK.lock().unwrap();

@@ -12,8 +12,9 @@
 use std::time::Duration;
 
 use adi::atpg::{
-    DropLoopKind, FaultStatus, FillStrategy, PhaseTimings, Podem, PodemConfig, PodemEngine,
-    PodemOutcome, PodemStats, Scoap, TestGenConfig, TestGenResult, TestGenSummary, TestGenerator,
+    DropLoopKind, EquivVerdict, FaultStatus, FaultVerdict, FillStrategy, PhaseTimings, Podem,
+    PodemConfig, PodemEngine, PodemOutcome, PodemStats, SatFallback, SatResolved, Scoap,
+    TestGenConfig, TestGenResult, TestGenSummary, TestGenerator,
 };
 use adi::circuits::PaperCircuit;
 use adi::core::{
@@ -216,6 +217,27 @@ fn simulation_surface_is_stable() {
     let _ = summary_fields;
     let _: fn(PodemStats) -> PodemStats = PodemStats::deterministic;
     let _ = PodemStats::default().wasted_speculations;
+    // The SAT-backed proof surface (0.8.0): the fallback knob defaults
+    // to aborted-only on the driver, off on raw PODEM (engine-parity
+    // suites compare raw searches), and the summary reports the split.
+    assert_eq!(TestGenConfig::default().podem.sat_fallback, SatFallback::AbortedOnly);
+    assert_eq!(PodemConfig::default().sat_fallback, SatFallback::Off);
+    assert_eq!(SatFallback::AbortedOnly.label(), "aborted-only");
+    fn sat_fields(s: TestGenSummary) -> (u64, SatResolved) {
+        (s.aborted_faults, s.sat_resolved)
+    }
+    let _ = sat_fields;
+    let _ = |r: SatResolved| (r.redundant, r.testable, r.undecided);
+    // The cnf module: redundancy proofs and the equivalence miter.
+    let _: fn(&CompiledCircuit, Fault, u64) -> FaultVerdict = adi::atpg::cnf::prove_fault;
+    let _: fn(
+        &CompiledCircuit,
+        &CompiledCircuit,
+        u64,
+    ) -> Result<EquivVerdict, adi::atpg::EquivError> = adi::atpg::cnf::check_equiv;
+    let _: u64 = adi::atpg::cnf::DEFAULT_CONFLICT_LIMIT;
+    let _ = FaultVerdict::Redundant;
+    let _ = EquivVerdict::Equivalent;
 }
 
 /// The event-driven PODEM core: the engine switch (event-driven by

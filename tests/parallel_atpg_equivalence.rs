@@ -131,6 +131,47 @@ fn speculative_atpg_identical_on_suite_circuits() {
     }
 }
 
+/// The committer adapts the claim window inside `[1, speculation_depth]`
+/// from the observed waste rate, so the window a worker reads depends on
+/// commit/claim interleaving — which is nondeterministic. This test pins
+/// the contract that adaptation is *advisory only*: however the window
+/// moves, the committed result stays bit-identical to the sequential
+/// oracle. Deep caps give the widest adaptation range (repeated halving
+/// and regrowth), and the interleaved order maximizes skip traffic — the
+/// committer's "wasted" signal — so the window provably moves during
+/// these runs.
+#[test]
+fn adaptive_claim_window_never_changes_output() {
+    let netlist = random_circuit(&RandomCircuitConfig::new("adapt", 10, 300, 0xADA));
+    let circuit = CompiledCircuit::compile(netlist.clone());
+    let faults = FaultList::collapsed(&netlist);
+    let ids: Vec<FaultId> = faults.ids().collect();
+    // Interleave front and back of the fault list: early commits drop
+    // faults all over the remaining order, creating long skip runs.
+    let mut order = Vec::with_capacity(ids.len());
+    let (mut lo, mut hi) = (0usize, ids.len());
+    while lo < hi {
+        order.push(ids[lo]);
+        lo += 1;
+        if lo < hi {
+            hi -= 1;
+            order.push(ids[hi]);
+        }
+    }
+    let oracle = run_once(&circuit, &faults, &order, 1, 1, SimWidth::W1);
+    for depth in [2usize, 8, 64, 256] {
+        for threads in [2usize, 4] {
+            let got = run_once(&circuit, &faults, &order, threads, depth, SimWidth::W4);
+            assert_eq!(got, oracle, "adaptive atpg x{threads} depth {depth}");
+            assert_eq!(
+                got.podem_stats.deterministic(),
+                oracle.podem_stats.deterministic(),
+                "adaptive atpg x{threads} depth {depth} stats"
+            );
+        }
+    }
+}
+
 /// The random-phase driver (warm-up vectors + ATPG tail) must stay
 /// bit-identical too: the tail reuses the speculative loop on the
 /// post-warm-up residue, where pre-dropped faults make skip runs long.

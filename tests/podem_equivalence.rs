@@ -32,6 +32,7 @@ fn assert_engine_parity(
         PodemConfig {
             backtrack_limit,
             engine: PodemEngine::FullResim,
+            ..PodemConfig::default()
         },
     );
     let mut event = Podem::for_circuit(
@@ -39,6 +40,7 @@ fn assert_engine_parity(
         PodemConfig {
             backtrack_limit,
             engine: PodemEngine::EventDriven,
+            ..PodemConfig::default()
         },
     );
     for (_, fault) in faults.iter() {
@@ -162,10 +164,12 @@ proptest! {
         let mut full = Podem::for_circuit(&circuit, PodemConfig {
             backtrack_limit: limit,
             engine: PodemEngine::FullResim,
+            ..PodemConfig::default()
         });
         let mut event = Podem::for_circuit(&circuit, PodemConfig {
             backtrack_limit: limit,
             engine: PodemEngine::EventDriven,
+            ..PodemConfig::default()
         });
         for (_, fault) in faults.iter() {
             prop_assert_eq!(
