@@ -14,7 +14,7 @@
 //!     [--width 1|2|4|8] [--threads N]
 //! ```
 //!
-//! JSON schema (`adi-perf-report/v7`, written via the vendored `json`
+//! JSON schema (`adi-perf-report/v8`, written via the vendored `json`
 //! value model): a header with the run parameters, a `circuits` array
 //! carrying the compile-once vs compile-per-call timings (`compile_ns`,
 //! `adi_compile_once_ns`, `adi_per_call_ns`), one `entries` element per
@@ -65,6 +65,22 @@
 //! `--quick` — (the hidden `--inject-sat-mismatch` flag flips one
 //! decided verdict so CI can assert the gate fires).
 //!
+//! New in v8: one `scenario_cache` element per `(circuit, endpoint)`
+//! pair carrying the scenario-cache request path (`cold_ns` for a
+//! `"cache": "bypass"` recomputation, `hit_ns` for the cached replay,
+//! `hit_speedup`), plus one `open_loop` element for the largest
+//! circuit carrying a fixed-rate open-loop run against an in-process
+//! TCP server (`offered_rps`, `achieved_rps`, `completed`, `shed`,
+//! `p50_ms`/`p99_ms`/`p999_ms` measured from each request's *scheduled*
+//! send time). **Every endpoint's cache hit is agreement-gated
+//! byte-identical to the miss that populated it before any timing is
+//! written** — even under `--quick` (the hidden
+//! `--inject-scenario-mismatch` flag corrupts one hit copy so CI can
+//! assert the gate fires). Non-`--quick` runs additionally fail unless
+//! the largest circuit's worst endpoint hit speedup clears the 50x
+//! floor and the open-loop run meets its SLO (p99 under 250 ms, shed
+//! fraction under 1%).
+//!
 //! The engine column of `entries` maps per phase:
 //!
 //! * `no-drop` / `dropping` / `adi` — the fault-simulation engines
@@ -87,7 +103,10 @@
 //! below the floor (default 1.5×, `--min-speedup`): the perf trajectory
 //! is enforced, not just recorded.
 
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use adi_atpg::cnf::{prove_fault, DEFAULT_CONFLICT_LIMIT};
 use adi_atpg::{
@@ -99,7 +118,7 @@ use adi_circuits::paper_suite;
 use adi_core::{AdiAnalysis, AdiConfig};
 use adi_netlist::fault::{Fault, FaultId, FaultList};
 use adi_netlist::{bench_format, CompiledCircuit, Netlist};
-use adi_service::{ServiceState, StoreConfig};
+use adi_service::{serve_tcp, ServerConfig, ServiceState, StoreConfig};
 use adi_sim::{
     DropSession, EngineKind, FaultSimulator, Pattern, PatternSet, SimScratch, SimWidth,
 };
@@ -120,6 +139,17 @@ const ENGINES: [EngineKind; 2] = [EngineKind::PerFault, EngineKind::StemRegion];
 /// Non-quick runs fail unless a cache-hit service request on the
 /// largest circuit beats a cold compile by at least this factor.
 const SERVICE_HIT_FLOOR: f64 = 10.0;
+
+/// Non-quick runs fail unless every scenario-cache endpoint on the
+/// largest circuit answers a hit at least this much faster than a
+/// `"cache": "bypass"` recomputation.
+const SCENARIO_HIT_FLOOR: f64 = 50.0;
+
+/// The open-loop service SLO: p99 latency (measured from the scheduled
+/// send time, so queueing counts) must stay under this, and no more
+/// than [`OPEN_LOOP_SHED_CEIL`] of the offered requests may be shed.
+const OPEN_LOOP_P99_SLO_MS: f64 = 250.0;
+const OPEN_LOOP_SHED_CEIL: f64 = 0.01;
 
 /// Seed for the service phase's agreement vector sets.
 const AGREEMENT_SEED: u64 = 0x05EC_71CE;
@@ -168,6 +198,9 @@ struct Options {
     /// Hidden: flip one SAT verdict so the sat-agreement gate
     /// demonstrably fires (CI smoke).
     inject_sat_mismatch: bool,
+    /// Hidden: corrupt one scenario-cache hit so the byte-identity
+    /// gate demonstrably fires (CI smoke).
+    inject_scenario_mismatch: bool,
 }
 
 impl Default for Options {
@@ -183,6 +216,7 @@ impl Default for Options {
             inject_width_mismatch: false,
             inject_atpg_mismatch: false,
             inject_sat_mismatch: false,
+            inject_scenario_mismatch: false,
         }
     }
 }
@@ -240,6 +274,7 @@ fn parse_args() -> Result<Options, String> {
             "--inject-width-mismatch" => opts.inject_width_mismatch = true,
             "--inject-atpg-mismatch" => opts.inject_atpg_mismatch = true,
             "--inject-sat-mismatch" => opts.inject_sat_mismatch = true,
+            "--inject-scenario-mismatch" => opts.inject_scenario_mismatch = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -322,6 +357,36 @@ struct ServiceStats {
     /// Closed-loop cache-hit request throughput (4 threads, mixed
     /// compile/coverage/ndetect requests by hash).
     throughput_rps: f64,
+}
+
+/// The v8 `scenario_cache` phase for one `(circuit, endpoint)` pair:
+/// a repeated request answered from the response cache vs a
+/// `"cache": "bypass"` recomputation, byte-identity-gated before any
+/// timing is recorded.
+struct ScenarioPerfStats {
+    circuit: String,
+    endpoint: &'static str,
+    /// A `"cache": "bypass"` request — the full computation.
+    cold_ns: u128,
+    /// The same request answered from the scenario cache.
+    hit_ns: u128,
+    /// `cold_ns / hit_ns`.
+    hit_speedup: f64,
+}
+
+/// The v8 `open_loop` phase: a fixed-rate request schedule against an
+/// in-process TCP server, latency measured from each request's
+/// scheduled send time (so queueing delay counts).
+struct OpenLoopStats {
+    circuit: String,
+    offered_rps: f64,
+    achieved_rps: f64,
+    completed: u64,
+    /// Responses refused by the server's admission control.
+    shed: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
 }
 
 /// One cell of the v5 wide-word lattice: the stem-region no-drop matrix
@@ -601,6 +666,226 @@ fn service_phase(name: &str, netlist_text: &str, patterns: usize) -> ServiceStat
     }
 }
 
+/// The v8 `scenario_cache` phase for one circuit: repeat each cacheable
+/// endpoint's request, gate the hit **byte-identical** to the miss that
+/// populated it, then time the hit against a `"cache": "bypass"`
+/// recomputation. The gate runs even under `--quick`.
+fn scenario_phase(
+    name: &str,
+    netlist_text: &str,
+    patterns: usize,
+    inject_pending: &mut bool,
+) -> Vec<ScenarioPerfStats> {
+    let state = ServiceState::new(StoreConfig::default());
+    let compile_req = {
+        let mut o = Object::new();
+        o.insert("op", "compile");
+        o.insert("bench", netlist_text);
+        o.insert("name", name);
+        Value::Object(o).to_string()
+    };
+    let r = service_ok(name, &state.handle_line(&compile_req));
+    let hash = r
+        .get("hash")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("{name}: compile response lacks a hash"))
+        .to_string();
+    let count = patterns.min(256);
+    let seed = AGREEMENT_SEED;
+    let endpoints: [(&'static str, String); 4] = [
+        (
+            "coverage",
+            format!(r#"{{"op":"coverage","hash":"{hash}","random":{{"count":{count},"seed":{seed}}}}}"#),
+        ),
+        (
+            "ndetect",
+            format!(r#"{{"op":"ndetect","hash":"{hash}","random":{{"count":{count},"seed":{seed}}},"n":4}}"#),
+        ),
+        (
+            "adi",
+            format!(r#"{{"op":"adi","hash":"{hash}","random":{{"count":{count},"seed":{seed}}},"ordering":"0dynm"}}"#),
+        ),
+        ("atpg", format!(r#"{{"op":"atpg","hash":"{hash}","ordering":"orig"}}"#)),
+    ];
+    let mut out = Vec::with_capacity(endpoints.len());
+    for (endpoint, request) in &endpoints {
+        let miss = state.handle_line(request);
+        service_ok(name, &miss);
+        let mut hit = state.handle_line(request);
+        if *inject_pending {
+            *inject_pending = false;
+            // Deliberately corrupt one byte of the hit copy: the
+            // byte-identity gate must catch it.
+            hit = hit.replacen("result", "resulz", 1);
+        }
+        if miss != hit {
+            eprintln!(
+                "error: scenario agreement gate fired: {name} `{endpoint}` cache hit is \
+                 not byte-identical to the cold response — refusing to write a perf report"
+            );
+            std::process::exit(1);
+        }
+        // Timings only once the gate has passed.
+        let bypass = format!(
+            r#"{},"cache":"bypass"}}"#,
+            request.strip_suffix('}').expect("request object")
+        );
+        let cold_ns = time_ns(|| {
+            std::hint::black_box(state.handle_line(&bypass));
+        });
+        let hit_ns = time_ns(|| {
+            std::hint::black_box(state.handle_line(request));
+        });
+        out.push(ScenarioPerfStats {
+            circuit: name.to_string(),
+            endpoint,
+            cold_ns,
+            hit_ns,
+            hit_speedup: cold_ns as f64 / hit_ns.max(1) as f64,
+        });
+    }
+    out
+}
+
+/// One blocking request/response line pair over a TCP connection.
+fn tcp_round_trip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, request: &str) -> Value {
+    writer
+        .write_all(request.as_bytes())
+        .and_then(|_| writer.write_all(b"\n"))
+        .and_then(|_| writer.flush())
+        .expect("service request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("service response");
+    json::parse(line.trim_end()).expect("service response JSON")
+}
+
+/// The v8 `open_loop` phase: boots an in-process TCP server, primes an
+/// n-detect sweep so the steady state exercises the scenario cache,
+/// then offers requests at a fixed rate and measures completion and
+/// latency from each request's scheduled send time.
+fn open_loop_phase(name: &str, netlist_text: &str, quick: bool) -> OpenLoopStats {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let state = Arc::new(ServiceState::new(StoreConfig::default()));
+    let server = std::thread::spawn(move || {
+        serve_tcp(
+            listener,
+            state,
+            ServerConfig {
+                workers: 2,
+                queue_depth: 64,
+                max_inflight: 64,
+            },
+        )
+        .expect("in-process server")
+    });
+
+    let (rate, total) = if quick { (200.0_f64, 200u64) } else { (400.0_f64, 1200u64) };
+    const SWEEP: u64 = 4;
+
+    // Control connection: compile, prime the sweep, and (later) stop
+    // the server.
+    let control_stream = TcpStream::connect(addr).expect("connect control");
+    let mut control_writer = control_stream.try_clone().expect("clone control");
+    let mut control = BufReader::new(control_stream);
+    let compile_req = {
+        let mut o = Object::new();
+        o.insert("op", "compile");
+        o.insert("bench", netlist_text);
+        o.insert("name", name);
+        Value::Object(o).to_string()
+    };
+    let v = tcp_round_trip(&mut control, &mut control_writer, &compile_req);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{name}: compile failed: {v}");
+    let hash = v
+        .get("result")
+        .and_then(|r| r.get("hash"))
+        .and_then(Value::as_str)
+        .expect("compile returns a hash")
+        .to_string();
+    for n in 1..=SWEEP {
+        let v = tcp_round_trip(
+            &mut control,
+            &mut control_writer,
+            &format!(r#"{{"op":"ndetect","hash":"{hash}","random":{{"count":64,"seed":{AGREEMENT_SEED}}},"n":{n}}}"#),
+        );
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{name}: prime failed: {v}");
+    }
+
+    // Measurement connection: a sender thread on the fixed schedule, the
+    // reader here tallying latency (from scheduled send) and sheds.
+    let stream = TcpStream::connect(addr).expect("connect measurement");
+    let mut writer = stream.try_clone().expect("clone measurement");
+    let mut reader = BufReader::new(stream);
+    let start = Instant::now() + Duration::from_millis(50);
+    let (latencies, shed) = std::thread::scope(|scope| {
+        let hash = &hash;
+        let sender = scope.spawn(move || {
+            for i in 0..total {
+                let due = start + Duration::from_secs_f64(i as f64 / rate);
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                let n = 1 + (i % SWEEP);
+                let req = format!(
+                    r#"{{"id":{i},"op":"ndetect","hash":"{hash}","random":{{"count":64,"seed":{AGREEMENT_SEED}}},"n":{n}}}"#
+                );
+                writer
+                    .write_all(req.as_bytes())
+                    .and_then(|_| writer.write_all(b"\n"))
+                    .and_then(|_| writer.flush())
+                    .expect("open-loop send");
+            }
+        });
+        let mut latencies: Vec<u64> = Vec::with_capacity(total as usize);
+        let mut shed = 0u64;
+        for _ in 0..total {
+            let mut line = String::new();
+            let n = reader.read_line(&mut line).expect("open-loop receive");
+            assert!(n > 0, "{name}: server closed the connection mid-run");
+            let done = Instant::now();
+            let v = json::parse(line.trim_end()).expect("open-loop response JSON");
+            let id = v.get("id").and_then(Value::as_u64).expect("response id");
+            if v.get("ok").and_then(Value::as_bool) == Some(true) {
+                let due = start + Duration::from_secs_f64(id as f64 / rate);
+                latencies.push(done.saturating_duration_since(due).as_nanos() as u64);
+            } else if v.get("shed").and_then(Value::as_bool) == Some(true) {
+                shed += 1;
+            } else {
+                panic!("{name}: open-loop request {id} failed: {v}");
+            }
+        }
+        sender.join().expect("open-loop sender panicked");
+        (latencies, shed)
+    });
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+
+    let v = tcp_round_trip(&mut control, &mut control_writer, r#"{"op":"shutdown"}"#);
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{name}: shutdown failed");
+    server.join().expect("server thread panicked");
+
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx] as f64 / 1e6
+    };
+    OpenLoopStats {
+        circuit: name.to_string(),
+        offered_rps: rate,
+        achieved_rps: sorted.len() as f64 / wall,
+        completed: sorted.len() as u64,
+        shed,
+        p50_ms: pct(50.0),
+        p99_ms: pct(99.0),
+        p999_ms: pct(99.9),
+    }
+}
+
 /// The compile-per-call path the pre-0.2 wrappers used to take (spelled
 /// out now that those wrappers are gone): this is precisely the cost the
 /// compiled API removes.
@@ -708,6 +993,9 @@ fn main() {
     let mut inject_atpg_pending = opts.inject_atpg_mismatch;
     let mut sat_stats: Vec<SatStats> = Vec::new();
     let mut inject_sat_pending = opts.inject_sat_mismatch;
+    let mut scenario_stats: Vec<ScenarioPerfStats> = Vec::new();
+    let mut inject_scenario_pending = opts.inject_scenario_mismatch;
+    let mut open_loop_stats: Vec<OpenLoopStats> = Vec::new();
     let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     for circuit in &circuits {
@@ -1093,6 +1381,24 @@ fn main() {
         eprintln!("[perf_report] {} service phase...", circuit.name);
         let text = bench_format::to_bench(compiled.netlist());
         service_stats.push(service_phase(circuit.name, &text, opts.patterns));
+
+        // The v8 scenario-cache phase: hit vs bypass per endpoint,
+        // byte-identity-gated (even under `--quick`).
+        eprintln!("[perf_report] {} scenario phase...", circuit.name);
+        scenario_stats.extend(scenario_phase(
+            circuit.name,
+            &text,
+            opts.patterns,
+            &mut inject_scenario_pending,
+        ));
+    }
+
+    // The v8 open-loop phase: one fixed-rate run against an in-process
+    // TCP server on the largest selected circuit.
+    if let Some(largest) = circuits.iter().max_by_key(|c| c.gates) {
+        eprintln!("[perf_report] {} open-loop service phase...", largest.name);
+        let text = bench_format::to_bench(&largest.netlist());
+        open_loop_stats.push(open_loop_phase(largest.name, &text, opts.quick));
     }
 
     // Persist the snapshot before printing: a consumer truncating our
@@ -1106,6 +1412,8 @@ fn main() {
         &width_stats,
         &atpg_scaling,
         &sat_stats,
+        &scenario_stats,
+        &open_loop_stats,
     )
     .pretty();
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
@@ -1275,6 +1583,50 @@ fn main() {
     }
     println!("{}", service_table.render());
 
+    // Scenario-cache summary: hit vs bypass per endpoint.
+    let mut scenario_table = TextTable::new(vec![
+        "circuit",
+        "endpoint",
+        "cold (ms)",
+        "hit (us)",
+        "hit speedup",
+    ]);
+    for s in &scenario_stats {
+        scenario_table.row(vec![
+            s.circuit.clone(),
+            s.endpoint.to_string(),
+            format!("{:.2}", s.cold_ns as f64 / 1e6),
+            format!("{:.1}", s.hit_ns as f64 / 1e3),
+            format!("{:.1}x", s.hit_speedup),
+        ]);
+    }
+    println!("{}", scenario_table.render());
+
+    // Open-loop summary: the arrival-rate run.
+    let mut open_table = TextTable::new(vec![
+        "circuit",
+        "offered (req/s)",
+        "achieved (req/s)",
+        "completed",
+        "shed",
+        "p50 (ms)",
+        "p99 (ms)",
+        "p999 (ms)",
+    ]);
+    for s in &open_loop_stats {
+        open_table.row(vec![
+            s.circuit.clone(),
+            format!("{:.0}", s.offered_rps),
+            format!("{:.0}", s.achieved_rps),
+            s.completed.to_string(),
+            s.shed.to_string(),
+            format!("{:.3}", s.p50_ms),
+            format!("{:.3}", s.p99_ms),
+            format!("{:.3}", s.p999_ms),
+        ]);
+    }
+    println!("{}", open_table.render());
+
     // Ratio-regression gate: the stem engine must keep its no-drop win
     // on the largest selected circuit. `--quick` runs (tiny pattern
     // counts, CI smoke) are exempt.
@@ -1311,6 +1663,53 @@ fn main() {
             eprintln!(
                 "[perf_report] service gate passed: {} cache-hit {:.1}x >= {SERVICE_HIT_FLOOR:.0}x",
                 largest.name, service.hit_speedup
+            );
+
+            // Scenario-cache gate: on the largest circuit, even the
+            // endpoint with the least to gain must answer hits 50x
+            // faster than a bypass recomputation.
+            let worst = scenario_stats
+                .iter()
+                .filter(|s| s.circuit == largest.name)
+                .min_by(|a, b| a.hit_speedup.total_cmp(&b.hit_speedup))
+                .expect("scenario stats recorded per circuit");
+            if worst.hit_speedup < SCENARIO_HIT_FLOOR {
+                eprintln!(
+                    "error: scenario-cache hit speedup on {} `{}` is {:.1}x, below the \
+                     {SCENARIO_HIT_FLOOR:.0}x floor",
+                    largest.name, worst.endpoint, worst.hit_speedup
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[perf_report] scenario gate passed: {} worst endpoint (`{}`) hit \
+                 {:.1}x >= {SCENARIO_HIT_FLOOR:.0}x",
+                largest.name, worst.endpoint, worst.hit_speedup
+            );
+
+            // Open-loop SLO gate: the offered schedule must complete
+            // with p99 under the SLO and (almost) nothing shed.
+            let run = open_loop_stats
+                .iter()
+                .find(|s| s.circuit == largest.name)
+                .expect("open-loop run recorded");
+            let shed_frac = run.shed as f64 / (run.completed + run.shed).max(1) as f64;
+            if run.p99_ms > OPEN_LOOP_P99_SLO_MS || shed_frac > OPEN_LOOP_SHED_CEIL {
+                eprintln!(
+                    "error: open-loop SLO missed on {}: p99 {:.1} ms (SLO \
+                     {OPEN_LOOP_P99_SLO_MS:.0} ms), shed fraction {:.3} (ceiling \
+                     {OPEN_LOOP_SHED_CEIL:.2})",
+                    largest.name, run.p99_ms, shed_frac
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "[perf_report] open-loop gate passed: {} p99 {:.1} ms <= \
+                 {OPEN_LOOP_P99_SLO_MS:.0} ms, {} shed of {} offered",
+                largest.name,
+                run.p99_ms,
+                run.shed,
+                run.completed + run.shed
             );
         }
 
@@ -1392,7 +1791,7 @@ fn main() {
     }
 }
 
-/// Assembles the v7 report document (serialized with
+/// Assembles the v8 report document (serialized with
 /// [`Value::pretty`]).
 #[allow(clippy::too_many_arguments)]
 fn render_report(
@@ -1404,9 +1803,11 @@ fn render_report(
     width_stats: &[WidthStats],
     atpg_scaling: &[AtpgScalingStats],
     sat_stats: &[SatStats],
+    scenario_stats: &[ScenarioPerfStats],
+    open_loop_stats: &[OpenLoopStats],
 ) -> Value {
     let mut root = Object::new();
-    root.insert("schema", "adi-perf-report/v7");
+    root.insert("schema", "adi-perf-report/v8");
     root.insert("date", date);
     // The snapshot host's core count — the context every scaling and
     // efficiency number in this report must be read against.
@@ -1539,6 +1940,43 @@ fn render_report(
                 .collect(),
         ),
     );
+    root.insert(
+        "scenario_cache",
+        Value::Array(
+            scenario_stats
+                .iter()
+                .map(|s| {
+                    let mut o = Object::new();
+                    o.insert("circuit", s.circuit.as_str());
+                    o.insert("endpoint", s.endpoint);
+                    o.insert("cold_ns", Value::from_u128(s.cold_ns));
+                    o.insert("hit_ns", Value::from_u128(s.hit_ns));
+                    o.insert("hit_speedup", Value::rounded(s.hit_speedup, 2));
+                    o.into()
+                })
+                .collect(),
+        ),
+    );
+    root.insert(
+        "open_loop",
+        Value::Array(
+            open_loop_stats
+                .iter()
+                .map(|s| {
+                    let mut o = Object::new();
+                    o.insert("circuit", s.circuit.as_str());
+                    o.insert("offered_rps", Value::rounded(s.offered_rps, 1));
+                    o.insert("achieved_rps", Value::rounded(s.achieved_rps, 1));
+                    o.insert("completed", s.completed);
+                    o.insert("shed", s.shed);
+                    o.insert("p50_ms", Value::rounded(s.p50_ms, 3));
+                    o.insert("p99_ms", Value::rounded(s.p99_ms, 3));
+                    o.insert("p999_ms", Value::rounded(s.p999_ms, 3));
+                    o.into()
+                })
+                .collect(),
+        ),
+    );
     Value::Object(root)
 }
 
@@ -1555,7 +1993,7 @@ mod tests {
     }
 
     #[test]
-    fn json_is_well_formed_and_v7_shaped() {
+    fn json_is_well_formed_and_v8_shaped() {
         let entries = vec![
             Entry {
                 circuit: "irs208".into(),
@@ -1617,6 +2055,23 @@ mod tests {
             resolved_testable: 1,
             resolved_undecided: 0,
         }];
+        let scenario = vec![ScenarioPerfStats {
+            circuit: "irs208".into(),
+            endpoint: "atpg",
+            cold_ns: 9_000_000,
+            hit_ns: 15_000,
+            hit_speedup: 600.0,
+        }];
+        let open_loop = vec![OpenLoopStats {
+            circuit: "irs208".into(),
+            offered_rps: 400.5,
+            achieved_rps: 398.5,
+            completed: 1195,
+            shed: 5,
+            p50_ms: 0.75,
+            p99_ms: 4.125,
+            p999_ms: 11.5,
+        }];
         let doc = render_report(
             "2026-01-01",
             &Options::default(),
@@ -1626,12 +2081,26 @@ mod tests {
             &widths,
             &scaling,
             &sat,
+            &scenario,
+            &open_loop,
         );
         let text = doc.pretty();
         // Strict JSON: our own parser must read it back identically.
         assert_eq!(json::parse(&text).unwrap(), doc);
         for needle in [
-            "\"schema\": \"adi-perf-report/v7\"",
+            "\"schema\": \"adi-perf-report/v8\"",
+            "\"scenario_cache\"",
+            "\"endpoint\": \"atpg\"",
+            "\"cold_ns\": 9000000",
+            "\"hit_ns\": 15000",
+            "\"open_loop\"",
+            "\"offered_rps\": 400.5",
+            "\"achieved_rps\": 398.5",
+            "\"completed\": 1195",
+            "\"shed\": 5",
+            "\"p50_ms\": 0.75",
+            "\"p99_ms\": 4.125",
+            "\"p999_ms\": 11.5",
             "\"engine\": \"stem-region\"",
             "\"wall_ns\": 12345",
             "\"phase\": \"podem\"",

@@ -78,7 +78,7 @@ fn perf_report_writes_json() {
     assert!(ok);
     assert!(stdout.contains("speedup"));
     let json = std::fs::read_to_string(&out_path).expect("report written");
-    assert!(json.contains("\"schema\": \"adi-perf-report/v7\""));
+    assert!(json.contains("\"schema\": \"adi-perf-report/v8\""));
     assert!(json.contains("\"circuit\": \"irs208\""));
     assert!(json.contains("\"engine\": \"per-fault\""));
     assert!(json.contains("\"engine\": \"stem-region\""));
@@ -118,7 +118,48 @@ fn perf_report_writes_json() {
     assert!(json.contains("\"resolved_redundant\""));
     assert!(json.contains("\"resolved_testable\""));
     assert!(json.contains("\"resolved_undecided\""));
+    // v8: the scenario-cache phase and the open-loop service phase.
+    assert!(json.contains("\"scenario_cache\""));
+    assert!(json.contains("\"endpoint\""));
+    assert!(json.contains("\"cold_ns\""));
+    assert!(json.contains("\"hit_ns\""));
+    assert!(json.contains("\"open_loop\""));
+    assert!(json.contains("\"offered_rps\""));
+    assert!(json.contains("\"achieved_rps\""));
+    assert!(json.contains("\"shed\""));
+    assert!(json.contains("\"p99_ms\""));
+    assert!(json.contains("\"p999_ms\""));
     let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn perf_report_scenario_agreement_gate_fires_on_injected_mismatch() {
+    let dir = std::env::temp_dir().join("adi_perf_report_scenario_gate");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out_path = dir.join("BENCH_scenario_gate.json");
+    let _ = std::fs::remove_file(&out_path);
+    // The hidden flag corrupts one cached payload; the byte-identity
+    // gate must catch it and refuse to write any report.
+    let out = Command::new(env!("CARGO_BIN_EXE_perf_report"))
+        .args([
+            "--quick",
+            "--max-gates",
+            "150",
+            "--patterns",
+            "64",
+            "--inject-scenario-mismatch",
+            "--out",
+            out_path.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "injected mismatch must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("scenario agreement gate fired"),
+        "stderr: {stderr}"
+    );
+    assert!(!out_path.exists(), "no report may be written on a mismatch");
 }
 
 #[test]

@@ -164,6 +164,37 @@ impl CompiledCircuit {
     pub fn same_compilation(&self, other: &CompiledCircuit) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
+
+    /// An estimate of the compilation's resident size in bytes, for
+    /// cost-aware cache eviction.
+    ///
+    /// The estimate is structural — nodes, CSR edges, and whichever lazy
+    /// fault lists have been built — not an exact allocator measurement,
+    /// but it orders circuits by footprint correctly: a 10× larger
+    /// circuit reports a ~10× larger size.
+    pub fn resident_bytes(&self) -> usize {
+        let nodes = self.inner.view.num_nodes();
+        let mut edges = 0usize;
+        for p in 0..nodes {
+            edges += self.inner.view.fanins_at(p).len() + self.inner.view.fanouts_at(p).len();
+        }
+        // Per node: netlist node (~64B with name), CSR row metadata
+        // (~32B), FFR membership (~8B). Per edge: one u32 endpoint.
+        let mut bytes = nodes * 104 + edges * 4;
+        for list in [self.inner.collapsed.get(), self.inner.full.get()]
+            .into_iter()
+            .flatten()
+        {
+            bytes += list.len() * 16;
+        }
+        if self.inner.scoap.get().is_some() {
+            bytes += nodes * 12;
+        }
+        if let Some(pd) = self.inner.post_dominators.get() {
+            bytes += pd.len() * 4;
+        }
+        bytes
+    }
 }
 
 impl From<Netlist> for CompiledCircuit {
@@ -239,6 +270,26 @@ y = OR(t0, t1)
         let _ = (c.view(), c.ffr(), c.collapsed_faults(), c.full_faults(), c.scoap());
         let _ = c.clone();
         assert_eq!(LevelizedCsr::build_count(), before);
+    }
+
+    #[test]
+    fn resident_bytes_tracks_structure_and_lazy_artifacts() {
+        let small = compiled();
+        let base = small.resident_bytes();
+        assert!(base > 0);
+        // Building lazy artifacts grows the footprint.
+        let _ = small.collapsed_faults();
+        assert!(small.resident_bytes() > base);
+        // A structurally larger circuit reports a larger footprint.
+        let mut text = String::from("INPUT(a)\nOUTPUT(y)\n");
+        let mut prev = "a".to_string();
+        for i in 0..64 {
+            text.push_str(&format!("n{i} = NOT({prev})\n"));
+            prev = format!("n{i}");
+        }
+        text.push_str(&format!("y = NOT({prev})\n"));
+        let big = CompiledCircuit::compile(bench_format::parse(&text, "chain").unwrap());
+        assert!(big.resident_bytes() > small.resident_bytes());
     }
 
     #[test]

@@ -1,22 +1,34 @@
-//! `adi-loadgen` — closed-loop load generator for `adi-serve`.
+//! `adi-loadgen` — load generator for `adi-serve`.
 //!
 //! ```text
-//! adi-loadgen --addr HOST:PORT [--smoke]
+//! adi-loadgen --addr HOST:PORT [--smoke | --open-loop RATE]
 //!             [--connections C] [--requests N] [--gates G] [--shutdown]
 //! ```
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * `--smoke`: one connection drives every endpoint once (compile by
-//!   bench and by hash, coverage, adi, atpg, ndetect, reorder, ping),
-//!   verifies each response, sends `shutdown`, and checks the server
-//!   answers it and closes the connection. Exit 0 means the whole
-//!   protocol works end to end.
-//! * load mode (default): `C` connections each issue `N` closed-loop
-//!   requests (a cache-hit `compile`, `coverage`, and `ndetect` mix
-//!   against one suite circuit, compiled once up front), then the tool
-//!   reports aggregate requests/s and p50/p99 latency. `--shutdown`
-//!   additionally stops the server afterwards.
+//!   bench and by hash, coverage, adi, atpg, ndetect, reorder, equiv,
+//!   stats, ping), verifies each response, checks a repeated request is
+//!   answered byte-identically from the scenario cache, sends
+//!   `shutdown`, and checks the server answers it and closes the
+//!   connection. Exit 0 means the whole protocol works end to end.
+//! * closed-loop mode (default): `C` connections each issue `N`
+//!   back-to-back requests (a cache-hit `compile`, `coverage`, and
+//!   `ndetect` mix against one suite circuit, compiled once up front),
+//!   then the tool reports aggregate requests/s and p50/p99 latency.
+//! * `--open-loop RATE`: requests are sent on a fixed schedule of
+//!   `RATE` req/s regardless of when responses arrive — the
+//!   arrival-rate experiment closed loops cannot run, because a slow
+//!   server slows a closed-loop client down with it. The workload is an
+//!   n-detect sweep (`n` cycling 1..=4, fixed seed) against one suite
+//!   circuit, primed once so the steady state exercises the scenario
+//!   cache. Latency is measured from each request's *scheduled* send
+//!   time, so queueing delay counts. The tool reports offered vs
+//!   achieved req/s, the shed count (responses the server's admission
+//!   control refused), and p50/p99/p999 latency.
+//!
+//! `--shutdown` additionally stops the server after a load run.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -29,6 +41,7 @@ use json::Value;
 struct Options {
     addr: String,
     smoke: bool,
+    open_loop: Option<f64>,
     connections: usize,
     requests: usize,
     gates: usize,
@@ -40,6 +53,7 @@ impl Default for Options {
         Options {
             addr: "127.0.0.1:4717".to_string(),
             smoke: false,
+            open_loop: None,
             connections: 4,
             requests: 200,
             gates: 300,
@@ -61,6 +75,14 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--smoke" => opts.smoke = true,
             "--shutdown" => opts.shutdown = true,
+            "--open-loop" => {
+                opts.open_loop = Some(
+                    args.next()
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .filter(|&r| r > 0.0 && r.is_finite())
+                        .ok_or_else(|| "--open-loop requires a positive rate (req/s)".to_string())?,
+                );
+            }
             "--addr" => {
                 opts.addr = args
                     .next()
@@ -94,8 +116,9 @@ impl Client {
         })
     }
 
-    /// Sends one request line and reads one response line.
-    fn roundtrip(&mut self, request: &str) -> Result<Value, String> {
+    /// Sends one request line and reads back the raw response line
+    /// (the form that can check byte-identity of cache hits).
+    fn roundtrip_raw(&mut self, request: &str) -> Result<String, String> {
         self.writer
             .write_all(request.as_bytes())
             .and_then(|_| self.writer.write_all(b"\n"))
@@ -109,7 +132,13 @@ impl Client {
         if n == 0 {
             return Err("server closed the connection".to_string());
         }
-        json::parse(line.trim_end()).map_err(|e| format!("bad response JSON: {e}"))
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Sends one request line and reads one response line.
+    fn roundtrip(&mut self, request: &str) -> Result<Value, String> {
+        let line = self.roundtrip_raw(request)?;
+        json::parse(&line).map_err(|e| format!("bad response JSON: {e}"))
     }
 
     /// Round trip that must succeed (`"ok": true`); returns the result.
@@ -228,12 +257,36 @@ fn smoke(addr: &str) -> Result<(), String> {
         return Err("mutated c17 must be inequivalent to the original".to_string());
     }
 
-    let r = client.expect_ok(r#"{"id": 9, "op": "shutdown"}"#)?;
+    // Repeat an earlier scenario twice: both must come from the
+    // scenario cache (the id 6 request populated it — the envelope id
+    // is spliced per request, so a different id still hits), and the
+    // two raw responses must be byte-identical.
+    let repeat = format!(
+        r#"{{"id": 10, "op": "ndetect", "hash": "{hash}", "random": {{"count": 64, "seed": 7}}, "n": 4}}"#
+    );
+    let first = client.roundtrip_raw(&repeat)?;
+    let second = client.roundtrip_raw(&repeat)?;
+    if first != second {
+        return Err("repeated scenario responses are not byte-identical".to_string());
+    }
+
+    let r = client.expect_ok(r#"{"id": 11, "op": "stats"}"#)?;
+    let scenario_hits = field(&r, "scenario")?
+        .get("hits")
+        .and_then(Value::as_u64)
+        .ok_or("stats missing scenario.hits")?;
+    if scenario_hits == 0 {
+        return Err("scenario cache recorded no hits".to_string());
+    }
+
+    let r = client.expect_ok(r#"{"id": 12, "op": "shutdown"}"#)?;
     if field(&r, "stopping")?.as_bool() != Some(true) {
         return Err("shutdown not acknowledged".to_string());
     }
     client.expect_eof()?;
-    println!("adi-loadgen: smoke OK (all endpoints, clean shutdown)");
+    println!(
+        "adi-loadgen: smoke OK (all endpoints, {scenario_hits} scenario hits, clean shutdown)"
+    );
     Ok(())
 }
 
@@ -322,19 +375,177 @@ fn load(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-connection tallies from an open-loop run.
+struct OpenLoopTally {
+    /// Nanoseconds from each request's *scheduled* send time to its
+    /// response (successful requests only).
+    latencies: Vec<u64>,
+    /// Responses refused by the server's admission control.
+    shed: u64,
+}
+
+/// The open-loop measurement: requests go out on a fixed schedule, so
+/// the offered rate is independent of how fast the server answers.
+fn open_loop(opts: &Options, rate: f64) -> Result<(), String> {
+    let circuit = paper_suite()
+        .into_iter()
+        .filter(|c| c.gates <= opts.gates)
+        .max_by_key(|c| c.gates)
+        .ok_or_else(|| format!("no suite circuit with <= {} gates", opts.gates))?;
+    let bench = escaped(&bench_format::to_bench(&circuit.netlist()));
+    let mut warm = Client::connect(&opts.addr)?;
+    let r = warm.expect_ok(&format!(
+        r#"{{"op": "compile", "bench": "{bench}", "name": "{}"}}"#,
+        circuit.name
+    ))?;
+    let hash = field(&r, "hash")?.as_str().ok_or("hash missing")?.to_string();
+
+    // Prime the n-detect sweep once so the timed run measures the
+    // steady state (scenario-cache hits), not four cold computations.
+    const SWEEP: usize = 4;
+    for n in 1..=SWEEP {
+        warm.expect_ok(&format!(
+            r#"{{"op": "ndetect", "hash": "{hash}", "random": {{"count": 64, "seed": 12}}, "n": {n}}}"#
+        ))?;
+    }
+
+    let total = opts.requests;
+    let connections = opts.connections;
+    // Small headroom so request 0 is not already late at send time.
+    let start = Instant::now() + Duration::from_millis(50);
+    let results: Vec<Result<OpenLoopTally, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|ci| {
+                let addr = &opts.addr;
+                let hash = &hash;
+                scope.spawn(move || -> Result<OpenLoopTally, String> {
+                    let Client { mut reader, mut writer } = Client::connect(addr)?;
+                    let indices: Vec<usize> = (ci..total).step_by(connections).collect();
+                    let expect = indices.len();
+                    std::thread::scope(|inner| -> Result<OpenLoopTally, String> {
+                        // The sender never waits for responses: it
+                        // sleeps until each request's scheduled time
+                        // and writes the line.
+                        let sender = inner.spawn(move || -> Result<(), String> {
+                            for i in indices {
+                                let due = start + Duration::from_secs_f64(i as f64 / rate);
+                                let now = Instant::now();
+                                if due > now {
+                                    std::thread::sleep(due - now);
+                                }
+                                let n = 1 + (i % SWEEP);
+                                let req = format!(
+                                    r#"{{"id": {i}, "op": "ndetect", "hash": "{hash}", "random": {{"count": 64, "seed": 12}}, "n": {n}}}"#
+                                );
+                                writer
+                                    .write_all(req.as_bytes())
+                                    .and_then(|_| writer.write_all(b"\n"))
+                                    .and_then(|_| writer.flush())
+                                    .map_err(|e| format!("send: {e}"))?;
+                            }
+                            Ok(())
+                        });
+                        let mut tally = OpenLoopTally {
+                            latencies: Vec::with_capacity(expect),
+                            shed: 0,
+                        };
+                        for _ in 0..expect {
+                            let mut line = String::new();
+                            let nread = reader
+                                .read_line(&mut line)
+                                .map_err(|e| format!("receive: {e}"))?;
+                            if nread == 0 {
+                                return Err("server closed the connection mid-run".to_string());
+                            }
+                            let done = Instant::now();
+                            let v = json::parse(line.trim_end())
+                                .map_err(|e| format!("bad response JSON: {e}"))?;
+                            let id = v
+                                .get("id")
+                                .and_then(Value::as_u64)
+                                .ok_or("response without id")?;
+                            if v.get("ok").and_then(Value::as_bool) == Some(true) {
+                                let due = start + Duration::from_secs_f64(id as f64 / rate);
+                                tally
+                                    .latencies
+                                    .push(done.saturating_duration_since(due).as_nanos() as u64);
+                            } else if v.get("shed").and_then(Value::as_bool) == Some(true) {
+                                tally.shed += 1;
+                            } else {
+                                return Err(format!("request {id} failed: {v}"));
+                            }
+                        }
+                        sender.join().expect("open-loop sender panicked")?;
+                        Ok(tally)
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop connection thread panicked"))
+            .collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let mut shed = 0u64;
+    for result in results {
+        let mut tally = result?;
+        latencies.append(&mut tally.latencies);
+        shed += tally.shed;
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
+        latencies[idx] as f64 / 1e6
+    };
+    println!(
+        "adi-loadgen: open-loop {} ({} gates) — offered {:.0} req/s, {} requests over {} connections",
+        circuit.name, circuit.gates, rate, total, connections
+    );
+    println!(
+        "adi-loadgen: achieved {:.0} req/s, completed {}, shed {shed}, wall {:.2}s",
+        (latencies.len() as f64) / wall,
+        latencies.len(),
+        wall
+    );
+    println!(
+        "adi-loadgen: latency (from scheduled send) p50 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms",
+        pct(50.0),
+        pct(99.0),
+        pct(99.9)
+    );
+
+    if opts.shutdown {
+        warm.expect_ok(r#"{"op": "shutdown"}"#)?;
+        println!("adi-loadgen: server shutdown requested");
+    }
+    Ok(())
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: adi-loadgen --addr HOST:PORT [--smoke] [--connections C] \
-                 [--requests N] [--gates G] [--shutdown]"
+                "usage: adi-loadgen --addr HOST:PORT [--smoke | --open-loop RATE] \
+                 [--connections C] [--requests N] [--gates G] [--shutdown]"
             );
             std::process::exit(2);
         }
     };
-    let outcome = if opts.smoke { smoke(&opts.addr) } else { load(&opts) };
+    let outcome = if opts.smoke {
+        smoke(&opts.addr)
+    } else if let Some(rate) = opts.open_loop {
+        open_loop(&opts, rate)
+    } else {
+        load(&opts)
+    };
     if let Err(message) = outcome {
         eprintln!("adi-loadgen: FAILED: {message}");
         std::process::exit(1);

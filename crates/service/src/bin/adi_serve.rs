@@ -2,27 +2,36 @@
 //!
 //! ```text
 //! adi-serve [--listen ADDR | --stdio] [--workers N] [--queue N]
-//!           [--capacity N] [--shards N]
+//!           [--max-inflight N] [--capacity N] [--shards N]
+//!           [--scenario-cache-bytes N]
 //! ```
 //!
 //! TCP mode (default, `--listen 127.0.0.1:4717`; use port 0 for an
 //! ephemeral port) serves newline-delimited JSON until a client sends
 //! `{"op": "shutdown"}`, then drains and exits 0. The bound address is
 //! announced on stderr as `adi-serve: listening on <addr>`.
+//! `--max-inflight` caps the requests a single connection may have
+//! queued or executing before the server sheds (`0` disables).
 //!
-//! `--stdio` serves the same protocol over stdin/stdout, one request at
-//! a time, until EOF or a `shutdown` request.
+//! `--stdio` serves the same protocol over stdin/stdout on the worker
+//! pool, answering in request order, until EOF or a `shutdown` request.
+//!
+//! `--scenario-cache-bytes` budgets the response-payload cache
+//! (default 64 MiB; `0` disables scenario caching entirely).
 
 use std::net::TcpListener;
 use std::sync::Arc;
 
-use adi_service::{serve_stdio, serve_tcp, ServerConfig, ServiceState, StoreConfig};
+use adi_service::{
+    serve_stdio, serve_tcp, ScenarioConfig, ServerConfig, ServiceState, StoreConfig,
+};
 
 struct Options {
     listen: String,
     stdio: bool,
     server: ServerConfig,
     store: StoreConfig,
+    scenario: ScenarioConfig,
 }
 
 impl Default for Options {
@@ -32,6 +41,7 @@ impl Default for Options {
             stdio: false,
             server: ServerConfig::default(),
             store: StoreConfig::default(),
+            scenario: ScenarioConfig::default(),
         }
     }
 }
@@ -55,8 +65,22 @@ fn parse_args() -> Result<Options, String> {
             }
             "--workers" => opts.server.workers = num("--workers")?,
             "--queue" => opts.server.queue_depth = num("--queue")?,
+            "--max-inflight" => {
+                // Zero is meaningful here: it disables shedding.
+                opts.server.max_inflight = args
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or_else(|| "--max-inflight requires a number".to_string())?;
+            }
             "--capacity" => opts.store.capacity = num("--capacity")?,
             "--shards" => opts.store.shards = num("--shards")?,
+            "--scenario-cache-bytes" => {
+                // Zero is meaningful here too: it disables the cache.
+                opts.scenario.budget_bytes = args
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or_else(|| "--scenario-cache-bytes requires a number".to_string())?;
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -70,17 +94,17 @@ fn main() {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: adi-serve [--listen ADDR | --stdio] [--workers N] [--queue N] \
-                 [--capacity N] [--shards N]"
+                 [--max-inflight N] [--capacity N] [--shards N] [--scenario-cache-bytes N]"
             );
             std::process::exit(2);
         }
     };
-    let state = ServiceState::new(opts.store);
+    let state = Arc::new(ServiceState::with_scenario(opts.store, opts.scenario));
 
     if opts.stdio {
         let stdin = std::io::stdin();
-        let stdout = std::io::stdout();
-        match serve_stdio(stdin.lock(), stdout.lock(), &state) {
+        // `Stdout` (not its lock) — the writer lives on another thread.
+        match serve_stdio(stdin.lock(), std::io::stdout(), state, opts.server) {
             Ok(served) => eprintln!("adi-serve: stdio session done ({served} requests)"),
             Err(e) => {
                 eprintln!("adi-serve: stdio error: {e}");
@@ -101,11 +125,11 @@ fn main() {
         Ok(addr) => eprintln!("adi-serve: listening on {addr}"),
         Err(_) => eprintln!("adi-serve: listening on {}", opts.listen),
     }
-    match serve_tcp(listener, Arc::new(state), opts.server) {
+    match serve_tcp(listener, state, opts.server) {
         Ok(report) => {
             eprintln!(
-                "adi-serve: shutdown complete ({} connections, {} requests)",
-                report.connections, report.requests
+                "adi-serve: shutdown complete ({} connections, {} requests, {} shed)",
+                report.connections, report.requests, report.shed
             );
         }
         Err(e) => {

@@ -6,17 +6,29 @@
 //! same structure reuse one compilation — a cache-hit request performs
 //! **zero** levelizations (asserted by the endpoint test suite via
 //! [`LevelizedCsr::build_count`](adi_netlist::LevelizedCsr::build_count)).
+//!
+//! On top of the circuit store sits the [`ScenarioCache`]: the pure
+//! endpoints (`coverage`, `adi`, `atpg`, `ndetect`, `reorder`,
+//! `equiv`) fingerprint their *resolved* request — circuit hash,
+//! materialized pattern words, every config field after defaulting —
+//! and serve repeats from the cached serialized result, spliced
+//! byte-identically around the caller's own `id`. A request opts out
+//! with `"cache": "bypass"`. Cached `atpg` responses replay the
+//! populating run's wall-clock `timing` fields verbatim (every other
+//! field is deterministic).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use adi_atpg::{EquivVerdict, TestGenerator};
+use adi_atpg::{EquivVerdict, TestGenConfig, TestGenerator};
 use adi_core::metrics::average_detection_position;
 use adi_core::reorder::{reorder_tests_for, reverse_order_compaction_for};
 use adi_core::uset::select_u_for;
-use adi_core::{order_faults, AdiAnalysis, FaultOrdering};
+use adi_core::uset::USetConfig;
+use adi_core::{order_faults, AdiAnalysis, AdiConfig, AdiEstimator, FaultOrdering};
 use adi_netlist::fault::FaultList;
 use adi_netlist::{bench_format, CompiledCircuit, NetlistHash};
-use adi_sim::FaultSimulator;
+use adi_sim::{FaultSimulator, PatternSet};
 use json::{Object, Value};
 
 use crate::protocol::{
@@ -25,6 +37,7 @@ use crate::protocol::{
     parse_uset_config, parse_width, pattern_to_string, require_patterns, PatternSpec,
     RequestError, RequestResult,
 };
+use crate::scenario::{FpHasher, Fingerprint, ScenarioCache, ScenarioConfig};
 use crate::store::{CacheOutcome, CircuitStore, StoreConfig};
 
 /// Everything a request needs to be answered: the circuit cache (and,
@@ -49,19 +62,66 @@ use crate::store::{CacheOutcome, CircuitStore, StoreConfig};
 /// ```
 pub struct ServiceState {
     store: CircuitStore,
+    scenario: ScenarioCache,
+    metrics: ServiceMetrics,
+}
+
+/// Transport-level counters surfaced by the `stats` endpoint. The
+/// serving loops feed these; the handlers only read them.
+#[derive(Default)]
+pub(crate) struct ServiceMetrics {
+    /// Requests refused by admission control.
+    pub(crate) shed: AtomicU64,
+    /// Requests currently queued or executing.
+    pub(crate) in_flight: AtomicU64,
+    /// Configured worker threads (0 until a transport configures it).
+    pub(crate) workers: AtomicU64,
+    /// Configured pool queue depth.
+    pub(crate) queue_depth: AtomicU64,
+    /// Configured per-connection in-flight admission cap.
+    pub(crate) max_inflight: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// Records the transport's sizing so `stats` can report it.
+    pub(crate) fn configure(&self, workers: usize, queue_depth: usize, max_inflight: usize) {
+        self.workers.store(workers as u64, Ordering::Relaxed);
+        self.queue_depth.store(queue_depth as u64, Ordering::Relaxed);
+        self.max_inflight.store(max_inflight as u64, Ordering::Relaxed);
+    }
 }
 
 impl ServiceState {
-    /// Creates a state with an empty circuit cache.
+    /// Creates a state with an empty circuit cache and a
+    /// default-budgeted scenario cache.
     pub fn new(store: StoreConfig) -> Self {
+        Self::with_scenario(store, ScenarioConfig::default())
+    }
+
+    /// Creates a state with explicit circuit-store and scenario-cache
+    /// configurations (`ScenarioConfig::disabled()` switches result
+    /// caching off).
+    pub fn with_scenario(store: StoreConfig, scenario: ScenarioConfig) -> Self {
         ServiceState {
             store: CircuitStore::new(store),
+            scenario: ScenarioCache::new(scenario),
+            metrics: ServiceMetrics::default(),
         }
     }
 
     /// The underlying circuit cache.
     pub fn store(&self) -> &CircuitStore {
         &self.store
+    }
+
+    /// The scenario-result cache.
+    pub fn scenario(&self) -> &ScenarioCache {
+        &self.scenario
+    }
+
+    /// The transport counters (fed by the serving loops).
+    pub(crate) fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
     }
 
     /// Answers one request line with one response line (no trailing
@@ -72,31 +132,65 @@ impl ServiceState {
             Ok(v) => v,
             Err(e) => return invalid_json_response(&e).to_string(),
         };
-        self.handle(&parsed).to_string()
+        self.respond(&parsed)
     }
 
-    /// Answers one parsed request. See [`handle_line`](Self::handle_line).
-    pub fn handle(&self, request: &Value) -> Value {
+    /// Answers one parsed request with the serialized response line.
+    /// See [`handle_line`](Self::handle_line).
+    pub fn respond(&self, request: &Value) -> String {
         let id = request.get("id");
         if request.as_object().is_none() {
-            return error_response(id, "request must be a JSON object");
+            return error_response(id, "request must be a JSON object").to_string();
         }
         let op = match request.get("op").and_then(Value::as_str) {
             Some(op) => op,
-            None => return error_response(id, "request needs a string `op` field"),
+            None => return error_response(id, "request needs a string `op` field").to_string(),
         };
-        let outcome = catch_unwind(AssertUnwindSafe(|| self.dispatch(op, request)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.answer(op, id, request)));
         match outcome {
-            Ok(Ok(result)) => ok_response(id, result),
-            Ok(Err(e)) => error_response(id, &e.0),
+            Ok(response) => response,
             Err(panic) => {
                 let message = panic
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "unknown panic".to_string());
-                error_response(id, &format!("internal error: {message}"))
+                error_response(id, &format!("internal error: {message}")).to_string()
             }
+        }
+    }
+
+    /// Routes one validated request: cacheable ops go through the
+    /// scenario cache (unless disabled or bypassed), everything else
+    /// dispatches directly.
+    fn answer(&self, op: &str, id: Option<&Value>, req: &Value) -> String {
+        let use_cache = match opt_str(req, "cache", "use") {
+            Ok("use") => true,
+            Ok("bypass") => false,
+            Ok(other) => {
+                let msg = format!("unknown cache mode `{other}` (expected use or bypass)");
+                return error_response(id, &msg).to_string();
+            }
+            Err(e) => return error_response(id, &e.0).to_string(),
+        };
+        if use_cache && !self.scenario.is_disabled() {
+            // A fingerprinting error falls through to the direct path so
+            // the client sees exactly the error a cold dispatch reports.
+            if let Ok(Some(fp)) = self.fingerprint(op, req) {
+                let (result, _outcome) = self.scenario.get_or_compute(fp, || {
+                    self.dispatch(op, req).map(|o| Value::Object(o).to_string())
+                });
+                return match result {
+                    Ok(payload) => spliced_ok(id, &payload),
+                    Err(e) => error_response(id, &e.0).to_string(),
+                };
+            }
+        } else if !use_cache && is_cacheable(op) {
+            self.scenario.note_bypass();
+        }
+        match self.dispatch(op, req) {
+            Ok(result) => ok_response(id, result).to_string(),
+            Err(e) => error_response(id, &e.0).to_string(),
         }
     }
 
@@ -110,6 +204,7 @@ impl ServiceState {
             "ndetect" => self.op_ndetect(req),
             "reorder" => self.op_reorder(req),
             "ping" => self.op_ping(),
+            "stats" => self.op_stats(),
             "shutdown" => {
                 let mut o = Object::new();
                 o.insert("stopping", true);
@@ -117,9 +212,111 @@ impl ServiceState {
             }
             other => Err(RequestError::new(format!(
                 "unknown op `{other}` (expected compile, coverage, adi, atpg, equiv, \
-                 ndetect, reorder, ping, or shutdown)"
+                 ndetect, reorder, ping, stats, or shutdown)"
             ))),
         }
+    }
+
+    /// Computes the canonical scenario fingerprint for a cacheable op:
+    /// `Ok(None)` for ops whose results are not pure functions of the
+    /// request (`compile` reports live store state, `ping`/`stats` are
+    /// live by definition), `Err` when the request fails to resolve —
+    /// the caller then falls back to the direct path, which reports the
+    /// identical error a cold dispatch would.
+    ///
+    /// Everything hashed here is *resolved*: the circuit's content
+    /// hash (not its `bench` text), the pattern spec's materialized
+    /// words, and each config field after defaulting. JSON field
+    /// order, whitespace, and spelled-out defaults therefore hash
+    /// identically, while every semantic difference separates keys.
+    fn fingerprint(&self, op: &str, req: &Value) -> RequestResult<Option<Fingerprint>> {
+        let mut h = FpHasher::new(op);
+        match op {
+            "coverage" => {
+                let (circuit, _) = self.resolve_circuit(req)?;
+                let num_inputs = circuit.netlist().num_inputs();
+                h.write_str(&circuit.content_hash().to_hex());
+                h.write_bool(opt_bool(req, "collapse", true)?);
+                h.write_str(&parse_engine(req)?.to_string());
+                h.write_u64(parse_width(req)?.lanes() as u64);
+                fp_pattern_spec(&mut h, &parse_pattern_spec(req, num_inputs)?);
+                h.write_bool(opt_bool(req, "include_detail", false)?);
+            }
+            "ndetect" => {
+                let (circuit, _) = self.resolve_circuit(req)?;
+                let num_inputs = circuit.netlist().num_inputs();
+                h.write_str(&circuit.content_hash().to_hex());
+                h.write_bool(opt_bool(req, "collapse", true)?);
+                h.write_str(&parse_engine(req)?.to_string());
+                h.write_u64(parse_width(req)?.lanes() as u64);
+                fp_pattern_spec(&mut h, &parse_pattern_spec(req, num_inputs)?);
+                h.write_u64(opt_u64(req, "n", 0)?);
+            }
+            "adi" => {
+                let (circuit, _) = self.resolve_circuit(req)?;
+                let num_inputs = circuit.netlist().num_inputs();
+                h.write_str(&circuit.content_hash().to_hex());
+                h.write_bool(opt_bool(req, "collapse", true)?);
+                let spec = parse_pattern_spec(req, num_inputs)?;
+                if matches!(spec, PatternSpec::Absent) {
+                    fp_uset_config(&mut h, &parse_uset_config(req)?);
+                }
+                fp_pattern_spec(&mut h, &spec);
+                fp_adi_config(&mut h, &parse_adi_config(req)?);
+                h.write_bool(opt_bool(req, "include_values", false)?);
+                match req.get("ordering") {
+                    None => h.write_bool(false),
+                    Some(_) => {
+                        h.write_bool(true);
+                        h.write_str(parse_ordering(req, FaultOrdering::Original)?.label());
+                    }
+                }
+            }
+            "atpg" => {
+                let (circuit, _) = self.resolve_circuit(req)?;
+                let num_inputs = circuit.netlist().num_inputs();
+                h.write_str(&circuit.content_hash().to_hex());
+                h.write_bool(opt_bool(req, "collapse", true)?);
+                let ordering = parse_ordering(req, FaultOrdering::Original)?;
+                h.write_str(ordering.label());
+                if ordering != FaultOrdering::Original {
+                    let spec = parse_pattern_spec(req, num_inputs)?;
+                    if matches!(spec, PatternSpec::Absent) {
+                        fp_uset_config(&mut h, &parse_uset_config(req)?);
+                    }
+                    fp_pattern_spec(&mut h, &spec);
+                    fp_adi_config(&mut h, &parse_adi_config(req)?);
+                }
+                fp_testgen_config(&mut h, &parse_testgen_config(req)?);
+                h.write_bool(opt_bool(req, "include_tests", false)?);
+                h.write_bool(opt_bool(req, "include_detail", false)?);
+            }
+            "reorder" => {
+                let (circuit, _) = self.resolve_circuit(req)?;
+                let num_inputs = circuit.netlist().num_inputs();
+                h.write_str(&circuit.content_hash().to_hex());
+                h.write_bool(opt_bool(req, "collapse", true)?);
+                fp_pattern_spec(&mut h, &parse_pattern_spec(req, num_inputs)?);
+                h.write_str(opt_str(req, "mode", "steepest")?);
+            }
+            "equiv" => {
+                for key in ["left", "right"] {
+                    let spec = req
+                        .get(key)
+                        .filter(|s| s.as_object().is_some())
+                        .ok_or_else(|| RequestError::new("fingerprint: bad side"))?;
+                    let (circuit, _) = self.resolve_circuit(spec)?;
+                    h.write_str(&circuit.content_hash().to_hex());
+                }
+                h.write_u64(opt_u64(
+                    req,
+                    "conflict_limit",
+                    adi_atpg::cnf::DEFAULT_CONFLICT_LIMIT,
+                )?);
+            }
+            _ => return Ok(None),
+        }
+        Ok(Some(h.finish()))
     }
 
     /// Resolves the request's circuit reference: `"hash"` (must already
@@ -479,6 +676,117 @@ impl ServiceState {
         o.insert("store", store_stats_object(&self.store));
         Ok(o)
     }
+
+    /// The observability endpoint: transport admission counters, the
+    /// circuit store, and the scenario cache in one snapshot.
+    fn op_stats(&self) -> RequestResult<Object> {
+        let mut o = Object::new();
+        let mut svc = Object::new();
+        svc.insert("shed", self.metrics.shed.load(Ordering::Relaxed));
+        svc.insert("in_flight", self.metrics.in_flight.load(Ordering::Relaxed));
+        svc.insert("workers", self.metrics.workers.load(Ordering::Relaxed));
+        svc.insert("queue_depth", self.metrics.queue_depth.load(Ordering::Relaxed));
+        svc.insert("max_inflight", self.metrics.max_inflight.load(Ordering::Relaxed));
+        o.insert("service", svc);
+        o.insert("store", store_stats_object(&self.store));
+        let s = self.scenario.stats();
+        let mut sc = Object::new();
+        sc.insert("hits", s.hits);
+        sc.insert("misses", s.misses);
+        sc.insert("coalesced", s.coalesced);
+        sc.insert("bypassed", s.bypassed);
+        sc.insert("evictions", s.evictions);
+        sc.insert("entries", s.entries);
+        sc.insert("bytes", s.bytes);
+        sc.insert("budget_bytes", s.budget_bytes);
+        o.insert("scenario", sc);
+        Ok(o)
+    }
+}
+
+/// Returns `true` for the ops whose results the scenario cache may
+/// store (pure functions of the resolved request).
+fn is_cacheable(op: &str) -> bool {
+    matches!(op, "coverage" | "adi" | "atpg" | "ndetect" | "reorder" | "equiv")
+}
+
+/// Splices a cached serialized result into the success envelope,
+/// byte-identical to `ok_response(id, result).to_string()`.
+fn spliced_ok(id: Option<&Value>, result_json: &str) -> String {
+    let mut s = String::with_capacity(result_json.len() + 32);
+    s.push('{');
+    if let Some(id) = id {
+        s.push_str("\"id\":");
+        s.push_str(&id.to_string());
+        s.push(',');
+    }
+    s.push_str("\"ok\":true,\"result\":");
+    s.push_str(result_json);
+    s.push('}');
+    s
+}
+
+/// Hashes a resolved pattern specification. Explicit sets contribute
+/// their packed words (two textually different encodings of the same
+/// vectors collide — which is exactly right); generated specs
+/// contribute their generator parameters.
+fn fp_pattern_spec(h: &mut FpHasher, spec: &PatternSpec) {
+    match spec {
+        PatternSpec::Explicit(set) => {
+            h.write_u8_tag(1);
+            fp_pattern_set(h, set);
+        }
+        PatternSpec::Random { count, seed } => {
+            h.write_u8_tag(2);
+            h.write_u64(*count as u64);
+            h.write_u64(*seed);
+        }
+        PatternSpec::Exhaustive => h.write_u8_tag(3),
+        PatternSpec::Absent => h.write_u8_tag(4),
+    }
+}
+
+/// Hashes a pattern set by its packed words.
+fn fp_pattern_set(h: &mut FpHasher, set: &PatternSet) {
+    h.write_u64(set.num_inputs() as u64);
+    h.write_u64(set.len() as u64);
+    for input in 0..set.num_inputs() {
+        for block in 0..set.num_blocks() {
+            h.write_u64(set.input_word(input, block));
+        }
+    }
+}
+
+fn fp_uset_config(h: &mut FpHasher, c: &USetConfig) {
+    h.write_u64(c.max_vectors as u64);
+    h.write_f64(c.target_coverage);
+    h.write_u64(c.seed);
+    h.write_u64(c.exhaustive_threshold as u64);
+    h.write_bool(c.strip_useless);
+}
+
+fn fp_adi_config(h: &mut FpHasher, c: &AdiConfig) {
+    h.write_str(match c.estimator {
+        AdiEstimator::MinNdet => "min",
+        AdiEstimator::MeanNdet => "mean",
+    });
+    h.write_opt_u64(c.n_detect_cap.map(u64::from));
+    h.write_u64(c.threads as u64);
+    h.write_u64(c.width.lanes() as u64);
+    h.write_str(&c.engine.to_string());
+}
+
+fn fp_testgen_config(h: &mut FpHasher, c: &TestGenConfig) {
+    h.write_u64(u64::from(c.podem.backtrack_limit));
+    h.write_str(c.podem.sat_fallback.label());
+    h.write_u64(c.podem.sat_conflict_limit);
+    h.write_str(&format!("{:?}", c.fill));
+    h.write_u64(c.fill_seed);
+    h.write_str(&format!("{:?}", c.drop_loop));
+    h.write_u64(c.width.lanes() as u64);
+    h.write_u64(c.threads as u64);
+    h.write_u64(c.atpg_threads as u64);
+    h.write_u64(c.speculation_depth as u64);
 }
 
 /// The store's counters as a response fragment.
@@ -491,6 +799,7 @@ fn store_stats_object(store: &CircuitStore) -> Object {
     o.insert("evictions", s.evictions);
     o.insert("entries", s.entries);
     o.insert("capacity", s.capacity);
+    o.insert("bytes", s.bytes);
     o
 }
 

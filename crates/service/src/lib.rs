@@ -7,19 +7,31 @@
 //! stdio server speaking newline-delimited JSON, built from four
 //! std-only pieces:
 //!
-//! * [`CircuitStore`] — a sharded, LRU-bounded cache mapping canonical
+//! * [`CircuitStore`] — a sharded, cost-bounded cache mapping canonical
 //!   [`NetlistHash`](adi_netlist::NetlistHash)es to compiled circuits,
 //!   with single-flight compilation (concurrent first requests for the
-//!   same structure trigger exactly one compile) and hit/miss/eviction
-//!   accounting.
+//!   same structure trigger exactly one compile), hit/miss/eviction
+//!   accounting, and eviction ordered by replacement cost
+//!   (compile time × resident bytes) so the cheapest-to-recreate entry
+//!   goes first.
+//! * [`ScenarioCache`] — a second cache layer over *whole responses*:
+//!   cacheable requests are canonicalized into a [`Fingerprint`] over
+//!   their resolved inputs (circuit hash, materialized patterns,
+//!   defaulted config), and repeat scenarios are answered from a
+//!   byte-budgeted, single-flight payload cache without recomputing
+//!   anything. Cache hits are byte-identical to cold computation.
 //! * [`WorkerPool`] — a fixed-size worker pool with a bounded queue and
 //!   graceful drain-on-shutdown.
 //! * [`ServiceState`] — the request handlers: `compile`, `coverage`,
-//!   `adi`, `atpg`, `ndetect`, and `reorder`, each a thin adapter from
-//!   protocol fields onto the existing session APIs (plus `ping` and
-//!   `shutdown` control ops). See [`protocol`] for the envelope and the
-//!   README for the per-endpoint field reference.
-//! * [`serve_tcp`] / [`serve_stdio`] — the transports.
+//!   `adi`, `atpg`, `ndetect`, `reorder`, `equiv`, and `stats`, each a
+//!   thin adapter from protocol fields onto the existing session APIs
+//!   (plus `ping` and `shutdown` control ops). See [`protocol`] for the
+//!   envelope and the README for the per-endpoint field reference.
+//! * [`serve_tcp`] / [`serve_stdio`] — the transports, both running
+//!   requests on the shared pool. TCP adds per-connection admission
+//!   control (load shedding past [`ServerConfig::max_inflight`]);
+//!   stdio adds a reorder buffer so responses come back in request
+//!   order despite concurrent execution.
 //!
 //! Two binaries ship with the crate: `adi-serve` (the server) and
 //! `adi-loadgen` (a closed-loop load generator reporting requests/s and
@@ -64,10 +76,14 @@
 mod handlers;
 mod pool;
 pub mod protocol;
+mod scenario;
 mod server;
 mod store;
 
 pub use handlers::ServiceState;
 pub use pool::{PoolClosed, WorkerPool};
+pub use scenario::{
+    Fingerprint, FpHasher, ScenarioCache, ScenarioConfig, ScenarioOutcome, ScenarioStats,
+};
 pub use server::{serve_stdio, serve_tcp, ServeReport, ServerConfig};
 pub use store::{CacheOutcome, CircuitStore, StoreConfig, StoreStats};

@@ -71,6 +71,24 @@ pub fn invalid_json_response(err: &json::ParseError) -> Value {
     error_response(None, &format!("invalid JSON: {err}"))
 }
 
+/// Builds the load-shed failure envelope: admission control refused
+/// the request before it reached the worker pool. The extra
+/// `"shed": true` marker lets load generators distinguish shed
+/// responses from request errors without parsing the message text.
+pub fn shed_response(id: Option<&Value>, max_inflight: usize) -> Value {
+    let mut o = Object::new();
+    if let Some(id) = id {
+        o.insert("id", id.clone());
+    }
+    o.insert("ok", false);
+    o.insert(
+        "error",
+        format!("shed: connection already has {max_inflight} requests in flight"),
+    );
+    o.insert("shed", true);
+    Value::Object(o)
+}
+
 /// Builds the failure envelope for `id` around `error`.
 pub fn error_response(id: Option<&Value>, error: &str) -> Value {
     let mut o = Object::new();
@@ -314,12 +332,16 @@ pub(crate) fn parse_pattern_spec(req: &Value, num_inputs: usize) -> RequestResul
                 "`patterns` is limited to {MAX_PATTERNS} vectors"
             )));
         }
+        // Stream each bit string straight into the packed words — no
+        // per-pattern `Pattern`/`Vec<bool>` intermediates, so a million
+        // explicit vectors decode allocation-free beyond the set itself.
         let mut set = PatternSet::new(num_inputs);
         for (i, item) in list.iter().enumerate() {
             let bits = item
                 .as_str()
                 .ok_or_else(|| RequestError::new(format!("`patterns[{i}]` must be a string")))?;
-            set.push(&parse_pattern(bits, num_inputs, i)?);
+            set.push_bits(bits)
+                .map_err(|e| RequestError::new(format!("`patterns[{i}]`: {e}")))?;
         }
         return Ok(PatternSpec::Explicit(set));
     }
@@ -362,29 +384,6 @@ pub(crate) fn require_patterns(spec: PatternSpec, num_inputs: usize) -> RequestR
     }
 }
 
-/// Parses one `'0'`/`'1'` bit string into a [`Pattern`].
-pub(crate) fn parse_pattern(bits: &str, num_inputs: usize, index: usize) -> RequestResult<Pattern> {
-    if bits.len() != num_inputs {
-        return Err(RequestError::new(format!(
-            "`patterns[{index}]` has {} bits, circuit has {num_inputs} inputs",
-            bits.len()
-        )));
-    }
-    let mut values = Vec::with_capacity(num_inputs);
-    for c in bits.chars() {
-        match c {
-            '0' => values.push(false),
-            '1' => values.push(true),
-            other => {
-                return Err(RequestError::new(format!(
-                    "`patterns[{index}]` contains `{other}` (only 0/1 allowed)"
-                )))
-            }
-        }
-    }
-    Ok(Pattern::new(values))
-}
-
 /// Renders a [`Pattern`] as the protocol's bit-string form.
 pub(crate) fn pattern_to_string(pattern: &Pattern) -> String {
     pattern.iter().map(|b| if b { '1' } else { '0' }).collect()
@@ -395,12 +394,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn pattern_strings_roundtrip() {
-        let p = parse_pattern("0110", 4, 0).unwrap();
-        assert_eq!(p.as_slice(), &[false, true, true, false]);
-        assert_eq!(pattern_to_string(&p), "0110");
-        assert!(parse_pattern("01", 4, 0).is_err());
-        assert!(parse_pattern("01x0", 4, 0).is_err());
+    fn explicit_patterns_stream_into_packed_words() {
+        let req = json::parse(r#"{"patterns": ["0110", "1001"]}"#).unwrap();
+        let PatternSpec::Explicit(set) = parse_pattern_spec(&req, 4).unwrap() else {
+            panic!("explicit spec expected");
+        };
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get(0).value(), Some(0b0110));
+        assert_eq!(set.get(1).value(), Some(0b1001));
+        assert_eq!(pattern_to_string(&set.get(0)), "0110");
+        for bad in [r#"{"patterns": ["01"]}"#, r#"{"patterns": ["01x0"]}"#] {
+            let req = json::parse(bad).unwrap();
+            assert!(parse_pattern_spec(&req, 4).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -1,44 +1,59 @@
-//! The serving loops: multi-threaded TCP and single-stream stdio.
+//! The serving loops: multi-threaded TCP and pooled, in-order stdio.
 //!
 //! **TCP** ([`serve_tcp`]): an accept loop hands each connection to a
 //! cheap reader thread that parses newline-delimited requests and
 //! submits them to the shared [`WorkerPool`], so request concurrency is
 //! bounded by the worker count regardless of connection count and the
-//! bounded queue pushes backpressure onto the sockets. Responses are
-//! written back under a per-connection lock; pipelined requests may
-//! complete out of order (match on `id`). A `shutdown` request answers,
-//! then stops the accept loop, unblocks every connection's read side,
-//! drains the pool, and returns.
+//! bounded queue pushes backpressure onto the sockets. In front of the
+//! queue sits per-connection **admission control**: a connection may
+//! have at most [`ServerConfig::max_inflight`] requests queued or
+//! executing; past that the reader answers immediately with a
+//! `"shed": true` failure instead of blocking, so one flooding client
+//! degrades gracefully rather than wedging its socket (the `stats`
+//! endpoint reports the shed total). Responses are written back under a
+//! per-connection lock; pipelined requests may complete out of order
+//! (match on `id`). A `shutdown` request answers, then stops the accept
+//! loop, unblocks every connection's read side, drains the pool, and
+//! returns.
 //!
 //! **stdio** ([`serve_stdio`]): one request per line on stdin, one
-//! response per line on stdout, handled serially in request order —
-//! the form that makes the server usable as a subprocess pipe.
+//! response per line on stdout — the form that makes the server usable
+//! as a subprocess pipe. Requests are handled *concurrently* on the
+//! same worker pool as the TCP path, but a sequence-numbered reorder
+//! buffer holds completed responses until every earlier line has been
+//! answered, so the output order always matches the input order.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use json::Value;
 
 use crate::handlers::ServiceState;
 use crate::pool::WorkerPool;
-use crate::protocol::invalid_json_response;
+use crate::protocol::{invalid_json_response, shed_response};
 
-/// Sizing knobs for [`serve_tcp`].
+/// Sizing knobs for [`serve_tcp`] and [`serve_stdio`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ServerConfig {
     /// Worker threads executing requests.
     pub workers: usize,
     /// Bounded depth of the request queue feeding the workers.
     pub queue_depth: usize,
+    /// Per-connection admission cap: requests queued or executing
+    /// beyond this are answered with a `"shed": true` failure instead
+    /// of entering the pool (`0` disables shedding). Ignored by the
+    /// stdio transport, whose single stream is flow-controlled by the
+    /// bounded queue itself.
+    pub max_inflight: usize,
 }
 
 impl Default for ServerConfig {
     /// Workers matching the available parallelism (at least 2), queue
-    /// depth 64.
+    /// depth 64, 64 requests in flight per connection.
     fn default() -> Self {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -47,6 +62,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers,
             queue_depth: 64,
+            max_inflight: 64,
         }
     }
 }
@@ -58,6 +74,9 @@ pub struct ServeReport {
     pub connections: u64,
     /// Requests answered (including error responses).
     pub requests: u64,
+    /// Requests refused by admission control (also counted in
+    /// `requests` — a shed response is still a response).
+    pub shed: u64,
 }
 
 /// Serves `state` over `listener` until a client sends
@@ -76,6 +95,9 @@ pub fn serve_tcp(
 ) -> io::Result<ServeReport> {
     listener.set_nonblocking(true)?;
     let pool = WorkerPool::new(config.workers, config.queue_depth);
+    state
+        .metrics()
+        .configure(config.workers, config.queue_depth, config.max_inflight);
     let shutdown = Arc::new(AtomicBool::new(false));
     let requests = Arc::new(AtomicU64::new(0));
     // Read-half clones of the currently live connections, so shutdown
@@ -101,8 +123,9 @@ pub fn serve_tcp(
                     let requests = Arc::clone(&requests);
                     let pool = &pool;
                     let live = &live;
+                    let max_inflight = config.max_inflight;
                     scope.spawn(move || {
-                        connection_loop(stream, state, pool, shutdown, requests);
+                        connection_loop(stream, state, pool, shutdown, requests, max_inflight);
                         live.lock().expect("live list").remove(&conn_id);
                     });
                 }
@@ -128,6 +151,7 @@ pub fn serve_tcp(
         None => Ok(ServeReport {
             connections,
             requests: requests.load(Ordering::SeqCst),
+            shed: state.metrics().shed.load(Ordering::SeqCst),
         }),
     }
 }
@@ -135,19 +159,23 @@ pub fn serve_tcp(
 /// Reads one connection's requests and submits them to the pool. The
 /// response is written by the worker under the connection's write lock,
 /// so a slow request never blocks this reader from accepting the next
-/// pipelined request (the bounded queue does that).
+/// pipelined request (the bounded queue does that). Requests beyond
+/// the per-connection in-flight cap are shed here, on the reader
+/// thread, without touching the pool; `shutdown` is always admitted.
 fn connection_loop(
     stream: TcpStream,
     state: Arc<ServiceState>,
     pool: &WorkerPool,
     shutdown: Arc<AtomicBool>,
     requests: Arc<AtomicU64>,
+    max_inflight: usize,
 ) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let writer = Arc::new(Mutex::new(write_half));
     let reader = BufReader::new(stream);
+    let inflight = Arc::new(AtomicU64::new(0));
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
@@ -157,16 +185,35 @@ fn connection_loop(
         // already-parsed request (large payloads are not parsed twice).
         let parsed = json::parse(&line);
         let stop_after = is_shutdown_request(&parsed);
+        if !stop_after
+            && max_inflight > 0
+            && inflight.load(Ordering::SeqCst) >= max_inflight as u64
+        {
+            state.metrics().shed.fetch_add(1, Ordering::SeqCst);
+            requests.fetch_add(1, Ordering::SeqCst);
+            let id = parsed.as_ref().ok().and_then(|v| v.get("id"));
+            let response = shed_response(id, max_inflight).to_string();
+            let mut w = writer.lock().expect("connection writer");
+            let _ = w.write_all(response.as_bytes());
+            let _ = w.write_all(b"\n");
+            let _ = w.flush();
+            continue;
+        }
+        inflight.fetch_add(1, Ordering::SeqCst);
+        state.metrics().in_flight.fetch_add(1, Ordering::SeqCst);
         let state = Arc::clone(&state);
         let writer = Arc::clone(&writer);
         let shutdown_flag = Arc::clone(&shutdown);
         let requests = Arc::clone(&requests);
+        let inflight = Arc::clone(&inflight);
         let submitted = pool.submit(move || {
             let response = match &parsed {
-                Ok(request) => state.handle(request).to_string(),
+                Ok(request) => state.respond(request),
                 Err(e) => invalid_json_response(e).to_string(),
             };
             requests.fetch_add(1, Ordering::SeqCst);
+            inflight.fetch_sub(1, Ordering::SeqCst);
+            state.metrics().in_flight.fetch_sub(1, Ordering::SeqCst);
             let mut w = writer.lock().expect("connection writer");
             // A vanished client is the client's problem, not the
             // server's: ignore write errors.
@@ -183,10 +230,12 @@ fn connection_loop(
     }
 }
 
-/// Serves requests from `input` to `output`, one line at a time, in
-/// order, until end of input or a `shutdown` request. This is the
-/// stdio transport (`adi-serve --stdio`), and — being generic over the
-/// streams — the directly testable core of the line protocol.
+/// Serves requests from `input` to `output` until end of input or a
+/// `shutdown` request, handling them concurrently on a [`WorkerPool`]
+/// sized by `config` while a reorder buffer keeps the response order
+/// identical to the request order. This is the stdio transport
+/// (`adi-serve --stdio`), and — being generic over the streams — the
+/// directly testable core of the line protocol.
 ///
 /// Returns the number of requests answered.
 ///
@@ -195,33 +244,67 @@ fn connection_loop(
 /// Returns the first write error; read errors end the loop cleanly.
 pub fn serve_stdio(
     input: impl BufRead,
-    mut output: impl Write,
-    state: &ServiceState,
+    mut output: impl Write + Send,
+    state: Arc<ServiceState>,
+    config: ServerConfig,
 ) -> io::Result<u64> {
-    let mut served = 0u64;
-    for line in input.lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break,
-        };
-        if line.trim().is_empty() {
-            continue;
+    let pool = WorkerPool::new(config.workers, config.queue_depth);
+    state.metrics().configure(config.workers, config.queue_depth, 0);
+    let (tx, rx) = mpsc::channel::<(u64, String)>();
+    std::thread::scope(|scope| {
+        // The writer owns the reorder buffer: responses arrive in
+        // completion order and are held until every earlier sequence
+        // number has been written.
+        let writer = scope.spawn(move || -> io::Result<u64> {
+            let mut pending: HashMap<u64, String> = HashMap::new();
+            let mut next = 0u64;
+            for (seq, response) in rx {
+                pending.insert(seq, response);
+                while let Some(response) = pending.remove(&next) {
+                    output.write_all(response.as_bytes())?;
+                    output.write_all(b"\n")?;
+                    output.flush()?;
+                    next += 1;
+                }
+            }
+            Ok(next)
+        });
+        let mut seq = 0u64;
+        for line in input.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(_) => break,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed = json::parse(&line);
+            let stop_after = is_shutdown_request(&parsed);
+            let state = Arc::clone(&state);
+            let tx = tx.clone();
+            let submitted = pool.submit(move || {
+                let response = match &parsed {
+                    Ok(request) => state.respond(request),
+                    Err(e) => invalid_json_response(e).to_string(),
+                };
+                // A vanished writer (earlier write error) just drops
+                // the response.
+                let _ = tx.send((seq, response));
+            });
+            if submitted.is_err() {
+                break;
+            }
+            seq += 1;
+            if stop_after {
+                break;
+            }
         }
-        let parsed = json::parse(&line);
-        let stop_after = is_shutdown_request(&parsed);
-        let response = match &parsed {
-            Ok(request) => state.handle(request).to_string(),
-            Err(e) => invalid_json_response(e).to_string(),
-        };
-        output.write_all(response.as_bytes())?;
-        output.write_all(b"\n")?;
-        output.flush()?;
-        served += 1;
-        if stop_after {
-            break;
-        }
-    }
-    Ok(served)
+        // Drain the pool (completing every submitted request), close
+        // the channel, and let the writer finish flushing in order.
+        drop(tx);
+        pool.shutdown();
+        writer.join().expect("stdio writer panicked")
+    })
 }
 
 /// Pre-dispatch check for `"op": "shutdown"` on an already-parsed line
@@ -238,7 +321,7 @@ mod tests {
 
     #[test]
     fn stdio_serves_in_order_and_stops_on_shutdown() {
-        let state = ServiceState::new(StoreConfig::default());
+        let state = Arc::new(ServiceState::new(StoreConfig::default()));
         let input = concat!(
             r#"{"id": 1, "op": "ping"}"#,
             "\n\n",
@@ -250,7 +333,8 @@ mod tests {
             "\n",
         );
         let mut out = Vec::new();
-        let served = serve_stdio(input.as_bytes(), &mut out, &state).unwrap();
+        let served =
+            serve_stdio(input.as_bytes(), &mut out, state, ServerConfig::default()).unwrap();
         assert_eq!(served, 3, "the request after shutdown is not served");
         let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
         assert_eq!(lines.len(), 3);
@@ -259,6 +343,58 @@ mod tests {
             assert_eq!(v.get("id").and_then(json::Value::as_u64), Some(i as u64 + 1));
             assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(true));
         }
+    }
+
+    #[test]
+    fn stdio_reorder_buffer_preserves_input_order_under_concurrency() {
+        // Many workers, a mix of slow (compile a fresh structure) and
+        // fast (ping) requests: completion order scrambles, output
+        // order must not. Distinct chain depths make every compile a
+        // distinct, genuinely concurrent unit of work.
+        let state = Arc::new(ServiceState::new(StoreConfig::default()));
+        let mut input = String::new();
+        let total = 60u64;
+        for i in 0..total {
+            if i % 3 == 0 {
+                let depth = 30 + i; // distinct structure per request
+                let mut bench = String::from("INPUT(a)\\nOUTPUT(y)\\n");
+                let mut prev = "a".to_string();
+                for g in 0..depth {
+                    bench.push_str(&format!("n{g} = NOT({prev})\\n"));
+                    prev = format!("n{g}");
+                }
+                bench.push_str(&format!("y = NOT({prev})\\n"));
+                input.push_str(&format!(
+                    r#"{{"id": {i}, "op": "compile", "bench": "{bench}"}}"#
+                ));
+            } else {
+                input.push_str(&format!(r#"{{"id": {i}, "op": "ping"}}"#));
+            }
+            input.push('\n');
+        }
+        let mut out = Vec::new();
+        let served = serve_stdio(
+            input.as_bytes(),
+            &mut out,
+            state,
+            ServerConfig {
+                workers: 8,
+                queue_depth: 16,
+                max_inflight: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(served, total);
+        let ids: Vec<u64> = std::str::from_utf8(&out)
+            .unwrap()
+            .lines()
+            .map(|l| {
+                let v = json::parse(l).unwrap();
+                assert_eq!(v.get("ok").and_then(json::Value::as_bool), Some(true));
+                v.get("id").and_then(json::Value::as_u64).unwrap()
+            })
+            .collect();
+        assert_eq!(ids, (0..total).collect::<Vec<_>>(), "responses in request order");
     }
 
     #[test]

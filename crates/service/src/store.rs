@@ -14,15 +14,20 @@
 //!   rest block on the result — verified against
 //!   [`LevelizedCsr::build_count`](adi_netlist::LevelizedCsr::build_count)
 //!   by the store's concurrency tests.
-//! * **LRU-bounded.** Each shard holds at most `⌈capacity / shards⌉`
-//!   entries; inserting past that evicts the shard's least-recently-used
-//!   entry (recency is a global atomic clock, eviction is per-shard).
+//! * **Cost-bounded.** Each shard holds at most `⌈capacity / shards⌉`
+//!   entries; inserting past that evicts the entry with the lowest
+//!   *replacement cost* — `compile_ns × resident_bytes`, the product of
+//!   how long the compilation took and how much memory it holds — so a
+//!   cheap throwaway circuit is always sacrificed before an expensive
+//!   one, regardless of which was touched last. Recency (a global
+//!   atomic clock) only breaks cost ties.
 //! * **Counted.** Hits, misses (compilations), coalesced waiters, and
 //!   evictions are tracked and reported in every `compile` response.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use adi_netlist::{CompiledCircuit, Netlist, NetlistHash};
 
@@ -75,16 +80,34 @@ pub struct StoreStats {
     pub entries: usize,
     /// Configured total capacity.
     pub capacity: usize,
+    /// Estimated resident bytes of the settled compilations.
+    pub bytes: usize,
+}
+
+/// A settled compilation plus the cost facts eviction scores it by.
+struct Compiled {
+    circuit: CompiledCircuit,
+    /// Wall-clock nanoseconds the compile took.
+    compile_ns: u64,
+    /// Estimated resident size when compiled.
+    bytes: usize,
+}
+
+impl Compiled {
+    /// The replacement cost: what evicting this entry would throw away.
+    fn cost(&self) -> u128 {
+        u128::from(self.compile_ns) * self.bytes.max(1) as u128
+    }
 }
 
 struct Entry {
-    cell: Arc<OnceLock<CompiledCircuit>>,
+    cell: Arc<OnceLock<Compiled>>,
     last_used: u64,
 }
 
 type Shard = HashMap<NetlistHash, Entry>;
 
-/// A sharded, LRU-bounded, single-flight cache of compiled circuits.
+/// A sharded, cost-bounded, single-flight cache of compiled circuits.
 ///
 /// # Examples
 ///
@@ -167,7 +190,7 @@ impl CircuitStore {
                 }
                 None => {
                     if shard.len() >= self.per_shard_capacity {
-                        self.evict_lru(&mut shard);
+                        self.evict_cheapest(&mut shard);
                     }
                     let cell = Arc::new(OnceLock::new());
                     shard.insert(
@@ -188,9 +211,21 @@ impl CircuitStore {
         };
         // Compile (or wait for the thread that is compiling) outside the
         // shard lock: a slow compile must not block unrelated circuits
-        // that happen to share the shard.
+        // that happen to share the shard. The compile is timed and sized
+        // in place — those facts are this entry's eviction score.
         let circuit = cell
-            .get_or_init(|| CompiledCircuit::compile(netlist))
+            .get_or_init(|| {
+                let start = Instant::now();
+                let circuit = CompiledCircuit::compile(netlist);
+                let compile_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                let bytes = circuit.resident_bytes();
+                Compiled {
+                    circuit,
+                    compile_ns,
+                    bytes,
+                }
+            })
+            .circuit
             .clone();
         (circuit, outcome)
     }
@@ -203,7 +238,11 @@ impl CircuitStore {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_of(hash).lock().expect("store shard poisoned");
         let found = shard.get_mut(&hash).and_then(|entry| {
-            entry.cell.get().cloned().inspect(|_| entry.last_used = stamp)
+            entry
+                .cell
+                .get()
+                .map(|c| c.circuit.clone())
+                .inspect(|_| entry.last_used = stamp)
         });
         drop(shard);
         match &found {
@@ -213,17 +252,24 @@ impl CircuitStore {
         found
     }
 
-    /// Evicts the least-recently-used entry of `shard`. Prefers settled
-    /// entries; an in-flight entry is only evicted when the whole shard
-    /// is in flight (waiters keep their `Arc`, so eviction never breaks
-    /// an ongoing compile — the slot is just forgotten).
-    fn evict_lru(&self, shard: &mut Shard) {
+    /// Evicts the entry of `shard` with the lowest replacement cost
+    /// (`compile_ns × resident_bytes`), breaking ties by least-recent
+    /// use. Prefers settled entries; an in-flight entry is only evicted
+    /// when the whole shard is in flight (waiters keep their `Arc`, so
+    /// eviction never breaks an ongoing compile — the slot is just
+    /// forgotten, and recency is the only score it has).
+    fn evict_cheapest(&self, shard: &mut Shard) {
         let victim = shard
             .iter()
-            .filter(|(_, e)| e.cell.get().is_some())
-            .min_by_key(|(_, e)| e.last_used)
-            .or_else(|| shard.iter().min_by_key(|(_, e)| e.last_used))
-            .map(|(&h, _)| h);
+            .filter_map(|(h, e)| e.cell.get().map(|c| (h, e, c)))
+            .min_by_key(|(_, e, c)| (c.cost(), e.last_used))
+            .map(|(&h, _, _)| h)
+            .or_else(|| {
+                shard
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(&h, _)| h)
+            });
         if let Some(h) = victim {
             shard.remove(&h);
             self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -245,13 +291,24 @@ impl CircuitStore {
 
     /// A snapshot of the counters.
     pub fn stats(&self) -> StoreStats {
+        let (mut entries, mut bytes) = (0usize, 0usize);
+        for shard in &self.shards {
+            let shard = shard.lock().expect("store shard poisoned");
+            entries += shard.len();
+            bytes += shard
+                .values()
+                .filter_map(|e| e.cell.get())
+                .map(|c| c.bytes)
+                .sum::<usize>();
+        }
         StoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.len(),
+            entries,
             capacity: self.capacity,
+            bytes,
         }
     }
 }
@@ -301,24 +358,39 @@ mod tests {
     }
 
     #[test]
-    fn lru_eviction_in_a_single_shard() {
-        // One shard, capacity 2: deterministic LRU.
+    fn cost_aware_eviction_sacrifices_the_cheap_entry_over_the_recent_one() {
+        // One shard, capacity 2: deterministic eviction. A single
+        // inverter vs a 400-gate chain — the chain's compile-time ×
+        // resident-bytes product dominates the inverter's by orders of
+        // magnitude, so jitter in the timed compile cannot flip the
+        // ranking.
         let store = CircuitStore::new(StoreConfig {
             shards: 1,
             capacity: 2,
         });
-        let (a, b, c) = (inv(0), inv(1), inv(2));
-        let (ha, hb, hc) = (a.content_hash(), b.content_hash(), c.content_hash());
-        store.get_or_compile(a);
-        store.get_or_compile(b);
-        // Touch `a` so `b` is the LRU entry, then overflow with `c`.
-        assert!(store.lookup(ha).is_some());
-        store.get_or_compile(c);
+        let (cheap, costly, next) = (inv(0), inv(400), inv(401));
+        let (h_cheap, h_costly, h_next) =
+            (cheap.content_hash(), costly.content_hash(), next.content_hash());
+        store.get_or_compile(costly);
+        store.get_or_compile(cheap);
+        // Touch the cheap entry so it is the *most* recently used: raw
+        // LRU would now evict the costly chain. Cost-aware eviction must
+        // still sacrifice the cheap inverter.
+        assert!(store.lookup(h_cheap).is_some());
+        store.get_or_compile(next);
         assert_eq!(store.len(), 2);
-        assert!(store.lookup(ha).is_some(), "recently used entry survives");
-        assert!(store.lookup(hc).is_some(), "new entry present");
-        assert!(store.lookup(hb).is_none(), "LRU entry evicted");
+        assert!(store.lookup(h_costly).is_some(), "costly entry survives despite being LRU");
+        assert!(store.lookup(h_next).is_some(), "new entry present");
+        assert!(store.lookup(h_cheap).is_none(), "cheapest entry evicted");
         assert_eq!(store.stats().evictions, 1);
+    }
+
+    #[test]
+    fn stats_report_resident_bytes() {
+        let store = CircuitStore::new(StoreConfig::default());
+        assert_eq!(store.stats().bytes, 0);
+        let (compiled, _) = store.get_or_compile(inv(3));
+        assert_eq!(store.stats().bytes, compiled.resident_bytes());
     }
 
     #[test]

@@ -458,6 +458,7 @@ fn tcp_transport_round_trips_and_shuts_down() {
             ServerConfig {
                 workers: 2,
                 queue_depth: 8,
+                max_inflight: 4,
             },
         )
         .unwrap()

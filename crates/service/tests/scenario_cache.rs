@@ -1,0 +1,207 @@
+//! End-to-end obligations of the scenario (response) cache layer:
+//!
+//! 1. requests that differ only in JSON spelling — field order,
+//!    whitespace, defaults written out explicitly — collapse to one
+//!    scenario, while every semantic difference separates scenarios;
+//! 2. a cache hit is **byte-identical** to the miss that populated it,
+//!    for every cacheable endpoint, and (for endpoints without
+//!    wall-clock fields) byte-identical to a `"cache": "bypass"`
+//!    recomputation too;
+//! 3. the byte budget actually evicts, eviction is observable through
+//!    the `stats` endpoint, and a re-requested evicted scenario
+//!    recomputes to the same bytes;
+//! 4. `"cache": "bypass"` skips the cache entirely.
+
+use adi_circuits::embedded;
+use adi_netlist::bench_format;
+use adi_service::{ScenarioConfig, ServiceState, StoreConfig};
+use json::Value;
+
+fn state() -> ServiceState {
+    ServiceState::new(StoreConfig::default())
+}
+
+/// Compiles c17 through the service and returns its hash.
+fn compile_c17(state: &ServiceState) -> String {
+    let bench = Value::Str(bench_format::to_bench(&embedded::c17())).to_string();
+    let v = json::parse(&state.handle_line(&format!(
+        r#"{{"op": "compile", "bench": {bench}, "name": "c17"}}"#
+    )))
+    .unwrap();
+    v.get("result")
+        .and_then(|r| r.get("hash"))
+        .and_then(Value::as_str)
+        .expect("compile must return a hash")
+        .to_string()
+}
+
+/// Raw response line for `request` (the unit byte-identity compares).
+fn raw(state: &ServiceState, request: &str) -> String {
+    let line = state.handle_line(request);
+    let v = json::parse(&line).unwrap();
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "request failed: {request} -> {line}"
+    );
+    line
+}
+
+/// The `scenario` block of the `stats` endpoint.
+fn scenario_stats(state: &ServiceState) -> Value {
+    let v = json::parse(&state.handle_line(r#"{"op": "stats"}"#)).unwrap();
+    v.get("result")
+        .and_then(|r| r.get("scenario"))
+        .expect("stats must report a scenario block")
+        .clone()
+}
+
+fn stat(stats: &Value, key: &str) -> u64 {
+    stats
+        .get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing scenario stat `{key}` in {stats}"))
+}
+
+#[test]
+fn spelling_variants_collapse_to_one_scenario() {
+    let s = state();
+    let hash = compile_c17(&s);
+    // Same scenario four ways: canonical; fields reordered; defaults
+    // (`collapse`, `cache`, `engine-less` width) written out; extra
+    // whitespace. All must produce one miss and three hits with
+    // byte-identical responses.
+    let variants = [
+        format!(r#"{{"id": 1, "op": "ndetect", "hash": "{hash}", "random": {{"count": 32, "seed": 5}}, "n": 3}}"#),
+        format!(r#"{{"n": 3, "random": {{"seed": 5, "count": 32}}, "hash": "{hash}", "op": "ndetect", "id": 1}}"#),
+        format!(r#"{{"id": 1, "op": "ndetect", "collapse": true, "cache": "use", "hash": "{hash}", "random": {{"count": 32, "seed": 5}}, "n": 3}}"#),
+        format!(r#"  {{ "id": 1,  "op": "ndetect", "hash": "{hash}",   "random": {{ "count": 32, "seed": 5 }}, "n": 3 }}  "#),
+    ];
+    let responses: Vec<String> = variants.iter().map(|r| raw(&s, r)).collect();
+    for other in &responses[1..] {
+        assert_eq!(&responses[0], other, "spelling variants must hit byte-identically");
+    }
+    let stats = scenario_stats(&s);
+    assert_eq!(stat(&stats, "misses"), 1, "one cold computation");
+    assert_eq!(stat(&stats, "hits"), 3, "every respelling is a hit");
+    assert_eq!(stat(&stats, "entries"), 1);
+}
+
+#[test]
+fn semantic_differences_separate_scenarios() {
+    let s = state();
+    let hash = compile_c17(&s);
+    // Four requests that look alike but differ in one resolved value
+    // each: n, seed, count, collapse. All must miss separately.
+    let distinct = [
+        format!(r#"{{"op": "ndetect", "hash": "{hash}", "random": {{"count": 32, "seed": 5}}, "n": 3}}"#),
+        format!(r#"{{"op": "ndetect", "hash": "{hash}", "random": {{"count": 32, "seed": 5}}, "n": 4}}"#),
+        format!(r#"{{"op": "ndetect", "hash": "{hash}", "random": {{"count": 32, "seed": 6}}, "n": 3}}"#),
+        format!(r#"{{"op": "ndetect", "hash": "{hash}", "random": {{"count": 33, "seed": 5}}, "n": 3}}"#),
+        format!(r#"{{"op": "ndetect", "hash": "{hash}", "random": {{"count": 32, "seed": 5}}, "n": 3, "collapse": false}}"#),
+    ];
+    for request in &distinct {
+        raw(&s, request);
+    }
+    let stats = scenario_stats(&s);
+    assert_eq!(stat(&stats, "misses"), distinct.len() as u64);
+    assert_eq!(stat(&stats, "hits"), 0);
+    assert_eq!(stat(&stats, "entries"), distinct.len() as u64);
+}
+
+#[test]
+fn every_cacheable_endpoint_hits_byte_identically() {
+    let s = state();
+    let hash = compile_c17(&s);
+    // c17 has five inputs; explicit patterns for reorder.
+    let endpoints = [
+        format!(r#"{{"id": 3, "op": "coverage", "hash": "{hash}", "exhaustive": true}}"#),
+        format!(r#"{{"id": 3, "op": "ndetect", "hash": "{hash}", "random": {{"count": 16, "seed": 2}}, "n": 2}}"#),
+        format!(r#"{{"id": 3, "op": "adi", "hash": "{hash}", "ordering": "0dynm"}}"#),
+        format!(r#"{{"id": 3, "op": "atpg", "hash": "{hash}", "include_tests": true}}"#),
+        format!(r#"{{"id": 3, "op": "reorder", "hash": "{hash}", "patterns": ["00000", "11111", "10101"]}}"#),
+        format!(r#"{{"id": 3, "op": "equiv", "left": {{"hash": "{hash}"}}, "right": {{"hash": "{hash}"}}}}"#),
+    ];
+    for request in &endpoints {
+        let miss = raw(&s, request);
+        let hit = raw(&s, request);
+        assert_eq!(miss, hit, "hit must replay the miss bytes: {request}");
+        // A different envelope id must not break payload identity.
+        let other_id = request.replacen(r#""id": 3"#, r#""id": 4"#, 1);
+        let respliced = raw(&s, &other_id);
+        assert_eq!(
+            respliced.replacen(r#""id":4"#, r#""id":3"#, 1),
+            hit,
+            "cached payload must be spliced under the new id: {request}"
+        );
+        // For endpoints with no wall-clock fields the cached bytes must
+        // also equal a forced cold recomputation (`atpg` reports
+        // `timing`, which legitimately differs run to run).
+        if !request.contains(r#""op": "atpg""#) {
+            let stripped = other_id.strip_suffix('}').unwrap().trim_end().to_string();
+            let bypass = raw(&s, &format!(r#"{stripped}, "cache": "bypass"}}"#));
+            assert_eq!(
+                bypass.replacen(r#""id":4"#, r#""id":3"#, 1),
+                hit,
+                "bypass recomputation must match the cached bytes: {request}"
+            );
+        }
+    }
+    let stats = scenario_stats(&s);
+    assert_eq!(stat(&stats, "misses"), endpoints.len() as u64);
+    assert_eq!(stat(&stats, "hits"), 2 * endpoints.len() as u64);
+    assert_eq!(stat(&stats, "bypassed"), endpoints.len() as u64 - 1);
+    assert!(stat(&stats, "bytes") > 0, "cached payload bytes are accounted");
+}
+
+#[test]
+fn byte_budget_evicts_and_evicted_scenarios_recompute_identically() {
+    // A budget far smaller than two ndetect responses: inserting the
+    // second scenario must evict the first.
+    let s = ServiceState::with_scenario(
+        StoreConfig::default(),
+        ScenarioConfig {
+            shards: 1,
+            budget_bytes: 150,
+        },
+    );
+    let hash = compile_c17(&s);
+    let req_a = format!(r#"{{"op": "ndetect", "hash": "{hash}", "random": {{"count": 16, "seed": 2}}, "n": 1}}"#);
+    let req_b = format!(r#"{{"op": "ndetect", "hash": "{hash}", "random": {{"count": 16, "seed": 2}}, "n": 2}}"#);
+    let first_a = raw(&s, &req_a);
+    assert!(
+        first_a.len() > 150,
+        "test premise: one response ({} bytes) must exceed the budget",
+        first_a.len()
+    );
+    raw(&s, &req_b);
+    let stats = scenario_stats(&s);
+    assert!(stat(&stats, "evictions") >= 1, "the budget must have forced eviction");
+    assert!(
+        stat(&stats, "bytes") <= first_a.len() as u64 + 150,
+        "resident bytes stay near the budget"
+    );
+    // The evicted scenario recomputes — to exactly the same bytes.
+    let again_a = raw(&s, &req_a);
+    assert_eq!(first_a, again_a, "recomputed scenario must be byte-identical");
+    let stats = scenario_stats(&s);
+    assert_eq!(stat(&stats, "hits"), 0, "everything was evicted between repeats");
+    assert_eq!(stat(&stats, "misses"), 3);
+}
+
+#[test]
+fn bypass_skips_the_cache_entirely() {
+    let s = state();
+    let hash = compile_c17(&s);
+    let request = format!(
+        r#"{{"op": "ndetect", "hash": "{hash}", "random": {{"count": 16, "seed": 2}}, "n": 1, "cache": "bypass"}}"#
+    );
+    let a = raw(&s, &request);
+    let b = raw(&s, &request);
+    assert_eq!(a, b, "bypass responses are still deterministic");
+    let stats = scenario_stats(&s);
+    assert_eq!(stat(&stats, "bypassed"), 2);
+    assert_eq!(stat(&stats, "hits"), 0);
+    assert_eq!(stat(&stats, "misses"), 0);
+    assert_eq!(stat(&stats, "entries"), 0, "bypass must not populate the cache");
+}

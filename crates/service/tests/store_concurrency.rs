@@ -166,3 +166,50 @@ fn eviction_under_concurrent_overflow_stays_bounded_and_correct() {
     // per-request above).
     assert!(stats.misses >= DISTINCT as u64);
 }
+
+#[test]
+fn cost_aware_eviction_retains_the_expensive_entry_under_concurrent_overflow() {
+    let _guard = BUILD_COUNT_LOCK.lock().unwrap();
+    const THREADS: usize = 6;
+    const DISTINCT: usize = 10;
+    let store = CircuitStore::new(StoreConfig {
+        shards: 1,
+        capacity: 3,
+    });
+    // One deep chain — far more compile work *and* resident bytes than
+    // any of the shallow circuits, so its replacement cost
+    // (compile time × bytes) dominates by orders of magnitude even
+    // through timer noise. Compiled first and never touched again: pure
+    // LRU would evict it immediately.
+    let costly = chain(600);
+    let costly_hash = costly.content_hash();
+    store.get_or_compile(costly);
+
+    let circuits: Vec<Netlist> = (0..DISTINCT).map(|i| chain(4 + i)).collect();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let circuits = &circuits;
+            let store = &store;
+            scope.spawn(move || {
+                for round in 0..4 {
+                    for i in 0..DISTINCT {
+                        let idx = (i * (t + 1) + round) % DISTINCT;
+                        let netlist = circuits[idx].clone();
+                        let expected_hash = netlist.content_hash();
+                        let (compiled, _) = store.get_or_compile(netlist);
+                        assert_eq!(compiled.content_hash(), expected_hash);
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = store.stats();
+    assert!(stats.entries <= stats.capacity);
+    assert!(stats.evictions > 0, "the shallow circuits must have overflowed the shard");
+    assert!(stats.bytes > 0, "resident bytes are accounted");
+    assert!(
+        store.lookup(costly_hash).is_some(),
+        "cost-aware eviction must sacrifice cheap entries before the expensive one"
+    );
+}

@@ -234,6 +234,61 @@ impl PatternSet {
         self.num_patterns += 1;
     }
 
+    /// Appends one pattern decoded directly from an ASCII bit string
+    /// (`'0'`/`'1'`, first input first), without materializing an
+    /// intermediate [`Pattern`].
+    ///
+    /// This is the streaming ingest path for servers: request payloads
+    /// land straight in the packed `words` representation. The set is
+    /// unchanged on error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the string's length differs from the set's
+    /// input count or it contains a byte other than `'0'`/`'1'`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adi_sim::PatternSet;
+    ///
+    /// let mut set = PatternSet::new(3);
+    /// set.push_bits("101").unwrap();
+    /// assert_eq!(set.get(0).value(), Some(5));
+    /// assert!(set.push_bits("10x").is_err());
+    /// assert_eq!(set.len(), 1);
+    /// ```
+    pub fn push_bits(&mut self, bits: &str) -> Result<(), String> {
+        let bytes = bits.as_bytes();
+        if bytes.len() != self.num_inputs {
+            return Err(format!(
+                "pattern width {} does not match set width {}",
+                bytes.len(),
+                self.num_inputs
+            ));
+        }
+        // Validate before mutating so a malformed string leaves the set
+        // untouched.
+        if let Some(bad) = bytes.iter().find(|&&b| b != b'0' && b != b'1') {
+            return Err(format!(
+                "invalid pattern character '{}' (want '0' or '1')",
+                char::from(*bad)
+            ));
+        }
+        let block = self.num_patterns / 64;
+        let bit = 1u64 << (self.num_patterns % 64);
+        for (w, &byte) in self.words.iter_mut().zip(bytes) {
+            if w.len() <= block {
+                w.push(0);
+            }
+            if byte == b'1' {
+                w[block] |= bit;
+            }
+        }
+        self.num_patterns += 1;
+        Ok(())
+    }
+
     /// Number of patterns in the set.
     pub fn len(&self) -> usize {
         self.num_patterns
@@ -538,6 +593,33 @@ mod tests {
     fn push_checks_width() {
         let mut set = PatternSet::new(3);
         set.push(&Pattern::from_value(2, 1));
+    }
+
+    #[test]
+    fn push_bits_matches_push() {
+        let reference = PatternSet::random(9, 130, 23);
+        let mut streamed = PatternSet::new(9);
+        for p in reference.iter() {
+            streamed.push_bits(&p.to_string()).unwrap();
+        }
+        assert_eq!(streamed, reference);
+    }
+
+    #[test]
+    fn push_bits_rejects_bad_input_without_mutating() {
+        let mut set = PatternSet::new(3);
+        set.push_bits("101").unwrap();
+        assert!(set.push_bits("10").unwrap_err().contains("width 2"));
+        assert!(set
+            .push_bits("1x0")
+            .unwrap_err()
+            .contains("invalid pattern character 'x'"));
+        let reference = {
+            let mut s = PatternSet::new(3);
+            s.push(&Pattern::from_value(3, 0b101));
+            s
+        };
+        assert_eq!(set, reference, "failed pushes leave the set untouched");
     }
 
     #[test]
