@@ -244,6 +244,8 @@ fn encode_cone(
 ///
 /// Panics if `fault` references nodes outside `circuit`.
 pub fn prove_fault(circuit: &CompiledCircuit, fault: Fault, conflict_limit: u64) -> FaultVerdict {
+    static SPAN_PROVE: adi_obs::SpanSite = adi_obs::SpanSite::new("sat.prove");
+    let _span = SPAN_PROVE.enter();
     let csr = circuit.view();
     let n = csr.num_nodes();
     let epos = csr.position(fault.effect_node());
@@ -397,6 +399,8 @@ pub fn check_equiv(
     right: &CompiledCircuit,
     conflict_limit: u64,
 ) -> Result<EquivVerdict, EquivError> {
+    static SPAN_EQUIV: adi_obs::SpanSite = adi_obs::SpanSite::new("sat.equiv");
+    let _span = SPAN_EQUIV.enter();
     let (lv, rv) = (left.view(), right.view());
     if lv.inputs().len() != rv.inputs().len() {
         return Err(EquivError::InputCountMismatch(

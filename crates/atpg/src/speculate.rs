@@ -198,6 +198,12 @@ pub(crate) fn run_speculative<const N: usize>(
         committed.expect("commit loop ran");
     stats.wasted_speculations = speculated.load(Ordering::Relaxed) - consumed;
     timing.generate_ns = generate_ns.load(Ordering::Relaxed);
+    if adi_obs::is_enabled() {
+        let r = adi_obs::registry();
+        r.counter("adi_speculation_claimed_total").add(speculated.load(Ordering::Relaxed));
+        r.counter("adi_speculation_committed_total").add(consumed);
+        r.counter("adi_speculation_wasted_total").add(stats.wasted_speculations);
+    }
 
     TestGenResult {
         tests,
@@ -249,7 +255,11 @@ fn worker_loop(
         }
         let before = podem.stats();
         let t0 = Instant::now();
-        let outcome = podem.generate(g.faults.fault(target));
+        let outcome = {
+            static SPAN_SPECULATE: adi_obs::SpanSite = adi_obs::SpanSite::new("atpg.speculate_podem");
+            let _span = SPAN_SPECULATE.enter();
+            podem.generate(g.faults.fault(target))
+        };
         generate_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         speculated.fetch_add(1, Ordering::Relaxed);
         let delta = stats_delta(podem.stats(), before);

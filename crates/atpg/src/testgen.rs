@@ -30,10 +30,15 @@ use std::time::Instant;
 
 use adi_netlist::fault::{FaultId, FaultList};
 use adi_netlist::CompiledCircuit;
+use adi_obs::SpanSite;
 use adi_sim::faultsim::SimScratch;
 use adi_sim::{CoverageCurve, DropSession, FaultSimulator, Pattern, SimWidth};
 
 use crate::{speculate, FillStrategy, Podem, PodemConfig, PodemOutcome, PodemStats, SatFallback, SatResolved};
+
+/// Per-target PODEM span (both drop loops enter it around
+/// `podem.generate`, so a traced `atpg` request shows every target).
+static SPAN_PODEM: SpanSite = SpanSite::new("atpg.podem");
 
 /// Which drop loop [`TestGenerator`] runs generated tests through. Both
 /// produce bit-identical results.
@@ -460,7 +465,10 @@ impl<'a> TestGenerator<'a> {
             }
             let fault = self.faults.fault(target);
             let t0 = Instant::now();
-            let outcome = podem.generate(fault);
+            let outcome = {
+                let _span = SPAN_PODEM.enter();
+                podem.generate(fault)
+            };
             timing.generate_ns += t0.elapsed().as_nanos() as u64;
             match outcome {
                 PodemOutcome::Test(cube) => {
@@ -571,7 +579,10 @@ impl<'a> TestGenerator<'a> {
             }
             let fault = self.faults.fault(target);
             let t0 = Instant::now();
-            let outcome = podem.generate(fault);
+            let outcome = {
+                let _span = SPAN_PODEM.enter();
+                podem.generate(fault)
+            };
             timing.generate_ns += t0.elapsed().as_nanos() as u64;
             match outcome {
                 PodemOutcome::Test(cube) => {

@@ -14,7 +14,7 @@
 //!     [--width 1|2|4|8] [--threads N]
 //! ```
 //!
-//! JSON schema (`adi-perf-report/v8`, written via the vendored `json`
+//! JSON schema (`adi-perf-report/v9`, written via the vendored `json`
 //! value model): a header with the run parameters, a `circuits` array
 //! carrying the compile-once vs compile-per-call timings (`compile_ns`,
 //! `adi_compile_once_ns`, `adi_per_call_ns`), one `entries` element per
@@ -80,6 +80,26 @@
 //! the largest circuit's worst endpoint hit speedup clears the 50x
 //! floor and the open-loop run meets its SLO (p99 under 250 ms, shed
 //! fraction under 1%).
+//!
+//! New in v9: one `observability` element for the largest circuit
+//! carrying the instrumentation-overhead phase — the stem-region
+//! no-drop wall with metric collection disabled (`disabled_ns`) vs
+//! enabled (`enabled_ns`) and their ratio (`overhead`) — plus
+//! server-side queue-wait percentiles on the `open_loop` element
+//! (`queue_wait_count`, `queue_wait_p50_ms`, `queue_wait_p99_ms`,
+//! `queue_wait_p999_ms`), scraped from the in-process server's
+//! `metrics` endpoint at the end of the run. **Before any timing is
+//! written, a `"trace": true` request must extend the untraced
+//! response bytes exactly** (the result payload is byte-identical, so
+//! the scenario-cache splice still applies), and the enabled wall must
+//! stay within 1.5x the disabled wall — even under `--quick` (the
+//! hidden `--inject-obs-overhead` flag inflates the enabled wall so CI
+//! can assert the gate fires). Non-`--quick` runs additionally fail
+//! unless irs13207's disabled wall stays within 2% of the committed
+//! PR 9 no-drop baseline and the enabled wall within 10%. Metric
+//! collection is off through the per-circuit loop (keeping every other
+//! phase comparable to earlier snapshots) and switched on for the
+//! observability and open-loop phases.
 //!
 //! The engine column of `entries` maps per phase:
 //!
@@ -179,6 +199,20 @@ const ATPG_GAIN_FLOOR: f64 = 2.0;
 /// blow-up, when there is no parallel hardware to win on.
 const ATPG_OVERHEAD_CEIL: f64 = 1.35;
 
+/// Committed PR 9 baseline: stem-region no-drop wall time on irs13207
+/// at 2048 patterns, one 64-bit lane, one thread, recorded before the
+/// observability instrumentation landed. The v9 gates hold the
+/// tracing-disabled wall within 2% of this and the tracing-enabled
+/// wall within 10% (non-`--quick` only).
+const PR9_IRS13207_NODROP_NS: u128 = 1_545_418_746;
+const OBS_DISABLED_CEIL: f64 = 1.02;
+const OBS_ENABLED_CEIL: f64 = 1.10;
+
+/// The always-on (even `--quick`) observability overhead bound: the
+/// enabled wall may never exceed this factor of the disabled wall
+/// measured in the same run.
+const OBS_RELATIVE_CEIL: f64 = 1.5;
+
 struct Options {
     max_gates: usize,
     patterns: usize,
@@ -201,6 +235,9 @@ struct Options {
     /// Hidden: corrupt one scenario-cache hit so the byte-identity
     /// gate demonstrably fires (CI smoke).
     inject_scenario_mismatch: bool,
+    /// Hidden: inflate the tracing-enabled wall so the observability
+    /// overhead gate demonstrably fires (CI smoke).
+    inject_obs_overhead: bool,
 }
 
 impl Default for Options {
@@ -217,6 +254,7 @@ impl Default for Options {
             inject_atpg_mismatch: false,
             inject_sat_mismatch: false,
             inject_scenario_mismatch: false,
+            inject_obs_overhead: false,
         }
     }
 }
@@ -275,6 +313,7 @@ fn parse_args() -> Result<Options, String> {
             "--inject-atpg-mismatch" => opts.inject_atpg_mismatch = true,
             "--inject-sat-mismatch" => opts.inject_sat_mismatch = true,
             "--inject-scenario-mismatch" => opts.inject_scenario_mismatch = true,
+            "--inject-obs-overhead" => opts.inject_obs_overhead = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -299,6 +338,19 @@ fn time_ns(mut f: impl FnMut()) -> u128 {
         if spent >= 200_000_000 {
             break;
         }
+    }
+    best
+}
+
+/// Times `f` over exactly `reps` runs, keeping the minimum — the
+/// observability phase compares two second-scale walls against a 2%
+/// ceiling, so it always repeats instead of trusting one sample.
+fn time_ns_reps(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos());
     }
     best
 }
@@ -387,6 +439,27 @@ struct OpenLoopStats {
     p50_ms: f64,
     p99_ms: f64,
     p999_ms: f64,
+    /// Server-side queue-wait histogram (submit to worker pickup),
+    /// scraped from the in-process server's `metrics` endpoint at the
+    /// end of the run. All zero when collection was disabled.
+    queue_wait_count: u64,
+    queue_wait_p50_ms: f64,
+    queue_wait_p99_ms: f64,
+    queue_wait_p999_ms: f64,
+}
+
+/// The v9 `observability` phase for the largest circuit: the
+/// stem-region no-drop wall with metric collection disabled vs
+/// enabled, gated (see [`observability_phase`]) before it is recorded.
+struct ObservabilityStats {
+    circuit: String,
+    /// Wall with collection off — every span site pays one relaxed
+    /// atomic load.
+    disabled_ns: u128,
+    /// The same wall with collection on (histograms + the event ring).
+    enabled_ns: u128,
+    /// `enabled_ns / disabled_ns`.
+    overhead: f64,
 }
 
 /// One cell of the v5 wide-word lattice: the stem-region no-drop matrix
@@ -861,6 +934,30 @@ fn open_loop_phase(name: &str, netlist_text: &str, quick: bool) -> OpenLoopStats
     });
     let wall = start.elapsed().as_secs_f64().max(1e-9);
 
+    // Scrape the server-side queue-wait histogram (submit to worker
+    // pickup) before shutting down: the open-loop latency above counts
+    // queueing from the *client's* schedule, this one from the server's
+    // transport.
+    let v = tcp_round_trip(
+        &mut control,
+        &mut control_writer,
+        r#"{"op":"metrics","format":"json"}"#,
+    );
+    let queue_wait = v
+        .get("result")
+        .and_then(|r| r.get("histograms"))
+        .and_then(|h| h.get("adi_request_queue_wait_ns"))
+        .cloned();
+    let qw = |key: &str| -> u64 {
+        queue_wait
+            .as_ref()
+            .and_then(|h| h.get(key))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    let (queue_wait_count, qw_p50, qw_p99, qw_p999) =
+        (qw("count"), qw("p50"), qw("p99"), qw("p999"));
+
     let v = tcp_round_trip(&mut control, &mut control_writer, r#"{"op":"shutdown"}"#);
     assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{name}: shutdown failed");
     server.join().expect("server thread panicked");
@@ -883,6 +980,133 @@ fn open_loop_phase(name: &str, netlist_text: &str, quick: bool) -> OpenLoopStats
         p50_ms: pct(50.0),
         p99_ms: pct(99.0),
         p999_ms: pct(99.9),
+        queue_wait_count,
+        queue_wait_p50_ms: qw_p50 as f64 / 1e6,
+        queue_wait_p99_ms: qw_p99 as f64 / 1e6,
+        queue_wait_p999_ms: qw_p999 as f64 / 1e6,
+    }
+}
+
+/// The v9 `observability` phase: gate the traced request path
+/// byte-identical to the untraced one, then measure the stem-region
+/// no-drop wall with metric collection disabled vs enabled. The
+/// relative overhead gate (enabled within [`OBS_RELATIVE_CEIL`] of
+/// disabled) runs even under `--quick`; the absolute gates against the
+/// committed PR 9 baseline apply to non-`--quick` irs13207 runs.
+/// Collection is left **enabled** on return — the open-loop phase runs
+/// next and its queue-wait scrape needs live histograms.
+fn observability_phase(
+    name: &str,
+    netlist_text: &str,
+    compiled: &CompiledCircuit,
+    faults: &FaultList,
+    patterns: &PatternSet,
+    quick: bool,
+    inject_pending: &mut bool,
+) -> ObservabilityStats {
+    // ---- trace byte-identity gate (before any timing) ----------------
+    // A `"trace": true` request must return the untraced bytes plus a
+    // trailing `"trace"` field, and must not disturb what the scenario
+    // cache replays to later untraced requests.
+    let state = ServiceState::new(StoreConfig::default());
+    let compile_req = {
+        let mut o = Object::new();
+        o.insert("op", "compile");
+        o.insert("bench", netlist_text);
+        o.insert("name", name);
+        Value::Object(o).to_string()
+    };
+    let r = service_ok(name, &state.handle_line(&compile_req));
+    let hash = r
+        .get("hash")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("{name}: compile response lacks a hash"))
+        .to_string();
+    let request = format!(
+        r#"{{"op":"coverage","hash":"{hash}","random":{{"count":64,"seed":{AGREEMENT_SEED}}}}}"#
+    );
+    let plain = state.handle_line(&request);
+    service_ok(name, &plain);
+    let traced_req = format!(
+        r#"{},"trace":true}}"#,
+        request.strip_suffix('}').expect("request object")
+    );
+    let traced = state.handle_line(&traced_req);
+    let replay = state.handle_line(&request);
+    if !traced.starts_with(&plain[..plain.len() - 1])
+        || !traced.contains(r#","trace":{"#)
+        || replay != plain
+    {
+        eprintln!(
+            "error: observability trace gate fired: {name} traced response does not \
+             extend the untraced bytes exactly — refusing to write a perf report"
+        );
+        std::process::exit(1);
+    }
+
+    // ---- timings (only after the gate above has passed) --------------
+    let sim = FaultSimulator::for_circuit_with_engine(compiled, faults, EngineKind::StemRegion)
+        .with_width(SimWidth::W1);
+    adi_obs::set_enabled(false);
+    let disabled_ns = time_ns_reps(3, || {
+        std::hint::black_box(sim.no_drop_matrix(patterns));
+    });
+    adi_obs::set_enabled(true);
+    let mut enabled_ns = time_ns_reps(3, || {
+        std::hint::black_box(sim.no_drop_matrix(patterns));
+    });
+    if *inject_pending {
+        *inject_pending = false;
+        // Deliberately inflate the enabled wall: the overhead gate
+        // must catch it.
+        enabled_ns = enabled_ns.saturating_mul(20);
+    }
+
+    // The relative gate runs even under `--quick`: instrumentation
+    // that inflates the hot path by half its wall is a bug regardless
+    // of the host this runs on.
+    let overhead = enabled_ns as f64 / disabled_ns.max(1) as f64;
+    if overhead > OBS_RELATIVE_CEIL {
+        eprintln!(
+            "error: observability overhead gate fired: {name} tracing-enabled no-drop \
+             wall is {overhead:.2}x the disabled wall, above the {OBS_RELATIVE_CEIL:.2}x \
+             ceiling — refusing to write a perf report"
+        );
+        std::process::exit(1);
+    }
+    if !quick && name == "irs13207" {
+        let baseline_ms = PR9_IRS13207_NODROP_NS as f64 / 1e6;
+        if disabled_ns as f64 > PR9_IRS13207_NODROP_NS as f64 * OBS_DISABLED_CEIL {
+            eprintln!(
+                "error: observability overhead gate fired: {name} tracing-disabled \
+                 no-drop wall {:.0} ms exceeds {OBS_DISABLED_CEIL:.2}x the committed \
+                 PR 9 baseline {baseline_ms:.0} ms — refusing to write a perf report",
+                disabled_ns as f64 / 1e6
+            );
+            std::process::exit(1);
+        }
+        if enabled_ns as f64 > PR9_IRS13207_NODROP_NS as f64 * OBS_ENABLED_CEIL {
+            eprintln!(
+                "error: observability overhead gate fired: {name} tracing-enabled \
+                 no-drop wall {:.0} ms exceeds {OBS_ENABLED_CEIL:.2}x the committed \
+                 PR 9 baseline {baseline_ms:.0} ms — refusing to write a perf report",
+                enabled_ns as f64 / 1e6
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[perf_report] observability gate passed: {name} disabled {:.0} ms / \
+             enabled {:.0} ms vs the {baseline_ms:.0} ms PR 9 baseline \
+             (x{OBS_DISABLED_CEIL:.2}/x{OBS_ENABLED_CEIL:.2} ceilings)",
+            disabled_ns as f64 / 1e6,
+            enabled_ns as f64 / 1e6
+        );
+    }
+    ObservabilityStats {
+        circuit: name.to_string(),
+        disabled_ns,
+        enabled_ns,
+        overhead,
     }
 }
 
@@ -996,7 +1220,14 @@ fn main() {
     let mut scenario_stats: Vec<ScenarioPerfStats> = Vec::new();
     let mut inject_scenario_pending = opts.inject_scenario_mismatch;
     let mut open_loop_stats: Vec<OpenLoopStats> = Vec::new();
+    let mut obs_stats: Vec<ObservabilityStats> = Vec::new();
+    let mut inject_obs_pending = opts.inject_obs_overhead;
     let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Metric collection stays off through the per-circuit loop so every
+    // phase's wall remains comparable to the pre-v9 snapshots; the
+    // observability phase below measures the enabled cost explicitly.
+    adi_obs::set_enabled(false);
 
     for circuit in &circuits {
         eprintln!(
@@ -1393,12 +1624,34 @@ fn main() {
         ));
     }
 
-    // The v8 open-loop phase: one fixed-rate run against an in-process
-    // TCP server on the largest selected circuit.
+    // The v9 observability phase and the v8 open-loop phase, both on
+    // the largest selected circuit. The observability phase leaves
+    // collection enabled so the open-loop run's queue-wait scrape has
+    // live histograms; it goes back off before the report renders.
     if let Some(largest) = circuits.iter().max_by_key(|c| c.gates) {
+        eprintln!("[perf_report] {} observability phase...", largest.name);
+        let netlist = largest.netlist();
+        let text = bench_format::to_bench(&netlist);
+        let compiled = CompiledCircuit::compile(netlist);
+        let faults = compiled.collapsed_faults();
+        let patterns = PatternSet::random(
+            compiled.netlist().num_inputs(),
+            opts.patterns,
+            PATTERN_SEED,
+        );
+        obs_stats.push(observability_phase(
+            largest.name,
+            &text,
+            &compiled,
+            faults,
+            &patterns,
+            opts.quick,
+            &mut inject_obs_pending,
+        ));
+
         eprintln!("[perf_report] {} open-loop service phase...", largest.name);
-        let text = bench_format::to_bench(&largest.netlist());
         open_loop_stats.push(open_loop_phase(largest.name, &text, opts.quick));
+        adi_obs::set_enabled(false);
     }
 
     // Persist the snapshot before printing: a consumer truncating our
@@ -1414,6 +1667,7 @@ fn main() {
         &sat_stats,
         &scenario_stats,
         &open_loop_stats,
+        &obs_stats,
     )
     .pretty();
     std::fs::write(&out_path, json).unwrap_or_else(|e| {
@@ -1602,7 +1856,8 @@ fn main() {
     }
     println!("{}", scenario_table.render());
 
-    // Open-loop summary: the arrival-rate run.
+    // Open-loop summary: the arrival-rate run, with the server-side
+    // queue-wait percentiles beside the client-side latency.
     let mut open_table = TextTable::new(vec![
         "circuit",
         "offered (req/s)",
@@ -1612,6 +1867,7 @@ fn main() {
         "p50 (ms)",
         "p99 (ms)",
         "p999 (ms)",
+        "qwait p99 (ms)",
     ]);
     for s in &open_loop_stats {
         open_table.row(vec![
@@ -1623,9 +1879,27 @@ fn main() {
             format!("{:.3}", s.p50_ms),
             format!("{:.3}", s.p99_ms),
             format!("{:.3}", s.p999_ms),
+            format!("{:.3}", s.queue_wait_p99_ms),
         ]);
     }
     println!("{}", open_table.render());
+
+    // Observability summary: what the instrumentation costs.
+    let mut obs_table = TextTable::new(vec![
+        "circuit",
+        "obs off (ms)",
+        "obs on (ms)",
+        "overhead",
+    ]);
+    for s in &obs_stats {
+        obs_table.row(vec![
+            s.circuit.clone(),
+            format!("{:.2}", s.disabled_ns as f64 / 1e6),
+            format!("{:.2}", s.enabled_ns as f64 / 1e6),
+            format!("{:.3}x", s.overhead),
+        ]);
+    }
+    println!("{}", obs_table.render());
 
     // Ratio-regression gate: the stem engine must keep its no-drop win
     // on the largest selected circuit. `--quick` runs (tiny pattern
@@ -1791,7 +2065,7 @@ fn main() {
     }
 }
 
-/// Assembles the v8 report document (serialized with
+/// Assembles the v9 report document (serialized with
 /// [`Value::pretty`]).
 #[allow(clippy::too_many_arguments)]
 fn render_report(
@@ -1805,9 +2079,10 @@ fn render_report(
     sat_stats: &[SatStats],
     scenario_stats: &[ScenarioPerfStats],
     open_loop_stats: &[OpenLoopStats],
+    obs_stats: &[ObservabilityStats],
 ) -> Value {
     let mut root = Object::new();
-    root.insert("schema", "adi-perf-report/v8");
+    root.insert("schema", "adi-perf-report/v9");
     root.insert("date", date);
     // The snapshot host's core count — the context every scaling and
     // efficiency number in this report must be read against.
@@ -1972,6 +2247,29 @@ fn render_report(
                     o.insert("p50_ms", Value::rounded(s.p50_ms, 3));
                     o.insert("p99_ms", Value::rounded(s.p99_ms, 3));
                     o.insert("p999_ms", Value::rounded(s.p999_ms, 3));
+                    o.insert("queue_wait_count", s.queue_wait_count);
+                    o.insert("queue_wait_p50_ms", Value::rounded(s.queue_wait_p50_ms, 3));
+                    o.insert("queue_wait_p99_ms", Value::rounded(s.queue_wait_p99_ms, 3));
+                    o.insert(
+                        "queue_wait_p999_ms",
+                        Value::rounded(s.queue_wait_p999_ms, 3),
+                    );
+                    o.into()
+                })
+                .collect(),
+        ),
+    );
+    root.insert(
+        "observability",
+        Value::Array(
+            obs_stats
+                .iter()
+                .map(|s| {
+                    let mut o = Object::new();
+                    o.insert("circuit", s.circuit.as_str());
+                    o.insert("disabled_ns", Value::from_u128(s.disabled_ns));
+                    o.insert("enabled_ns", Value::from_u128(s.enabled_ns));
+                    o.insert("overhead", Value::rounded(s.overhead, 3));
                     o.into()
                 })
                 .collect(),
@@ -1993,7 +2291,7 @@ mod tests {
     }
 
     #[test]
-    fn json_is_well_formed_and_v8_shaped() {
+    fn json_is_well_formed_and_v9_shaped() {
         let entries = vec![
             Entry {
                 circuit: "irs208".into(),
@@ -2071,6 +2369,16 @@ mod tests {
             p50_ms: 0.75,
             p99_ms: 4.125,
             p999_ms: 11.5,
+            queue_wait_count: 1195,
+            queue_wait_p50_ms: 0.125,
+            queue_wait_p99_ms: 2.25,
+            queue_wait_p999_ms: 6.5,
+        }];
+        let obs = vec![ObservabilityStats {
+            circuit: "irs208".into(),
+            disabled_ns: 10_000_000,
+            enabled_ns: 10_400_000,
+            overhead: 1.04,
         }];
         let doc = render_report(
             "2026-01-01",
@@ -2083,12 +2391,21 @@ mod tests {
             &sat,
             &scenario,
             &open_loop,
+            &obs,
         );
         let text = doc.pretty();
         // Strict JSON: our own parser must read it back identically.
         assert_eq!(json::parse(&text).unwrap(), doc);
         for needle in [
-            "\"schema\": \"adi-perf-report/v8\"",
+            "\"schema\": \"adi-perf-report/v9\"",
+            "\"observability\"",
+            "\"disabled_ns\": 10000000",
+            "\"enabled_ns\": 10400000",
+            "\"overhead\": 1.04",
+            "\"queue_wait_count\": 1195",
+            "\"queue_wait_p50_ms\": 0.125",
+            "\"queue_wait_p99_ms\": 2.25",
+            "\"queue_wait_p999_ms\": 6.5",
             "\"scenario_cache\"",
             "\"endpoint\": \"atpg\"",
             "\"cold_ns\": 9000000",

@@ -78,7 +78,7 @@ fn perf_report_writes_json() {
     assert!(ok);
     assert!(stdout.contains("speedup"));
     let json = std::fs::read_to_string(&out_path).expect("report written");
-    assert!(json.contains("\"schema\": \"adi-perf-report/v8\""));
+    assert!(json.contains("\"schema\": \"adi-perf-report/v9\""));
     assert!(json.contains("\"circuit\": \"irs208\""));
     assert!(json.contains("\"engine\": \"per-fault\""));
     assert!(json.contains("\"engine\": \"stem-region\""));
@@ -129,7 +129,44 @@ fn perf_report_writes_json() {
     assert!(json.contains("\"shed\""));
     assert!(json.contains("\"p99_ms\""));
     assert!(json.contains("\"p999_ms\""));
+    // v9: the observability phase and the server-side queue-wait scrape.
+    assert!(json.contains("\"observability\""));
+    assert!(json.contains("\"disabled_ns\""));
+    assert!(json.contains("\"enabled_ns\""));
+    assert!(json.contains("\"overhead\""));
+    assert!(json.contains("\"queue_wait_count\""));
+    assert!(json.contains("\"queue_wait_p99_ms\""));
     let _ = std::fs::remove_file(&out_path);
+}
+
+#[test]
+fn perf_report_obs_overhead_gate_fires_on_injected_inflation() {
+    let dir = std::env::temp_dir().join("adi_perf_report_obs_gate");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out_path = dir.join("BENCH_obs_gate.json");
+    let _ = std::fs::remove_file(&out_path);
+    // The hidden flag inflates the tracing-enabled wall; the relative
+    // overhead gate must catch it and refuse to write any report.
+    let out = Command::new(env!("CARGO_BIN_EXE_perf_report"))
+        .args([
+            "--quick",
+            "--max-gates",
+            "150",
+            "--patterns",
+            "64",
+            "--inject-obs-overhead",
+            "--out",
+            out_path.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "injected inflation must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("observability overhead gate fired"),
+        "stderr: {stderr}"
+    );
+    assert!(!out_path.exists(), "no report may be written on a gate failure");
 }
 
 #[test]

@@ -21,8 +21,18 @@
 
 use std::sync::{Arc, OnceLock};
 
+use adi_obs::SpanSite;
+
 use crate::fault::FaultList;
 use crate::{dominator, FfrPartition, LevelizedCsr, Netlist, NetlistHash, Scoap};
+
+// Compile-phase instrumentation sites (see `adi-obs`): the eager
+// levelize/FFR builds plus each lazy artifact, so a per-request trace
+// shows exactly which compile work a cold request paid for.
+static SPAN_LEVELIZE: SpanSite = SpanSite::new("compile.levelize");
+static SPAN_FFR: SpanSite = SpanSite::new("compile.ffr");
+static SPAN_FAULT_LIST: SpanSite = SpanSite::new("compile.fault_list");
+static SPAN_SCOAP: SpanSite = SpanSite::new("compile.scoap");
 
 /// An immutable, shareable compilation of a [`Netlist`] and its derived
 /// analysis artifacts.
@@ -79,8 +89,14 @@ impl CompiledCircuit {
     /// [`LevelizedCsr::build`]; [`LevelizedCsr::build_count`] can verify
     /// that.
     pub fn compile(netlist: Netlist) -> Self {
-        let view = LevelizedCsr::build(&netlist);
-        let ffr = FfrPartition::compute(&netlist);
+        let view = {
+            let _span = SPAN_LEVELIZE.enter();
+            LevelizedCsr::build(&netlist)
+        };
+        let ffr = {
+            let _span = SPAN_FFR.enter();
+            FfrPartition::compute(&netlist)
+        };
         CompiledCircuit {
             inner: Arc::new(Compilation {
                 netlist,
@@ -118,25 +134,28 @@ impl CompiledCircuit {
     /// The structurally collapsed stuck-at fault list (built on first
     /// access, then shared).
     pub fn collapsed_faults(&self) -> &FaultList {
-        self.inner
-            .collapsed
-            .get_or_init(|| FaultList::collapsed(&self.inner.netlist))
+        self.inner.collapsed.get_or_init(|| {
+            let _span = SPAN_FAULT_LIST.enter();
+            FaultList::collapsed(&self.inner.netlist)
+        })
     }
 
     /// The full (uncollapsed) stuck-at fault universe (built on first
     /// access, then shared).
     pub fn full_faults(&self) -> &FaultList {
-        self.inner
-            .full
-            .get_or_init(|| FaultList::full(&self.inner.netlist))
+        self.inner.full.get_or_init(|| {
+            let _span = SPAN_FAULT_LIST.enter();
+            FaultList::full(&self.inner.netlist)
+        })
     }
 
     /// The SCOAP controllability/observability measures guiding PODEM
     /// (built on first access, then shared).
     pub fn scoap(&self) -> &Scoap {
-        self.inner
-            .scoap
-            .get_or_init(|| Scoap::compute(&self.inner.netlist))
+        self.inner.scoap.get_or_init(|| {
+            let _span = SPAN_SCOAP.enter();
+            Scoap::compute(&self.inner.netlist)
+        })
     }
 
     /// The immediate post-dominator position of every levelized

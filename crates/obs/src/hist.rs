@@ -1,0 +1,266 @@
+//! A lock-free log2-bucketed latency histogram.
+//!
+//! Values land in bucket `⌈log2(v+1)⌉`, i.e. bucket `b > 0` covers
+//! `[2^(b-1), 2^b - 1]` and bucket 0 holds exactly the value 0 — 65
+//! buckets cover the whole `u64` range with ≤2× relative error on any
+//! reported quantile, which is plenty for latency distributions that
+//! span six orders of magnitude. Recording is a couple of relaxed
+//! atomic RMWs (no locks, no allocation), so concurrent writers from
+//! worker and simulation threads never contend on anything heavier
+//! than a cache line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets (value 0, plus one per bit position).
+pub(crate) const BUCKETS: usize = 65;
+
+/// A lock-free, mergeable log2-bucketed histogram of `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use adi_obs::Histogram;
+///
+/// let h = Histogram::new();
+/// for v in [1u64, 2, 3, 1000] {
+///     h.record(v);
+/// }
+/// let s = h.snapshot();
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.max, 1000);
+/// assert!(s.p50 >= 1 && s.p50 <= 3);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An immutable point-in-time copy of a [`Histogram`], with the derived
+/// quantiles precomputed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HistogramSnapshot {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (wrapping on overflow).
+    pub sum: u64,
+    /// Largest recorded sample (0 when empty).
+    pub max: u64,
+    /// Median (bucket upper bound, clamped to `max`).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    pub(crate) buckets: [u64; BUCKETS],
+}
+
+/// Index of the bucket `value` lands in.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Largest value bucket `b` can hold (`2^b - 1`; bucket 0 holds 0).
+#[inline]
+fn bucket_upper(b: usize) -> u64 {
+    if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; callable from any thread.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise). Merging
+    /// thread-local histograms into a shared one preserves counts
+    /// exactly and quantiles within bucket resolution.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Copies the current contents out and derives the quantiles.
+    ///
+    /// Concurrent recording keeps the snapshot approximate (counters
+    /// are read one by one), but any sample fully recorded before the
+    /// call is fully visible — quiescent snapshots are exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        let count: u64 = buckets.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let q = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the p-quantile sample, 1-based, ceiling — the
+            // value below which at least `p` of the samples fall.
+            let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (b, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return bucket_upper(b).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max,
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+            p999: q(0.999),
+            buckets,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty `(upper_bound, cumulative_count)` pairs, in
+    /// ascending bucket order — the series a Prometheus `_bucket{le=}`
+    /// rendering emits.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n != 0 {
+                cum += n;
+                out.push((bucket_upper(b), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Every value lands in a bucket whose bounds contain it.
+        for v in [0u64, 1, 5, 63, 64, 1 << 40, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper(b));
+            if b > 0 {
+                assert!(v > bucket_upper(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 500_500);
+        // Log2 resolution: each quantile is within 2x of the true one.
+        assert!(s.p50 >= 500 && s.p50 <= 1023, "p50 = {}", s.p50);
+        assert!(s.p99 >= 990 && s.p99 <= 1000, "p99 = {}", s.p99);
+        assert!(s.p999 <= 1000);
+        assert!((s.mean() - 500.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.sum, s.max, s.p50, s.p999), (0, 0, 0, 0, 0));
+        assert!(s.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 10, 100] {
+            a.record(v);
+        }
+        for v in [5u64, 50, 500_000] {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1 + 10 + 100 + 5 + 50 + 500_000);
+        assert_eq!(s.max, 500_000);
+    }
+
+    #[test]
+    fn cumulative_buckets_reach_the_count() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 7, 900] {
+            h.record(v);
+        }
+        let cum = h.snapshot().cumulative_buckets();
+        assert_eq!(cum.last().unwrap().1, 5);
+        // Ascending in both coordinates.
+        for w in cum.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! `adi-obs` — std-only observability for the ADI stack.
+//!
+//! Every other workspace crate instruments through this one, so it has
+//! **zero dependencies** (the same discipline as `crates/compat/`) and
+//! is built around one invariant: an instrumentation site on a hot path
+//! costs exactly **one relaxed atomic load** while observability is
+//! disabled. The pieces:
+//!
+//! * **Spans** ([`SpanSite`]) — hierarchical timed regions over the
+//!   monotonic clock ([`std::time::Instant`]), tracked on a per-thread
+//!   span stack. Finished spans feed a per-site latency histogram, a
+//!   bounded global ring-buffer event log ([`recent_events`]), and —
+//!   when the current thread is tracing — a span tree ([`Trace`])
+//!   that the service attaches to traced responses.
+//! * **Histograms** ([`Histogram`]) — lock-free log2-bucketed latency
+//!   histograms (p50/p90/p99/p999/max), mergeable across threads.
+//! * **Registry** ([`registry`]) — a process-global map of named
+//!   counters, gauges, and histograms, rendered as Prometheus-style
+//!   text ([`Registry::render_prometheus`]).
+//! * **Logging** ([`log`]) — leveled NDJSON structured lines on stderr
+//!   (`adi-serve --log <level>`).
+//!
+//! # Enablement
+//!
+//! The whole crate is gated by one process-global switch:
+//! [`set_enabled`] / the `ADI_OBS` environment variable (see
+//! [`init_from_env`]). Tracing a request ([`start_trace`]) arms span
+//! sites independently of the metrics switch, so a single traced
+//! request works even on an otherwise-disabled process.
+//!
+//! # Examples
+//!
+//! ```
+//! use adi_obs::SpanSite;
+//!
+//! static SITE: SpanSite = SpanSite::new("example.work");
+//!
+//! adi_obs::set_enabled(true);
+//! {
+//!     let _span = SITE.enter();
+//!     // ... timed work ...
+//! }
+//! let text = adi_obs::registry().render_prometheus();
+//! assert!(text.contains("adi_span_example_work_ns_count"));
+//! # adi_obs::set_enabled(false);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod logging;
+mod registry;
+mod span;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use logging::{log, log_enabled, parse_level, set_log_level, Field, Level};
+pub use registry::{registry, Counter, Gauge, Registry};
+pub use span::{
+    recent_events, start_trace, Event, Span, SpanSite, Trace, TraceGuard, TraceNode,
+};
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Bit 0: metrics/events enabled. Bits 1..: count of live trace guards.
+/// A span site is "hot" (does any work at all) iff this is nonzero.
+static STATE: AtomicU32 = AtomicU32::new(0);
+
+/// Returns `true` if any observability work should happen at a span
+/// site: metrics are enabled or at least one trace is being collected.
+/// This is the one relaxed load every disabled site pays.
+#[inline]
+pub fn hot() -> bool {
+    STATE.load(Ordering::Relaxed) != 0
+}
+
+/// Switches metric/event collection on or off process-wide. Span sites
+/// on a disabled process cost one relaxed atomic load.
+pub fn set_enabled(enabled: bool) {
+    if enabled {
+        STATE.fetch_or(1, Ordering::Relaxed);
+    } else {
+        STATE.fetch_and(!1, Ordering::Relaxed);
+    }
+}
+
+/// Returns `true` if metric/event collection is enabled
+/// (see [`set_enabled`]).
+#[inline]
+pub fn is_enabled() -> bool {
+    STATE.load(Ordering::Relaxed) & 1 != 0
+}
+
+pub(crate) fn trace_refs_inc() {
+    STATE.fetch_add(2, Ordering::Relaxed);
+}
+
+pub(crate) fn trace_refs_dec() {
+    STATE.fetch_sub(2, Ordering::Relaxed);
+}
+
+/// Applies the `ADI_OBS` environment variable: `1`/`on`/`true` enables
+/// metric collection, `0`/`off`/`false` disables it, unset (or any
+/// other value) leaves `default_enabled` in force. Binaries call this
+/// once at startup; libraries never do.
+pub fn init_from_env(default_enabled: bool) {
+    let enabled = match std::env::var("ADI_OBS") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "1" | "on" | "true" | "yes" => true,
+            "0" | "off" | "false" | "no" => false,
+            _ => default_enabled,
+        },
+        Err(_) => default_enabled,
+    };
+    set_enabled(enabled);
+}
+
+/// Serializes tests that flip the process-global switches (unit tests
+/// in this crate run on parallel threads of one process).
+#[cfg(test)]
+pub(crate) fn state_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enable_disable_roundtrip() {
+        let _lock = crate::state_test_lock();
+        set_enabled(false);
+        assert!(!is_enabled());
+        set_enabled(true);
+        assert!(is_enabled());
+        assert!(hot());
+        set_enabled(false);
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn tracing_arms_hot_independently_of_enabled() {
+        let _lock = crate::state_test_lock();
+        set_enabled(false);
+        assert!(!hot());
+        let guard = start_trace();
+        assert!(hot(), "a live trace must arm span sites");
+        assert!(!is_enabled(), "tracing does not flip the metrics switch");
+        let _ = guard.finish();
+        assert!(!hot());
+    }
+}

@@ -1,0 +1,182 @@
+//! Leveled NDJSON structured logging on stderr.
+//!
+//! One JSON object per line, always with `ts_ms` (Unix milliseconds),
+//! `level`, `target`, and `msg`, plus any caller-supplied fields —
+//! machine-parseable and still greppable. Logging is off by default
+//! (level unset); `adi-serve --log <level>` turns it on. A disabled
+//! [`log`] call is one relaxed atomic load.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Level {
+    /// Unrecoverable or dropped work.
+    Error = 1,
+    /// Degraded behavior (sheds, saturation).
+    Warn = 2,
+    /// Per-request lines and lifecycle events.
+    Info = 3,
+    /// Cache decisions and other internal detail.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// 0 = logging off; otherwise the maximum enabled [`Level`].
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the global log level; `None` disables logging entirely.
+pub fn set_log_level(level: Option<Level>) {
+    LOG_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Parses a `--log` level argument. `"off"`/`"none"` is `Ok(None)`;
+/// unknown names are `Err`.
+pub fn parse_level(s: &str) -> Result<Option<Level>, String> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" => Ok(None),
+        "error" => Ok(Some(Level::Error)),
+        "warn" | "warning" => Ok(Some(Level::Warn)),
+        "info" => Ok(Some(Level::Info)),
+        "debug" => Ok(Some(Level::Debug)),
+        "trace" => Ok(Some(Level::Trace)),
+        other => Err(format!(
+            "unknown log level `{other}` (expected off, error, warn, info, debug, or trace)"
+        )),
+    }
+}
+
+/// Returns `true` if a [`log`] call at `level` would emit a line.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= LOG_LEVEL.load(Ordering::Relaxed)
+}
+
+/// A typed structured-log field value.
+#[derive(Clone, Copy, Debug)]
+pub enum Field<'a> {
+    /// An unsigned integer field.
+    U64(u64),
+    /// A float field (emitted as-is; NaN/∞ become `null`).
+    F64(f64),
+    /// A boolean field.
+    Bool(bool),
+    /// A string field (JSON-escaped).
+    Str(&'a str),
+}
+
+/// Emits one NDJSON line on stderr if `level` is enabled:
+/// `{"ts_ms":…,"level":…,"target":…,"msg":…,…fields}`.
+///
+/// # Examples
+///
+/// ```
+/// use adi_obs::{log, set_log_level, Field, Level};
+///
+/// set_log_level(Some(Level::Info));
+/// log(Level::Info, "service", "request", &[
+///     ("op", Field::Str("coverage")),
+///     ("ns", Field::U64(1234)),
+///     ("ok", Field::Bool(true)),
+/// ]);
+/// set_log_level(None);
+/// ```
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, Field<'_>)]) {
+    if !log_enabled(level) {
+        return;
+    }
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut line = String::with_capacity(96 + fields.len() * 24);
+    let _ = write!(line, "{{\"ts_ms\":{ts_ms},\"level\":\"{}\"", level.label());
+    line.push_str(",\"target\":");
+    push_json_str(&mut line, target);
+    line.push_str(",\"msg\":");
+    push_json_str(&mut line, msg);
+    for (key, value) in fields {
+        line.push(',');
+        push_json_str(&mut line, key);
+        line.push(':');
+        match value {
+            Field::U64(v) => {
+                let _ = write!(line, "{v}");
+            }
+            Field::F64(v) if v.is_finite() => {
+                let _ = write!(line, "{v}");
+            }
+            Field::F64(_) => line.push_str("null"),
+            Field::Bool(v) => line.push_str(if *v { "true" } else { "false" }),
+            Field::Str(v) => push_json_str(&mut line, v),
+        }
+    }
+    line.push_str("}\n");
+    // One write_all per line keeps concurrent lines whole.
+    let _ = std::io::stderr().lock().write_all(line.as_bytes());
+}
+
+/// Appends `s` as a JSON string literal (quotes, escapes).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(parse_level("info"), Ok(Some(Level::Info)));
+        assert_eq!(parse_level("WARN"), Ok(Some(Level::Warn)));
+        assert_eq!(parse_level("off"), Ok(None));
+        assert!(parse_level("loud").is_err());
+    }
+
+    #[test]
+    fn level_gating() {
+        set_log_level(Some(Level::Warn));
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        set_log_level(None);
+        assert!(!log_enabled(Level::Error));
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,302 @@
+//! The process-global registry of named counters, gauges, and
+//! histograms, with a Prometheus-style text rendering.
+//!
+//! Metric names follow Prometheus conventions (`[a-zA-Z_][a-zA-Z0-9_]*`,
+//! optionally with a `{key="value"}` label suffix baked into the name).
+//! Handles are `Arc`s: look a metric up once, keep the handle, and the
+//! registry lock is never touched again on the hot path.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::hist::Histogram;
+
+/// A monotonically increasing counter.
+///
+/// # Examples
+///
+/// ```
+/// let c = adi_obs::registry().counter("adi_doc_example_total");
+/// c.add(2);
+/// assert!(c.get() >= 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, in-flight
+/// request counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments the gauge.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements the gauge (saturating at zero in aggregate use: the
+    /// caller is responsible for pairing inc/dec).
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named-metric registry. Most code uses the process-global
+/// [`registry()`]; tests can build private ones.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry (tests; production uses [`registry()`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().expect("metric registry");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().expect("metric registry");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().expect("metric registry");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// The registered histogram snapshots, `(name, snapshot)` in name
+    /// order — the JSON form of the `metrics` endpoint.
+    pub fn histogram_snapshots(&self) -> Vec<(String, crate::HistogramSnapshot)> {
+        let m = self.metrics.lock().expect("metric registry");
+        m.iter()
+            .filter_map(|(name, metric)| match metric {
+                Metric::Histogram(h) => Some((name.clone(), h.snapshot())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The registered scalar metrics, `(name, value, is_counter)` in
+    /// name order.
+    pub fn scalar_values(&self) -> Vec<(String, u64, bool)> {
+        let m = self.metrics.lock().expect("metric registry");
+        m.iter()
+            .filter_map(|(name, metric)| match metric {
+                Metric::Counter(c) => Some((name.clone(), c.get(), true)),
+                Metric::Gauge(g) => Some((name.clone(), g.get(), false)),
+                Metric::Histogram(_) => None,
+            })
+            .collect()
+    }
+
+    /// Renders every registered metric as Prometheus exposition text
+    /// (one `# TYPE` line per family; histograms as cumulative
+    /// `_bucket{le="..."}` series plus `_sum`/`_count`/`_max`).
+    ///
+    /// Output is deterministic: families sort by name, buckets ascend.
+    pub fn render_prometheus(&self) -> String {
+        let m = self.metrics.lock().expect("metric registry");
+        let mut out = String::new();
+        for (name, metric) in m.iter() {
+            let (base, labels) = split_labels(name);
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {base} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {base} gauge");
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let _ = writeln!(out, "# TYPE {base} histogram");
+                    for (le, cum) in s.cumulative_buckets() {
+                        let _ = writeln!(out, "{}_bucket{} {cum}", base, with_le(labels, &le.to_string()));
+                    }
+                    let _ = writeln!(out, "{}_bucket{} {}", base, with_le(labels, "+Inf"), s.count);
+                    let _ = writeln!(out, "{base}_sum{labels} {}", s.sum);
+                    let _ = writeln!(out, "{base}_count{labels} {}", s.count);
+                    let _ = writeln!(out, "{base}_max{labels} {}", s.max);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splits `name{k="v"}` into (`name`, `{k="v"}`); plain names get an
+/// empty label part.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => name.split_at(i),
+        None => (name, ""),
+    }
+}
+
+/// Merges an `le` label into an existing (possibly empty) label set.
+fn with_le(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        // `{k="v"}` -> `{k="v",le="..."}`
+        format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+/// The process-global registry every span site and instrumented crate
+/// reports into.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("reqs_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name, same handle target.
+        assert_eq!(r.counter("reqs_total").get(), 5);
+        let g = r.gauge("depth");
+        g.set(7);
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x_total");
+        let _ = r.gauge("x_total");
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let r = Registry::new();
+        r.counter("adi_reqs_total").add(3);
+        r.gauge("adi_depth").set(2);
+        r.counter("adi_sheds_total{op=\"atpg\"}").inc();
+        let h = r.histogram("adi_latency_ns");
+        h.record(5);
+        h.record(900);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE adi_reqs_total counter\nadi_reqs_total 3\n"));
+        assert!(text.contains("# TYPE adi_depth gauge\nadi_depth 2\n"));
+        assert!(text.contains("# TYPE adi_sheds_total counter\nadi_sheds_total{op=\"atpg\"} 1\n"));
+        assert!(text.contains("adi_latency_ns_bucket{le=\"7\"} 1\n"));
+        assert!(text.contains("adi_latency_ns_bucket{le=\"1023\"} 2\n"));
+        assert!(text.contains("adi_latency_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("adi_latency_ns_sum 905\n"));
+        assert!(text.contains("adi_latency_ns_count 2\n"));
+        assert!(text.contains("adi_latency_ns_max 900\n"));
+    }
+
+    #[test]
+    fn labeled_histogram_merges_le_into_labels() {
+        let r = Registry::new();
+        r.histogram("lat_ns{op=\"adi\"}").record(1);
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_ns_bucket{op=\"adi\",le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("lat_ns_sum{op=\"adi\"} 1\n"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = registry().counter("adi_registry_selftest_total");
+        let before = c.get();
+        registry().counter("adi_registry_selftest_total").inc();
+        assert_eq!(c.get(), before + 1);
+    }
+}

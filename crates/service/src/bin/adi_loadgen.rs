@@ -10,9 +10,12 @@
 //! * `--smoke`: one connection drives every endpoint once (compile by
 //!   bench and by hash, coverage, adi, atpg, ndetect, reorder, equiv,
 //!   stats, ping), verifies each response, checks a repeated request is
-//!   answered byte-identically from the scenario cache, sends
-//!   `shutdown`, and checks the server answers it and closes the
-//!   connection. Exit 0 means the whole protocol works end to end.
+//!   answered byte-identically from the scenario cache, checks a
+//!   `"trace": true` repeat extends those exact bytes with a span
+//!   tree, asserts a `metrics` scrape parses and carries the request
+//!   histograms, sends `shutdown`, and checks the server answers it
+//!   and closes the connection. Exit 0 means the whole protocol works
+//!   end to end.
 //! * closed-loop mode (default): `C` connections each issue `N`
 //!   back-to-back requests (a cache-hit `compile`, `coverage`, and
 //!   `ndetect` mix against one suite circuit, compiled once up front),
@@ -279,6 +282,34 @@ fn smoke(addr: &str) -> Result<(), String> {
         return Err("scenario cache recorded no hits".to_string());
     }
 
+    // A traced repeat of the same scenario: the envelope must be the
+    // untraced bytes with a trailing `"trace"` field spliced on — the
+    // result payload is unchanged by tracing.
+    let traced = client.roundtrip_raw(&repeat.replacen(r#"{"id": 10,"#, r#"{"id": 10, "trace": true,"#, 1))?;
+    if !traced.starts_with(&first[..first.len() - 1]) || !traced.contains(r#","trace":{"#) {
+        return Err("traced response does not extend the untraced bytes".to_string());
+    }
+    let v = json::parse(&traced).map_err(|e| format!("bad traced response JSON: {e}"))?;
+    if v.get("trace").and_then(|t| t.get("spans")).and_then(Value::as_array).is_none() {
+        return Err("traced response lacks a trace.spans tree".to_string());
+    }
+
+    // The metrics scrape must parse and carry the request histogram
+    // (when collection is enabled — adi-serve's default).
+    let r = client.expect_ok(r#"{"id": 13, "op": "metrics"}"#)?;
+    let enabled = field(&r, "enabled")?.as_bool().ok_or("metrics missing `enabled`")?;
+    let text = field(&r, "text")?.as_str().ok_or("metrics missing `text`")?;
+    if !text.contains("# TYPE ") {
+        return Err("metrics scrape has no # TYPE lines".to_string());
+    }
+    if enabled
+        && !(text.contains("adi_request_ns_bucket{le=")
+            && text.contains("# TYPE adi_request_ns histogram")
+            && text.contains("adi_request_queue_wait_ns_count"))
+    {
+        return Err(format!("metrics scrape lacks the request histograms:\n{text}"));
+    }
+
     let r = client.expect_ok(r#"{"id": 12, "op": "shutdown"}"#)?;
     if field(&r, "stopping")?.as_bool() != Some(true) {
         return Err("shutdown not acknowledged".to_string());
@@ -362,10 +393,12 @@ fn load(opts: &Options) -> Result<(), String> {
         circuit.name, circuit.gates, opts.connections, opts.requests, wall
     );
     println!(
-        "adi-loadgen: {:.0} req/s, latency p50 {:.3} ms, p99 {:.3} ms",
+        "adi-loadgen: {:.0} req/s, latency p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms",
         latencies.len() as f64 / wall,
         pct(50.0),
-        pct(99.0)
+        pct(90.0),
+        pct(99.0),
+        pct(99.9)
     );
 
     if opts.shutdown {
@@ -514,8 +547,9 @@ fn open_loop(opts: &Options, rate: f64) -> Result<(), String> {
         wall
     );
     println!(
-        "adi-loadgen: latency (from scheduled send) p50 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms",
+        "adi-loadgen: latency (from scheduled send) p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms",
         pct(50.0),
+        pct(90.0),
         pct(99.0),
         pct(99.9)
     );

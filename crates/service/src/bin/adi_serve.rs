@@ -3,7 +3,7 @@
 //! ```text
 //! adi-serve [--listen ADDR | --stdio] [--workers N] [--queue N]
 //!           [--max-inflight N] [--capacity N] [--shards N]
-//!           [--scenario-cache-bytes N]
+//!           [--scenario-cache-bytes N] [--log LEVEL] [--metrics ADDR]
 //! ```
 //!
 //! TCP mode (default, `--listen 127.0.0.1:4717`; use port 0 for an
@@ -18,8 +18,17 @@
 //!
 //! `--scenario-cache-bytes` budgets the response-payload cache
 //! (default 64 MiB; `0` disables scenario caching entirely).
+//!
+//! Observability: metrics/span collection is on by default (set
+//! `ADI_OBS=0` to disable; requests then pay one relaxed atomic load
+//! per span site). `--log <level>` turns on NDJSON structured logging
+//! to stderr (`error`..`trace`; default off). `--metrics ADDR` serves
+//! the Prometheus exposition text over plain HTTP on a sidecar
+//! listener (`GET` anything; the same text is available in-protocol as
+//! `{"op": "metrics"}`).
 
-use std::net::TcpListener;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 
 use adi_service::{
@@ -32,6 +41,8 @@ struct Options {
     server: ServerConfig,
     store: StoreConfig,
     scenario: ScenarioConfig,
+    log: Option<adi_obs::Level>,
+    metrics: Option<String>,
 }
 
 impl Default for Options {
@@ -42,6 +53,8 @@ impl Default for Options {
             server: ServerConfig::default(),
             store: StoreConfig::default(),
             scenario: ScenarioConfig::default(),
+            log: None,
+            metrics: None,
         }
     }
 }
@@ -81,6 +94,16 @@ fn parse_args() -> Result<Options, String> {
                     .and_then(|s| s.parse::<usize>().ok())
                     .ok_or_else(|| "--scenario-cache-bytes requires a number".to_string())?;
             }
+            "--log" => {
+                let level = args.next().ok_or_else(|| "--log requires a level".to_string())?;
+                opts.log = adi_obs::parse_level(&level)?;
+            }
+            "--metrics" => {
+                opts.metrics = Some(
+                    args.next()
+                        .ok_or_else(|| "--metrics requires an address".to_string())?,
+                );
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -94,12 +117,18 @@ fn main() {
             eprintln!("error: {message}");
             eprintln!(
                 "usage: adi-serve [--listen ADDR | --stdio] [--workers N] [--queue N] \
-                 [--max-inflight N] [--capacity N] [--shards N] [--scenario-cache-bytes N]"
+                 [--max-inflight N] [--capacity N] [--shards N] [--scenario-cache-bytes N] \
+                 [--log LEVEL] [--metrics ADDR]"
             );
             std::process::exit(2);
         }
     };
+    adi_obs::init_from_env(true);
+    adi_obs::set_log_level(opts.log);
     let state = Arc::new(ServiceState::with_scenario(opts.store, opts.scenario));
+    if let Some(addr) = &opts.metrics {
+        spawn_metrics_listener(addr, Arc::clone(&state));
+    }
 
     if opts.stdio {
         let stdin = std::io::stdin();
@@ -137,4 +166,65 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Serves the Prometheus scrape over plain HTTP on a detached sidecar
+/// thread (it dies with the process; scrapers are read-only and never
+/// touch the request path's worker pool).
+fn spawn_metrics_listener(addr: &str, state: Arc<ServiceState>) {
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("adi-serve: cannot bind metrics listener {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match listener.local_addr() {
+        Ok(bound) => eprintln!("adi-serve: metrics on http://{bound}/metrics"),
+        Err(_) => eprintln!("adi-serve: metrics on {addr}"),
+    }
+    std::thread::Builder::new()
+        .name("adi-metrics".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let _ = serve_one_scrape(stream, &state);
+            }
+        })
+        .expect("spawn metrics listener");
+}
+
+/// Answers one HTTP request with the scrape text (any method, any
+/// path: a metrics sidecar has exactly one resource).
+fn serve_one_scrape(stream: TcpStream, state: &ServiceState) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    // Drain the request line and headers; the body of a GET is empty.
+    let mut line = String::new();
+    while reader.read_line(&mut line)? > 0 && line.trim_end() != "" {
+        line.clear();
+    }
+    let body = scrape_text(state);
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The exposition text, produced by the same `metrics` endpoint the
+/// line protocol serves (so the sidecar also refreshes the gauges).
+fn scrape_text(state: &ServiceState) -> String {
+    let response = state.handle_line(r#"{"op": "metrics"}"#);
+    json::parse(&response)
+        .ok()
+        .and_then(|v| {
+            v.get("result")?
+                .get("text")
+                .and_then(json::Value::as_str)
+                .map(str::to_string)
+        })
+        .unwrap_or_else(|| "# metrics unavailable\n".to_string())
 }

@@ -19,8 +19,11 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use adi_atpg::{EquivVerdict, TestGenConfig, TestGenerator};
+use adi_obs::{Field, Level, SpanSite, TraceGuard};
 use adi_core::metrics::average_detection_position;
 use adi_core::reorder::{reorder_tests_for, reverse_order_compaction_for};
 use adi_core::uset::select_u_for;
@@ -32,12 +35,12 @@ use adi_sim::{FaultSimulator, PatternSet};
 use json::{Object, Value};
 
 use crate::protocol::{
-    error_response, invalid_json_response, ok_response, opt_bool, opt_str, opt_u64,
+    error_response, invalid_json_response, opt_bool, opt_str, opt_u64,
     parse_adi_config, parse_engine, parse_ordering, parse_pattern_spec, parse_testgen_config,
     parse_uset_config, parse_width, pattern_to_string, require_patterns, PatternSpec,
     RequestError, RequestResult,
 };
-use crate::scenario::{FpHasher, Fingerprint, ScenarioCache, ScenarioConfig};
+use crate::scenario::{FpHasher, Fingerprint, ScenarioCache, ScenarioConfig, ScenarioOutcome};
 use crate::store::{CacheOutcome, CircuitStore, StoreConfig};
 
 /// Everything a request needs to be answered: the circuit cache (and,
@@ -80,6 +83,9 @@ pub(crate) struct ServiceMetrics {
     pub(crate) queue_depth: AtomicU64,
     /// Configured per-connection in-flight admission cap.
     pub(crate) max_inflight: AtomicU64,
+    /// Live backlog of the serving transport's worker pool (attached by
+    /// the transport; `None` for in-process use without a pool).
+    queued: Mutex<Option<Arc<AtomicU64>>>,
 }
 
 impl ServiceMetrics {
@@ -89,6 +95,58 @@ impl ServiceMetrics {
         self.queue_depth.store(queue_depth as u64, Ordering::Relaxed);
         self.max_inflight.store(max_inflight as u64, Ordering::Relaxed);
     }
+
+    /// Wires the transport's pool backlog into `stats`/`metrics`.
+    pub(crate) fn attach_queue(&self, handle: Arc<AtomicU64>) {
+        *self.queued.lock().expect("queue handle") = Some(handle);
+    }
+
+    /// Jobs accepted by the transport's pool but not yet started.
+    pub(crate) fn queued(&self) -> u64 {
+        self.queued
+            .lock()
+            .expect("queue handle")
+            .as_ref()
+            .map_or(0, |q| q.load(Ordering::SeqCst))
+    }
+}
+
+/// Execute/serialize split of every request (the queue-wait third of
+/// the split is measured by the transport and passed into
+/// [`ServiceState::respond_queued`]).
+static SPAN_EXECUTE: SpanSite = SpanSite::new("service.execute");
+static SPAN_SERIALIZE: SpanSite = SpanSite::new("service.serialize");
+
+/// Request-level metric handles, resolved once (the registry lock is
+/// off the per-request path).
+struct RequestMetrics {
+    requests: Arc<adi_obs::Counter>,
+    errors: Arc<adi_obs::Counter>,
+    latency: Arc<adi_obs::Histogram>,
+    queue_wait: Arc<adi_obs::Histogram>,
+}
+
+fn request_metrics() -> &'static RequestMetrics {
+    static METRICS: OnceLock<RequestMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = adi_obs::registry();
+        RequestMetrics {
+            requests: r.counter("adi_requests_total"),
+            errors: r.counter("adi_request_errors_total"),
+            latency: r.histogram("adi_request_ns"),
+            queue_wait: r.histogram("adi_request_queue_wait_ns"),
+        }
+    })
+}
+
+/// One answered request: the serialized response line plus the labels
+/// the logging/tracing wrapper reports.
+struct Answered {
+    body: String,
+    ok: bool,
+    /// Scenario-cache outcome: `hit`, `miss`, `coalesced`, `bypass`,
+    /// `uncached` (op not cacheable), or `error`.
+    cache: &'static str,
 }
 
 impl ServiceState {
@@ -138,60 +196,157 @@ impl ServiceState {
     /// Answers one parsed request with the serialized response line.
     /// See [`handle_line`](Self::handle_line).
     pub fn respond(&self, request: &Value) -> String {
+        self.respond_inner(request, None)
+    }
+
+    /// Like [`respond`](Self::respond), for transports that queued the
+    /// request first: `queue_wait_ns` (submit-to-start wait measured by
+    /// the transport) is recorded in the `adi_request_queue_wait_ns`
+    /// histogram and reported in the request's log line and trace.
+    pub fn respond_queued(&self, request: &Value, queue_wait_ns: u64) -> String {
+        self.respond_inner(request, Some(queue_wait_ns))
+    }
+
+    fn respond_inner(&self, request: &Value, queue_wait_ns: Option<u64>) -> String {
+        let started = Instant::now();
         let id = request.get("id");
         if request.as_object().is_none() {
-            return error_response(id, "request must be a JSON object").to_string();
+            let a = answered_error(id, "request must be a JSON object");
+            return self.finish_request("invalid", queue_wait_ns, started, None, a);
         }
         let op = match request.get("op").and_then(Value::as_str) {
             Some(op) => op,
-            None => return error_response(id, "request needs a string `op` field").to_string(),
+            None => {
+                let a = answered_error(id, "request needs a string `op` field");
+                return self.finish_request("invalid", queue_wait_ns, started, None, a);
+            }
         };
+        let want_trace = match opt_bool(request, "trace", false) {
+            Ok(b) => b,
+            Err(e) => {
+                return self.finish_request(op, queue_wait_ns, started, None, answered_error(id, &e.0))
+            }
+        };
+        // The guard lives outside the catch_unwind: spans opened by a
+        // panicking handler close during the unwind, so the trace (and
+        // the span stack) stay consistent even on an internal error.
+        let trace_guard = want_trace.then(adi_obs::start_trace);
         let outcome = catch_unwind(AssertUnwindSafe(|| self.answer(op, id, request)));
-        match outcome {
-            Ok(response) => response,
+        let answered = match outcome {
+            Ok(a) => a,
             Err(panic) => {
                 let message = panic
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "unknown panic".to_string());
-                error_response(id, &format!("internal error: {message}")).to_string()
+                answered_error(id, &format!("internal error: {message}"))
+            }
+        };
+        let trace = trace_guard.map(TraceGuard::finish);
+        self.finish_request(op, queue_wait_ns, started, trace, answered)
+    }
+
+    /// Records the request's metrics and log line, and attaches the
+    /// trace (as the **last** envelope field, so the `result` payload
+    /// bytes are unchanged by tracing).
+    fn finish_request(
+        &self,
+        op: &str,
+        queue_wait_ns: Option<u64>,
+        started: Instant,
+        trace: Option<adi_obs::Trace>,
+        answered: Answered,
+    ) -> String {
+        let total_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if adi_obs::is_enabled() {
+            let m = request_metrics();
+            m.requests.inc();
+            if !answered.ok {
+                m.errors.inc();
+            }
+            m.latency.record(total_ns);
+            if let Some(wait) = queue_wait_ns {
+                m.queue_wait.record(wait);
             }
         }
+        if adi_obs::log_enabled(Level::Info) {
+            adi_obs::log(
+                Level::Info,
+                "adi_service",
+                "request",
+                &[
+                    ("op", Field::Str(op)),
+                    ("ok", Field::Bool(answered.ok)),
+                    ("cache", Field::Str(answered.cache)),
+                    ("ns", Field::U64(total_ns)),
+                    ("queue_wait_ns", Field::U64(queue_wait_ns.unwrap_or(0))),
+                ],
+            );
+        }
+        let mut body = answered.body;
+        if let Some(trace) = trace {
+            debug_assert!(body.ends_with('}'));
+            body.pop();
+            body.push_str(",\"trace\":");
+            body.push_str(&render_trace_json(op, queue_wait_ns, total_ns, answered.cache, &trace));
+            body.push('}');
+        }
+        body
     }
 
     /// Routes one validated request: cacheable ops go through the
     /// scenario cache (unless disabled or bypassed), everything else
     /// dispatches directly.
-    fn answer(&self, op: &str, id: Option<&Value>, req: &Value) -> String {
+    fn answer(&self, op: &str, id: Option<&Value>, req: &Value) -> Answered {
         let use_cache = match opt_str(req, "cache", "use") {
             Ok("use") => true,
             Ok("bypass") => false,
             Ok(other) => {
                 let msg = format!("unknown cache mode `{other}` (expected use or bypass)");
-                return error_response(id, &msg).to_string();
+                return answered_error(id, &msg);
             }
-            Err(e) => return error_response(id, &e.0).to_string(),
+            Err(e) => return answered_error(id, &e.0),
         };
         if use_cache && !self.scenario.is_disabled() {
             // A fingerprinting error falls through to the direct path so
             // the client sees exactly the error a cold dispatch reports.
             if let Ok(Some(fp)) = self.fingerprint(op, req) {
-                let (result, _outcome) = self.scenario.get_or_compute(fp, || {
-                    self.dispatch(op, req).map(|o| Value::Object(o).to_string())
-                });
+                let (result, outcome) =
+                    self.scenario.get_or_compute(fp, || self.compute_payload(op, req));
                 return match result {
-                    Ok(payload) => spliced_ok(id, &payload),
-                    Err(e) => error_response(id, &e.0).to_string(),
+                    Ok(payload) => Answered {
+                        body: spliced_ok(id, &payload),
+                        ok: true,
+                        cache: cache_label(outcome),
+                    },
+                    Err(e) => answered_error(id, &e.0),
                 };
             }
         } else if !use_cache && is_cacheable(op) {
             self.scenario.note_bypass();
         }
-        match self.dispatch(op, req) {
-            Ok(result) => ok_response(id, result).to_string(),
-            Err(e) => error_response(id, &e.0).to_string(),
+        match self.compute_payload(op, req) {
+            Ok(payload) => Answered {
+                body: spliced_ok(id, &payload),
+                ok: true,
+                cache: if !use_cache && is_cacheable(op) { "bypass" } else { "uncached" },
+            },
+            Err(e) => answered_error(id, &e.0),
         }
+    }
+
+    /// Dispatches one request and serializes its result payload, under
+    /// the execute/serialize spans. Both the cached and the direct path
+    /// produce their payload here, so a response's `result` bytes are
+    /// identical whichever path served it.
+    fn compute_payload(&self, op: &str, req: &Value) -> RequestResult<String> {
+        let result = {
+            let _span = SPAN_EXECUTE.enter();
+            self.dispatch(op, req)?
+        };
+        let _span = SPAN_SERIALIZE.enter();
+        Ok(Value::Object(result).to_string())
     }
 
     fn dispatch(&self, op: &str, req: &Value) -> RequestResult<Object> {
@@ -205,6 +360,7 @@ impl ServiceState {
             "reorder" => self.op_reorder(req),
             "ping" => self.op_ping(),
             "stats" => self.op_stats(),
+            "metrics" => self.op_metrics(req),
             "shutdown" => {
                 let mut o = Object::new();
                 o.insert("stopping", true);
@@ -212,7 +368,7 @@ impl ServiceState {
             }
             other => Err(RequestError::new(format!(
                 "unknown op `{other}` (expected compile, coverage, adi, atpg, equiv, \
-                 ndetect, reorder, ping, stats, or shutdown)"
+                 ndetect, reorder, ping, stats, metrics, or shutdown)"
             ))),
         }
     }
@@ -684,6 +840,7 @@ impl ServiceState {
         let mut svc = Object::new();
         svc.insert("shed", self.metrics.shed.load(Ordering::Relaxed));
         svc.insert("in_flight", self.metrics.in_flight.load(Ordering::Relaxed));
+        svc.insert("queued", self.metrics.queued());
         svc.insert("workers", self.metrics.workers.load(Ordering::Relaxed));
         svc.insert("queue_depth", self.metrics.queue_depth.load(Ordering::Relaxed));
         svc.insert("max_inflight", self.metrics.max_inflight.load(Ordering::Relaxed));
@@ -702,12 +859,144 @@ impl ServiceState {
         o.insert("scenario", sc);
         Ok(o)
     }
+
+    /// The metrics endpoint: refreshes the registry's gauges from live
+    /// service state, then renders every metric — Prometheus exposition
+    /// text by default, or structured JSON with `"format": "json"`.
+    fn op_metrics(&self, req: &Value) -> RequestResult<Object> {
+        self.refresh_gauges();
+        let mut o = Object::new();
+        o.insert("enabled", adi_obs::is_enabled());
+        match opt_str(req, "format", "prometheus")? {
+            "prometheus" => {
+                o.insert("text", adi_obs::registry().render_prometheus());
+            }
+            "json" => {
+                let mut hists = Object::new();
+                for (name, s) in adi_obs::registry().histogram_snapshots() {
+                    let mut h = Object::new();
+                    h.insert("count", s.count);
+                    h.insert("sum", s.sum);
+                    h.insert("max", s.max);
+                    h.insert("p50", s.p50);
+                    h.insert("p90", s.p90);
+                    h.insert("p99", s.p99);
+                    h.insert("p999", s.p999);
+                    hists.insert(name, Value::Object(h));
+                }
+                o.insert("histograms", hists);
+                let mut scalars = Object::new();
+                for (name, value, _is_counter) in adi_obs::registry().scalar_values() {
+                    scalars.insert(name, value);
+                }
+                o.insert("scalars", scalars);
+            }
+            other => {
+                return Err(RequestError::new(format!(
+                    "unknown metrics format `{other}` (expected prometheus or json)"
+                )))
+            }
+        }
+        Ok(o)
+    }
+
+    /// Pushes the live transport/store/scenario state into the
+    /// registry's gauges, so a scrape sees current values no matter how
+    /// long ago the instrumented code last touched them.
+    fn refresh_gauges(&self) {
+        let r = adi_obs::registry();
+        r.gauge("adi_worker_queue_depth").set(self.metrics.queued());
+        r.gauge("adi_inflight_requests")
+            .set(self.metrics.in_flight.load(Ordering::Relaxed));
+        r.gauge("adi_workers").set(self.metrics.workers.load(Ordering::Relaxed));
+        r.gauge("adi_max_inflight")
+            .set(self.metrics.max_inflight.load(Ordering::Relaxed));
+        r.gauge("adi_shed_requests").set(self.metrics.shed.load(Ordering::Relaxed));
+        let s = self.store.stats();
+        r.gauge("adi_store_entries").set(s.entries as u64);
+        r.gauge("adi_store_bytes").set(s.bytes as u64);
+        r.gauge("adi_store_hits").set(s.hits);
+        r.gauge("adi_store_misses").set(s.misses);
+        let s = self.scenario.stats();
+        r.gauge("adi_scenario_entries").set(s.entries as u64);
+        r.gauge("adi_scenario_bytes").set(s.bytes as u64);
+        r.gauge("adi_scenario_hits").set(s.hits);
+        r.gauge("adi_scenario_misses").set(s.misses);
+    }
 }
 
 /// Returns `true` for the ops whose results the scenario cache may
 /// store (pure functions of the resolved request).
 fn is_cacheable(op: &str) -> bool {
     matches!(op, "coverage" | "adi" | "atpg" | "ndetect" | "reorder" | "equiv")
+}
+
+/// Wraps an error response line with its request labels.
+fn answered_error(id: Option<&Value>, message: &str) -> Answered {
+    Answered {
+        body: error_response(id, message).to_string(),
+        ok: false,
+        cache: "error",
+    }
+}
+
+/// The scenario-cache outcome as a request label.
+fn cache_label(outcome: ScenarioOutcome) -> &'static str {
+    match outcome {
+        ScenarioOutcome::Hit => "hit",
+        ScenarioOutcome::Miss => "miss",
+        ScenarioOutcome::Coalesced => "coalesced",
+        ScenarioOutcome::Bypass => "bypass",
+    }
+}
+
+/// Serializes a finished trace as the `"trace"` envelope field:
+/// request-level labels plus the span forest, children nested under
+/// their parents in `"spans"` arrays.
+fn render_trace_json(
+    op: &str,
+    queue_wait_ns: Option<u64>,
+    total_ns: u64,
+    cache: &str,
+    trace: &adi_obs::Trace,
+) -> String {
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); trace.nodes.len()];
+    let mut roots = Vec::new();
+    for (i, node) in trace.nodes.iter().enumerate() {
+        match node.parent {
+            Some(p) => children[p as usize].push(i),
+            None => roots.push(i),
+        }
+    }
+    fn span_value(trace: &adi_obs::Trace, children: &[Vec<usize>], i: usize) -> Value {
+        let node = &trace.nodes[i];
+        let mut o = Object::new();
+        o.insert("name", node.name);
+        o.insert("start_ns", node.start_ns);
+        o.insert("dur_ns", node.dur_ns);
+        if !children[i].is_empty() {
+            o.insert(
+                "spans",
+                Value::Array(
+                    children[i].iter().map(|&c| span_value(trace, children, c)).collect(),
+                ),
+            );
+        }
+        Value::Object(o)
+    }
+    let mut o = Object::new();
+    o.insert("op", op);
+    o.insert("cache", cache);
+    if let Some(wait) = queue_wait_ns {
+        o.insert("queue_wait_ns", wait);
+    }
+    o.insert("total_ns", total_ns);
+    o.insert("dropped", trace.dropped);
+    o.insert(
+        "spans",
+        Value::Array(roots.into_iter().map(|r| span_value(trace, &children, r)).collect()),
+    );
+    Value::Object(o).to_string()
 }
 
 /// Splices a cached serialized result into the success envelope,

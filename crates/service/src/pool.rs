@@ -44,6 +44,7 @@ pub struct WorkerPool {
     tx: Option<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
     panics: Arc<AtomicU64>,
+    queued: Arc<AtomicU64>,
 }
 
 /// Error returned when submitting to a pool whose queue is closed.
@@ -85,22 +86,58 @@ impl WorkerPool {
             tx: Some(tx),
             workers: handles,
             panics,
+            queued: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// Enqueues `job`, blocking while the queue is full (backpressure).
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PoolClosed> {
-        self.sender().send(Box::new(job)).map_err(|_| PoolClosed)
+        let wrapped = self.count_queued(job);
+        self.sender().send(wrapped).map_err(|_| {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            PoolClosed
+        })
     }
 
     /// Enqueues `job` without blocking; `Ok(false)` means the queue was
     /// full and the job was dropped.
     pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<bool, PoolClosed> {
-        match self.sender().try_send(Box::new(job)) {
+        let wrapped = self.count_queued(job);
+        match self.sender().try_send(wrapped) {
             Ok(()) => Ok(true),
-            Err(TrySendError::Full(_)) => Ok(false),
-            Err(TrySendError::Disconnected(_)) => Err(PoolClosed),
+            Err(TrySendError::Full(_)) => {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                Ok(false)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                Err(PoolClosed)
+            }
         }
+    }
+
+    /// Counts `job` as queued until the moment a worker starts it, so
+    /// [`queued`](Self::queued) reports the live backlog (the admission
+    /// bound's early-warning signal — see the `stats` and `metrics`
+    /// endpoints).
+    fn count_queued(&self, job: impl FnOnce() + Send + 'static) -> Job {
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        let queued = Arc::clone(&self.queued);
+        Box::new(move || {
+            queued.fetch_sub(1, Ordering::SeqCst);
+            job();
+        })
+    }
+
+    /// Jobs accepted but not yet started by a worker.
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::SeqCst)
+    }
+
+    /// Shared handle to the queued-jobs count, for transports that wire
+    /// the pool's backlog into the service metrics.
+    pub(crate) fn queued_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.queued)
     }
 
     fn sender(&self) -> &SyncSender<Job> {
@@ -218,6 +255,32 @@ mod tests {
         assert_eq!(pool.panic_count(), 1);
         pool.shutdown();
         assert_eq!(count.load(Ordering::Relaxed), 1, "worker survived the panic");
+    }
+
+    #[test]
+    fn queued_counts_backlog_and_drains_to_zero() {
+        let pool = WorkerPool::new(1, 8);
+        let gate = Arc::new(Mutex::new(()));
+        let hold = gate.lock().unwrap();
+        let blocker = Arc::clone(&gate);
+        pool.submit(move || {
+            let _unused = blocker.lock();
+        })
+        .unwrap();
+        for _ in 0..3 {
+            pool.submit(|| {}).unwrap();
+        }
+        // The blocking job may or may not have started yet; the three
+        // behind it are definitely still queued.
+        let queued = pool.queued();
+        assert!((3..=4).contains(&queued), "queued = {queued}");
+        drop(hold);
+        let t0 = std::time::Instant::now();
+        while pool.queued() > 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.queued(), 0, "backlog drains once the worker unblocks");
+        pool.shutdown();
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use json::Value;
 
@@ -98,6 +98,7 @@ pub fn serve_tcp(
     state
         .metrics()
         .configure(config.workers, config.queue_depth, config.max_inflight);
+    state.metrics().attach_queue(pool.queued_handle());
     let shutdown = Arc::new(AtomicBool::new(false));
     let requests = Arc::new(AtomicU64::new(0));
     // Read-half clones of the currently live connections, so shutdown
@@ -206,9 +207,12 @@ fn connection_loop(
         let shutdown_flag = Arc::clone(&shutdown);
         let requests = Arc::clone(&requests);
         let inflight = Arc::clone(&inflight);
+        let submitted_at = Instant::now();
         let submitted = pool.submit(move || {
+            let queue_wait_ns =
+                u64::try_from(submitted_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let response = match &parsed {
-                Ok(request) => state.respond(request),
+                Ok(request) => state.respond_queued(request, queue_wait_ns),
                 Err(e) => invalid_json_response(e).to_string(),
             };
             requests.fetch_add(1, Ordering::SeqCst);
@@ -250,6 +254,7 @@ pub fn serve_stdio(
 ) -> io::Result<u64> {
     let pool = WorkerPool::new(config.workers, config.queue_depth);
     state.metrics().configure(config.workers, config.queue_depth, 0);
+    state.metrics().attach_queue(pool.queued_handle());
     let (tx, rx) = mpsc::channel::<(u64, String)>();
     std::thread::scope(|scope| {
         // The writer owns the reorder buffer: responses arrive in
@@ -282,9 +287,12 @@ pub fn serve_stdio(
             let stop_after = is_shutdown_request(&parsed);
             let state = Arc::clone(&state);
             let tx = tx.clone();
+            let submitted_at = Instant::now();
             let submitted = pool.submit(move || {
+                let queue_wait_ns =
+                    u64::try_from(submitted_at.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 let response = match &parsed {
-                    Ok(request) => state.respond(request),
+                    Ok(request) => state.respond_queued(request, queue_wait_ns),
                     Err(e) => invalid_json_response(e).to_string(),
                 };
                 // A vanished writer (earlier write error) just drops

@@ -1,0 +1,139 @@
+//! Observability behavior of the service layer: the `"trace": true`
+//! request field must not perturb response bytes or the scenario
+//! cache, span stacks must survive panicking pool workers, and the
+//! `metrics`/`stats` endpoints must expose the new registry state.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use adi_obs::SpanSite;
+use adi_service::{ServiceState, StoreConfig, WorkerPool};
+use json::Value;
+
+const COVERAGE: &str = r#"{"id": 1, "op": "coverage", "bench": "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "exhaustive": true}"#;
+
+fn traced(request: &str) -> String {
+    request.replacen(r#""id": 1"#, r#""id": 1, "trace": true"#, 1)
+}
+
+fn parsed(line: &str) -> Value {
+    json::parse(line).unwrap()
+}
+
+/// A traced repeat of a cached scenario returns the untraced bytes
+/// plus a trailing `"trace"` field — and does not disturb the cached
+/// entry for later untraced requests.
+#[test]
+fn traced_hit_extends_untraced_bytes_exactly() {
+    let s = ServiceState::new(StoreConfig::default());
+    let plain = s.handle_line(COVERAGE);
+    let traced_line = s.handle_line(&traced(COVERAGE));
+    assert!(
+        traced_line.starts_with(&plain[..plain.len() - 1]),
+        "traced response must extend the untraced bytes:\n{plain}\n{traced_line}"
+    );
+    let v = parsed(&traced_line);
+    let trace = v.get("trace").expect("traced response has a trace field");
+    assert_eq!(trace.get("cache").and_then(Value::as_str), Some("hit"));
+    assert!(trace.get("spans").and_then(Value::as_array).is_some());
+    // The cache still serves the original bytes, trace-free.
+    let again = s.handle_line(COVERAGE);
+    assert_eq!(again, plain, "traced request polluted the cached entry");
+    assert!(!again.contains("\"trace\""));
+}
+
+/// A *cold* traced request (the one that populates the cache) collects
+/// execute/serialize spans, and the entry it caches is still the plain
+/// payload: the next untraced request gets byte-identical results.
+#[test]
+fn cold_traced_request_caches_only_the_result() {
+    let s = ServiceState::new(StoreConfig::default());
+    let traced_line = s.handle_line(&traced(COVERAGE));
+    let v = parsed(&traced_line);
+    let trace = v.get("trace").expect("trace field present");
+    assert_eq!(trace.get("cache").and_then(Value::as_str), Some("miss"));
+    let spans = trace.get("spans").and_then(Value::as_array).expect("spans array");
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Value::as_str))
+        .collect();
+    assert!(
+        names.contains(&"service.execute") && names.contains(&"service.serialize"),
+        "cold traced request must show the execute/serialize split, got {names:?}"
+    );
+    let plain = s.handle_line(COVERAGE);
+    assert!(!plain.contains("\"trace\""), "cached entry must not carry the trace");
+    assert!(
+        traced_line.starts_with(&plain[..plain.len() - 1]),
+        "the traced populator and the untraced hit disagree on result bytes"
+    );
+}
+
+/// `"trace"` must be a boolean; anything else is a request error.
+#[test]
+fn non_boolean_trace_is_rejected() {
+    let s = ServiceState::new(StoreConfig::default());
+    let v = parsed(&s.handle_line(r#"{"op": "ping", "trace": "yes"}"#));
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+}
+
+/// A panic unwinding through spans inside a pool worker leaves the
+/// worker's span stack clean: the next job's spans root correctly.
+#[test]
+fn worker_panic_unwinds_span_stack() {
+    static A: SpanSite = SpanSite::new("svc_test.panics");
+    static B: SpanSite = SpanSite::new("svc_test.after");
+    let pool = WorkerPool::new(1, 4);
+    pool.submit(|| {
+        let _guard = adi_obs::start_trace();
+        let _outer = A.enter();
+        let _inner = A.enter();
+        panic!("job goes boom under two open spans");
+    })
+    .unwrap();
+    let (tx, rx) = mpsc::channel();
+    pool.submit(move || {
+        let guard = adi_obs::start_trace();
+        {
+            let _b = B.enter();
+        }
+        let _ = tx.send(guard.finish());
+    })
+    .unwrap();
+    let trace = rx.recv_timeout(Duration::from_secs(10)).expect("second job ran");
+    assert_eq!(pool.panic_count(), 1, "first job panicked in the worker");
+    assert_eq!(trace.nodes.len(), 1);
+    assert_eq!(trace.nodes[0].name, "svc_test.after");
+    assert_eq!(
+        trace.nodes[0].parent, None,
+        "a clean stack after the unwind means the span roots correctly"
+    );
+    pool.shutdown();
+}
+
+/// The `metrics` endpoint renders Prometheus text (default) and a JSON
+/// summary; `stats` reports the pool backlog gauge.
+#[test]
+fn metrics_endpoint_renders_both_formats() {
+    let s = ServiceState::new(StoreConfig::default());
+    let v = parsed(&s.handle_line(r#"{"op": "metrics"}"#));
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+    let r = v.get("result").unwrap();
+    assert!(r.get("enabled").and_then(Value::as_bool).is_some());
+    let text = r.get("text").and_then(Value::as_str).expect("prometheus text");
+    assert!(text.contains("# TYPE adi_workers gauge"), "{text}");
+    assert!(text.contains("# TYPE adi_worker_queue_depth gauge"), "{text}");
+
+    let v = parsed(&s.handle_line(r#"{"op": "metrics", "format": "json"}"#));
+    let r = v.get("result").unwrap();
+    assert!(r.get("histograms").is_some());
+    let scalars = r.get("scalars").expect("scalar map");
+    assert_eq!(scalars.get("adi_worker_queue_depth").and_then(Value::as_u64), Some(0));
+
+    let v = parsed(&s.handle_line(r#"{"op": "metrics", "format": "yaml"}"#));
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+
+    let v = parsed(&s.handle_line(r#"{"op": "stats"}"#));
+    let svc = v.get("result").and_then(|r| r.get("service")).expect("service stats");
+    assert_eq!(svc.get("queued").and_then(Value::as_u64), Some(0));
+}

@@ -291,6 +291,10 @@ impl<'a> FaultSimulator<'a> {
     }
 
     fn no_drop_matrix_per_fault(&self, patterns: &PatternSet) -> DetectionMatrix {
+        // One span for the whole call: the per-fault engine's inner
+        // loop (fault x block) is far too fine-grained to span.
+        static SPAN_NO_DROP: adi_obs::SpanSite = adi_obs::SpanSite::new("sim.no_drop");
+        let _span = SPAN_NO_DROP.enter();
         let view = self.circuit.view();
         let mut buf = ScratchBuf::new(view);
         let good = PosGood::compute(view, patterns);

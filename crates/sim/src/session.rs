@@ -239,6 +239,8 @@ impl<'a, const N: usize> DropSession<'a, N> {
     /// Faults outside `active` are skipped entirely. The session is
     /// empty afterwards.
     pub fn flush(&mut self, active: &[FaultId]) -> Vec<Vec<FaultId>> {
+        static SPAN_FLUSH: adi_obs::SpanSite = adi_obs::SpanSite::new("sim.drop_flush");
+        let _span = SPAN_FLUSH.enter();
         let lanes = self.lanes as usize;
         let mut per_lane: Vec<Vec<FaultId>> = vec![Vec::new(); lanes];
         if lanes == 0 {

@@ -58,6 +58,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use adi_netlist::dominator::POST_DOM_SINK;
 use adi_netlist::fault::{FaultId, FaultList, FaultSite};
+use adi_obs::SpanSite;
 use adi_netlist::{CompiledCircuit, GateKind, LevelizedCsr};
 
 /// Oversplit factor for the work-stealing region split: each thread's
@@ -405,10 +406,14 @@ impl<'a> StemRegionEngine<'a> {
     }
 
     fn no_drop_matrix_w<const N: usize>(&self, patterns: &PatternSet) -> DetectionMatrix {
+        static SPAN_NO_DROP: SpanSite = SpanSite::new("sim.no_drop");
+        static SPAN_BLOCK: SpanSite = SpanSite::new("sim.block");
+        let _span = SPAN_NO_DROP.enter();
         self.assert_width(patterns);
         let mut matrix = DetectionMatrix::new(self.faults.len(), patterns.len());
         let mut scratch = StemScratch::<N>::new(self.view());
         for sb in 0..patterns.num_superblocks(N) {
+            let _block_span = SPAN_BLOCK.enter();
             self.sim_superblock(patterns, sb, &mut scratch);
             let mask = patterns.valid_mask_wide::<N>(sb);
             self.for_each_detection(mask, &mut scratch, None, |fault, word| {
